@@ -1,0 +1,248 @@
+use std::collections::HashMap;
+
+use mithrilog_filter::FilterPipeline;
+
+/// Per-template line counts from a tagged accelerator pass.
+///
+/// Pair a multi-template query (templates joined with `OR`, one
+/// intersection set each) with [`FilterPipeline::tag_text`]: every line
+/// gets the index of the template it satisfied, and this aggregator counts
+/// them — log traffic breakdown by message type in a single scan.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateCounts {
+    counts: Vec<u64>,
+    unmatched: u64,
+    total: u64,
+}
+
+impl TemplateCounts {
+    /// Creates a counter for `templates` template slots.
+    pub fn new(templates: usize) -> Self {
+        TemplateCounts {
+            counts: vec![0; templates],
+            unmatched: 0,
+            total: 0,
+        }
+    }
+
+    /// Tags a whole text buffer with `pipeline` and accumulates counts.
+    pub fn scan(pipeline: &FilterPipeline, text: &[u8]) -> Self {
+        let mut out = Self::new(pipeline.compiled().set_count());
+        for (_, tag) in pipeline.tag_text(text) {
+            out.record(tag);
+        }
+        out
+    }
+
+    /// Records one line's tag.
+    pub fn record(&mut self, tag: Option<usize>) {
+        self.total += 1;
+        match tag {
+            Some(i) if i < self.counts.len() => self.counts[i] += 1,
+            _ => self.unmatched += 1,
+        }
+    }
+
+    /// Lines matching template `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Lines matching no template.
+    pub fn unmatched(&self) -> u64 {
+        self.unmatched
+    }
+
+    /// Lines observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Template indices ordered by descending count.
+    pub fn ranking(&self) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self.counts.iter().copied().enumerate().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Extracts the Unix-epoch token from an HPC4-format log line (second
+/// whitespace-separated field in every profile's line format).
+pub fn extract_epoch(line: &str) -> Option<u64> {
+    line.split_ascii_whitespace().nth(1)?.parse().ok()
+}
+
+/// Event counts over fixed-width time buckets.
+#[derive(Debug, Clone)]
+pub struct TimeHistogram {
+    bucket_secs: u64,
+    buckets: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl TimeHistogram {
+    /// Creates a histogram with `bucket_secs`-second buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is zero.
+    pub fn new(bucket_secs: u64) -> Self {
+        assert!(bucket_secs > 0, "bucket width must be positive");
+        TimeHistogram {
+            bucket_secs,
+            buckets: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one event at `epoch`.
+    pub fn record_epoch(&mut self, epoch: u64) {
+        *self.buckets.entry(epoch / self.bucket_secs).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records every line of a filtered result set that carries an epoch.
+    pub fn record_lines<'a, I: IntoIterator<Item = &'a str>>(&mut self, lines: I) {
+        for line in lines {
+            if let Some(e) = extract_epoch(line) {
+                self.record_epoch(e);
+            }
+        }
+    }
+
+    /// Number of non-empty buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(bucket_start_epoch, count)` pairs in time order.
+    pub fn series(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .map(|(b, c)| (b * self.bucket_secs, *c))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mean events per non-empty bucket.
+    pub fn mean_rate(&self) -> f64 {
+        if self.buckets.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.buckets.len() as f64
+        }
+    }
+}
+
+/// Top-K most frequent tokens in a filtered result set — the "what is this
+/// subset of the log about?" exploration primitive.
+#[derive(Debug, Clone)]
+pub struct TopTokens {
+    counts: HashMap<String, u64>,
+}
+
+impl TopTokens {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        TopTokens {
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Records every token of a line.
+    pub fn record_line(&mut self, line: &str) {
+        for tok in line.split_ascii_whitespace() {
+            *self.counts.entry(tok.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// The `k` most frequent tokens, descending (ties alphabetical).
+    pub fn top(&self, k: usize) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> = self.counts.iter().map(|(t, c)| (t.as_str(), *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+impl Default for TopTokens {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithrilog_query::parse;
+
+    #[test]
+    fn template_counts_from_tagged_scan() {
+        let q = parse("(RAS AND INFO) OR pbs_mom:").unwrap();
+        let p = FilterPipeline::compile(&q).unwrap();
+        let text = b"RAS INFO one\npbs_mom: two\nRAS INFO three\nother\n";
+        let counts = TemplateCounts::scan(&p, text);
+        assert_eq!(counts.count(0), 2);
+        assert_eq!(counts.count(1), 1);
+        assert_eq!(counts.unmatched(), 1);
+        assert_eq!(counts.total(), 4);
+        assert_eq!(counts.ranking()[0], (0, 2));
+    }
+
+    #[test]
+    fn epoch_extraction_matches_hpc4_formats() {
+        assert_eq!(
+            extract_epoch("- 1117838570 2005.06.03 R02-M1 RAS KERNEL INFO x"),
+            Some(1_117_838_570)
+        );
+        assert_eq!(extract_epoch("nonsense"), None);
+        assert_eq!(extract_epoch(""), None);
+        assert_eq!(extract_epoch("- notanumber rest"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_by_width() {
+        let mut h = TimeHistogram::new(10);
+        for e in [100, 101, 109, 110, 125] {
+            h.record_epoch(e);
+        }
+        assert_eq!(h.bucket_count(), 3);
+        assert_eq!(h.series(), vec![(100, 3), (110, 1), (120, 1)]);
+        assert!((h.mean_rate() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_records_filtered_lines() {
+        let mut h = TimeHistogram::new(60);
+        h.record_lines([
+            "- 1000 2005.06.03 n RAS x",
+            "- 1030 2005.06.03 n RAS y",
+            "- 1070 2005.06.03 n RAS z",
+            "garbage line",
+        ]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bucket_count(), 2);
+    }
+
+    #[test]
+    fn top_tokens_ranks_by_frequency() {
+        let mut t = TopTokens::new();
+        t.record_line("a b a c a b");
+        t.record_line("b z");
+        let top = t.top(2);
+        assert_eq!(top, vec![("a", 3), ("b", 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_bucket_width_panics() {
+        TimeHistogram::new(0);
+    }
+}

@@ -1,0 +1,134 @@
+use crate::aggregate::TimeHistogram;
+
+/// A detected rate spike: a time bucket whose event count deviates from the
+/// corpus mean by more than the configured number of standard deviations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSpike {
+    /// Start epoch of the spiking bucket.
+    pub bucket_start: u64,
+    /// Events in the bucket.
+    pub count: u64,
+    /// Z-score of the bucket against the histogram's distribution.
+    pub z_score: f64,
+}
+
+/// Z-score spike detection over a [`TimeHistogram`] — the minimal useful
+/// instance of the paper's "detecting abnormal behavior and security
+/// issues" motivation (§1): filter the log down to the event class of
+/// interest at accelerator speed, then flag bursts in the survivors.
+#[derive(Debug, Clone, Copy)]
+pub struct RateSpikeDetector {
+    /// Z-score threshold above which a bucket is a spike.
+    pub threshold: f64,
+}
+
+impl RateSpikeDetector {
+    /// Creates a detector with the given z-score threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        RateSpikeDetector { threshold }
+    }
+
+    /// Finds spiking buckets, ordered by time.
+    ///
+    /// Uses the population mean/stddev over *non-empty* buckets; histograms
+    /// with fewer than 3 buckets or zero variance yield no spikes (nothing
+    /// to deviate from).
+    pub fn detect(&self, histogram: &TimeHistogram) -> Vec<RateSpike> {
+        let series = histogram.series();
+        if series.len() < 3 {
+            return Vec::new();
+        }
+        let n = series.len() as f64;
+        let mean = series.iter().map(|(_, c)| *c as f64).sum::<f64>() / n;
+        let var = series
+            .iter()
+            .map(|(_, c)| {
+                let d = *c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        let sd = var.sqrt();
+        if sd == 0.0 {
+            return Vec::new();
+        }
+        series
+            .into_iter()
+            .filter_map(|(start, count)| {
+                let z = (count as f64 - mean) / sd;
+                (z > self.threshold).then_some(RateSpike {
+                    bucket_start: start,
+                    count,
+                    z_score: z,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Default for RateSpikeDetector {
+    fn default() -> Self {
+        RateSpikeDetector::new(3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram_with(counts: &[(u64, u64)]) -> TimeHistogram {
+        let mut h = TimeHistogram::new(60);
+        for &(bucket, count) in counts {
+            for i in 0..count {
+                h.record_epoch(bucket * 60 + i % 60);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn flat_traffic_has_no_spikes() {
+        let h = histogram_with(&[(0, 10), (1, 10), (2, 10), (3, 10)]);
+        assert!(RateSpikeDetector::default().detect(&h).is_empty());
+    }
+
+    #[test]
+    fn burst_is_detected() {
+        let mut counts: Vec<(u64, u64)> = (0..30).map(|b| (b, 10)).collect();
+        counts.push((30, 500));
+        let h = histogram_with(&counts);
+        let spikes = RateSpikeDetector::default().detect(&h);
+        assert_eq!(spikes.len(), 1);
+        assert_eq!(spikes[0].bucket_start, 30 * 60);
+        assert_eq!(spikes[0].count, 500);
+        assert!(spikes[0].z_score > 3.0);
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        let mut counts: Vec<(u64, u64)> = (0..20).map(|b| (b, 10)).collect();
+        counts.push((20, 25));
+        let h = histogram_with(&counts);
+        let strict = RateSpikeDetector::new(5.0).detect(&h);
+        let loose = RateSpikeDetector::new(1.5).detect(&h);
+        assert!(strict.len() <= loose.len());
+        assert!(!loose.is_empty());
+    }
+
+    #[test]
+    fn tiny_histograms_yield_nothing() {
+        let h = histogram_with(&[(0, 5), (1, 100)]);
+        assert!(RateSpikeDetector::default().detect(&h).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn non_positive_threshold_panics() {
+        RateSpikeDetector::new(0.0);
+    }
+}

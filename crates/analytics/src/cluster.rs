@@ -1,0 +1,257 @@
+//! K-means clustering of template-count windows — the "clustering" analysis
+//! the paper's §1 cites alongside PCA (Lin et al., "Log clustering based
+//! problem identification for online service systems") as a consumer of
+//! MithriLog's fast extraction.
+//!
+//! Windows with similar template mixes cluster together; a healthy system
+//! produces a few large clusters (its operating modes), and windows landing
+//! far from every centroid — or in tiny clusters — are problem candidates.
+
+use crate::pca::EventMatrix;
+
+/// Result of clustering the windows of an [`EventMatrix`].
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    centroids: Vec<Vec<f64>>,
+    assignment: Vec<usize>,
+    distances: Vec<f64>,
+}
+
+impl Clustering {
+    /// Clusters the matrix rows into `k` groups with Lloyd's algorithm and
+    /// deterministic farthest-point initialization (no RNG, so results are
+    /// reproducible).
+    ///
+    /// Rows are L1-normalized first: clustering is over template *mix*, not
+    /// volume, so a quiet minute and a busy minute of the same behaviour
+    /// land together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or `k` is zero.
+    pub fn fit(matrix: &EventMatrix, k: usize) -> Self {
+        assert!(matrix.windows() > 0, "cannot cluster an empty matrix");
+        assert!(k > 0, "need at least one cluster");
+        let rows: Vec<Vec<f64>> = (0..matrix.windows())
+            .map(|w| normalize_l1(matrix.row(w)))
+            .collect();
+        let k = k.min(rows.len());
+
+        // Farthest-point init: start from the row nearest the global mean,
+        // then repeatedly take the row farthest from all chosen centroids.
+        let d = rows[0].len();
+        let mean: Vec<f64> = (0..d)
+            .map(|i| rows.iter().map(|r| r[i]).sum::<f64>() / rows.len() as f64)
+            .collect();
+        let first = argmin(&rows, |r| dist2(r, &mean));
+        let mut centroids = vec![rows[first].clone()];
+        while centroids.len() < k {
+            let far = argmin(&rows, |r| {
+                -centroids
+                    .iter()
+                    .map(|c| dist2(r, c))
+                    .fold(f64::INFINITY, f64::min)
+            });
+            centroids.push(rows[far].clone());
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; rows.len()];
+        for _ in 0..100 {
+            let mut changed = false;
+            for (i, r) in rows.iter().enumerate() {
+                let best = argmin(&centroids, |c| dist2(r, c));
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            let mut sums = vec![vec![0.0; d]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (r, &a) in rows.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, v) in sums[a].iter_mut().zip(r) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count > 0 {
+                    *c = sum.iter().map(|s| s / *count as f64).collect();
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let distances = rows
+            .iter()
+            .zip(&assignment)
+            .map(|(r, &a)| dist2(r, &centroids[a]).sqrt())
+            .collect();
+        Clustering {
+            centroids,
+            assignment,
+            distances,
+        }
+    }
+
+    /// The cluster index of window `w`.
+    pub fn cluster_of(&self, w: usize) -> usize {
+        self.assignment[w]
+    }
+
+    /// The fitted centroids (over L1-normalized template mixes).
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Windows per cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignment {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Distance of window `w` to its centroid.
+    pub fn distance_of(&self, w: usize) -> f64 {
+        self.distances[w]
+    }
+
+    /// Windows in clusters holding at most `max_size` members, plus windows
+    /// whose centroid distance exceeds `distance_cut` — the problem
+    /// candidates, ordered by descending distance.
+    pub fn outliers(&self, max_size: usize, distance_cut: f64) -> Vec<usize> {
+        let sizes = self.sizes();
+        let mut out: Vec<usize> = (0..self.assignment.len())
+            .filter(|&w| {
+                sizes[self.assignment[w]] <= max_size || self.distances[w] > distance_cut
+            })
+            .collect();
+        out.sort_by(|&a, &b| self.distances[b].total_cmp(&self.distances[a]));
+        out
+    }
+}
+
+fn normalize_l1(row: &[f64]) -> Vec<f64> {
+    let total: f64 = row.iter().sum();
+    if total == 0.0 {
+        row.to_vec()
+    } else {
+        row.iter().map(|v| v / total).collect()
+    }
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn argmin<T>(items: &[T], score: impl Fn(&T) -> f64) -> usize {
+    let mut best = 0;
+    let mut best_score = f64::INFINITY;
+    for (i, it) in items.iter().enumerate() {
+        let s = score(it);
+        if s < best_score {
+            best_score = s;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two operating modes plus one oddball window.
+    fn matrix_two_modes() -> EventMatrix {
+        let mut m = EventMatrix::new(60, 3);
+        for w in 0..10u64 {
+            // Mode A: mostly template 0. Scale varies — mix is constant.
+            let scale = 1 + w % 3;
+            for _ in 0..8 * scale {
+                m.record(w * 60, 0);
+            }
+            for _ in 0..2 * scale {
+                m.record(w * 60, 1);
+            }
+        }
+        for w in 10..20u64 {
+            // Mode B: mostly template 1.
+            for _ in 0..2 {
+                m.record(w * 60, 0);
+            }
+            for _ in 0..8 {
+                m.record(w * 60, 1);
+            }
+        }
+        // Oddball window 20: pure template 2, never seen otherwise.
+        for _ in 0..10 {
+            m.record(20 * 60, 2);
+        }
+        m
+    }
+
+    #[test]
+    fn two_modes_separate_cleanly() {
+        let m = matrix_two_modes();
+        let c = Clustering::fit(&m, 3);
+        // All mode-A windows share a cluster, all mode-B windows share a
+        // different one.
+        let a = c.cluster_of(0);
+        for w in 0..10 {
+            assert_eq!(c.cluster_of(w), a, "window {w}");
+        }
+        let b = c.cluster_of(10);
+        assert_ne!(a, b);
+        for w in 10..20 {
+            assert_eq!(c.cluster_of(w), b, "window {w}");
+        }
+        assert_ne!(c.cluster_of(20), a);
+        assert_ne!(c.cluster_of(20), b);
+    }
+
+    #[test]
+    fn volume_does_not_split_clusters() {
+        // Mode-A windows differ 3x in volume but share the mix; L1
+        // normalization must keep them together (checked above) AND keep
+        // their centroid distance tiny.
+        let m = matrix_two_modes();
+        let c = Clustering::fit(&m, 3);
+        for w in 0..10 {
+            assert!(c.distance_of(w) < 0.05, "window {w}: {}", c.distance_of(w));
+        }
+    }
+
+    #[test]
+    fn oddball_window_is_an_outlier() {
+        let m = matrix_two_modes();
+        let c = Clustering::fit(&m, 3);
+        let outliers = c.outliers(1, f64::INFINITY);
+        assert_eq!(outliers, vec![20]);
+    }
+
+    #[test]
+    fn sizes_partition_the_windows() {
+        let m = matrix_two_modes();
+        let c = Clustering::fit(&m, 3);
+        assert_eq!(c.sizes().iter().sum::<usize>(), m.windows());
+    }
+
+    #[test]
+    fn k_larger_than_windows_is_clamped() {
+        let mut m = EventMatrix::new(60, 2);
+        m.record(0, 0);
+        m.record(60, 1);
+        let c = Clustering::fit(&m, 10);
+        assert!(c.centroids().len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cluster an empty matrix")]
+    fn empty_matrix_panics() {
+        let m = EventMatrix::new(60, 2);
+        Clustering::fit(&m, 2);
+    }
+}

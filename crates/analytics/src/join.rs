@@ -1,0 +1,142 @@
+//! Host-side join over filter outputs — the "join operations" the paper
+//! lists among the higher-order analytics it is building on top of
+//! MithriLog's fast data extraction (§8).
+//!
+//! The pattern: run two cheap accelerator queries to extract two event
+//! classes, then correlate them in host memory on an extracted key (node
+//! name, job id, user, …). A hash join suffices because the filter has
+//! already shrunk both sides by orders of magnitude.
+
+use std::collections::HashMap;
+
+/// A pair of lines joined on a common key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinedPair<'a> {
+    /// The join key both lines share.
+    pub key: String,
+    /// The line from the left (build) side.
+    pub left: &'a str,
+    /// The line from the right (probe) side.
+    pub right: &'a str,
+}
+
+/// Hash-joins two filtered result sets on a key extracted from each line.
+///
+/// `key_of` returns the join key for a line, or `None` to drop it (lines
+/// without the field). The left side is built into a hash table; the right
+/// side probes it, so put the smaller set on the left. Output order follows
+/// the right side, then left insertion order within a key.
+///
+/// # Example
+///
+/// ```
+/// use mithrilog_analytics::join_on;
+///
+/// let starts = ["node-1 job started", "node-2 job started"];
+/// let fails = ["node-2 job FAILED", "node-3 job FAILED"];
+/// let node = |l: &str| l.split_whitespace().next().map(str::to_string);
+/// let pairs = join_on(&starts, &fails, node);
+/// assert_eq!(pairs.len(), 1);
+/// assert_eq!(pairs[0].key, "node-2");
+/// ```
+pub fn join_on<'a, L, R, K>(left: &'a [L], right: &'a [R], key_of: K) -> Vec<JoinedPair<'a>>
+where
+    L: AsRef<str>,
+    R: AsRef<str>,
+    K: Fn(&str) -> Option<String>,
+{
+    let mut build: HashMap<String, Vec<&'a str>> = HashMap::new();
+    for l in left {
+        let l = l.as_ref();
+        if let Some(k) = key_of(l) {
+            build.entry(k).or_default().push(l);
+        }
+    }
+    let mut out = Vec::new();
+    for r in right {
+        let r = r.as_ref();
+        let Some(k) = key_of(r) else { continue };
+        if let Some(ls) = build.get(k.as_str()) {
+            for l in ls {
+                out.push(JoinedPair {
+                    key: k.clone(),
+                    left: l,
+                    right: r,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the source-node token of an HPC4-format line (4th whitespace
+/// field in every profile's line format) — the most common join key.
+pub fn extract_node(line: &str) -> Option<String> {
+    line.split_ascii_whitespace().nth(3).map(str::to_string)
+}
+
+/// Counts joined pairs per key — "which nodes had both event classes?".
+pub fn correlate_counts(pairs: &[JoinedPair<'_>]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for p in pairs {
+        *counts.entry(p.key.as_str()).or_default() += 1;
+    }
+    let mut v: Vec<(String, usize)> = counts
+        .into_iter()
+        .map(|(k, c)| (k.to_string(), c))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_join_matches_shared_keys_only() {
+        let left = ["a x1", "b x2", "a x3"];
+        let right = ["a y1", "c y2"];
+        let key = |l: &str| l.split_whitespace().next().map(str::to_string);
+        let pairs = join_on(&left, &right, key);
+        assert_eq!(pairs.len(), 2, "a x1/a y1 and a x3/a y1");
+        assert!(pairs.iter().all(|p| p.key == "a"));
+        assert_eq!(pairs[0].left, "a x1");
+        assert_eq!(pairs[1].left, "a x3");
+    }
+
+    #[test]
+    fn keyless_lines_are_dropped() {
+        let left = ["has-key v", ""];
+        let right = ["has-key w"];
+        let key = |l: &str| l.split_whitespace().next().map(str::to_string);
+        let pairs = join_on(&left, &right, key);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn empty_sides_yield_empty_join() {
+        let key = |l: &str| Some(l.to_string());
+        assert!(join_on::<&str, &str, _>(&[], &["x"], key).is_empty());
+        let key = |l: &str| Some(l.to_string());
+        assert!(join_on::<&str, &str, _>(&["x"], &[], key).is_empty());
+    }
+
+    #[test]
+    fn node_extraction_matches_hpc4_layout() {
+        let line = "- 1104566461 2005.01.01 sn042 Jan 1 12:01:01 sn042/sn042 kernel: ok";
+        assert_eq!(extract_node(line), Some("sn042".to_string()));
+        assert_eq!(extract_node("too short"), None);
+    }
+
+    #[test]
+    fn correlate_counts_ranks_keys() {
+        let left = ["n1 a", "n2 a", "n2 b"];
+        let right = ["n1 z", "n2 z"];
+        let key = |l: &str| l.split_whitespace().next().map(str::to_string);
+        let pairs = join_on(&left, &right, key);
+        let counts = correlate_counts(&pairs);
+        assert_eq!(counts[0], ("n2".to_string(), 2));
+        assert_eq!(counts[1], ("n1".to_string(), 1));
+    }
+}

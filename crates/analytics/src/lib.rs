@@ -1,0 +1,54 @@
+//! Host-side analytics over MithriLog filter output.
+//!
+//! The paper positions the near-storage filter as a fast *data extraction*
+//! stage: "more complex analytical operations such as principal component
+//! analysis or clustering can also be implemented to benefit from the fast
+//! data extraction capability of MithriLog" (§1), and lists "higher-order
+//! log analytics accelerators that process the output of the MithriLog
+//! system" as ongoing work (§8). This crate provides the host-software side
+//! of that story:
+//!
+//! * [`TemplateCounts`] — per-template line counts from a tagged multi-
+//!   template query (one accelerator pass tags every line with the
+//!   intersection set it satisfied);
+//! * [`TimeHistogram`] — event counts over time buckets, keyed by the
+//!   epoch token the HPC4 line formats carry;
+//! * [`RateSpikeDetector`] — a z-score spike detector over the histogram,
+//!   the simplest useful instance of the paper's anomaly-detection use
+//!   case;
+//! * [`join_on`] — a host-side hash join correlating two filtered event
+//!   classes on an extracted key (the §8 "join operations");
+//! * [`PcaModel`] — PCA anomaly detection over template-count windows, the
+//!   Xu-et-al. analysis the paper's §1 names as the canonical consumer of
+//!   fast log extraction;
+//! * [`Clustering`] — k-means over template mixes, §1's other cited
+//!   analysis (Lin et al. log clustering), finding operating modes and
+//!   problem-candidate windows.
+//!
+//! # Example
+//!
+//! ```
+//! use mithrilog_analytics::TimeHistogram;
+//!
+//! let mut h = TimeHistogram::new(60); // one-minute buckets
+//! h.record_epoch(1_117_838_570);
+//! h.record_epoch(1_117_838_575);
+//! h.record_epoch(1_117_838_700);
+//! assert_eq!(h.bucket_count(), 2);
+//! assert_eq!(h.total(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod anomaly;
+mod cluster;
+mod join;
+mod pca;
+
+pub use aggregate::{extract_epoch, TemplateCounts, TimeHistogram, TopTokens};
+pub use anomaly::{RateSpike, RateSpikeDetector};
+pub use join::{correlate_counts, extract_node, join_on, JoinedPair};
+pub use cluster::Clustering;
+pub use pca::{Component, EventMatrix, PcaModel, WindowAnomaly};

@@ -1,0 +1,364 @@
+//! PCA-based anomaly detection over template-count windows — the analysis
+//! the paper's introduction points at: "more complex analytical operations
+//! such as principal component analysis \[Xu et al., SOSP'09\] or clustering
+//! can also be implemented to benefit from the fast data extraction
+//! capability of MithriLog" (§1).
+//!
+//! Following Xu et al., the log is reduced to an *event count matrix*: one
+//! row per time window, one column per template, entries = how many lines
+//! of that template fell in that window (both produced by one tagged
+//! accelerator pass). PCA learns the normal-subspace of row patterns; a
+//! window whose residual outside that subspace is large is anomalous —
+//! e.g. a template mix that never co-occurs in healthy operation.
+
+/// The event count matrix: `rows[w][t]` = lines of template `t` in window
+/// `w`.
+#[derive(Debug, Clone)]
+pub struct EventMatrix {
+    window_secs: u64,
+    templates: usize,
+    /// Sorted window start epochs, parallel to `rows`.
+    window_starts: Vec<u64>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl EventMatrix {
+    /// Creates an empty matrix for `templates` template slots and
+    /// `window_secs`-second windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` or `templates` is zero.
+    pub fn new(window_secs: u64, templates: usize) -> Self {
+        assert!(window_secs > 0, "window width must be positive");
+        assert!(templates > 0, "need at least one template column");
+        EventMatrix {
+            window_secs,
+            templates,
+            window_starts: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one event: a line of template `template` at `epoch`.
+    /// Windows are created on demand; events may arrive out of order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template` is out of range.
+    pub fn record(&mut self, epoch: u64, template: usize) {
+        assert!(template < self.templates, "template {template} out of range");
+        let start = epoch / self.window_secs * self.window_secs;
+        let idx = match self.window_starts.binary_search(&start) {
+            Ok(i) => i,
+            Err(i) => {
+                self.window_starts.insert(i, start);
+                self.rows.insert(i, vec![0.0; self.templates]);
+                i
+            }
+        };
+        self.rows[idx][template] += 1.0;
+    }
+
+    /// Number of (non-empty) windows.
+    pub fn windows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of template columns.
+    pub fn templates(&self) -> usize {
+        self.templates
+    }
+
+    /// Start epoch of window `w`.
+    pub fn window_start(&self, w: usize) -> u64 {
+        self.window_starts[w]
+    }
+
+    /// The raw count row of window `w`.
+    pub fn row(&self, w: usize) -> &[f64] {
+        &self.rows[w]
+    }
+}
+
+/// One principal component with its share of the total variance.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Unit direction in template space.
+    pub direction: Vec<f64>,
+    /// Eigenvalue (variance captured along the direction).
+    pub variance: f64,
+}
+
+/// A fitted PCA anomaly model.
+#[derive(Debug, Clone)]
+pub struct PcaModel {
+    mean: Vec<f64>,
+    components: Vec<Component>,
+}
+
+/// A window flagged as anomalous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAnomaly {
+    /// Index of the window in the matrix.
+    pub window: usize,
+    /// Start epoch of the window.
+    pub window_start: u64,
+    /// Residual norm outside the normal subspace.
+    pub residual: f64,
+}
+
+impl PcaModel {
+    /// Fits `k` principal components to the matrix via mean-centering and
+    /// power iteration with deflation (sufficient for the small template
+    /// counts of log analytics; no external linear algebra needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no windows or `k` is zero.
+    pub fn fit(matrix: &EventMatrix, k: usize) -> Self {
+        assert!(matrix.windows() > 0, "cannot fit an empty matrix");
+        assert!(k > 0, "need at least one component");
+        let d = matrix.templates();
+        let n = matrix.windows() as f64;
+        let mut mean = vec![0.0; d];
+        for row in &matrix.rows {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v / n;
+            }
+        }
+        let centered: Vec<Vec<f64>> = matrix
+            .rows
+            .iter()
+            .map(|row| row.iter().zip(&mean).map(|(v, m)| v - m).collect())
+            .collect();
+
+        // Covariance-free power iteration: repeatedly apply Xᵀ(Xv).
+        let mut components = Vec::new();
+        let mut deflated = centered;
+        for comp in 0..k.min(d) {
+            // Deterministic non-degenerate start vector.
+            let mut v: Vec<f64> = (0..d)
+                .map(|i| if i % (comp + 2) == 0 { 1.0 } else { 0.5 })
+                .collect();
+            normalize(&mut v);
+            let mut eigen = 0.0;
+            for _ in 0..200 {
+                let mut next = vec![0.0; d];
+                for row in &deflated {
+                    let proj: f64 = dot(row, &v);
+                    for (n_i, r_i) in next.iter_mut().zip(row) {
+                        *n_i += proj * r_i;
+                    }
+                }
+                eigen = norm(&next);
+                if eigen < 1e-12 {
+                    break;
+                }
+                for x in &mut next {
+                    *x /= eigen;
+                }
+                let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+                v = next;
+                if delta < 1e-10 {
+                    break;
+                }
+            }
+            if eigen < 1e-12 {
+                break;
+            }
+            // Deflate: remove the component from every row.
+            for row in &mut deflated {
+                let proj = dot(row, &v);
+                for (r_i, v_i) in row.iter_mut().zip(&v) {
+                    *r_i -= proj * v_i;
+                }
+            }
+            components.push(Component {
+                direction: v,
+                variance: eigen / n,
+            });
+        }
+        PcaModel { mean, components }
+    }
+
+    /// The fitted components, strongest first.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Residual norm of one count row outside the normal subspace.
+    pub fn residual(&self, row: &[f64]) -> f64 {
+        let mut centered: Vec<f64> = row.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        for c in &self.components {
+            let proj = dot(&centered, &c.direction);
+            for (x, d) in centered.iter_mut().zip(&c.direction) {
+                *x -= proj * d;
+            }
+        }
+        norm(&centered)
+    }
+
+    /// Flags windows whose residual exceeds `mean + threshold_sds × sd` of
+    /// the residual distribution, sorted by descending residual.
+    pub fn detect(&self, matrix: &EventMatrix, threshold_sds: f64) -> Vec<WindowAnomaly> {
+        let residuals: Vec<f64> = matrix.rows.iter().map(|r| self.residual(r)).collect();
+        let n = residuals.len() as f64;
+        let mean = residuals.iter().sum::<f64>() / n;
+        let var = residuals.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+        let cutoff = mean + threshold_sds * var.sqrt();
+        let mut out: Vec<WindowAnomaly> = residuals
+            .into_iter()
+            .enumerate()
+            .filter(|(_, r)| *r > cutoff && var > 1e-12)
+            .map(|(w, residual)| WindowAnomaly {
+                window: w,
+                window_start: matrix.window_start(w),
+                residual,
+            })
+            .collect();
+        out.sort_by(|a, b| b.residual.total_cmp(&a.residual));
+        out
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+fn normalize(a: &mut [f64]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corpus where templates 0 and 1 always move together (2:1 ratio)
+    /// except in one window where template 1 explodes alone.
+    fn matrix_with_anomaly() -> EventMatrix {
+        let mut m = EventMatrix::new(60, 2);
+        for w in 0..40u64 {
+            let base = 10.0 + (w % 5) as f64 * 4.0;
+            for _ in 0..(2.0 * base) as u64 {
+                m.record(w * 60, 0);
+            }
+            for _ in 0..base as u64 {
+                m.record(w * 60, 1);
+            }
+        }
+        // Anomalous window 40: template 1 without its partner.
+        for _ in 0..60 {
+            m.record(40 * 60, 1);
+        }
+        m
+    }
+
+    #[test]
+    fn matrix_buckets_events() {
+        let mut m = EventMatrix::new(10, 3);
+        m.record(5, 0);
+        m.record(9, 0);
+        m.record(10, 2);
+        m.record(7, 1);
+        assert_eq!(m.windows(), 2);
+        assert_eq!(m.row(0), &[2.0, 1.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0, 1.0]);
+        assert_eq!(m.window_start(1), 10);
+    }
+
+    #[test]
+    fn out_of_order_events_land_in_sorted_windows() {
+        let mut m = EventMatrix::new(10, 1);
+        m.record(100, 0);
+        m.record(5, 0);
+        m.record(55, 0);
+        let starts: Vec<u64> = (0..m.windows()).map(|w| m.window_start(w)).collect();
+        assert_eq!(starts, vec![0, 50, 100]);
+    }
+
+    #[test]
+    fn first_component_captures_the_correlated_direction() {
+        // Clean correlated traffic (no outlier window): counts move along
+        // (2, 1)/√5, so the first component's ratio must be ≈2.
+        let mut m = EventMatrix::new(60, 2);
+        for w in 0..40u64 {
+            let base = 10.0 + (w % 5) as f64 * 4.0;
+            for _ in 0..(2.0 * base) as u64 {
+                m.record(w * 60, 0);
+            }
+            for _ in 0..base as u64 {
+                m.record(w * 60, 1);
+            }
+        }
+        let model = PcaModel::fit(&m, 1);
+        let c = &model.components()[0];
+        let ratio = (c.direction[0] / c.direction[1]).abs();
+        assert!((ratio - 2.0).abs() < 0.1, "direction ratio {ratio}");
+        assert!(c.variance > 0.0);
+    }
+
+    #[test]
+    fn anomalous_window_has_the_top_residual() {
+        let m = matrix_with_anomaly();
+        let model = PcaModel::fit(&m, 1);
+        let anomalies = model.detect(&m, 3.0);
+        assert!(!anomalies.is_empty(), "the broken-ratio window must be flagged");
+        assert_eq!(anomalies[0].window, 40);
+        assert_eq!(anomalies[0].window_start, 2400);
+    }
+
+    #[test]
+    fn healthy_traffic_yields_no_anomalies() {
+        let mut m = EventMatrix::new(60, 2);
+        for w in 0..30u64 {
+            for _ in 0..20 {
+                m.record(w * 60, 0);
+            }
+            for _ in 0..10 {
+                m.record(w * 60, 1);
+            }
+        }
+        let model = PcaModel::fit(&m, 1);
+        assert!(model.detect(&m, 3.0).is_empty());
+    }
+
+    #[test]
+    fn residual_is_zero_inside_the_subspace() {
+        let m = matrix_with_anomaly();
+        let model = PcaModel::fit(&m, 2); // full rank for 2 templates
+        // With as many components as dimensions, residuals vanish.
+        for w in 0..m.windows() {
+            assert!(model.residual(m.row(w)) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let m = matrix_with_anomaly();
+        let model = PcaModel::fit(&m, 2);
+        let cs = model.components();
+        for c in cs {
+            assert!((norm(&c.direction) - 1.0).abs() < 1e-6);
+        }
+        if cs.len() == 2 {
+            assert!(dot(&cs[0].direction, &cs[1].direction).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit an empty matrix")]
+    fn empty_matrix_panics() {
+        let m = EventMatrix::new(60, 2);
+        PcaModel::fit(&m, 1);
+    }
+}

@@ -1,0 +1,196 @@
+use mithrilog_query::Query;
+
+use crate::table::LogTable;
+
+/// The MonetDB-style full-scan engine: multi-threaded scan of a
+/// single-VARCHAR-column table with substring (`LIKE '%term%'`) matching.
+///
+/// Matching cost is deliberately per-term — each term of each intersection
+/// set performs its own substring search over the line, short-circuiting
+/// like SQL's `AND`/`OR` — so larger query combinations cost more CPU per
+/// byte, reproducing the paper's observation that MonetDB's effective
+/// throughput falls as batched queries grow (Table 6).
+#[derive(Debug, Clone)]
+pub struct ScanEngine {
+    threads: usize,
+}
+
+impl ScanEngine {
+    /// Creates an engine using the comparison machine's 12 hyper-threads.
+    pub fn new() -> Self {
+        Self::with_threads(12)
+    }
+
+    /// Creates an engine with an explicit thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        ScanEngine { threads }
+    }
+
+    /// Thread count in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Scans the whole table, returning the number of matching lines.
+    pub fn count_matches(&self, table: &LogTable, query: &Query) -> u64 {
+        let chunks = table.chunks(self.threads);
+        if chunks.len() <= 1 {
+            return chunks
+                .first()
+                .map(|r| scan_range(table, query, r.clone()))
+                .unwrap_or(0);
+        }
+        let mut total = 0u64;
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|r| s.spawn(move |_| scan_range(table, query, r)))
+                .collect();
+            for h in handles {
+                total += h.join().expect("scan worker panicked");
+            }
+        })
+        .expect("scope");
+        total
+    }
+
+    /// Scans and collects matching line indices (used by tests and the
+    /// cross-engine consistency checks).
+    pub fn matching_lines(&self, table: &LogTable, query: &Query) -> Vec<usize> {
+        (0..table.len())
+            .filter(|&i| line_matches_substring(table.line(i), query))
+            .collect()
+    }
+}
+
+impl Default for ScanEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn scan_range(table: &LogTable, query: &Query, range: std::ops::Range<usize>) -> u64 {
+    range
+        .filter(|&i| line_matches_substring(table.line(i), query))
+        .count() as u64
+}
+
+/// Substring semantics: `term` matches if it occurs anywhere in the line —
+/// `WHERE col LIKE '%term%'`. Negated terms are `NOT LIKE`.
+pub(crate) fn line_matches_substring(line: &[u8], query: &Query) -> bool {
+    query.sets().iter().any(|set| {
+        set.terms()
+            .iter()
+            .all(|t| contains(line, t.token().as_bytes()) != t.is_negated())
+    })
+}
+
+/// Naive byte-level substring search — representative of a tuned but
+/// general scan kernel.
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return needle.is_empty();
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// The simplest baseline: a sequential grep-style scan counting lines that
+/// match the query under substring semantics.
+pub fn grep_scan(table: &LogTable, query: &Query) -> u64 {
+    (0..table.len())
+        .filter(|&i| line_matches_substring(table.line(i), query))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithrilog_query::parse;
+
+    fn table() -> LogTable {
+        LogTable::from_text(
+            b"RAS KERNEL INFO cache parity error corrected\n\
+              RAS KERNEL FATAL data storage interrupt\n\
+              RAS APP FATAL ciod: Error loading program\n\
+              pbs_mom: job 1234 started\n",
+        )
+    }
+
+    #[test]
+    fn substring_conjunction() {
+        let q = parse("KERNEL AND FATAL").unwrap();
+        assert_eq!(ScanEngine::with_threads(1).count_matches(&table(), &q), 1);
+    }
+
+    #[test]
+    fn substring_negation() {
+        let q = parse("FATAL AND NOT ciod:").unwrap();
+        assert_eq!(ScanEngine::with_threads(1).count_matches(&table(), &q), 1);
+    }
+
+    #[test]
+    fn substring_matches_inside_tokens() {
+        // This is the semantic difference to token matching: "KERN" matches
+        // as a substring of "KERNEL".
+        let q = parse("KERN").unwrap();
+        assert_eq!(ScanEngine::with_threads(1).count_matches(&table(), &q), 2);
+        assert!(!q.matches_line("RAS KERNEL INFO"), "token semantics differ");
+    }
+
+    #[test]
+    fn multithreaded_matches_single_threaded() {
+        let text: Vec<u8> = (0..5000)
+            .map(|i| {
+                format!(
+                    "node-{} status {} seq {}\n",
+                    i % 13,
+                    if i % 7 == 0 { "FAIL" } else { "OK" },
+                    i
+                )
+            })
+            .collect::<String>()
+            .into_bytes();
+        let t = LogTable::from_text(&text);
+        let q = parse("FAIL AND node-3").unwrap();
+        let single = ScanEngine::with_threads(1).count_matches(&t, &q);
+        let multi = ScanEngine::with_threads(12).count_matches(&t, &q);
+        assert_eq!(single, multi);
+        assert!(single > 0);
+    }
+
+    #[test]
+    fn grep_scan_agrees_with_engine() {
+        let q = parse("RAS AND NOT APP").unwrap();
+        let t = table();
+        assert_eq!(
+            grep_scan(&t, &q),
+            ScanEngine::with_threads(4).count_matches(&t, &q)
+        );
+    }
+
+    #[test]
+    fn matching_lines_returns_indices() {
+        let q = parse("FATAL").unwrap();
+        assert_eq!(
+            ScanEngine::new().matching_lines(&table(), &q),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn union_semantics() {
+        let q = parse("pbs_mom: OR ciod:").unwrap();
+        assert_eq!(ScanEngine::with_threads(2).count_matches(&table(), &q), 2);
+    }
+
+    #[test]
+    fn empty_table_zero_matches() {
+        let q = parse("x").unwrap();
+        assert_eq!(ScanEngine::new().count_matches(&LogTable::from_text(b""), &q), 0);
+    }
+}

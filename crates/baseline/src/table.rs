@@ -1,0 +1,239 @@
+/// A log corpus stored as one flat buffer plus line offsets — the layout of
+/// a single-VARCHAR-column table (paper §7.4.2: "we store all lines for
+/// each dataset in a table with a single VARCHAR column").
+#[derive(Debug, Clone)]
+pub struct LogTable {
+    text: Vec<u8>,
+    /// Byte offset of the start of each line; a final sentinel holds
+    /// `text.len()`.
+    offsets: Vec<usize>,
+}
+
+impl LogTable {
+    /// Builds a table from raw log text (lines split on `\n`, empty lines
+    /// dropped).
+    pub fn from_text(text: &[u8]) -> Self {
+        let mut offsets = Vec::new();
+        let mut flat = Vec::with_capacity(text.len());
+        for line in text.split(|b| *b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            offsets.push(flat.len());
+            flat.extend_from_slice(line);
+        }
+        offsets.push(flat.len());
+        LogTable {
+            text: flat,
+            offsets,
+        }
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the table has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of line text (excluding newlines).
+    pub fn bytes(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Returns line `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn line(&self, i: usize) -> &[u8] {
+        &self.text[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Iterates over all lines.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.len()).map(move |i| self.line(i))
+    }
+
+    /// Splits the line range into `n` near-equal chunks for parallel scans.
+    pub fn chunks(&self, n: usize) -> Vec<std::ops::Range<usize>> {
+        let n = n.max(1);
+        let len = self.len();
+        let per = len.div_ceil(n).max(1);
+        (0..len)
+            .step_by(per)
+            .map(|start| start..(start + per).min(len))
+            .collect()
+    }
+}
+
+/// A log table stored as LZ4-compressed blocks, decompressed on the scan
+/// path — modeling the column-store compression that let MonetDB "overcome
+/// the PCIe bottleneck" in the paper's comparison (§7.4.2): scans trade
+/// storage bandwidth for extra CPU work per block.
+#[derive(Debug, Clone)]
+pub struct CompressedLogTable {
+    blocks: Vec<Vec<u8>>,
+    raw_bytes: usize,
+    lines: usize,
+}
+
+impl CompressedLogTable {
+    /// Compresses `text` into blocks of roughly `block_bytes` of raw lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero.
+    pub fn from_text(text: &[u8], block_bytes: usize) -> Self {
+        use mithrilog_compress::Codec;
+        assert!(block_bytes > 0, "block size must be positive");
+        let codec = mithrilog_compress::Lz4::new();
+        let mut blocks = Vec::new();
+        let mut current = Vec::with_capacity(block_bytes);
+        let mut lines = 0usize;
+        let mut raw_bytes = 0usize;
+        for line in text.split_inclusive(|&b| b == b'\n') {
+            if line == b"\n" {
+                continue;
+            }
+            lines += 1;
+            raw_bytes += line.len();
+            current.extend_from_slice(line);
+            if current.len() >= block_bytes {
+                blocks.push(codec.compress(&current));
+                current.clear();
+            }
+        }
+        if !current.is_empty() {
+            blocks.push(codec.compress(&current));
+        }
+        CompressedLogTable {
+            blocks,
+            raw_bytes,
+            lines,
+        }
+    }
+
+    /// Number of compressed blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Lines stored.
+    pub fn len(&self) -> usize {
+        self.lines
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lines == 0
+    }
+
+    /// Raw bytes stored (before compression).
+    pub fn raw_bytes(&self) -> usize {
+        self.raw_bytes
+    }
+
+    /// Compressed footprint in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// Scans all blocks, decompressing each and invoking `visit` per line.
+    /// Returns the number of lines for which `visit` returned true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block fails to decompress (the table is in-memory and
+    /// immutable, so that indicates a construction bug, not runtime input).
+    pub fn scan_count(&self, mut visit: impl FnMut(&[u8]) -> bool) -> u64 {
+        use mithrilog_compress::Codec;
+        let codec = mithrilog_compress::Lz4::new();
+        let mut n = 0u64;
+        for block in &self.blocks {
+            let raw = codec.decompress(block).expect("in-memory block is valid");
+            for line in raw.split(|&b| b == b'\n') {
+                if !line.is_empty() && visit(line) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_indexes_lines() {
+        let t = LogTable::from_text(b"one two\nthree\n\nfour\n");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.line(0), b"one two");
+        assert_eq!(t.line(1), b"three");
+        assert_eq!(t.line(2), b"four");
+        assert_eq!(t.bytes(), 7 + 5 + 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_text_is_empty_table() {
+        let t = LogTable::from_text(b"");
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_visits_all_lines_in_order() {
+        let t = LogTable::from_text(b"a\nb\nc\n");
+        let lines: Vec<&[u8]> = t.iter().collect();
+        assert_eq!(lines, vec![b"a".as_slice(), b"b", b"c"]);
+    }
+
+    #[test]
+    fn compressed_table_round_trips_lines() {
+        let text: Vec<u8> = (0..500)
+            .map(|i| format!("node-{} event {} status ok\n", i % 9, i))
+            .collect::<String>()
+            .into_bytes();
+        let plain = LogTable::from_text(&text);
+        let compressed = CompressedLogTable::from_text(&text, 4096);
+        assert_eq!(compressed.len(), plain.len());
+        assert!(compressed.block_count() > 1);
+        assert!(compressed.compressed_bytes() < compressed.raw_bytes());
+        // Scanning both representations yields identical counts.
+        let needle = b"node-3";
+        let want = plain
+            .iter()
+            .filter(|l| l.windows(needle.len()).any(|w| w == needle))
+            .count() as u64;
+        let got = compressed.scan_count(|l| l.windows(needle.len()).any(|w| w == needle));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn compressed_table_handles_empty_input() {
+        let t = CompressedLogTable::from_text(b"", 1024);
+        assert!(t.is_empty());
+        assert_eq!(t.block_count(), 0);
+        assert_eq!(t.scan_count(|_| true), 0);
+    }
+
+    #[test]
+    fn chunks_cover_everything_without_overlap() {
+        let t = LogTable::from_text(&b"x\n".repeat(100));
+        for n in [1, 3, 7, 12, 100, 200] {
+            let chunks = t.chunks(n);
+            let total: usize = chunks.iter().map(|r| r.len()).sum();
+            assert_eq!(total, 100, "n={n}");
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+}

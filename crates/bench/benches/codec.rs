@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks of the four codecs (Table 4/5 companion):
+//! compression and decompression throughput on 1 MB of Spirit2-profile
+//! log text.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mithrilog_compress::{Codec, Gzf, Lz4, Lzah, Lzrw1, Snappy};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+
+fn corpus() -> Vec<u8> {
+    generate(&DatasetSpec {
+        profile: DatasetProfile::Spirit2,
+        target_bytes: 1_000_000,
+        seed: 11,
+    })
+    .into_text()
+}
+
+fn codecs() -> Vec<Box<dyn Codec>> {
+    vec![
+        Box::new(Lzah::default()),
+        Box::new(Lzrw1::new()),
+        Box::new(Lz4::new()),
+        Box::new(Snappy::new()),
+        Box::new(Gzf::new()),
+    ]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data = corpus();
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for codec in codecs() {
+        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &data, |b, d| {
+            b.iter(|| codec.compress(d));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data = corpus();
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for codec in codecs() {
+        let packed = codec.compress(&data);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(codec.name()),
+            &packed,
+            |b, p| {
+                b.iter(|| codec.decompress(p).expect("round trip"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

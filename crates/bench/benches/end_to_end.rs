@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the full MithriLog system: ingest and
+//! end-to-end query execution (indexed vs forced full scan).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog::{MithriLog, SystemConfig};
+
+fn corpus() -> Vec<u8> {
+    generate(&DatasetSpec {
+        profile: DatasetProfile::Bgl2,
+        target_bytes: 2_000_000,
+        seed: 77,
+    })
+    .into_text()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let data = corpus();
+    let mut group = c.benchmark_group("system_ingest");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("compress_store_index", |b| {
+        b.iter(|| {
+            let mut s = MithriLog::new(SystemConfig::default());
+            s.ingest(&data).expect("ingest").data_pages
+        });
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let data = corpus();
+    let mut indexed = MithriLog::new(SystemConfig::default());
+    indexed.ingest(&data).expect("ingest");
+    let mut fullscan = MithriLog::new(SystemConfig::full_scan_only());
+    fullscan.ingest(&data).expect("ingest");
+
+    let mut group = c.benchmark_group("system_query");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("indexed_selective", |b| {
+        b.iter(|| indexed.query_str("FATAL AND ciod:").expect("query").match_count());
+    });
+    group.bench_function("indexed_negative_only", |b| {
+        b.iter(|| indexed.query_str("NOT KERNEL").expect("query").match_count());
+    });
+    group.bench_function("full_scan", |b| {
+        b.iter(|| fullscan.query_str("FATAL AND ciod:").expect("query").match_count());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks of the token filter (§4 companion): filtering
+//! throughput versus query complexity, demonstrating the paper's central
+//! claim that cost per byte is constant in the number of query terms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mithrilog_filter::FilterPipeline;
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog_query::{IntersectionSet, Query, Term};
+
+fn corpus() -> Vec<u8> {
+    generate(&DatasetSpec {
+        profile: DatasetProfile::Thunderbird,
+        target_bytes: 1_000_000,
+        seed: 23,
+    })
+    .into_text()
+}
+
+/// A query with `sets` intersection sets of `terms_per_set` terms each,
+/// built from tokens that occur in the corpus.
+fn query_of(sets: usize, terms_per_set: usize) -> Query {
+    let vocab = [
+        "kernel:", "sshd", "session", "opened", "root", "pbs_mom:", "terminated", "Accepted",
+        "publickey", "synchronized", "stratum", "DHCPDISCOVER", "eth0", "e1000", "scsi0",
+        "ib_sm.x", "crond(pam_unix)", "user", "from", "port",
+    ];
+    let sets: Vec<IntersectionSet> = (0..sets)
+        .map(|s| {
+            let mut set = IntersectionSet::new();
+            for t in 0..terms_per_set {
+                let tok = vocab[(s * 7 + t) % vocab.len()];
+                set.push(if t % 4 == 3 {
+                    Term::negative(tok)
+                } else {
+                    Term::positive(tok)
+                });
+            }
+            set
+        })
+        .collect();
+    Query::try_new(sets).expect("non-empty")
+}
+
+fn bench_filter_vs_complexity(c: &mut Criterion) {
+    let data = corpus();
+    let mut group = c.benchmark_group("filter_text");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for (sets, terms) in [(1, 2), (1, 8), (4, 8), (8, 12)] {
+        let q = query_of(sets, terms);
+        let pipeline = FilterPipeline::compile(&q).expect("compiles");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sets}sets_x_{terms}terms")),
+            &data,
+            |b, d| {
+                b.iter(|| pipeline.filter_text(d).count());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_query");
+    for (sets, terms) in [(1, 4), (8, 15)] {
+        let q = query_of(sets, terms);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sets}x{terms}")),
+            &q,
+            |b, q| {
+                b.iter(|| FilterPipeline::compile(q).expect("compiles"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_vs_complexity, bench_compile);
+criterion_main!(benches);

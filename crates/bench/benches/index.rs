@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks of the in-storage inverted index (§6
+//! companion): ingest rate and lookup latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mithrilog_index::{IndexParams, InvertedIndex};
+use mithrilog_storage::{DevicePerfModel, MemStore, PageId, SimSsd};
+
+fn ssd() -> SimSsd<MemStore> {
+    SimSsd::new(MemStore::new(4096), DevicePerfModel::bluedbm_prototype())
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_insert");
+    group.sample_size(10);
+    group.bench_function("10k_pages_x_8_tokens", |b| {
+        b.iter(|| {
+            let mut ssd = ssd();
+            let mut idx = InvertedIndex::new(IndexParams::default());
+            for p in 0..10_000u64 {
+                let toks: Vec<String> = (0..8).map(|t| format!("tok-{}", (p * 7 + t) % 500)).collect();
+                idx.insert_page_tokens(&mut ssd, PageId(p), toks.iter().map(|s| s.as_bytes()))
+                    .expect("insert");
+            }
+            idx.tokens_indexed()
+        });
+    });
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut ssd = ssd();
+    let mut idx = InvertedIndex::new(IndexParams::default());
+    for p in 0..50_000u64 {
+        let toks: Vec<String> = (0..4).map(|t| format!("tok-{}", (p * 3 + t) % 1000)).collect();
+        idx.insert_page_tokens(&mut ssd, PageId(p), toks.iter().map(|s| s.as_bytes()))
+            .expect("insert");
+    }
+    let mut group = c.benchmark_group("index_lookup");
+    group.bench_function("hot_token", |b| {
+        b.iter(|| idx.lookup(&mut ssd, b"tok-1").expect("lookup").len());
+    });
+    group.bench_function("absent_token", |b| {
+        b.iter(|| idx.lookup(&mut ssd, b"never-seen").expect("lookup").len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks of the tokenizer model (§4.1 companion),
+//! including the datapath-width sweep behind the 16-byte design decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog_tokenizer::{DatapathStats, Tokenizer, TokenizerConfig};
+
+fn corpus() -> Vec<u8> {
+    generate(&DatasetSpec {
+        profile: DatasetProfile::Liberty2,
+        target_bytes: 1_000_000,
+        seed: 5,
+    })
+    .into_text()
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let data = corpus();
+    let mut group = c.benchmark_group("tokenize");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for width in [8usize, 16, 32] {
+        let tok = Tokenizer::new(TokenizerConfig::with_word_bytes(width));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}B_words")),
+            &data,
+            |b, d| {
+                b.iter(|| {
+                    let mut words = 0usize;
+                    for line in tok.tokenize_text(d) {
+                        words += line.len();
+                    }
+                    words
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let data = corpus();
+    let mut group = c.benchmark_group("datapath_stats");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("collect", |b| {
+        b.iter(|| DatapathStats::of_text(&TokenizerConfig::default(), &data).useful_ratio());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenize, bench_stats);
+criterion_main!(benches);

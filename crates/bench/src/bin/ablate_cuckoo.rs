@@ -1,0 +1,67 @@
+//! Ablation: cuckoo hash load factor (§4.2.1 — "cuckoo hashes are known to
+//! typically succeed with load factor of 0.5 or below... we over-provision
+//! our hash table resources for this purpose").
+//!
+//! Measures placement success probability as the table fills, over many
+//! random token sets, justifying both the 0.5 compile-time load limit and
+//! the comparison against a plain single-hash table (which fails at the
+//! first collision).
+
+use mithrilog_bench::print_table;
+use mithrilog_filter::{CuckooTable, TokenHasher};
+
+/// Single-hash table baseline: fails on the first row collision.
+fn single_hash_succeeds(tokens: &[String], rows: usize) -> bool {
+    let hasher = TokenHasher::new(rows);
+    let mut used = vec![false; rows];
+    for t in tokens {
+        let r = hasher.h1(t.as_bytes());
+        if used[r] {
+            return false;
+        }
+        used[r] = true;
+    }
+    true
+}
+
+fn cuckoo_succeeds(tokens: &[String], rows: usize) -> bool {
+    let mut table = CuckooTable::new(rows, 16);
+    tokens
+        .iter()
+        .all(|t| table.insert(t.as_bytes(), 0, false).is_ok())
+}
+
+fn main() {
+    println!("Ablation — cuckoo vs single-hash placement success (256 rows, 200 trials/point)");
+    const ROWS: usize = 256;
+    const TRIALS: usize = 200;
+    let mut rows_out = Vec::new();
+    for load_pct in [25usize, 40, 50, 60, 75, 90] {
+        let n = ROWS * load_pct / 100;
+        let mut cuckoo_ok = 0;
+        let mut single_ok = 0;
+        for trial in 0..TRIALS {
+            let tokens: Vec<String> = (0..n)
+                .map(|i| format!("trial{trial}-token{i}"))
+                .collect();
+            cuckoo_ok += usize::from(cuckoo_succeeds(&tokens, ROWS));
+            single_ok += usize::from(single_hash_succeeds(&tokens, ROWS));
+        }
+        rows_out.push(vec![
+            format!("{load_pct}%"),
+            n.to_string(),
+            format!("{:.1}%", cuckoo_ok as f64 / TRIALS as f64 * 100.0),
+            format!("{:.1}%", single_ok as f64 / TRIALS as f64 * 100.0),
+        ]);
+    }
+    print_table(
+        "Placement success probability",
+        &["Load", "Tokens", "Cuckoo", "Single-hash"],
+        &rows_out,
+    );
+    println!(
+        "\nReading: at the paper's 0.5 provisioning, cuckoo placement essentially always\n\
+         succeeds while a single-hash table almost always fails — the compactness argument\n\
+         of §4.2.1."
+    );
+}

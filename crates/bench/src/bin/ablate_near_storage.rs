@@ -1,0 +1,82 @@
+//! Ablation: the paper's second contribution — "architectural methods of
+//! improving the effective bandwidth of storage, including the near-storage
+//! acceleration configuration and log-optimized compression accelerators"
+//! (§1, §3).
+//!
+//! Evaluates the 2×2 of {host-side, near-storage} × {raw, LZAH-compressed}
+//! feeds on the same filter engine, per dataset: near-storage placement
+//! buys the internal/external bandwidth differential (4.8 vs 3.1 GB/s), and
+//! compression multiplies whichever link feeds the decompressors.
+
+use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_compress::{Codec, Lzah};
+use mithrilog_sim::{AcceleratorConfig, DatasetInputs, ThroughputModel, MITHRILOG_PLATFORM};
+use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer, TokenizerConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Ablation — near-storage placement x compression (scale {} MB, seed {})",
+        args.scale_mb, args.seed
+    );
+    println!(
+        "Feeds: PCIe {} GB/s vs internal {} GB/s; compression multiplies the feed.",
+        f2(MITHRILOG_PLATFORM.external_gbps),
+        f2(MITHRILOG_PLATFORM.internal_gbps)
+    );
+
+    let tok_cfg = TokenizerConfig::default();
+    let tokenizer = Tokenizer::new(tok_cfg.clone());
+    let mut rows = Vec::new();
+    for ds in datasets(&args) {
+        let ratio = Lzah::default().ratio(ds.text());
+        let stats = DatapathStats::of_text(&tok_cfg, ds.text());
+        let mut sg = ScatterGather::new(tok_cfg.lanes);
+        sg.schedule_text(&tokenizer, ds.text());
+        let util = sg.occupancy().utilization;
+
+        let throughput = |feed_gbps: f64, compressed: bool| -> f64 {
+            let model = ThroughputModel::new(AcceleratorConfig {
+                storage_internal_gbps: feed_gbps,
+                ..AcceleratorConfig::prototype()
+            });
+            model
+                .effective_throughput(&DatasetInputs {
+                    compression_ratio: if compressed { ratio } else { 1.0 },
+                    tokenized_amplification: stats.amplification(),
+                    lane_utilization: util,
+                })
+                .total_gbps
+        };
+
+        let host_raw = throughput(MITHRILOG_PLATFORM.external_gbps, false);
+        let host_lzah = throughput(MITHRILOG_PLATFORM.external_gbps, true);
+        let near_raw = throughput(MITHRILOG_PLATFORM.internal_gbps, false);
+        let near_lzah = throughput(MITHRILOG_PLATFORM.internal_gbps, true);
+        rows.push(vec![
+            ds.name().to_string(),
+            f2(host_raw),
+            f2(near_raw),
+            f2(host_lzah),
+            f2(near_lzah),
+            format!("{}x", f2(near_lzah / host_raw)),
+        ]);
+    }
+    print_table(
+        "Effective filtering throughput (GB/s) under each configuration",
+        &[
+            "Dataset",
+            "Host + raw",
+            "Near + raw",
+            "Host + LZAH",
+            "Near + LZAH (paper)",
+            "Combined gain",
+        ],
+        &rows,
+    );
+    println!(
+        "\nReading: each technique alone helps (near-storage: +55% feed; compression: xratio),\n\
+         but only the combination saturates the 11-12.8 GB/s filter engines — the paper's\n\
+         'balanced performance between system components' (§1)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 14**: total effective throughput of the four
+//! filter pipelines per dataset, from the deterministic accelerator model
+//! driven by each dataset's *measured* compression ratio, datapath
+//! amplification and lane balance (§7.4.1).
+
+use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_compress::{Codec, Lzah};
+use mithrilog_sim::{AcceleratorConfig, DatasetInputs, ThroughputModel};
+use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer, TokenizerConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Figure 14 — filter engine effective throughput (scale {} MB, seed {})",
+        args.scale_mb, args.seed
+    );
+    println!("Paper: 11-12 GB/s on all datasets; BGL2 storage-bound at 12.62 GB/s of decompressed supply.");
+
+    let model = ThroughputModel::new(AcceleratorConfig::prototype());
+    let tok_cfg = TokenizerConfig::default();
+    let tokenizer = Tokenizer::new(tok_cfg.clone());
+    let mut rows = Vec::new();
+    for ds in datasets(&args) {
+        let ratio = Lzah::default().ratio(ds.text());
+        let stats = DatapathStats::of_text(&tok_cfg, ds.text());
+        let mut sg = ScatterGather::new(tok_cfg.lanes);
+        sg.schedule_text(&tokenizer, ds.text());
+        let inputs = DatasetInputs::from_stats(&stats, ratio, sg.occupancy().utilization);
+        let t = model.effective_throughput(&inputs);
+        rows.push(vec![
+            ds.name().to_string(),
+            f2(t.total_gbps),
+            t.bound_by.to_string(),
+            f2(ratio),
+            f2(inputs.tokenized_amplification),
+            format!("{:.1}%", inputs.lane_utilization * 100.0),
+            f2(t.storage_gbps),
+            f2(t.filter_gbps),
+        ]);
+    }
+    print_table(
+        "Figure 14: modeled filter-engine throughput (GB/s)",
+        &[
+            "Dataset",
+            "Total GB/s",
+            "Bound by",
+            "LZAH ratio",
+            "Amplif.",
+            "Lane util",
+            "Storage ceil",
+            "Filter ceil",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: every dataset lands between ~11 and 12.8 GB/s — about 4x the PCIe\n\
+         link — and the lowest-ratio dataset is the one bound by storage supply."
+    );
+}

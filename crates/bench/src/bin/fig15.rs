@@ -1,0 +1,52 @@
+//! Regenerates **Figure 15**: throughput histograms of the full-scan
+//! engines on single / 2-way / 8-way query batches, per dataset
+//! (§7.4.2). The scan engine's distribution shifts left as combinations
+//! grow; MithriLog sits in a single high bucket regardless of query.
+
+use mithrilog_baseline::{effective_throughput_gbps, time_query, LogTable, ScanEngine};
+use mithrilog_bench::{ascii_histogram, datasets, query_bank, HarnessArgs};
+use mithrilog_query::Query;
+use mithrilog::{MithriLog, SystemConfig};
+
+fn throughputs(engine: &ScanEngine, table: &LogTable, queries: &[Query], bytes: u64) -> Vec<f64> {
+    queries
+        .iter()
+        .map(|q| {
+            let m = time_query(|| engine.count_matches(table, q));
+            effective_throughput_gbps(bytes, m.elapsed)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Figure 15 — throughput histograms, scan engine vs MithriLog (scale {} MB, seed {})",
+        args.scale_mb, args.seed
+    );
+    let engine = ScanEngine::new();
+    for ds in datasets(&args) {
+        let bank = query_bank(&ds, args.seed);
+        let table = LogTable::from_text(ds.text());
+        let bytes = ds.text().len() as u64;
+        let mut system = MithriLog::new(SystemConfig::full_scan_only());
+        system.ingest(ds.text()).expect("ingest");
+        let accel = system.modeled_throughput().total_gbps;
+
+        println!("\n--- {} ---", ds.name());
+        for (label, queries) in [
+            ("single queries", &bank.singles),
+            ("2-query combinations", &bank.pairs),
+            ("8-query combinations", &bank.eights),
+        ] {
+            let tp = throughputs(&engine, &table, queries, bytes);
+            ascii_histogram(&format!("ScanEngine, {label} (n={})", tp.len()), &tp);
+            let accel_series = vec![accel; queries.len()];
+            ascii_histogram(&format!("MithriLog,  {label} (n={})", queries.len()), &accel_series);
+        }
+    }
+    println!(
+        "\nShape check: the scan engine's histogram moves left with larger combinations;\n\
+         MithriLog is a single constant bucket near the top of the axis."
+    );
+}

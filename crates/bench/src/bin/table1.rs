@@ -1,0 +1,29 @@
+//! Regenerates **Table 1**: dataset statistics (lines, size, FT-tree
+//! template count) for the four HPC4-profile corpora.
+
+use mithrilog_bench::{datasets, f2, ftree_config, print_table, HarnessArgs};
+use mithrilog_ftree::TemplateLibrary;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Table 1 — datasets (scale {} MB each, seed {})", args.scale_mb, args.seed);
+    println!("Paper values (full HPC4): lines 4.7M/265.5M/272.2M/211.2M, sizes 0.7/30/38/30 GB, templates 93/197/241/125");
+
+    let rows: Vec<Vec<String>> = datasets(&args)
+        .iter()
+        .map(|ds| {
+            let lib = TemplateLibrary::extract(ds.text(), &ftree_config());
+            vec![
+                ds.name().to_string(),
+                format!("{:.3}", ds.lines() as f64 / 1e6),
+                f2(ds.text().len() as f64 / 1e9),
+                lib.len().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: dataset statistics",
+        &["Dataset", "Lines (M)", "Size (GB)", "Templates"],
+        &rows,
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Table 2**: chip resource utilization of the MithriLog
+//! pipeline on a Xilinx VC707 (published synthesis results, encoded in
+//! `mithrilog-sim`).
+
+use mithrilog_bench::print_table;
+use mithrilog_sim::pipeline_resource_table;
+
+fn main() {
+    println!("Table 2 — chip resource utilization on VC707 (published prototype synthesis)");
+    let rows: Vec<Vec<String>> = pipeline_resource_table()
+        .iter()
+        .map(|m| {
+            vec![
+                m.module.to_string(),
+                format!("{} ({:.1}%)", m.luts, m.lut_fraction() * 100.0),
+                format!("{} ({:.1}%)", m.ramb36, m.ramb36_fraction() * 100.0),
+                format!("{} ({:.1}%)", m.ramb18, m.ramb18_fraction() * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2: chip resources",
+        &["Module", "LUTs", "RAMB36", "RAMB18"],
+        &rows,
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Table 4**: compression accelerator resource efficiency
+//! (GB/s, KLUT, GB/s/KLUT), plus the §7.4.3 HARE comparison, plus measured
+//! *software* throughput of this repo's codec implementations for context.
+
+use std::time::Instant;
+
+use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_compress::{Codec, Gzf, Lz4, Lzah, Lzrw1, Snappy};
+use mithrilog_sim::{codec_resource_table, hare_comparison};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Table 4 — codec resource efficiency (published FPGA figures + this repo's software throughput)");
+
+    let rows: Vec<Vec<String>> = codec_resource_table()
+        .iter()
+        .map(|c| {
+            vec![
+                c.algorithm.to_string(),
+                f2(c.gbps),
+                f2(c.kluts),
+                format!("{:.3}", c.gbps_per_klut()),
+                c.source.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 4: FPGA codec efficiency",
+        &["Algorithm", "GB/s", "KLUT", "GB/s/KLUT", "Source"],
+        &rows,
+    );
+
+    let h = hare_comparison();
+    println!(
+        "\n§7.4.3: HARE+LZRW ≈ {:.0} KLUT per GB/s vs MithriLog+LZAH ≈ {:.0} KLUT per GB/s ({:.1}x better)",
+        h.hare_kluts_per_gbps,
+        h.mithrilog_kluts_per_gbps,
+        h.hare_kluts_per_gbps / h.mithrilog_kluts_per_gbps
+    );
+
+    // Software throughput of this repo's implementations (laptop-scale).
+    let corpus = datasets(&args).remove(2).into_text(); // Spirit2
+    let codecs: Vec<Box<dyn Codec>> = vec![
+        Box::new(Lzah::default()),
+        Box::new(Lzrw1::new()),
+        Box::new(Lz4::new()),
+        Box::new(Snappy::new()),
+        Box::new(Gzf::new()),
+    ];
+    let mut rows = Vec::new();
+    for c in &codecs {
+        let t0 = Instant::now();
+        let packed = c.compress(&corpus);
+        let t_c = t0.elapsed();
+        let t0 = Instant::now();
+        let out = c.decompress(&packed).expect("round trip");
+        let t_d = t0.elapsed();
+        assert_eq!(out, corpus);
+        rows.push(vec![
+            c.name().to_string(),
+            f2(corpus.len() as f64 / t_c.as_secs_f64() / 1e6),
+            f2(corpus.len() as f64 / t_d.as_secs_f64() / 1e6),
+            f2(corpus.len() as f64 / packed.len() as f64),
+        ]);
+    }
+    print_table(
+        "Software codec throughput on Spirit2 profile (this machine)",
+        &["Codec", "Compress MB/s", "Decompress MB/s", "Ratio"],
+        &rows,
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Table 5**: compression ratios of LZAH vs LZRW1, LZ4 and
+//! a Gzip-class codec on all four dataset profiles.
+
+use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_compress::{Codec, Gzf, Lz4, Lzah, Lzrw1, Snappy};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Table 5 — compression ratios (scale {} MB/dataset, seed {})", args.scale_mb, args.seed);
+    println!("Paper: LZAH 2.63/3.85/6.60/7.35, LZRW1 4.39/5.79/6.00/3.89, LZ4 5.95/27.27/27.14/9.68, Gzip 11.82/47.93/45.04/15.79");
+
+    let sets = datasets(&args);
+    let codecs: Vec<(&str, Box<dyn Codec>)> = vec![
+        ("LZAH", Box::new(Lzah::default())),
+        ("LZRW1", Box::new(Lzrw1::new())),
+        ("LZ4", Box::new(Lz4::new())),
+        ("Snappy", Box::new(Snappy::new())),
+        ("Gzf (Gzip-class)", Box::new(Gzf::new())),
+    ];
+    let mut rows = Vec::new();
+    for (name, codec) in &codecs {
+        let mut row = vec![name.to_string()];
+        for ds in &sets {
+            row.push(format!("{}x", f2(codec.ratio(ds.text()))));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 5: compression effectiveness",
+        &["Algorithm", "BGL2", "Liberty2", "Spirit2", "Thunderbird"],
+        &rows,
+    );
+    println!(
+        "\nShape check: the general-purpose codecs out-compress LZAH; LZAH trades ratio for a\n\
+         deterministic one-word-per-cycle hardware decoder (3.2 GB/s/pipeline at 4 KLUTs)."
+    );
+}

@@ -1,0 +1,97 @@
+//! Regenerates **Table 6**: average effective throughput (GB/s) of 1-, 2-
+//! and 8-query batches on the MonetDB-style full-scan engine versus
+//! MithriLog, scanning the whole dataset for every query (§7.4.2: both
+//! systems configured without indexes).
+//!
+//! The scan engine's throughput is *measured* on this machine (12 worker
+//! threads, as in the paper); MithriLog's is the deterministic accelerator
+//! model driven by the dataset's measured compression ratio and datapath
+//! statistics — the paper's own observation is that it is constant
+//! regardless of query content.
+
+use mithrilog_baseline::{effective_throughput_gbps, time_query, LogTable, ScanEngine};
+use mithrilog_bench::{datasets, f2, print_table, query_bank, HarnessArgs};
+use mithrilog_query::Query;
+use mithrilog::{MithriLog, SystemConfig};
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn scan_batch(engine: &ScanEngine, table: &LogTable, queries: &[Query], bytes: u64) -> f64 {
+    let tputs: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            let m = time_query(|| engine.count_matches(table, q));
+            effective_throughput_gbps(bytes, m.elapsed)
+        })
+        .collect();
+    mean(&tputs)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Table 6 — average effective throughput of batched queries, GB/s (scale {} MB, seed {})",
+        args.scale_mb, args.seed
+    );
+    println!("Paper: MonetDB falls from ~0.6-2.8 (1q) to ~0.05-0.58 (8q); MithriLog constant at 11.2-11.8.");
+
+    let engine = ScanEngine::new();
+    let mut rows = Vec::new();
+    let mut improvements = Vec::new();
+    let names = ["BGL2", "Liberty2", "Spirit2", "Thunderbird"];
+    let mut scan_cols: Vec<[f64; 3]> = Vec::new();
+    let mut accel_cols: Vec<f64> = Vec::new();
+
+    for ds in datasets(&args) {
+        let bank = query_bank(&ds, args.seed);
+        let table = LogTable::from_text(ds.text());
+        let bytes = ds.text().len() as u64;
+
+        let s1 = scan_batch(&engine, &table, &bank.singles, bytes);
+        let s2 = scan_batch(&engine, &table, &bank.pairs, bytes);
+        let s8 = scan_batch(&engine, &table, &bank.eights, bytes);
+        scan_cols.push([s1, s2, s8]);
+
+        // MithriLog: ingest once; the modeled accelerator throughput is the
+        // effective full-scan rate and does not depend on the query.
+        let mut system = MithriLog::new(SystemConfig::full_scan_only());
+        system.ingest(ds.text()).expect("ingest");
+        let accel = system.modeled_throughput().total_gbps;
+        accel_cols.push(accel);
+
+        let improvement = mean(&[accel / s1, accel / s2, accel / s8]);
+        improvements.push(improvement);
+    }
+
+    for (row_name, idx) in [("1", 0usize), ("2", 1), ("8", 2)] {
+        let mut scan_row = vec![format!("ScanEngine{row_name}")];
+        let mut accel_row = vec![format!("MithriLog{row_name}")];
+        for d in 0..4 {
+            scan_row.push(f2(scan_cols[d][idx]));
+            accel_row.push(f2(accel_cols[d]));
+        }
+        rows.push(scan_row);
+        rows.push(accel_row);
+    }
+    let mut avg_row = vec!["Avg. improvement".to_string()];
+    for imp in &improvements {
+        avg_row.push(format!("{}x", f2(*imp)));
+    }
+    rows.push(avg_row);
+
+    print_table(
+        "Table 6: average effective throughput of batched queries (GB/s)",
+        &["System", names[0], names[1], names[2], names[3]],
+        &rows,
+    );
+    println!(
+        "\nShape check: scan throughput decreases with batch size (CPU-bound text matching);\n\
+         MithriLog is constant per dataset and an order of magnitude faster."
+    );
+}

@@ -1,0 +1,102 @@
+//! Regenerates **Table 7**: average end-to-end performance improvement of
+//! MithriLog over the Splunk-style indexed engine, across the full query
+//! bank (§7.5).
+//!
+//! Methodology mirrors the paper with both sides on device/cost models so
+//! the comparison is scale-stable:
+//!
+//! * the indexed engine runs each query *functionally* (exact result sets,
+//!   exact fetch-and-verify byte counts); its time is the paper-calibrated
+//!   [`SplunkCostModel`] — per-search overhead plus ~39 MB/s single-thread
+//!   event processing, divided by 12 hyper-threads in Splunk's favor;
+//! * MithriLog's time is the modeled prototype device time of the
+//!   functional end-to-end run (index probe → page stream → decompress →
+//!   filter).
+//!
+//! Both engines' *results* are asserted identical on every query.
+
+use std::time::Duration;
+
+use mithrilog_baseline::{IndexedEngine, LogTable, SplunkCostModel};
+use mithrilog_bench::{datasets, f2, print_table, query_bank, HarnessArgs};
+use mithrilog::{MithriLog, SystemConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Table 7 — average improvement over the indexed (Splunk-style) engine (scale {} MB, seed {})",
+        args.scale_mb, args.seed
+    );
+    println!("Paper: 9.93 / 352.26 / 201.20 / 86.32 (total-time ratio per dataset)");
+
+    let model = SplunkCostModel::paper_calibrated();
+    let mut rows = Vec::new();
+    for ds in datasets(&args) {
+        let bank = query_bank(&ds, args.seed);
+        let classes: [(&str, Vec<_>); 4] = [
+            ("singles", bank.singles.clone()),
+            ("pairs", bank.pairs.clone()),
+            ("eights", bank.eights.clone()),
+            ("negative-heavy", bank.negations.clone()),
+        ];
+
+        let table = LogTable::from_text(ds.text());
+        let splunk = IndexedEngine::build(&table);
+        let mut system = MithriLog::new(SystemConfig::default());
+        system.ingest(ds.text()).expect("ingest");
+
+        let mut splunk_total = Duration::ZERO;
+        let mut mithrilog_total = Duration::ZERO;
+        let mut total_queries = 0usize;
+        let mut class_ratios = Vec::new();
+        for (name, queries) in &classes {
+            let mut s_class = Duration::ZERO;
+            let mut m_class = Duration::ZERO;
+            for q in queries {
+                let run = splunk.execute(&table, q);
+                s_class += model.modeled_time(run.fetched_bytes);
+                let o = system.query(q).expect("query");
+                m_class += o.modeled_time;
+                assert_eq!(
+                    o.match_count(),
+                    run.match_count(),
+                    "engines disagreed on {q}"
+                );
+            }
+            class_ratios.push(format!(
+                "{name} {:.1}x",
+                s_class.as_secs_f64() / m_class.as_secs_f64().max(1e-12)
+            ));
+            splunk_total += s_class;
+            mithrilog_total += m_class;
+            total_queries += queries.len();
+        }
+        let ratio = splunk_total.as_secs_f64() / mithrilog_total.as_secs_f64().max(1e-12);
+        rows.push(vec![
+            ds.name().to_string(),
+            total_queries.to_string(),
+            format!("{:.3}", splunk_total.as_secs_f64()),
+            format!("{:.3}", mithrilog_total.as_secs_f64()),
+            format!("{}x", f2(ratio)),
+            class_ratios.join(", "),
+        ]);
+    }
+    print_table(
+        "Table 7: total end-to-end time over the full query bank",
+        &[
+            "Dataset",
+            "Queries",
+            "Splunk-model s (/12)",
+            "MithriLog s (modeled)",
+            "Improvement",
+            "By class",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: MithriLog wins on every class; the advantage is largest on the\n\
+         negative-heavy exploration queries (index cannot prune; the accelerator full-scans\n\
+         at wire speed) and grows with dataset scale — the paper's 30 GB corpora produce\n\
+         the 10-350x column, laptop-scale corpora proportionally less."
+    );
+}

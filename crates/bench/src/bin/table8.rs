@@ -1,0 +1,43 @@
+//! Regenerates **Table 8**: estimated power breakdown of the two
+//! platforms, plus the resulting performance-per-watt arithmetic (§7.6).
+
+use mithrilog_bench::{f2, print_table};
+use mithrilog_sim::PowerModel;
+
+fn main() {
+    println!("Table 8 — estimated power consumption breakdown");
+    let m = PowerModel::paper();
+    let rows = vec![
+        vec![
+            "CPU+Memory (W)".to_string(),
+            f2(m.mithrilog().cpu_memory_w),
+            f2(m.software().cpu_memory_w),
+        ],
+        vec![
+            "Total Storage (W)".to_string(),
+            f2(m.mithrilog().storage_w),
+            f2(m.software().storage_w),
+        ],
+        vec![
+            "2x FPGA (W)".to_string(),
+            f2(m.mithrilog().fpga_w),
+            f2(m.software().fpga_w),
+        ],
+        vec![
+            "Total (W)".to_string(),
+            f2(m.mithrilog().total_w()),
+            f2(m.software().total_w()),
+        ],
+    ];
+    print_table(
+        "Table 8: power breakdown",
+        &["Component", "MithriLog", "Software"],
+        &rows,
+    );
+    for speedup in [5.0, 10.0, 20.0] {
+        println!(
+            "At {speedup:.0}x measured speedup, performance/watt improves {}x",
+            f2(m.efficiency_improvement(speedup))
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary accepts `--scale <mb>` (dataset size per profile, default
+//! 4 MB) and `--seed <n>` (default 42), prints which paper artifact it
+//! regenerates, and emits the same rows/series the paper reports. Absolute
+//! numbers differ from the paper (simulated device, synthetic data,
+//! laptop CPU); EXPERIMENTS.md records the shape comparison.
+
+#![forbid(unsafe_code)]
+
+use mithrilog_ftree::{FtreeConfig, TemplateLibrary};
+use mithrilog_loggen::{generate, Dataset, DatasetProfile, DatasetSpec};
+use mithrilog_query::batch::{combine, BatchSpec};
+use mithrilog_query::Query;
+
+/// Command-line arguments shared by all harness binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// Dataset size per profile in megabytes.
+    pub scale_mb: f64,
+    /// RNG seed for dataset generation and query batching.
+    pub seed: u64,
+}
+
+impl HarnessArgs {
+    /// Parses `--scale <mb>` and `--seed <n>` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs {
+            scale_mb: 4.0,
+            seed: 42,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    args.scale_mb = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a number (MB)");
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale <mb-per-dataset>] [--seed <n>]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        args
+    }
+
+    /// Bytes per dataset.
+    pub fn target_bytes(&self) -> usize {
+        (self.scale_mb * 1_000_000.0) as usize
+    }
+}
+
+/// Generates all four HPC4-profile datasets at the configured scale.
+pub fn datasets(args: &HarnessArgs) -> Vec<Dataset> {
+    DatasetProfile::all()
+        .into_iter()
+        .map(|profile| {
+            generate(&DatasetSpec {
+                profile,
+                target_bytes: args.target_bytes(),
+                seed: args.seed,
+            })
+        })
+        .collect()
+}
+
+/// FT-tree extraction configuration used by the harness (paper §7.1 uses
+/// the FT-tree paper's parameters; these are the equivalents for the
+/// synthetic corpora).
+pub fn ftree_config() -> FtreeConfig {
+    FtreeConfig {
+        min_support: 8,
+        max_children: 24,
+        max_depth: 12,
+        min_leaf_fraction: 0.0002,
+    }
+}
+
+/// Extracts the template library and the three query banks of §7.1:
+/// all single-template queries, 100 OR-pairs, and 16 eight-way OR
+/// combinations — the same combinations for every engine under test.
+pub struct QueryBank {
+    /// The extracted template library.
+    pub library: TemplateLibrary,
+    /// One query per template.
+    pub singles: Vec<Query>,
+    /// 100 random 2-combinations.
+    pub pairs: Vec<Query>,
+    /// 16 random 8-combinations.
+    pub eights: Vec<Query>,
+    /// Negative-heavy exploration queries ("NOT A"-style, §7.5): the class
+    /// where inverted indexes cannot prune and a large subset of the log
+    /// must be processed — Figure 16's slow cluster.
+    pub negations: Vec<Query>,
+}
+
+impl QueryBank {
+    /// Every query in the bank, in a stable order.
+    pub fn all(&self) -> Vec<Query> {
+        self.singles
+            .iter()
+            .chain(self.pairs.iter())
+            .chain(self.eights.iter())
+            .chain(self.negations.iter())
+            .cloned()
+            .collect()
+    }
+}
+
+/// Builds the §7.1 query bank for one dataset.
+pub fn query_bank(dataset: &Dataset, seed: u64) -> QueryBank {
+    let library = TemplateLibrary::extract(dataset.text(), &ftree_config());
+    let singles = library.queries();
+    assert!(
+        singles.len() >= 8,
+        "{}: need at least 8 templates for 8-way batches, got {}",
+        dataset.name(),
+        singles.len()
+    );
+    let pairs = combine(&singles, BatchSpec::PAIRS, seed);
+    let eights = combine(&singles, BatchSpec::EIGHTS, seed ^ 0x5eed);
+    // One negated-template query per hot template: all its key tokens
+    // negated ("lines NOT from this template"), up to a dozen.
+    let negations: Vec<Query> = library
+        .iter()
+        .take(12)
+        .map(|t| {
+            let set: mithrilog_query::IntersectionSet = t
+                .tokens()
+                .iter()
+                .map(|tok| mithrilog_query::Term::negative(tok.clone()))
+                .collect();
+            Query::try_new(vec![set]).expect("template has tokens")
+        })
+        .collect();
+    QueryBank {
+        library,
+        singles,
+        pairs,
+        eights,
+        negations,
+    }
+}
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.to_vec());
+    line(widths.iter().map(|_| "---").collect());
+    for row in rows {
+        line(row.iter().map(String::as_str).collect());
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Renders an ASCII histogram over logarithmic-ish throughput buckets,
+/// mimicking Figure 15's non-linear x axis.
+pub fn ascii_histogram(label: &str, values_gbps: &[f64]) {
+    const EDGES: [f64; 10] = [0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 13.0];
+    let mut buckets = vec![0usize; EDGES.len()];
+    for &v in values_gbps {
+        let mut b = EDGES.len() - 1;
+        for i in 0..EDGES.len() - 1 {
+            if v >= EDGES[i] && v < EDGES[i + 1] {
+                b = i;
+                break;
+            }
+        }
+        buckets[b] += 1;
+    }
+    println!("  {label}");
+    for (i, count) in buckets.iter().enumerate() {
+        if *count == 0 {
+            continue;
+        }
+        let hi = if i + 1 < EDGES.len() {
+            format!("{:>6.2}", EDGES[i + 1])
+        } else {
+            "   inf".to_string()
+        };
+        println!(
+            "    [{:>6.2} - {hi}) GB/s | {:<50} {}",
+            EDGES[i],
+            "#".repeat((*count).min(50)),
+            count
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_bank_has_paper_shape() {
+        let ds = generate(&DatasetSpec {
+            profile: DatasetProfile::Spirit2,
+            target_bytes: 400_000,
+            seed: 1,
+        });
+        let bank = query_bank(&ds, 1);
+        assert!(bank.singles.len() >= 8);
+        assert_eq!(bank.pairs.len(), 100);
+        assert_eq!(bank.eights.len(), 16);
+        assert!(bank.pairs.iter().all(|q| q.sets().len() == 2));
+        assert!(bank.eights.iter().all(|q| q.sets().len() == 8));
+    }
+
+    #[test]
+    fn banks_are_deterministic() {
+        let ds = generate(&DatasetSpec {
+            profile: DatasetProfile::Bgl2,
+            target_bytes: 300_000,
+            seed: 9,
+        });
+        let a = query_bank(&ds, 7);
+        let b = query_bank(&ds, 7);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.eights, b.eights);
+    }
+
+    #[test]
+    fn all_four_datasets_generate() {
+        let args = HarnessArgs {
+            scale_mb: 0.2,
+            seed: 3,
+        };
+        let ds = datasets(&args);
+        assert_eq!(ds.len(), 4);
+        assert!(ds.iter().all(|d| d.text().len() >= 200_000));
+    }
+}

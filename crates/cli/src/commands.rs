@@ -1,0 +1,285 @@
+//! Implementations of the CLI subcommands.
+
+use std::error::Error;
+use std::fs;
+use std::time::Instant;
+
+use mithrilog::{MithriLog, SystemConfig};
+use mithrilog_analytics::{RateSpikeDetector, TemplateCounts, TimeHistogram};
+use mithrilog_compress::{Codec, Lzah};
+use mithrilog_filter::FilterPipeline;
+use mithrilog_ftree::{FtreeConfig, TemplateLibrary};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+fn read_log(path: &str) -> Result<Vec<u8>, Box<dyn Error>> {
+    Ok(fs::read(path).map_err(|e| format!("cannot read {path:?}: {e}"))?)
+}
+
+fn ingest(text: &[u8]) -> Result<MithriLog, Box<dyn Error>> {
+    let mut system = MithriLog::new(SystemConfig::default());
+    let t0 = Instant::now();
+    let report = system.ingest(text)?;
+    eprintln!(
+        "ingested {} lines / {} bytes into {} pages ({:.2}x LZAH) in {:.2?}",
+        report.lines,
+        report.raw_bytes,
+        report.data_pages,
+        report.compression_ratio(),
+        t0.elapsed()
+    );
+    Ok(system)
+}
+
+/// `mithrilog query <logfile> <query...>`
+pub fn query(args: &[String]) -> CliResult {
+    let (path, query_text) = split_path_query(args, "query")?;
+    let text = read_log(path)?;
+    let mut system = ingest(&text)?;
+    let outcome = system.query_str(&query_text)?;
+    for line in &outcome.lines {
+        println!("{line}");
+    }
+    eprintln!(
+        "\n{} matching lines | offloaded: {} | index used: {} | pages scanned: {}/{} | \
+         modeled device time: {:?} | wall: {:?}",
+        outcome.match_count(),
+        outcome.offloaded,
+        outcome.used_index,
+        outcome.pages_scanned,
+        system.data_page_count(),
+        outcome.modeled_time,
+        outcome.wall_time,
+    );
+    Ok(())
+}
+
+/// `mithrilog tag <logfile> [-n <k>]`
+pub fn tag(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("usage: mithrilog tag <logfile> [-n <k>]")?;
+    let k = parse_flag(args, "-n")?.unwrap_or(8);
+    let text = read_log(path)?;
+    let library = TemplateLibrary::extract(&text, &default_ftree());
+    if library.is_empty() {
+        return Err("no templates extractable from this corpus".into());
+    }
+    let ids: Vec<usize> = (0..library.len().min(k)).collect();
+    let joined = library.joined_query(&ids);
+    let pipeline = FilterPipeline::compile(&joined)?;
+    let counts = TemplateCounts::scan(&pipeline, &text);
+    println!("traffic by template ({} of {} templates tagged):", ids.len(), library.len());
+    for (set, n) in counts.ranking() {
+        let t = &library.templates()[ids[set]];
+        println!(
+            "  #{:<4} {:>8} lines ({:>5.1}%)  {:?}",
+            t.id(),
+            n,
+            n as f64 / counts.total() as f64 * 100.0,
+            t.tokens()
+        );
+    }
+    println!(
+        "  untagged: {} lines ({:.1}%)",
+        counts.unmatched(),
+        counts.unmatched() as f64 / counts.total() as f64 * 100.0
+    );
+    Ok(())
+}
+
+/// `mithrilog stats <logfile>`
+pub fn stats(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("usage: mithrilog stats <logfile>")?;
+    let text = read_log(path)?;
+    let system = ingest(&text)?;
+    let stats = system.datapath_stats();
+    println!("lines:               {}", system.lines());
+    println!("raw bytes:           {}", system.raw_bytes());
+    println!("data pages:          {}", system.data_page_count());
+    println!("paged LZAH ratio:    {:.2}x", system.compression_ratio());
+    println!(
+        "whole-file LZAH:     {:.2}x",
+        Lzah::default().ratio(&text)
+    );
+    println!("tokens:              {}", stats.tokens());
+    println!("mean token length:   {:.1} B", stats.mean_token_len());
+    println!("datapath useful:     {:.1}%", stats.useful_ratio() * 100.0);
+    println!("tokenized amplif.:   {:.2}x", stats.amplification());
+    println!("mean line length:    {:.1} B", stats.mean_line_len());
+    println!("line length CV:      {:.2}", stats.line_len_cv());
+    let t = system.modeled_throughput();
+    println!(
+        "modeled accelerator: {:.2} GB/s (bound by {})",
+        t.total_gbps, t.bound_by
+    );
+    Ok(())
+}
+
+/// `mithrilog spikes <logfile> <query...>`
+pub fn spikes(args: &[String]) -> CliResult {
+    let (path, query_text) = split_path_query(args, "spikes")?;
+    let text = read_log(path)?;
+    let mut system = ingest(&text)?;
+    let outcome = system.query_str(&query_text)?;
+    eprintln!("{} events match {:?}", outcome.match_count(), query_text);
+    let mut histogram = TimeHistogram::new(60);
+    histogram.record_lines(outcome.lines.iter().map(String::as_str));
+    if histogram.total() == 0 {
+        return Err("no matching lines carry an epoch token (expected HPC4 line format)".into());
+    }
+    println!(
+        "histogram: {} one-minute buckets, mean {:.1} events/bucket",
+        histogram.bucket_count(),
+        histogram.mean_rate()
+    );
+    let spikes = RateSpikeDetector::new(2.5).detect(&histogram);
+    if spikes.is_empty() {
+        println!("no rate spikes above z=2.5");
+    }
+    for s in spikes {
+        println!(
+            "SPIKE at epoch {} ({} events, z={:.1})",
+            s.bucket_start, s.count, s.z_score
+        );
+    }
+    Ok(())
+}
+
+/// `mithrilog gen <profile> <mb> <out>`
+pub fn gen(args: &[String]) -> CliResult {
+    let [profile, mb, out] = args else {
+        return Err("usage: mithrilog gen <bgl2|liberty2|spirit2|thunderbird> <mb> <outfile>".into());
+    };
+    let profile = match profile.to_ascii_lowercase().as_str() {
+        "bgl2" => DatasetProfile::Bgl2,
+        "liberty2" => DatasetProfile::Liberty2,
+        "spirit2" => DatasetProfile::Spirit2,
+        "thunderbird" => DatasetProfile::Thunderbird,
+        other => return Err(format!("unknown profile {other:?}").into()),
+    };
+    let mb: f64 = mb.parse().map_err(|_| "size must be a number (MB)")?;
+    let ds = generate(&DatasetSpec {
+        profile,
+        target_bytes: (mb * 1_000_000.0) as usize,
+        seed: 42,
+    });
+    fs::write(out, ds.text())?;
+    println!(
+        "wrote {} lines / {} bytes of {} to {out}",
+        ds.lines(),
+        ds.text().len(),
+        ds.name()
+    );
+    Ok(())
+}
+
+fn split_path_query<'a>(args: &'a [String], cmd: &str) -> Result<(&'a str, String), Box<dyn Error>> {
+    let (path, rest) = args
+        .split_first()
+        .ok_or_else(|| format!("usage: mithrilog {cmd} <logfile> <query...>"))?;
+    if rest.is_empty() {
+        return Err(format!("usage: mithrilog {cmd} <logfile> <query...>").into());
+    }
+    Ok((path, rest.join(" ")))
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, Box<dyn Error>> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        let v = args
+            .get(pos + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        return Ok(Some(v.parse().map_err(|_| format!("{flag} needs an integer"))?));
+    }
+    Ok(None)
+}
+
+fn default_ftree() -> FtreeConfig {
+    FtreeConfig {
+        min_support: 8,
+        max_children: 24,
+        max_depth: 12,
+        min_leaf_fraction: 0.0002,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_log() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mithrilog-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("log-{}.txt", std::process::id()));
+        let ds = generate(&DatasetSpec {
+            profile: DatasetProfile::Liberty2,
+            target_bytes: 150_000,
+            seed: 99,
+        });
+        std::fs::write(&path, ds.text()).unwrap();
+        path
+    }
+
+    #[test]
+    fn split_path_query_joins_arguments() {
+        let args = strs(&["file.log", "failed", "AND", "NOT", "ok"]);
+        let (path, q) = split_path_query(&args, "query").unwrap();
+        assert_eq!(path, "file.log");
+        assert_eq!(q, "failed AND NOT ok");
+        assert!(split_path_query(&strs(&["file.log"]), "query").is_err());
+        assert!(split_path_query(&[], "query").is_err());
+    }
+
+    #[test]
+    fn parse_flag_extracts_values() {
+        let args = strs(&["x.log", "-n", "12"]);
+        assert_eq!(parse_flag(&args, "-n").unwrap(), Some(12));
+        assert_eq!(parse_flag(&strs(&["x.log"]), "-n").unwrap(), None);
+        assert!(parse_flag(&strs(&["-n"]), "-n").is_err());
+        assert!(parse_flag(&strs(&["-n", "abc"]), "-n").is_err());
+    }
+
+    #[test]
+    fn query_command_end_to_end() {
+        let path = temp_log();
+        let args = strs(&[path.to_str().unwrap(), "session", "AND", "opened"]);
+        query(&args).expect("query command");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_and_tag_commands_end_to_end() {
+        let path = temp_log();
+        stats(&strs(&[path.to_str().unwrap()])).expect("stats command");
+        tag(&strs(&[path.to_str().unwrap(), "-n", "4"])).expect("tag command");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spikes_command_end_to_end() {
+        let path = temp_log();
+        spikes(&strs(&[path.to_str().unwrap(), "session"])).expect("spikes command");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gen_command_writes_profile() {
+        let dir = std::env::temp_dir().join("mithrilog-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join(format!("gen-{}.log", std::process::id()));
+        gen(&strs(&["bgl2", "0.05", out.to_str().unwrap()])).expect("gen command");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.lines().all(|l| l.contains(" RAS ")));
+        assert!(gen(&strs(&["nosuch", "1", "/tmp/x"])).is_err());
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let e = query(&strs(&["/definitely/not/here.log", "x"])).unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
+    }
+}

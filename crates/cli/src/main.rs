@@ -1,0 +1,61 @@
+//! `mithrilog` — command-line interface to the MithriLog system.
+//!
+//! ```text
+//! mithrilog query  <logfile> <query...>     run a token query end to end
+//! mithrilog tag    <logfile> [-n <k>]       extract templates and tag traffic
+//! mithrilog stats  <logfile>                dataset/compression/datapath stats
+//! mithrilog spikes <logfile> <query...>     filter, histogram, flag rate spikes
+//! mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log
+//! ```
+//!
+//! Queries use the accelerator's language: `AND`, `OR`, `NOT`, parentheses,
+//! quoted tokens — e.g. `mithrilog query sys.log 'failed AND NOT "pbs_mom:"'`.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "query" => commands::query(rest),
+            "tag" => commands::tag(rest),
+            "stats" => commands::stats(rest),
+            "spikes" => commands::spikes(rest),
+            "gen" => commands::gen(rest),
+            "help" | "--help" | "-h" => {
+                print_usage();
+                Ok(())
+            }
+            other => Err(format!("unknown command {other:?}; try `mithrilog help`").into()),
+        },
+        None => {
+            print_usage();
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "mithrilog — near-storage accelerated log analytics (MICRO '21 reproduction)\n\
+         \n\
+         usage:\n\
+         \x20 mithrilog query  <logfile> <query...>     run a token query end to end\n\
+         \x20 mithrilog tag    <logfile> [-n <k>]       extract templates and tag traffic\n\
+         \x20 mithrilog stats  <logfile>                dataset/compression/datapath stats\n\
+         \x20 mithrilog spikes <logfile> <query...>     filter, histogram, flag rate spikes\n\
+         \x20 mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log\n\
+         \n\
+         query language: AND, OR, NOT, parentheses, quoted tokens.\n\
+         profiles: bgl2 | liberty2 | spirit2 | thunderbird"
+    );
+}

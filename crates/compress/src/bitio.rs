@@ -1,0 +1,209 @@
+//! LSB-first bit-level readers and writers shared by the entropy-coded
+//! codecs ([`Gzf`](crate::Gzf)).
+
+use crate::error::DecompressError;
+
+/// LSB-first bit writer accumulating into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 57` (accumulator headroom) in debug builds.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 57);
+        debug_assert!(n == 64 || value < (1u64 << n));
+        self.acc |= value << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Flushes any partial byte (zero-padded) and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+        }
+        self.out
+    }
+
+    /// Number of complete bytes written so far.
+    pub fn bytes_written(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// LSB-first bit reader over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte to load.
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.data.len() {
+            self.acc |= u64::from(self.data[self.pos]) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Reads `n` bits LSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressError::Truncated`] if fewer than `n` bits remain.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, DecompressError> {
+        debug_assert!(n <= 57);
+        self.refill();
+        if self.nbits < n {
+            return Err(DecompressError::Truncated { at: self.pos });
+        }
+        let v = self.acc & ((1u64 << n) - 1);
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Peeks up to `n` bits without consuming them; missing bits read as 0.
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 57);
+        self.refill();
+        self.acc & ((1u64 << n) - 1)
+    }
+
+    /// Consumes `n` bits previously peeked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressError::Truncated`] if fewer than `n` bits remain.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<(), DecompressError> {
+        if self.nbits < n {
+            return Err(DecompressError::Truncated { at: self.pos });
+        }
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(())
+    }
+
+    /// Current bit position (approximate, for error reporting).
+    pub fn bit_pos(&self) -> usize {
+        self.pos * 8 - self.nbits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        let values = [
+            (0b1u64, 1u32),
+            (0b1011, 4),
+            (0xFF, 8),
+            (0x1234, 16),
+            (0, 3),
+            (0x1F_FFFF, 21),
+            (1, 1),
+        ];
+        for (v, n) in values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in values {
+            assert_eq!(r.read_bits(n).unwrap(), v, "width {n}");
+        }
+    }
+
+    #[test]
+    fn truncated_read_errors() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        // Remaining padding is 5 bits; asking for 8 must fail.
+        assert!(r.read_bits(8).is_err());
+    }
+
+    #[test]
+    fn peek_then_consume_matches_read() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xABCD, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(4), 0xD);
+        r.consume(4).unwrap();
+        assert_eq!(r.read_bits(12).unwrap(), 0xABC);
+    }
+
+    #[test]
+    fn peek_beyond_end_pads_zero() {
+        let bytes = [0b0000_0001u8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(16), 1);
+    }
+
+    #[test]
+    fn empty_reader_reads_zero_bits_ok() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn bytes_written_excludes_partial_byte() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x3FF, 10);
+        assert_eq!(w.bytes_written(), 1);
+        w.write_bits(0x3F, 6);
+        assert_eq!(w.bytes_written(), 2);
+    }
+
+    #[test]
+    fn bit_pos_tracks_consumption() {
+        let bytes = [0xFFu8; 4];
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.bit_pos(), 5);
+        r.read_bits(11).unwrap();
+        assert_eq!(r.bit_pos(), 16);
+    }
+}

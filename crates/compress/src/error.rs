@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error decompressing a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The input ended before the declared payload was complete.
+    Truncated {
+        /// Byte position where more input was expected.
+        at: usize,
+    },
+    /// The frame header is missing or malformed.
+    BadHeader {
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+    /// A back-reference pointed outside the already-decoded output.
+    BadReference {
+        /// Output position at which the reference was found.
+        at: usize,
+    },
+    /// The decoded length does not match the length declared in the header.
+    LengthMismatch {
+        /// Length declared by the frame header.
+        expected: usize,
+        /// Length actually produced.
+        got: usize,
+    },
+    /// A Huffman code or symbol outside the valid alphabet was encountered.
+    BadSymbol {
+        /// Bit position in the stream.
+        at: usize,
+    },
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::Truncated { at } => {
+                write!(f, "compressed stream truncated at byte {at}")
+            }
+            DecompressError::BadHeader { reason } => write!(f, "bad frame header: {reason}"),
+            DecompressError::BadReference { at } => {
+                write!(f, "back-reference out of range at output byte {at}")
+            }
+            DecompressError::LengthMismatch { expected, got } => {
+                write!(f, "decoded {got} bytes but header declared {expected}")
+            }
+            DecompressError::BadSymbol { at } => write!(f, "invalid symbol at bit {at}"),
+        }
+    }
+}
+
+impl Error for DecompressError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_positions() {
+        assert!(DecompressError::Truncated { at: 10 }.to_string().contains("10"));
+        assert!(DecompressError::LengthMismatch {
+            expected: 5,
+            got: 3
+        }
+        .to_string()
+        .contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<DecompressError>();
+    }
+}

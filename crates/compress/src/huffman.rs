@@ -1,0 +1,359 @@
+//! Length-limited canonical Huffman coding used by [`Gzf`](crate::Gzf).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::DecompressError;
+
+/// Maximum code length supported by the fast decoder table.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Builds length-limited Huffman code lengths from symbol frequencies.
+///
+/// Symbols with zero frequency receive length 0 (no code). If the
+/// unrestricted Huffman tree exceeds `max_len`, frequencies are repeatedly
+/// damped (`f = f/2 + 1`) and the tree rebuilt — a standard, always-
+/// terminating length-limiting heuristic whose optimality loss is tiny.
+///
+/// # Panics
+///
+/// Panics if `max_len` is 0 or > [`MAX_CODE_LEN`].
+pub fn build_code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
+    assert!((1..=MAX_CODE_LEN).contains(&max_len));
+    let mut working: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = huffman_lengths(&working);
+        let deepest = lengths.iter().copied().max().unwrap_or(0);
+        if deepest <= max_len {
+            return lengths;
+        }
+        for f in &mut working {
+            if *f > 0 {
+                *f = *f / 2 + 1;
+            }
+        }
+    }
+}
+
+fn huffman_lengths(freqs: &[u64]) -> Vec<u32> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        index: usize, // tie-break for determinism
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(usize),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap via BinaryHeap.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.index.cmp(&self.index))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap: std::collections::BinaryHeap<Node> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, &f)| Node {
+            weight: f,
+            index: i,
+            kind: NodeKind::Leaf(i),
+        })
+        .collect();
+
+    let mut lengths = vec![0u32; freqs.len()];
+    match heap.len() {
+        0 => return lengths,
+        1 => {
+            // A single-symbol alphabet still needs a 1-bit code.
+            if let Some(Node {
+                kind: NodeKind::Leaf(i),
+                ..
+            }) = heap.pop()
+            {
+                lengths[i] = 1;
+            }
+            return lengths;
+        }
+        _ => {}
+    }
+
+    let mut next_index = freqs.len();
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            index: next_index,
+            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+        });
+        next_index += 1;
+    }
+    let root = heap.pop().expect("one root");
+    let mut stack = vec![(root, 0u32)];
+    while let Some((node, depth)) = stack.pop() {
+        match node.kind {
+            NodeKind::Leaf(i) => lengths[i] = depth.max(1),
+            NodeKind::Internal(a, b) => {
+                stack.push((*a, depth + 1));
+                stack.push((*b, depth + 1));
+            }
+        }
+    }
+    lengths
+}
+
+/// Canonical Huffman encoder table: per-symbol (code, length) with code bits
+/// pre-reversed for the LSB-first bit writer.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<(u32, u32)>,
+}
+
+impl Encoder {
+    /// Builds the encoder from code lengths.
+    pub fn from_lengths(lengths: &[u32]) -> Self {
+        let codes = canonical_codes(lengths)
+            .into_iter()
+            .zip(lengths)
+            .map(|(code, &len)| (reverse_bits(code, len), len))
+            .collect();
+        Encoder { codes }
+    }
+
+    /// Writes symbol `sym` to the bit stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol has no code (zero frequency at build time).
+    #[inline]
+    pub fn write(&self, w: &mut BitWriter, sym: usize) {
+        let (code, len) = self.codes[sym];
+        assert!(len > 0, "symbol {sym} has no code");
+        w.write_bits(u64::from(code), len);
+    }
+
+    /// Whether `sym` has an assigned code.
+    pub fn has_code(&self, sym: usize) -> bool {
+        self.codes.get(sym).is_some_and(|&(_, len)| len > 0)
+    }
+}
+
+/// Canonical Huffman decoder: a flat peek table over
+/// [`MAX_CODE_LEN`]-bit windows.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `table[bits] = (symbol, length)`; length 0 marks an invalid prefix.
+    table: Vec<(u16, u8)>,
+}
+
+impl Decoder {
+    /// Builds a decoder from the same lengths the encoder used.
+    pub fn from_lengths(lengths: &[u32]) -> Self {
+        let codes = canonical_codes(lengths);
+        let mut table = vec![(0u16, 0u8); 1 << MAX_CODE_LEN];
+        for (sym, (&len, code)) in lengths.iter().zip(codes).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let rev = reverse_bits(code, len);
+            let stride = 1usize << len;
+            let mut v = rev as usize;
+            while v < table.len() {
+                table[v] = (sym as u16, len as u8);
+                v += stride;
+            }
+        }
+        Decoder { table }
+    }
+
+    /// Reads one symbol from the bit stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressError::BadSymbol`] on an invalid prefix and
+    /// [`DecompressError::Truncated`] when the stream ends mid-code.
+    #[inline]
+    pub fn read(&self, r: &mut BitReader<'_>) -> Result<usize, DecompressError> {
+        let peek = r.peek_bits(MAX_CODE_LEN) as usize;
+        let (sym, len) = self.table[peek];
+        if len == 0 {
+            return Err(DecompressError::BadSymbol { at: r.bit_pos() });
+        }
+        r.consume(u32::from(len))?;
+        Ok(sym as usize)
+    }
+}
+
+/// Assigns canonical (MSB-first, numerically increasing) codes to lengths.
+fn canonical_codes(lengths: &[u32]) -> Vec<u32> {
+    let max = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; (max + 1) as usize];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; (max + 2) as usize];
+    let mut code = 0u32;
+    for bits in 1..=max {
+        code = (code + bl_count[(bits - 1) as usize]) << 1;
+        next_code[bits as usize] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+#[inline]
+fn reverse_bits(code: u32, len: u32) -> u32 {
+    if len == 0 {
+        return 0;
+    }
+    code.reverse_bits() >> (32 - len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_satisfy_kraft_equality() {
+        let freqs = [45u64, 13, 12, 16, 9, 5];
+        let lengths = build_code_lengths(&freqs, 15);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-12, "kraft sum {kraft}");
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let freqs = [1000u64, 10, 10, 10];
+        let lengths = build_code_lengths(&freqs, 15);
+        assert!(lengths[0] < lengths[1]);
+    }
+
+    #[test]
+    fn zero_frequency_symbols_get_no_code() {
+        let freqs = [5u64, 0, 7];
+        let lengths = build_code_lengths(&freqs, 15);
+        assert_eq!(lengths[1], 0);
+        assert!(lengths[0] > 0 && lengths[2] > 0);
+    }
+
+    #[test]
+    fn single_symbol_alphabet_gets_one_bit() {
+        let lengths = build_code_lengths(&[42], 15);
+        assert_eq!(lengths, vec![1]);
+    }
+
+    #[test]
+    fn empty_alphabet_ok() {
+        let lengths = build_code_lengths(&[0, 0, 0], 15);
+        assert_eq!(lengths, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn length_limit_is_enforced() {
+        // Fibonacci-like frequencies force deep unrestricted trees.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_code_lengths(&freqs, 12);
+        assert!(lengths.iter().all(|&l| l <= 12));
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft {kraft} violates prefix-freeness");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let freqs = [50u64, 20, 10, 5, 5, 5, 3, 2];
+        let lengths = build_code_lengths(&freqs, 15);
+        let enc = Encoder::from_lengths(&lengths);
+        let dec = Decoder::from_lengths(&lengths);
+        let symbols: Vec<usize> = (0..1000).map(|i| (i * 7 + i / 3) % 8).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec.read(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn has_code_reflects_frequencies() {
+        let lengths = build_code_lengths(&[5, 0, 7], 15);
+        let enc = Encoder::from_lengths(&lengths);
+        assert!(enc.has_code(0));
+        assert!(!enc.has_code(1));
+        assert!(enc.has_code(2));
+        assert!(!enc.has_code(99));
+    }
+
+    #[test]
+    fn decoder_rejects_unused_prefix() {
+        // Lengths {1, 2}: codes 0, 10 — prefix 11 is invalid.
+        let lengths = [1u32, 2];
+        let dec = Decoder::from_lengths(&lengths);
+        let bytes = [0b0000_0011u8]; // LSB-first: bits 1,1
+        let mut r = BitReader::new(&bytes);
+        assert!(matches!(
+            dec.read(&mut r),
+            Err(DecompressError::BadSymbol { .. })
+        ));
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let lengths = [3u32, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        for (i, (&li, &ci)) in lengths.iter().zip(&codes).enumerate() {
+            for (j, (&lj, &cj)) in lengths.iter().zip(&codes).enumerate() {
+                if i == j || li == 0 || lj == 0 || li > lj {
+                    continue;
+                }
+                let prefix = cj >> (lj - li);
+                assert!(
+                    (prefix != ci),
+                    "code {i} ({ci:0li$b}) prefixes code {j} ({cj:0lj$b})",
+                    li = li as usize,
+                    lj = lj as usize
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The LZ4 block format, implemented from the published specification:
+//! sequences of `[token][literal-length*][literals][offset][match-length*]`
+//! with 4-bit length nibbles, 255-byte extension bytes and 2-byte
+//! little-endian offsets. Greedy matching over a 64 KB window with a
+//! 4-byte hash table, comparable to the reference compressor's fast mode.
+//!
+//! Used as the "general-purpose fast codec" baseline of paper Tables 4–5.
+
+use crate::error::DecompressError;
+use crate::Codec;
+
+const HEADER_LEN: usize = 13; // magic(4) ver(1) original_len(8)
+const MAX_PREALLOC: usize = 16 << 20;
+const MAGIC: &[u8; 4] = b"LZ4B";
+const MIN_MATCH: usize = 4;
+const MAX_OFFSET: usize = 65_535;
+/// The spec requires the last 5 bytes to be literals and forbids matches
+/// starting within the last 12 bytes.
+const END_LITERALS: usize = 5;
+const MATCH_GUARD: usize = 12;
+
+/// The LZ4 block codec.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lz4;
+
+impl Lz4 {
+    /// Creates the codec (stateless).
+    pub fn new() -> Self {
+        Lz4
+    }
+}
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> 18) as usize & 0x3FFF
+}
+
+fn write_length(out: &mut Vec<u8>, mut len: usize) {
+    while len >= 255 {
+        out.push(255);
+        len -= 255;
+    }
+    out.push(len as u8);
+}
+
+impl Codec for Lz4 {
+    fn name(&self) -> &'static str {
+        "LZ4"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + input.len() / 2 + 16);
+        out.extend_from_slice(MAGIC);
+        out.push(1);
+        out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+
+        let mut table = vec![usize::MAX; 1 << 14];
+        let mut pos = 0usize;
+        let mut literal_start = 0usize;
+
+        let match_limit = input.len().saturating_sub(MATCH_GUARD);
+        while pos < match_limit {
+            let h = hash4(&input[pos..]);
+            let cand = table[h];
+            table[h] = pos;
+            let found = cand != usize::MAX
+                && pos - cand <= MAX_OFFSET
+                && input[cand..cand + MIN_MATCH] == input[pos..pos + MIN_MATCH];
+            if !found {
+                pos += 1;
+                continue;
+            }
+            // Extend the match, but never into the end guard.
+            let max_len = input.len() - END_LITERALS - pos;
+            let mut len = MIN_MATCH;
+            while len < max_len && input[cand + len] == input[pos + len] {
+                len += 1;
+            }
+            // Emit sequence: literals since literal_start, then the match.
+            let lit_len = pos - literal_start;
+            let lit_nibble = lit_len.min(15) as u8;
+            let match_nibble = (len - MIN_MATCH).min(15) as u8;
+            out.push((lit_nibble << 4) | match_nibble);
+            if lit_len >= 15 {
+                write_length(&mut out, lit_len - 15);
+            }
+            out.extend_from_slice(&input[literal_start..pos]);
+            let offset = (pos - cand) as u16;
+            out.extend_from_slice(&offset.to_le_bytes());
+            if len - MIN_MATCH >= 15 {
+                write_length(&mut out, len - MIN_MATCH - 15);
+            }
+            pos += len;
+            literal_start = pos;
+        }
+
+        // Final sequence: remaining literals, no match.
+        let lit_len = input.len() - literal_start;
+        let lit_nibble = lit_len.min(15) as u8;
+        out.push(lit_nibble << 4);
+        if lit_len >= 15 {
+            write_length(&mut out, lit_len - 15);
+        }
+        out.extend_from_slice(&input[literal_start..]);
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+        if input.len() < HEADER_LEN {
+            return Err(DecompressError::BadHeader {
+                reason: "input shorter than header",
+            });
+        }
+        if &input[..4] != MAGIC {
+            return Err(DecompressError::BadHeader {
+                reason: "missing LZ4B magic",
+            });
+        }
+        if input[4] != 1 {
+            return Err(DecompressError::BadHeader {
+                reason: "unsupported version",
+            });
+        }
+        let original_len =
+            u64::from_le_bytes(input[5..13].try_into().expect("8 bytes")) as usize;
+        // Never trust a header length for allocation: a corrupt frame could
+        // declare terabytes. Cap the pre-allocation; the vector still grows
+        // to any legitimate size on demand.
+        let mut out = Vec::with_capacity(original_len.min(MAX_PREALLOC));
+        let mut pos = HEADER_LEN;
+
+        let read_length = |pos: &mut usize, base: usize| -> Result<usize, DecompressError> {
+            let mut len = base;
+            if base == 15 {
+                loop {
+                    if *pos >= input.len() {
+                        return Err(DecompressError::Truncated { at: *pos });
+                    }
+                    let b = input[*pos];
+                    *pos += 1;
+                    len += b as usize;
+                    if b != 255 {
+                        break;
+                    }
+                }
+            }
+            Ok(len)
+        };
+
+        loop {
+            if pos >= input.len() {
+                break;
+            }
+            let token = input[pos];
+            pos += 1;
+            let lit_len = read_length(&mut pos, (token >> 4) as usize)?;
+            if pos + lit_len > input.len() {
+                return Err(DecompressError::Truncated { at: pos });
+            }
+            out.extend_from_slice(&input[pos..pos + lit_len]);
+            pos += lit_len;
+            if pos >= input.len() {
+                break; // last sequence carries no match
+            }
+            if pos + 2 > input.len() {
+                return Err(DecompressError::Truncated { at: pos });
+            }
+            let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+            pos += 2;
+            let match_len = read_length(&mut pos, (token & 0xF) as usize)? + MIN_MATCH;
+            if offset == 0 || offset > out.len() {
+                return Err(DecompressError::BadReference { at: out.len() });
+            }
+            let start = out.len() - offset;
+            for j in 0..match_len {
+                let b = out[start + j];
+                out.push(b);
+            }
+        }
+
+        if out.len() != original_len {
+            return Err(DecompressError::LengthMismatch {
+                expected: original_len,
+                got: out.len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::log_corpus;
+
+    fn roundtrip(input: &[u8]) {
+        let codec = Lz4::new();
+        let packed = codec.compress(input);
+        assert_eq!(codec.decompress(&packed).unwrap(), input);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcd");
+        roundtrip(b"aaaaaaaaaaaa");
+        roundtrip(b"hello hello hello");
+    }
+
+    #[test]
+    fn log_corpus_beats_lzrw1() {
+        // LZ4's longer window and unlimited match length should beat LZRW1
+        // on templated logs — the Table 5 ordering.
+        let corpus = log_corpus();
+        let lz4_ratio = Lz4::new().ratio(&corpus);
+        let lzrw_ratio = crate::Lzrw1::new().ratio(&corpus);
+        assert!(
+            lz4_ratio > lzrw_ratio,
+            "LZ4 {lz4_ratio:.2} should beat LZRW1 {lzrw_ratio:.2}"
+        );
+        roundtrip(&corpus);
+    }
+
+    #[test]
+    fn long_runs_compress_via_overlapping_matches() {
+        let data = vec![b'z'; 100_000];
+        let codec = Lz4::new();
+        let packed = codec.compress(&data);
+        assert!(packed.len() < 500, "run-length case: {} bytes", packed.len());
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn long_literal_runs_use_extension_bytes() {
+        let mut x: u64 = 7;
+        let data: Vec<u8> = (0..2000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 40) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_matches_use_extension_bytes() {
+        let mut data = Vec::new();
+        let phrase: Vec<u8> = (0u8..=255).collect();
+        for _ in 0..20 {
+            data.extend_from_slice(&phrase);
+        }
+        roundtrip(&data);
+        assert!(Lz4::new().ratio(&data) > 5.0);
+    }
+
+    #[test]
+    fn distant_repeats_beyond_64k_fall_back_to_literals() {
+        let mut data = vec![0u8; 0];
+        let unique: Vec<u8> = (0..70_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        data.extend_from_slice(b"needle-needle-needle");
+        data.extend_from_slice(&unique);
+        data.extend_from_slice(b"needle-needle-needle");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncation_and_corruption_detected() {
+        let codec = Lz4::new();
+        let packed = codec.compress(&log_corpus());
+        assert!(codec.decompress(&packed[..20]).is_err());
+        let mut bad = packed.clone();
+        bad[0] = b'!';
+        assert!(codec.decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn bad_offset_rejected() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(MAGIC);
+        stream.push(1);
+        stream.extend_from_slice(&100u64.to_le_bytes());
+        stream.push(0x00); // token: 0 literals, match len 4
+        stream.extend_from_slice(&[0x00, 0x00]); // offset 0: invalid
+        assert!(matches!(
+            Lz4::new().decompress(&stream),
+            Err(DecompressError::BadReference { .. })
+        ));
+    }
+}

@@ -1,0 +1,286 @@
+//! LZRW1 (Ross Williams, DCC '91) implemented from the algorithm
+//! description: byte-granular LZ77 with a 4 KB window, a 4096-entry hash
+//! table over 3-byte sequences, and 16-item control groups.
+//!
+//! Serves as the software baseline LZAH is derived from (paper Table 5) and
+//! as the resource-efficiency reference point for the Helion LZRW FPGA core
+//! (Table 4).
+
+use crate::error::DecompressError;
+use crate::Codec;
+
+const HEADER_LEN: usize = 13; // magic(4) ver(1) original_len(8)
+const MAX_PREALLOC: usize = 16 << 20;
+const MAGIC: &[u8; 4] = b"LZRW";
+/// Window size: offsets are 12 bits.
+const MAX_OFFSET: usize = 4095;
+/// Copy lengths are 4 bits encoding 3..=18.
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+const GROUP_ITEMS: usize = 16;
+
+/// The LZRW1 codec.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lzrw1;
+
+impl Lzrw1 {
+    /// Creates the codec (stateless).
+    pub fn new() -> Self {
+        Lzrw1
+    }
+}
+
+#[inline]
+fn hash3(a: u8, b: u8, c: u8) -> usize {
+    let v = u32::from_le_bytes([a, b, c, 0]);
+    ((v.wrapping_mul(0x9E37_79B1) >> 20) & 0xFFF) as usize
+}
+
+impl Codec for Lzrw1 {
+    fn name(&self) -> &'static str {
+        "LZRW1"
+    }
+
+    #[allow(unused_assignments)] // the flush macro's resets are dead on the final flush only
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + input.len() / 2);
+        out.extend_from_slice(MAGIC);
+        out.push(1);
+        out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+
+        // Hash table maps a 3-byte hash to the most recent position.
+        let mut table = vec![usize::MAX; 4096];
+        let mut pos = 0usize;
+        let mut control: u16 = 0;
+        let mut control_items = 0usize;
+        let mut control_pos = out.len();
+        out.extend_from_slice(&[0, 0]); // placeholder for first control word
+        let mut group: Vec<u8> = Vec::with_capacity(GROUP_ITEMS * 2);
+
+        macro_rules! flush_group {
+            () => {
+                out[control_pos] = (control & 0xFF) as u8;
+                out[control_pos + 1] = (control >> 8) as u8;
+                out.extend_from_slice(&group);
+                group.clear();
+                control = 0;
+                control_items = 0;
+                if pos < input.len() {
+                    control_pos = out.len();
+                    out.extend_from_slice(&[0, 0]);
+                }
+            };
+        }
+
+        while pos < input.len() {
+            let mut emitted_copy = false;
+            if pos + MIN_MATCH <= input.len() {
+                let h = hash3(input[pos], input[pos + 1], input[pos + 2]);
+                let cand = table[h];
+                table[h] = pos;
+                if cand != usize::MAX {
+                    let offset = pos - cand;
+                    if (1..=MAX_OFFSET).contains(&offset) {
+                        let max_len = MAX_MATCH.min(input.len() - pos);
+                        let mut len = 0;
+                        while len < max_len && input[cand + len] == input[pos + len] {
+                            len += 1;
+                        }
+                        if len >= MIN_MATCH {
+                            // Copy item: 16 bits = 4-bit (len-3), 12-bit offset.
+                            let item = (((len - MIN_MATCH) as u16) << 12) | offset as u16;
+                            group.push((item & 0xFF) as u8);
+                            group.push((item >> 8) as u8);
+                            control |= 1 << control_items;
+                            pos += len;
+                            emitted_copy = true;
+                        }
+                    }
+                }
+            }
+            if !emitted_copy {
+                group.push(input[pos]);
+                pos += 1;
+            }
+            control_items += 1;
+            if control_items == GROUP_ITEMS {
+                flush_group!();
+            }
+        }
+        if control_items > 0 || !group.is_empty() {
+            flush_group!();
+        }
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+        if input.len() < HEADER_LEN {
+            return Err(DecompressError::BadHeader {
+                reason: "input shorter than header",
+            });
+        }
+        if &input[..4] != MAGIC {
+            return Err(DecompressError::BadHeader {
+                reason: "missing LZRW magic",
+            });
+        }
+        if input[4] != 1 {
+            return Err(DecompressError::BadHeader {
+                reason: "unsupported version",
+            });
+        }
+        let original_len =
+            u64::from_le_bytes(input[5..13].try_into().expect("8 bytes")) as usize;
+        // Never trust a header length for allocation: a corrupt frame could
+        // declare terabytes. Cap the pre-allocation; the vector still grows
+        // to any legitimate size on demand.
+        let mut out = Vec::with_capacity(original_len.min(MAX_PREALLOC));
+        let mut pos = HEADER_LEN;
+        while out.len() < original_len {
+            if pos + 2 > input.len() {
+                return Err(DecompressError::Truncated { at: pos });
+            }
+            let control = u16::from_le_bytes([input[pos], input[pos + 1]]);
+            pos += 2;
+            for i in 0..GROUP_ITEMS {
+                if out.len() >= original_len {
+                    break;
+                }
+                if control & (1 << i) != 0 {
+                    if pos + 2 > input.len() {
+                        return Err(DecompressError::Truncated { at: pos });
+                    }
+                    let item = u16::from_le_bytes([input[pos], input[pos + 1]]);
+                    pos += 2;
+                    let len = ((item >> 12) as usize) + MIN_MATCH;
+                    let offset = (item & 0xFFF) as usize;
+                    if offset == 0 || offset > out.len() {
+                        return Err(DecompressError::BadReference { at: out.len() });
+                    }
+                    let start = out.len() - offset;
+                    for j in 0..len {
+                        let b = out[start + j];
+                        out.push(b);
+                    }
+                } else {
+                    if pos >= input.len() {
+                        return Err(DecompressError::Truncated { at: pos });
+                    }
+                    out.push(input[pos]);
+                    pos += 1;
+                }
+            }
+        }
+        if out.len() != original_len {
+            return Err(DecompressError::LengthMismatch {
+                expected: original_len,
+                got: out.len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::log_corpus;
+
+    fn roundtrip(input: &[u8]) {
+        let codec = Lzrw1::new();
+        let packed = codec.compress(input);
+        assert_eq!(codec.decompress(&packed).unwrap(), input);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+        roundtrip(b"aaaa");
+    }
+
+    #[test]
+    fn log_corpus_round_trips_and_compresses() {
+        let corpus = log_corpus();
+        let codec = Lzrw1::new();
+        let packed = codec.compress(&corpus);
+        assert_eq!(codec.decompress(&packed).unwrap(), corpus);
+        let ratio = corpus.len() as f64 / packed.len() as f64;
+        assert!(ratio > 2.0, "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn overlapping_copies_decode_correctly() {
+        // "aaaa..." forces offset-1 copies that overlap their own output.
+        let data = vec![b'a'; 1000];
+        roundtrip(&data);
+        let codec = Lzrw1::new();
+        let packed = codec.compress(&data);
+        // 1000 bytes at max match length 18 → ~56 copy items ≈ 130 bytes.
+        assert!(packed.len() < 200, "run should compress hard: {}", packed.len());
+    }
+
+    #[test]
+    fn window_limit_respected() {
+        // Repetition at a distance beyond 4095 cannot be referenced; the
+        // stream must still round trip via literals/nearer matches.
+        let mut data = Vec::new();
+        data.extend_from_slice(&[b'x'; 10]);
+        data.extend(
+            (0..5000u32)
+                .flat_map(|i| i.to_le_bytes())
+                .collect::<Vec<u8>>(),
+        );
+        data.extend_from_slice(&[b'x'; 10]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_expansion_is_bounded() {
+        let mut x: u64 = 99;
+        let data: Vec<u8> = (0..8192)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 56) as u8
+            })
+            .collect();
+        let codec = Lzrw1::new();
+        let packed = codec.compress(&data);
+        // Worst case: 2 control bytes per 16 literals + header.
+        assert!(packed.len() <= HEADER_LEN + data.len() + data.len() / 8 + 4);
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let codec = Lzrw1::new();
+        let mut packed = codec.compress(b"hello");
+        packed[1] = b'?';
+        assert!(codec.decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let codec = Lzrw1::new();
+        let packed = codec.compress(&log_corpus());
+        assert!(codec.decompress(&packed[..packed.len() / 3]).is_err());
+    }
+
+    #[test]
+    fn bad_reference_detected() {
+        // Handcraft a stream whose first item is a copy (impossible: no
+        // history yet).
+        let mut stream = Vec::new();
+        stream.extend_from_slice(MAGIC);
+        stream.push(1);
+        stream.extend_from_slice(&10u64.to_le_bytes());
+        stream.extend_from_slice(&[0x01, 0x00]); // control: first item is a copy
+        stream.extend_from_slice(&[0x01, 0x00]); // copy len=3 offset=1 with empty history
+        assert!(matches!(
+            Lzrw1::new().decompress(&stream),
+            Err(DecompressError::BadReference { .. })
+        ));
+    }
+}

@@ -1,0 +1,357 @@
+//! The Snappy block format, implemented from the published format
+//! description: a varint uncompressed length followed by tagged elements —
+//! literals (tag 00) and copies with 1-, 2- or 4-byte offsets (tags
+//! 01/10/11). Greedy matching over a 64 KB window, comparable to the
+//! reference compressor.
+//!
+//! Completes the codec set of paper Table 4 (LZ4 / LZRW / **Snappy** /
+//! LZAH) on the software side.
+
+use crate::error::DecompressError;
+use crate::Codec;
+
+const MAX_PREALLOC: usize = 16 << 20;
+const MAGIC: &[u8; 4] = b"SNPB";
+const HEADER_LEN: usize = 5; // magic(4) ver(1); varint length follows
+const MIN_MATCH: usize = 4;
+const MAX_OFFSET: usize = 65_535;
+
+/// The Snappy block codec.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snappy;
+
+impl Snappy {
+    /// Creates the codec (stateless).
+    pub fn new() -> Self {
+        Snappy
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn read_varint(input: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *input
+            .get(*pos)
+            .ok_or(DecompressError::Truncated { at: *pos })?;
+        *pos += 1;
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecompressError::BadHeader {
+                reason: "varint too long",
+            });
+        }
+    }
+}
+
+/// Emits a literal run, splitting at the 60-byte short form / extended
+/// length boundary per the format.
+fn emit_literal(out: &mut Vec<u8>, lit: &[u8]) {
+    let mut rest = lit;
+    while !rest.is_empty() {
+        let n = rest.len().min(65_536);
+        let len = n - 1;
+        if len < 60 {
+            out.push((len as u8) << 2);
+        } else if len < 256 {
+            out.push(60 << 2);
+            out.push(len as u8);
+        } else {
+            out.push(61 << 2);
+            out.push((len & 0xFF) as u8);
+            out.push((len >> 8) as u8);
+        }
+        out.extend_from_slice(&rest[..n]);
+        rest = &rest[n..];
+    }
+}
+
+/// Emits a copy, decomposing long matches per the format's limits
+/// (tag-1 copies: len 4–11 & offset < 2048; tag-2: len 1–64, 16-bit
+/// offset).
+fn emit_copy(out: &mut Vec<u8>, mut len: usize, offset: usize) {
+    debug_assert!((1..=MAX_OFFSET).contains(&offset));
+    while len > 0 {
+        if (4..=11).contains(&len) && offset < 2048 {
+            out.push(0b01 | (((len - 4) as u8) << 2) | (((offset >> 8) as u8) << 5));
+            out.push((offset & 0xFF) as u8);
+            return;
+        }
+        let n = len.min(64);
+        // Avoid leaving a sub-4-byte tail that tag-2 can encode but whose
+        // remainder would be illegal for tag-1: tag-2 handles 1..=64, so a
+        // remainder of any size is fine; just never emit n < 4 unless it is
+        // the whole remainder.
+        let n = if len - n != 0 && len - n < 4 { len - 4 } else { n };
+        out.push(0b10 | (((n - 1) as u8) << 2));
+        out.push((offset & 0xFF) as u8);
+        out.push((offset >> 8) as u8);
+        len -= n;
+    }
+}
+
+impl Codec for Snappy {
+    fn name(&self) -> &'static str {
+        "Snappy"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + input.len() / 2 + 16);
+        out.extend_from_slice(MAGIC);
+        out.push(1);
+        write_varint(&mut out, input.len() as u64);
+
+        let mut table = vec![usize::MAX; 1 << 14];
+        let hash = |b: &[u8]| -> usize {
+            let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            (v.wrapping_mul(0x1E35_A7BD) >> 18) as usize & 0x3FFF
+        };
+        let mut pos = 0usize;
+        let mut lit_start = 0usize;
+        while pos + MIN_MATCH <= input.len() {
+            let h = hash(&input[pos..]);
+            let cand = table[h];
+            table[h] = pos;
+            if cand != usize::MAX
+                && pos - cand <= MAX_OFFSET
+                && input[cand..cand + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+            {
+                let mut len = MIN_MATCH;
+                while pos + len < input.len() && input[cand + len] == input[pos + len] {
+                    len += 1;
+                }
+                emit_literal(&mut out, &input[lit_start..pos]);
+                emit_copy(&mut out, len, pos - cand);
+                pos += len;
+                lit_start = pos;
+            } else {
+                pos += 1;
+            }
+        }
+        emit_literal(&mut out, &input[lit_start..]);
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+        if input.len() < HEADER_LEN {
+            return Err(DecompressError::BadHeader {
+                reason: "input shorter than header",
+            });
+        }
+        if &input[..4] != MAGIC {
+            return Err(DecompressError::BadHeader {
+                reason: "missing SNPB magic",
+            });
+        }
+        if input[4] != 1 {
+            return Err(DecompressError::BadHeader {
+                reason: "unsupported version",
+            });
+        }
+        let mut pos = HEADER_LEN;
+        let original_len = read_varint(input, &mut pos)? as usize;
+        // Never trust a header length for allocation: a corrupt frame could
+        // declare terabytes. Cap the pre-allocation; the vector still grows
+        // to any legitimate size on demand.
+        let mut out = Vec::with_capacity(original_len.min(MAX_PREALLOC));
+
+        while pos < input.len() {
+            let tag = input[pos];
+            pos += 1;
+            match tag & 0b11 {
+                0b00 => {
+                    // Literal.
+                    let mut len = (tag >> 2) as usize;
+                    if len >= 60 {
+                        let extra = len - 59;
+                        if pos + extra > input.len() {
+                            return Err(DecompressError::Truncated { at: pos });
+                        }
+                        len = 0;
+                        for i in 0..extra {
+                            len |= (input[pos + i] as usize) << (8 * i);
+                        }
+                        pos += extra;
+                    }
+                    len += 1;
+                    if pos + len > input.len() {
+                        return Err(DecompressError::Truncated { at: pos });
+                    }
+                    out.extend_from_slice(&input[pos..pos + len]);
+                    pos += len;
+                }
+                0b01 => {
+                    if pos >= input.len() {
+                        return Err(DecompressError::Truncated { at: pos });
+                    }
+                    let len = 4 + ((tag >> 2) & 0x7) as usize;
+                    let offset = (((tag >> 5) as usize) << 8) | input[pos] as usize;
+                    pos += 1;
+                    copy_back(&mut out, offset, len)?;
+                }
+                0b10 => {
+                    if pos + 2 > input.len() {
+                        return Err(DecompressError::Truncated { at: pos });
+                    }
+                    let len = ((tag >> 2) as usize) + 1;
+                    let offset = input[pos] as usize | ((input[pos + 1] as usize) << 8);
+                    pos += 2;
+                    copy_back(&mut out, offset, len)?;
+                }
+                _ => {
+                    // 4-byte-offset copies are never emitted by this
+                    // compressor (window ≤ 64 KB) but decode for
+                    // completeness.
+                    if pos + 4 > input.len() {
+                        return Err(DecompressError::Truncated { at: pos });
+                    }
+                    let len = ((tag >> 2) as usize) + 1;
+                    let offset = u32::from_le_bytes(
+                        input[pos..pos + 4].try_into().expect("4 bytes"),
+                    ) as usize;
+                    pos += 4;
+                    copy_back(&mut out, offset, len)?;
+                }
+            }
+        }
+
+        if out.len() != original_len {
+            return Err(DecompressError::LengthMismatch {
+                expected: original_len,
+                got: out.len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+fn copy_back(out: &mut Vec<u8>, offset: usize, len: usize) -> Result<(), DecompressError> {
+    if offset == 0 || offset > out.len() {
+        return Err(DecompressError::BadReference { at: out.len() });
+    }
+    let start = out.len() - offset;
+    for i in 0..len {
+        let b = out[start + i];
+        out.push(b);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::log_corpus;
+
+    fn roundtrip(input: &[u8]) {
+        let c = Snappy::new();
+        let packed = c.compress(input);
+        assert_eq!(c.decompress(&packed).unwrap(), input, "len {}", input.len());
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcd");
+        roundtrip(b"aaaaaaaaaaaaaaaa");
+    }
+
+    #[test]
+    fn log_corpus_roundtrips_and_compresses() {
+        let corpus = log_corpus();
+        let c = Snappy::new();
+        let packed = c.compress(&corpus);
+        assert_eq!(c.decompress(&packed).unwrap(), corpus);
+        let ratio = corpus.len() as f64 / packed.len() as f64;
+        assert!(ratio > 3.0, "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn snappy_and_lz4_land_close() {
+        // Table 4 shows LZ4 and Snappy as near-identical FPGA designs; the
+        // software ratios should be in the same ballpark too.
+        let corpus = log_corpus();
+        let s = Snappy::new().ratio(&corpus);
+        let l = crate::Lz4::new().ratio(&corpus);
+        assert!((s / l - 1.0).abs() < 0.35, "snappy {s:.2} vs lz4 {l:.2}");
+    }
+
+    #[test]
+    fn long_literals_use_extended_lengths() {
+        let mut x: u64 = 3;
+        let data: Vec<u8> = (0..70_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_matches_decompose() {
+        let data = vec![b'q'; 50_000];
+        let c = Snappy::new();
+        let packed = c.compress(&data);
+        assert!(packed.len() < 3000, "{}", packed.len());
+        assert_eq!(c.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_copies() {
+        let mut data = b"abc".to_vec();
+        for _ in 0..1000 {
+            data.extend_from_slice(b"abc");
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 65_535, 1 << 20, u32::MAX as u64] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let c = Snappy::new();
+        let packed = c.compress(&log_corpus());
+        assert!(c.decompress(&packed[..8]).is_err());
+        let mut bad = packed.clone();
+        bad[0] = b'X';
+        assert!(c.decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn bad_offset_rejected() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(MAGIC);
+        stream.push(1);
+        write_varint(&mut stream, 10);
+        stream.push(0b10 | (3 << 2)); // copy len 4
+        stream.extend_from_slice(&[0, 0]); // offset 0
+        assert!(matches!(
+            Snappy::new().decompress(&stream),
+            Err(DecompressError::BadReference { .. })
+        ));
+    }
+}

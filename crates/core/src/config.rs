@@ -1,0 +1,80 @@
+use mithrilog_compress::LzahConfig;
+use mithrilog_filter::FilterParams;
+use mithrilog_index::IndexParams;
+use mithrilog_storage::DevicePerfModel;
+use mithrilog_tokenizer::TokenizerConfig;
+
+/// Configuration of a complete MithriLog system.
+///
+/// Defaults reproduce the paper's prototype: 4 KB pages, the 16-byte
+/// datapath, a 256-row / 8-set cuckoo filter, the 16 KB LZAH hash table and
+/// the BlueDBM device performance model.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// LZAH codec parameters.
+    pub lzah: LzahConfig,
+    /// Hardware filter parameters.
+    pub filter: FilterParams,
+    /// Tokenizer array parameters.
+    pub tokenizer: TokenizerConfig,
+    /// Inverted index parameters.
+    pub index: IndexParams,
+    /// Storage device performance model.
+    pub device: DevicePerfModel,
+    /// Whether queries use the inverted index (disable to force the
+    /// full-scan comparison of §7.4.2).
+    pub use_index: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            lzah: LzahConfig::default(),
+            filter: FilterParams::default(),
+            tokenizer: TokenizerConfig::default(),
+            index: IndexParams::default(),
+            device: DevicePerfModel::bluedbm_prototype(),
+            use_index: true,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The §7.4.2 configuration: "MithriLog was also configured to not use
+    /// the inverted index, and scan the whole dataset for each query."
+    pub fn full_scan_only() -> Self {
+        SystemConfig {
+            use_index: false,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// A configuration with a small index for fast unit tests.
+    pub fn for_tests() -> Self {
+        SystemConfig {
+            index: IndexParams::small(),
+            ..SystemConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_prototype() {
+        let c = SystemConfig::default();
+        assert_eq!(c.tokenizer.word_bytes, 16);
+        assert_eq!(c.filter.rows, 256);
+        assert_eq!(c.filter.flag_pairs, 8);
+        assert_eq!(c.lzah.word_bytes, 16);
+        assert_eq!(c.device.page_bytes, 4096);
+        assert!(c.use_index);
+    }
+
+    #[test]
+    fn full_scan_only_disables_index() {
+        assert!(!SystemConfig::full_scan_only().use_index);
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use mithrilog_compress::DecompressError;
+use mithrilog_query::ParseQueryError;
+use mithrilog_storage::StorageError;
+
+/// Error from a MithriLog system operation.
+#[derive(Debug, Clone)]
+pub enum MithriLogError {
+    /// Storage device error.
+    Storage(StorageError),
+    /// Query text could not be parsed.
+    Parse(ParseQueryError),
+    /// A stored page failed to decompress (corruption).
+    Decompress(DecompressError),
+}
+
+impl fmt::Display for MithriLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MithriLogError::Storage(e) => write!(f, "storage error: {e}"),
+            MithriLogError::Parse(e) => write!(f, "query parse error: {e}"),
+            MithriLogError::Decompress(e) => write!(f, "page decompression error: {e}"),
+        }
+    }
+}
+
+impl Error for MithriLogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MithriLogError::Storage(e) => Some(e),
+            MithriLogError::Parse(e) => Some(e),
+            MithriLogError::Decompress(e) => Some(e),
+        }
+    }
+}
+
+impl From<StorageError> for MithriLogError {
+    fn from(e: StorageError) -> Self {
+        MithriLogError::Storage(e)
+    }
+}
+
+impl From<ParseQueryError> for MithriLogError {
+    fn from(e: ParseQueryError) -> Self {
+        MithriLogError::Parse(e)
+    }
+}
+
+impl From<DecompressError> for MithriLogError {
+    fn from(e: DecompressError) -> Self {
+        MithriLogError::Decompress(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = MithriLogError::from(ParseQueryError::Empty);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("parse"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<MithriLogError>();
+    }
+}

@@ -1,0 +1,108 @@
+use std::time::Duration;
+
+use mithrilog_storage::CostLedger;
+
+/// Report of one ingest call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Raw bytes ingested.
+    pub raw_bytes: u64,
+    /// Lines ingested.
+    pub lines: u64,
+    /// Data pages written.
+    pub data_pages: u64,
+    /// Compressed bytes across the new data pages (before page padding).
+    pub compressed_bytes: u64,
+}
+
+impl IngestReport {
+    /// Compression ratio achieved for this batch.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+/// Result of one query execution.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Matching log lines, in storage order.
+    pub lines: Vec<String>,
+    /// Whether the query was offloaded to the hardware filter model
+    /// (`false` = software fallback after a failed compile).
+    pub offloaded: bool,
+    /// Whether the index pruned pages (`false` = full scan).
+    pub used_index: bool,
+    /// Data pages scanned.
+    pub pages_scanned: u64,
+    /// Decompressed bytes pushed through the filter.
+    pub bytes_filtered: u64,
+    /// Lines examined by the filter.
+    pub lines_scanned: u64,
+    /// Device access ledger for this query (index + data reads).
+    pub ledger: CostLedger,
+    /// Modeled device + accelerator time for this query on the prototype
+    /// hardware (index chain latency + max of storage supply and filter
+    /// drain).
+    pub modeled_time: Duration,
+    /// Wall-clock time of the software execution of the functional model.
+    pub wall_time: Duration,
+}
+
+impl QueryOutcome {
+    /// Matching line count.
+    pub fn match_count(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Effective throughput against the original dataset size, using the
+    /// modeled hardware time (the paper's §7.4.2 metric).
+    pub fn effective_throughput_gbps(&self, dataset_bytes: u64) -> f64 {
+        if self.modeled_time.is_zero() {
+            return f64::INFINITY;
+        }
+        dataset_bytes as f64 / self.modeled_time.as_secs_f64() / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_ratio() {
+        let r = IngestReport {
+            raw_bytes: 1000,
+            lines: 10,
+            data_pages: 1,
+            compressed_bytes: 250,
+        };
+        assert!((r.compression_ratio() - 4.0).abs() < 1e-12);
+        let empty = IngestReport {
+            raw_bytes: 0,
+            lines: 0,
+            data_pages: 0,
+            compressed_bytes: 0,
+        };
+        assert_eq!(empty.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn throughput_uses_modeled_time() {
+        let o = QueryOutcome {
+            lines: vec![],
+            offloaded: true,
+            used_index: true,
+            pages_scanned: 0,
+            bytes_filtered: 0,
+            lines_scanned: 0,
+            ledger: CostLedger::default(),
+            modeled_time: Duration::from_millis(100),
+            wall_time: Duration::ZERO,
+        };
+        assert!((o.effective_throughput_gbps(1_000_000_000) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,665 @@
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use mithrilog_compress::{compress_paged, Codec, Lzah};
+use mithrilog_filter::FilterPipeline;
+use mithrilog_index::{InvertedIndex, QueryPlan};
+use mithrilog_query::{parse, Query};
+use mithrilog_sim::{AcceleratorConfig, DatasetInputs, Throughput, ThroughputModel};
+use mithrilog_storage::{Link, MemStore, PageId, PageStore, SimSsd};
+use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer};
+
+use crate::config::SystemConfig;
+use crate::error::MithriLogError;
+use crate::outcome::{IngestReport, QueryOutcome};
+
+/// A complete MithriLog system: simulated accelerated SSD + index + host
+/// software (paper Figure 2).
+///
+/// Generic over the page-store backend: [`MemStore`] by default, or a
+/// [`FileStore`](mithrilog_storage::FileStore) for corpora larger than RAM
+/// (see [`MithriLog::with_store`]).
+#[derive(Debug)]
+pub struct MithriLog<S = MemStore> {
+    config: SystemConfig,
+    ssd: SimSsd<S>,
+    index: InvertedIndex,
+    tokenizer: Tokenizer,
+    /// Data pages in ingest order (index/leaf pages interleave on the same
+    /// device but are tracked by the index itself).
+    data_pages: Vec<PageId>,
+    total_raw_bytes: u64,
+    total_lines: u64,
+    total_compressed_bytes: u64,
+    stats: DatapathStats,
+    scatter: ScatterGather,
+    /// Logical clock for automatic snapshots (advances with ingested
+    /// lines; callers with real timestamps use [`MithriLog::snapshot_at`]).
+    logical_clock: u64,
+}
+
+impl MithriLog<MemStore> {
+    /// Creates an empty system on an in-memory device.
+    pub fn new(config: SystemConfig) -> Self {
+        let store = MemStore::new(config.device.page_bytes);
+        Self::with_store(store, config)
+    }
+}
+
+impl<S: PageStore> MithriLog<S> {
+    /// Creates an empty system on an explicit page store (e.g. a
+    /// [`FileStore`](mithrilog_storage::FileStore) for corpora larger than
+    /// RAM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's page size differs from the configured device
+    /// page size.
+    pub fn with_store(store: S, config: SystemConfig) -> Self {
+        assert_eq!(
+            store.page_bytes(),
+            config.device.page_bytes,
+            "store page size must match the device model"
+        );
+        let page_bytes = config.device.page_bytes;
+        MithriLog {
+            ssd: SimSsd::new(store, config.device),
+            index: InvertedIndex::with_page_bytes(config.index, page_bytes),
+            tokenizer: Tokenizer::new(config.tokenizer.clone()),
+            data_pages: Vec::new(),
+            total_raw_bytes: 0,
+            total_lines: 0,
+            total_compressed_bytes: 0,
+            stats: DatapathStats::new(),
+            scatter: ScatterGather::new(config.tokenizer.lanes),
+            logical_clock: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Total raw bytes ingested.
+    pub fn raw_bytes(&self) -> u64 {
+        self.total_raw_bytes
+    }
+
+    /// Total lines ingested.
+    pub fn lines(&self) -> u64 {
+        self.total_lines
+    }
+
+    /// Number of data pages stored.
+    pub fn data_page_count(&self) -> u64 {
+        self.data_pages.len() as u64
+    }
+
+    /// Overall LZAH compression ratio achieved so far.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.total_compressed_bytes == 0 {
+            1.0
+        } else {
+            self.total_raw_bytes as f64 / self.total_compressed_bytes as f64
+        }
+    }
+
+    /// Datapath statistics accumulated at ingest (Figure 13 inputs).
+    pub fn datapath_stats(&self) -> &DatapathStats {
+        &self.stats
+    }
+
+    /// The inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The simulated device, for inspection (access ledger, page counts).
+    pub fn device(&self) -> &SimSsd<S> {
+        &self.ssd
+    }
+
+    /// Mutable device access, for operational tooling (scrubbing,
+    /// corruption drills, ledger resets). Overwriting data pages behind the
+    /// system's back will surface as
+    /// [`MithriLogError::Decompress`] on the queries that touch them —
+    /// exactly what a corruption drill should observe.
+    pub fn device_mut(&mut self) -> &mut SimSsd<S> {
+        &mut self.ssd
+    }
+
+    /// The ids of the data pages, in ingest order.
+    pub fn data_pages(&self) -> &[PageId] {
+        &self.data_pages
+    }
+
+    /// The modeled accelerator throughput for the ingested corpus
+    /// (Figure 14's per-dataset bar).
+    pub fn modeled_throughput(&self) -> Throughput {
+        let util = {
+            let occ = self.scatter.occupancy();
+            if occ.lines == 0 {
+                1.0
+            } else {
+                occ.utilization
+            }
+        };
+        let inputs = DatasetInputs::from_stats(&self.stats, self.compression_ratio(), util);
+        ThroughputModel::new(AcceleratorConfig {
+            storage_internal_gbps: self.config.device.internal_bw / 1e9,
+            ..AcceleratorConfig::prototype()
+        })
+        .effective_throughput(&inputs)
+    }
+
+    /// Ingests a batch of log text: compress → store → index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn ingest(&mut self, text: &[u8]) -> Result<IngestReport, MithriLogError> {
+        let paged = compress_paged(text, self.config.lzah, self.config.device.page_bytes);
+        let mut offset = 0usize;
+        let mut report = IngestReport {
+            raw_bytes: 0,
+            lines: 0,
+            data_pages: 0,
+            compressed_bytes: 0,
+        };
+        for frame in paged.pages() {
+            let page = self.ssd.append(frame.data())?;
+            self.data_pages.push(page);
+            let slice = &text[offset..offset + frame.raw_len()];
+            offset += frame.raw_len();
+
+            // Index the page's distinct tokens.
+            let mut distinct: HashSet<&[u8]> = HashSet::new();
+            for line in slice.split(|b| *b == b'\n') {
+                for tok in self.tokenizer.tokens(line) {
+                    distinct.insert(tok);
+                }
+            }
+            self.index
+                .insert_page_tokens(&mut self.ssd, page, distinct)?;
+
+            // Accumulate datapath statistics for the throughput model.
+            self.stats.record_text(&self.tokenizer, slice);
+            self.scatter.schedule_text(&self.tokenizer, slice);
+
+            report.raw_bytes += frame.raw_len() as u64;
+            report.lines += frame.lines() as u64;
+            report.data_pages += 1;
+            report.compressed_bytes += frame.data().len() as u64;
+
+            self.logical_clock += frame.lines() as u64;
+            if self.index.should_snapshot() {
+                let watermark = PageId(self.ssd.page_count());
+                self.index
+                    .snapshot(&mut self.ssd, self.logical_clock, watermark)?;
+            }
+        }
+        self.total_raw_bytes += report.raw_bytes;
+        self.total_lines += report.lines;
+        self.total_compressed_bytes += report.compressed_bytes;
+        Ok(report)
+    }
+
+    /// Rebuilds the in-memory index (and the rest of the host-side state)
+    /// by rescanning the data pages — the recovery path after a host
+    /// restart, where the paper's in-memory hash table is lost and only the
+    /// pages survive on the device.
+    ///
+    /// The device keeps its existing pages; a fresh index is constructed
+    /// over them (old in-storage index nodes become garbage, as in any
+    /// log-structured design). Query results before and after a rebuild are
+    /// identical (covered by the recovery integration test).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and decompression errors from the rescan.
+    pub fn rebuild_index(&mut self) -> Result<(), MithriLogError> {
+        let codec = Lzah::new(self.config.lzah);
+        self.index =
+            InvertedIndex::with_page_bytes(self.config.index, self.config.device.page_bytes);
+        self.stats = DatapathStats::new();
+        self.scatter = ScatterGather::new(self.config.tokenizer.lanes);
+        self.total_raw_bytes = 0;
+        self.total_lines = 0;
+        self.total_compressed_bytes = 0;
+        let pages = self.data_pages.clone();
+        for page in pages {
+            let raw = self.ssd.read(page)?;
+            let text = codec.decompress(&raw)?;
+            let mut distinct: HashSet<&[u8]> = HashSet::new();
+            for line in text.split(|b| *b == b'\n') {
+                if !line.is_empty() {
+                    self.total_lines += 1;
+                }
+                for tok in self.tokenizer.tokens(line) {
+                    distinct.insert(tok);
+                }
+            }
+            self.index
+                .insert_page_tokens(&mut self.ssd, page, distinct)?;
+            self.stats.record_text(&self.tokenizer, &text);
+            self.scatter.schedule_text(&self.tokenizer, &text);
+            self.total_raw_bytes += text.len() as u64;
+            self.total_compressed_bytes += codec.frame_bytes(&raw)? as u64;
+        }
+        Ok(())
+    }
+
+    /// Takes an explicit index snapshot with a caller-supplied timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn snapshot_at(&mut self, timestamp: u64) -> Result<(), MithriLogError> {
+        let watermark = PageId(self.ssd.page_count());
+        self.index.snapshot(&mut self.ssd, timestamp, watermark)?;
+        Ok(())
+    }
+
+    /// Parses and executes a query.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors, storage errors, or decompression errors.
+    pub fn query_str(&mut self, query_text: &str) -> Result<QueryOutcome, MithriLogError> {
+        let q = parse(query_text)?;
+        self.query(&q)
+    }
+
+    /// Executes a query restricted to the time interval `[t1, t2]` using
+    /// the index's snapshot watermarks (§6.3 coarse time-based indexing):
+    /// the page plan is clipped to the page-id window bracketing the
+    /// interval, so untouched epochs cost nothing.
+    ///
+    /// Timestamps use whatever clock snapshots were taken with
+    /// ([`MithriLog::snapshot_at`], or the ingested-lines logical clock for
+    /// automatic snapshots).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MithriLog::query`].
+    pub fn query_time_range(
+        &mut self,
+        query: &Query,
+        t1: u64,
+        t2: u64,
+    ) -> Result<QueryOutcome, MithriLogError> {
+        let (lo, hi) = self.index.time_slice(t1, t2);
+        self.query_inner(query, Some((lo, hi)))
+    }
+
+    /// Executes a query end to end: index plan → page stream →
+    /// decompress → token filter → matching lines.
+    ///
+    /// If the query cannot be compiled onto the hardware filter (too many
+    /// sets/tokens or cuckoo placement failure), it transparently falls
+    /// back to software evaluation, as the paper prescribes; the outcome's
+    /// `offloaded` flag records which path ran.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and decompression errors.
+    pub fn query(&mut self, query: &Query) -> Result<QueryOutcome, MithriLogError> {
+        self.query_inner(query, None)
+    }
+
+    fn query_inner(
+        &mut self,
+        query: &Query,
+        window: Option<(Option<PageId>, Option<PageId>)>,
+    ) -> Result<QueryOutcome, MithriLogError> {
+        let wall_start = Instant::now();
+        let ledger_before = *self.ssd.ledger();
+
+        let plan = if self.config.use_index && self.index_probe_is_worthwhile(query) {
+            self.index.plan(&mut self.ssd, query)?
+        } else {
+            QueryPlan::FullScan
+        };
+        let (mut pages, used_index): (Vec<PageId>, bool) = match &plan {
+            QueryPlan::Pages(p) => (p.clone(), true),
+            QueryPlan::FullScan => (self.data_pages.clone(), false),
+        };
+        if let Some((lo, hi)) = window {
+            pages.retain(|p| lo.is_none_or(|l| *p >= l) && hi.is_none_or(|h| *p < h));
+        }
+
+        let pipeline = FilterPipeline::compile_with(
+            query,
+            self.config.filter,
+            self.config.tokenizer.clone(),
+        );
+        let offloaded = pipeline.is_ok();
+
+        let codec = Lzah::new(self.config.lzah);
+        let mut lines: Vec<String> = Vec::new();
+        let mut bytes_filtered = 0u64;
+        let mut lines_scanned = 0u64;
+        let data_pages_scanned = pages.len() as u64;
+        for page in pages {
+            let raw = self.ssd.read(page)?;
+            let text = codec.decompress(&raw)?;
+            bytes_filtered += text.len() as u64;
+            match &pipeline {
+                Ok(p) => {
+                    let (kept, stats) = p.filter_text_with_stats(&text);
+                    lines_scanned += stats.lines_in;
+                    lines.extend(
+                        kept.into_iter()
+                            .map(|l| String::from_utf8_lossy(l).into_owned()),
+                    );
+                }
+                Err(_) => {
+                    for line in text.split(|b| *b == b'\n') {
+                        if line.is_empty() {
+                            continue;
+                        }
+                        lines_scanned += 1;
+                        let s = String::from_utf8_lossy(line);
+                        if query.matches_line(&s) {
+                            lines.push(s.into_owned());
+                        }
+                    }
+                }
+            }
+        }
+
+        let ledger = self.ssd.ledger().since(&ledger_before);
+        let modeled_time = self.model_query_time(&ledger, bytes_filtered, &lines);
+        Ok(QueryOutcome {
+            lines,
+            offloaded,
+            used_index,
+            pages_scanned: data_pages_scanned,
+            bytes_filtered,
+            lines_scanned,
+            ledger,
+            modeled_time,
+            wall_time: wall_start.elapsed(),
+        })
+    }
+
+    /// Cost-based planner gate: probing the index pays latency-exposed root
+    /// visits and leaf-node reads for *every* positive token, while a full
+    /// scan streams data pages at internal bandwidth. Using only the
+    /// index's in-memory counters (no storage access), skip the probe when
+    /// its modeled cost already exceeds the full scan — which happens for
+    /// broad multi-template unions whose page sets cover most of the corpus
+    /// anyway (§7.4.2 shows full scans are cheap for MithriLog).
+    fn index_probe_is_worthwhile(&self, query: &Query) -> bool {
+        let model = &self.config.device;
+        let total_pages = self.data_pages.len() as u64;
+        if total_pages == 0 {
+            return true; // nothing to scan either way
+        }
+        // One dependent visit stalls the stream for latency × bandwidth
+        // worth of pages.
+        let visit_page_equiv = (model.read_latency.as_secs_f64() * model.internal_bw
+            / model.page_bytes as f64)
+            .max(1.0);
+        let mut planned_cost = 0.0;
+        for set in query.sets() {
+            let probes = self.index.probe_selection(set);
+            if probes.is_empty() {
+                // A negative-only set forces a full scan regardless.
+                return false;
+            }
+            let mut set_min = u64::MAX;
+            for token in probes {
+                let est = self.index.estimated_pages(token.as_bytes());
+                let (roots, leaves) = self.index.estimated_lookup_reads(token.as_bytes());
+                planned_cost += roots as f64 * visit_page_equiv + leaves as f64;
+                set_min = set_min.min(est);
+            }
+            planned_cost += set_min as f64;
+        }
+        planned_cost < total_pages as f64
+    }
+
+    /// Modeled prototype time for one query: the index's latency-bound root
+    /// chain, then the pipelined page stream (storage supply overlapped
+    /// with accelerator drain), then the result transfer to host over PCIe.
+    fn model_query_time(
+        &self,
+        ledger: &mithrilog_storage::CostLedger,
+        bytes_filtered: u64,
+        lines: &[String],
+    ) -> Duration {
+        let model = &self.config.device;
+        let chain = model.dependent_chain_time(ledger.dependent_visits);
+        let bulk_pages = ledger.pages_read.saturating_sub(ledger.dependent_visits);
+        let supply = model.parallel_read_time(bulk_pages, Link::Internal);
+        let accel_gbps = self.modeled_throughput().total_gbps.max(1e-9);
+        let drain = Duration::from_secs_f64(bytes_filtered as f64 / (accel_gbps * 1e9));
+        let result_bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+        let host = model.stream_time(result_bytes, Link::External);
+        chain + supply.max(drain) + host
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: &str = "\
+RAS KERNEL INFO instruction cache parity error corrected\n\
+RAS KERNEL FATAL data storage interrupt\n\
+RAS APP FATAL ciod: Error loading /g/g24/user/program\n\
+pbs_mom: scan_for_exiting, job 4161 task 1 terminated\n\
+RAS KERNEL INFO generating core.2275\n";
+
+    fn system_with(log: &str) -> MithriLog {
+        let mut s = MithriLog::new(SystemConfig::for_tests());
+        s.ingest(log.as_bytes()).unwrap();
+        s
+    }
+
+    #[test]
+    fn ingest_reports_counts_and_compression() {
+        let mut s = MithriLog::new(SystemConfig::for_tests());
+        let big: String = LOG.repeat(100);
+        let r = s.ingest(big.as_bytes()).unwrap();
+        assert_eq!(r.raw_bytes, big.len() as u64);
+        assert_eq!(r.lines, 500);
+        assert!(r.data_pages >= 1);
+        assert!(r.compression_ratio() > 2.0);
+        assert_eq!(s.lines(), 500);
+        assert_eq!(s.raw_bytes(), big.len() as u64);
+    }
+
+    #[test]
+    fn simple_query_end_to_end() {
+        let mut s = system_with(LOG);
+        let o = s.query_str("FATAL").unwrap();
+        assert_eq!(o.match_count(), 2);
+        assert!(o.offloaded);
+        assert!(o.lines.iter().all(|l| l.contains("FATAL")));
+    }
+
+    #[test]
+    fn negation_query_end_to_end() {
+        let mut s = system_with(LOG);
+        let o = s.query_str("FATAL AND NOT ciod:").unwrap();
+        assert_eq!(o.match_count(), 1);
+        assert!(o.lines[0].contains("data storage interrupt"));
+    }
+
+    #[test]
+    fn results_agree_with_reference_on_larger_corpus() {
+        let big: String = LOG.repeat(200);
+        let mut s = system_with(&big);
+        for qs in [
+            "KERNEL AND INFO",
+            "pbs_mom: OR ciod:",
+            "RAS AND NOT FATAL",
+            "NOT RAS",
+        ] {
+            let o = s.query_str(qs).unwrap();
+            let q = parse(qs).unwrap();
+            let want = big.lines().filter(|l| q.matches_line(l)).count() as u64;
+            assert_eq!(o.match_count(), want, "query {qs:?}");
+        }
+    }
+
+    #[test]
+    fn index_prunes_pages_for_selective_queries() {
+        // Many pages, but the rare token lives in only a few. Uses the
+        // default-size index: the tiny test index saturates its 256 entries
+        // on this corpus's thousands of distinct tokens and stops pruning.
+        let mut text = String::new();
+        for i in 0..3000 {
+            if i == 1500 {
+                text.push_str("unique-needle-token appears here\n");
+            }
+            text.push_str(&format!("filler line number {i} with routine content\n"));
+        }
+        let mut s = MithriLog::new(SystemConfig::default());
+        s.ingest(text.as_bytes()).unwrap();
+        assert!(s.data_page_count() > 5);
+        let o = s.query_str("unique-needle-token").unwrap();
+        assert_eq!(o.match_count(), 1);
+        assert!(o.used_index);
+        assert!(
+            o.pages_scanned < s.data_page_count() / 2,
+            "index should prune: scanned {} of {}",
+            o.pages_scanned,
+            s.data_page_count()
+        );
+    }
+
+    #[test]
+    fn negative_only_query_full_scans_but_is_correct() {
+        let mut s = system_with(LOG);
+        let o = s.query_str("NOT RAS").unwrap();
+        assert!(!o.used_index);
+        assert_eq!(o.match_count(), 1);
+        assert!(o.lines[0].starts_with("pbs_mom:"));
+    }
+
+    #[test]
+    fn full_scan_config_never_uses_index() {
+        let mut s = MithriLog::new(SystemConfig {
+            use_index: false,
+            ..SystemConfig::for_tests()
+        });
+        s.ingest(LOG.repeat(50).as_bytes()).unwrap();
+        let o = s.query_str("FATAL").unwrap();
+        assert!(!o.used_index);
+        assert_eq!(o.lines_scanned, 250);
+    }
+
+    #[test]
+    fn oversized_query_falls_back_to_software() {
+        let mut s = system_with(LOG);
+        // 9 OR-terms exceed the 8 flag pairs.
+        let q = Query::any_of((0..9).map(|i| format!("t{i}")).collect::<Vec<_>>())
+            .or(Query::all_of(["FATAL"]));
+        let o = s.query(&q).unwrap();
+        assert!(!o.offloaded, "10 sets cannot compile onto 8 flag pairs");
+        assert_eq!(o.match_count(), 2, "software fallback is still correct");
+    }
+
+    #[test]
+    fn modeled_time_is_positive_and_scales_with_work() {
+        let mut s = system_with(&LOG.repeat(500));
+        let selective = s.query_str("nonexistent-token-xyz").unwrap();
+        let full = s.query_str("NOT nonexistent-token-xyz").unwrap();
+        assert!(full.modeled_time > selective.modeled_time);
+        assert!(full.modeled_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn modeled_throughput_lands_in_paper_band() {
+        let mut s = system_with(&LOG.repeat(2000));
+        let t = s.modeled_throughput();
+        assert!(
+            t.total_gbps > 8.0 && t.total_gbps <= 12.8,
+            "modeled {:.2} GB/s ({})",
+            t.total_gbps,
+            t.bound_by
+        );
+        let _ = s.query_str("RAS").unwrap();
+    }
+
+    #[test]
+    fn snapshots_happen_automatically() {
+        let mut s = MithriLog::new(SystemConfig {
+            index: mithrilog_index::IndexParams {
+                snapshot_leaf_pages: 1,
+                ..mithrilog_index::IndexParams::small()
+            },
+            ..SystemConfig::for_tests()
+        });
+        s.ingest(LOG.repeat(400).as_bytes()).unwrap();
+        assert!(!s.index().snapshots().is_empty());
+        // Queries still work after snapshots.
+        let o = s.query_str("FATAL AND NOT ciod:").unwrap();
+        assert_eq!(o.match_count(), 400);
+    }
+
+    #[test]
+    fn multiple_ingest_batches_accumulate() {
+        let mut s = MithriLog::new(SystemConfig::for_tests());
+        s.ingest(b"alpha event one\n").unwrap();
+        s.ingest(b"beta event two\n").unwrap();
+        let o = s.query_str("event").unwrap();
+        assert_eq!(o.match_count(), 2);
+        assert_eq!(s.lines(), 2);
+    }
+
+    #[test]
+    fn time_range_query_clips_to_snapshot_windows() {
+        let mut s = MithriLog::new(SystemConfig::for_tests());
+        // "Day 1": only INFO lines; snapshot; "day 2": only FATAL lines.
+        s.ingest("RAS KERNEL INFO cache parity error corrected\n".repeat(200).as_bytes())
+            .unwrap();
+        s.snapshot_at(100).unwrap();
+        s.ingest("RAS KERNEL FATAL data storage interrupt\n".repeat(200).as_bytes())
+            .unwrap();
+        s.snapshot_at(200).unwrap();
+
+        let q = parse("RAS").unwrap();
+        // Whole history: both days.
+        assert_eq!(s.query(&q).unwrap().match_count(), 400);
+        // Day 1 only.
+        let day1 = s.query_time_range(&q, 0, 100).unwrap();
+        assert_eq!(day1.match_count(), 200);
+        assert!(day1.lines.iter().all(|l| l.contains("INFO")));
+        // Day 2 only.
+        let day2 = s.query_time_range(&q, 101, 250).unwrap();
+        assert_eq!(day2.match_count(), 200);
+        assert!(day2.lines.iter().all(|l| l.contains("FATAL")));
+        // Interval after all snapshots: unbounded above, still day 2 data.
+        let tail = s.query_time_range(&q, 201, 999).unwrap();
+        assert_eq!(tail.match_count(), 0, "no data ingested after t=200");
+    }
+
+    #[test]
+    fn planner_gate_skips_index_for_broad_unions() {
+        // A union of hot tokens that appear on essentially every page: the
+        // index probe would pay chain latency for no pruning, so the
+        // cost-based gate must choose a full scan.
+        let mut s = system_with(&LOG.repeat(500));
+        let broad = Query::any_of(["RAS", "KERNEL", "FATAL", "INFO", "pbs_mom:"]);
+        let o = s.query(&broad).unwrap();
+        assert!(!o.used_index, "broad union should full-scan");
+        // A needle token still goes through the index.
+        let needle = s.query_str("nonexistent-needle-xyz").unwrap();
+        assert!(needle.used_index);
+        assert_eq!(needle.pages_scanned, 0);
+    }
+
+    #[test]
+    fn empty_system_returns_no_matches() {
+        let mut s = MithriLog::new(SystemConfig::for_tests());
+        let o = s.query_str("anything").unwrap();
+        assert_eq!(o.match_count(), 0);
+        assert_eq!(o.pages_scanned, 0);
+    }
+}

@@ -1,0 +1,153 @@
+use std::fmt;
+
+/// A fixed-width bitmap with one bit per hash table row (paper §4.2.3).
+///
+/// The engine keeps one bitmap per intersection set per in-flight line; a
+/// set is satisfied when its bitmap exactly equals the compiled query
+/// bitmap. On the 256-row prototype this is a 256-bit register; we store
+/// `u64` limbs.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    limbs: Vec<u64>,
+    bits: usize,
+}
+
+impl Bitmap {
+    /// Creates an all-zero bitmap of `bits` width.
+    pub fn new(bits: usize) -> Self {
+        Bitmap {
+            limbs: vec![0; bits.div_ceil(64)],
+            bits,
+        }
+    }
+
+    /// Width in bits.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Sets bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn set(&mut self, idx: usize) {
+        assert!(idx < self.bits, "bit {idx} out of range {}", self.bits);
+        self.limbs[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Tests bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.bits, "bit {idx} out of range {}", self.bits);
+        self.limbs[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Clears all bits (per-line reset in the engine).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.limbs.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap[{} bits:", self.bits)?;
+        let mut first = true;
+        for i in 0..self.bits {
+            if self.get(i) {
+                if first {
+                    write!(f, " {i}")?;
+                    first = false;
+                } else {
+                    write!(f, ",{i}")?;
+                }
+            }
+        }
+        if first {
+            write!(f, " empty")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let b = Bitmap::new(256);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 256);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_limbs() {
+        let mut b = Bitmap::new(256);
+        for idx in [0, 1, 63, 64, 127, 128, 200, 255] {
+            b.set(idx);
+            assert!(b.get(idx));
+        }
+        assert_eq!(b.count_ones(), 8);
+        assert!(!b.get(2));
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let mut a = Bitmap::new(128);
+        let mut b = Bitmap::new(128);
+        a.set(5);
+        assert_ne!(a, b);
+        b.set(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = Bitmap::new(64);
+        b.set(10);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn non_multiple_of_64_width_works() {
+        let mut b = Bitmap::new(100);
+        b.set(99);
+        assert!(b.get(99));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        Bitmap::new(100).set(100);
+    }
+
+    #[test]
+    fn debug_lists_set_bits() {
+        let mut b = Bitmap::new(16);
+        b.set(3);
+        b.set(9);
+        let s = format!("{b:?}");
+        assert!(s.contains('3'));
+        assert!(s.contains('9'));
+    }
+}

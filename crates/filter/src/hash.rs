@@ -1,0 +1,150 @@
+/// The two hash functions of the cuckoo filter (paper §4.2.1).
+///
+/// Hardware computes both hashes combinationally over the token bytes; we
+/// model them with two independently-seeded FNV-1a–style mixes reduced to a
+/// table row index. Both functions must be deterministic and identical
+/// between compile time (placement) and query time (lookup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenHasher {
+    rows: usize,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+const BASIS_1: u64 = 0xCBF2_9CE4_8422_2325;
+// A second, unrelated offset basis gives an independent second function.
+const BASIS_2: u64 = 0x9AE1_6A3B_2F90_404F;
+
+fn fnv1a(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche so the low bits used for row selection depend on all
+    // input bytes even for short tokens.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h
+}
+
+impl TokenHasher {
+    /// Creates a hasher producing row indices in `0..rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    pub fn new(rows: usize) -> Self {
+        assert!(rows > 0, "hash table must have at least one row");
+        TokenHasher { rows }
+    }
+
+    /// Number of rows indices are reduced into.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// First hash function: token bytes → row index.
+    #[inline]
+    pub fn h1(&self, token: &[u8]) -> usize {
+        (fnv1a(BASIS_1, token) % self.rows as u64) as usize
+    }
+
+    /// Second hash function: token bytes → row index.
+    #[inline]
+    pub fn h2(&self, token: &[u8]) -> usize {
+        (fnv1a(BASIS_2, token) % self.rows as u64) as usize
+    }
+
+    /// Both candidate rows for a token, in probe order.
+    #[inline]
+    pub fn candidates(&self, token: &[u8]) -> [usize; 2] {
+        [self.h1(token), self.h2(token)]
+    }
+
+    /// Given one occupied row of a token, returns the alternate row (used by
+    /// cuckoo eviction). If both hashes collide on the same row, the
+    /// alternate equals the current row.
+    pub fn alternate(&self, token: &[u8], current: usize) -> usize {
+        let [a, b] = self.candidates(token);
+        if current == a {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic() {
+        let h = TokenHasher::new(256);
+        assert_eq!(h.h1(b"FATAL"), h.h1(b"FATAL"));
+        assert_eq!(h.h2(b"FATAL"), h.h2(b"FATAL"));
+    }
+
+    #[test]
+    fn hashes_are_independent() {
+        let h = TokenHasher::new(256);
+        // Over many tokens the two functions should disagree nearly always.
+        let mut same = 0;
+        for i in 0..1000 {
+            let t = format!("token-{i}");
+            if h.h1(t.as_bytes()) == h.h2(t.as_bytes()) {
+                same += 1;
+            }
+        }
+        // Expected collisions ≈ 1000/256 ≈ 4.
+        assert!(same < 20, "too many h1==h2 coincidences: {same}");
+    }
+
+    #[test]
+    fn rows_bound_respected() {
+        let h = TokenHasher::new(7);
+        for i in 0..500 {
+            let t = format!("t{i}");
+            assert!(h.h1(t.as_bytes()) < 7);
+            assert!(h.h2(t.as_bytes()) < 7);
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let h = TokenHasher::new(64);
+        let mut counts = [0usize; 64];
+        for i in 0..6400 {
+            counts[h.h1(format!("w{i}").as_bytes())] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        // Mean is 100; loose bounds catch catastrophic skew only.
+        assert!(max < 180, "max bucket {max}");
+        assert!(min > 40, "min bucket {min}");
+    }
+
+    #[test]
+    fn alternate_flips_between_candidates() {
+        let h = TokenHasher::new(256);
+        let t = b"pbs_mom:";
+        let [a, b] = h.candidates(t);
+        assert_eq!(h.alternate(t, a), b);
+        assert_eq!(h.alternate(t, b), a);
+    }
+
+    #[test]
+    fn single_byte_tokens_spread() {
+        let h = TokenHasher::new(256);
+        let rows: std::collections::HashSet<usize> =
+            (0u8..=255).map(|b| h.h1(&[b])).collect();
+        assert!(rows.len() > 150, "only {} distinct rows", rows.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_panics() {
+        TokenHasher::new(0);
+    }
+}

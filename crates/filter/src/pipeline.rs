@@ -1,0 +1,288 @@
+use mithrilog_query::Query;
+use mithrilog_tokenizer::{Tokenizer, TokenizerConfig};
+
+use crate::compile::{CompiledQuery, FilterParams};
+use crate::engine::HashFilter;
+use crate::error::QueryCompileError;
+
+/// A complete filter pipeline: tokenizer array + hash filter (paper
+/// Figure 3, minus the decompressor, which lives in `mithrilog-compress`).
+///
+/// This is the functional unit callers use to filter raw text. The
+/// prototype instantiates four of these; because the gather stage restores
+/// line order, N pipelines are functionally identical to one, so the
+/// multi-pipeline aspect only appears in the timing model
+/// (`mithrilog-sim`).
+#[derive(Debug, Clone)]
+pub struct FilterPipeline {
+    tokenizer: Tokenizer,
+    compiled: CompiledQuery,
+}
+
+/// Counters of a filtering run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Lines examined.
+    pub lines_in: u64,
+    /// Lines forwarded to the host.
+    pub lines_kept: u64,
+    /// Tokens processed.
+    pub tokens: u64,
+    /// Raw bytes examined (including newlines).
+    pub bytes_in: u64,
+}
+
+impl FilterPipeline {
+    /// Compiles a query with default (prototype) parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QueryCompileError`] from compilation; see
+    /// [`CompiledQuery::compile`].
+    pub fn compile(query: &Query) -> Result<Self, QueryCompileError> {
+        Self::compile_with(query, FilterParams::default(), TokenizerConfig::default())
+    }
+
+    /// Compiles a query with explicit filter and tokenizer parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QueryCompileError`] from compilation.
+    pub fn compile_with(
+        query: &Query,
+        params: FilterParams,
+        tokenizer: TokenizerConfig,
+    ) -> Result<Self, QueryCompileError> {
+        let compiled = CompiledQuery::compile(query, params)?;
+        Ok(FilterPipeline {
+            tokenizer: Tokenizer::new(tokenizer),
+            compiled,
+        })
+    }
+
+    /// The compiled query (table + bitmaps).
+    pub fn compiled(&self) -> &CompiledQuery {
+        &self.compiled
+    }
+
+    /// The tokenizer in use.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Evaluates a single line.
+    pub fn matches_line(&self, line: &[u8]) -> bool {
+        let mut filter = HashFilter::new(&self.compiled);
+        filter
+            .evaluate_line(self.tokenizer.tokens(line))
+            .keep
+    }
+
+    /// Filters a text buffer, yielding the kept lines in order.
+    pub fn filter_text<'a>(&'a self, text: &'a [u8]) -> KeptLines<'a> {
+        KeptLines {
+            pipeline: self,
+            filter: HashFilter::new(&self.compiled),
+            lines: text.split(|b| *b == b'\n'),
+        }
+    }
+
+    /// Tags every line of a text buffer with the index of the first
+    /// intersection set it satisfies, or `None` — the "tagging each log
+    /// line with template IDs" capability the paper lists as future work
+    /// (§8), which falls out of the bitmap datapath for free: each
+    /// intersection set of a compiled multi-template query corresponds to
+    /// one template.
+    pub fn tag_text<'a>(&'a self, text: &'a [u8]) -> TaggedLines<'a> {
+        fn is_newline(b: &u8) -> bool {
+            *b == b'\n'
+        }
+        TaggedLines {
+            pipeline: self,
+            filter: HashFilter::new(&self.compiled),
+            lines: text.split(is_newline as fn(&u8) -> bool),
+        }
+    }
+
+    /// Filters a text buffer and collects statistics in one pass.
+    pub fn filter_text_with_stats<'a>(&self, text: &'a [u8]) -> (Vec<&'a [u8]>, FilterStats) {
+        let mut stats = FilterStats::default();
+        let mut kept = Vec::new();
+        let mut filter = HashFilter::new(&self.compiled);
+        for line in text.split(|b| *b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            stats.lines_in += 1;
+            stats.bytes_in += line.len() as u64 + 1;
+            let before = filter.tokens_processed();
+            let verdict = filter.evaluate_line(self.tokenizer.tokens(line));
+            stats.tokens += filter.tokens_processed() - before;
+            if verdict.keep {
+                stats.lines_kept += 1;
+                kept.push(line);
+            }
+        }
+        (kept, stats)
+    }
+}
+
+/// Iterator over lines kept by [`FilterPipeline::filter_text`].
+#[derive(Debug)]
+pub struct KeptLines<'a> {
+    pipeline: &'a FilterPipeline,
+    filter: HashFilter<'a>,
+    lines: std::slice::Split<'a, u8, fn(&u8) -> bool>,
+}
+
+impl<'a> Iterator for KeptLines<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for line in self.lines.by_ref() {
+            if line.is_empty() {
+                continue;
+            }
+            let verdict = self
+                .filter
+                .evaluate_line(self.pipeline.tokenizer.tokens(line));
+            if verdict.keep {
+                return Some(line);
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over `(line, matched set)` pairs from
+/// [`FilterPipeline::tag_text`].
+#[derive(Debug)]
+pub struct TaggedLines<'a> {
+    pipeline: &'a FilterPipeline,
+    filter: HashFilter<'a>,
+    lines: std::slice::Split<'a, u8, fn(&u8) -> bool>,
+}
+
+impl<'a> Iterator for TaggedLines<'a> {
+    type Item = (&'a [u8], Option<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for line in self.lines.by_ref() {
+            if line.is_empty() {
+                continue;
+            }
+            let verdict = self
+                .filter
+                .evaluate_line(self.pipeline.tokenizer.tokens(line));
+            return Some((line, verdict.matched_set));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithrilog_query::parse;
+
+    const TEXT: &[u8] = b"RAS KERNEL INFO instruction cache parity error corrected\n\
+RAS KERNEL FATAL data storage interrupt\n\
+RAS APP FATAL ciod: Error loading job\n\
+pbs_mom: job 1234 started on node-17\n\
+RAS KERNEL INFO generating core.2275\n";
+
+    #[test]
+    fn filter_text_keeps_matching_lines_in_order() {
+        let q = parse("RAS AND KERNEL AND INFO").unwrap();
+        let p = FilterPipeline::compile(&q).unwrap();
+        let kept: Vec<&[u8]> = p.filter_text(TEXT).collect();
+        assert_eq!(kept.len(), 2);
+        assert!(kept[0].ends_with(b"corrected"));
+        assert!(kept[1].ends_with(b"core.2275"));
+    }
+
+    #[test]
+    fn template2_style_query_with_negation() {
+        // Template 2 of Figure 1: RAS, KERNEL, INFO but not FATAL.
+        let q = parse("RAS AND KERNEL AND NOT FATAL").unwrap();
+        let p = FilterPipeline::compile(&q).unwrap();
+        let (kept, stats) = p.filter_text_with_stats(TEXT);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(stats.lines_in, 5);
+        assert_eq!(stats.lines_kept, 2);
+        assert!(stats.tokens > 0);
+        assert_eq!(stats.bytes_in, TEXT.len() as u64);
+    }
+
+    #[test]
+    fn concurrent_queries_via_union() {
+        let q = parse("pbs_mom: OR (ciod: AND FATAL)").unwrap();
+        let p = FilterPipeline::compile(&q).unwrap();
+        let kept: Vec<&[u8]> = p.filter_text(TEXT).collect();
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn matches_line_is_consistent_with_filter_text() {
+        let q = parse("FATAL").unwrap();
+        let p = FilterPipeline::compile(&q).unwrap();
+        let via_iter: Vec<&[u8]> = p.filter_text(TEXT).collect();
+        let via_single: Vec<&[u8]> = TEXT
+            .split(|b| *b == b'\n')
+            .filter(|l| !l.is_empty() && p.matches_line(l))
+            .collect();
+        assert_eq!(via_iter, via_single);
+    }
+
+    #[test]
+    fn agrees_with_reference_on_random_queries() {
+        // Cross-validate the hardware model against the reference evaluator
+        // on every line/query combination.
+        let queries = [
+            "RAS",
+            "RAS AND NOT FATAL",
+            "NOT RAS",
+            "(KERNEL AND INFO) OR (APP AND FATAL)",
+            "pbs_mom: AND NOT ciod:",
+            "NOT KERNEL AND NOT pbs_mom:",
+        ];
+        for qs in queries {
+            let q = parse(qs).unwrap();
+            let p = FilterPipeline::compile(&q).unwrap();
+            for line in TEXT.split(|b| *b == b'\n').filter(|l| !l.is_empty()) {
+                let line_str = std::str::from_utf8(line).unwrap();
+                assert_eq!(
+                    p.matches_line(line),
+                    q.matches_line(line_str),
+                    "divergence on query {qs:?} line {line_str:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_text_yields_nothing() {
+        let q = parse("x").unwrap();
+        let p = FilterPipeline::compile(&q).unwrap();
+        assert_eq!(p.filter_text(b"").count(), 0);
+    }
+
+    #[test]
+    fn tag_text_assigns_set_indices() {
+        // Two "templates" joined as one query: set 0 = INFO lines,
+        // set 1 = pbs_mom lines.
+        let q = parse("(RAS AND INFO) OR pbs_mom:").unwrap();
+        let p = FilterPipeline::compile(&q).unwrap();
+        let tags: Vec<Option<usize>> = p.tag_text(TEXT).map(|(_, t)| t).collect();
+        assert_eq!(tags, vec![Some(0), None, None, Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn tag_text_visits_every_line() {
+        let q = parse("zzz-no-match").unwrap();
+        let p = FilterPipeline::compile(&q).unwrap();
+        let tagged: Vec<_> = p.tag_text(TEXT).collect();
+        assert_eq!(tagged.len(), 5);
+        assert!(tagged.iter().all(|(_, t)| t.is_none()));
+    }
+}

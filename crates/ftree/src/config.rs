@@ -1,0 +1,56 @@
+/// Parameters of FT-tree extraction.
+///
+/// Matches the knobs of the original method: a support threshold separating
+/// template words from variable values, and a child-count threshold
+/// detecting variable fields (a template position filled by many distinct
+/// values produces a node with many children).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtreeConfig {
+    /// Minimum occurrences for a token to participate in template paths;
+    /// rarer tokens are treated as variable values.
+    pub min_support: u64,
+    /// A node with more children than this is a variable field: its subtree
+    /// is cut during pruning.
+    pub max_children: usize,
+    /// Maximum template length in tokens (caps path depth).
+    pub max_depth: usize,
+    /// Minimum fraction of corpus lines a leaf must support for its path to
+    /// become a template (filters noise templates).
+    pub min_leaf_fraction: f64,
+}
+
+impl Default for FtreeConfig {
+    fn default() -> Self {
+        FtreeConfig {
+            min_support: 2,
+            max_children: 16,
+            max_depth: 12,
+            min_leaf_fraction: 0.0005,
+        }
+    }
+}
+
+impl FtreeConfig {
+    /// A permissive configuration for small test corpora.
+    pub fn for_tests() -> Self {
+        FtreeConfig {
+            min_support: 2,
+            max_children: 8,
+            max_depth: 10,
+            min_leaf_fraction: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_reasonable() {
+        let c = FtreeConfig::default();
+        assert!(c.min_support >= 1);
+        assert!(c.max_children > 1);
+        assert!(c.max_depth > 2);
+    }
+}

@@ -1,0 +1,105 @@
+use std::collections::HashMap;
+
+/// Global token frequency statistics over a corpus (step 1 of FT-tree).
+#[derive(Debug, Clone, Default)]
+pub struct TokenFrequencies {
+    counts: HashMap<String, u64>,
+    lines: u64,
+}
+
+impl TokenFrequencies {
+    /// Counts token frequencies over a whole text corpus (lines split on
+    /// `\n`, tokens on ASCII whitespace — the same delimiters as the
+    /// hardware tokenizer's default configuration).
+    pub fn of_text(text: &[u8]) -> Self {
+        let mut tf = TokenFrequencies::default();
+        for line in text.split(|b| *b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            tf.record_line(line);
+        }
+        tf
+    }
+
+    /// Records one line.
+    pub fn record_line(&mut self, line: &[u8]) {
+        self.lines += 1;
+        if let Ok(s) = std::str::from_utf8(line) {
+            for tok in s.split_ascii_whitespace() {
+                *self.counts.entry(tok.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Frequency of one token (0 if unseen).
+    pub fn freq(&self, token: &str) -> u64 {
+        self.counts.get(token).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct tokens observed.
+    pub fn distinct_tokens(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of lines observed.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Returns the line's *distinct* tokens ordered by descending global
+    /// frequency (ties broken lexicographically for determinism), keeping
+    /// only tokens with at least `min_support` occurrences — step 2 of
+    /// FT-tree. Variable values (numbers, ids) fall below the threshold and
+    /// vanish here.
+    pub fn order_line<'a>(&self, line: &'a str, min_support: u64) -> Vec<&'a str> {
+        let mut toks: Vec<&str> = Vec::new();
+        for tok in line.split_ascii_whitespace() {
+            if self.freq(tok) >= min_support && !toks.contains(&tok) {
+                toks.push(tok);
+            }
+        }
+        toks.sort_by(|a, b| self.freq(b).cmp(&self.freq(a)).then(a.cmp(b)));
+        toks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_whole_corpus() {
+        let tf = TokenFrequencies::of_text(b"a b a\nc a\n\nb\n");
+        assert_eq!(tf.freq("a"), 3);
+        assert_eq!(tf.freq("b"), 2);
+        assert_eq!(tf.freq("c"), 1);
+        assert_eq!(tf.freq("zzz"), 0);
+        assert_eq!(tf.lines(), 3);
+        assert_eq!(tf.distinct_tokens(), 3);
+    }
+
+    #[test]
+    fn order_line_sorts_by_global_frequency() {
+        let tf = TokenFrequencies::of_text(b"a a a b b c\n");
+        assert_eq!(tf.order_line("c b a", 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn order_line_applies_support_threshold() {
+        let tf = TokenFrequencies::of_text(b"common common common rare\n");
+        assert_eq!(tf.order_line("common rare", 2), vec!["common"]);
+    }
+
+    #[test]
+    fn order_line_deduplicates() {
+        let tf = TokenFrequencies::of_text(b"x x y\n");
+        assert_eq!(tf.order_line("x y x x", 1), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn ties_break_lexicographically() {
+        let tf = TokenFrequencies::of_text(b"beta alpha\n");
+        assert_eq!(tf.order_line("beta alpha", 1), vec!["alpha", "beta"]);
+    }
+}

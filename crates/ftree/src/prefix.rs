@@ -1,0 +1,278 @@
+//! Prefix-tree template extraction — the paper's §4.3 extension: "the
+//! engine can also trivially support prefix tree-based templates where
+//! tokens appearing earlier in a line appear closer to the root".
+//!
+//! Unlike the frequency tree, paths follow token *position*: the root's
+//! children are first-line tokens, their children second tokens, and so on
+//! (the family of Drain/Spell-style parsers). A node with too many children
+//! marks a variable column and is wildcarded.
+
+use std::collections::HashMap;
+
+use mithrilog_query::Query;
+
+use crate::config::FtreeConfig;
+
+/// A positional template: per column, either a fixed token or a wildcard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixTemplate {
+    columns: Vec<Option<String>>,
+    support: u64,
+}
+
+impl PrefixTemplate {
+    /// The per-column pattern; `None` is a wildcard (variable column).
+    pub fn columns(&self) -> &[Option<String>] {
+        &self.columns
+    }
+
+    /// Lines that produced this template.
+    pub fn support(&self) -> u64 {
+        self.support
+    }
+
+    /// Reference matcher with positional semantics.
+    pub fn matches_line(&self, line: &str) -> bool {
+        let toks: Vec<&str> = line.split_ascii_whitespace().collect();
+        if toks.len() < self.columns.len() {
+            return false;
+        }
+        self.columns
+            .iter()
+            .zip(&toks)
+            .all(|(col, tok)| col.as_deref().is_none_or(|c| c == *tok))
+    }
+
+    /// Translates to a token-presence query (dropping positional
+    /// constraints). The full positional check needs the filter's
+    /// column-field extension; this projection is the offload the paper's
+    /// base prototype supports, with exact positions re-checked in
+    /// software.
+    pub fn to_query(&self) -> Option<Query> {
+        let toks: Vec<String> = self.columns.iter().flatten().cloned().collect();
+        if toks.is_empty() {
+            None
+        } else {
+            Some(Query::all_of(toks))
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PNode {
+    children: HashMap<String, PNode>,
+    wildcard: Option<Box<PNode>>,
+    support: u64,
+    ends: u64,
+}
+
+/// Prefix-tree template extractor.
+#[derive(Debug)]
+pub struct PrefixTree {
+    root: PNode,
+    config: FtreeConfig,
+}
+
+impl PrefixTree {
+    /// Builds the tree over a corpus.
+    pub fn build(text: &[u8], config: &FtreeConfig) -> Self {
+        let mut tree = PrefixTree {
+            root: PNode::default(),
+            config: *config,
+        };
+        for line in text.split(|b| *b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            if let Ok(s) = std::str::from_utf8(line) {
+                tree.insert(s);
+            }
+        }
+        tree.collapse_variable_columns();
+        tree
+    }
+
+    fn insert(&mut self, line: &str) {
+        let toks: Vec<&str> = line
+            .split_ascii_whitespace()
+            .take(self.config.max_depth)
+            .collect();
+        let mut node = &mut self.root;
+        node.support += 1;
+        for tok in toks {
+            node = node.children.entry(tok.to_string()).or_default();
+            node.support += 1;
+        }
+        node.ends += 1;
+    }
+
+    /// Merges over-wide fanouts into wildcard children.
+    fn collapse_variable_columns(&mut self) {
+        let max_children = self.config.max_children;
+        fn walk(node: &mut PNode, max_children: usize) {
+            if node.children.len() > max_children {
+                // Merge all children into a single wildcard child.
+                let mut merged = PNode::default();
+                for (_, c) in node.children.drain() {
+                    merged.support += c.support;
+                    merged.ends += c.ends;
+                    for (t, gc) in c.children {
+                        let slot = merged.children.entry(t).or_default();
+                        merge_into(slot, gc);
+                    }
+                    if let Some(w) = c.wildcard {
+                        match &mut merged.wildcard {
+                            Some(mw) => merge_into(mw, *w),
+                            None => merged.wildcard = Some(w),
+                        }
+                    }
+                }
+                node.wildcard = Some(Box::new(merged));
+            }
+            for c in node.children.values_mut() {
+                walk(c, max_children);
+            }
+            if let Some(w) = &mut node.wildcard {
+                walk(w, max_children);
+            }
+        }
+        fn merge_into(dst: &mut PNode, src: PNode) {
+            dst.support += src.support;
+            dst.ends += src.ends;
+            for (t, c) in src.children {
+                let slot = dst.children.entry(t).or_default();
+                merge_into(slot, c);
+            }
+            if let Some(w) = src.wildcard {
+                match &mut dst.wildcard {
+                    Some(dw) => merge_into(dw, *w),
+                    None => dst.wildcard = Some(w),
+                }
+            }
+        }
+        walk(&mut self.root, max_children);
+    }
+
+    /// Extracts templates: every node where at least `min_support` lines
+    /// ended becomes a template.
+    pub fn templates(&self) -> Vec<PrefixTemplate> {
+        let min = self.config.min_support.max(1);
+        let mut out = Vec::new();
+        let mut cols: Vec<Option<String>> = Vec::new();
+        fn walk(
+            node: &PNode,
+            cols: &mut Vec<Option<String>>,
+            min: u64,
+            out: &mut Vec<PrefixTemplate>,
+        ) {
+            if node.ends >= min && !cols.is_empty() {
+                out.push(PrefixTemplate {
+                    columns: cols.clone(),
+                    support: node.ends,
+                });
+            }
+            let mut kids: Vec<(&String, &PNode)> = node.children.iter().collect();
+            kids.sort_by(|a, b| b.1.support.cmp(&a.1.support).then(a.0.cmp(b.0)));
+            for (tok, child) in kids {
+                cols.push(Some(tok.clone()));
+                walk(child, cols, min, out);
+                cols.pop();
+            }
+            if let Some(w) = &node.wildcard {
+                cols.push(None);
+                walk(w, cols, min, out);
+                cols.pop();
+            }
+        }
+        walk(&self.root, &mut cols, min, &mut out);
+        out.sort_by(|a, b| b.support.cmp(&a.support).then(a.columns.cmp(&b.columns)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<u8> {
+        let mut c = String::new();
+        for i in 0..30 {
+            c.push_str(&format!("kernel: oops at addr-{i:04x}\n"));
+        }
+        for i in 0..20 {
+            c.push_str(&format!("sshd: login from host-{i}\n"));
+        }
+        c.into_bytes()
+    }
+
+    #[test]
+    fn positional_templates_extracted() {
+        let tree = PrefixTree::build(&corpus(), &FtreeConfig::for_tests());
+        let templates = tree.templates();
+        assert!(!templates.is_empty());
+        // Top template has the larger support.
+        assert!(templates[0].support() >= templates.last().unwrap().support());
+        let kernel = templates
+            .iter()
+            .find(|t| t.columns().first() == Some(&Some("kernel:".to_string())))
+            .expect("kernel template");
+        assert!(kernel.matches_line("kernel: oops at addr-ffff"));
+        assert!(!kernel.matches_line("sshd: oops at addr-ffff"));
+    }
+
+    #[test]
+    fn wildcard_column_for_variable_fields() {
+        let tree = PrefixTree::build(&corpus(), &FtreeConfig::for_tests());
+        let templates = tree.templates();
+        let kernel = templates
+            .iter()
+            .find(|t| t.columns().first() == Some(&Some("kernel:".to_string())))
+            .expect("kernel template");
+        // The addr-XXXX column must be a wildcard.
+        assert!(
+            kernel.columns().iter().any(Option::is_none),
+            "variable column should be wildcarded: {:?}",
+            kernel.columns()
+        );
+    }
+
+    #[test]
+    fn positional_matcher_respects_positions() {
+        let t = PrefixTemplate {
+            columns: vec![Some("a".into()), None, Some("c".into())],
+            support: 1,
+        };
+        assert!(t.matches_line("a anything c tail"));
+        assert!(!t.matches_line("a anything d"));
+        assert!(!t.matches_line("x a c"));
+        assert!(!t.matches_line("a b"));
+    }
+
+    #[test]
+    fn to_query_projects_out_positions() {
+        let t = PrefixTemplate {
+            columns: vec![Some("a".into()), None, Some("c".into())],
+            support: 1,
+        };
+        let q = t.to_query().expect("has fixed tokens");
+        assert!(q.matches_line("c before a")); // order lost by projection
+        let all_wild = PrefixTemplate {
+            columns: vec![None, None],
+            support: 1,
+        };
+        assert!(all_wild.to_query().is_none());
+    }
+
+    #[test]
+    fn templates_cover_corpus_lines() {
+        let text = corpus();
+        let tree = PrefixTree::build(&text, &FtreeConfig::for_tests());
+        let templates = tree.templates();
+        for line in std::str::from_utf8(&text).unwrap().lines() {
+            assert!(
+                templates.iter().any(|t| t.matches_line(line)),
+                "uncovered line {line:?}"
+            );
+        }
+    }
+}

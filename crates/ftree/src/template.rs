@@ -1,0 +1,267 @@
+use mithrilog_query::{IntersectionSet, Query, Term};
+
+use crate::config::FtreeConfig;
+use crate::freq::TokenFrequencies;
+use crate::tree::FrequencyTree;
+
+/// One extracted log template: the frequency-ordered key tokens plus the
+/// sibling tokens whose absence identifies the template (§4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    id: usize,
+    tokens: Vec<String>,
+    negatives: Vec<String>,
+    support: u64,
+}
+
+impl Template {
+    /// Template id (index in the library).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Key tokens, most globally frequent first.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Tokens that must be absent for a line to match this template.
+    pub fn negatives(&self) -> &[String] {
+        &self.negatives
+    }
+
+    /// Number of corpus lines that produced this template.
+    pub fn support(&self) -> u64 {
+        self.support
+    }
+
+    /// Translates the template into a single-intersection-set query.
+    pub fn to_query(&self) -> Query {
+        Query::try_new(vec![self.to_intersection_set()])
+            .expect("template has at least one token")
+    }
+
+    /// The template as one intersection set, for joining multiple templates
+    /// into a single offloadable query with unions.
+    pub fn to_intersection_set(&self) -> IntersectionSet {
+        let mut set = IntersectionSet::of_tokens(self.tokens.iter().cloned());
+        for n in &self.negatives {
+            set.push(Term::negative(n.clone()));
+        }
+        set
+    }
+
+    /// Reference matcher: does a raw log line belong to this template?
+    pub fn matches_line(&self, line: &str) -> bool {
+        self.to_query().matches_line(line)
+    }
+}
+
+/// A library of templates extracted from one corpus.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateLibrary {
+    templates: Vec<Template>,
+}
+
+impl TemplateLibrary {
+    /// Extracts templates from a corpus with the FT-tree method.
+    pub fn extract(text: &[u8], config: &FtreeConfig) -> Self {
+        let (tree, freqs) = FrequencyTree::build(text, config);
+        Self::from_tree(&tree, &freqs)
+    }
+
+    /// Builds the library from an already-constructed tree.
+    pub fn from_tree(tree: &FrequencyTree, freqs: &TokenFrequencies) -> Self {
+        let mut templates: Vec<Template> = tree
+            .paths(freqs)
+            .into_iter()
+            .enumerate()
+            .map(|(id, (tokens, support, negatives))| Template {
+                id,
+                tokens,
+                negatives,
+                support,
+            })
+            .collect();
+        // Most common templates first, mirroring the paper's library files.
+        templates.sort_by(|a, b| b.support.cmp(&a.support).then(a.tokens.cmp(&b.tokens)));
+        for (id, t) in templates.iter_mut().enumerate() {
+            t.id = id;
+        }
+        TemplateLibrary { templates }
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// The templates, most common first.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Iterates over the templates.
+    pub fn iter(&self) -> std::slice::Iter<'_, Template> {
+        self.templates.iter()
+    }
+
+    /// One single-template query per template — the paper's "single query"
+    /// benchmark set.
+    pub fn queries(&self) -> Vec<Query> {
+        self.templates.iter().map(Template::to_query).collect()
+    }
+
+    /// Joins templates `ids` into one offloadable multi-template query
+    /// (union of their intersection sets), as in §4.3's
+    /// `(A ∩ B) ∪ (A ∩ C ∩ ¬B ∩ D ∩ E)` example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or any id is out of range.
+    pub fn joined_query(&self, ids: &[usize]) -> Query {
+        assert!(!ids.is_empty(), "need at least one template id");
+        let sets: Vec<IntersectionSet> = ids
+            .iter()
+            .map(|&i| self.templates[i].to_intersection_set())
+            .collect();
+        Query::try_new(sets).expect("template sets are non-empty")
+    }
+
+    /// Classifies a line: the id of the *deepest* (most-token) matching
+    /// template, if any. Templates can be prefixes of one another (`A∩C∩D`
+    /// vs `A∩C∩D∩E`), so the most specific match wins.
+    pub fn classify(&self, line: &str) -> Option<usize> {
+        let tokens: std::collections::HashSet<&str> = line.split_ascii_whitespace().collect();
+        self.templates
+            .iter()
+            .filter(|t| t.to_query().matches_token_set(&tokens))
+            .max_by_key(|t| t.tokens().len())
+            .map(Template::id)
+    }
+}
+
+impl<'a> IntoIterator for &'a TemplateLibrary {
+    type Item = &'a Template;
+    type IntoIter = std::slice::Iter<'a, Template>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<u8> {
+        let mut c = String::new();
+        for i in 0..30 {
+            c.push_str(&format!(
+                "RAS KERNEL INFO instruction cache parity error corrected seq-{i}\n"
+            ));
+        }
+        for i in 0..20 {
+            c.push_str(&format!("RAS KERNEL FATAL data storage interrupt at-{i}\n"));
+        }
+        for i in 0..10 {
+            c.push_str(&format!("RAS APP FATAL ciod: Error loading job-{i}\n"));
+        }
+        c.into_bytes()
+    }
+
+    #[test]
+    fn extracts_one_template_per_message_shape() {
+        let lib = TemplateLibrary::extract(&corpus(), &FtreeConfig::for_tests());
+        assert_eq!(lib.len(), 3, "three message shapes → three templates");
+        // Most common first.
+        assert!(lib.templates()[0].support() >= lib.templates()[1].support());
+    }
+
+    #[test]
+    fn templates_classify_their_own_lines() {
+        let text = corpus();
+        let lib = TemplateLibrary::extract(&text, &FtreeConfig::for_tests());
+        let mut classified = 0u64;
+        for line in std::str::from_utf8(&text).unwrap().lines() {
+            if lib.classify(line).is_some() {
+                classified += 1;
+            }
+        }
+        assert_eq!(classified, 60, "every line belongs to some template");
+    }
+
+    #[test]
+    fn template_queries_discriminate_between_templates() {
+        let text = corpus();
+        let lib = TemplateLibrary::extract(&text, &FtreeConfig::for_tests());
+        // Find the template containing "corrected" (INFO shape); its query
+        // must reject FATAL lines.
+        let info = lib
+            .iter()
+            .find(|t| t.tokens().iter().any(|x| x == "corrected"))
+            .expect("INFO template");
+        assert!(info.matches_line("RAS KERNEL INFO instruction cache parity error corrected seq-99"));
+        assert!(!info.matches_line("RAS KERNEL FATAL data storage interrupt at-7"));
+    }
+
+    #[test]
+    fn joined_query_matches_union_of_templates() {
+        let text = corpus();
+        let lib = TemplateLibrary::extract(&text, &FtreeConfig::for_tests());
+        let q = lib.joined_query(&[0, 1]);
+        assert_eq!(q.sets().len(), 2);
+        let t0_line = "RAS KERNEL INFO instruction cache parity error corrected seq-1";
+        assert_eq!(
+            q.matches_line(t0_line),
+            lib.templates()[0].matches_line(t0_line) || lib.templates()[1].matches_line(t0_line)
+        );
+    }
+
+    #[test]
+    fn queries_len_matches_library() {
+        let lib = TemplateLibrary::extract(&corpus(), &FtreeConfig::for_tests());
+        assert_eq!(lib.queries().len(), lib.len());
+        for q in lib.queries() {
+            assert_eq!(q.sets().len(), 1);
+        }
+    }
+
+    #[test]
+    fn negatives_keep_sibling_templates_apart() {
+        // Two shapes sharing a frequent prefix: the rarer, deeper template
+        // must not match lines of the more frequent sibling.
+        let mut c = String::new();
+        for _ in 0..40 {
+            c.push_str("svc common-a status ok\n");
+        }
+        for _ in 0..10 {
+            c.push_str("svc common-a detail xyz extra-depth\n");
+        }
+        let lib = TemplateLibrary::extract(c.as_bytes(), &FtreeConfig::for_tests());
+        let deep = lib
+            .iter()
+            .find(|t| t.tokens().iter().any(|x| x == "extra-depth"))
+            .expect("deep template");
+        assert!(!deep.matches_line("svc common-a status ok"));
+        assert!(deep.matches_line("svc common-a detail xyz extra-depth"));
+    }
+
+    #[test]
+    fn empty_corpus_gives_empty_library() {
+        let lib = TemplateLibrary::extract(b"", &FtreeConfig::for_tests());
+        assert!(lib.is_empty());
+        assert!(lib.classify("anything").is_none());
+    }
+
+    #[test]
+    fn into_iterator_yields_all_templates() {
+        let lib = TemplateLibrary::extract(&corpus(), &FtreeConfig::for_tests());
+        assert_eq!((&lib).into_iter().count(), lib.len());
+    }
+}

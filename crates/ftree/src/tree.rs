@@ -1,0 +1,261 @@
+use std::collections::HashMap;
+
+use crate::config::FtreeConfig;
+use crate::freq::TokenFrequencies;
+
+/// A node of the frequency tree.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Node {
+    pub children: HashMap<String, Node>,
+    /// Lines whose path passes through this node.
+    pub support: u64,
+    /// Lines whose path ends exactly here (template shapes can be prefixes
+    /// of one another, e.g. `A C D` and `A C D E` in Figure 7).
+    pub ends: u64,
+}
+
+/// The FT-tree: frequent tokens near the root, one path per message shape
+/// (paper Figure 7).
+#[derive(Debug, Clone)]
+pub struct FrequencyTree {
+    root: Node,
+    config: FtreeConfig,
+    lines: u64,
+}
+
+impl FrequencyTree {
+    /// Builds and prunes the tree over a corpus in two passes (frequency
+    /// counting, then path insertion).
+    pub fn build(text: &[u8], config: &FtreeConfig) -> (Self, TokenFrequencies) {
+        let freqs = TokenFrequencies::of_text(text);
+        let mut tree = FrequencyTree {
+            root: Node::default(),
+            config: *config,
+            lines: 0,
+        };
+        for line in text.split(|b| *b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            if let Ok(s) = std::str::from_utf8(line) {
+                let path = freqs.order_line(s, config.min_support);
+                tree.insert_path(&path);
+            }
+        }
+        tree.prune();
+        (tree, freqs)
+    }
+
+    fn insert_path(&mut self, path: &[&str]) {
+        self.lines += 1;
+        let depth = path.len().min(self.config.max_depth);
+        let mut node = &mut self.root;
+        node.support += 1;
+        for tok in &path[..depth] {
+            node = node.children.entry((*tok).to_string()).or_default();
+            node.support += 1;
+        }
+        node.ends += 1;
+    }
+
+    /// Pruning pass: cut variable fields (too many children) and noise
+    /// (children below support thresholds).
+    fn prune(&mut self) {
+        let min_leaf = ((self.lines as f64) * self.config.min_leaf_fraction).ceil() as u64;
+        let min_support = self.config.min_support.max(min_leaf).max(1);
+        let max_children = self.config.max_children;
+        fn walk(node: &mut Node, min_support: u64, max_children: usize) {
+            // Lines whose continuation is pruned now end at this node.
+            let mut reclaimed = 0;
+            node.children.retain(|_, c| {
+                let keep = c.support >= min_support;
+                if !keep {
+                    reclaimed += c.support;
+                }
+                keep
+            });
+            if node.children.len() > max_children {
+                // A position with many distinct values is a variable field.
+                reclaimed += node.children.values().map(|c| c.support).sum::<u64>();
+                node.children.clear();
+            }
+            node.ends += reclaimed;
+            for child in node.children.values_mut() {
+                walk(child, min_support, max_children);
+            }
+        }
+        walk(&mut self.root, min_support, max_children);
+    }
+
+    /// Number of lines inserted.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Enumerates template paths: `(tokens, support, negated siblings)` for
+    /// every node at which lines end. The negated siblings are computed
+    /// with the paper's rule: for each node on the path, siblings whose
+    /// global frequency exceeds the path's least frequent token would have
+    /// been visited first during traversal, so their absence must be
+    /// asserted (§4.3).
+    pub(crate) fn paths(&self, freqs: &TokenFrequencies) -> Vec<(Vec<String>, u64, Vec<String>)> {
+        let mut out = Vec::new();
+        let mut path: Vec<String> = Vec::new();
+        fn walk(
+            node: &Node,
+            path: &mut Vec<String>,
+            out: &mut Vec<(Vec<String>, u64, Vec<String>)>,
+        ) {
+            if node.ends > 0 && !path.is_empty() {
+                out.push((path.clone(), node.ends, Vec::new()));
+            }
+            for (tok, child) in sorted_children(node) {
+                path.push(tok.to_string());
+                walk(child, path, out);
+                path.pop();
+            }
+        }
+        walk(&self.root, &mut path, &mut out);
+
+        // Second pass: compute sibling negations per path.
+        for (tokens, _, negatives) in &mut out {
+            let min_freq = tokens.iter().map(|t| freqs.freq(t)).min().unwrap_or(0);
+            let mut node = &self.root;
+            for tok in tokens.iter() {
+                for (sib, _) in sorted_children(node) {
+                    // A sibling that is itself a later path token (the same
+                    // word can branch at several tree levels) must not be
+                    // negated — the path asserts its presence.
+                    if sib != tok
+                        && freqs.freq(sib) > min_freq
+                        && !tokens.contains(sib)
+                        && !negatives.contains(sib)
+                    {
+                        negatives.push(sib.clone());
+                    }
+                }
+                node = match node.children.get(tok) {
+                    Some(n) => n,
+                    None => break,
+                };
+            }
+        }
+        out
+    }
+}
+
+fn sorted_children(node: &Node) -> Vec<(&String, &Node)> {
+    let mut kids: Vec<(&String, &Node)> = node.children.iter().collect();
+    kids.sort_by(|a, b| b.1.support.cmp(&a.1.support).then(a.0.cmp(b.0)));
+    kids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure7_corpus() -> Vec<u8> {
+        // Reproduces the paper's Figure 7 shape: global frequency order
+        // A > B > C > D > E; template 1 = A B, template 2 = A C D,
+        // template 3 = A C D E... adjusted to build exactly the example:
+        // templates {A,B}, {A,C,D}, {A,C,D,E}? Figure 7 has template1=(A,B),
+        // template2=(A,C,D), template3=(A,C,D,E)-ish. We build lines so the
+        // tree is A -> {B, C -> D -> E}.
+        let mut corpus = String::new();
+        for _ in 0..10 {
+            corpus.push_str("A B\n");
+        }
+        for _ in 0..6 {
+            corpus.push_str("A C D\n");
+        }
+        for _ in 0..4 {
+            corpus.push_str("A C D E\n");
+        }
+        corpus.into_bytes()
+    }
+
+    #[test]
+    fn builds_frequency_ordered_paths() {
+        let (tree, freqs) = FrequencyTree::build(&figure7_corpus(), &FtreeConfig::for_tests());
+        assert_eq!(tree.lines(), 20);
+        // A is most frequent, so it is the sole child of the root.
+        let paths = tree.paths(&freqs);
+        for (toks, _, _) in &paths {
+            assert_eq!(toks[0], "A", "all paths start at the most frequent token");
+        }
+    }
+
+    #[test]
+    fn leaf_supports_partition_lines() {
+        let (tree, freqs) = FrequencyTree::build(&figure7_corpus(), &FtreeConfig::for_tests());
+        let paths = tree.paths(&freqs);
+        let total: u64 = paths.iter().map(|(_, s, _)| *s).sum();
+        assert_eq!(total, 20, "leaf supports must cover every line");
+    }
+
+    #[test]
+    fn sibling_negation_rule_matches_paper_example() {
+        // Paper §4.3: template (A ∩ B) needs no ¬C because C is rarer than
+        // B; the deep template through C needs ¬B because B is more
+        // frequent than the deep path's least frequent token.
+        let (tree, freqs) = FrequencyTree::build(&figure7_corpus(), &FtreeConfig::for_tests());
+        let paths = tree.paths(&freqs);
+        let ab = paths
+            .iter()
+            .find(|(t, _, _)| t == &vec!["A".to_string(), "B".to_string()])
+            .expect("template A∩B exists");
+        assert!(ab.2.is_empty(), "A∩B needs no negations, got {:?}", ab.2);
+        let deep = paths
+            .iter()
+            .find(|(t, _, _)| t.contains(&"E".to_string()))
+            .expect("deep template exists");
+        assert!(
+            deep.2.contains(&"B".to_string()),
+            "deep template must negate B, got {:?}",
+            deep.2
+        );
+        assert!(!deep.2.contains(&"C".to_string()));
+    }
+
+    #[test]
+    fn variable_fields_are_cut() {
+        // Token "job" is followed by many distinct ids; ids are below
+        // support so they vanish; even if frequent, a wide fanout is cut.
+        let mut corpus = String::new();
+        for i in 0..50 {
+            corpus.push_str(&format!("job started id-{i}\n"));
+        }
+        let cfg = FtreeConfig {
+            min_support: 2,
+            max_children: 8,
+            max_depth: 10,
+            min_leaf_fraction: 0.0,
+        };
+        let (tree, freqs) = FrequencyTree::build(corpus.as_bytes(), &cfg);
+        let paths = tree.paths(&freqs);
+        assert_eq!(paths.len(), 1);
+        let toks = &paths[0].0;
+        assert!(toks.contains(&"job".to_string()));
+        assert!(toks.contains(&"started".to_string()));
+        assert!(
+            !toks.iter().any(|t| t.starts_with("id-")),
+            "variable ids must not appear in templates: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn max_depth_caps_template_length() {
+        let mut corpus = String::new();
+        for _ in 0..5 {
+            corpus.push_str("t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 t11 t12 t13 t14 t15\n");
+        }
+        let cfg = FtreeConfig {
+            max_depth: 5,
+            ..FtreeConfig::for_tests()
+        };
+        let (tree, freqs) = FrequencyTree::build(corpus.as_bytes(), &cfg);
+        for (toks, _, _) in tree.paths(&freqs) {
+            assert!(toks.len() <= 5);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The MithriLog in-storage inverted index (paper §6).
+//!
+//! Design goals straight from the paper: a *small host-memory footprint*
+//! during ingest, *saturating storage bandwidth* during query, and enough
+//! accuracy to shrink the page set the near-storage filter must scan — not
+//! exactness, because "unnecessary data will be filtered out by the
+//! filtering engine".
+//!
+//! Structure (Figure 11):
+//!
+//! * an **in-memory hash table** whose entries hold a small (16-address)
+//!   buffer of data-page ids; tokens are *not* stored, making the structure
+//!   probabilistic — multiple tokens may share an entry;
+//! * **two hash functions**: each token inserts into whichever of its two
+//!   candidate entries currently holds fewer total pages, spreading hot
+//!   entries; both candidates are probed at query time;
+//! * an **in-storage linked list of height-2 trees** per entry: full
+//!   buffers are flushed into 16-entry *leaf nodes* (pooled into leaf
+//!   pages), and every 16 leaves are gathered under a *root node* prepended
+//!   to the entry's linked list (pooled into index pages). One latency-bound
+//!   root visit thus yields 16 × 16 = 256 data-page addresses via parallel
+//!   leaf reads — the trick that saturates the device despite linked-list
+//!   traversal being latency-bound;
+//! * **snapshots** for coarse time-range queries: the in-memory table is
+//!   flushed when enough leaf pages have been created, recording a
+//!   timestamped data-page watermark.
+//!
+//! # Example
+//!
+//! ```
+//! use mithrilog_index::{IndexParams, InvertedIndex};
+//! use mithrilog_storage::{DevicePerfModel, MemStore, PageId, SimSsd};
+//!
+//! let mut ssd = SimSsd::new(MemStore::new(4096), DevicePerfModel::default());
+//! let mut idx = InvertedIndex::new(IndexParams::small());
+//! idx.insert_page_tokens(&mut ssd, PageId(7), [b"FATAL".as_slice(), b"ciod:"])?;
+//! let pages = idx.lookup(&mut ssd, b"FATAL")?;
+//! assert_eq!(pages, vec![PageId(7)]);
+//! # Ok::<(), mithrilog_storage::StorageError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod index;
+mod node;
+mod params;
+mod plan;
+
+pub use index::{InvertedIndex, Snapshot};
+pub use node::{NodeAddr, NodePool};
+pub use params::IndexParams;
+pub use plan::QueryPlan;

@@ -1,0 +1,247 @@
+//! Fixed-size node pools: many small tree nodes packed into full storage
+//! pages ("leaf nodes are stored in a pool of leaf pages", paper §6.1).
+
+use mithrilog_storage::{PageId, PageStore, SimSsd, StorageError};
+
+/// Address of one node inside a pool: `(page << 16) | slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeAddr(u64);
+
+/// Sentinel encoding "no node".
+const NONE_SENTINEL: u64 = u64::MAX;
+
+impl NodeAddr {
+    /// Builds an address from page and slot.
+    pub fn new(page: PageId, slot: usize) -> Self {
+        debug_assert!(slot < (1 << 16));
+        NodeAddr((page.0 << 16) | slot as u64)
+    }
+
+    /// The page this node lives in.
+    pub fn page(self) -> PageId {
+        PageId(self.0 >> 16)
+    }
+
+    /// The slot within the page.
+    pub fn slot(self) -> usize {
+        (self.0 & 0xFFFF) as usize
+    }
+
+    /// Raw encoding for serialization.
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Decodes a serialized address; `u64::MAX` means none.
+    pub fn from_raw(raw: u64) -> Option<Self> {
+        (raw != NONE_SENTINEL).then_some(NodeAddr(raw))
+    }
+
+    /// Raw encoding of an `Option<NodeAddr>`.
+    pub fn raw_or_none(addr: Option<NodeAddr>) -> u64 {
+        addr.map_or(NONE_SENTINEL, NodeAddr::to_raw)
+    }
+}
+
+/// A pool allocating fixed-size nodes packed into storage pages.
+///
+/// The current partially-filled page is shadowed in memory and rewritten in
+/// place as slots fill, so reads always go through the device and see the
+/// latest contents; this mirrors a controller's page write buffer.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    node_bytes: usize,
+    slots_per_page: usize,
+    current_page: Option<PageId>,
+    used_slots: usize,
+    shadow: Vec<u8>,
+    nodes_allocated: u64,
+    pages_allocated: u64,
+}
+
+impl NodePool {
+    /// Creates a pool for nodes of `node_bytes` packed into pages of
+    /// `page_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node does not fit in a page or `node_bytes` is zero.
+    pub fn new(node_bytes: usize, page_bytes: usize) -> Self {
+        assert!(node_bytes > 0, "node size must be positive");
+        let slots_per_page = page_bytes / node_bytes;
+        assert!(slots_per_page >= 1, "node larger than a page");
+        NodePool {
+            node_bytes,
+            slots_per_page,
+            current_page: None,
+            used_slots: 0,
+            shadow: vec![0u8; page_bytes],
+            nodes_allocated: 0,
+            pages_allocated: 0,
+        }
+    }
+
+    /// Node size in bytes.
+    pub fn node_bytes(&self) -> usize {
+        self.node_bytes
+    }
+
+    /// Nodes per page.
+    pub fn slots_per_page(&self) -> usize {
+        self.slots_per_page
+    }
+
+    /// Total nodes allocated.
+    pub fn nodes_allocated(&self) -> u64 {
+        self.nodes_allocated
+    }
+
+    /// Total pages this pool has claimed on the device.
+    pub fn pages_allocated(&self) -> u64 {
+        self.pages_allocated
+    }
+
+    /// Allocates a node containing `data`, returning its address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` length differs from the pool's node size.
+    pub fn alloc<S: PageStore>(
+        &mut self,
+        ssd: &mut SimSsd<S>,
+        data: &[u8],
+    ) -> Result<NodeAddr, StorageError> {
+        assert_eq!(data.len(), self.node_bytes, "node size mismatch");
+        let page = match self.current_page {
+            Some(p) if self.used_slots < self.slots_per_page => p,
+            _ => {
+                self.shadow.fill(0);
+                self.used_slots = 0;
+                let p = ssd.append(&self.shadow)?;
+                self.current_page = Some(p);
+                self.pages_allocated += 1;
+                p
+            }
+        };
+        let slot = self.used_slots;
+        let off = slot * self.node_bytes;
+        self.shadow[off..off + self.node_bytes].copy_from_slice(data);
+        ssd.write(page, &self.shadow)?;
+        self.used_slots += 1;
+        self.nodes_allocated += 1;
+        Ok(NodeAddr::new(page, slot))
+    }
+
+    /// Reads a node as part of a bandwidth-bound batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn read<S: PageStore>(
+        &self,
+        ssd: &mut SimSsd<S>,
+        addr: NodeAddr,
+    ) -> Result<Vec<u8>, StorageError> {
+        let page = ssd.read(addr.page())?;
+        Ok(self.slice(&page, addr.slot()))
+    }
+
+    /// Reads a node as a dependent (latency-exposed) access — used for the
+    /// linked-list root chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn read_dependent<S: PageStore>(
+        &self,
+        ssd: &mut SimSsd<S>,
+        addr: NodeAddr,
+    ) -> Result<Vec<u8>, StorageError> {
+        let page = ssd.read_dependent(addr.page())?;
+        Ok(self.slice(&page, addr.slot()))
+    }
+
+    fn slice(&self, page: &[u8], slot: usize) -> Vec<u8> {
+        let off = slot * self.node_bytes;
+        page[off..off + self.node_bytes].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithrilog_storage::{DevicePerfModel, MemStore};
+
+    fn ssd() -> SimSsd<MemStore> {
+        SimSsd::new(MemStore::new(4096), DevicePerfModel::default())
+    }
+
+    #[test]
+    fn addr_round_trips() {
+        let a = NodeAddr::new(PageId(123), 45);
+        assert_eq!(a.page(), PageId(123));
+        assert_eq!(a.slot(), 45);
+        assert_eq!(NodeAddr::from_raw(a.to_raw()), Some(a));
+        assert_eq!(NodeAddr::from_raw(u64::MAX), None);
+        assert_eq!(NodeAddr::raw_or_none(None), u64::MAX);
+    }
+
+    #[test]
+    fn nodes_pack_into_pages() {
+        let mut ssd = ssd();
+        let mut pool = NodePool::new(128, 4096);
+        assert_eq!(pool.slots_per_page(), 32);
+        let mut addrs = Vec::new();
+        for i in 0..40u64 {
+            let node = [i as u8; 128];
+            addrs.push(pool.alloc(&mut ssd, &node).unwrap());
+        }
+        // 40 nodes at 32/page → 2 pages.
+        assert_eq!(pool.pages_allocated(), 2);
+        assert_eq!(pool.nodes_allocated(), 40);
+        for (i, a) in addrs.iter().enumerate() {
+            let node = pool.read(&mut ssd, *a).unwrap();
+            assert!(node.iter().all(|&b| b == i as u8));
+        }
+    }
+
+    #[test]
+    fn partial_page_reads_see_latest_writes() {
+        let mut ssd = ssd();
+        let mut pool = NodePool::new(64, 4096);
+        let a = pool.alloc(&mut ssd, &[7u8; 64]).unwrap();
+        // Page is partially full; the read must still return node contents.
+        assert_eq!(pool.read(&mut ssd, a).unwrap(), vec![7u8; 64]);
+        let b = pool.alloc(&mut ssd, &[9u8; 64]).unwrap();
+        assert_eq!(a.page(), b.page(), "second node shares the page");
+        assert_eq!(pool.read(&mut ssd, a).unwrap(), vec![7u8; 64]);
+        assert_eq!(pool.read(&mut ssd, b).unwrap(), vec![9u8; 64]);
+    }
+
+    #[test]
+    fn dependent_reads_hit_the_ledger() {
+        let mut ssd = ssd();
+        let mut pool = NodePool::new(64, 4096);
+        let a = pool.alloc(&mut ssd, &[1u8; 64]).unwrap();
+        pool.read_dependent(&mut ssd, a).unwrap();
+        assert_eq!(ssd.ledger().dependent_visits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "node size mismatch")]
+    fn wrong_node_size_panics() {
+        let mut ssd = ssd();
+        let mut pool = NodePool::new(64, 4096);
+        pool.alloc(&mut ssd, &[0u8; 32]).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "node larger than a page")]
+    fn oversized_node_panics() {
+        NodePool::new(8192, 4096);
+    }
+}

@@ -1,0 +1,106 @@
+/// Parameters of the inverted index.
+///
+/// Paper prototype values: 16-address per-entry buffers, 16-ary tree nodes
+/// (so one root visit yields 256 data-page addresses) and an in-memory
+/// footprint of roughly 256 MB. The number of hash entries is the scaling
+/// knob: [`IndexParams::default`] targets laptop-scale corpora,
+/// [`IndexParams::small`] keeps tests fast, and
+/// [`IndexParams::paper_scale`] reproduces the paper's footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexParams {
+    /// log2 of in-memory hash table entries.
+    pub hash_bits: u8,
+    /// Data-page addresses buffered in memory per entry before a leaf node
+    /// is written (prototype: 16).
+    pub buffer_entries: usize,
+    /// Fan-out of tree nodes: addresses per leaf and leaves per root
+    /// (prototype: 16).
+    pub node_entries: usize,
+    /// Automatic snapshot threshold: flush the in-memory table after this
+    /// many leaf pages have been created since the last snapshot.
+    pub snapshot_leaf_pages: u64,
+    /// Query planning: probe at most this many positive terms per
+    /// intersection set, most selective first (by the in-memory counters).
+    /// Intersecting a subset of the term lists still yields a superset of
+    /// the true pages, so skipping hot terms is always safe and avoids
+    /// paying chain latency on useless postings.
+    pub probe_budget: usize,
+}
+
+impl IndexParams {
+    /// Tiny configuration for unit tests: collisions and flushes happen
+    /// after a handful of insertions.
+    pub fn small() -> Self {
+        IndexParams {
+            hash_bits: 8,
+            buffer_entries: 4,
+            node_entries: 4,
+            snapshot_leaf_pages: 64,
+            probe_budget: 2,
+        }
+    }
+
+    /// The paper's configuration: enough entries for a ~256 MB in-memory
+    /// footprint with 16-address buffers.
+    pub fn paper_scale() -> Self {
+        IndexParams {
+            hash_bits: 20,
+            buffer_entries: 16,
+            node_entries: 16,
+            snapshot_leaf_pages: 16_384,
+            probe_budget: 2,
+        }
+    }
+
+    /// Number of in-memory hash entries.
+    pub fn entries(&self) -> usize {
+        1 << self.hash_bits
+    }
+
+    /// Data-page addresses delivered per root-node visit
+    /// (`node_entries²`; 256 in the prototype).
+    pub fn addresses_per_root_visit(&self) -> usize {
+        self.node_entries * self.node_entries
+    }
+}
+
+impl Default for IndexParams {
+    fn default() -> Self {
+        IndexParams {
+            hash_bits: 16,
+            buffer_entries: 16,
+            node_entries: 16,
+            snapshot_leaf_pages: 4096,
+            probe_budget: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_prototype_fanout() {
+        let p = IndexParams::default();
+        assert_eq!(p.buffer_entries, 16);
+        assert_eq!(p.node_entries, 16);
+        assert_eq!(p.addresses_per_root_visit(), 256);
+    }
+
+    #[test]
+    fn entries_is_power_of_two() {
+        assert_eq!(IndexParams::small().entries(), 256);
+        assert_eq!(IndexParams::default().entries(), 65_536);
+    }
+
+    #[test]
+    fn paper_scale_saturates_a_4gbps_device() {
+        // §6.1: at 100 µs latency, 10k root visits/s × 256 pages × 4 KB
+        // exceeds 4 GB/s only when each visit yields >100 pages.
+        let p = IndexParams::paper_scale();
+        let pages_per_sec = 10_000.0 * p.addresses_per_root_visit() as f64;
+        let bytes_per_sec = pages_per_sec * 4096.0;
+        assert!(bytes_per_sec > 4.0e9, "got {bytes_per_sec:.2e}");
+    }
+}

@@ -1,0 +1,388 @@
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profiles::DatasetProfile;
+
+/// Specification of one synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Which HPC4 profile to imitate.
+    pub profile: DatasetProfile,
+    /// Generate at least this many bytes of log text.
+    pub target_bytes: usize,
+    /// RNG seed; identical specs produce identical bytes.
+    pub seed: u64,
+}
+
+/// A generated dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    profile: DatasetProfile,
+    text: Vec<u8>,
+    lines: u64,
+}
+
+impl Dataset {
+    /// The profile this dataset imitates.
+    pub fn profile(&self) -> DatasetProfile {
+        self.profile
+    }
+
+    /// Dataset name (paper table column).
+    pub fn name(&self) -> &'static str {
+        self.profile.name()
+    }
+
+    /// The raw log text.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Consumes the dataset, returning the text buffer.
+    pub fn into_text(self) -> Vec<u8> {
+        self.text
+    }
+
+    /// Number of lines generated.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Mean line length in bytes (including the newline).
+    pub fn mean_line_len(&self) -> f64 {
+        if self.lines == 0 {
+            0.0
+        } else {
+            self.text.len() as f64 / self.lines as f64
+        }
+    }
+}
+
+/// Pools of recently-used variable-field values. Real logs reuse values
+/// heavily — the same client IPs, job ids and PIDs recur across lines — and
+/// this reuse is what log-optimized compressors exploit, so the generator
+/// must reproduce it (see `DatasetProfile::redundancy`).
+struct ValuePools {
+    pools: HashMap<&'static str, Vec<String>>,
+    reuse: f64,
+    pool_size: usize,
+}
+
+impl ValuePools {
+    fn new(reuse: f64, pool_size: usize) -> Self {
+        ValuePools {
+            pools: HashMap::new(),
+            reuse,
+            pool_size,
+        }
+    }
+
+    fn get(&mut self, kind: &'static str, rng: &mut StdRng, fresh: impl Fn(&mut StdRng) -> String) -> String {
+        let reuse = self.reuse;
+        let pool_size = self.pool_size;
+        let pool = self.pools.entry(kind).or_default();
+        if !pool.is_empty() && rng.gen_bool(reuse) {
+            // Zipf-ish: prefer the front of the pool.
+            let idx = (rng.gen_range(0.0f64..1.0).powi(2) * pool.len() as f64) as usize;
+            return pool[idx.min(pool.len() - 1)].clone();
+        }
+        let v = fresh(rng);
+        if pool.len() < pool_size {
+            pool.push(v.clone());
+        } else {
+            let slot = rng.gen_range(0..pool.len());
+            pool[slot] = v.clone();
+        }
+        v
+    }
+}
+
+/// Generates a dataset per `spec`. Lines carry monotonically increasing
+/// timestamps; message templates are drawn with the profile's Zipf-like
+/// weights; nodes arrive in bursts from a bounded pool; variable fields
+/// reuse pooled values with profile-calibrated probability.
+pub fn generate(spec: &DatasetSpec) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let profile = spec.profile;
+    let messages = profile.messages();
+    let total_weight: u64 = messages.iter().map(|(w, _)| u64::from(*w)).sum();
+    let red = profile.redundancy();
+
+    // Fixed node pool for the whole dataset.
+    let nodes: Vec<String> = (0..red.node_pool).map(|_| profile.node_name(&mut rng)).collect();
+    let mut pools = ValuePools::new(red.value_reuse, red.value_pool);
+
+    let mut text = Vec::with_capacity(spec.target_bytes + 256);
+    let mut lines = 0u64;
+    let mut epoch = profile.start_epoch();
+    let mut current_node = nodes[0].clone();
+
+    while text.len() < spec.target_bytes {
+        // Bursty arrivals: many lines share a second, occasional jumps.
+        if rng.gen_bool(red.epoch_advance) {
+            epoch += rng.gen_range(1..3);
+        }
+        // Bursty sources: continue the current node's run or switch.
+        if !rng.gen_bool(red.burst_continue) {
+            // Zipf-ish hot nodes.
+            let idx =
+                (rng.gen_range(0.0f64..1.0).powi(red.node_zipf) * nodes.len() as f64) as usize;
+            current_node = nodes[idx.min(nodes.len() - 1)].clone();
+        }
+        let msg = pick_weighted(messages, total_weight, &mut rng);
+        let filled = fill_fields(msg, &mut rng, profile, &mut pools);
+        let line = profile.format_line(epoch, lines, &current_node, &filled);
+        text.extend_from_slice(line.as_bytes());
+        lines += 1;
+    }
+
+    Dataset {
+        profile,
+        text,
+        lines,
+    }
+}
+
+fn pick_weighted(
+    messages: &'static [(u32, &'static str)],
+    total_weight: u64,
+    rng: &mut StdRng,
+) -> &'static str {
+    let mut ticket = rng.gen_range(0..total_weight);
+    for (w, m) in messages {
+        let w = u64::from(*w);
+        if ticket < w {
+            return m;
+        }
+        ticket -= w;
+    }
+    messages.last().expect("non-empty bank").1
+}
+
+/// Replaces `%FIELD%` markers with pooled or fresh values.
+fn fill_fields(
+    template: &str,
+    rng: &mut StdRng,
+    profile: DatasetProfile,
+    pools: &mut ValuePools,
+) -> String {
+    let mut out = String::with_capacity(template.len() + 16);
+    let mut rest = template;
+    while let Some(start) = rest.find('%') {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('%') else {
+            out.push('%');
+            rest = after;
+            continue;
+        };
+        let field = &after[..end];
+        out.push_str(&fill_one(field, rng, profile, pools));
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn fill_one(
+    field: &str,
+    rng: &mut StdRng,
+    profile: DatasetProfile,
+    pools: &mut ValuePools,
+) -> String {
+    match field {
+        "NUM" => pools.get("NUM", rng, |r| format!("{:05}", r.gen_range(0..100_000u32))),
+        "PID" => pools.get("PID", rng, |r| format!("{:05}", r.gen_range(100..32_768u32))),
+        "PORT" => pools.get("PORT", rng, |r| r.gen_range(1024..65_535u32).to_string()),
+        "JOB" => pools.get("JOB", rng, |r| format!("{:06}", r.gen_range(1000..999_999u32))),
+        "HEX" => pools.get("HEX", rng, |r| format!("{:08x}", r.gen::<u32>())),
+        "HEX2" => pools.get("HEX2", rng, |r| format!("{:02x}", r.gen::<u8>())),
+        "IP" => pools.get("IP", rng, |r| {
+            format!(
+                "172.{}.{}.{}",
+                r.gen_range(16..32u8),
+                r.gen_range(0..256u16),
+                r.gen_range(1..255u16)
+            )
+        }),
+        "MAC" => pools.get("MAC", rng, |r| {
+            format!(
+                "00:11:43:{:02x}:{:02x}:{:02x}",
+                r.gen::<u8>(),
+                r.gen::<u8>(),
+                r.gen::<u8>()
+            )
+        }),
+        "USER" => {
+            const USERS: [&str; 8] = [
+                "root", "svc-ops", "jsmith", "achen", "build", "mlee", "operator", "hpcadm",
+            ];
+            USERS[rng.gen_range(0..USERS.len())].to_string()
+        }
+        "FILE" => {
+            const FILES: [&str; 6] = [
+                "apps/solver/bin/run.x",
+                "scratch/input.dat",
+                "home/jobs/batch.sh",
+                "proj/climate/model.exe",
+                "tmp/checkpoint.077",
+                "opt/mpi/launch",
+            ];
+            FILES[rng.gen_range(0..FILES.len())].to_string()
+        }
+        "NODESHORT" => profile.node_name(rng).chars().take(9).collect(),
+        other => format!("%{other}%"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(profile: DatasetProfile) -> DatasetSpec {
+        DatasetSpec {
+            profile,
+            target_bytes: 50_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&spec(DatasetProfile::Spirit2));
+        let b = generate(&spec(DatasetProfile::Spirit2));
+        assert_eq!(a.text(), b.text());
+        assert_eq!(a.lines(), b.lines());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&spec(DatasetProfile::Spirit2));
+        let b = generate(&DatasetSpec {
+            seed: 8,
+            ..spec(DatasetProfile::Spirit2)
+        });
+        assert_ne!(a.text(), b.text());
+    }
+
+    #[test]
+    fn reaches_target_size_with_full_lines() {
+        for p in DatasetProfile::all() {
+            let ds = generate(&spec(p));
+            assert!(ds.text().len() >= 50_000);
+            assert!(ds.text().len() < 50_000 + 2048, "overshoot bounded");
+            assert_eq!(*ds.text().last().unwrap(), b'\n');
+            let counted = ds.text().iter().filter(|&&b| b == b'\n').count() as u64;
+            assert_eq!(counted, ds.lines());
+        }
+    }
+
+    #[test]
+    fn no_unfilled_markers_remain() {
+        for p in DatasetProfile::all() {
+            let ds = generate(&spec(p));
+            let text = std::str::from_utf8(ds.text()).expect("valid utf8");
+            assert!(
+                !text.contains('%'),
+                "{} contains an unfilled %FIELD% marker",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let ds = generate(&spec(DatasetProfile::Bgl2));
+        let mut last = 0u64;
+        for line in std::str::from_utf8(ds.text()).unwrap().lines() {
+            let epoch: u64 = line
+                .split_ascii_whitespace()
+                .nth(1)
+                .and_then(|t| t.parse().ok())
+                .expect("epoch token");
+            assert!(epoch >= last, "timestamps must not go backwards");
+            last = epoch;
+        }
+    }
+
+    #[test]
+    fn line_shapes_match_profiles() {
+        let bgl = generate(&spec(DatasetProfile::Bgl2));
+        assert!(std::str::from_utf8(bgl.text()).unwrap().lines().all(|l| l.contains(" RAS ")));
+        let tb = generate(&spec(DatasetProfile::Thunderbird));
+        assert!(std::str::from_utf8(tb.text())
+            .unwrap()
+            .lines()
+            .all(|l| l.contains(" local@")));
+    }
+
+    #[test]
+    fn frequent_and_rare_templates_both_appear() {
+        let ds = generate(&DatasetSpec {
+            profile: DatasetProfile::Liberty2,
+            target_bytes: 400_000,
+            seed: 3,
+        });
+        let text = std::str::from_utf8(ds.text()).unwrap();
+        let sessions = text.matches("session opened for user root").count();
+        let logrotate = text.matches("logrotate: ALERT").count();
+        assert!(sessions > logrotate, "zipf head should dominate");
+        assert!(logrotate > 0, "tail templates must still occur");
+    }
+
+    #[test]
+    fn mean_line_len_is_loglike() {
+        for p in DatasetProfile::all() {
+            let ds = generate(&spec(p));
+            let m = ds.mean_line_len();
+            assert!(m > 60.0 && m < 250.0, "{}: {m:.1}", p.name());
+        }
+    }
+
+    #[test]
+    fn nodes_arrive_in_bursts_from_a_pool() {
+        let ds = generate(&DatasetSpec {
+            profile: DatasetProfile::Thunderbird,
+            target_bytes: 200_000,
+            seed: 4,
+        });
+        let text = std::str::from_utf8(ds.text()).unwrap();
+        let nodes: Vec<&str> = text
+            .lines()
+            .map(|l| l.split_ascii_whitespace().nth(3).unwrap())
+            .collect();
+        let distinct: std::collections::HashSet<&&str> = nodes.iter().collect();
+        assert!(distinct.len() <= 48, "node pool bounded: {}", distinct.len());
+        // Bursts: a decent share of consecutive lines shares the node.
+        let same = nodes.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(
+            same as f64 / nodes.len() as f64 > 0.3,
+            "bursts expected, got {same}/{}",
+            nodes.len()
+        );
+    }
+
+    #[test]
+    fn variable_values_recur() {
+        let ds = generate(&DatasetSpec {
+            profile: DatasetProfile::Spirit2,
+            target_bytes: 300_000,
+            seed: 5,
+        });
+        let text = std::str::from_utf8(ds.text()).unwrap();
+        // Collect PIDs of crond lines; the pool should make them repeat.
+        let mut pids: HashMap<&str, usize> = HashMap::new();
+        for line in text.lines() {
+            if let Some(pos) = line.find("crond(pam_unix)[") {
+                let rest = &line[pos + 16..];
+                if let Some(end) = rest.find(']') {
+                    *pids.entry(&rest[..end]).or_default() += 1;
+                }
+            }
+        }
+        let max_count = pids.values().copied().max().unwrap_or(0);
+        assert!(max_count > 5, "pooled PIDs must recur, max was {max_count}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Boolean expression tree and its normalization into the offloadable
+//! union-of-intersections query form.
+//!
+//! The accelerator only executes queries in disjunctive normal form with
+//! negation on literals (paper Eq. 1). The query language, however, allows
+//! arbitrary nesting of `AND`, `OR`, `NOT` and parentheses; this module
+//! performs the classical NNF + distribution rewrite to bridge the two.
+
+use crate::error::QueryFormError;
+use crate::query::{IntersectionSet, Query};
+use crate::term::Term;
+
+/// An arbitrary boolean expression over tokens.
+///
+/// # Example
+///
+/// ```
+/// use mithrilog_query::ast::Expr;
+///
+/// // NOT (A OR B) AND C  ==>  (¬A ∩ ¬B ∩ C)
+/// let e = Expr::and(
+///     Expr::not(Expr::or(Expr::token("A"), Expr::token("B"))),
+///     Expr::token("C"),
+/// );
+/// let q = e.to_query()?;
+/// assert_eq!(q.sets().len(), 1);
+/// assert_eq!(q.sets()[0].terms().len(), 3);
+/// # Ok::<(), mithrilog_query::QueryFormError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A single token literal.
+    Token(String),
+    /// Logical negation of a sub-expression.
+    Not(Box<Expr>),
+    /// Conjunction of two or more sub-expressions.
+    And(Vec<Expr>),
+    /// Disjunction of two or more sub-expressions.
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Creates a token literal.
+    pub fn token(t: impl Into<String>) -> Expr {
+        Expr::Token(t.into())
+    }
+
+    /// Negates an expression.
+    // The name mirrors the query language's NOT keyword; it is an associated
+    // constructor, not a method, so it cannot collide with `std::ops::Not`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    /// Conjunction of two expressions, flattening nested `And`s.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        let mut parts = Vec::new();
+        for e in [a, b] {
+            match e {
+                Expr::And(v) => parts.extend(v),
+                other => parts.push(other),
+            }
+        }
+        Expr::And(parts)
+    }
+
+    /// Disjunction of two expressions, flattening nested `Or`s.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        let mut parts = Vec::new();
+        for e in [a, b] {
+            match e {
+                Expr::Or(v) => parts.extend(v),
+                other => parts.push(other),
+            }
+        }
+        Expr::Or(parts)
+    }
+
+    /// Rewrites the expression into negation normal form: `Not` appears only
+    /// directly above `Token`, via De Morgan's laws and double-negation
+    /// elimination.
+    // Consumes self: the rewrite rebuilds every node, so by-value avoids a
+    // full clone (`to_` naming kept for symmetry with `to_query`).
+    #[allow(clippy::wrong_self_convention)]
+    fn to_nnf(self, negated: bool) -> Expr {
+        match self {
+            Expr::Token(t) => {
+                if negated {
+                    Expr::Not(Box::new(Expr::Token(t)))
+                } else {
+                    Expr::Token(t)
+                }
+            }
+            Expr::Not(inner) => inner.to_nnf(!negated),
+            Expr::And(parts) => {
+                let parts: Vec<Expr> = parts.into_iter().map(|p| p.to_nnf(negated)).collect();
+                if negated {
+                    Expr::Or(parts)
+                } else {
+                    Expr::And(parts)
+                }
+            }
+            Expr::Or(parts) => {
+                let parts: Vec<Expr> = parts.into_iter().map(|p| p.to_nnf(negated)).collect();
+                if negated {
+                    Expr::And(parts)
+                } else {
+                    Expr::Or(parts)
+                }
+            }
+        }
+    }
+
+    /// Distributes an NNF expression into a list of conjunctions of literals.
+    fn distribute(expr: &Expr) -> Vec<Vec<Term>> {
+        match expr {
+            Expr::Token(t) => vec![vec![Term::positive(t.clone())]],
+            Expr::Not(inner) => match inner.as_ref() {
+                Expr::Token(t) => vec![vec![Term::negative(t.clone())]],
+                _ => unreachable!("input must be in negation normal form"),
+            },
+            Expr::Or(parts) => parts.iter().flat_map(Self::distribute).collect(),
+            Expr::And(parts) => {
+                // Cartesian product of the sub-DNFs.
+                let mut acc: Vec<Vec<Term>> = vec![vec![]];
+                for p in parts {
+                    let sub = Self::distribute(p);
+                    let mut next = Vec::with_capacity(acc.len() * sub.len());
+                    for a in &acc {
+                        for s in &sub {
+                            let mut clause = a.clone();
+                            clause.extend(s.iter().cloned());
+                            next.push(clause);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+        }
+    }
+
+    /// Converts the expression into the offloadable union-of-intersections
+    /// [`Query`] form via NNF + distribution, then normalizes (deduplicates
+    /// terms and sets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryFormError`] if the expression normalizes to an empty
+    /// query (cannot happen for expressions built from at least one token).
+    pub fn to_query(&self) -> Result<Query, QueryFormError> {
+        let nnf = self.clone().to_nnf(false);
+        let clauses = Self::distribute(&nnf);
+        let sets: Vec<IntersectionSet> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().collect())
+            .collect();
+        let mut q = Query::try_new(sets)?;
+        q.normalize();
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn toks(line: &str) -> HashSet<&str> {
+        line.split_ascii_whitespace().collect()
+    }
+
+    #[test]
+    fn single_token_is_single_set() {
+        let q = Expr::token("x").to_query().unwrap();
+        assert_eq!(q.sets().len(), 1);
+        assert_eq!(q.sets()[0].terms(), &[Term::positive("x")]);
+    }
+
+    #[test]
+    fn de_morgan_over_or() {
+        // ¬(A ∪ B) => ¬A ∩ ¬B
+        let q = Expr::not(Expr::or(Expr::token("A"), Expr::token("B")))
+            .to_query()
+            .unwrap();
+        assert_eq!(q.sets().len(), 1);
+        assert!(q.matches_token_set(&toks("C")));
+        assert!(!q.matches_token_set(&toks("A")));
+        assert!(!q.matches_token_set(&toks("B C")));
+    }
+
+    #[test]
+    fn de_morgan_over_and() {
+        // ¬(A ∩ B) => ¬A ∪ ¬B
+        let q = Expr::not(Expr::and(Expr::token("A"), Expr::token("B")))
+            .to_query()
+            .unwrap();
+        assert_eq!(q.sets().len(), 2);
+        assert!(q.matches_token_set(&toks("A")));
+        assert!(!q.matches_token_set(&toks("A B")));
+    }
+
+    #[test]
+    fn double_negation_eliminated() {
+        let q = Expr::not(Expr::not(Expr::token("x"))).to_query().unwrap();
+        assert_eq!(q.sets()[0].terms(), &[Term::positive("x")]);
+    }
+
+    #[test]
+    fn and_over_or_distributes() {
+        // A ∩ (B ∪ C) => (A∩B) ∪ (A∩C)
+        let q = Expr::and(
+            Expr::token("A"),
+            Expr::or(Expr::token("B"), Expr::token("C")),
+        )
+        .to_query()
+        .unwrap();
+        assert_eq!(q.sets().len(), 2);
+        assert!(q.matches_token_set(&toks("A C")));
+        assert!(!q.matches_token_set(&toks("A")));
+        assert!(!q.matches_token_set(&toks("B C")));
+    }
+
+    #[test]
+    fn nested_expression_equivalence_spot_check() {
+        // (A ∪ B) ∩ (C ∪ ¬D)
+        let e = Expr::and(
+            Expr::or(Expr::token("A"), Expr::token("B")),
+            Expr::or(Expr::token("C"), Expr::not(Expr::token("D"))),
+        );
+        let q = e.to_query().unwrap();
+        assert_eq!(q.sets().len(), 4);
+        let lines = ["A C", "B", "A D", "B D C", "D", "A B D"];
+        let reference = |s: &HashSet<&str>| {
+            (s.contains("A") || s.contains("B")) && (s.contains("C") || !s.contains("D"))
+        };
+        for l in lines {
+            let t = toks(l);
+            assert_eq!(q.matches_token_set(&t), reference(&t), "line {l:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_clauses_are_normalized_away() {
+        let q = Expr::or(Expr::token("x"), Expr::token("x")).to_query().unwrap();
+        assert_eq!(q.sets().len(), 1);
+    }
+
+    #[test]
+    fn and_or_constructors_flatten() {
+        let e = Expr::and(
+            Expr::and(Expr::token("a"), Expr::token("b")),
+            Expr::token("c"),
+        );
+        match e {
+            Expr::And(v) => assert_eq!(v.len(), 3),
+            _ => panic!("expected flattened And"),
+        }
+        let e = Expr::or(Expr::or(Expr::token("a"), Expr::token("b")), Expr::token("c"));
+        match e {
+            Expr::Or(v) => assert_eq!(v.len(), 3),
+            _ => panic!("expected flattened Or"),
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Batched query construction for the paper's evaluation methodology.
+//!
+//! §7.1: *"Batched queries include 100 random combinations of two query
+//! pairs connected using OR, as well as 16 random combinations of eight
+//! queries. The same set of randomly generated combinations were used for
+//! all systems tested."* — so combinations must be deterministic given a
+//! seed, and shared across every engine under test.
+//!
+//! Randomness uses an embedded SplitMix64 generator so this crate needs no
+//! external dependency and batches are bit-reproducible everywhere.
+
+use crate::query::Query;
+
+/// Deterministic SplitMix64 pseudo-random generator.
+///
+/// Used for sampling query combinations; quality is far beyond what sampling
+/// index combinations requires, and the implementation is 6 lines, which
+/// beats pulling a crate dependency into this leaf crate.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniformly distributed in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift reduction; bias is negligible for the small bounds
+        // used in batching.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+/// A batch specification: how many combinations of how many queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSpec {
+    /// Number of base queries OR-ed together per combination.
+    pub arity: usize,
+    /// Number of combinations to generate.
+    pub count: usize,
+}
+
+impl BatchSpec {
+    /// The paper's 2-query batch: 100 random pairs.
+    pub const PAIRS: BatchSpec = BatchSpec {
+        arity: 2,
+        count: 100,
+    };
+    /// The paper's 8-query batch: 16 random eight-way combinations.
+    pub const EIGHTS: BatchSpec = BatchSpec {
+        arity: 8,
+        count: 16,
+    };
+}
+
+/// Draws `spec.count` combinations of `spec.arity` distinct indices from
+/// `0..pool`, deterministically from `seed`.
+///
+/// Exposed separately from [`combine`] so different engines can map the same
+/// index combinations onto their own query representations (the paper runs
+/// identical combinations through MonetDB, Splunk and MithriLog).
+///
+/// # Panics
+///
+/// Panics if `pool < spec.arity` or `spec.arity == 0`.
+pub fn combination_indices(pool: usize, spec: BatchSpec, seed: u64) -> Vec<Vec<usize>> {
+    assert!(spec.arity > 0, "combination arity must be positive");
+    assert!(
+        pool >= spec.arity,
+        "query pool of {pool} cannot supply {}-way combinations",
+        spec.arity
+    );
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(spec.count);
+    for _ in 0..spec.count {
+        let mut combo: Vec<usize> = Vec::with_capacity(spec.arity);
+        while combo.len() < spec.arity {
+            let idx = rng.next_below(pool);
+            if !combo.contains(&idx) {
+                combo.push(idx);
+            }
+        }
+        out.push(combo);
+    }
+    out
+}
+
+/// Builds OR-combined queries from a pool according to `spec`.
+///
+/// Every combination's base queries are joined with [`Query::or`], which is
+/// exactly how the accelerator executes multiple queries concurrently
+/// (paper §4: a union set of multiple intersection sets).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`combination_indices`].
+pub fn combine(pool: &[Query], spec: BatchSpec, seed: u64) -> Vec<Query> {
+    combination_indices(pool.len(), spec, seed)
+        .into_iter()
+        .map(|combo| {
+            let mut it = combo.into_iter();
+            let first = pool[it.next().expect("arity >= 1")].clone();
+            it.fold(first, |acc, idx| acc.or(pool[idx].clone()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+
+    fn pool(n: usize) -> Vec<Query> {
+        (0..n).map(|i| Query::all_of([format!("tok{i}")])).collect()
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_bound_respected() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn splitmix_zero_bound_panics() {
+        SplitMix64::new(1).next_below(0);
+    }
+
+    #[test]
+    fn indices_are_distinct_within_combo() {
+        for combo in combination_indices(10, BatchSpec { arity: 8, count: 50 }, 9) {
+            let mut sorted = combo.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), combo.len());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_combinations() {
+        let a = combination_indices(20, BatchSpec::PAIRS, 123);
+        let b = combination_indices(20, BatchSpec::PAIRS, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = combination_indices(20, BatchSpec::PAIRS, 1);
+        let b = combination_indices(20, BatchSpec::PAIRS, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn paper_specs_have_expected_shape() {
+        let pairs = combination_indices(50, BatchSpec::PAIRS, 0);
+        assert_eq!(pairs.len(), 100);
+        assert!(pairs.iter().all(|c| c.len() == 2));
+        let eights = combination_indices(50, BatchSpec::EIGHTS, 0);
+        assert_eq!(eights.len(), 16);
+        assert!(eights.iter().all(|c| c.len() == 8));
+    }
+
+    #[test]
+    fn combine_ors_the_right_number_of_sets() {
+        let queries = combine(&pool(10), BatchSpec { arity: 3, count: 5 }, 77);
+        assert_eq!(queries.len(), 5);
+        for q in &queries {
+            assert_eq!(q.sets().len(), 3);
+        }
+    }
+
+    #[test]
+    fn combined_query_matches_any_member() {
+        let p = pool(4);
+        let queries = combine(&p, BatchSpec { arity: 2, count: 1 }, 5);
+        let q = &queries[0];
+        let idxs = combination_indices(4, BatchSpec { arity: 2, count: 1 }, 5);
+        for &i in &idxs[0] {
+            assert!(q.matches([format!("tok{i}")].iter().map(String::as_str)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot supply")]
+    fn pool_smaller_than_arity_panics() {
+        combination_indices(3, BatchSpec::EIGHTS, 0);
+    }
+}

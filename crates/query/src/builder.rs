@@ -1,0 +1,189 @@
+//! Fluent construction of union-of-intersections queries.
+//!
+//! The text language ([`parse`](crate::parse)) is best for humans;
+//! programmatic callers (template translators, benchmark generators)
+//! compose queries more readably with the builder:
+//!
+//! ```
+//! use mithrilog_query::QueryBuilder;
+//!
+//! let q = QueryBuilder::new()
+//!     .set(|s| s.with("RAS").with("KERNEL").without("FATAL"))
+//!     .set(|s| s.with("ciod:"))
+//!     .build()?;
+//! assert_eq!(q.sets().len(), 2);
+//! assert!(q.matches_line("RAS KERNEL INFO ok"));
+//! assert!(q.matches_line("APP ciod: error"));
+//! # Ok::<(), mithrilog_query::QueryFormError>(())
+//! ```
+
+use crate::error::QueryFormError;
+use crate::query::{IntersectionSet, Query};
+use crate::term::Term;
+
+/// Builder for one intersection set (a conjunction).
+#[derive(Debug, Clone, Default)]
+pub struct SetBuilder {
+    terms: Vec<Term>,
+}
+
+impl SetBuilder {
+    /// Requires `token` to be present.
+    #[must_use]
+    pub fn with(mut self, token: impl Into<String>) -> Self {
+        self.terms.push(Term::positive(token));
+        self
+    }
+
+    /// Requires `token` to be absent.
+    #[must_use]
+    pub fn without(mut self, token: impl Into<String>) -> Self {
+        self.terms.push(Term::negative(token));
+        self
+    }
+
+    /// Requires every token of `tokens` to be present.
+    #[must_use]
+    pub fn with_all<I, S>(mut self, tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.terms.extend(tokens.into_iter().map(Term::positive));
+        self
+    }
+
+    /// Requires every token of `tokens` to be absent.
+    #[must_use]
+    pub fn without_any<I, S>(mut self, tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.terms.extend(tokens.into_iter().map(Term::negative));
+        self
+    }
+
+    fn into_set(self) -> IntersectionSet {
+        self.terms.into_iter().collect()
+    }
+}
+
+/// Builder for a whole query (a union of intersection sets).
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    sets: Vec<IntersectionSet>,
+}
+
+impl QueryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one intersection set, configured by `f`.
+    #[must_use]
+    pub fn set(mut self, f: impl FnOnce(SetBuilder) -> SetBuilder) -> Self {
+        self.sets.push(f(SetBuilder::default()).into_set());
+        self
+    }
+
+    /// Adds a pre-built intersection set (e.g. from a template).
+    #[must_use]
+    pub fn set_from(mut self, set: IntersectionSet) -> Self {
+        self.sets.push(set);
+        self
+    }
+
+    /// Adds every set of an existing query (OR-composition).
+    #[must_use]
+    pub fn union(mut self, query: &Query) -> Self {
+        self.sets.extend(query.sets().iter().cloned());
+        self
+    }
+
+    /// Finalizes the query, normalizing duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryFormError`] if no set was added or a set is empty.
+    pub fn build(self) -> Result<Query, QueryFormError> {
+        let mut q = Query::try_new(self.sets)?;
+        q.normalize();
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn builder_matches_equivalent_parsed_query() {
+        let built = QueryBuilder::new()
+            .set(|s| s.with("A").with("B").without("C"))
+            .set(|s| s.with("D"))
+            .build()
+            .unwrap();
+        let parsed = parse("(A AND B AND NOT C) OR D").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn bulk_helpers() {
+        let q = QueryBuilder::new()
+            .set(|s| s.with_all(["a", "b"]).without_any(["x", "y"]))
+            .build()
+            .unwrap();
+        assert_eq!(q.sets()[0].terms().len(), 4);
+        assert!(q.matches(["a", "b"].into_iter()));
+        assert!(!q.matches(["a", "b", "x"].into_iter()));
+    }
+
+    #[test]
+    fn union_composes_existing_queries() {
+        let base = parse("alpha AND beta").unwrap();
+        let q = QueryBuilder::new()
+            .union(&base)
+            .set(|s| s.with("gamma"))
+            .build()
+            .unwrap();
+        assert_eq!(q.sets().len(), 2);
+        assert!(q.matches(["gamma"].into_iter()));
+    }
+
+    #[test]
+    fn set_from_accepts_prebuilt_sets() {
+        let set = IntersectionSet::of_tokens(["x", "y"]);
+        let q = QueryBuilder::new().set_from(set).build().unwrap();
+        assert!(q.matches(["x", "y"].into_iter()));
+    }
+
+    #[test]
+    fn empty_builder_errors() {
+        assert_eq!(QueryBuilder::new().build(), Err(QueryFormError::EmptyQuery));
+    }
+
+    #[test]
+    fn empty_set_errors() {
+        assert_eq!(
+            QueryBuilder::new().set(|s| s).build(),
+            Err(QueryFormError::EmptySet { index: 0 })
+        );
+    }
+
+    #[test]
+    fn build_normalizes_duplicates() {
+        let q = QueryBuilder::new()
+            .set(|s| s.with("a").with("a"))
+            .set(|s| s.with("a"))
+            .set(|s| s.with("a"))
+            .build()
+            .unwrap();
+        // Term dedup collapses {a, a} to {a}; set dedup then collapses the
+        // three now-identical sets to one.
+        assert_eq!(q.sets().len(), 1);
+        assert_eq!(q.sets()[0].terms().len(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error building a [`Query`](crate::Query) from intersection sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryFormError {
+    /// The query contained no intersection sets, so it would match nothing.
+    EmptyQuery,
+    /// An intersection set contained no terms, so it would match everything.
+    EmptySet {
+        /// Position of the offending set in the input.
+        index: usize,
+    },
+}
+
+impl fmt::Display for QueryFormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryFormError::EmptyQuery => write!(f, "query has no intersection sets"),
+            QueryFormError::EmptySet { index } => {
+                write!(f, "intersection set {index} has no terms")
+            }
+        }
+    }
+}
+
+impl Error for QueryFormError {}
+
+/// Error parsing the text query language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseQueryError {
+    /// Input was empty or all whitespace.
+    Empty,
+    /// An unexpected character was found outside any token.
+    UnexpectedChar {
+        /// Byte offset of the character in the input.
+        offset: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// A quoted token was not terminated before end of input.
+    UnterminatedQuote {
+        /// Byte offset where the quote opened.
+        offset: usize,
+    },
+    /// A closing parenthesis had no matching opener, or vice versa.
+    UnbalancedParens,
+    /// `NOT`, `AND` or `OR` appeared without the operand(s) it needs.
+    DanglingOperator {
+        /// The operator keyword as written.
+        op: String,
+    },
+    /// The input ended where a token or group was expected.
+    UnexpectedEnd,
+    /// Two tokens appeared with no connective between them.
+    MissingConnective {
+        /// Byte offset of the second token.
+        offset: usize,
+    },
+    /// A quoted token was empty (`""`), which can never match.
+    EmptyToken {
+        /// Byte offset of the empty token.
+        offset: usize,
+    },
+    /// The parsed expression normalized to an invalid query form.
+    Form(QueryFormError),
+}
+
+impl fmt::Display for ParseQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseQueryError::Empty => write!(f, "query text is empty"),
+            ParseQueryError::UnexpectedChar { offset, ch } => {
+                write!(f, "unexpected character {ch:?} at byte {offset}")
+            }
+            ParseQueryError::UnterminatedQuote { offset } => {
+                write!(f, "unterminated quote starting at byte {offset}")
+            }
+            ParseQueryError::UnbalancedParens => write!(f, "unbalanced parentheses"),
+            ParseQueryError::DanglingOperator { op } => {
+                write!(f, "operator {op} is missing an operand")
+            }
+            ParseQueryError::UnexpectedEnd => {
+                write!(f, "unexpected end of input; expected a token or group")
+            }
+            ParseQueryError::MissingConnective { offset } => {
+                write!(f, "expected AND/OR before token at byte {offset}")
+            }
+            ParseQueryError::EmptyToken { offset } => {
+                write!(f, "empty quoted token at byte {offset}")
+            }
+            ParseQueryError::Form(e) => write!(f, "invalid query form: {e}"),
+        }
+    }
+}
+
+impl Error for ParseQueryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseQueryError::Form(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryFormError> for ParseQueryError {
+    fn from(e: QueryFormError) -> Self {
+        ParseQueryError::Form(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let msgs = [
+            QueryFormError::EmptyQuery.to_string(),
+            QueryFormError::EmptySet { index: 3 }.to_string(),
+            ParseQueryError::Empty.to_string(),
+            ParseQueryError::UnbalancedParens.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn form_error_wraps_with_source() {
+        let e = ParseQueryError::from(QueryFormError::EmptyQuery);
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryFormError>();
+        assert_send_sync::<ParseQueryError>();
+    }
+}

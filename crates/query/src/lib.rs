@@ -1,0 +1,52 @@
+//! Query representation for the MithriLog token filtering engine.
+//!
+//! The MithriLog accelerator (MICRO '21, §4) evaluates log lines against
+//! queries expressed as a *union* (`∪`) of *intersection sets* (`∩`) of
+//! tokens, where every token may be negated (`¬`):
+//!
+//! ```text
+//! (¬A ∩ B ∩ C) ∪ (¬D ∩ ¬E ∩ F ∩ G)
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`Term`], [`IntersectionSet`] and [`Query`] — the normalized form the
+//!   hardware consumes, plus a reference (software) evaluator that serves as
+//!   the ground-truth oracle for the accelerator model in `mithrilog-filter`.
+//! * A small text query language (see [`parse`]) supporting `AND`, `OR`,
+//!   `NOT`, parentheses and quoted tokens, e.g.
+//!   `"failed" AND NOT "pbs_mom:"`.
+//! * Conversion of arbitrary boolean expressions into the union-of-
+//!   intersections form via negation-normal-form + distribution
+//!   ([`ast::Expr::to_query`]).
+//! * Query batching ([`batch`]) used by the paper's evaluation: random
+//!   2-combinations and 8-combinations of template queries joined with `OR`.
+//!
+//! # Example
+//!
+//! ```
+//! use mithrilog_query::parse;
+//!
+//! let query = parse(r#""RAS" AND "KERNEL" AND NOT "FATAL""#)?;
+//! assert_eq!(query.sets().len(), 1);
+//! assert!(query.matches(["RAS", "KERNEL", "INFO"].into_iter()));
+//! assert!(!query.matches(["RAS", "KERNEL", "FATAL"].into_iter()));
+//! # Ok::<(), mithrilog_query::ParseQueryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod batch;
+mod builder;
+mod error;
+mod parser;
+mod query;
+mod term;
+
+pub use builder::{QueryBuilder, SetBuilder};
+pub use error::{ParseQueryError, QueryFormError};
+pub use parser::parse;
+pub use query::{IntersectionSet, Query};
+pub use term::Term;

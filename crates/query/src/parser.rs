@@ -1,0 +1,345 @@
+//! Lexer and recursive-descent parser for the text query language.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := or_expr
+//! or_expr := and_expr ( "OR" and_expr )*
+//! and_expr:= unary ( "AND" unary )*
+//! unary   := "NOT" unary | primary
+//! primary := TOKEN | '(' or_expr ')'
+//! TOKEN   := '"' any-chars-except-quote '"' | bare-word
+//! ```
+//!
+//! Bare words may contain any non-whitespace characters except `(`, `)` and
+//! `"`, and must not equal a keyword. Quoted tokens may contain anything but
+//! a double quote (log tokens routinely contain `:`, `-`, `[`, …).
+
+use crate::ast::Expr;
+use crate::error::ParseQueryError;
+use crate::query::Query;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+    Word { text: String, offset: usize },
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, ParseQueryError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == '(' {
+            out.push(Tok::LParen);
+            i += 1;
+        } else if c == ')' {
+            out.push(Tok::RParen);
+            i += 1;
+        } else if c == '"' {
+            let start = i;
+            i += 1;
+            let mut end = None;
+            for (j, b) in bytes.iter().enumerate().skip(i) {
+                if *b == b'"' {
+                    end = Some(j);
+                    break;
+                }
+            }
+            let Some(end) = end else {
+                return Err(ParseQueryError::UnterminatedQuote { offset: start });
+            };
+            let text = input[i..end].to_string();
+            if text.is_empty() {
+                return Err(ParseQueryError::EmptyToken { offset: start });
+            }
+            out.push(Tok::Word {
+                text,
+                offset: start,
+            });
+            i = end + 1;
+        } else {
+            // Bare word: up to whitespace, paren, or quote.
+            let start = i;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                if c.is_ascii_whitespace() || c == '(' || c == ')' || c == '"' {
+                    break;
+                }
+                i += 1;
+            }
+            let word = &input[start..i];
+            match word.to_ascii_uppercase().as_str() {
+                "AND" => out.push(Tok::And),
+                "OR" => out.push(Tok::Or),
+                "NOT" => out.push(Tok::Not),
+                _ => out.push(Tok::Word {
+                    text: word.to_string(),
+                    offset: start,
+                }),
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseQueryError> {
+        let mut left = self.and_expr()?;
+        while matches!(self.peek(), Some(Tok::Or)) {
+            self.bump();
+            let right = self.and_expr()?;
+            left = Expr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseQueryError> {
+        let mut left = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::And) => {
+                    self.bump();
+                    let right = self.unary()?;
+                    left = Expr::and(left, right);
+                }
+                // Two adjacent tokens without a connective is a common typo;
+                // report it instead of silently implying AND.
+                Some(Tok::Word { offset, .. }) => {
+                    return Err(ParseQueryError::MissingConnective { offset: *offset });
+                }
+                _ => break,
+            }
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseQueryError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.bump();
+                if self.peek().is_none() {
+                    return Err(ParseQueryError::DanglingOperator { op: "NOT".into() });
+                }
+                Ok(Expr::not(self.unary()?))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseQueryError> {
+        match self.bump() {
+            Some(Tok::Word { text, .. }) => Ok(Expr::token(text)),
+            Some(Tok::LParen) => {
+                let inner = self.or_expr()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(inner),
+                    _ => Err(ParseQueryError::UnbalancedParens),
+                }
+            }
+            Some(Tok::And) => Err(ParseQueryError::DanglingOperator { op: "AND".into() }),
+            Some(Tok::Or) => Err(ParseQueryError::DanglingOperator { op: "OR".into() }),
+            Some(Tok::RParen) => Err(ParseQueryError::UnbalancedParens),
+            Some(Tok::Not) => Err(ParseQueryError::DanglingOperator { op: "NOT".into() }),
+            None => Err(ParseQueryError::UnexpectedEnd),
+        }
+    }
+}
+
+/// Parses query text into an [`Expr`] without normalizing it.
+///
+/// Most callers want [`parse`], which also converts to the offloadable
+/// union-of-intersections form.
+///
+/// # Errors
+///
+/// Returns [`ParseQueryError`] on lexical or syntactic problems; each variant
+/// carries the byte offset or operator involved.
+pub fn parse_expr(input: &str) -> Result<Expr, ParseQueryError> {
+    let toks = lex(input)?;
+    if toks.is_empty() {
+        return Err(ParseQueryError::Empty);
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let expr = p.or_expr()?;
+    if p.pos != p.toks.len() {
+        // Leftover tokens: the only way to get here is a stray ')'.
+        return Err(ParseQueryError::UnbalancedParens);
+    }
+    Ok(expr)
+}
+
+/// Parses query text into an offloadable [`Query`].
+///
+/// # Errors
+///
+/// Returns [`ParseQueryError`] on invalid syntax, or a wrapped
+/// [`QueryFormError`](crate::QueryFormError) if normalization produces an
+/// invalid form.
+///
+/// # Example
+///
+/// ```
+/// let q = mithrilog_query::parse(r#""failed" AND NOT "pbs_mom:""#)?;
+/// assert!(q.matches_line("job 17 failed on node-3"));
+/// assert!(!q.matches_line("pbs_mom: job 17 failed"));
+/// # Ok::<(), mithrilog_query::ParseQueryError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Query, ParseQueryError> {
+    Ok(parse_expr(input)?.to_query()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn single_bare_word() {
+        let q = parse("failed").unwrap();
+        assert_eq!(q.sets().len(), 1);
+        assert_eq!(q.sets()[0].terms(), &[Term::positive("failed")]);
+    }
+
+    #[test]
+    fn quoted_token_preserves_punctuation() {
+        let q = parse(r#""pbs_mom:""#).unwrap();
+        assert_eq!(q.sets()[0].terms()[0].token(), "pbs_mom:");
+    }
+
+    #[test]
+    fn and_not_combination() {
+        let q = parse(r#""failed" AND NOT "pbs_mom:""#).unwrap();
+        let set = &q.sets()[0];
+        assert_eq!(set.terms().len(), 2);
+        assert!(set.terms().contains(&Term::positive("failed")));
+        assert!(set.terms().contains(&Term::negative("pbs_mom:")));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("a and b or c").unwrap();
+        assert_eq!(q.sets().len(), 2);
+    }
+
+    #[test]
+    fn parentheses_group() {
+        let q = parse("A AND (B OR C)").unwrap();
+        assert_eq!(q.sets().len(), 2);
+        assert!(q.matches(["A", "C"].into_iter()));
+        assert!(!q.matches(["B", "C"].into_iter()));
+    }
+
+    #[test]
+    fn not_over_group_applies_de_morgan() {
+        let q = parse("NOT (A OR B) AND C").unwrap();
+        assert_eq!(q.sets().len(), 1);
+        assert!(q.matches(["C"].into_iter()));
+        assert!(!q.matches(["C", "A"].into_iter()));
+    }
+
+    #[test]
+    fn double_not_is_identity() {
+        let q = parse("NOT NOT x").unwrap();
+        assert_eq!(q.sets()[0].terms(), &[Term::positive("x")]);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(parse(""), Err(ParseQueryError::Empty));
+        assert_eq!(parse("   "), Err(ParseQueryError::Empty));
+    }
+
+    #[test]
+    fn unterminated_quote_reports_offset() {
+        // Lexing happens before parsing, so the quote error wins even when a
+        // connective is also missing.
+        assert_eq!(
+            parse("abc \"def"),
+            Err(ParseQueryError::UnterminatedQuote { offset: 4 })
+        );
+        assert_eq!(
+            parse("\"def"),
+            Err(ParseQueryError::UnterminatedQuote { offset: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_quoted_token_errors() {
+        assert_eq!(parse("\"\""), Err(ParseQueryError::EmptyToken { offset: 0 }));
+    }
+
+    #[test]
+    fn unbalanced_parens_error() {
+        assert_eq!(parse("(a AND b"), Err(ParseQueryError::UnbalancedParens));
+        assert_eq!(parse("a AND b)"), Err(ParseQueryError::UnbalancedParens));
+    }
+
+    #[test]
+    fn dangling_operators_error() {
+        assert_eq!(
+            parse("AND b"),
+            Err(ParseQueryError::DanglingOperator { op: "AND".into() })
+        );
+        assert_eq!(parse("a AND"), Err(ParseQueryError::UnexpectedEnd));
+        assert_eq!(
+            parse("NOT"),
+            Err(ParseQueryError::DanglingOperator { op: "NOT".into() })
+        );
+    }
+
+    #[test]
+    fn adjacent_tokens_without_connective_error() {
+        match parse("alpha beta") {
+            Err(ParseQueryError::MissingConnective { offset }) => assert_eq!(offset, 6),
+            other => panic!("expected MissingConnective, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_quotes_and_bare_words() {
+        let q = parse(r#"RAS AND "KERNEL" AND NOT FATAL OR "machine check""#).unwrap();
+        assert_eq!(q.sets().len(), 2);
+        assert!(q.matches(["machine check"].into_iter()));
+    }
+
+    #[test]
+    fn display_of_parsed_query_reparses_identically() {
+        let q1 = parse(r#"(A AND NOT B) OR (C AND D)"#).unwrap();
+        let q2 = parse(&q1.to_string()).unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn operator_precedence_and_binds_tighter() {
+        let q = parse("a OR b AND c").unwrap();
+        assert_eq!(q.sets().len(), 2);
+        assert!(q.matches(["a"].into_iter()));
+        assert!(!q.matches(["b"].into_iter()));
+        assert!(q.matches(["b", "c"].into_iter()));
+    }
+}

@@ -1,0 +1,400 @@
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::QueryFormError;
+use crate::term::Term;
+
+/// A conjunction (`∩`) of query terms, possibly negated.
+///
+/// A line satisfies an intersection set when every positive term's token is
+/// present in the line and no negated term's token is present.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct IntersectionSet {
+    terms: Vec<Term>,
+}
+
+impl IntersectionSet {
+    /// Creates an empty intersection set.
+    ///
+    /// An empty set is satisfied by every line; [`Query::try_new`] rejects
+    /// queries containing empty sets, so build sets up before assembling a
+    /// query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from positive token texts.
+    ///
+    /// ```
+    /// use mithrilog_query::IntersectionSet;
+    /// let s = IntersectionSet::of_tokens(["a", "b"]);
+    /// assert_eq!(s.terms().len(), 2);
+    /// ```
+    pub fn of_tokens<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        IntersectionSet {
+            terms: tokens.into_iter().map(Term::positive).collect(),
+        }
+    }
+
+    /// Adds a term to the conjunction.
+    pub fn push(&mut self, term: Term) {
+        self.terms.push(term);
+    }
+
+    /// Adds a term, returning `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, term: Term) -> Self {
+        self.push(term);
+        self
+    }
+
+    /// The terms of this conjunction, in insertion order.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Whether the set has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over the positive (non-negated) terms.
+    pub fn positive_terms(&self) -> impl Iterator<Item = &Term> {
+        self.terms.iter().filter(|t| !t.is_negated())
+    }
+
+    /// Iterates over the negated terms.
+    pub fn negative_terms(&self) -> impl Iterator<Item = &Term> {
+        self.terms.iter().filter(|t| t.is_negated())
+    }
+
+    /// Evaluates this conjunction against a set of tokens from one line.
+    pub fn matches_token_set(&self, tokens: &HashSet<&str>) -> bool {
+        self.terms.iter().all(|t| {
+            let present = tokens.contains(t.token());
+            present != t.is_negated()
+        })
+    }
+
+    /// Removes duplicate terms while preserving first-occurrence order.
+    ///
+    /// Contradictory pairs (`x` and `¬x`) are kept; such a set simply never
+    /// matches, mirroring the hardware behaviour where the negative flag
+    /// poisons the set.
+    pub fn dedup(&mut self) {
+        let mut seen = HashSet::new();
+        self.terms.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// Whether the set contains both `x` and `¬x` for some token, making it
+    /// unsatisfiable.
+    pub fn is_contradictory(&self) -> bool {
+        let positives: HashSet<&str> = self.positive_terms().map(Term::token).collect();
+        self.negative_terms().any(|t| positives.contains(t.token()))
+    }
+}
+
+impl FromIterator<Term> for IntersectionSet {
+    fn from_iter<I: IntoIterator<Item = Term>>(iter: I) -> Self {
+        IntersectionSet {
+            terms: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Term> for IntersectionSet {
+    fn extend<I: IntoIterator<Item = Term>>(&mut self, iter: I) {
+        self.terms.extend(iter);
+    }
+}
+
+impl fmt::Display for IntersectionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A query in the offloadable *union of intersections* form (paper Eq. 1).
+///
+/// A line matches the query when it satisfies at least one of the
+/// intersection sets. This struct is the canonical exchange format between
+/// the query language, the FT-tree template translator, the software
+/// baselines and the hardware filter model.
+///
+/// # Example
+///
+/// ```
+/// use mithrilog_query::{IntersectionSet, Query, Term};
+///
+/// let q = Query::try_new(vec![
+///     IntersectionSet::of_tokens(["A", "B"]),
+///     IntersectionSet::of_tokens(["C"]).with(Term::negative("B")),
+/// ])?;
+/// assert!(q.matches(["A", "B"].into_iter()));
+/// assert!(q.matches(["C", "Z"].into_iter()));
+/// assert!(!q.matches(["C", "B"].into_iter()));
+/// # Ok::<(), mithrilog_query::QueryFormError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    sets: Vec<IntersectionSet>,
+}
+
+impl Query {
+    /// Creates a query from intersection sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryFormError::EmptyQuery`] if `sets` is empty and
+    /// [`QueryFormError::EmptySet`] if any set has no terms — both forms
+    /// would either match nothing or everything and are almost always bugs
+    /// at the call site.
+    pub fn try_new(sets: Vec<IntersectionSet>) -> Result<Self, QueryFormError> {
+        if sets.is_empty() {
+            return Err(QueryFormError::EmptyQuery);
+        }
+        if let Some(idx) = sets.iter().position(IntersectionSet::is_empty) {
+            return Err(QueryFormError::EmptySet { index: idx });
+        }
+        Ok(Query { sets })
+    }
+
+    /// Convenience constructor for a single conjunction of positive tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn all_of<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let set = IntersectionSet::of_tokens(tokens);
+        Query::try_new(vec![set]).expect("all_of requires at least one token")
+    }
+
+    /// Convenience constructor for a disjunction of single positive tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn any_of<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let sets: Vec<IntersectionSet> = tokens
+            .into_iter()
+            .map(|t| IntersectionSet::of_tokens([t]))
+            .collect();
+        Query::try_new(sets).expect("any_of requires at least one token")
+    }
+
+    /// The intersection sets forming the union.
+    pub fn sets(&self) -> &[IntersectionSet] {
+        &self.sets
+    }
+
+    /// Total number of terms across all sets (with duplicates).
+    pub fn term_count(&self) -> usize {
+        self.sets.iter().map(|s| s.terms().len()).sum()
+    }
+
+    /// The set of distinct tokens mentioned anywhere in the query.
+    pub fn distinct_tokens(&self) -> HashSet<&str> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.terms().iter().map(Term::token))
+            .collect()
+    }
+
+    /// Joins two queries with `OR`, concatenating their intersection sets.
+    ///
+    /// This is how the paper's evaluation builds batched queries: multiple
+    /// template queries executed concurrently on one accelerator pass.
+    #[must_use]
+    pub fn or(mut self, other: Query) -> Query {
+        self.sets.extend(other.sets);
+        self
+    }
+
+    /// Reference evaluator: does a line containing exactly `tokens` match?
+    ///
+    /// This is the ground-truth oracle the hardware filter model is tested
+    /// against. Token multiplicity is irrelevant (the engine only tracks
+    /// presence), so duplicates in `tokens` are harmless.
+    pub fn matches<'a, I>(&self, tokens: I) -> bool
+    where
+        I: Iterator<Item = &'a str>,
+    {
+        let set: HashSet<&str> = tokens.collect();
+        self.matches_token_set(&set)
+    }
+
+    /// Like [`Query::matches`] but takes a pre-built token set, so callers
+    /// evaluating many queries per line build the set once.
+    pub fn matches_token_set(&self, tokens: &HashSet<&str>) -> bool {
+        self.sets.iter().any(|s| s.matches_token_set(tokens))
+    }
+
+    /// Reference evaluator over a raw log line, splitting it on ASCII
+    /// whitespace exactly like the hardware tokenizer's default delimiter
+    /// configuration.
+    pub fn matches_line(&self, line: &str) -> bool {
+        self.matches(line.split_ascii_whitespace())
+    }
+
+    /// Removes duplicate terms inside each set and duplicate sets.
+    pub fn normalize(&mut self) {
+        for s in &mut self.sets {
+            s.dedup();
+        }
+        let mut seen = HashSet::new();
+        self.sets.retain(|s| seen.insert(s.clone()));
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.sets.iter().enumerate() {
+            if i > 0 {
+                write!(f, " OR ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(line: &str) -> HashSet<&str> {
+        line.split_ascii_whitespace().collect()
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert_eq!(Query::try_new(vec![]), Err(QueryFormError::EmptyQuery));
+    }
+
+    #[test]
+    fn empty_set_rejected_with_index() {
+        let sets = vec![IntersectionSet::of_tokens(["a"]), IntersectionSet::new()];
+        assert_eq!(
+            Query::try_new(sets),
+            Err(QueryFormError::EmptySet { index: 1 })
+        );
+    }
+
+    #[test]
+    fn single_positive_set_matches_superset_lines() {
+        let q = Query::all_of(["RAS", "KERNEL"]);
+        assert!(q.matches_token_set(&toks("RAS KERNEL INFO extra")));
+        assert!(!q.matches_token_set(&toks("RAS INFO")));
+    }
+
+    #[test]
+    fn negation_blocks_match() {
+        let q = Query::try_new(vec![
+            IntersectionSet::of_tokens(["RAS"]).with(Term::negative("FATAL")),
+        ])
+        .unwrap();
+        assert!(q.matches_token_set(&toks("RAS INFO")));
+        assert!(!q.matches_token_set(&toks("RAS FATAL")));
+    }
+
+    #[test]
+    fn union_matches_when_any_set_matches() {
+        let q = Query::any_of(["alpha", "beta"]);
+        assert!(q.matches_token_set(&toks("nothing beta here")));
+        assert!(q.matches_token_set(&toks("alpha")));
+        assert!(!q.matches_token_set(&toks("gamma")));
+    }
+
+    #[test]
+    fn paper_equation_one_semantics() {
+        // (¬A ∩ B ∩ C) ∪ (¬D ∩ ¬E ∩ F ∩ G)
+        let q = Query::try_new(vec![
+            IntersectionSet::of_tokens(["B", "C"]).with(Term::negative("A")),
+            IntersectionSet::of_tokens(["F", "G"])
+                .with(Term::negative("D"))
+                .with(Term::negative("E")),
+        ])
+        .unwrap();
+        assert!(q.matches_token_set(&toks("B C x")));
+        assert!(!q.matches_token_set(&toks("A B C")));
+        assert!(q.matches_token_set(&toks("F G")));
+        assert!(!q.matches_token_set(&toks("F G E")));
+        // First set fails on ¬A, second matches.
+        assert!(q.matches_token_set(&toks("A F G")));
+    }
+
+    #[test]
+    fn or_concatenates_sets() {
+        let q = Query::all_of(["a"]).or(Query::all_of(["b"]));
+        assert_eq!(q.sets().len(), 2);
+        assert!(q.matches_token_set(&toks("b")));
+    }
+
+    #[test]
+    fn distinct_tokens_deduplicates_across_sets() {
+        let q = Query::all_of(["a", "b"]).or(Query::all_of(["b", "c"]));
+        let d = q.distinct_tokens();
+        assert_eq!(d.len(), 3);
+        assert!(d.contains("b"));
+    }
+
+    #[test]
+    fn contradictory_set_never_matches() {
+        let s = IntersectionSet::of_tokens(["x"]).with(Term::negative("x"));
+        assert!(s.is_contradictory());
+        let q = Query::try_new(vec![s]).unwrap();
+        assert!(!q.matches_token_set(&toks("x")));
+        assert!(!q.matches_token_set(&toks("y")));
+    }
+
+    #[test]
+    fn normalize_removes_duplicate_terms_and_sets() {
+        let s = IntersectionSet::of_tokens(["a", "a", "b"]);
+        let mut q = Query::try_new(vec![s.clone(), s]).unwrap();
+        q.normalize();
+        assert_eq!(q.sets().len(), 1);
+        assert_eq!(q.sets()[0].terms().len(), 2);
+    }
+
+    #[test]
+    fn matches_line_splits_on_whitespace() {
+        let q = Query::all_of(["kernel:", "panic"]);
+        assert!(q.matches_line("Jun 3 node-12 kernel: panic at 0xdeadbeef"));
+        assert!(!q.matches_line("Jun 3 node-12 kernel panic"));
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let q = Query::try_new(vec![
+            IntersectionSet::of_tokens(["B"]).with(Term::negative("A")),
+            IntersectionSet::of_tokens(["C"]),
+        ])
+        .unwrap();
+        assert_eq!(q.to_string(), "(\"B\" AND NOT \"A\") OR (\"C\")");
+    }
+
+    #[test]
+    fn term_count_counts_all_terms() {
+        let q = Query::all_of(["a", "b"]).or(Query::all_of(["c"]));
+        assert_eq!(q.term_count(), 3);
+    }
+}

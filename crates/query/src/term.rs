@@ -1,0 +1,132 @@
+use std::fmt;
+
+/// A single query term: a token plus an optional negation.
+///
+/// A token is a textual word separated by delimiters in the log stream
+/// (paper §1). A *negated* term (`¬token`) requires the token to be absent
+/// from a line for the enclosing intersection set to be satisfied.
+///
+/// # Example
+///
+/// ```
+/// use mithrilog_query::Term;
+///
+/// let t = Term::positive("FATAL");
+/// assert!(!t.is_negated());
+/// let n = Term::negative("FATAL");
+/// assert!(n.is_negated());
+/// assert_eq!(n.token(), "FATAL");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Term {
+    token: String,
+    negated: bool,
+}
+
+impl Term {
+    /// Creates a term that requires `token` to be present in a line.
+    pub fn positive(token: impl Into<String>) -> Self {
+        Term {
+            token: token.into(),
+            negated: false,
+        }
+    }
+
+    /// Creates a term that requires `token` to be absent from a line.
+    pub fn negative(token: impl Into<String>) -> Self {
+        Term {
+            token: token.into(),
+            negated: true,
+        }
+    }
+
+    /// Creates a term with an explicit negation flag.
+    pub fn new(token: impl Into<String>, negated: bool) -> Self {
+        Term {
+            token: token.into(),
+            negated,
+        }
+    }
+
+    /// The token text this term matches against.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+
+    /// Whether this term is negated (`¬token`).
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+
+    /// Returns the same token with the negation flag flipped.
+    pub fn negate(&self) -> Term {
+        Term {
+            token: self.token.clone(),
+            negated: !self.negated,
+        }
+    }
+
+    /// Consumes the term, returning the owned token text.
+    pub fn into_token(self) -> String {
+        self.token
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "NOT \"{}\"", self.token)
+        } else {
+            write!(f, "\"{}\"", self.token)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_term_round_trips() {
+        let t = Term::positive("alpha");
+        assert_eq!(t.token(), "alpha");
+        assert!(!t.is_negated());
+        assert_eq!(t.to_string(), "\"alpha\"");
+    }
+
+    #[test]
+    fn negative_term_displays_not() {
+        let t = Term::negative("beta");
+        assert!(t.is_negated());
+        assert_eq!(t.to_string(), "NOT \"beta\"");
+    }
+
+    #[test]
+    fn negate_flips_flag_only() {
+        let t = Term::positive("x");
+        let n = t.negate();
+        assert_eq!(n.token(), "x");
+        assert!(n.is_negated());
+        assert_eq!(n.negate(), t);
+    }
+
+    #[test]
+    fn new_matches_explicit_constructors() {
+        assert_eq!(Term::new("a", false), Term::positive("a"));
+        assert_eq!(Term::new("a", true), Term::negative("a"));
+    }
+
+    #[test]
+    fn into_token_returns_owned_text() {
+        assert_eq!(Term::negative("tok").into_token(), "tok");
+    }
+
+    #[test]
+    fn terms_order_by_token_then_negation() {
+        let mut v = [Term::negative("b"), Term::positive("a"), Term::positive("b")];
+        v.sort();
+        assert_eq!(v[0].token(), "a");
+        assert_eq!(v[1], Term::positive("b"));
+        assert_eq!(v[2], Term::negative("b"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Analytic hardware models of the MithriLog accelerator: throughput
+//! (Figure 14), chip resources (Tables 2 and 4), platform constants
+//! (Table 3), and power (Table 8).
+//!
+//! The FPGA prototype's performance is *deterministic* — every stage moves
+//! a fixed number of bytes per 200 MHz cycle — so its throughput is a
+//! closed-form function of measurable dataset statistics (compression
+//! ratio, datapath padding ratio, line-length imbalance). This crate holds
+//! those closed forms plus the published resource/power figures, so the
+//! benchmark harness can regenerate the paper's tables from data measured
+//! by the functional models in the sibling crates.
+//!
+//! # Example
+//!
+//! ```
+//! use mithrilog_sim::{AcceleratorConfig, DatasetInputs, ThroughputModel};
+//!
+//! let model = ThroughputModel::new(AcceleratorConfig::prototype());
+//! let t = model.effective_throughput(&DatasetInputs {
+//!     compression_ratio: 3.85,   // Liberty2, Table 5
+//!     tokenized_amplification: 2.0,
+//!     lane_utilization: 0.97,
+//! });
+//! assert!(t.total_gbps > 11.0 && t.total_gbps < 12.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod platform;
+mod power;
+mod resources;
+mod throughput;
+
+pub use platform::{PlatformSpec, COMPARISON_PLATFORM, MITHRILOG_PLATFORM};
+pub use power::{PowerBreakdown, PowerModel};
+pub use resources::{
+    codec_resource_table, hare_comparison, pipeline_resource_table, CodecResource, ModuleResource,
+    VC707_LUTS, VC707_RAMB18, VC707_RAMB36,
+};
+pub use throughput::{AcceleratorConfig, DatasetInputs, Throughput, ThroughputModel};

@@ -1,0 +1,73 @@
+//! Platform constants (paper Table 3 and §7.2).
+
+/// Computation and storage of one evaluation platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformSpec {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Computation description.
+    pub computation: &'static str,
+    /// Host-visible storage bandwidth in GB/s.
+    pub external_gbps: f64,
+    /// Device-internal bandwidth in GB/s (equals external when no
+    /// near-storage path exists).
+    pub internal_gbps: f64,
+    /// Worker threads available to software (hyper-threads).
+    pub threads: usize,
+}
+
+/// The MithriLog prototype platform (2× Virtex-7, 4 BlueDBM cards).
+pub const MITHRILOG_PLATFORM: PlatformSpec = PlatformSpec {
+    name: "MithriLog",
+    computation: "2x Virtex-7",
+    external_gbps: 3.1,
+    internal_gbps: 4.8,
+    threads: 0,
+};
+
+/// The software comparison platform (i7-8700K, RAID-0 NVMe).
+pub const COMPARISON_PLATFORM: PlatformSpec = PlatformSpec {
+    name: "Comparison",
+    computation: "i7-8700K",
+    external_gbps: 7.0,
+    internal_gbps: 7.0,
+    threads: 12,
+};
+
+impl PlatformSpec {
+    /// The internal-to-external bandwidth differential the near-storage
+    /// placement exploits (≈1.55× on the prototype; Samsung publishes 1.8×
+    /// for the SmartSSD).
+    pub fn internal_external_ratio(&self) -> f64 {
+        self.internal_gbps / self.external_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_constants() {
+        assert_eq!(MITHRILOG_PLATFORM.computation, "2x Virtex-7");
+        assert!((MITHRILOG_PLATFORM.external_gbps - 3.1).abs() < 1e-9);
+        assert!((MITHRILOG_PLATFORM.internal_gbps - 4.8).abs() < 1e-9);
+        assert_eq!(COMPARISON_PLATFORM.computation, "i7-8700K");
+        assert!((COMPARISON_PLATFORM.external_gbps - 7.0).abs() < 1e-9);
+        assert_eq!(COMPARISON_PLATFORM.threads, 12);
+    }
+
+    #[test]
+    fn comparison_storage_is_deliberately_faster() {
+        // §7.2: "the storage performance of the comparison system is much
+        // higher than MithriLog, to err on the side of caution".
+        let (sw, hw) = (COMPARISON_PLATFORM, MITHRILOG_PLATFORM);
+        assert!(sw.external_gbps > hw.internal_gbps);
+    }
+
+    #[test]
+    fn internal_ratio_is_realistic() {
+        let r = MITHRILOG_PLATFORM.internal_external_ratio();
+        assert!(r > 1.5 && r < 1.8, "ratio {r}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Power model (paper Table 8, §7.6).
+//!
+//! The paper measured the BlueDBM cards and FPGA boards with wall-port
+//! monitors, took the SSD figure from Samsung's datasheet, and attributed
+//! the remainder to CPU+memory. Those constants are encoded here along
+//! with the derived efficiency arithmetic.
+
+/// Power breakdown of one platform, in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Platform name.
+    pub name: &'static str,
+    /// CPU plus DRAM.
+    pub cpu_memory_w: f64,
+    /// Storage devices (4 BlueDBM cards / 2 NVMe drives).
+    pub storage_w: f64,
+    /// FPGA boards (0 for the software platform).
+    pub fpga_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total platform power.
+    pub fn total_w(&self) -> f64 {
+        self.cpu_memory_w + self.storage_w + self.fpga_w
+    }
+}
+
+/// The power model with both platforms and efficiency arithmetic.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    mithrilog: PowerBreakdown,
+    software: PowerBreakdown,
+}
+
+impl PowerModel {
+    /// The paper's measured/estimated breakdowns (Table 8).
+    pub fn paper() -> Self {
+        PowerModel {
+            mithrilog: PowerBreakdown {
+                name: "MithriLog",
+                cpu_memory_w: 90.0,
+                storage_w: 24.0,
+                fpga_w: 36.0,
+            },
+            software: PowerBreakdown {
+                name: "Software",
+                cpu_memory_w: 160.0,
+                storage_w: 10.0,
+                fpga_w: 0.0,
+            },
+        }
+    }
+
+    /// The MithriLog platform breakdown.
+    pub fn mithrilog(&self) -> &PowerBreakdown {
+        &self.mithrilog
+    }
+
+    /// The software platform breakdown.
+    pub fn software(&self) -> &PowerBreakdown {
+        &self.software
+    }
+
+    /// Performance-per-watt improvement of MithriLog given a measured
+    /// speedup: `speedup × (software W / mithrilog W)`.
+    pub fn efficiency_improvement(&self, speedup: f64) -> f64 {
+        speedup * self.software.total_w() / self.mithrilog.total_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_totals() {
+        let m = PowerModel::paper();
+        assert!((m.mithrilog().total_w() - 150.0).abs() < 1e-9);
+        assert!((m.software().total_w() - 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accelerated_platform_draws_less_total_power() {
+        // §7.6: "by using power-efficient FPGAs for computation, the total
+        // power consumption of the system actually decreased".
+        let m = PowerModel::paper();
+        assert!(m.mithrilog().total_w() < m.software().total_w());
+        // But its storage+FPGA components draw more than plain SSDs.
+        assert!(
+            m.mithrilog().storage_w + m.mithrilog().fpga_w > m.software().storage_w
+        );
+    }
+
+    #[test]
+    fn order_of_magnitude_speedup_gives_order_of_magnitude_efficiency() {
+        let m = PowerModel::paper();
+        let eff = m.efficiency_improvement(10.0);
+        assert!(eff > 11.0, "power advantage compounds the speedup: {eff:.1}");
+    }
+}

@@ -1,0 +1,264 @@
+//! The deterministic pipeline throughput model (paper §7.4.1, Figure 14).
+//!
+//! Every stage of the accelerator moves a fixed number of bytes per cycle,
+//! so end-to-end throughput is the minimum over four ceilings:
+//!
+//! 1. **decompressor** — each pipeline's decoder emits one 16-byte word per
+//!    cycle: `pipelines × word × clock` (12.8 GB/s on the prototype);
+//! 2. **storage supply** — the device's internal bandwidth multiplied by
+//!    the dataset's LZAH compression ratio (this is the ceiling that makes
+//!    BGL2, with its low 2.63× ratio, storage-bound at ~12.6 GB/s);
+//! 3. **hash filters** — tokenization amplifies data by the padding factor
+//!    (≈2×); two filters per pipeline absorb 2× amplification exactly, and
+//!    anything beyond that eats into raw throughput;
+//! 4. **tokenizer gather** — round-robin line scatter loses a few percent
+//!    to line-length imbalance (the lane-occupancy statistic).
+
+use mithrilog_tokenizer::DatapathStats;
+
+/// Static configuration of the accelerator (prototype defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Filter pipelines instantiated (prototype: 4, across two FPGAs).
+    pub pipelines: usize,
+    /// Clock frequency in Hz (prototype: 200 MHz).
+    pub clock_hz: f64,
+    /// Datapath word width in bytes (prototype: 16).
+    pub word_bytes: usize,
+    /// Hash filter modules per pipeline (prototype: 2, sized for the ~2×
+    /// tokenization amplification).
+    pub hash_filters_per_pipeline: usize,
+    /// Device internal bandwidth in GB/s feeding the decompressors.
+    pub storage_internal_gbps: f64,
+}
+
+impl AcceleratorConfig {
+    /// The paper's prototype configuration.
+    pub fn prototype() -> Self {
+        AcceleratorConfig {
+            pipelines: 4,
+            clock_hz: 200e6,
+            word_bytes: 16,
+            hash_filters_per_pipeline: 2,
+            storage_internal_gbps: 4.8,
+        }
+    }
+
+    /// Aggregate decompressor ceiling in GB/s
+    /// (`pipelines × word × clock`).
+    pub fn decompressor_gbps(&self) -> f64 {
+        self.pipelines as f64 * self.word_bytes as f64 * self.clock_hz / 1e9
+    }
+}
+
+/// Per-dataset inputs to the model, measured by the functional crates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetInputs {
+    /// LZAH compression ratio (Table 5 row).
+    pub compression_ratio: f64,
+    /// Tokenized bytes (with padding) per raw byte
+    /// ([`DatapathStats::amplification`]).
+    pub tokenized_amplification: f64,
+    /// Tokenizer lane utilization under round-robin scatter
+    /// (`ScatterGather` occupancy; 1.0 = perfectly balanced lines).
+    pub lane_utilization: f64,
+}
+
+impl DatasetInputs {
+    /// Derives the inputs from measured datapath statistics plus the
+    /// compression ratio.
+    pub fn from_stats(stats: &DatapathStats, compression_ratio: f64, lane_utilization: f64) -> Self {
+        DatasetInputs {
+            compression_ratio,
+            tokenized_amplification: stats.amplification(),
+            lane_utilization,
+        }
+    }
+}
+
+/// Model output: the binding ceiling and the resulting throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Effective filtering throughput over raw (decompressed) text, GB/s.
+    pub total_gbps: f64,
+    /// Decompressor ceiling, GB/s.
+    pub decompressor_gbps: f64,
+    /// Storage-supply ceiling, GB/s.
+    pub storage_gbps: f64,
+    /// Hash-filter ceiling, GB/s.
+    pub filter_gbps: f64,
+    /// Tokenizer-gather ceiling, GB/s.
+    pub tokenizer_gbps: f64,
+    /// Name of the binding stage.
+    pub bound_by: &'static str,
+}
+
+/// The throughput model.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputModel {
+    config: AcceleratorConfig,
+}
+
+impl ThroughputModel {
+    /// Creates a model for a configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        ThroughputModel { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Evaluates the four ceilings for one dataset.
+    pub fn effective_throughput(&self, inputs: &DatasetInputs) -> Throughput {
+        let c = &self.config;
+        let per_pipeline_word_rate = c.word_bytes as f64 * c.clock_hz / 1e9; // GB/s raw
+        let decompressor = c.pipelines as f64 * per_pipeline_word_rate;
+        let storage = c.storage_internal_gbps * inputs.compression_ratio.max(1.0);
+        // Each hash filter absorbs one word per cycle of *tokenized* data;
+        // raw throughput is tokenized capacity divided by amplification.
+        let tokenized_capacity =
+            c.pipelines as f64 * c.hash_filters_per_pipeline as f64 * per_pipeline_word_rate;
+        let filter = tokenized_capacity / inputs.tokenized_amplification.max(1.0);
+        let tokenizer = decompressor * inputs.lane_utilization.clamp(0.0, 1.0);
+        let (total, bound_by) = [
+            (decompressor, "decompressor"),
+            (storage, "storage"),
+            (filter, "hash-filter"),
+            (tokenizer, "tokenizer"),
+        ]
+        .into_iter()
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("four candidates");
+        Throughput {
+            total_gbps: total,
+            decompressor_gbps: decompressor,
+            storage_gbps: storage,
+            filter_gbps: filter,
+            tokenizer_gbps: tokenizer,
+            bound_by,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThroughputModel {
+        ThroughputModel::new(AcceleratorConfig::prototype())
+    }
+
+    #[test]
+    fn prototype_decompressor_ceiling_is_12_8() {
+        assert!((AcceleratorConfig::prototype().decompressor_gbps() - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bgl2_is_storage_bound_near_12_6() {
+        // Table 5: BGL2 compresses only 2.63×; §7.4.1 reports 12.62 GB/s of
+        // decompressed supply — "we have reached the limit of performance
+        // attainable with the backing storage".
+        let t = model().effective_throughput(&DatasetInputs {
+            compression_ratio: 2.63,
+            tokenized_amplification: 1.9,
+            lane_utilization: 1.0,
+        });
+        assert_eq!(t.bound_by, "storage");
+        assert!((t.total_gbps - 12.62).abs() < 0.05, "{:.3}", t.total_gbps);
+    }
+
+    #[test]
+    fn high_ratio_datasets_are_filter_or_tokenizer_bound_at_11_to_12() {
+        // Liberty2/Spirit2/Thunderbird: ratio well above 2.67 keeps the
+        // decompressors busy; the filter engines land at 11–12 GB/s.
+        for (ratio, amp, util) in [(3.85, 2.15, 0.97), (6.60, 2.2, 0.96), (7.35, 2.1, 0.98)] {
+            let t = model().effective_throughput(&DatasetInputs {
+                compression_ratio: ratio,
+                tokenized_amplification: amp,
+                lane_utilization: util,
+            });
+            assert!(
+                t.total_gbps > 11.0 && t.total_gbps < 12.6,
+                "ratio {ratio}: {:.2} GB/s ({})",
+                t.total_gbps,
+                t.bound_by
+            );
+            assert_ne!(t.bound_by, "storage");
+        }
+    }
+
+    #[test]
+    fn amplification_of_two_exactly_fills_two_filters() {
+        let t = model().effective_throughput(&DatasetInputs {
+            compression_ratio: 10.0,
+            tokenized_amplification: 2.0,
+            lane_utilization: 1.0,
+        });
+        // filter ceiling equals the decompressor ceiling: 2 filters × 16B ÷ 2.
+        assert!((t.filter_gbps - t.decompressor_gbps).abs() < 1e-9);
+        assert!((t.total_gbps - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn excess_amplification_binds_the_filters() {
+        let t = model().effective_throughput(&DatasetInputs {
+            compression_ratio: 10.0,
+            tokenized_amplification: 3.0,
+            lane_utilization: 1.0,
+        });
+        assert_eq!(t.bound_by, "hash-filter");
+        assert!((t.total_gbps - 12.8 * 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_pipelines_help_until_storage_binds() {
+        // §7.4.1: "for Liberty2, Spirit2, and Thunderbird, adding more
+        // pipelines to the same storage device will improve performance,
+        // but for BGL2 we have reached the limit".
+        let six = AcceleratorConfig {
+            pipelines: 6,
+            ..AcceleratorConfig::prototype()
+        };
+        let liberty = DatasetInputs {
+            compression_ratio: 3.85,
+            tokenized_amplification: 2.0,
+            lane_utilization: 1.0,
+        };
+        let bgl = DatasetInputs {
+            compression_ratio: 2.63,
+            tokenized_amplification: 2.0,
+            lane_utilization: 1.0,
+        };
+        let m4 = model();
+        let m6 = ThroughputModel::new(six);
+        assert!(
+            m6.effective_throughput(&liberty).total_gbps
+                > m4.effective_throughput(&liberty).total_gbps
+        );
+        assert!(
+            (m6.effective_throughput(&bgl).total_gbps
+                - m4.effective_throughput(&bgl).total_gbps)
+                .abs()
+                < 1e-9,
+            "BGL2 is storage-bound either way"
+        );
+    }
+
+    #[test]
+    fn lane_imbalance_reduces_throughput() {
+        let balanced = model().effective_throughput(&DatasetInputs {
+            compression_ratio: 8.0,
+            tokenized_amplification: 2.0,
+            lane_utilization: 1.0,
+        });
+        let imbalanced = model().effective_throughput(&DatasetInputs {
+            compression_ratio: 8.0,
+            tokenized_amplification: 2.0,
+            lane_utilization: 0.85,
+        });
+        assert!(imbalanced.total_gbps < balanced.total_gbps);
+        assert_eq!(imbalanced.bound_by, "tokenizer");
+    }
+}

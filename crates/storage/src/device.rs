@@ -1,0 +1,436 @@
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::error::StorageError;
+use crate::perf::{CostLedger, DevicePerfModel};
+
+/// Identifier of one fixed-size page on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The raw page number.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A page-granular storage backend.
+///
+/// Writes shorter than a page are zero-padded; the page size is fixed at
+/// construction. Implementations must be usable from `&self` for reads so a
+/// query path can run while holding shared references.
+pub trait PageStore: Send + Sync {
+    /// Page size in bytes.
+    fn page_bytes(&self) -> usize;
+
+    /// Pages currently allocated.
+    fn page_count(&self) -> u64;
+
+    /// Reads page `id` in full.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::OutOfRange`] if `id` is unallocated; I/O errors for
+    /// file-backed stores.
+    fn read_page(&self, id: PageId) -> Result<Bytes, StorageError>;
+
+    /// Appends `data` as a new page (zero-padded), returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Oversized`] if `data` exceeds one page; I/O errors
+    /// for file-backed stores.
+    fn append_page(&mut self, data: &[u8]) -> Result<PageId, StorageError>;
+
+    /// Overwrites an existing page (used by index snapshots).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PageStore::read_page`] and
+    /// [`PageStore::append_page`].
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<(), StorageError>;
+}
+
+/// In-memory page store: the default functional backend.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    pages: Vec<Bytes>,
+    page_bytes: usize,
+}
+
+impl MemStore {
+    /// Creates an empty store with the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is zero.
+    pub fn new(page_bytes: usize) -> Self {
+        assert!(page_bytes > 0, "page size must be positive");
+        MemStore {
+            pages: Vec::new(),
+            page_bytes,
+        }
+    }
+
+    fn pad(&self, data: &[u8]) -> Result<Bytes, StorageError> {
+        if data.len() > self.page_bytes {
+            return Err(StorageError::Oversized {
+                got: data.len(),
+                page_bytes: self.page_bytes,
+            });
+        }
+        let mut buf = vec![0u8; self.page_bytes];
+        buf[..data.len()].copy_from_slice(data);
+        Ok(Bytes::from(buf))
+    }
+}
+
+impl PageStore for MemStore {
+    fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    fn read_page(&self, id: PageId) -> Result<Bytes, StorageError> {
+        self.pages
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or(StorageError::OutOfRange {
+                page: id.0,
+                extent: self.pages.len() as u64,
+            })
+    }
+
+    fn append_page(&mut self, data: &[u8]) -> Result<PageId, StorageError> {
+        let page = self.pad(data)?;
+        self.pages.push(page);
+        Ok(PageId(self.pages.len() as u64 - 1))
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<(), StorageError> {
+        if id.0 as usize >= self.pages.len() {
+            return Err(StorageError::OutOfRange {
+                page: id.0,
+                extent: self.pages.len() as u64,
+            });
+        }
+        let page = self.pad(data)?;
+        self.pages[id.0 as usize] = page;
+        Ok(())
+    }
+}
+
+/// File-backed page store for corpora larger than RAM.
+#[derive(Debug)]
+pub struct FileStore {
+    file: Mutex<File>,
+    page_bytes: usize,
+    page_count: u64,
+}
+
+impl FileStore {
+    /// Creates (truncating) a file-backed store at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is zero.
+    pub fn create(path: &Path, page_bytes: usize) -> Result<Self, StorageError> {
+        assert!(page_bytes > 0, "page size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStore {
+            file: Mutex::new(file),
+            page_bytes,
+            page_count: 0,
+        })
+    }
+}
+
+impl PageStore for FileStore {
+    fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    fn page_count(&self) -> u64 {
+        self.page_count
+    }
+
+    fn read_page(&self, id: PageId) -> Result<Bytes, StorageError> {
+        if id.0 >= self.page_count {
+            return Err(StorageError::OutOfRange {
+                page: id.0,
+                extent: self.page_count,
+            });
+        }
+        let mut buf = vec![0u8; self.page_bytes];
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.0 * self.page_bytes as u64))?;
+        file.read_exact(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn append_page(&mut self, data: &[u8]) -> Result<PageId, StorageError> {
+        if data.len() > self.page_bytes {
+            return Err(StorageError::Oversized {
+                got: data.len(),
+                page_bytes: self.page_bytes,
+            });
+        }
+        let mut buf = vec![0u8; self.page_bytes];
+        buf[..data.len()].copy_from_slice(data);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(self.page_count * self.page_bytes as u64))?;
+        file.write_all(&buf)?;
+        let id = PageId(self.page_count);
+        self.page_count += 1;
+        Ok(id)
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<(), StorageError> {
+        if id.0 >= self.page_count {
+            return Err(StorageError::OutOfRange {
+                page: id.0,
+                extent: self.page_count,
+            });
+        }
+        if data.len() > self.page_bytes {
+            return Err(StorageError::Oversized {
+                got: data.len(),
+                page_bytes: self.page_bytes,
+            });
+        }
+        let mut buf = vec![0u8; self.page_bytes];
+        buf[..data.len()].copy_from_slice(data);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.0 * self.page_bytes as u64))?;
+        file.write_all(&buf)?;
+        Ok(())
+    }
+}
+
+/// A simulated SSD: a [`PageStore`] plus a [`DevicePerfModel`] and a
+/// [`CostLedger`] recording every access for modeled-time reporting.
+#[derive(Debug)]
+pub struct SimSsd<S> {
+    store: S,
+    model: DevicePerfModel,
+    ledger: CostLedger,
+}
+
+impl<S: PageStore> SimSsd<S> {
+    /// Wraps a store with a performance model.
+    pub fn new(store: S, model: DevicePerfModel) -> Self {
+        SimSsd {
+            store,
+            model,
+            ledger: CostLedger::default(),
+        }
+    }
+
+    /// The performance model in use.
+    pub fn model(&self) -> &DevicePerfModel {
+        &self.model
+    }
+
+    /// Access counters accumulated so far.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Resets the access counters.
+    pub fn clear_ledger(&mut self) {
+        self.ledger.clear();
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.store.page_bytes()
+    }
+
+    /// Pages allocated.
+    pub fn page_count(&self) -> u64 {
+        self.store.page_count()
+    }
+
+    /// Appends a page.
+    ///
+    /// # Errors
+    ///
+    /// See [`PageStore::append_page`].
+    pub fn append(&mut self, data: &[u8]) -> Result<PageId, StorageError> {
+        let id = self.store.append_page(data)?;
+        self.ledger.pages_written += 1;
+        self.ledger.bytes_written += data.len() as u64;
+        Ok(id)
+    }
+
+    /// Overwrites a page.
+    ///
+    /// # Errors
+    ///
+    /// See [`PageStore::write_page`].
+    pub fn write(&mut self, id: PageId, data: &[u8]) -> Result<(), StorageError> {
+        self.store.write_page(id, data)?;
+        self.ledger.pages_written += 1;
+        self.ledger.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Reads a page as part of a bandwidth-bound batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`PageStore::read_page`].
+    pub fn read(&mut self, id: PageId) -> Result<Bytes, StorageError> {
+        let page = self.store.read_page(id)?;
+        self.ledger.pages_read += 1;
+        self.ledger.bytes_read += page.len() as u64;
+        Ok(page)
+    }
+
+    /// Reads a page as one step of a dependent chain (latency-exposed, e.g.
+    /// linked-list traversal in the inverted index).
+    ///
+    /// # Errors
+    ///
+    /// See [`PageStore::read_page`].
+    pub fn read_dependent(&mut self, id: PageId) -> Result<Bytes, StorageError> {
+        let page = self.store.read_page(id)?;
+        self.ledger.pages_read += 1;
+        self.ledger.dependent_visits += 1;
+        self.ledger.bytes_read += page.len() as u64;
+        Ok(page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::Link;
+
+    #[test]
+    fn memstore_append_read_roundtrip() {
+        let mut s = MemStore::new(4096);
+        let a = s.append_page(b"alpha").unwrap();
+        let b = s.append_page(b"beta").unwrap();
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+        assert_eq!(s.page_count(), 2);
+        let page = s.read_page(a).unwrap();
+        assert_eq!(&page[..5], b"alpha");
+        assert!(page[5..].iter().all(|&x| x == 0), "zero padding expected");
+        assert_eq!(page.len(), 4096);
+    }
+
+    #[test]
+    fn memstore_out_of_range_and_oversized() {
+        let mut s = MemStore::new(64);
+        assert!(matches!(
+            s.read_page(PageId(0)),
+            Err(StorageError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.append_page(&[0u8; 65]),
+            Err(StorageError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn memstore_overwrite() {
+        let mut s = MemStore::new(64);
+        let id = s.append_page(b"old").unwrap();
+        s.write_page(id, b"new").unwrap();
+        assert_eq!(&s.read_page(id).unwrap()[..3], b"new");
+        assert!(matches!(
+            s.write_page(PageId(7), b"x"),
+            Err(StorageError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn filestore_roundtrip() {
+        let dir = std::env::temp_dir().join("mithrilog-filestore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        let mut s = FileStore::create(&path, 512).unwrap();
+        let ids: Vec<PageId> = (0..10)
+            .map(|i| s.append_page(format!("page-{i}").as_bytes()).unwrap())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let page = s.read_page(*id).unwrap();
+            assert_eq!(&page[..6.min(page.len())], format!("page-{i}").as_bytes()[..6].as_ref());
+        }
+        s.write_page(ids[3], b"rewritten").unwrap();
+        assert_eq!(&s.read_page(ids[3]).unwrap()[..9], b"rewritten");
+        assert!(s.read_page(PageId(10)).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simssd_ledger_tracks_reads_and_writes() {
+        let mut ssd = SimSsd::new(MemStore::new(4096), DevicePerfModel::bluedbm_prototype());
+        let id = ssd.append(b"data").unwrap();
+        ssd.read(id).unwrap();
+        ssd.read(id).unwrap();
+        ssd.read_dependent(id).unwrap();
+        let l = ssd.ledger();
+        assert_eq!(l.pages_written, 1);
+        assert_eq!(l.pages_read, 3);
+        assert_eq!(l.dependent_visits, 1);
+        assert_eq!(l.bytes_read, 3 * 4096);
+    }
+
+    #[test]
+    fn simssd_modeled_time_reflects_access_pattern() {
+        let mut ssd = SimSsd::new(MemStore::new(4096), DevicePerfModel::bluedbm_prototype());
+        let id = ssd.append(b"x").unwrap();
+        for _ in 0..100 {
+            ssd.read_dependent(id).unwrap();
+        }
+        let chained = ssd.ledger().modeled_read_time(ssd.model(), Link::Internal);
+        ssd.clear_ledger();
+        for _ in 0..100 {
+            ssd.read(id).unwrap();
+        }
+        let batched = ssd.ledger().modeled_read_time(ssd.model(), Link::Internal);
+        assert!(
+            chained > batched * 10,
+            "dependent chains must be far slower: {chained:?} vs {batched:?}"
+        );
+    }
+
+    #[test]
+    fn clear_ledger_resets() {
+        let mut ssd = SimSsd::new(MemStore::new(64), DevicePerfModel::default());
+        ssd.append(b"x").unwrap();
+        ssd.clear_ledger();
+        assert_eq!(*ssd.ledger(), CostLedger::default());
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// Error accessing the simulated storage device.
+#[derive(Debug, Clone)]
+pub enum StorageError {
+    /// A page id beyond the device's current extent was accessed.
+    OutOfRange {
+        /// The offending page id.
+        page: u64,
+        /// Pages currently allocated.
+        extent: u64,
+    },
+    /// Data larger than one page was written.
+    Oversized {
+        /// Bytes offered.
+        got: usize,
+        /// Page capacity.
+        page_bytes: usize,
+    },
+    /// An underlying I/O error from a file-backed store.
+    Io(Arc<io::Error>),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfRange { page, extent } => {
+                write!(f, "page {page} beyond device extent of {extent} pages")
+            }
+            StorageError::Oversized { got, page_bytes } => {
+                write!(f, "write of {got} bytes exceeds page size {page_bytes}")
+            }
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for StorageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(Arc::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::OutOfRange { page: 9, extent: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = StorageError::Oversized {
+            got: 5000,
+            page_bytes: 4096,
+        };
+        assert!(e.to_string().contains("4096"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let e = StorageError::from(io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_clone() {
+        fn check<T: Send + Sync + Clone>() {}
+        check::<StorageError>();
+    }
+}

@@ -1,0 +1,39 @@
+//! Simulated page-addressed SSD for MithriLog.
+//!
+//! The paper's prototype is four BlueDBM flash cards behind two FPGAs,
+//! presenting 4.8 GB/s of *internal* bandwidth but only 3.1 GB/s of PCIe
+//! bandwidth to the host — the asymmetry near-storage computation exploits.
+//! This crate substitutes that hardware with:
+//!
+//! * a functional page store ([`MemStore`] in RAM, [`FileStore`] on disk)
+//!   holding fixed-size pages addressed by [`PageId`];
+//! * an explicit, documented performance model ([`DevicePerfModel`]) with
+//!   the prototype's latency/bandwidth/channel parameters, used to convert
+//!   access traces into modeled elapsed time;
+//! * [`SimSsd`], which pairs the two and keeps a [`CostLedger`] of every
+//!   access so higher layers can report both functional results and modeled
+//!   device time.
+//!
+//! # Example
+//!
+//! ```
+//! use mithrilog_storage::{DevicePerfModel, MemStore, SimSsd};
+//!
+//! let mut ssd = SimSsd::new(MemStore::new(4096), DevicePerfModel::bluedbm_prototype());
+//! let id = ssd.append(b"hello page")?;
+//! let page = ssd.read(id)?;
+//! assert_eq!(&page[..10], b"hello page");
+//! assert_eq!(ssd.ledger().pages_read, 1);
+//! # Ok::<(), mithrilog_storage::StorageError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod perf;
+
+pub use device::{FileStore, MemStore, PageId, PageStore, SimSsd};
+pub use error::StorageError;
+pub use perf::{CostLedger, DevicePerfModel, Link};

@@ -1,0 +1,95 @@
+/// Configuration of a tokenizer array, mirroring the prototype's parameters.
+///
+/// Defaults match the paper's FPGA prototype: a 16-byte (128-bit) datapath,
+/// eight tokenizer lanes each ingesting two bytes per cycle, and ASCII
+/// whitespace delimiters.
+///
+/// # Example
+///
+/// ```
+/// use mithrilog_tokenizer::TokenizerConfig;
+///
+/// let cfg = TokenizerConfig::default();
+/// assert_eq!(cfg.word_bytes, 16);
+/// assert_eq!(cfg.lanes, 8);
+/// let wide = TokenizerConfig::with_word_bytes(32);
+/// assert_eq!(wide.word_bytes, 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenizerConfig {
+    /// Datapath word width in bytes (prototype: 16).
+    pub word_bytes: usize,
+    /// Number of parallel tokenizer lanes per pipeline (prototype: 8).
+    pub lanes: usize,
+    /// Bytes each lane ingests per clock cycle (prototype: 2, chosen in
+    /// design-space exploration over 1/2/4 for best performance per LUT).
+    pub bytes_per_cycle_per_lane: usize,
+    /// Delimiter byte set. A token is a maximal run of non-delimiter bytes.
+    pub delimiters: Vec<u8>,
+}
+
+impl TokenizerConfig {
+    /// Prototype configuration with a different datapath width, used by the
+    /// datapath-width ablation (§7.4.1 discusses 8/16/32-byte trade-offs).
+    pub fn with_word_bytes(word_bytes: usize) -> Self {
+        TokenizerConfig {
+            word_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Returns true if `b` is a delimiter under this configuration.
+    #[inline]
+    pub fn is_delimiter(&self, b: u8) -> bool {
+        self.delimiters.contains(&b)
+    }
+
+    /// Total ingest bandwidth of the lane array in bytes per cycle.
+    ///
+    /// The prototype's 8 lanes × 2 B/cycle = 16 B/cycle, matching the
+    /// datapath so the array sustains wire speed.
+    pub fn ingest_bytes_per_cycle(&self) -> usize {
+        self.lanes * self.bytes_per_cycle_per_lane
+    }
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            word_bytes: 16,
+            lanes: 8,
+            bytes_per_cycle_per_lane: 2,
+            delimiters: vec![b' ', b'\t', b'\r', b'\n'],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_prototype() {
+        let c = TokenizerConfig::default();
+        assert_eq!(c.word_bytes, 16);
+        assert_eq!(c.lanes, 8);
+        assert_eq!(c.bytes_per_cycle_per_lane, 2);
+        assert_eq!(c.ingest_bytes_per_cycle(), 16);
+    }
+
+    #[test]
+    fn whitespace_are_delimiters() {
+        let c = TokenizerConfig::default();
+        assert!(c.is_delimiter(b' '));
+        assert!(c.is_delimiter(b'\n'));
+        assert!(!c.is_delimiter(b':'));
+        assert!(!c.is_delimiter(b'a'));
+    }
+
+    #[test]
+    fn with_word_bytes_overrides_only_width() {
+        let c = TokenizerConfig::with_word_bytes(8);
+        assert_eq!(c.word_bytes, 8);
+        assert_eq!(c.lanes, 8);
+    }
+}

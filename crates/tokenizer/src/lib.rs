@@ -1,0 +1,45 @@
+//! Datapath-accurate model of the MithriLog tokenizer array (paper §4.1).
+//!
+//! The hardware tokenizer ingests raw log text and emits *tokens aligned to
+//! the datapath*: each output beat is a fixed-width word (16 bytes on the
+//! prototype) carrying up to one token fragment, zero-padded, tagged with two
+//! single-bit flags — `last_of_token` (a token longer than the word width
+//! spans several beats) and `last_of_line`. Lines are scattered round-robin
+//! across eight two-byte-per-cycle tokenizer lanes and gathered in the same
+//! order, so downstream hash filters observe lines in order.
+//!
+//! This crate models that behaviour bit-exactly at the word-stream level and
+//! additionally collects the statistics the paper's evaluation depends on:
+//!
+//! * the fraction of useful (non-padding) bytes in the tokenized datapath
+//!   (Figure 13), which drives the "two hash filters per pipeline" design;
+//! * the data amplification factor of tokenization;
+//! * per-lane occupancy imbalance of the round-robin scatter (one source of
+//!   the small gap between filter and decompressor throughput in §7.4.1).
+//!
+//! # Example
+//!
+//! ```
+//! use mithrilog_tokenizer::{Tokenizer, TokenizerConfig};
+//!
+//! let tok = Tokenizer::new(TokenizerConfig::default());
+//! let words = tok.tokenize_line(b"RAS KERNEL INFO");
+//! assert_eq!(words.len(), 3);
+//! assert!(words[2].is_last_of_line());
+//! assert_eq!(words[0].token_bytes(), b"RAS");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod scatter;
+mod stats;
+mod tokenizer;
+mod word;
+
+pub use config::TokenizerConfig;
+pub use scatter::{LaneOccupancy, ScatterGather};
+pub use stats::DatapathStats;
+pub use tokenizer::{LineWords, Tokenizer};
+pub use word::TokenWord;

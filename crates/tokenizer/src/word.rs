@@ -1,0 +1,154 @@
+use std::fmt;
+
+/// One beat of the tokenized datapath (paper Figure 4).
+///
+/// Carries up to `width` bytes of one token, zero-padded to the datapath
+/// width, plus the two hardware flags. A token longer than the datapath is
+/// emitted over multiple consecutive words; only the final word has
+/// `last_of_token` set.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TokenWord {
+    bytes: Vec<u8>,
+    /// Number of useful (non-padding) bytes at the front of `bytes`.
+    len: usize,
+    last_of_token: bool,
+    last_of_line: bool,
+    /// Zero-based token position within the line (prefix-tree extension,
+    /// paper §4.3: "a small field … specifying the column each token should
+    /// appear at").
+    column: u32,
+}
+
+impl TokenWord {
+    /// Builds a word from a token fragment, padding with zero bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fragment` is longer than `width` or empty.
+    pub fn new(
+        fragment: &[u8],
+        width: usize,
+        last_of_token: bool,
+        last_of_line: bool,
+        column: u32,
+    ) -> Self {
+        assert!(!fragment.is_empty(), "token fragment must not be empty");
+        assert!(
+            fragment.len() <= width,
+            "fragment of {} bytes exceeds datapath width {}",
+            fragment.len(),
+            width
+        );
+        let mut bytes = vec![0u8; width];
+        bytes[..fragment.len()].copy_from_slice(fragment);
+        TokenWord {
+            bytes,
+            len: fragment.len(),
+            last_of_token,
+            last_of_line,
+            column,
+        }
+    }
+
+    /// The full datapath word including zero padding.
+    pub fn datapath_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The useful token-fragment bytes, without padding.
+    pub fn token_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len]
+    }
+
+    /// Number of useful bytes in this word.
+    pub fn useful_len(&self) -> usize {
+        self.len
+    }
+
+    /// Datapath width this word was emitted on.
+    pub fn width(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Number of zero padding bytes in this word.
+    pub fn padding_len(&self) -> usize {
+        self.bytes.len() - self.len
+    }
+
+    /// Whether this word completes its token.
+    pub fn is_last_of_token(&self) -> bool {
+        self.last_of_token
+    }
+
+    /// Whether this word completes its line.
+    pub fn is_last_of_line(&self) -> bool {
+        self.last_of_line
+    }
+
+    /// Zero-based column (token index within the line).
+    pub fn column(&self) -> u32 {
+        self.column
+    }
+}
+
+impl fmt::Debug for TokenWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TokenWord({:?}, col={}, eot={}, eol={})",
+            String::from_utf8_lossy(self.token_bytes()),
+            self.column,
+            self.last_of_token,
+            self.last_of_line
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_pads_with_zeros() {
+        let w = TokenWord::new(b"RAS", 16, true, false, 0);
+        assert_eq!(w.useful_len(), 3);
+        assert_eq!(w.padding_len(), 13);
+        assert_eq!(w.datapath_bytes().len(), 16);
+        assert_eq!(&w.datapath_bytes()[3..], &[0u8; 13]);
+        assert_eq!(w.token_bytes(), b"RAS");
+    }
+
+    #[test]
+    fn flags_and_column_round_trip() {
+        let w = TokenWord::new(b"x", 16, false, true, 7);
+        assert!(!w.is_last_of_token());
+        assert!(w.is_last_of_line());
+        assert_eq!(w.column(), 7);
+    }
+
+    #[test]
+    fn full_width_word_has_no_padding() {
+        let w = TokenWord::new(&[b'a'; 16], 16, false, false, 0);
+        assert_eq!(w.padding_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds datapath width")]
+    fn oversized_fragment_panics() {
+        TokenWord::new(&[b'a'; 17], 16, true, false, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_fragment_panics() {
+        TokenWord::new(b"", 16, true, false, 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_readable() {
+        let w = TokenWord::new(b"KERNEL", 16, true, true, 2);
+        let s = format!("{w:?}");
+        assert!(s.contains("KERNEL"));
+        assert!(s.contains("col=2"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Tour of the compression layer (paper §5): LZAH versus the baseline
+//! codecs, page-aligned framing, and the hardware-facing *aligned* decode
+//! mode that hands the tokenizer line-aligned words.
+//!
+//! ```sh
+//! cargo run --release --example compression_tour
+//! ```
+
+use mithrilog_compress::{
+    compress_paged, decompress_page, Codec, Gzf, Lz4, Lzah, LzahConfig, Lzrw1, Snappy,
+};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = generate(&DatasetSpec {
+        profile: DatasetProfile::Thunderbird,
+        target_bytes: 1_000_000,
+        seed: 3,
+    });
+    let text = dataset.text();
+
+    // 1. Ratio comparison (the Table 5 experiment in miniature).
+    println!("codec ratios on 1 MB of {}:", dataset.name());
+    let codecs: Vec<Box<dyn Codec>> = vec![
+        Box::new(Lzah::default()),
+        Box::new(Lzrw1::new()),
+        Box::new(Lz4::new()),
+        Box::new(Snappy::new()),
+        Box::new(Gzf::new()),
+    ];
+    for codec in &codecs {
+        let packed = codec.compress(text);
+        let restored = codec.decompress(&packed)?;
+        assert_eq!(restored, text, "lossless round trip");
+        println!(
+            "  {:<6} {:>8} -> {:>8} bytes  ({:.2}x)",
+            codec.name(),
+            text.len(),
+            packed.len(),
+            text.len() as f64 / packed.len() as f64
+        );
+    }
+
+    // 2. Page-aligned framing: every 4 KB storage page decompresses
+    //    independently, so the index can hand the accelerator any subset.
+    let paged = compress_paged(text, LzahConfig::default(), 4096);
+    println!(
+        "\npaged: {} pages, {:.2}x ratio with per-page framing (vs {:.2}x unpaged)",
+        paged.page_count(),
+        paged.ratio(),
+        Lzah::default().ratio(text)
+    );
+    let some_page = &paged.pages()[paged.page_count() / 2];
+    let page_text = decompress_page(some_page)?;
+    println!(
+        "  middle page alone: {} compressed -> {} raw bytes, {} lines",
+        some_page.data().len(),
+        page_text.len(),
+        some_page.lines()
+    );
+
+    // 3. Aligned decode: the decompressor can emit zero-padded, line-aligned
+    //    words "to make the tokenizer's work easier" (Figure 10).
+    let lzah = Lzah::default();
+    let packed = lzah.compress(b"short\nlonger line here\n");
+    let aligned = lzah.decompress_aligned(&packed)?;
+    println!(
+        "\naligned decode of two lines: {} bytes ({} words of 16), zero padding after newlines",
+        aligned.len(),
+        aligned.len() / 16
+    );
+    Ok(())
+}

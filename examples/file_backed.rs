@@ -1,0 +1,53 @@
+//! Larger-than-RAM operation: the same MithriLog system backed by a
+//! file-based page store instead of the in-memory device.
+//!
+//! ```sh
+//! cargo run --release --example file_backed
+//! ```
+
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog_storage::FileStore;
+use mithrilog::{MithriLog, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("mithrilog-file-backed-example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("device.pages");
+
+    let config = SystemConfig::default();
+    let store = FileStore::create(&path, config.device.page_bytes)?;
+    let mut system = MithriLog::with_store(store, config);
+
+    let dataset = generate(&DatasetSpec {
+        profile: DatasetProfile::Bgl2,
+        target_bytes: 1_000_000,
+        seed: 55,
+    });
+    let report = system.ingest(dataset.text())?;
+    println!(
+        "ingested {} lines into {} on-disk pages at {} ({:.2}x compression)",
+        report.lines,
+        report.data_pages,
+        path.display(),
+        report.compression_ratio()
+    );
+
+    let outcome = system.query_str("FATAL AND ciod:")?;
+    println!(
+        "query 'FATAL AND ciod:': {} matches from {} pages read off disk",
+        outcome.match_count(),
+        outcome.pages_scanned
+    );
+    for line in outcome.lines.iter().take(3) {
+        println!("  {line}");
+    }
+
+    let disk_bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "device file size: {} bytes ({} total pages incl. index)",
+        disk_bytes,
+        disk_bytes / 4096
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: ingest a small log and run token queries end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mithrilog::{MithriLog, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A MithriLog system with the paper's prototype configuration: LZAH
+    // page compression, a 256-row cuckoo filter, the in-storage inverted
+    // index, and the BlueDBM device performance model.
+    let mut system = MithriLog::new(SystemConfig::default());
+
+    let log = "\
+- 1117838570 2005.06.03 R02-M1-N0-C:J12-U11 RAS KERNEL INFO instruction cache parity error corrected\n\
+- 1117838571 2005.06.03 R02-M1-N0-C:J12-U11 RAS KERNEL FATAL data storage interrupt\n\
+- 1117838572 2005.06.03 R16-M1-N2-I:J17-U01 RAS APP FATAL ciod: Error loading program\n\
+- 1117838573 2005.06.03 R16-M1-N2-I:J17-U01 RAS KERNEL INFO generating core.2275\n\
+- 1117838574 2005.06.03 R02-M1-N0-C:J12-U11 RAS KERNEL FATAL machine check interrupt\n";
+
+    let report = system.ingest(log.as_bytes())?;
+    println!(
+        "ingested {} lines in {} data pages ({:.2}x compression)",
+        report.lines,
+        report.data_pages,
+        report.compression_ratio()
+    );
+
+    // Queries use the accelerator's union-of-intersections language:
+    // AND / OR / NOT over whole tokens.
+    for query in [
+        "FATAL",
+        "KERNEL AND FATAL AND NOT machine",
+        "ciod: OR core.2275",
+    ] {
+        let outcome = system.query_str(query)?;
+        println!(
+            "\nquery {query:?} -> {} lines (offloaded: {}, modeled device time: {:?})",
+            outcome.match_count(),
+            outcome.offloaded,
+            outcome.modeled_time
+        );
+        for line in &outcome.lines {
+            println!("  {line}");
+        }
+    }
+
+    // The modeled accelerator throughput for this corpus:
+    let t = system.modeled_throughput();
+    println!(
+        "\nmodeled filter-engine throughput: {:.2} GB/s (bound by {})",
+        t.total_gbps, t.bound_by
+    );
+    Ok(())
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper, plus the ablations,
+# writing outputs to results/. Usage: scripts/reproduce.sh [scale_mb] [seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-8}"
+SEED="${2:-42}"
+OUT=results
+mkdir -p "$OUT"
+
+BINS=(
+  table1 table2 table3 table4 table5 table6 table7 table8
+  fig13 fig14 fig15 fig16
+  ablate_datapath ablate_cuckoo ablate_lzah_newline ablate_index ablate_near_storage
+)
+
+echo "building release binaries..."
+cargo build --release -p mithrilog-bench --bins
+
+for bin in "${BINS[@]}"; do
+  echo "== $bin (scale ${SCALE} MB, seed ${SEED}) =="
+  cargo run --release -q -p mithrilog-bench --bin "$bin" -- \
+    --scale "$SCALE" --seed "$SEED" > "$OUT/$bin.txt"
+done
+
+echo "done; outputs in $OUT/"

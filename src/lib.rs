@@ -1,0 +1,20 @@
+//! Workspace umbrella crate for the MithriLog reproduction.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; it re-exports every member crate so examples and integration
+//! tests can reach the whole system through one dependency.
+
+#![forbid(unsafe_code)]
+
+pub use mithrilog;
+pub use mithrilog_analytics as analytics;
+pub use mithrilog_baseline as baseline;
+pub use mithrilog_compress as compress;
+pub use mithrilog_filter as filter;
+pub use mithrilog_ftree as ftree;
+pub use mithrilog_index as index;
+pub use mithrilog_loggen as loggen;
+pub use mithrilog_query as query;
+pub use mithrilog_sim as sim;
+pub use mithrilog_storage as storage;
+pub use mithrilog_tokenizer as tokenizer;

@@ -1,0 +1,191 @@
+//! Integration of the analytics layer with the full system: extract an
+//! event class with the accelerated query path, then aggregate.
+
+use mithrilog::{MithriLog, SystemConfig};
+use mithrilog_analytics::{
+    extract_epoch, EventMatrix, PcaModel, RateSpikeDetector, TemplateCounts, TimeHistogram,
+    TopTokens,
+};
+use mithrilog_filter::FilterPipeline;
+use mithrilog_ftree::{FtreeConfig, TemplateLibrary};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+
+fn corpus_with_burst() -> (Vec<u8>, u64) {
+    let mut text = generate(&DatasetSpec {
+        profile: DatasetProfile::Liberty2,
+        target_bytes: 400_000,
+        seed: 8,
+    })
+    .into_text();
+    // A low steady rate of failures over half an hour...
+    let base_epoch = 1_102_198_000u64;
+    for minute in 0..30u64 {
+        for i in 0..5u64 {
+            text.extend_from_slice(
+                format!(
+                    "- {} 2004.12.04 liberty009 Dec 4 08:{:02}:{:02} liberty009/liberty009 \
+                     sshd[4242]: Failed password for root from 10.1.2.{} port 999 ssh2\n",
+                    base_epoch + minute * 60 + i * 11,
+                    30 + minute % 30,
+                    i * 11,
+                    i + 1
+                )
+                .as_bytes(),
+            );
+        }
+    }
+    // ...then a brute-force burst within one minute.
+    let burst_epoch = base_epoch + 30 * 60;
+    for i in 0..300 {
+        text.extend_from_slice(
+            format!(
+                "- {} 2004.12.04 liberty009 Dec 4 09:00:{:02} liberty009/liberty009 \
+                 sshd[4242]: Failed password for root from 10.1.2.{} port 999 ssh2\n",
+                burst_epoch + i / 20,
+                i % 60,
+                i % 200 + 1
+            )
+            .as_bytes(),
+        );
+    }
+    (text, burst_epoch)
+}
+
+#[test]
+fn filtered_events_histogram_and_spike() {
+    let (text, burst_epoch) = corpus_with_burst();
+    let mut system = MithriLog::new(SystemConfig::default());
+    system.ingest(&text).unwrap();
+
+    let outcome = system.query_str("Failed AND password").unwrap();
+    assert!(outcome.match_count() >= 300);
+
+    let mut h = TimeHistogram::new(60);
+    h.record_lines(outcome.lines.iter().map(String::as_str));
+    assert_eq!(h.total(), outcome.match_count());
+
+    let spikes = RateSpikeDetector::new(2.0).detect(&h);
+    assert!(
+        spikes
+            .iter()
+            .any(|s| s.bucket_start.abs_diff(burst_epoch) < 120),
+        "burst at {burst_epoch} not among spikes {spikes:?}"
+    );
+}
+
+#[test]
+fn template_counts_partition_matches_library_classification() {
+    let (text, _) = corpus_with_burst();
+    let library = TemplateLibrary::extract(
+        &text,
+        &FtreeConfig {
+            min_support: 8,
+            max_children: 24,
+            max_depth: 12,
+            min_leaf_fraction: 0.0002,
+        },
+    );
+    let ids: Vec<usize> = (0..library.len().min(6)).collect();
+    let joined = library.joined_query(&ids);
+    let pipeline = FilterPipeline::compile(&joined).unwrap();
+    let counts = TemplateCounts::scan(&pipeline, &text);
+
+    let total_lines = text.iter().filter(|&&b| b == b'\n').count() as u64;
+    assert_eq!(counts.total(), total_lines);
+    let summed: u64 = (0..ids.len()).map(|i| counts.count(i)).sum::<u64>() + counts.unmatched();
+    assert_eq!(summed, total_lines, "tag counts must partition the corpus");
+
+    // Each set's count equals the number of lines its template query
+    // matches *minus* lines claimed by an earlier set (first-match wins).
+    let lines: Vec<&str> = std::str::from_utf8(&text).unwrap().lines().collect();
+    let mut expected = vec![0u64; ids.len()];
+    for line in &lines {
+        for (slot, &id) in ids.iter().enumerate() {
+            if library.templates()[id].matches_line(line) {
+                expected[slot] += 1;
+                break;
+            }
+        }
+    }
+    for (slot, &want) in expected.iter().enumerate() {
+        assert_eq!(counts.count(slot), want, "slot {slot}");
+    }
+}
+
+#[test]
+fn top_tokens_surface_the_event_signature() {
+    let (text, _) = corpus_with_burst();
+    let mut system = MithriLog::new(SystemConfig::default());
+    system.ingest(&text).unwrap();
+    let outcome = system.query_str("Failed AND password").unwrap();
+
+    let mut top = TopTokens::new();
+    for line in &outcome.lines {
+        top.record_line(line);
+    }
+    let tokens: Vec<&str> = top.top(20).into_iter().map(|(t, _)| t).collect();
+    assert!(tokens.contains(&"Failed"));
+    assert!(tokens.contains(&"password"));
+}
+
+#[test]
+fn pca_over_tagged_windows_flags_the_burst_window() {
+    // One tagged accelerator pass builds the event count matrix (Xu et al.
+    // via MithriLog extraction), and PCA flags the injected brute-force
+    // window whose template mix breaks the normal correlation structure.
+    let (text, burst_epoch) = corpus_with_burst();
+    let library = TemplateLibrary::extract(
+        &text,
+        &FtreeConfig {
+            min_support: 8,
+            max_children: 24,
+            max_depth: 12,
+            min_leaf_fraction: 0.0002,
+        },
+    );
+    let k = library.len().min(8);
+    let ids: Vec<usize> = (0..k).collect();
+    let joined = library.joined_query(&ids);
+    let pipeline = FilterPipeline::compile(&joined).unwrap();
+
+    let mut matrix = EventMatrix::new(60, k + 1); // last column = untagged
+    for (line, tag) in pipeline.tag_text(&text) {
+        let line = std::str::from_utf8(line).unwrap();
+        if let Some(epoch) = extract_epoch(line) {
+            matrix.record(epoch, tag.unwrap_or(k));
+        }
+    }
+    assert!(matrix.windows() >= 5, "{} windows", matrix.windows());
+
+    // The burst windows contain ONLY failure lines — a template mix that
+    // never occurs in healthy windows — so their residuals must dominate.
+    let model = PcaModel::fit(&matrix, 1);
+    let burst_window = burst_epoch / 60 * 60;
+    let mut residuals: Vec<(u64, f64)> = (0..matrix.windows())
+        .map(|w| (matrix.window_start(w), model.residual(matrix.row(w))))
+        .collect();
+    residuals.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let top: Vec<u64> = residuals.iter().take(3).map(|(s, _)| *s).collect();
+    assert!(
+        top.iter().any(|s| s.abs_diff(burst_window) <= 120),
+        "burst at {burst_window} not among top residual windows {residuals:?}"
+    );
+}
+
+#[test]
+fn epoch_extraction_works_on_all_profiles() {
+    for profile in DatasetProfile::all() {
+        let ds = generate(&DatasetSpec {
+            profile,
+            target_bytes: 50_000,
+            seed: 5,
+        });
+        let text = std::str::from_utf8(ds.text()).unwrap();
+        for line in text.lines().take(50) {
+            assert!(
+                extract_epoch(line).is_some(),
+                "{profile:?} line {line:?} has no epoch"
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: the full MithriLog system against the
+//! reference evaluator and the baseline engines, over synthetic datasets.
+
+use mithrilog::{MithriLog, SystemConfig};
+use mithrilog_baseline::{IndexedEngine, LogTable};
+use mithrilog_ftree::{FtreeConfig, TemplateLibrary};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog_query::{parse, Query};
+
+/// FT-tree settings matched to the synthetic corpora (wide fan-out for the
+/// month/day tokens, support floor above variable-value noise).
+fn ftree_config() -> FtreeConfig {
+    FtreeConfig {
+        min_support: 8,
+        max_children: 24,
+        max_depth: 12,
+        min_leaf_fraction: 0.0002,
+    }
+}
+
+fn small_dataset(profile: DatasetProfile) -> Vec<u8> {
+    generate(&DatasetSpec {
+        profile,
+        target_bytes: 300_000,
+        seed: 1234,
+    })
+    .into_text()
+}
+
+fn reference_count(text: &[u8], q: &Query) -> u64 {
+    std::str::from_utf8(text)
+        .unwrap()
+        .lines()
+        .filter(|l| q.matches_line(l))
+        .count() as u64
+}
+
+#[test]
+fn system_matches_reference_on_every_profile() {
+    for profile in DatasetProfile::all() {
+        let text = small_dataset(profile);
+        let mut system = MithriLog::new(SystemConfig::default());
+        system.ingest(&text).unwrap();
+        for qs in [
+            "session AND opened",
+            "Failed OR error=0x04",
+            "kernel: AND NOT session",
+            "NOT - ", // negative-only on the universal dash token
+        ] {
+            let q = parse(qs).unwrap();
+            let got = system.query(&q).unwrap().match_count();
+            let want = reference_count(&text, &q);
+            assert_eq!(got, want, "{profile:?} query {qs:?}");
+        }
+    }
+}
+
+#[test]
+fn system_and_indexed_engine_agree_on_template_queries() {
+    let text = small_dataset(DatasetProfile::Liberty2);
+    let library = TemplateLibrary::extract(&text, &ftree_config());
+    assert!(library.len() >= 8, "got {} templates", library.len());
+
+    let table = LogTable::from_text(&text);
+    let indexed = IndexedEngine::build(&table);
+    let mut system = MithriLog::new(SystemConfig::default());
+    system.ingest(&text).unwrap();
+
+    for t in library.iter().take(20) {
+        let q = t.to_query();
+        let a = system.query(&q).unwrap().match_count();
+        let b = indexed.count_matches(&table, &q);
+        assert_eq!(a, b, "template #{} {:?}", t.id(), t.tokens());
+        assert_eq!(a, reference_count(&text, &q), "reference for #{}", t.id());
+    }
+}
+
+#[test]
+fn multi_template_join_equals_union_of_singles() {
+    let text = small_dataset(DatasetProfile::Spirit2);
+    let library = TemplateLibrary::extract(&text, &ftree_config());
+    assert!(library.len() >= 4, "got {} templates", library.len());
+    let mut system = MithriLog::new(SystemConfig::default());
+    system.ingest(&text).unwrap();
+
+    let ids = [0usize, 1, 2, 3];
+    let joined = library.joined_query(&ids);
+    let joined_lines: std::collections::HashSet<String> = system
+        .query(&joined)
+        .unwrap()
+        .lines
+        .into_iter()
+        .collect();
+
+    let mut union: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for &i in &ids {
+        union.extend(system.query(&library.templates()[i].to_query()).unwrap().lines);
+    }
+    assert_eq!(joined_lines, union);
+}
+
+#[test]
+fn ingest_in_batches_equals_ingest_at_once() {
+    let text = small_dataset(DatasetProfile::Bgl2);
+    let mut whole = MithriLog::new(SystemConfig::default());
+    whole.ingest(&text).unwrap();
+
+    let mut batched = MithriLog::new(SystemConfig::default());
+    // Split at line boundaries into three batches.
+    let lines: Vec<&[u8]> = text.split_inclusive(|&b| b == b'\n').collect();
+    let third = lines.len() / 3;
+    for chunk in lines.chunks(third.max(1)) {
+        let batch: Vec<u8> = chunk.concat();
+        batched.ingest(&batch).unwrap();
+    }
+    assert_eq!(whole.lines(), batched.lines());
+
+    for qs in ["FATAL", "ciod: AND NOT KERNEL", "NOT RAS"] {
+        let q = parse(qs).unwrap();
+        assert_eq!(
+            whole.query(&q).unwrap().match_count(),
+            batched.query(&q).unwrap().match_count(),
+            "query {qs:?}"
+        );
+    }
+}
+
+#[test]
+fn full_scan_and_indexed_modes_return_identical_results() {
+    let text = small_dataset(DatasetProfile::Thunderbird);
+    let mut indexed = MithriLog::new(SystemConfig::default());
+    indexed.ingest(&text).unwrap();
+    let mut fullscan = MithriLog::new(SystemConfig::full_scan_only());
+    fullscan.ingest(&text).unwrap();
+
+    for qs in [
+        "ib_sm.x[24583]:",
+        "session AND root AND NOT closed",
+        "DHCPDISCOVER OR DHCPOFFER",
+    ] {
+        let q = parse(qs).unwrap();
+        let a = indexed.query(&q).unwrap();
+        let b = fullscan.query(&q).unwrap();
+        assert_eq!(a.lines, b.lines, "query {qs:?}");
+        assert!(a.pages_scanned <= b.pages_scanned);
+    }
+}
+
+#[test]
+fn modeled_times_reward_index_pruning() {
+    let text = small_dataset(DatasetProfile::Liberty2);
+    let mut system = MithriLog::new(SystemConfig::default());
+    system.ingest(&text).unwrap();
+
+    // A token that appears in few pages: index prunes, time is small.
+    let rare = system.query_str("logrotate:").unwrap();
+    // Negative-only: full scan.
+    let full = system.query_str("NOT session").unwrap();
+    assert!(rare.used_index);
+    assert!(!full.used_index);
+    assert!(rare.pages_scanned < full.pages_scanned);
+    assert!(rare.modeled_time < full.modeled_time);
+}
+
+#[test]
+fn compression_ratio_feeds_throughput_model() {
+    let text = small_dataset(DatasetProfile::Thunderbird);
+    let mut system = MithriLog::new(SystemConfig::default());
+    system.ingest(&text).unwrap();
+    assert!(system.compression_ratio() > 1.5);
+    let t = system.modeled_throughput();
+    assert!(t.total_gbps > 4.0, "modeled {:.2} GB/s", t.total_gbps);
+    assert!(t.total_gbps <= 12.8 + 1e-9);
+}

@@ -1,0 +1,98 @@
+//! Fidelity test of the real hardware dataflow (paper Figure 3): the
+//! accelerator never materializes exact text — the decompressor emits
+//! *line-aligned words* (zero padding after each newline, Figure 10), the
+//! tokenizer treats the pad bytes as delimiters, and the filter consumes
+//! the token stream. This test wires that exact path and checks it is
+//! verdict-equivalent to the software path over exact text.
+
+use mithrilog_compress::{Codec, Lzah};
+use mithrilog_filter::{FilterPipeline, HashFilter};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog_query::parse;
+use mithrilog_tokenizer::{Tokenizer, TokenizerConfig};
+
+/// Tokenizer configured like the hardware behind an aligned decompressor:
+/// NUL pad bytes act as delimiters alongside whitespace.
+fn aligned_tokenizer() -> Tokenizer {
+    let mut cfg = TokenizerConfig::default();
+    cfg.delimiters.push(0u8);
+    Tokenizer::new(cfg)
+}
+
+#[test]
+fn aligned_stream_filtering_matches_exact_text_filtering() {
+    let corpus = generate(&DatasetSpec {
+        profile: DatasetProfile::Spirit2,
+        target_bytes: 120_000,
+        seed: 31,
+    })
+    .into_text();
+
+    let codec = Lzah::default();
+    let packed = codec.compress(&corpus);
+    let exact = codec.decompress(&packed).unwrap();
+    assert_eq!(exact, corpus);
+    let aligned = codec.decompress_aligned(&packed).unwrap();
+    assert!(aligned.len() >= exact.len(), "padding only adds bytes");
+    assert_eq!(aligned.len() % 16, 0, "aligned stream is word-granular");
+
+    let queries = [
+        "kernel: AND hda:",
+        "session AND opened AND NOT closed",
+        "Failed OR sshd",
+        "NOT kernel:",
+    ];
+    let tok = aligned_tokenizer();
+    for qs in queries {
+        let q = parse(qs).unwrap();
+        let pipeline = FilterPipeline::compile(&q).unwrap();
+
+        // Software path: exact text, standard tokenizer.
+        let exact_kept = pipeline.filter_text(&exact).count();
+
+        // Hardware path: aligned stream, NUL-aware tokenizer feeding the
+        // hash filter word by word.
+        let compiled = pipeline.compiled();
+        let mut filter = HashFilter::new(compiled);
+        let mut aligned_kept = 0usize;
+        for line in aligned.split(|b| *b == b'\n') {
+            // Strip leading pad bytes carried over from the previous word.
+            if line.iter().all(|&b| b == 0) {
+                continue;
+            }
+            let mut verdict = None;
+            let words = tok.tokenize_line(line);
+            if words.is_empty() {
+                continue;
+            }
+            for w in &words {
+                if let Some(v) = filter.accept_word(w) {
+                    verdict = Some(v);
+                }
+            }
+            if verdict.expect("line verdict").keep {
+                aligned_kept += 1;
+            }
+        }
+        assert_eq!(aligned_kept, exact_kept, "query {qs:?}");
+    }
+}
+
+#[test]
+fn aligned_stream_tokens_equal_exact_tokens() {
+    let corpus =
+        b"R24-M0 RAS APP FATAL ciod: error\nshort\na-token-longer-than-sixteen-bytes x\n";
+    let codec = Lzah::default();
+    let packed = codec.compress(corpus);
+    let aligned = codec.decompress_aligned(&packed).unwrap();
+
+    let standard = Tokenizer::new(TokenizerConfig::default());
+    let nul_aware = aligned_tokenizer();
+    let exact_tokens: Vec<Vec<u8>> = standard
+        .tokens(corpus)
+        .filter(|t| *t != b"\n")
+        .map(<[u8]>::to_vec)
+        .collect();
+    let aligned_tokens: Vec<Vec<u8>> = nul_aware.tokens(&aligned).map(<[u8]>::to_vec).collect();
+    assert_eq!(aligned_tokens, exact_tokens);
+}

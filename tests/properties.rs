@@ -1,0 +1,251 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: codec losslessness, query-language round trips, DNF
+//! equivalence, hardware-filter/reference agreement, and index
+//! no-false-negative guarantees.
+
+use proptest::prelude::*;
+
+use mithrilog_compress::{Codec, Gzf, Lz4, Lzah, Lzrw1, Snappy};
+use mithrilog_filter::{CompiledQuery, FilterParams, HashFilter};
+use mithrilog_index::{IndexParams, InvertedIndex};
+use mithrilog_query::ast::Expr;
+use mithrilog_query::{parse, IntersectionSet, Query, Term};
+use mithrilog_storage::{DevicePerfModel, MemStore, PageId, SimSsd};
+
+// ---------- codecs ----------
+
+fn arbitrary_loglike() -> impl Strategy<Value = Vec<u8>> {
+    // Lines of printable words, some repetition via a small vocabulary.
+    let word = prop_oneof![
+        Just("kernel:".to_string()),
+        Just("error".to_string()),
+        Just("node-17".to_string()),
+        "[a-z]{1,12}",
+        "[0-9]{1,8}",
+    ];
+    prop::collection::vec(prop::collection::vec(word, 1..10), 0..60).prop_map(|lines| {
+        let mut out = Vec::new();
+        for words in lines {
+            out.extend_from_slice(words.join(" ").as_bytes());
+            out.push(b'\n');
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lzah_roundtrips_loglike(data in arbitrary_loglike()) {
+        let c = Lzah::default();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lzah_roundtrips_arbitrary_nul_free(data in prop::collection::vec(1u8..=255, 0..4000)) {
+        // LZAH's exact mode is specified for NUL-free text (logs).
+        let c = Lzah::default();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lzrw1_roundtrips_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let c = Lzrw1::new();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lz4_roundtrips_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let c = Lz4::new();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn gzf_roundtrips_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let c = Gzf::new();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn snappy_roundtrips_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let c = Snappy::new();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn paged_lzah_reassembles(data in arbitrary_loglike()) {
+        let paged = mithrilog_compress::compress_paged(
+            &data,
+            mithrilog_compress::LzahConfig::default(),
+            512,
+        );
+        let mut rebuilt = Vec::new();
+        for p in paged.pages() {
+            prop_assert!(p.data().len() <= 512);
+            rebuilt.extend_from_slice(&mithrilog_compress::decompress_page(p).unwrap());
+        }
+        prop_assert_eq!(rebuilt, data);
+    }
+}
+
+// ---------- query language ----------
+
+fn arbitrary_expr() -> impl Strategy<Value = Expr> {
+    let leaf = "[a-e]".prop_map(Expr::token);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            inner.prop_map(Expr::not),
+        ]
+    })
+}
+
+fn eval_expr(e: &Expr, present: &std::collections::HashSet<&str>) -> bool {
+    match e {
+        Expr::Token(t) => present.contains(t.as_str()),
+        Expr::Not(x) => !eval_expr(x, present),
+        Expr::And(xs) => xs.iter().all(|x| eval_expr(x, present)),
+        Expr::Or(xs) => xs.iter().any(|x| eval_expr(x, present)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dnf_conversion_preserves_semantics(e in arbitrary_expr(), present_mask in 0u8..32) {
+        let q = e.to_query().unwrap();
+        let vocab = ["a", "b", "c", "d", "e"];
+        let present: std::collections::HashSet<&str> = vocab
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| present_mask & (1 << i) != 0)
+            .map(|(_, t)| *t)
+            .collect();
+        prop_assert_eq!(q.matches_token_set(&present), eval_expr(&e, &present));
+    }
+
+    #[test]
+    fn display_parse_roundtrip(e in arbitrary_expr()) {
+        let q = e.to_query().unwrap();
+        let reparsed = parse(&q.to_string()).unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn hardware_filter_agrees_with_reference(
+        e in arbitrary_expr(),
+        lines in prop::collection::vec(
+            prop::collection::vec("[a-e]", 0..6), 1..20)
+    ) {
+        let q = e.to_query().unwrap();
+        if let Ok(cq) = CompiledQuery::compile(&q, FilterParams::default()) {
+            for toks in &lines {
+                let mut f = HashFilter::new(&cq);
+                let verdict = f.evaluate_line(toks.iter().map(|s| s.as_bytes())).keep;
+                let set: std::collections::HashSet<&str> =
+                    toks.iter().map(String::as_str).collect();
+                prop_assert_eq!(verdict, q.matches_token_set(&set), "line {:?}", toks);
+            }
+        }
+    }
+}
+
+// ---------- cuckoo filter ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_query_never_false_negatives_on_its_own_terms(
+        tokens in prop::collection::hash_set("[a-z]{1,20}", 1..40)
+    ) {
+        let tokens: Vec<String> = tokens.into_iter().collect();
+        let q = Query::all_of(tokens.clone());
+        let cq = CompiledQuery::compile(&q, FilterParams::default()).unwrap();
+        // A line containing exactly the query tokens must match.
+        let mut f = HashFilter::new(&cq);
+        let verdict = f.evaluate_line(tokens.iter().map(|s| s.as_bytes()));
+        prop_assert!(verdict.keep);
+    }
+
+    #[test]
+    fn negated_superset_line_never_matches(
+        tokens in prop::collection::hash_set("[a-z]{1,10}", 2..20)
+    ) {
+        let mut it = tokens.iter();
+        let neg = it.next().unwrap().clone();
+        let pos: Vec<String> = it.cloned().collect();
+        let mut set = IntersectionSet::of_tokens(pos);
+        set.push(Term::negative(neg.clone()));
+        let q = Query::try_new(vec![set]).unwrap();
+        let cq = CompiledQuery::compile(&q, FilterParams::default()).unwrap();
+        let mut f = HashFilter::new(&cq);
+        // Line contains every token including the negated one.
+        let verdict = f.evaluate_line(tokens.iter().map(|s| s.as_bytes()));
+        prop_assert!(!verdict.keep);
+    }
+}
+
+// ---------- inverted index ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn index_lookup_is_superset_of_truth(
+        pages in prop::collection::vec(
+            prop::collection::hash_set("[a-h]{1,3}", 1..6), 1..60)
+    ) {
+        let mut ssd = SimSsd::new(MemStore::new(4096), DevicePerfModel::default());
+        let mut idx = InvertedIndex::new(IndexParams::small());
+        for (p, tokens) in pages.iter().enumerate() {
+            let toks: Vec<&[u8]> = tokens.iter().map(|t| t.as_bytes()).collect();
+            idx.insert_page_tokens(&mut ssd, PageId(p as u64), toks).unwrap();
+        }
+        // Every (token, page) pair must be discoverable: no false negatives.
+        for (p, tokens) in pages.iter().enumerate() {
+            for t in tokens {
+                let got = idx.lookup(&mut ssd, t.as_bytes()).unwrap();
+                prop_assert!(
+                    got.contains(&PageId(p as u64)),
+                    "token {t:?} lost page {p}"
+                );
+            }
+        }
+    }
+}
+
+// ---------- tokenizer/word stream ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tokenizer_words_reassemble_tokens(line in "[ -~]{0,200}") {
+        use mithrilog_tokenizer::{Tokenizer, TokenizerConfig};
+        let tok = Tokenizer::new(TokenizerConfig::default());
+        let words = tok.tokenize_line(line.as_bytes());
+        // Reassemble tokens from the word stream.
+        let mut rebuilt: Vec<Vec<u8>> = Vec::new();
+        let mut cur: Vec<u8> = Vec::new();
+        for w in &words {
+            cur.extend_from_slice(w.token_bytes());
+            if w.is_last_of_token() {
+                rebuilt.push(std::mem::take(&mut cur));
+            }
+        }
+        let expected: Vec<Vec<u8>> = line
+            .split_ascii_whitespace()
+            .map(|t| t.as_bytes().to_vec())
+            .collect();
+        prop_assert_eq!(rebuilt, expected);
+        // Flags: exactly one last_of_line on the final word, none elsewhere.
+        if let Some((last, rest)) = words.split_last() {
+            prop_assert!(last.is_last_of_line());
+            prop_assert!(rest.iter().all(|w| !w.is_last_of_line()));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Recovery and correlation integration tests: index rebuild after a
+//! simulated host restart, and the §8 join workflow over two filtered
+//! event classes.
+
+use mithrilog::{MithriLog, SystemConfig};
+use mithrilog_analytics::{correlate_counts, extract_node, join_on};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+
+fn corpus() -> Vec<u8> {
+    generate(&DatasetSpec {
+        profile: DatasetProfile::Liberty2,
+        target_bytes: 250_000,
+        seed: 404,
+    })
+    .into_text()
+}
+
+#[test]
+fn rebuild_restores_identical_query_results() {
+    let text = corpus();
+    let mut system = MithriLog::new(SystemConfig::for_tests());
+    system.ingest(&text).unwrap();
+
+    let queries = [
+        "session AND opened",
+        "Failed AND NOT root",
+        "pbs_mom: OR ntpd[00373]:",
+        "NOT kernel:",
+    ];
+    let before: Vec<u64> = queries
+        .iter()
+        .map(|q| system.query_str(q).unwrap().match_count())
+        .collect();
+    let lines_before = system.lines();
+    let raw_before = system.raw_bytes();
+
+    // Simulated host restart: all in-memory index state is discarded and
+    // rebuilt from the surviving data pages.
+    system.rebuild_index().unwrap();
+
+    assert_eq!(system.lines(), lines_before);
+    assert_eq!(system.raw_bytes(), raw_before);
+    let after: Vec<u64> = queries
+        .iter()
+        .map(|q| system.query_str(q).unwrap().match_count())
+        .collect();
+    assert_eq!(before, after, "results must survive an index rebuild");
+}
+
+#[test]
+fn rebuild_recomputes_compression_ratio_and_throughput_model() {
+    let text = corpus();
+    let mut system = MithriLog::new(SystemConfig::for_tests());
+    system.ingest(&text).unwrap();
+    let ratio_before = system.compression_ratio();
+    let tput_before = system.modeled_throughput().total_gbps;
+
+    system.rebuild_index().unwrap();
+    assert!((system.compression_ratio() - ratio_before).abs() < 0.01);
+    assert!((system.modeled_throughput().total_gbps - tput_before).abs() < 0.2);
+}
+
+#[test]
+fn join_correlates_event_classes_by_node() {
+    let text = corpus();
+    let mut system = MithriLog::new(SystemConfig::default());
+    system.ingest(&text).unwrap();
+
+    // Two event classes extracted with two accelerator queries...
+    let opened = system.query_str("session AND opened").unwrap().lines;
+    let closed = system.query_str("session AND closed").unwrap().lines;
+    assert!(!opened.is_empty() && !closed.is_empty());
+
+    // ...joined on the source node.
+    let pairs = join_on(&opened, &closed, extract_node);
+    assert!(!pairs.is_empty(), "hot nodes both open and close sessions");
+    for p in pairs.iter().take(50) {
+        assert_eq!(extract_node(p.left).as_deref(), Some(p.key.as_str()));
+        assert_eq!(extract_node(p.right).as_deref(), Some(p.key.as_str()));
+    }
+    let ranked = correlate_counts(&pairs);
+    assert!(ranked[0].1 >= ranked.last().unwrap().1);
+    // Every ranked key belongs to a node that appears in both classes.
+    let open_nodes: std::collections::HashSet<_> =
+        opened.iter().filter_map(|l| extract_node(l)).collect();
+    let close_nodes: std::collections::HashSet<_> =
+        closed.iter().filter_map(|l| extract_node(l)).collect();
+    for (k, _) in &ranked {
+        assert!(open_nodes.contains(k) && close_nodes.contains(k));
+    }
+}

@@ -1,0 +1,62 @@
+//! Cross-profile soak: for every dataset profile, run a real FT-tree query
+//! bank through the full system and assert exact agreement with both
+//! baselines on every query. This is the repo's strongest end-to-end
+//! consistency check (the same property the benchmark harness asserts at
+//! larger scale).
+
+use mithrilog::{MithriLog, SystemConfig};
+use mithrilog_baseline::{IndexedEngine, LogTable};
+use mithrilog_ftree::{FtreeConfig, TemplateLibrary};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog_query::batch::{combine, BatchSpec};
+use mithrilog_query::Query;
+
+#[test]
+fn all_profiles_all_query_classes_agree() {
+    for profile in DatasetProfile::all() {
+        let text = generate(&DatasetSpec {
+            profile,
+            target_bytes: 250_000,
+            seed: 2026,
+        })
+        .into_text();
+
+        let library = TemplateLibrary::extract(
+            &text,
+            &FtreeConfig {
+                min_support: 8,
+                max_children: 24,
+                max_depth: 12,
+                min_leaf_fraction: 0.0002,
+            },
+        );
+        let singles = library.queries();
+        assert!(singles.len() >= 8, "{profile:?}: {} templates", singles.len());
+        let pairs = combine(&singles, BatchSpec { arity: 2, count: 20 }, 7);
+        let eights = combine(&singles, BatchSpec { arity: 8, count: 4 }, 9);
+
+        let table = LogTable::from_text(&text);
+        let indexed = IndexedEngine::build(&table);
+        let mut system = MithriLog::new(SystemConfig::default());
+        system.ingest(&text).unwrap();
+
+        let queries: Vec<Query> = singles
+            .iter()
+            .take(30)
+            .chain(pairs.iter())
+            .chain(eights.iter())
+            .cloned()
+            .collect();
+        for q in &queries {
+            let mithrilog = system.query(q).unwrap().match_count();
+            let splunk_like = indexed.count_matches(&table, q);
+            let reference = std::str::from_utf8(&text)
+                .unwrap()
+                .lines()
+                .filter(|l| q.matches_line(l))
+                .count() as u64;
+            assert_eq!(mithrilog, reference, "{profile:?} system vs reference: {q}");
+            assert_eq!(splunk_like, reference, "{profile:?} indexed vs reference: {q}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! UTF-8 robustness and an opt-in larger-scale soak.
+//!
+//! Logs are treated as byte streams throughout (the hardware never decodes
+//! text), but real logs contain UTF-8 — node names, user names, message
+//! fragments — so multi-byte sequences must survive compression, word
+//! splitting, filtering and indexing byte-exactly.
+
+use mithrilog::{MithriLog, SystemConfig};
+use mithrilog_compress::{Codec, Lzah};
+use mithrilog_filter::FilterPipeline;
+use mithrilog_query::{parse, Query};
+use mithrilog_tokenizer::{Tokenizer, TokenizerConfig};
+
+const UTF8_LOG: &str = "\
+- 1000 2005.06.03 nœud-01 service démarré avec succès\n\
+- 1001 2005.06.03 node-02 ユーザー ログイン 成功\n\
+- 1002 2005.06.03 nœud-01 erreur: défaillance du disque\n\
+- 1003 2005.06.03 node-03 Grüße von der Überwachung\n\
+- 1004 2005.06.03 node-02 ユーザー ログアウト\n";
+
+#[test]
+fn utf8_tokens_survive_word_splitting() {
+    // Multi-byte tokens longer than 16 bytes split across datapath words
+    // at byte (not char) boundaries and must reassemble exactly.
+    let tok = Tokenizer::new(TokenizerConfig::default());
+    for line in UTF8_LOG.lines() {
+        let words = tok.tokenize_line(line.as_bytes());
+        let mut rebuilt: Vec<Vec<u8>> = Vec::new();
+        let mut cur = Vec::new();
+        for w in &words {
+            cur.extend_from_slice(w.token_bytes());
+            if w.is_last_of_token() {
+                rebuilt.push(std::mem::take(&mut cur));
+            }
+        }
+        let expected: Vec<Vec<u8>> = line
+            .split_ascii_whitespace()
+            .map(|t| t.as_bytes().to_vec())
+            .collect();
+        assert_eq!(rebuilt, expected, "line {line:?}");
+    }
+}
+
+#[test]
+fn utf8_queries_filter_correctly() {
+    let queries = ["ユーザー AND 成功", "nœud-01 AND NOT erreur:", "Grüße"];
+    for qs in queries {
+        let q = parse(qs).unwrap();
+        let p = FilterPipeline::compile(&q).unwrap();
+        let kept = p.filter_text(UTF8_LOG.as_bytes()).count();
+        let want = UTF8_LOG.lines().filter(|l| q.matches_line(l)).count();
+        assert_eq!(kept, want, "query {qs:?}");
+    }
+}
+
+#[test]
+fn utf8_round_trips_through_the_full_system() {
+    let mut system = MithriLog::new(SystemConfig::for_tests());
+    system.ingest(UTF8_LOG.as_bytes()).unwrap();
+    let o = system.query_str("ユーザー").unwrap();
+    assert_eq!(o.match_count(), 2);
+    assert!(o.lines.iter().all(|l| l.contains("ユーザー")));
+    let o = system.query_str("nœud-01 AND erreur:").unwrap();
+    assert_eq!(o.match_count(), 1);
+    assert!(o.lines[0].contains("défaillance"));
+}
+
+#[test]
+fn utf8_lzah_round_trip_is_byte_exact() {
+    let c = Lzah::default();
+    let repeated = UTF8_LOG.repeat(100);
+    assert_eq!(
+        c.decompress(&c.compress(repeated.as_bytes())).unwrap(),
+        repeated.as_bytes()
+    );
+}
+
+/// Larger-scale soak, skipped by default (run with `cargo test --release
+/// -- --ignored`): 20 MB through the whole system, cross-checked against
+/// the reference evaluator on a handful of queries.
+#[test]
+#[ignore = "large: ~20 MB end-to-end; run explicitly in release"]
+fn twenty_megabyte_soak() {
+    use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+    let text = generate(&DatasetSpec {
+        profile: DatasetProfile::Thunderbird,
+        target_bytes: 20_000_000,
+        seed: 77,
+    })
+    .into_text();
+    let mut system = MithriLog::new(SystemConfig::default());
+    let report = system.ingest(&text).unwrap();
+    assert_eq!(report.raw_bytes as usize, text.len());
+    for qs in [
+        "ib_sm.x[24583]:",
+        "Failed AND password",
+        "session AND NOT closed",
+        "NOT kernel:",
+    ] {
+        let q: Query = parse(qs).unwrap();
+        let got = system.query(&q).unwrap().match_count();
+        let want = std::str::from_utf8(&text)
+            .unwrap()
+            .lines()
+            .filter(|l| q.matches_line(l))
+            .count() as u64;
+        assert_eq!(got, want, "query {qs:?}");
+    }
+}
