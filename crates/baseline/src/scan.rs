@@ -45,18 +45,16 @@ impl ScanEngine {
                 .map(|r| scan_range(table, query, r.clone()))
                 .unwrap_or(0);
         }
-        let mut total = 0u64;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|r| s.spawn(move |_| scan_range(table, query, r)))
+                .map(|r| s.spawn(move || scan_range(table, query, r)))
                 .collect();
-            for h in handles {
-                total += h.join().expect("scan worker panicked");
-            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .sum()
         })
-        .expect("scope");
-        total
     }
 
     /// Scans and collects matching line indices (used by tests and the

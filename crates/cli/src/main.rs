@@ -6,6 +6,8 @@
 //! mithrilog stats  <logfile>                dataset/compression/datapath stats
 //! mithrilog spikes <logfile> <query...>     filter, histogram, flag rate spikes
 //! mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log
+//! mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>]
+//!                                           fault drill: inject bit rot, verify scrub
 //! ```
 //!
 //! Queries use the accelerator's language: `AND`, `OR`, `NOT`, parentheses,
@@ -24,6 +26,7 @@ fn main() -> ExitCode {
             "stats" => commands::stats(rest),
             "spikes" => commands::spikes(rest),
             "gen" => commands::gen(rest),
+            "scrub" => commands::scrub(rest),
             "help" | "--help" | "-h" => {
                 print_usage();
                 Ok(())
@@ -54,6 +57,8 @@ fn print_usage() {
          \x20 mithrilog stats  <logfile>                dataset/compression/datapath stats\n\
          \x20 mithrilog spikes <logfile> <query...>     filter, histogram, flag rate spikes\n\
          \x20 mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log\n\
+         \x20 mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>]\n\
+         \x20                                           fault drill: inject bit rot, verify scrub\n\
          \n\
          query language: AND, OR, NOT, parentheses, quoted tokens.\n\
          profiles: bgl2 | liberty2 | spirit2 | thunderbird"

@@ -14,6 +14,8 @@ pub enum MithriLogError {
     Parse(ParseQueryError),
     /// A stored page failed to decompress (corruption).
     Decompress(DecompressError),
+    /// The system was constructed with inconsistent configuration.
+    Config(String),
 }
 
 impl fmt::Display for MithriLogError {
@@ -22,6 +24,7 @@ impl fmt::Display for MithriLogError {
             MithriLogError::Storage(e) => write!(f, "storage error: {e}"),
             MithriLogError::Parse(e) => write!(f, "query parse error: {e}"),
             MithriLogError::Decompress(e) => write!(f, "page decompression error: {e}"),
+            MithriLogError::Config(reason) => write!(f, "configuration error: {reason}"),
         }
     }
 }
@@ -32,6 +35,7 @@ impl Error for MithriLogError {
             MithriLogError::Storage(e) => Some(e),
             MithriLogError::Parse(e) => Some(e),
             MithriLogError::Decompress(e) => Some(e),
+            MithriLogError::Config(_) => None,
         }
     }
 }

@@ -43,5 +43,5 @@ mod system;
 
 pub use config::SystemConfig;
 pub use error::MithriLogError;
-pub use outcome::{IngestReport, QueryOutcome};
+pub use outcome::{DegradedRead, IngestReport, QueryOutcome};
 pub use system::MithriLog;

@@ -26,6 +26,58 @@ impl IngestReport {
     }
 }
 
+/// Summary of the recovery actions a query needed, populated when storage
+/// faults were encountered and survived.
+///
+/// A query over a corpus with corrupt or unreadable pages completes with the
+/// data that could be recovered; this summary reports what was lost so the
+/// caller can judge the result's completeness instead of getting nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedRead {
+    /// Data pages skipped because they were corrupt, unreadable after
+    /// retries, or failed to decompress, in scan order.
+    pub skipped_pages: Vec<u64>,
+    /// Transient read retries spent (successful recoveries — these pages
+    /// were *not* skipped, just slower).
+    pub retries: u64,
+    /// Estimate of matching-candidate lines lost with the skipped pages,
+    /// extrapolated from the corpus's average lines per page.
+    pub estimated_missed_lines: u64,
+    /// The index plan could not be read (corrupt index page) and the query
+    /// fell back to a filtered full scan. Results are complete — only the
+    /// pruning was lost.
+    pub index_fallback: bool,
+}
+
+impl DegradedRead {
+    /// Whether anything at all was lost or recovered around.
+    pub fn is_degraded(&self) -> bool {
+        !self.skipped_pages.is_empty() || self.index_fallback || self.retries > 0
+    }
+
+    /// Whether the result set may be incomplete (pages were skipped).
+    pub fn is_lossy(&self) -> bool {
+        !self.skipped_pages.is_empty()
+    }
+}
+
+impl std::fmt::Display for DegradedRead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pages skipped (~{} lines lost), {} retries{}",
+            self.skipped_pages.len(),
+            self.estimated_missed_lines,
+            self.retries,
+            if self.index_fallback {
+                ", index unreadable -> full scan"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
 /// Result of one query execution.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -50,6 +102,9 @@ pub struct QueryOutcome {
     pub modeled_time: Duration,
     /// Wall-clock time of the software execution of the functional model.
     pub wall_time: Duration,
+    /// Recovery summary: what was skipped or retried. Check
+    /// [`DegradedRead::is_lossy`] before treating the result as complete.
+    pub degraded: DegradedRead,
 }
 
 impl QueryOutcome {
@@ -102,7 +157,32 @@ mod tests {
             ledger: CostLedger::default(),
             modeled_time: Duration::from_millis(100),
             wall_time: Duration::ZERO,
+            degraded: DegradedRead::default(),
         };
         assert!((o.effective_throughput_gbps(1_000_000_000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_read_classification() {
+        let clean = DegradedRead::default();
+        assert!(!clean.is_degraded() && !clean.is_lossy());
+        let retried = DegradedRead {
+            retries: 2,
+            ..DegradedRead::default()
+        };
+        assert!(retried.is_degraded() && !retried.is_lossy());
+        let lossy = DegradedRead {
+            skipped_pages: vec![4, 9],
+            estimated_missed_lines: 80,
+            ..DegradedRead::default()
+        };
+        assert!(lossy.is_lossy());
+        assert!(lossy.to_string().contains("2 pages skipped"), "{lossy}");
+        let fallback = DegradedRead {
+            index_fallback: true,
+            ..DegradedRead::default()
+        };
+        assert!(fallback.is_degraded() && !fallback.is_lossy());
+        assert!(fallback.to_string().contains("full scan"));
     }
 }

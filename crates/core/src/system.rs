@@ -1,4 +1,4 @@
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 use mithrilog_compress::{compress_paged, Codec, Lzah};
@@ -9,9 +9,22 @@ use mithrilog_sim::{AcceleratorConfig, DatasetInputs, Throughput, ThroughputMode
 use mithrilog_storage::{Link, MemStore, PageId, PageStore, SimSsd};
 use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer};
 
+use mithrilog_storage::StorageError;
+
 use crate::config::SystemConfig;
 use crate::error::MithriLogError;
-use crate::outcome::{IngestReport, QueryOutcome};
+use crate::outcome::{DegradedRead, IngestReport, QueryOutcome};
+
+/// Whether a storage error is survivable by skipping the affected page:
+/// corruption and exhausted transient retries lose one page of data;
+/// anything else (out-of-range access, host I/O failure) is a real bug or
+/// environment failure and must propagate.
+fn page_is_skippable(e: &StorageError) -> bool {
+    matches!(
+        e,
+        StorageError::Corrupt { .. } | StorageError::TransientRead { .. }
+    )
+}
 
 /// A complete MithriLog system: simulated accelerated SSD + index + host
 /// software (paper Figure 2).
@@ -42,27 +55,30 @@ impl MithriLog<MemStore> {
     /// Creates an empty system on an in-memory device.
     pub fn new(config: SystemConfig) -> Self {
         let store = MemStore::new(config.device.page_bytes);
-        Self::with_store(store, config)
+        Self::with_store(store, config).expect("a fresh MemStore matches the device page size")
     }
 }
 
 impl<S: PageStore> MithriLog<S> {
     /// Creates an empty system on an explicit page store (e.g. a
     /// [`FileStore`](mithrilog_storage::FileStore) for corpora larger than
-    /// RAM).
+    /// RAM, or a [`FaultyStore`](mithrilog_storage::FaultyStore) for fault
+    /// drills).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the store's page size differs from the configured device
-    /// page size.
-    pub fn with_store(store: S, config: SystemConfig) -> Self {
-        assert_eq!(
-            store.page_bytes(),
-            config.device.page_bytes,
-            "store page size must match the device model"
-        );
+    /// [`MithriLogError::Config`] if the store's page size differs from the
+    /// configured device page size.
+    pub fn with_store(store: S, config: SystemConfig) -> Result<Self, MithriLogError> {
+        if store.page_bytes() != config.device.page_bytes {
+            return Err(MithriLogError::Config(format!(
+                "store page size ({} bytes) must match the device model ({} bytes)",
+                store.page_bytes(),
+                config.device.page_bytes
+            )));
+        }
         let page_bytes = config.device.page_bytes;
-        MithriLog {
+        Ok(MithriLog {
             ssd: SimSsd::new(store, config.device),
             index: InvertedIndex::with_page_bytes(config.index, page_bytes),
             tokenizer: Tokenizer::new(config.tokenizer.clone()),
@@ -74,7 +90,7 @@ impl<S: PageStore> MithriLog<S> {
             scatter: ScatterGather::new(config.tokenizer.lanes),
             logical_clock: 0,
             config,
-        }
+        })
     }
 
     /// The configuration in use.
@@ -123,11 +139,18 @@ impl<S: PageStore> MithriLog<S> {
 
     /// Mutable device access, for operational tooling (scrubbing,
     /// corruption drills, ledger resets). Overwriting data pages behind the
-    /// system's back will surface as
-    /// [`MithriLogError::Decompress`] on the queries that touch them —
-    /// exactly what a corruption drill should observe.
+    /// system's back (via `device_mut().store_mut()`) is detected by the
+    /// page checksums: affected pages are skipped by queries and reported in
+    /// [`QueryOutcome::degraded`] — exactly what a corruption drill should
+    /// observe.
     pub fn device_mut(&mut self) -> &mut SimSsd<S> {
         &mut self.ssd
+    }
+
+    /// Scans the whole device, verifying every page checksum, and returns a
+    /// corruption report (see [`SimSsd::scrub`]).
+    pub fn scrub(&mut self) -> mithrilog_storage::ScrubReport {
+        self.ssd.scrub()
     }
 
     /// The ids of the data pages, in ingest order.
@@ -174,8 +197,11 @@ impl<S: PageStore> MithriLog<S> {
             let slice = &text[offset..offset + frame.raw_len()];
             offset += frame.raw_len();
 
-            // Index the page's distinct tokens.
-            let mut distinct: HashSet<&[u8]> = HashSet::new();
+            // Index the page's distinct tokens. The set is ordered so the
+            // index's node-write sequence — and therefore the whole device
+            // page layout — is identical across processes; seeded fault
+            // plans rely on a reproducible write sequence.
+            let mut distinct: BTreeSet<&[u8]> = BTreeSet::new();
             for line in slice.split(|b| *b == b'\n') {
                 for tok in self.tokenizer.tokens(line) {
                     distinct.insert(tok);
@@ -232,7 +258,7 @@ impl<S: PageStore> MithriLog<S> {
         for page in pages {
             let raw = self.ssd.read(page)?;
             let text = codec.decompress(&raw)?;
-            let mut distinct: HashSet<&[u8]> = HashSet::new();
+            let mut distinct: BTreeSet<&[u8]> = BTreeSet::new();
             for line in text.split(|b| *b == b'\n') {
                 if !line.is_empty() {
                     self.total_lines += 1;
@@ -302,9 +328,17 @@ impl<S: PageStore> MithriLog<S> {
     /// back to software evaluation, as the paper prescribes; the outcome's
     /// `offloaded` flag records which path ran.
     ///
+    /// Storage faults degrade the query instead of failing it: corrupt or
+    /// persistently unreadable data pages are skipped (reported in
+    /// [`QueryOutcome::degraded`] together with an estimate of the lines
+    /// lost), transient read errors are retried by the device, and a corrupt
+    /// *index* page downgrades the plan to a filtered full scan — complete
+    /// results, just without pruning.
+    ///
     /// # Errors
     ///
-    /// Propagates storage and decompression errors.
+    /// Propagates parse errors and non-survivable storage errors
+    /// (out-of-range access, host I/O failure).
     pub fn query(&mut self, query: &Query) -> Result<QueryOutcome, MithriLogError> {
         self.query_inner(query, None)
     }
@@ -316,9 +350,19 @@ impl<S: PageStore> MithriLog<S> {
     ) -> Result<QueryOutcome, MithriLogError> {
         let wall_start = Instant::now();
         let ledger_before = *self.ssd.ledger();
+        let mut degraded = DegradedRead::default();
 
         let plan = if self.config.use_index && self.index_probe_is_worthwhile(query) {
-            self.index.plan(&mut self.ssd, query)?
+            match self.index.plan(&mut self.ssd, query) {
+                Ok(plan) => plan,
+                // A corrupt/unreadable index page costs only the pruning:
+                // fall back to scanning everything through the filter.
+                Err(e) if page_is_skippable(&e) => {
+                    degraded.index_fallback = true;
+                    QueryPlan::FullScan
+                }
+                Err(e) => return Err(e.into()),
+            }
         } else {
             QueryPlan::FullScan
         };
@@ -343,8 +387,24 @@ impl<S: PageStore> MithriLog<S> {
         let mut lines_scanned = 0u64;
         let data_pages_scanned = pages.len() as u64;
         for page in pages {
-            let raw = self.ssd.read(page)?;
-            let text = codec.decompress(&raw)?;
+            let raw = match self.ssd.read(page) {
+                Ok(raw) => raw,
+                Err(e) if page_is_skippable(&e) => {
+                    degraded.skipped_pages.push(page.0);
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            // Corruption the checksum missed (or pages written before the
+            // sidecar existed) still gets caught by the decoder's internal
+            // consistency checks; one bad page is not worth the query.
+            let text = match codec.decompress(&raw) {
+                Ok(text) => text,
+                Err(_) => {
+                    degraded.skipped_pages.push(page.0);
+                    continue;
+                }
+            };
             bytes_filtered += text.len() as u64;
             match &pipeline {
                 Ok(p) => {
@@ -371,6 +431,9 @@ impl<S: PageStore> MithriLog<S> {
         }
 
         let ledger = self.ssd.ledger().since(&ledger_before);
+        degraded.retries = ledger.retries;
+        degraded.estimated_missed_lines =
+            self.avg_lines_per_page() * degraded.skipped_pages.len() as u64;
         let modeled_time = self.model_query_time(&ledger, bytes_filtered, &lines);
         Ok(QueryOutcome {
             lines,
@@ -382,7 +445,19 @@ impl<S: PageStore> MithriLog<S> {
             ledger,
             modeled_time,
             wall_time: wall_start.elapsed(),
+            degraded,
         })
+    }
+
+    /// Average ingested lines per data page, rounded up — the extrapolation
+    /// basis for estimating what a skipped page cost.
+    fn avg_lines_per_page(&self) -> u64 {
+        let pages = self.data_pages.len() as u64;
+        if pages == 0 {
+            0
+        } else {
+            self.total_lines.div_ceil(pages)
+        }
     }
 
     /// Cost-based planner gate: probing the index pays latency-exposed root
@@ -661,5 +736,55 @@ RAS KERNEL INFO generating core.2275\n";
         let o = s.query_str("anything").unwrap();
         assert_eq!(o.match_count(), 0);
         assert_eq!(o.pages_scanned, 0);
+        assert!(!o.degraded.is_degraded());
+    }
+
+    #[test]
+    fn mismatched_page_size_is_a_config_error() {
+        let config = SystemConfig::for_tests();
+        let store = MemStore::new(config.device.page_bytes * 2);
+        match MithriLog::with_store(store, config) {
+            Err(MithriLogError::Config(reason)) => {
+                assert!(reason.contains("page size"), "{reason}");
+            }
+            other => panic!("expected a config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_data_page_is_skipped_and_reported() {
+        let mut s = system_with(&LOG.repeat(100));
+        let pages = s.data_pages().to_vec();
+        assert!(pages.len() >= 2, "need several pages for a meaningful drill");
+        let victim = pages[0];
+        // Smash the page behind the controller's back: checksum stays stale.
+        s.device_mut()
+            .store_mut()
+            .write_page(victim, b"smashed beyond recognition")
+            .unwrap();
+
+        let o = s.query_str("FATAL").unwrap();
+        assert_eq!(o.degraded.skipped_pages, vec![victim.0]);
+        assert!(o.degraded.is_lossy());
+        assert!(o.degraded.estimated_missed_lines > 0);
+        assert!(
+            o.match_count() < 200,
+            "some of the 200 FATAL lines lived on the smashed page"
+        );
+        assert!(o.match_count() > 0, "surviving pages still match");
+
+        // The scrub sees exactly the same page.
+        let report = s.scrub();
+        let corrupt: Vec<u64> = report.corrupt.iter().map(|c| c.page).collect();
+        assert_eq!(corrupt, vec![victim.0]);
+    }
+
+    #[test]
+    fn clean_queries_report_no_degradation() {
+        let mut s = system_with(&LOG.repeat(50));
+        let o = s.query_str("FATAL").unwrap();
+        assert!(!o.degraded.is_degraded());
+        assert_eq!(o.degraded, crate::outcome::DegradedRead::default());
+        assert!(s.scrub().is_clean());
     }
 }

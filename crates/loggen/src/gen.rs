@@ -122,7 +122,7 @@ pub fn generate(spec: &DatasetSpec) -> Dataset {
     while text.len() < spec.target_bytes {
         // Bursty arrivals: many lines share a second, occasional jumps.
         if rng.gen_bool(red.epoch_advance) {
-            epoch += rng.gen_range(1..3);
+            epoch += rng.gen_range(1u64..3);
         }
         // Bursty sources: continue the current node's run or switch.
         if !rng.gen_bool(red.burst_continue) {

@@ -1,0 +1,135 @@
+//! CRC32 (IEEE 802.3) page checksums.
+//!
+//! The simulated device keeps a checksum per page in a sidecar, modeling the
+//! out-of-band (spare) area real flash controllers use for ECC metadata. A
+//! local implementation keeps the workspace dependency-free; the polynomial
+//! and bit order match zlib's `crc32`, so values are comparable to external
+//! tooling.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// Incremental CRC32 hasher, for checksumming a page without materialising
+/// its zero padding.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Feeds `n` zero bytes into the checksum (page padding).
+    pub fn update_zeros(&mut self, n: usize) {
+        let mut crc = self.state;
+        for _ in 0..n {
+            crc = (crc >> 8) ^ TABLE[(crc & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Finishes, returning the checksum.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// CRC32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// CRC32 of `data` zero-padded to `padded_len` bytes — the checksum of the
+/// full page a [`PageStore`](crate::PageStore) persists for a short write.
+pub fn crc32_padded(data: &[u8], padded_len: usize) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.update_zeros(padded_len.saturating_sub(data.len()));
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32/IEEE check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"near-storage log analytics";
+        let mut h = Crc32::new();
+        h.update(&data[..7]);
+        h.update(&data[7..]);
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn padded_matches_materialised_padding() {
+        let data = b"short page";
+        let mut full = data.to_vec();
+        full.resize(4096, 0);
+        assert_eq!(crc32_padded(data, 4096), crc32(&full));
+        // Already-full pages are unchanged.
+        assert_eq!(crc32_padded(data, data.len()), crc32(data));
+        assert_eq!(crc32_padded(data, 3), crc32(data), "padded_len below data len is a no-op");
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let page = vec![0xA5u8; 4096];
+        let base = crc32(&page);
+        for bit in [0usize, 1, 7, 4095 * 8, 4095 * 8 + 7, 2048 * 8 + 3] {
+            let mut flipped = page.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&flipped), base, "flip of bit {bit} undetected");
+        }
+    }
+}

@@ -5,6 +5,7 @@ use std::path::Path;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use crate::crc::{crc32, crc32_padded};
 use crate::error::StorageError;
 use crate::perf::{CostLedger, DevicePerfModel};
 
@@ -230,23 +231,118 @@ impl PageStore for FileStore {
     }
 }
 
+/// How the device handles transient read failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total read attempts per page, including the first. Must be ≥ 1.
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1 }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Real controllers retry a handful of times with shifted read voltages
+    /// before declaring a page unreadable; three attempts models that.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3 }
+    }
+}
+
+/// One corrupt page found by [`SimSsd::scrub`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptPage {
+    /// The corrupt page.
+    pub page: u64,
+    /// Checksum recorded at write time.
+    pub expected: u32,
+    /// Checksum of the data read back.
+    pub got: u32,
+}
+
+/// Result of a full-device integrity scan ([`SimSsd::scrub`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Pages examined (the device's full extent).
+    pub pages_checked: u64,
+    /// Pages whose checksum did not match.
+    pub corrupt: Vec<CorruptPage>,
+    /// Pages that stayed unreadable after exhausting read retries.
+    pub unreadable: Vec<u64>,
+    /// Pages with no recorded checksum (written behind the device's back);
+    /// their integrity cannot be judged.
+    pub unverified: Vec<u64>,
+    /// Transient read retries spent during the scan.
+    pub retries: u64,
+}
+
+impl ScrubReport {
+    /// Whether every checked page verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.unreadable.is_empty()
+    }
+}
+
+impl std::fmt::Display for ScrubReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scrubbed {} pages: {} corrupt, {} unreadable, {} unverified, {} retries",
+            self.pages_checked,
+            self.corrupt.len(),
+            self.unreadable.len(),
+            self.unverified.len(),
+            self.retries
+        )
+    }
+}
+
 /// A simulated SSD: a [`PageStore`] plus a [`DevicePerfModel`] and a
 /// [`CostLedger`] recording every access for modeled-time reporting.
+///
+/// The device also keeps a per-page CRC32 sidecar — modeling the out-of-band
+/// area flash controllers use for integrity metadata — and verifies it on
+/// every read, surfacing silent corruption as [`StorageError::Corrupt`].
+/// Transient read failures are retried per the [`RetryPolicy`], with each
+/// re-read charged to the ledger.
 #[derive(Debug)]
 pub struct SimSsd<S> {
     store: S,
     model: DevicePerfModel,
     ledger: CostLedger,
+    crc: Vec<Option<u32>>,
+    retry: RetryPolicy,
 }
 
 impl<S: PageStore> SimSsd<S> {
     /// Wraps a store with a performance model.
+    ///
+    /// Pages already present in `store` have no recorded checksum and read
+    /// unverified until rewritten through the device.
     pub fn new(store: S, model: DevicePerfModel) -> Self {
+        let crc = vec![None; usize::try_from(store.page_count()).unwrap_or(usize::MAX)];
         SimSsd {
             store,
             model,
             ledger: CostLedger::default(),
+            crc,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replaces the transient-read retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        assert!(retry.max_attempts >= 1, "at least one attempt is required");
+        self.retry = retry;
+    }
+
+    /// The transient-read retry policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The performance model in use.
@@ -269,6 +365,16 @@ impl<S: PageStore> SimSsd<S> {
         &self.store
     }
 
+    /// Mutable access to the underlying store.
+    ///
+    /// Writes made here bypass the checksum sidecar — they model corruption
+    /// happening behind the controller's back, and a later [`SimSsd::read`]
+    /// of an affected page reports [`StorageError::Corrupt`]. Intended for
+    /// fault drills and tests.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
     /// Page size in bytes.
     pub fn page_bytes(&self) -> usize {
         self.store.page_bytes()
@@ -285,7 +391,9 @@ impl<S: PageStore> SimSsd<S> {
     ///
     /// See [`PageStore::append_page`].
     pub fn append(&mut self, data: &[u8]) -> Result<PageId, StorageError> {
+        let checksum = crc32_padded(data, self.store.page_bytes());
         let id = self.store.append_page(data)?;
+        self.record_crc(id, checksum);
         self.ledger.pages_written += 1;
         self.ledger.bytes_written += data.len() as u64;
         Ok(id)
@@ -297,22 +405,24 @@ impl<S: PageStore> SimSsd<S> {
     ///
     /// See [`PageStore::write_page`].
     pub fn write(&mut self, id: PageId, data: &[u8]) -> Result<(), StorageError> {
+        let checksum = crc32_padded(data, self.store.page_bytes());
         self.store.write_page(id, data)?;
+        self.record_crc(id, checksum);
         self.ledger.pages_written += 1;
         self.ledger.bytes_written += data.len() as u64;
         Ok(())
     }
 
-    /// Reads a page as part of a bandwidth-bound batch.
+    /// Reads a page as part of a bandwidth-bound batch, verifying its
+    /// checksum and retrying transient failures per the [`RetryPolicy`].
     ///
     /// # Errors
     ///
-    /// See [`PageStore::read_page`].
+    /// See [`PageStore::read_page`]; additionally [`StorageError::Corrupt`]
+    /// if the page fails verification, or [`StorageError::TransientRead`]
+    /// if retries are exhausted.
     pub fn read(&mut self, id: PageId) -> Result<Bytes, StorageError> {
-        let page = self.store.read_page(id)?;
-        self.ledger.pages_read += 1;
-        self.ledger.bytes_read += page.len() as u64;
-        Ok(page)
+        self.read_with(id, false)
     }
 
     /// Reads a page as one step of a dependent chain (latency-exposed, e.g.
@@ -320,13 +430,86 @@ impl<S: PageStore> SimSsd<S> {
     ///
     /// # Errors
     ///
-    /// See [`PageStore::read_page`].
+    /// See [`SimSsd::read`].
     pub fn read_dependent(&mut self, id: PageId) -> Result<Bytes, StorageError> {
-        let page = self.store.read_page(id)?;
-        self.ledger.pages_read += 1;
-        self.ledger.dependent_visits += 1;
-        self.ledger.bytes_read += page.len() as u64;
+        self.read_with(id, true)
+    }
+
+    fn read_with(&mut self, id: PageId, dependent: bool) -> Result<Bytes, StorageError> {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.store.read_page(id) {
+                Ok(page) => {
+                    self.ledger.pages_read += 1;
+                    if dependent {
+                        self.ledger.dependent_visits += 1;
+                    }
+                    self.ledger.bytes_read += page.len() as u64;
+                    return self.verify(id, page);
+                }
+                Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
+                    // Each re-read pays a full flash access in the model.
+                    self.ledger.retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn verify(&self, id: PageId, page: Bytes) -> Result<Bytes, StorageError> {
+        if let Some(&Some(expected)) = self.crc.get(id.0 as usize) {
+            let got = crc32(&page);
+            if got != expected {
+                return Err(StorageError::Corrupt {
+                    page: id.0,
+                    expected,
+                    got,
+                });
+            }
+        }
         Ok(page)
+    }
+
+    fn record_crc(&mut self, id: PageId, checksum: u32) {
+        let idx = id.0 as usize;
+        if idx >= self.crc.len() {
+            self.crc.resize(idx + 1, None);
+        }
+        self.crc[idx] = Some(checksum);
+    }
+
+    /// Scans the whole device, verifying every page's checksum, and returns
+    /// a corruption report. Reads (and transient retries) are charged to the
+    /// ledger like any other access — a scrub is a real full-device scan.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let mut report = ScrubReport {
+            pages_checked: self.page_count(),
+            ..ScrubReport::default()
+        };
+        for page in 0..report.pages_checked {
+            let id = PageId(page);
+            let retries_before = self.ledger.retries;
+            match self.read(id) {
+                Ok(_) => {
+                    if self.crc.get(page as usize).copied().flatten().is_none() {
+                        report.unverified.push(page);
+                    }
+                }
+                Err(StorageError::Corrupt {
+                    page,
+                    expected,
+                    got,
+                }) => report.corrupt.push(CorruptPage {
+                    page,
+                    expected,
+                    got,
+                }),
+                Err(_) => report.unreadable.push(page),
+            }
+            report.retries += self.ledger.retries - retries_before;
+        }
+        report
     }
 }
 
@@ -432,5 +615,94 @@ mod tests {
         ssd.append(b"x").unwrap();
         ssd.clear_ledger();
         assert_eq!(*ssd.ledger(), CostLedger::default());
+    }
+
+    #[test]
+    fn corruption_behind_the_controller_is_detected() {
+        let mut ssd = SimSsd::new(MemStore::new(64), DevicePerfModel::default());
+        let good = ssd.append(b"good page").unwrap();
+        let bad = ssd.append(b"doomed page").unwrap();
+        // Writing through the raw store skips the checksum sidecar.
+        ssd.store_mut().write_page(bad, b"smashed").unwrap();
+        assert!(ssd.read(good).is_ok());
+        match ssd.read(bad) {
+            Err(StorageError::Corrupt { page, expected, got }) => {
+                assert_eq!(page, bad.0);
+                assert_ne!(expected, got);
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        // Rewriting through the device restores integrity.
+        ssd.write(bad, b"healed").unwrap();
+        assert_eq!(&ssd.read(bad).unwrap()[..6], b"healed");
+    }
+
+    #[test]
+    fn preexisting_pages_read_unverified() {
+        let mut store = MemStore::new(64);
+        store.append_page(b"legacy").unwrap();
+        let mut ssd = SimSsd::new(store, DevicePerfModel::default());
+        assert!(ssd.read(PageId(0)).is_ok(), "no checksum -> no verification");
+        let report = ssd.scrub();
+        assert_eq!(report.unverified, vec![0]);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn transient_reads_are_retried_and_charged() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyStore};
+        let plan =
+            FaultPlan::seeded(1).with_scheduled(0, FaultKind::TransientRead { failures: 2 });
+        let store = FaultyStore::new(MemStore::new(64), plan);
+        let mut ssd = SimSsd::new(store, DevicePerfModel::default());
+        let id = ssd.append(b"flaky but fine").unwrap();
+        // Default policy allows 3 attempts: 2 failures + 1 success.
+        let page = ssd.read(id).unwrap();
+        assert_eq!(&page[..5], b"flaky");
+        assert_eq!(ssd.ledger().retries, 2);
+        assert_eq!(ssd.ledger().pages_read, 1);
+        // The retries show up in modeled time as two extra flash accesses.
+        let t = ssd.ledger().modeled_read_time(ssd.model(), Link::Internal);
+        assert!(t >= ssd.model().read_latency * 3);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyStore};
+        let plan =
+            FaultPlan::seeded(2).with_scheduled(0, FaultKind::TransientRead { failures: 10 });
+        let store = FaultyStore::new(MemStore::new(64), plan);
+        let mut ssd = SimSsd::new(store, DevicePerfModel::default());
+        let id = ssd.append(b"very flaky").unwrap();
+        assert!(matches!(
+            ssd.read(id),
+            Err(StorageError::TransientRead { page: 0 })
+        ));
+        assert_eq!(ssd.ledger().retries, 2, "3 attempts = 2 retries");
+        // A stricter policy fails faster; a later read drains the episode.
+        ssd.set_retry_policy(RetryPolicy::none());
+        assert!(ssd.read(id).is_err());
+        assert_eq!(ssd.ledger().retries, 2, "no-retry policy charges nothing");
+    }
+
+    #[test]
+    fn scrub_finds_exactly_the_rotten_pages() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyStore};
+        let plan = FaultPlan::seeded(3)
+            .with_scheduled(2, FaultKind::BitRot { bit: 40 })
+            .with_scheduled(5, FaultKind::BitRot { bit: 9 });
+        let store = FaultyStore::new(MemStore::new(64), plan);
+        let mut ssd = SimSsd::new(store, DevicePerfModel::default());
+        for i in 0..8 {
+            ssd.append(format!("page {i}").as_bytes()).unwrap();
+        }
+        let report = ssd.scrub();
+        assert_eq!(report.pages_checked, 8);
+        let corrupt: Vec<u64> = report.corrupt.iter().map(|c| c.page).collect();
+        assert_eq!(corrupt, vec![2, 5]);
+        assert!(report.unreadable.is_empty());
+        assert!(report.unverified.is_empty());
+        assert!(!report.is_clean());
+        assert!(report.to_string().contains("2 corrupt"), "{report}");
     }
 }

@@ -20,8 +20,31 @@ pub enum StorageError {
         /// Page capacity.
         page_bytes: usize,
     },
+    /// A page's content failed checksum verification: what the device reads
+    /// back is not what was written.
+    Corrupt {
+        /// The corrupt page.
+        page: u64,
+        /// Checksum recorded at write time.
+        expected: u32,
+        /// Checksum of the data actually read.
+        got: u32,
+    },
+    /// A read attempt failed transiently (flaky channel, voltage-shift
+    /// retry); re-reading the page may succeed.
+    TransientRead {
+        /// The page whose read failed.
+        page: u64,
+    },
     /// An underlying I/O error from a file-backed store.
     Io(Arc<io::Error>),
+}
+
+impl StorageError {
+    /// Whether retrying the same operation may succeed (transient faults).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::TransientRead { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -32,6 +55,17 @@ impl fmt::Display for StorageError {
             }
             StorageError::Oversized { got, page_bytes } => {
                 write!(f, "write of {got} bytes exceeds page size {page_bytes}")
+            }
+            StorageError::Corrupt {
+                page,
+                expected,
+                got,
+            } => write!(
+                f,
+                "page {page} is corrupt: checksum {got:#010x}, expected {expected:#010x}"
+            ),
+            StorageError::TransientRead { page } => {
+                write!(f, "transient read failure on page {page} (retry may succeed)")
             }
             StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
         }
@@ -72,6 +106,19 @@ mod tests {
     fn io_error_preserves_source() {
         let e = StorageError::from(io::Error::other("boom"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn corruption_display_shows_both_checksums() {
+        let e = StorageError::Corrupt {
+            page: 3,
+            expected: 0xDEAD_BEEF,
+            got: 0x0BAD_F00D,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0xdeadbeef") && s.contains("0x0badf00d"), "{s}");
+        assert!(!e.is_transient());
+        assert!(StorageError::TransientRead { page: 1 }.is_transient());
     }
 
     #[test]

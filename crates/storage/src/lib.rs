@@ -12,7 +12,13 @@
 //!   access traces into modeled elapsed time;
 //! * [`SimSsd`], which pairs the two and keeps a [`CostLedger`] of every
 //!   access so higher layers can report both functional results and modeled
-//!   device time.
+//!   device time;
+//! * an integrity layer: per-page CRC32 checksums verified on every read
+//!   (surfacing silent corruption as [`StorageError::Corrupt`]), bounded
+//!   retries of transient read failures per [`RetryPolicy`], and a
+//!   full-device [`SimSsd::scrub`] scan producing a [`ScrubReport`];
+//! * deterministic fault injection ([`FaultyStore`] driven by a seeded
+//!   [`FaultPlan`]) for reproducible corruption and recovery drills.
 //!
 //! # Example
 //!
@@ -30,10 +36,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crc;
 mod device;
 mod error;
+mod faults;
 mod perf;
 
-pub use device::{FileStore, MemStore, PageId, PageStore, SimSsd};
+pub use crc::{crc32, crc32_padded, Crc32};
+pub use device::{
+    CorruptPage, FileStore, MemStore, PageId, PageStore, RetryPolicy, ScrubReport, SimSsd,
+};
 pub use error::StorageError;
+pub use faults::{FaultKind, FaultPlan, FaultyStore, InjectedFault};
 pub use perf::{CostLedger, DevicePerfModel, Link};

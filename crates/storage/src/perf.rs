@@ -125,6 +125,9 @@ pub struct CostLedger {
     pub bytes_read: u64,
     /// Raw bytes written.
     pub bytes_written: u64,
+    /// Extra read attempts spent recovering from transient read failures;
+    /// each costs a full flash access latency in the model.
+    pub retries: u64,
 }
 
 impl CostLedger {
@@ -142,16 +145,19 @@ impl CostLedger {
             pages_written: self.pages_written - earlier.pages_written,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            retries: self.retries - earlier.retries,
         }
     }
 
     /// Modeled time for this ledger under `model`, with bulk reads crossing
     /// `link`: dependent visits pay latency serially, remaining pages are
-    /// bandwidth-bound.
+    /// bandwidth-bound, and every transient-read retry pays one more full
+    /// flash access latency.
     pub fn modeled_read_time(&self, model: &DevicePerfModel, link: Link) -> std::time::Duration {
         let chain = model.dependent_chain_time(self.dependent_visits);
         let bulk_pages = self.pages_read.saturating_sub(self.dependent_visits);
-        chain + model.parallel_read_time(bulk_pages, link)
+        let retry_cost = model.dependent_chain_time(self.retries);
+        chain + model.parallel_read_time(bulk_pages, link) + retry_cost
     }
 }
 
@@ -209,6 +215,7 @@ mod tests {
             pages_written: 1,
             bytes_read: 40960,
             bytes_written: 4096,
+            retries: 1,
         };
         let b = CostLedger {
             pages_read: 25,
@@ -216,11 +223,13 @@ mod tests {
             pages_written: 1,
             bytes_read: 102400,
             bytes_written: 4096,
+            retries: 4,
         };
         let d = b.since(&a);
         assert_eq!(d.pages_read, 15);
         assert_eq!(d.dependent_visits, 3);
         assert_eq!(d.pages_written, 0);
+        assert_eq!(d.retries, 3);
     }
 
     #[test]
@@ -235,6 +244,22 @@ mod tests {
         let chain = 10.0 * 100e-6;
         let bulk: f64 = (990.0 * 4096.0) / 4.8e9;
         assert!((t.as_secs_f64() - (chain + bulk.max(100e-6))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retries_add_full_latency_each() {
+        let m = DevicePerfModel::bluedbm_prototype();
+        let base = CostLedger {
+            pages_read: 100,
+            ..CostLedger::default()
+        };
+        let retried = CostLedger {
+            retries: 5,
+            ..base
+        };
+        let delta = retried.modeled_read_time(&m, Link::Internal)
+            - base.modeled_read_time(&m, Link::Internal);
+        assert_eq!(delta, m.read_latency * 5);
     }
 
     #[test]

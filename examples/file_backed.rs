@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let config = SystemConfig::default();
     let store = FileStore::create(&path, config.device.page_bytes)?;
-    let mut system = MithriLog::with_store(store, config);
+    let mut system = MithriLog::with_store(store, config)?;
 
     let dataset = generate(&DatasetSpec {
         profile: DatasetProfile::Bgl2,

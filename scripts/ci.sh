@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass, in the order CI runs it.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

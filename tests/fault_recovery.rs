@@ -1,0 +1,182 @@
+//! Seeded end-to-end fault-recovery acceptance tests.
+//!
+//! Everything here is driven by a deterministic [`FaultPlan`]: same seed,
+//! same faults, same outcome, every run. The tests cover the three
+//! recovery layers plus the index-corruption fallback:
+//!
+//! 1. `scrub()` finds *exactly* the pages the plan corrupted;
+//! 2. a query over a bit-flipped corpus completes, reporting the skipped
+//!    pages and an estimate of the lines lost;
+//! 3. transient read errors are retried, with each re-read charged to the
+//!    cost ledger as a full flash-access latency;
+//! 4. a corrupt index page downgrades the plan to a filtered full scan —
+//!    results stay complete, only the pruning is lost.
+
+use mithrilog::{MithriLog, SystemConfig};
+use mithrilog_loggen::{generate, Dataset, DatasetProfile, DatasetSpec};
+use mithrilog_storage::{
+    FaultKind, FaultPlan, FaultyStore, Link, MemStore, PageStore, RetryPolicy,
+};
+
+fn corpus() -> Dataset {
+    generate(&DatasetSpec {
+        profile: DatasetProfile::Bgl2,
+        target_bytes: 1_000_000,
+        seed: 7,
+    })
+}
+
+fn faulted_system(plan: FaultPlan) -> MithriLog<FaultyStore<MemStore>> {
+    let config = SystemConfig::default();
+    let store = FaultyStore::new(MemStore::new(config.device.page_bytes), plan);
+    let mut system = MithriLog::with_store(store, config).unwrap();
+    system.ingest(corpus().text()).unwrap();
+    system
+}
+
+#[test]
+fn scrub_finds_exactly_the_injected_corruption() {
+    let plan = FaultPlan::seeded(31)
+        .with_bit_rot_rate(0.03)
+        .with_scheduled(2, FaultKind::BitRot { bit: 9 })
+        .with_scheduled(4, FaultKind::TornWrite { valid_bytes: 80 });
+    let mut system = faulted_system(plan);
+
+    let report = system.scrub();
+    let found: Vec<u64> = report.corrupt.iter().map(|c| c.page).collect();
+    let planted = system.device().store().corrupted_pages();
+    assert!(!planted.is_empty(), "the plan must actually corrupt pages");
+    assert_eq!(found, planted, "scrub must find exactly the planted faults");
+    assert!(!report.is_clean());
+    assert!(report.unreadable.is_empty(), "bit rot is detectable, not fatal");
+    assert_eq!(report.pages_checked, system.device().page_count());
+}
+
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    let plan = || FaultPlan::seeded(99).with_bit_rot_rate(0.05);
+    let a = faulted_system(plan());
+    let b = faulted_system(plan());
+    let injected_a = a.device().store().injected();
+    assert_eq!(injected_a, b.device().store().injected());
+    assert!(!injected_a.is_empty());
+
+    // A different seed draws a different fault pattern.
+    let c = faulted_system(FaultPlan::seeded(100).with_bit_rot_rate(0.05));
+    assert_ne!(injected_a, c.device().store().injected());
+}
+
+#[test]
+fn query_over_bit_flipped_corpus_degrades_gracefully() {
+    let plan = FaultPlan::seeded(31).with_bit_rot_rate(0.05);
+    let mut system = faulted_system(plan);
+    let rotten = system.device().store().corrupted_pages();
+    assert!(!rotten.is_empty());
+
+    let outcome = system.query_str("FATAL OR error").unwrap();
+    let degraded = outcome.degraded.clone();
+    assert!(degraded.is_lossy(), "some data pages must have been skipped");
+    assert!(
+        degraded.skipped_pages.iter().all(|p| rotten.contains(p)),
+        "only planted pages may be skipped: {:?} vs {rotten:?}",
+        degraded.skipped_pages
+    );
+    assert!(degraded.estimated_missed_lines > 0);
+    assert!(!degraded.index_fallback, "data corruption leaves the plan intact");
+    assert!(
+        outcome.match_count() > 0,
+        "the surviving pages still produce matches"
+    );
+
+    // Same seed, fresh system: the degradation report is identical.
+    let mut again = faulted_system(FaultPlan::seeded(31).with_bit_rot_rate(0.05));
+    let outcome2 = again.query_str("FATAL OR error").unwrap();
+    assert_eq!(outcome2.degraded.skipped_pages, degraded.skipped_pages);
+    assert_eq!(outcome2.match_count(), outcome.match_count());
+}
+
+#[test]
+fn transient_reads_are_retried_and_charged_to_the_ledger() {
+    let plan = FaultPlan::seeded(5).with_transient_rate(0.25, 1);
+    let mut system = faulted_system(plan);
+    assert!(system.device().retry_policy().max_attempts >= 2);
+
+    let outcome = system.query_str("FATAL OR error").unwrap();
+    assert!(outcome.ledger.retries > 0, "transient pages must trigger retries");
+    assert_eq!(outcome.degraded.retries, outcome.ledger.retries);
+    assert!(
+        !outcome.degraded.is_lossy(),
+        "transient faults recover within the retry budget — no data lost"
+    );
+
+    // Each retry costs one full flash-access latency in the model.
+    let model = *system.device().model();
+    let mut without_retries = outcome.ledger;
+    without_retries.retries = 0;
+    let charged = outcome.ledger.modeled_read_time(&model, Link::Internal)
+        - without_retries.modeled_read_time(&model, Link::Internal);
+    assert_eq!(charged, model.read_latency * outcome.ledger.retries as u32);
+}
+
+#[test]
+fn exhausted_retries_skip_the_page_instead_of_failing_the_query() {
+    // Three consecutive failures against a two-attempt budget: the page is
+    // reported as skipped, not returned as a hard error.
+    let plan = FaultPlan::seeded(5).with_transient_rate(0.25, 3);
+    let mut system = faulted_system(plan);
+    system
+        .device_mut()
+        .set_retry_policy(RetryPolicy { max_attempts: 2 });
+
+    let outcome = system.query_str("FATAL OR error").unwrap();
+    assert!(outcome.degraded.is_lossy(), "budget-exhausted pages are skipped");
+    assert!(outcome.ledger.retries > 0);
+    assert!(outcome.match_count() > 0);
+}
+
+#[test]
+fn index_corruption_falls_back_to_a_filtered_full_scan() {
+    let mut text = String::new();
+    for i in 0..4000 {
+        text.push_str(&format!("routine filler line number {i}\n"));
+    }
+    text.push_str("unique-needle-token appears once\n");
+    let mut system = MithriLog::new(SystemConfig::default());
+    system.ingest(text.as_bytes()).unwrap();
+    // Flush the index to storage so lookups must actually read pages.
+    system.snapshot_at(1).unwrap();
+
+    let baseline = system.query_str("unique-needle-token").unwrap();
+    assert_eq!(baseline.match_count(), 1);
+    assert!(baseline.used_index);
+
+    // Smash every non-data page *behind* the controller: checksums go
+    // stale, so any index lookup that touches storage sees `Corrupt`.
+    let data: Vec<u64> = system.data_pages().iter().map(|p| p.0).collect();
+    let total = system.device().page_count();
+    let page_bytes = system.device().page_bytes();
+    for page in (0..total).filter(|p| !data.contains(p)) {
+        let garbage = vec![0x5Au8; page_bytes];
+        system
+            .device_mut()
+            .store_mut()
+            .write_page(mithrilog_storage::PageId(page), &garbage)
+            .unwrap();
+    }
+
+    let outcome = system.query_str("unique-needle-token").unwrap();
+    assert!(
+        outcome.degraded.index_fallback,
+        "a corrupt index must downgrade the plan, not kill the query"
+    );
+    assert!(!outcome.used_index);
+    assert_eq!(
+        outcome.match_count(),
+        1,
+        "the full-scan fallback keeps results complete"
+    );
+    assert!(
+        !outcome.degraded.is_lossy(),
+        "data pages are intact; only the index was lost"
+    );
+}

@@ -89,6 +89,101 @@ proptest! {
     }
 }
 
+// ---------- mutilated pages ----------
+//
+// LZAH frames carry no payload checksum (page integrity lives in the
+// storage layer's CRC sidecar), so the decoder's contract on damaged
+// input is: return promptly with a typed `DecompressError` or a bounded
+// `Ok` — never panic, never loop, never allocate unbounded output from a
+// lying header. A 4 KB page can legitimately expand (matches reference a
+// word table), so the over-allocation bound is generous but finite.
+
+const MUTILATED_OUTPUT_BOUND: usize = 4 << 20;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lzah_survives_bit_flips(
+        data in arbitrary_loglike(),
+        flips in prop::collection::vec((any::<u64>(), 0u32..8), 1..16)
+    ) {
+        let c = Lzah::default();
+        let mut packed = c.compress(&data);
+        for (at, bit) in &flips {
+            let i = (*at as usize) % packed.len();
+            packed[i] ^= 1 << bit;
+        }
+        match c.decompress(&packed) {
+            Err(_) => {}
+            Ok(out) => prop_assert!(out.len() <= MUTILATED_OUTPUT_BOUND),
+        }
+    }
+
+    #[test]
+    fn lzah_survives_header_field_damage(
+        data in arbitrary_loglike(),
+        at in 0u64..24,
+        byte in any::<u8>()
+    ) {
+        // The first 24 bytes are magic/version/word/hash/flags plus the
+        // declared lengths — exactly where a lying header could request a
+        // runaway allocation or a never-ending pair loop.
+        let c = Lzah::default();
+        let mut packed = c.compress(&data);
+        let i = (at as usize).min(packed.len() - 1);
+        packed[i] = byte;
+        match c.decompress(&packed) {
+            Err(_) => {}
+            Ok(out) => prop_assert!(out.len() <= MUTILATED_OUTPUT_BOUND),
+        }
+    }
+
+    #[test]
+    fn lzah_survives_spliced_garbage(
+        data in arbitrary_loglike(),
+        at in any::<u64>(),
+        garbage in prop::collection::vec(any::<u8>(), 1..64)
+    ) {
+        let c = Lzah::default();
+        let mut packed = c.compress(&data);
+        let i = (at as usize) % packed.len();
+        let end = (i + garbage.len()).min(packed.len());
+        packed[i..end].copy_from_slice(&garbage[..end - i]);
+        match c.decompress(&packed) {
+            Err(_) => {}
+            Ok(out) => prop_assert!(out.len() <= MUTILATED_OUTPUT_BOUND),
+        }
+    }
+
+    #[test]
+    fn lzah_ignores_page_padding_and_trailing_garbage(
+        data in arbitrary_loglike(),
+        tail in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        // A frame stored in a page is followed by padding the decoder must
+        // never read past: whatever follows the frame, the payload decodes
+        // to exactly the original bytes.
+        let c = Lzah::default();
+        let mut packed = c.compress(&data);
+        packed.extend_from_slice(&tail);
+        prop_assert_eq!(c.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn lzah_truncations_never_return_wrong_bytes(
+        data in arbitrary_loglike(),
+        cut in any::<u64>()
+    ) {
+        let c = Lzah::default();
+        let packed = c.compress(&data);
+        let cut = (cut as usize) % (packed.len() + 1);
+        if let Ok(out) = c.decompress(&packed[..cut]) {
+            prop_assert_eq!(out, data, "Ok on a truncated frame must be exact");
+        }
+    }
+}
+
 // ---------- query language ----------
 
 fn arbitrary_expr() -> impl Strategy<Value = Expr> {

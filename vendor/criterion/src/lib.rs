@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds without network access, so the benchmark harness is
+//! replaced by a minimal local implementation of the API subset the `bench`
+//! crate uses: `criterion_group!` / `criterion_main!`, [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `throughput` / `bench_function` /
+//! `bench_with_input` / `finish`, [`BenchmarkId::from_parameter`], and
+//! [`Bencher::iter`].
+//!
+//! Instead of criterion's statistical analysis, each benchmark closure is
+//! timed over a small fixed number of samples and the mean wall time (plus
+//! throughput, when declared) is printed. That keeps `cargo bench` useful for
+//! coarse comparisons while staying dependency-free.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Samples per benchmark when the group does not override `sample_size`.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Declared throughput of one benchmark iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's `Display` form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, keeping its return value alive so
+    /// the work is not optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call absorbs first-touch effects.
+        let _ = routine();
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a named benchmark closure.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name.into());
+        self.run(&label, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark closure with a borrowed input value.
+    pub fn bench_with_input<F, I>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+        I: ?Sized,
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report lines are printed as benchmarks run).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        assert!(bencher.iters > 0, "benchmark closure never called iter()");
+        let mean = bencher.elapsed / bencher.iters as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if mean > Duration::ZERO => {
+                let gbps = bytes as f64 / mean.as_secs_f64() / 1e9;
+                format!("  ({gbps:.3} GB/s)")
+            }
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                let meps = n as f64 / mean.as_secs_f64() / 1e6;
+                format!("  ({meps:.3} Melem/s)")
+            }
+            _ => String::new(),
+        };
+        println!("bench {label:<50} {mean:>12.2?}/iter{rate}");
+        self.criterion.completed += 1;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    completed: usize,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone named benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("default", |b| f(b));
+        group.finish();
+        self
+    }
+}
+
+/// Pass-through hint mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_all_benchmarks() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(2);
+            g.throughput(Throughput::Bytes(1024));
+            g.bench_function("sum", |b| {
+                b.iter(|| (0..1000u64).sum::<u64>());
+            });
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+                b.iter(|| n * 2);
+            });
+            g.finish();
+        }
+        assert_eq!(c.completed, 2);
+    }
+}

@@ -1,0 +1,601 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds without network access, so the property-testing
+//! dependency is replaced by a minimal local implementation of the API
+//! subset the workspace uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_recursive`, regex-character-class string strategies
+//! (`"[a-z]{1,12}"`), integer-range and tuple strategies, `Just`,
+//! [`collection::vec`] / [`collection::hash_set`], `any::<T>()`,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with the generated values via
+//!   the normal assertion message;
+//! * **deterministic seeding** — each `proptest!` test derives its RNG seed
+//!   from the test function name, so failures reproduce exactly;
+//! * regex strategies support only character classes with an optional
+//!   `{m,n}` repetition (the only form log-analytics tests here use).
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the test name).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform usize in `[start, end)`.
+    pub fn in_range(&mut self, r: &Range<usize>) -> usize {
+        assert!(r.start < r.end, "empty size range");
+        r.start + self.below(r.end - r.start)
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The value type generated.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply-cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf; `f` receives the
+    /// strategy for the next-shallower level and returns the composite.
+    /// `depth` levels are unrolled, so generated values have bounded depth.
+    /// The `_desired_size` / `_expected_branch` hints of real proptest are
+    /// accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            level = f(level.clone()).boxed();
+        }
+        level
+    }
+}
+
+/// Type-erased, cheaply-cloneable strategy handle.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Strategy mapping another strategy's values (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms`; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.arms.len());
+        self.arms[pick].generate(rng)
+    }
+}
+
+// ---------- primitive strategies ----------
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy generating arbitrary values of `T` (see [`any`]).
+#[derive(Debug, Clone, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------- tuple strategies ----------
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+// ---------- regex-character-class string strategies ----------
+
+/// Parsed form of a `[class]{m,n}` pattern.
+#[derive(Debug, Clone)]
+struct ClassPattern {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class_pattern(pat: &str) -> ClassPattern {
+    let bytes: Vec<char> = pat.chars().collect();
+    assert!(
+        bytes.first() == Some(&'['),
+        "unsupported pattern {pat:?}: only [class]{{m,n}} is implemented"
+    );
+    let close = bytes
+        .iter()
+        .position(|&c| c == ']')
+        .unwrap_or_else(|| panic!("unterminated class in {pat:?}"));
+    let class = &bytes[1..close];
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "inverted range in {pat:?}");
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!chars.is_empty(), "empty class in {pat:?}");
+    let rest: String = bytes[close + 1..].iter().collect();
+    let (min, max) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repetition in {pat:?}"));
+        match inner.split_once(',') {
+            Some((m, n)) => (
+                m.trim().parse().expect("repetition min"),
+                n.trim().parse().expect("repetition max"),
+            ),
+            None => {
+                let n: usize = inner.trim().parse().expect("repetition count");
+                (n, n)
+            }
+        }
+    };
+    assert!(min <= max, "inverted repetition in {pat:?}");
+    ClassPattern { chars, min, max }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let p = parse_class_pattern(self);
+        let len = p.min + rng.below(p.max - p.min + 1);
+        (0..len).map(|_| p.chars[rng.below(p.chars.len())]).collect()
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let p = parse_class_pattern(self);
+        let len = p.min + rng.below(p.max - p.min + 1);
+        (0..len).map(|_| p.chars[rng.below(p.chars.len())]).collect()
+    }
+}
+
+// ---------- collection strategies ----------
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values sized in `[size.start, size.end)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.in_range(&self.size);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a size drawn from `size`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates hash sets of `element` values sized in
+    /// `[size.start, size.end)`. Duplicates are redrawn, so the element
+    /// domain must be comfortably larger than the requested size.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.in_range(&self.size);
+            let mut out = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while out.len() < n {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 100 * (n + 1),
+                    "hash_set strategy could not reach size {n}: element domain too small"
+                );
+            }
+            out
+        }
+    }
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Any,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+/// Namespace mirroring the `prop::` path of the real crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+// ---------- macros ----------
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Property assertion: plain `assert!` (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property equality assertion: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each function runs `cases` times with fresh
+/// generated inputs. The RNG seed derives from the test name, so runs are
+/// reproducible.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $(#[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for _case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($(#[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(#[test] fn $name ( $($arg in $strat),+ ) $body)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn class_patterns_parse_and_generate() {
+        let mut rng = TestRng::from_name("class");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let p = Strategy::generate(&"[ -~]{0,200}", &mut rng);
+            assert!(p.len() <= 200);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+            let one = Strategy::generate(&"[a-e]", &mut rng);
+            assert_eq!(one.len(), 1);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::from_name("sizes");
+        for _ in 0..100 {
+            let v = Strategy::generate(&collection::vec(any::<u8>(), 2..7), &mut rng);
+            assert!((2..7).contains(&v.len()));
+            let h = Strategy::generate(&collection::hash_set("[a-z]{1,10}", 2..20), &mut rng);
+            assert!((2..20).contains(&h.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf(u8),
+            Pair(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Pair(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u8..10).prop_map(T::Leaf).prop_recursive(3, 8, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| T::Pair(Box::new(a), Box::new(b))),
+                inner,
+            ]
+        });
+        let mut rng = TestRng::from_name("rec");
+        let mut saw_pair = false;
+        for _ in 0..100 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 4);
+            saw_pair |= matches!(t, T::Pair(..));
+        }
+        assert!(saw_pair, "recursion never fired");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(x in 0u8..32, s in "[0-9]{1,8}") {
+            prop_assert!(x < 32);
+            prop_assert_eq!(s.len(), s.chars().filter(char::is_ascii_digit).count(), "s={}", s);
+        }
+    }
+}
