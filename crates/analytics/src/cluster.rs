@@ -125,9 +125,7 @@ impl Clustering {
     pub fn outliers(&self, max_size: usize, distance_cut: f64) -> Vec<usize> {
         let sizes = self.sizes();
         let mut out: Vec<usize> = (0..self.assignment.len())
-            .filter(|&w| {
-                sizes[self.assignment[w]] <= max_size || self.distances[w] > distance_cut
-            })
+            .filter(|&w| sizes[self.assignment[w]] <= max_size || self.distances[w] > distance_cut)
             .collect();
         out.sort_by(|&a, &b| self.distances[b].total_cmp(&self.distances[a]));
         out

@@ -49,6 +49,6 @@ mod pca;
 
 pub use aggregate::{extract_epoch, TemplateCounts, TimeHistogram, TopTokens};
 pub use anomaly::{RateSpike, RateSpikeDetector};
-pub use join::{correlate_counts, extract_node, join_on, JoinedPair};
 pub use cluster::Clustering;
+pub use join::{correlate_counts, extract_node, join_on, JoinedPair};
 pub use pca::{Component, EventMatrix, PcaModel, WindowAnomaly};

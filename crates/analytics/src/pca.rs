@@ -47,7 +47,10 @@ impl EventMatrix {
     ///
     /// Panics if `template` is out of range.
     pub fn record(&mut self, epoch: u64, template: usize) {
-        assert!(template < self.templates, "template {template} out of range");
+        assert!(
+            template < self.templates,
+            "template {template} out of range"
+        );
         let start = epoch / self.window_secs * self.window_secs;
         let idx = match self.window_starts.binary_search(&start) {
             Ok(i) => i,
@@ -205,7 +208,11 @@ impl PcaModel {
         let residuals: Vec<f64> = matrix.rows.iter().map(|r| self.residual(r)).collect();
         let n = residuals.len() as f64;
         let mean = residuals.iter().sum::<f64>() / n;
-        let var = residuals.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+        let var = residuals
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
+            / n;
         let cutoff = mean + threshold_sds * var.sqrt();
         let mut out: Vec<WindowAnomaly> = residuals
             .into_iter()
@@ -312,7 +319,10 @@ mod tests {
         let m = matrix_with_anomaly();
         let model = PcaModel::fit(&m, 1);
         let anomalies = model.detect(&m, 3.0);
-        assert!(!anomalies.is_empty(), "the broken-ratio window must be flagged");
+        assert!(
+            !anomalies.is_empty(),
+            "the broken-ratio window must be flagged"
+        );
         assert_eq!(anomalies[0].window, 40);
         assert_eq!(anomalies[0].window_start, 2400);
     }
@@ -336,7 +346,7 @@ mod tests {
     fn residual_is_zero_inside_the_subspace() {
         let m = matrix_with_anomaly();
         let model = PcaModel::fit(&m, 2); // full rank for 2 templates
-        // With as many components as dimensions, residuals vanish.
+                                          // With as many components as dimensions, residuals vanish.
         for w in 0..m.windows() {
             assert!(model.residual(m.row(w)) < 1e-6);
         }

@@ -63,8 +63,7 @@ impl IndexedEngine {
                 // Negative-only set: the index cannot help; scan everything.
                 (0..table.len() as u32).collect()
             } else {
-                let mut lists: Vec<&[u32]> =
-                    positives.iter().map(|t| self.postings(t)).collect();
+                let mut lists: Vec<&[u32]> = positives.iter().map(|t| self.postings(t)).collect();
                 lists.sort_by_key(|l| l.len());
                 let mut acc: Vec<u32> = lists[0].to_vec();
                 for other in &lists[1..] {
@@ -129,8 +128,7 @@ fn verify_line(line: &[u8], positives: &[&str], negatives: &[&str]) -> bool {
         return false;
     };
     let tokens: std::collections::HashSet<&str> = s.split_ascii_whitespace().collect();
-    positives.iter().all(|p| tokens.contains(p))
-        && !negatives.iter().any(|n| tokens.contains(n))
+    positives.iter().all(|p| tokens.contains(p)) && !negatives.iter().any(|n| tokens.contains(n))
 }
 
 fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {

@@ -32,8 +32,6 @@ mod scan;
 mod table;
 
 pub use indexed::{IndexedEngine, IndexedRun};
-pub use measure::{
-    amortized, effective_throughput_gbps, time_query, Measurement, SplunkCostModel,
-};
+pub use measure::{amortized, effective_throughput_gbps, time_query, Measurement, SplunkCostModel};
 pub use scan::{grep_scan, ScanEngine};
 pub use table::{CompressedLogTable, LogTable};

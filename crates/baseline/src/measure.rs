@@ -69,7 +69,8 @@ impl SplunkCostModel {
     /// Modeled (amortized) time for a search that fetched `fetched_bytes`
     /// of events.
     pub fn modeled_time(&self, fetched_bytes: u64) -> Duration {
-        let raw = self.per_query_overhead.as_secs_f64() + fetched_bytes as f64 / self.per_thread_rate;
+        let raw =
+            self.per_query_overhead.as_secs_f64() + fetched_bytes as f64 / self.per_thread_rate;
         Duration::from_secs_f64(raw / self.amortize_threads.max(1) as f64)
     }
 }

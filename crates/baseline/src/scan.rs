@@ -174,10 +174,7 @@ mod tests {
     #[test]
     fn matching_lines_returns_indices() {
         let q = parse("FATAL").unwrap();
-        assert_eq!(
-            ScanEngine::new().matching_lines(&table(), &q),
-            vec![1, 2]
-        );
+        assert_eq!(ScanEngine::new().matching_lines(&table(), &q), vec![1, 2]);
     }
 
     #[test]
@@ -189,6 +186,9 @@ mod tests {
     #[test]
     fn empty_table_zero_matches() {
         let q = parse("x").unwrap();
-        assert_eq!(ScanEngine::new().count_matches(&LogTable::from_text(b""), &q), 0);
+        assert_eq!(
+            ScanEngine::new().count_matches(&LogTable::from_text(b""), &q),
+            0
+        );
     }
 }

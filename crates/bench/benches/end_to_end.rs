@@ -2,8 +2,8 @@
 //! end-to-end query execution (indexed vs forced full scan).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
 use mithrilog::{MithriLog, SystemConfig};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
 
 fn corpus() -> Vec<u8> {
     generate(&DatasetSpec {
@@ -39,13 +39,28 @@ fn bench_query(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(data.len() as u64));
     group.sample_size(10);
     group.bench_function("indexed_selective", |b| {
-        b.iter(|| indexed.query_str("FATAL AND ciod:").expect("query").match_count());
+        b.iter(|| {
+            indexed
+                .query_str("FATAL AND ciod:")
+                .expect("query")
+                .match_count()
+        });
     });
     group.bench_function("indexed_negative_only", |b| {
-        b.iter(|| indexed.query_str("NOT KERNEL").expect("query").match_count());
+        b.iter(|| {
+            indexed
+                .query_str("NOT KERNEL")
+                .expect("query")
+                .match_count()
+        });
     });
     group.bench_function("full_scan", |b| {
-        b.iter(|| fullscan.query_str("FATAL AND ciod:").expect("query").match_count());
+        b.iter(|| {
+            fullscan
+                .query_str("FATAL AND ciod:")
+                .expect("query")
+                .match_count()
+        });
     });
     group.finish();
 }

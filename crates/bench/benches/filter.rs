@@ -20,9 +20,26 @@ fn corpus() -> Vec<u8> {
 /// built from tokens that occur in the corpus.
 fn query_of(sets: usize, terms_per_set: usize) -> Query {
     let vocab = [
-        "kernel:", "sshd", "session", "opened", "root", "pbs_mom:", "terminated", "Accepted",
-        "publickey", "synchronized", "stratum", "DHCPDISCOVER", "eth0", "e1000", "scsi0",
-        "ib_sm.x", "crond(pam_unix)", "user", "from", "port",
+        "kernel:",
+        "sshd",
+        "session",
+        "opened",
+        "root",
+        "pbs_mom:",
+        "terminated",
+        "Accepted",
+        "publickey",
+        "synchronized",
+        "stratum",
+        "DHCPDISCOVER",
+        "eth0",
+        "e1000",
+        "scsi0",
+        "ib_sm.x",
+        "crond(pam_unix)",
+        "user",
+        "from",
+        "port",
     ];
     let sets: Vec<IntersectionSet> = (0..sets)
         .map(|s| {

@@ -17,7 +17,9 @@ fn bench_insert(c: &mut Criterion) {
             let mut ssd = ssd();
             let mut idx = InvertedIndex::new(IndexParams::default());
             for p in 0..10_000u64 {
-                let toks: Vec<String> = (0..8).map(|t| format!("tok-{}", (p * 7 + t) % 500)).collect();
+                let toks: Vec<String> = (0..8)
+                    .map(|t| format!("tok-{}", (p * 7 + t) % 500))
+                    .collect();
                 idx.insert_page_tokens(&mut ssd, PageId(p), toks.iter().map(|s| s.as_bytes()))
                     .expect("insert");
             }
@@ -31,7 +33,9 @@ fn bench_lookup(c: &mut Criterion) {
     let mut ssd = ssd();
     let mut idx = InvertedIndex::new(IndexParams::default());
     for p in 0..50_000u64 {
-        let toks: Vec<String> = (0..4).map(|t| format!("tok-{}", (p * 3 + t) % 1000)).collect();
+        let toks: Vec<String> = (0..4)
+            .map(|t| format!("tok-{}", (p * 3 + t) % 1000))
+            .collect();
         idx.insert_page_tokens(&mut ssd, PageId(p), toks.iter().map(|s| s.as_bytes()))
             .expect("insert");
     }

@@ -41,9 +41,7 @@ fn main() {
         let mut cuckoo_ok = 0;
         let mut single_ok = 0;
         for trial in 0..TRIALS {
-            let tokens: Vec<String> = (0..n)
-                .map(|i| format!("trial{trial}-token{i}"))
-                .collect();
+            let tokens: Vec<String> = (0..n).map(|i| format!("trial{trial}-token{i}")).collect();
             cuckoo_ok += usize::from(cuckoo_succeeds(&tokens, ROWS));
             single_ok += usize::from(single_hash_succeeds(&tokens, ROWS));
         }

@@ -8,7 +8,10 @@ use mithrilog_compress::{Codec, Lzah, LzahConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
-    println!("Ablation — LZAH newline realignment on/off (scale {} MB)", args.scale_mb);
+    println!(
+        "Ablation — LZAH newline realignment on/off (scale {} MB)",
+        args.scale_mb
+    );
 
     let with = Lzah::new(LzahConfig::default());
     let without = Lzah::new(LzahConfig {

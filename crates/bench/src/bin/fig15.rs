@@ -3,10 +3,10 @@
 //! (§7.4.2). The scan engine's distribution shifts left as combinations
 //! grow; MithriLog sits in a single high bucket regardless of query.
 
+use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_baseline::{effective_throughput_gbps, time_query, LogTable, ScanEngine};
 use mithrilog_bench::{ascii_histogram, datasets, query_bank, HarnessArgs};
 use mithrilog_query::Query;
-use mithrilog::{MithriLog, SystemConfig};
 
 fn throughputs(engine: &ScanEngine, table: &LogTable, queries: &[Query], bytes: u64) -> Vec<f64> {
     queries
@@ -42,7 +42,10 @@ fn main() {
             let tp = throughputs(&engine, &table, queries, bytes);
             ascii_histogram(&format!("ScanEngine, {label} (n={})", tp.len()), &tp);
             let accel_series = vec![accel; queries.len()];
-            ascii_histogram(&format!("MithriLog,  {label} (n={})", queries.len()), &accel_series);
+            ascii_histogram(
+                &format!("MithriLog,  {label} (n={})", queries.len()),
+                &accel_series,
+            );
         }
     }
     println!(

@@ -4,9 +4,9 @@
 //! out (sub-second cluster, slow left-edge cluster of negative-heavy
 //! queries).
 
+use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_baseline::{IndexedEngine, LogTable, SplunkCostModel};
 use mithrilog_bench::{datasets, query_bank, HarnessArgs};
-use mithrilog::{MithriLog, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse();

@@ -6,7 +6,10 @@ use mithrilog_ftree::TemplateLibrary;
 
 fn main() {
     let args = HarnessArgs::parse();
-    println!("Table 1 — datasets (scale {} MB each, seed {})", args.scale_mb, args.seed);
+    println!(
+        "Table 1 — datasets (scale {} MB each, seed {})",
+        args.scale_mb, args.seed
+    );
     println!("Paper values (full HPC4): lines 4.7M/265.5M/272.2M/211.2M, sizes 0.7/30/38/30 GB, templates 93/197/241/125");
 
     let rows: Vec<Vec<String>> = datasets(&args)

@@ -6,7 +6,10 @@ use mithrilog_compress::{Codec, Gzf, Lz4, Lzah, Lzrw1, Snappy};
 
 fn main() {
     let args = HarnessArgs::parse();
-    println!("Table 5 — compression ratios (scale {} MB/dataset, seed {})", args.scale_mb, args.seed);
+    println!(
+        "Table 5 — compression ratios (scale {} MB/dataset, seed {})",
+        args.scale_mb, args.seed
+    );
     println!("Paper: LZAH 2.63/3.85/6.60/7.35, LZRW1 4.39/5.79/6.00/3.89, LZ4 5.95/27.27/27.14/9.68, Gzip 11.82/47.93/45.04/15.79");
 
     let sets = datasets(&args);

@@ -9,10 +9,10 @@
 //! statistics — the paper's own observation is that it is constant
 //! regardless of query content.
 
+use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_baseline::{effective_throughput_gbps, time_query, LogTable, ScanEngine};
 use mithrilog_bench::{datasets, f2, print_table, query_bank, HarnessArgs};
 use mithrilog_query::Query;
-use mithrilog::{MithriLog, SystemConfig};
 
 fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

@@ -17,9 +17,9 @@
 
 use std::time::Duration;
 
+use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_baseline::{IndexedEngine, LogTable, SplunkCostModel};
 use mithrilog_bench::{datasets, f2, print_table, query_bank, HarnessArgs};
-use mithrilog::{MithriLog, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse();

@@ -121,7 +121,9 @@ pub fn scrub(args: &[String]) -> CliResult {
 
 /// `mithrilog tag <logfile> [-n <k>]`
 pub fn tag(args: &[String]) -> CliResult {
-    let path = args.first().ok_or("usage: mithrilog tag <logfile> [-n <k>]")?;
+    let path = args
+        .first()
+        .ok_or("usage: mithrilog tag <logfile> [-n <k>]")?;
     let k = parse_flag(args, "-n")?.unwrap_or(8);
     let text = read_log(path)?;
     let library = TemplateLibrary::extract(&text, &default_ftree());
@@ -132,7 +134,11 @@ pub fn tag(args: &[String]) -> CliResult {
     let joined = library.joined_query(&ids);
     let pipeline = FilterPipeline::compile(&joined)?;
     let counts = TemplateCounts::scan(&pipeline, &text);
-    println!("traffic by template ({} of {} templates tagged):", ids.len(), library.len());
+    println!(
+        "traffic by template ({} of {} templates tagged):",
+        ids.len(),
+        library.len()
+    );
     for (set, n) in counts.ranking() {
         let t = &library.templates()[ids[set]];
         println!(
@@ -161,10 +167,7 @@ pub fn stats(args: &[String]) -> CliResult {
     println!("raw bytes:           {}", system.raw_bytes());
     println!("data pages:          {}", system.data_page_count());
     println!("paged LZAH ratio:    {:.2}x", system.compression_ratio());
-    println!(
-        "whole-file LZAH:     {:.2}x",
-        Lzah::default().ratio(&text)
-    );
+    println!("whole-file LZAH:     {:.2}x", Lzah::default().ratio(&text));
     println!("tokens:              {}", stats.tokens());
     println!("mean token length:   {:.1} B", stats.mean_token_len());
     println!("datapath useful:     {:.1}%", stats.useful_ratio() * 100.0);
@@ -212,7 +215,9 @@ pub fn spikes(args: &[String]) -> CliResult {
 /// `mithrilog gen <profile> <mb> <out>`
 pub fn gen(args: &[String]) -> CliResult {
     let [profile, mb, out] = args else {
-        return Err("usage: mithrilog gen <bgl2|liberty2|spirit2|thunderbird> <mb> <outfile>".into());
+        return Err(
+            "usage: mithrilog gen <bgl2|liberty2|spirit2|thunderbird> <mb> <outfile>".into(),
+        );
     };
     let profile = match profile.to_ascii_lowercase().as_str() {
         "bgl2" => DatasetProfile::Bgl2,
@@ -237,7 +242,10 @@ pub fn gen(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn split_path_query<'a>(args: &'a [String], cmd: &str) -> Result<(&'a str, String), Box<dyn Error>> {
+fn split_path_query<'a>(
+    args: &'a [String],
+    cmd: &str,
+) -> Result<(&'a str, String), Box<dyn Error>> {
     let (path, rest) = args
         .split_first()
         .ok_or_else(|| format!("usage: mithrilog {cmd} <logfile> <query...>"))?;
@@ -252,7 +260,9 @@ fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, Box<dyn Erro
         let v = args
             .get(pos + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
-        return Ok(Some(v.parse().map_err(|_| format!("{flag} needs an integer"))?));
+        return Ok(Some(
+            v.parse().map_err(|_| format!("{flag} needs an integer"))?,
+        ));
     }
     Ok(None)
 }
@@ -262,7 +272,9 @@ fn parse_f64_flag(args: &[String], flag: &str) -> Result<Option<f64>, Box<dyn Er
         let v = args
             .get(pos + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
-        return Ok(Some(v.parse().map_err(|_| format!("{flag} needs a number"))?));
+        return Ok(Some(
+            v.parse().map_err(|_| format!("{flag} needs a number"))?,
+        ));
     }
     Ok(None)
 }

@@ -59,7 +59,9 @@ mod tests {
 
     #[test]
     fn messages_mention_positions() {
-        assert!(DecompressError::Truncated { at: 10 }.to_string().contains("10"));
+        assert!(DecompressError::Truncated { at: 10 }
+            .to_string()
+            .contains("10"));
         assert!(DecompressError::LengthMismatch {
             expected: 5,
             got: 3

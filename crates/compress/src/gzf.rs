@@ -31,19 +31,69 @@ const EOB: usize = 256;
 
 /// DEFLATE length code table: (base length, extra bits) for codes 257..=285.
 const LENGTH_TABLE: [(u16, u8); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1), (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3), (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5), (258, 0),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
 ];
 
 /// DEFLATE distance code table: (base distance, extra bits) for codes 0..=29.
 const DIST_TABLE: [(u16, u8); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (7, 1), (9, 2), (13, 2),
-    (17, 3), (25, 3), (33, 4), (49, 4), (65, 5), (97, 5), (129, 6), (193, 6),
-    (257, 7), (385, 7), (513, 8), (769, 8), (1025, 9), (1537, 9),
-    (2049, 10), (3073, 10), (4097, 11), (6145, 11), (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 fn length_code(len: usize) -> (usize, u16, u8) {
@@ -247,8 +297,7 @@ impl Codec for Gzf {
                 reason: "unsupported version",
             });
         }
-        let original_len =
-            u64::from_le_bytes(input[5..13].try_into().expect("8 bytes")) as usize;
+        let original_len = u64::from_le_bytes(input[5..13].try_into().expect("8 bytes")) as usize;
         // Never trust a header length for allocation: a corrupt frame could
         // declare terabytes. Cap the pre-allocation; the vector still grows
         // to any legitimate size on demand.
@@ -273,9 +322,8 @@ impl Codec for Gzf {
             let lit_dec = Decoder::from_lengths(&lengths[..NUM_LITLEN]);
             let dist_dec = Decoder::from_lengths(&lengths[NUM_LITLEN..]);
 
-            let payload_len = u32::from_le_bytes(
-                input[pos..pos + 4].try_into().expect("4 bytes"),
-            ) as usize;
+            let payload_len =
+                u32::from_le_bytes(input[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             pos += 4;
             if pos + payload_len > input.len() {
                 return Err(DecompressError::Truncated { at: pos });
@@ -335,7 +383,12 @@ mod tests {
     fn roundtrip(input: &[u8]) {
         let codec = Gzf::new();
         let packed = codec.compress(input);
-        assert_eq!(codec.decompress(&packed).unwrap(), input, "len {}", input.len());
+        assert_eq!(
+            codec.decompress(&packed).unwrap(),
+            input,
+            "len {}",
+            input.len()
+        );
     }
 
     #[test]

@@ -293,7 +293,10 @@ mod tests {
             .filter(|&&l| l > 0)
             .map(|&l| 2f64.powi(-(l as i32)))
             .sum();
-        assert!(kraft <= 1.0 + 1e-12, "kraft {kraft} violates prefix-freeness");
+        assert!(
+            kraft <= 1.0 + 1e-12,
+            "kraft {kraft} violates prefix-freeness"
+        );
     }
 
     #[test]

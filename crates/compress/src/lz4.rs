@@ -122,8 +122,7 @@ impl Codec for Lz4 {
                 reason: "unsupported version",
             });
         }
-        let original_len =
-            u64::from_le_bytes(input[5..13].try_into().expect("8 bytes")) as usize;
+        let original_len = u64::from_le_bytes(input[5..13].try_into().expect("8 bytes")) as usize;
         // Never trust a header length for allocation: a corrupt frame could
         // declare terabytes. Cap the pre-allocation; the vector still grows
         // to any legitimate size on demand.
@@ -228,7 +227,11 @@ mod tests {
         let data = vec![b'z'; 100_000];
         let codec = Lz4::new();
         let packed = codec.compress(&data);
-        assert!(packed.len() < 500, "run-length case: {} bytes", packed.len());
+        assert!(
+            packed.len() < 500,
+            "run-length case: {} bytes",
+            packed.len()
+        );
         assert_eq!(codec.decompress(&packed).unwrap(), data);
     }
 

@@ -430,7 +430,9 @@ impl Codec for Lzah {
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, DecompressError> {
         let mut out = Vec::new();
-        self.decode(input, |word, advance| out.extend_from_slice(&word[..advance]))?;
+        self.decode(input, |word, advance| {
+            out.extend_from_slice(&word[..advance])
+        })?;
         Ok(out)
     }
 }
@@ -444,7 +446,12 @@ mod tests {
         let codec = Lzah::default();
         let packed = codec.compress(input);
         let unpacked = codec.decompress(&packed).expect("decompress");
-        assert_eq!(unpacked, input, "round trip failed for {} bytes", input.len());
+        assert_eq!(
+            unpacked,
+            input,
+            "round trip failed for {} bytes",
+            input.len()
+        );
     }
 
     #[test]
@@ -468,13 +475,21 @@ mod tests {
         let packed = codec.compress(&corpus);
         assert_eq!(codec.decompress(&packed).unwrap(), corpus);
         let ratio = corpus.len() as f64 / packed.len() as f64;
-        assert!(ratio > 2.0, "log-like data should compress >2x, got {ratio:.2}");
+        assert!(
+            ratio > 2.0,
+            "log-like data should compress >2x, got {ratio:.2}"
+        );
     }
 
     #[test]
     fn repeated_identical_lines_compress_hard() {
         let line = b"2005.06.03 R02-M1-N0 RAS KERNEL INFO cache parity error\n";
-        let corpus: Vec<u8> = line.iter().copied().cycle().take(line.len() * 200).collect();
+        let corpus: Vec<u8> = line
+            .iter()
+            .copied()
+            .cycle()
+            .take(line.len() * 200)
+            .collect();
         let codec = Lzah::default();
         let ratio = codec.ratio(&corpus);
         // Every window after the first line hits the table: ratio near
@@ -635,7 +650,13 @@ mod tests {
     fn multi_chunk_streams_round_trip() {
         // >128 pairs forces multiple chunks.
         let corpus: Vec<u8> = (0..3000)
-            .map(|i| if i % 47 == 0 { b'\n' } else { b'a' + (i % 23) as u8 })
+            .map(|i| {
+                if i % 47 == 0 {
+                    b'\n'
+                } else {
+                    b'a' + (i % 23) as u8
+                }
+            })
             .collect();
         roundtrip(&corpus);
     }

@@ -129,8 +129,7 @@ impl Codec for Lzrw1 {
                 reason: "unsupported version",
             });
         }
-        let original_len =
-            u64::from_le_bytes(input[5..13].try_into().expect("8 bytes")) as usize;
+        let original_len = u64::from_le_bytes(input[5..13].try_into().expect("8 bytes")) as usize;
         // Never trust a header length for allocation: a corrupt frame could
         // declare terabytes. Cap the pre-allocation; the vector still grows
         // to any legitimate size on demand.
@@ -219,7 +218,11 @@ mod tests {
         let codec = Lzrw1::new();
         let packed = codec.compress(&data);
         // 1000 bytes at max match length 18 → ~56 copy items ≈ 130 bytes.
-        assert!(packed.len() < 200, "run should compress hard: {}", packed.len());
+        assert!(
+            packed.len() < 200,
+            "run should compress hard: {}",
+            packed.len()
+        );
     }
 
     #[test]
@@ -242,7 +245,9 @@ mod tests {
         let mut x: u64 = 99;
         let data: Vec<u8> = (0..8192)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 56) as u8
             })
             .collect();

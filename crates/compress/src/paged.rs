@@ -279,12 +279,7 @@ mod tests {
 
     #[test]
     fn paged_ratio_close_to_unpaged() {
-        let corpus: Vec<u8> = log_corpus()
-            .iter()
-            .copied()
-            .cycle()
-            .take(200_000)
-            .collect();
+        let corpus: Vec<u8> = log_corpus().iter().copied().cycle().take(200_000).collect();
         let unpaged = Lzah::default().ratio(&corpus);
         let paged = compress_paged(&corpus, LzahConfig::default(), 4096).ratio();
         // Per-page table resets cost some ratio, but not a collapse.

@@ -94,7 +94,11 @@ fn emit_copy(out: &mut Vec<u8>, mut len: usize, offset: usize) {
         // remainder would be illegal for tag-1: tag-2 handles 1..=64, so a
         // remainder of any size is fine; just never emit n < 4 unless it is
         // the whole remainder.
-        let n = if len - n != 0 && len - n < 4 { len - 4 } else { n };
+        let n = if len - n != 0 && len - n < 4 {
+            len - 4
+        } else {
+            n
+        };
         out.push(0b10 | (((n - 1) as u8) << 2));
         out.push((offset & 0xFF) as u8);
         out.push((offset >> 8) as u8);
@@ -218,9 +222,9 @@ impl Codec for Snappy {
                         return Err(DecompressError::Truncated { at: pos });
                     }
                     let len = ((tag >> 2) as usize) + 1;
-                    let offset = u32::from_le_bytes(
-                        input[pos..pos + 4].try_into().expect("4 bytes"),
-                    ) as usize;
+                    let offset =
+                        u32::from_le_bytes(input[pos..pos + 4].try_into().expect("4 bytes"))
+                            as usize;
                     pos += 4;
                     copy_back(&mut out, offset, len)?;
                 }

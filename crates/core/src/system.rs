@@ -374,11 +374,8 @@ impl<S: PageStore> MithriLog<S> {
             pages.retain(|p| lo.is_none_or(|l| *p >= l) && hi.is_none_or(|h| *p < h));
         }
 
-        let pipeline = FilterPipeline::compile_with(
-            query,
-            self.config.filter,
-            self.config.tokenizer.clone(),
-        );
+        let pipeline =
+            FilterPipeline::compile_with(query, self.config.filter, self.config.tokenizer.clone());
         let offloaded = pipeline.is_ok();
 
         let codec = Lzah::new(self.config.lzah);
@@ -692,11 +689,19 @@ RAS KERNEL INFO generating core.2275\n";
     fn time_range_query_clips_to_snapshot_windows() {
         let mut s = MithriLog::new(SystemConfig::for_tests());
         // "Day 1": only INFO lines; snapshot; "day 2": only FATAL lines.
-        s.ingest("RAS KERNEL INFO cache parity error corrected\n".repeat(200).as_bytes())
-            .unwrap();
+        s.ingest(
+            "RAS KERNEL INFO cache parity error corrected\n"
+                .repeat(200)
+                .as_bytes(),
+        )
+        .unwrap();
         s.snapshot_at(100).unwrap();
-        s.ingest("RAS KERNEL FATAL data storage interrupt\n".repeat(200).as_bytes())
-            .unwrap();
+        s.ingest(
+            "RAS KERNEL FATAL data storage interrupt\n"
+                .repeat(200)
+                .as_bytes(),
+        )
+        .unwrap();
         s.snapshot_at(200).unwrap();
 
         let q = parse("RAS").unwrap();
@@ -755,7 +760,10 @@ RAS KERNEL INFO generating core.2275\n";
     fn corrupt_data_page_is_skipped_and_reported() {
         let mut s = system_with(&LOG.repeat(100));
         let pages = s.data_pages().to_vec();
-        assert!(pages.len() >= 2, "need several pages for a meaningful drill");
+        assert!(
+            pages.len() >= 2,
+            "need several pages for a meaningful drill"
+        );
         let victim = pages[0];
         // Smash the page behind the controller's back: checksum stays stale.
         s.device_mut()

@@ -269,8 +269,16 @@ mod tests {
         let q = parse("(B AND C AND NOT A) OR (F AND G AND NOT D AND NOT E)").unwrap();
         let cq = CompiledQuery::compile(&q, FilterParams::default()).unwrap();
         let lines = [
-            "B C", "A B C", "F G", "F G E", "A F G", "B", "C F", "A B C F G",
-            "D F G", "B C D E F G",
+            "B C",
+            "A B C",
+            "F G",
+            "F G E",
+            "A F G",
+            "B",
+            "C F",
+            "A B C F G",
+            "D F G",
+            "B C D E F G",
         ];
         for line in lines {
             assert_eq!(
@@ -285,7 +293,7 @@ mod tests {
     fn zero_set_query_rejects_everything() {
         use mithrilog_query::{IntersectionSet, Term};
         let q = Query::try_new(vec![
-            IntersectionSet::of_tokens(["x"]).with(Term::negative("x")),
+            IntersectionSet::of_tokens(["x"]).with(Term::negative("x"))
         ])
         .unwrap();
         let cq = CompiledQuery::compile(&q, FilterParams::default()).unwrap();

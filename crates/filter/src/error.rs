@@ -49,22 +49,28 @@ impl fmt::Display for QueryCompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryCompileError::TooManySets { got, max } => {
-                write!(f, "query has {got} intersection sets but the filter supports {max}")
+                write!(
+                    f,
+                    "query has {got} intersection sets but the filter supports {max}"
+                )
             }
             QueryCompileError::TooManyTokens { got, max } => {
-                write!(f, "query has {got} distinct tokens but the filter supports {max}")
+                write!(
+                    f,
+                    "query has {got} distinct tokens but the filter supports {max}"
+                )
             }
             QueryCompileError::PlacementFailed { token } => {
                 write!(f, "cuckoo placement failed while inserting token {token:?}")
             }
             QueryCompileError::TokenTooLong { token, max_bytes } => {
-                write!(f, "token {token:?} exceeds the maximum of {max_bytes} bytes")
-            }
-            QueryCompileError::ColumnConflict { token } => {
                 write!(
                     f,
-                    "token {token:?} is constrained to two different columns"
+                    "token {token:?} exceeds the maximum of {max_bytes} bytes"
                 )
+            }
+            QueryCompileError::ColumnConflict { token } => {
+                write!(f, "token {token:?} is constrained to two different columns")
             }
         }
     }

@@ -137,8 +137,7 @@ mod tests {
     #[test]
     fn single_byte_tokens_spread() {
         let h = TokenHasher::new(256);
-        let rows: std::collections::HashSet<usize> =
-            (0u8..=255).map(|b| h.h1(&[b])).collect();
+        let rows: std::collections::HashSet<usize> = (0u8..=255).map(|b| h.h1(&[b])).collect();
         assert!(rows.len() > 150, "only {} distinct rows", rows.len());
     }
 

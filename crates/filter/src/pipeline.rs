@@ -73,9 +73,7 @@ impl FilterPipeline {
     /// Evaluates a single line.
     pub fn matches_line(&self, line: &[u8]) -> bool {
         let mut filter = HashFilter::new(&self.compiled);
-        filter
-            .evaluate_line(self.tokenizer.tokens(line))
-            .keep
+        filter.evaluate_line(self.tokenizer.tokens(line)).keep
     }
 
     /// Filters a text buffer, yielding the kept lines in order.

@@ -401,8 +401,12 @@ mod tests {
         // prototype over-provisions for exactly this reason.
         let mut t = CuckooTable::new(256, 16);
         for i in 0..128 {
-            t.insert(format!("token-number-{i}").as_bytes(), (i % 8) as usize, i % 3 == 0)
-                .unwrap();
+            t.insert(
+                format!("token-number-{i}").as_bytes(),
+                (i % 8) as usize,
+                i % 3 == 0,
+            )
+            .unwrap();
         }
         assert_eq!(t.occupied(), 128);
         assert!((t.load() - 0.5).abs() < 1e-9);

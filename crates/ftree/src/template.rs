@@ -37,8 +37,7 @@ impl Template {
 
     /// Translates the template into a single-intersection-set query.
     pub fn to_query(&self) -> Query {
-        Query::try_new(vec![self.to_intersection_set()])
-            .expect("template has at least one token")
+        Query::try_new(vec![self.to_intersection_set()]).expect("template has at least one token")
     }
 
     /// The template as one intersection set, for joining multiple templates
@@ -206,7 +205,9 @@ mod tests {
             .iter()
             .find(|t| t.tokens().iter().any(|x| x == "corrected"))
             .expect("INFO template");
-        assert!(info.matches_line("RAS KERNEL INFO instruction cache parity error corrected seq-99"));
+        assert!(
+            info.matches_line("RAS KERNEL INFO instruction cache parity error corrected seq-99")
+        );
         assert!(!info.matches_line("RAS KERNEL FATAL data storage interrupt at-7"));
     }
 

@@ -199,9 +199,7 @@ impl InvertedIndex {
         node[..8].copy_from_slice(&NodeAddr::raw_or_none(self.entries[idx].head).to_le_bytes());
         node[8..16].copy_from_slice(&(leaves.len() as u64).to_le_bytes());
         for (i, slot) in node[16..].chunks_mut(8).enumerate() {
-            let v = leaves
-                .get(i)
-                .map_or(u64::MAX, |a| a.to_raw());
+            let v = leaves.get(i).map_or(u64::MAX, |a| a.to_raw());
             slot.copy_from_slice(&v.to_le_bytes());
         }
         let root = self.root_pool.alloc(ssd, &node)?;
@@ -391,7 +389,12 @@ mod tests {
         // (Collisions could make this non-empty; with one insertion and 256
         // entries the probability is ~1/128, and the hash is deterministic,
         // so this specific pair is stable.)
-        assert!(idx.lookup(&mut ssd, b"definitely-absent-token").unwrap().len() <= 1);
+        assert!(
+            idx.lookup(&mut ssd, b"definitely-absent-token")
+                .unwrap()
+                .len()
+                <= 1
+        );
     }
 
     #[test]
@@ -411,10 +414,7 @@ mod tests {
             let got = idx.lookup(&mut ssd, token.as_bytes()).unwrap();
             for p in 0..200u64 {
                 if p % 50 == t {
-                    assert!(
-                        got.contains(&PageId(p)),
-                        "page {p} lost for token {token}"
-                    );
+                    assert!(got.contains(&PageId(p)), "page {p} lost for token {token}");
                 }
             }
         }

@@ -79,7 +79,12 @@ impl ValuePools {
         }
     }
 
-    fn get(&mut self, kind: &'static str, rng: &mut StdRng, fresh: impl Fn(&mut StdRng) -> String) -> String {
+    fn get(
+        &mut self,
+        kind: &'static str,
+        rng: &mut StdRng,
+        fresh: impl Fn(&mut StdRng) -> String,
+    ) -> String {
         let reuse = self.reuse;
         let pool_size = self.pool_size;
         let pool = self.pools.entry(kind).or_default();
@@ -111,7 +116,9 @@ pub fn generate(spec: &DatasetSpec) -> Dataset {
     let red = profile.redundancy();
 
     // Fixed node pool for the whole dataset.
-    let nodes: Vec<String> = (0..red.node_pool).map(|_| profile.node_name(&mut rng)).collect();
+    let nodes: Vec<String> = (0..red.node_pool)
+        .map(|_| profile.node_name(&mut rng))
+        .collect();
     let mut pools = ValuePools::new(red.value_reuse, red.value_pool);
 
     let mut text = Vec::with_capacity(spec.target_bytes + 256);
@@ -194,9 +201,13 @@ fn fill_one(
 ) -> String {
     match field {
         "NUM" => pools.get("NUM", rng, |r| format!("{:05}", r.gen_range(0..100_000u32))),
-        "PID" => pools.get("PID", rng, |r| format!("{:05}", r.gen_range(100..32_768u32))),
+        "PID" => pools.get("PID", rng, |r| {
+            format!("{:05}", r.gen_range(100..32_768u32))
+        }),
         "PORT" => pools.get("PORT", rng, |r| r.gen_range(1024..65_535u32).to_string()),
-        "JOB" => pools.get("JOB", rng, |r| format!("{:06}", r.gen_range(1000..999_999u32))),
+        "JOB" => pools.get("JOB", rng, |r| {
+            format!("{:06}", r.gen_range(1000..999_999u32))
+        }),
         "HEX" => pools.get("HEX", rng, |r| format!("{:08x}", r.gen::<u32>())),
         "HEX2" => pools.get("HEX2", rng, |r| format!("{:02x}", r.gen::<u8>())),
         "IP" => pools.get("IP", rng, |r| {
@@ -310,7 +321,10 @@ mod tests {
     #[test]
     fn line_shapes_match_profiles() {
         let bgl = generate(&spec(DatasetProfile::Bgl2));
-        assert!(std::str::from_utf8(bgl.text()).unwrap().lines().all(|l| l.contains(" RAS ")));
+        assert!(std::str::from_utf8(bgl.text())
+            .unwrap()
+            .lines()
+            .all(|l| l.contains(" RAS ")));
         let tb = generate(&spec(DatasetProfile::Thunderbird));
         assert!(std::str::from_utf8(tb.text())
             .unwrap()
@@ -354,7 +368,11 @@ mod tests {
             .map(|l| l.split_ascii_whitespace().nth(3).unwrap())
             .collect();
         let distinct: std::collections::HashSet<&&str> = nodes.iter().collect();
-        assert!(distinct.len() <= 48, "node pool bounded: {}", distinct.len());
+        assert!(
+            distinct.len() <= 48,
+            "node pool bounded: {}",
+            distinct.len()
+        );
         // Bursts: a decent share of consecutive lines shares the node.
         let same = nodes.windows(2).filter(|w| w[0] == w[1]).count();
         assert!(

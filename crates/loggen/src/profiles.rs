@@ -44,10 +44,10 @@ impl DatasetProfile {
     /// Starting Unix epoch for timestamps (matches each log's real era).
     pub(crate) fn start_epoch(&self) -> u64 {
         match self {
-            DatasetProfile::Bgl2 => 1_117_838_570,          // June 2005
-            DatasetProfile::Liberty2 => 1_102_061_216,      // Dec 2004
-            DatasetProfile::Spirit2 => 1_104_566_461,       // Jan 2005
-            DatasetProfile::Thunderbird => 1_131_566_461,   // Nov 2005
+            DatasetProfile::Bgl2 => 1_117_838_570,        // June 2005
+            DatasetProfile::Liberty2 => 1_102_061_216,    // Dec 2004
+            DatasetProfile::Spirit2 => 1_104_566_461,     // Jan 2005
+            DatasetProfile::Thunderbird => 1_131_566_461, // Nov 2005
         }
     }
 
@@ -286,49 +286,115 @@ static LIBERTY_MESSAGES: &[(u32, &str)] = &[
 
 /// Spirit syslog messages, after the public Spirit template set.
 static SPIRIT_MESSAGES: &[(u32, &str)] = &[
-    (2400, "kernel: hda: drive_cmd: status=0x51 { DriveReady SeekComplete Error }"),
-    (2300, "kernel: hda: drive_cmd: error=0x04 { AbortedCommand }"),
-    (450, "crond(pam_unix)[%PID%]: session opened for user root by (uid=0)"),
+    (
+        2400,
+        "kernel: hda: drive_cmd: status=0x51 { DriveReady SeekComplete Error }",
+    ),
+    (
+        2300,
+        "kernel: hda: drive_cmd: error=0x04 { AbortedCommand }",
+    ),
+    (
+        450,
+        "crond(pam_unix)[%PID%]: session opened for user root by (uid=0)",
+    ),
     (440, "crond(pam_unix)[%PID%]: session closed for user root"),
-    (300, "sshd[%PID%]: Accepted publickey for %USER% from %IP% port %PORT% ssh2"),
-    (130, "sshd[%PID%]: Failed password for illegal user %USER% from %IP% port %PORT% ssh2"),
-    (280, "pbs_mom: scan_for_exiting, job %JOB%.sadmin1 task %NUM% terminated"),
-    (240, "pbs_mom: im_eof, Premature end of message from addr %IP%:%PORT%"),
-    (100, "pbs_mom: sister could not communicate with job %JOB%.sadmin1"),
-    (90, "pbs_mom: kill_task, kill task %NUM% gracefully with sig %NUM%"),
-    (200, "kernel: nfs: server sadmin2 not responding, still trying"),
+    (
+        300,
+        "sshd[%PID%]: Accepted publickey for %USER% from %IP% port %PORT% ssh2",
+    ),
+    (
+        130,
+        "sshd[%PID%]: Failed password for illegal user %USER% from %IP% port %PORT% ssh2",
+    ),
+    (
+        280,
+        "pbs_mom: scan_for_exiting, job %JOB%.sadmin1 task %NUM% terminated",
+    ),
+    (
+        240,
+        "pbs_mom: im_eof, Premature end of message from addr %IP%:%PORT%",
+    ),
+    (
+        100,
+        "pbs_mom: sister could not communicate with job %JOB%.sadmin1",
+    ),
+    (
+        90,
+        "pbs_mom: kill_task, kill task %NUM% gracefully with sig %NUM%",
+    ),
+    (
+        200,
+        "kernel: nfs: server sadmin2 not responding, still trying",
+    ),
     (190, "kernel: nfs: server sadmin2 OK"),
     (150, "ntpd[%PID%]: synchronized to %IP%, stratum %NUM%"),
     (120, "kernel: ip_tables: (C) 2000-2002 Netfilter core team"),
     (110, "syslogd 1.4.1: restart."),
     (80, "kernel: VFS: busy inodes on changed media."),
     (70, "automount[%PID%]: expired /misc/%FILE%"),
-    (60, "kernel: CSLIP: code copyright 1989 Regents of the University of California"),
+    (
+        60,
+        "kernel: CSLIP: code copyright 1989 Regents of the University of California",
+    ),
     (50, "xinetd[%PID%]: START: auth pid=%PID% from=%IP%"),
     (40, "kernel: martian source %IP% from %IP%, on dev eth%NUM%"),
 ];
 
 /// Thunderbird syslog messages, after the public Thunderbird template set.
 static TBIRD_MESSAGES: &[(u32, &str)] = &[
-    (2600, "ib_sm.x[24583]: [ib_sm_sweep.c:826]: No topology change"),
-    (900, "kernel: e1000: eth0: e1000_clean_tx_irq: Detected Tx Unit Hang"),
-    (450, "crond(pam_unix)[%PID%]: session opened for user root by (uid=0)"),
+    (
+        2600,
+        "ib_sm.x[24583]: [ib_sm_sweep.c:826]: No topology change",
+    ),
+    (
+        900,
+        "kernel: e1000: eth0: e1000_clean_tx_irq: Detected Tx Unit Hang",
+    ),
+    (
+        450,
+        "crond(pam_unix)[%PID%]: session opened for user root by (uid=0)",
+    ),
     (440, "crond(pam_unix)[%PID%]: session closed for user root"),
-    (380, "sshd[%PID%]: Accepted publickey for %USER% from %IP% port %PORT% ssh2"),
-    (150, "sshd[%PID%]: Failed password for %USER% from %IP% port %PORT% ssh2"),
-    (320, "pbs_mom: scan_for_exiting, job %JOB%.tbird-sched task %NUM% terminated"),
-    (280, "pbs_mom: im_eof, Premature end of message from addr %IP%:%PORT%"),
-    (120, "pbs_mom: task_check, cannot tm_reply to %JOB%.tbird-sched task %NUM%"),
+    (
+        380,
+        "sshd[%PID%]: Accepted publickey for %USER% from %IP% port %PORT% ssh2",
+    ),
+    (
+        150,
+        "sshd[%PID%]: Failed password for %USER% from %IP% port %PORT% ssh2",
+    ),
+    (
+        320,
+        "pbs_mom: scan_for_exiting, job %JOB%.tbird-sched task %NUM% terminated",
+    ),
+    (
+        280,
+        "pbs_mom: im_eof, Premature end of message from addr %IP%:%PORT%",
+    ),
+    (
+        120,
+        "pbs_mom: task_check, cannot tm_reply to %JOB%.tbird-sched task %NUM%",
+    ),
     (260, "kernel: scsi0 (0:0): rejecting I/O to offline device"),
-    (220, "kernel: mptscsih: ioc0: attempting task abort! (sc=%HEX%)"),
+    (
+        220,
+        "kernel: mptscsih: ioc0: attempting task abort! (sc=%HEX%)",
+    ),
     (200, "ntpd[%PID%]: synchronized to %IP%, stratum %NUM%"),
     (180, "dhcpd: DHCPDISCOVER from %MAC% via eth%NUM%"),
     (170, "dhcpd: DHCPOFFER on %IP% to %MAC% via eth%NUM%"),
     (140, "kernel: ACPI: Processor [CPU%NUM%] (supports C1)"),
     (100, "gmond[%PID%]: Error 5 sending message to %IP%"),
-    (90, "kernel: Losing some ticks... checking if CPU frequency changed."),
+    (
+        90,
+        "kernel: Losing some ticks... checking if CPU frequency changed.",
+    ),
     (70, "in.tftpd[%PID%]: tftp: client does not accept options"),
-    (60, "kernel: EXT2-fs warning: checktime reached, running e2fsck is recommended"),
+    (
+        60,
+        "kernel: EXT2-fs warning: checktime reached, running e2fsck is recommended",
+    ),
     (50, "postfix/smtpd[%PID%]: connect from unknown[%IP%]"),
 ];
 
@@ -366,7 +432,12 @@ mod tests {
 
     #[test]
     fn format_line_shapes() {
-        let line = DatasetProfile::Bgl2.format_line(1_117_838_570, 0, "R02-M1-N0-C:J12-U11", "KERNEL INFO x");
+        let line = DatasetProfile::Bgl2.format_line(
+            1_117_838_570,
+            0,
+            "R02-M1-N0-C:J12-U11",
+            "KERNEL INFO x",
+        );
         assert!(line.starts_with("- 1117838570 "));
         assert!(line.contains(" RAS KERNEL INFO x"));
         assert!(line.ends_with('\n'));

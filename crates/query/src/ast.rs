@@ -243,7 +243,9 @@ mod tests {
 
     #[test]
     fn duplicate_clauses_are_normalized_away() {
-        let q = Expr::or(Expr::token("x"), Expr::token("x")).to_query().unwrap();
+        let q = Expr::or(Expr::token("x"), Expr::token("x"))
+            .to_query()
+            .unwrap();
         assert_eq!(q.sets().len(), 1);
     }
 
@@ -257,7 +259,10 @@ mod tests {
             Expr::And(v) => assert_eq!(v.len(), 3),
             _ => panic!("expected flattened And"),
         }
-        let e = Expr::or(Expr::or(Expr::token("a"), Expr::token("b")), Expr::token("c"));
+        let e = Expr::or(
+            Expr::or(Expr::token("a"), Expr::token("b")),
+            Expr::token("c"),
+        );
         match e {
             Expr::Or(v) => assert_eq!(v.len(), 3),
             _ => panic!("expected flattened Or"),

@@ -157,7 +157,14 @@ mod tests {
 
     #[test]
     fn indices_are_distinct_within_combo() {
-        for combo in combination_indices(10, BatchSpec { arity: 8, count: 50 }, 9) {
+        for combo in combination_indices(
+            10,
+            BatchSpec {
+                arity: 8,
+                count: 50,
+            },
+            9,
+        ) {
             let mut sorted = combo.clone();
             sorted.sort_unstable();
             sorted.dedup();

@@ -290,7 +290,10 @@ mod tests {
 
     #[test]
     fn empty_quoted_token_errors() {
-        assert_eq!(parse("\"\""), Err(ParseQueryError::EmptyToken { offset: 0 }));
+        assert_eq!(
+            parse("\"\""),
+            Err(ParseQueryError::EmptyToken { offset: 0 })
+        );
     }
 
     #[test]

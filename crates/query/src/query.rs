@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn negation_blocks_match() {
         let q = Query::try_new(vec![
-            IntersectionSet::of_tokens(["RAS"]).with(Term::negative("FATAL")),
+            IntersectionSet::of_tokens(["RAS"]).with(Term::negative("FATAL"))
         ])
         .unwrap();
         assert!(q.matches_token_set(&toks("RAS INFO")));

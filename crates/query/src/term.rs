@@ -123,7 +123,11 @@ mod tests {
 
     #[test]
     fn terms_order_by_token_then_negation() {
-        let mut v = [Term::negative("b"), Term::positive("a"), Term::positive("b")];
+        let mut v = [
+            Term::negative("b"),
+            Term::positive("a"),
+            Term::positive("b"),
+        ];
         v.sort();
         assert_eq!(v[0].token(), "a");
         assert_eq!(v[1], Term::positive("b"));

@@ -86,15 +86,16 @@ mod tests {
         let m = PowerModel::paper();
         assert!(m.mithrilog().total_w() < m.software().total_w());
         // But its storage+FPGA components draw more than plain SSDs.
-        assert!(
-            m.mithrilog().storage_w + m.mithrilog().fpga_w > m.software().storage_w
-        );
+        assert!(m.mithrilog().storage_w + m.mithrilog().fpga_w > m.software().storage_w);
     }
 
     #[test]
     fn order_of_magnitude_speedup_gives_order_of_magnitude_efficiency() {
         let m = PowerModel::paper();
         let eff = m.efficiency_improvement(10.0);
-        assert!(eff > 11.0, "power advantage compounds the speedup: {eff:.1}");
+        assert!(
+            eff > 11.0,
+            "power advantage compounds the speedup: {eff:.1}"
+        );
     }
 }

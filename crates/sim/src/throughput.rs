@@ -67,7 +67,11 @@ pub struct DatasetInputs {
 impl DatasetInputs {
     /// Derives the inputs from measured datapath statistics plus the
     /// compression ratio.
-    pub fn from_stats(stats: &DatapathStats, compression_ratio: f64, lane_utilization: f64) -> Self {
+    pub fn from_stats(
+        stats: &DatapathStats,
+        compression_ratio: f64,
+        lane_utilization: f64,
+    ) -> Self {
         DatasetInputs {
             compression_ratio,
             tokenized_amplification: stats.amplification(),
@@ -238,8 +242,7 @@ mod tests {
                 > m4.effective_throughput(&liberty).total_gbps
         );
         assert!(
-            (m6.effective_throughput(&bgl).total_gbps
-                - m4.effective_throughput(&bgl).total_gbps)
+            (m6.effective_throughput(&bgl).total_gbps - m4.effective_throughput(&bgl).total_gbps)
                 .abs()
                 < 1e-9,
             "BGL2 is storage-bound either way"

@@ -99,7 +99,10 @@ mod tests {
         // Standard CRC32/IEEE check values.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -119,7 +122,11 @@ mod tests {
         assert_eq!(crc32_padded(data, 4096), crc32(&full));
         // Already-full pages are unchanged.
         assert_eq!(crc32_padded(data, data.len()), crc32(data));
-        assert_eq!(crc32_padded(data, 3), crc32(data), "padded_len below data len is a no-op");
+        assert_eq!(
+            crc32_padded(data, 3),
+            crc32(data),
+            "padded_len below data len is a no-op"
+        );
     }
 
     #[test]

@@ -568,7 +568,10 @@ mod tests {
             .collect();
         for (i, id) in ids.iter().enumerate() {
             let page = s.read_page(*id).unwrap();
-            assert_eq!(&page[..6.min(page.len())], format!("page-{i}").as_bytes()[..6].as_ref());
+            assert_eq!(
+                &page[..6.min(page.len())],
+                format!("page-{i}").as_bytes()[..6].as_ref()
+            );
         }
         s.write_page(ids[3], b"rewritten").unwrap();
         assert_eq!(&s.read_page(ids[3]).unwrap()[..9], b"rewritten");
@@ -626,7 +629,11 @@ mod tests {
         ssd.store_mut().write_page(bad, b"smashed").unwrap();
         assert!(ssd.read(good).is_ok());
         match ssd.read(bad) {
-            Err(StorageError::Corrupt { page, expected, got }) => {
+            Err(StorageError::Corrupt {
+                page,
+                expected,
+                got,
+            }) => {
                 assert_eq!(page, bad.0);
                 assert_ne!(expected, got);
             }
@@ -642,7 +649,10 @@ mod tests {
         let mut store = MemStore::new(64);
         store.append_page(b"legacy").unwrap();
         let mut ssd = SimSsd::new(store, DevicePerfModel::default());
-        assert!(ssd.read(PageId(0)).is_ok(), "no checksum -> no verification");
+        assert!(
+            ssd.read(PageId(0)).is_ok(),
+            "no checksum -> no verification"
+        );
         let report = ssd.scrub();
         assert_eq!(report.unverified, vec![0]);
         assert!(report.is_clean());
@@ -651,8 +661,7 @@ mod tests {
     #[test]
     fn transient_reads_are_retried_and_charged() {
         use crate::faults::{FaultKind, FaultPlan, FaultyStore};
-        let plan =
-            FaultPlan::seeded(1).with_scheduled(0, FaultKind::TransientRead { failures: 2 });
+        let plan = FaultPlan::seeded(1).with_scheduled(0, FaultKind::TransientRead { failures: 2 });
         let store = FaultyStore::new(MemStore::new(64), plan);
         let mut ssd = SimSsd::new(store, DevicePerfModel::default());
         let id = ssd.append(b"flaky but fine").unwrap();

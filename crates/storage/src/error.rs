@@ -65,7 +65,10 @@ impl fmt::Display for StorageError {
                 "page {page} is corrupt: checksum {got:#010x}, expected {expected:#010x}"
             ),
             StorageError::TransientRead { page } => {
-                write!(f, "transient read failure on page {page} (retry may succeed)")
+                write!(
+                    f,
+                    "transient read failure on page {page} (retry may succeed)"
+                )
             }
             StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
         }

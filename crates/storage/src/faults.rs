@@ -96,7 +96,10 @@ impl FaultPlan {
     /// Panics if `rate` is outside `[0, 1]`.
     #[must_use]
     pub fn with_torn_write_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "torn write rate must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "torn write rate must be in [0,1]"
+        );
         self.torn_write_rate = rate;
         self
     }
@@ -109,8 +112,14 @@ impl FaultPlan {
     /// Panics if `rate` is outside `[0, 1]` or `failures` is zero.
     #[must_use]
     pub fn with_transient_rate(mut self, rate: f64, failures: u32) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "transient rate must be in [0,1]");
-        assert!(failures > 0, "a transient episode needs at least one failure");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "transient rate must be in [0,1]"
+        );
+        assert!(
+            failures > 0,
+            "a transient episode needs at least one failure"
+        );
         self.transient_rate = rate;
         self.transient_failures = failures;
         self
@@ -373,7 +382,10 @@ mod tests {
         let id = s.append_page(b"abcdefgh").unwrap();
         let page = s.read_page(id).unwrap();
         assert_eq!(&page[..3], b"abc");
-        assert!(page[3..].iter().all(|&x| x == 0), "torn tail must read as zeros");
+        assert!(
+            page[3..].iter().all(|&x| x == 0),
+            "torn tail must read as zeros"
+        );
         // The tear is consumed: a rewrite lands in full.
         s.write_page(id, b"abcdefgh").unwrap();
         assert_eq!(&s.read_page(id).unwrap()[..8], b"abcdefgh");
@@ -381,8 +393,7 @@ mod tests {
 
     #[test]
     fn transient_episode_fails_then_recovers() {
-        let plan =
-            FaultPlan::seeded(3).with_scheduled(0, FaultKind::TransientRead { failures: 2 });
+        let plan = FaultPlan::seeded(3).with_scheduled(0, FaultKind::TransientRead { failures: 2 });
         let mut s = store_with(plan);
         let id = s.append_page(b"flaky").unwrap();
         assert!(matches!(
@@ -394,7 +405,11 @@ mod tests {
             Err(StorageError::TransientRead { page: 0 })
         ));
         assert_eq!(&s.read_page(id).unwrap()[..5], b"flaky");
-        assert_eq!(&s.read_page(id).unwrap()[..5], b"flaky", "recovery is permanent");
+        assert_eq!(
+            &s.read_page(id).unwrap()[..5],
+            b"flaky",
+            "recovery is permanent"
+        );
     }
 
     #[test]
@@ -406,14 +421,18 @@ mod tests {
                 .with_transient_rate(0.2, 2);
             let mut s = store_with(plan);
             for i in 0..50 {
-                s.append_page(format!("page number {i}").as_bytes()).unwrap();
+                s.append_page(format!("page number {i}").as_bytes())
+                    .unwrap();
             }
             s.injected()
         };
         let a = run(7);
         let b = run(7);
         assert_eq!(a, b, "same seed must inject identical faults");
-        assert!(!a.is_empty(), "rates this high must inject something in 50 pages");
+        assert!(
+            !a.is_empty(),
+            "rates this high must inject something in 50 pages"
+        );
         let c = run(8);
         assert_ne!(a, c, "different seeds must diverge");
     }

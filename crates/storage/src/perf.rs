@@ -253,10 +253,7 @@ mod tests {
             pages_read: 100,
             ..CostLedger::default()
         };
-        let retried = CostLedger {
-            retries: 5,
-            ..base
-        };
+        let retried = CostLedger { retries: 5, ..base };
         let delta = retried.modeled_read_time(&m, Link::Internal)
             - base.modeled_read_time(&m, Link::Internal);
         assert_eq!(delta, m.read_latency * 5);

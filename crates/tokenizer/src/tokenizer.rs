@@ -245,6 +245,9 @@ mod tests {
         };
         let t = Tokenizer::new(cfg);
         let toks: Vec<&[u8]> = t.tokens(b"a,b c").collect();
-        assert_eq!(toks, vec![b"a".as_slice(), b"b".as_slice(), b"c".as_slice()]);
+        assert_eq!(
+            toks,
+            vec![b"a".as_slice(), b"b".as_slice(), b"c".as_slice()]
+        );
     }
 }

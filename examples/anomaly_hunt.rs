@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Round 2: narrow — failed passwords, but not the well-known scanner
     // account, and only for illegal users.
     let round2 = system.query_str("Failed AND password AND illegal")?;
-    println!("round 2 'Failed AND password AND illegal': {} hits", round2.match_count());
+    println!(
+        "round 2 'Failed AND password AND illegal': {} hits",
+        round2.match_count()
+    );
     for line in round2.lines.iter().take(3) {
         println!("  {line}");
     }
@@ -53,9 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Round 3: negative-heavy exploration — what is this node logging that
     // is NOT routine? (index cannot prune; MithriLog full-scans at
     // accelerator speed, the workload class of Figure 16's slow cluster)
-    let round3 = system.query_str(
-        "NOT session AND NOT synchronized AND NOT sshd AND NOT terminated AND NOT OK",
-    )?;
+    let round3 = system
+        .query_str("NOT session AND NOT synchronized AND NOT sshd AND NOT terminated AND NOT OK")?;
     println!(
         "round 3 negative sweep: {} hits (used index: {}, modeled time {:?})",
         round3.match_count(),

@@ -77,6 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let found: Vec<u64> = scrub.corrupt.iter().map(|c| c.page).collect();
     println!("fault plan corrupted pages {planted:?}");
     println!("scrub found pages          {found:?}");
-    assert_eq!(found, planted, "the scrub must find exactly the planted faults");
+    assert_eq!(
+        found, planted,
+        "the scrub must find exactly the planted faults"
+    );
     Ok(())
 }

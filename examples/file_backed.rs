@@ -5,9 +5,9 @@
 //! cargo run --release --example file_backed
 //! ```
 
+use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
 use mithrilog_storage::FileStore;
-use mithrilog::{MithriLog, SystemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("mithrilog-file-backed-example");

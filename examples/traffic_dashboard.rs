@@ -6,6 +6,7 @@
 //! cargo run --release --example traffic_dashboard
 //! ```
 
+use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_analytics::{
     extract_epoch, EventMatrix, PcaModel, RateSpikeDetector, TemplateCounts, TimeHistogram,
     TopTokens,
@@ -13,7 +14,6 @@ use mithrilog_analytics::{
 use mithrilog_filter::FilterPipeline;
 use mithrilog_ftree::{FtreeConfig, TemplateLibrary};
 use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
-use mithrilog::{MithriLog, SystemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut text = generate(&DatasetSpec {
@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let joined = library.joined_query(&top_ids);
     let pipeline = FilterPipeline::compile(&joined)?;
     let counts = TemplateCounts::scan(&pipeline, &text);
-    println!("traffic by template (top {} templates, one tagged pass):", top_ids.len());
+    println!(
+        "traffic by template (top {} templates, one tagged pass):",
+        top_ids.len()
+    );
     for (set, n) in counts.ranking() {
         let t = &library.templates()[top_ids[set]];
         println!(
@@ -91,8 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     assert!(
-        spikes.iter().any(|s| s.bucket_start / 60 == burst_epoch / 60
-            || (s.bucket_start >= burst_epoch && s.bucket_start < burst_epoch + 120)),
+        spikes
+            .iter()
+            .any(|s| s.bucket_start / 60 == burst_epoch / 60
+                || (s.bucket_start >= burst_epoch && s.bucket_start < burst_epoch + 120)),
         "the injected burst should be detected"
     );
 
@@ -125,7 +130,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|w| (matrix.window_start(w), model.residual(matrix.row(w))))
         .collect();
     residuals.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("\nPCA residuals over {} one-minute windows (top 3):", matrix.windows());
+    println!(
+        "\nPCA residuals over {} one-minute windows (top 3):",
+        matrix.windows()
+    );
     for (start, r) in residuals.iter().take(3) {
         println!("  window @{start}: residual {r:.1}");
     }

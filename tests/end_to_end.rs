@@ -85,16 +85,17 @@ fn multi_template_join_equals_union_of_singles() {
 
     let ids = [0usize, 1, 2, 3];
     let joined = library.joined_query(&ids);
-    let joined_lines: std::collections::HashSet<String> = system
-        .query(&joined)
-        .unwrap()
-        .lines
-        .into_iter()
-        .collect();
+    let joined_lines: std::collections::HashSet<String> =
+        system.query(&joined).unwrap().lines.into_iter().collect();
 
     let mut union: std::collections::HashSet<String> = std::collections::HashSet::new();
     for &i in &ids {
-        union.extend(system.query(&library.templates()[i].to_query()).unwrap().lines);
+        union.extend(
+            system
+                .query(&library.templates()[i].to_query())
+                .unwrap()
+                .lines,
+        );
     }
     assert_eq!(joined_lines, union);
 }

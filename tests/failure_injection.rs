@@ -83,7 +83,10 @@ fn hard_errors_still_propagate() {
 fn out_of_range_page_read_is_typed() {
     let mut ssd = SimSsd::new(MemStore::new(4096), DevicePerfModel::default());
     match ssd.read(PageId(99)) {
-        Err(StorageError::OutOfRange { page: 99, extent: 0 }) => {}
+        Err(StorageError::OutOfRange {
+            page: 99,
+            extent: 0,
+        }) => {}
         other => panic!("expected OutOfRange, got {other:?}"),
     }
 }
@@ -111,7 +114,7 @@ fn decoders_never_panic_on_garbage() {
             .collect();
         for c in &codecs {
             let _ = c.decompress(&garbage); // must return, not panic
-            // Magic-prefixed garbage exercises deeper parse paths.
+                                            // Magic-prefixed garbage exercises deeper parse paths.
             let mut prefixed = c.compress(b"seed");
             prefixed.truncate(5);
             prefixed.extend_from_slice(&garbage);

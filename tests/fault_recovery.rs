@@ -48,7 +48,10 @@ fn scrub_finds_exactly_the_injected_corruption() {
     assert!(!planted.is_empty(), "the plan must actually corrupt pages");
     assert_eq!(found, planted, "scrub must find exactly the planted faults");
     assert!(!report.is_clean());
-    assert!(report.unreadable.is_empty(), "bit rot is detectable, not fatal");
+    assert!(
+        report.unreadable.is_empty(),
+        "bit rot is detectable, not fatal"
+    );
     assert_eq!(report.pages_checked, system.device().page_count());
 }
 
@@ -75,14 +78,20 @@ fn query_over_bit_flipped_corpus_degrades_gracefully() {
 
     let outcome = system.query_str("FATAL OR error").unwrap();
     let degraded = outcome.degraded.clone();
-    assert!(degraded.is_lossy(), "some data pages must have been skipped");
+    assert!(
+        degraded.is_lossy(),
+        "some data pages must have been skipped"
+    );
     assert!(
         degraded.skipped_pages.iter().all(|p| rotten.contains(p)),
         "only planted pages may be skipped: {:?} vs {rotten:?}",
         degraded.skipped_pages
     );
     assert!(degraded.estimated_missed_lines > 0);
-    assert!(!degraded.index_fallback, "data corruption leaves the plan intact");
+    assert!(
+        !degraded.index_fallback,
+        "data corruption leaves the plan intact"
+    );
     assert!(
         outcome.match_count() > 0,
         "the surviving pages still produce matches"
@@ -102,7 +111,10 @@ fn transient_reads_are_retried_and_charged_to_the_ledger() {
     assert!(system.device().retry_policy().max_attempts >= 2);
 
     let outcome = system.query_str("FATAL OR error").unwrap();
-    assert!(outcome.ledger.retries > 0, "transient pages must trigger retries");
+    assert!(
+        outcome.ledger.retries > 0,
+        "transient pages must trigger retries"
+    );
     assert_eq!(outcome.degraded.retries, outcome.ledger.retries);
     assert!(
         !outcome.degraded.is_lossy(),
@@ -129,7 +141,10 @@ fn exhausted_retries_skip_the_page_instead_of_failing_the_query() {
         .set_retry_policy(RetryPolicy { max_attempts: 2 });
 
     let outcome = system.query_str("FATAL OR error").unwrap();
-    assert!(outcome.degraded.is_lossy(), "budget-exhausted pages are skipped");
+    assert!(
+        outcome.degraded.is_lossy(),
+        "budget-exhausted pages are skipped"
+    );
     assert!(outcome.ledger.retries > 0);
     assert!(outcome.match_count() > 0);
 }

@@ -80,8 +80,7 @@ fn aligned_stream_filtering_matches_exact_text_filtering() {
 
 #[test]
 fn aligned_stream_tokens_equal_exact_tokens() {
-    let corpus =
-        b"R24-M0 RAS APP FATAL ciod: error\nshort\na-token-longer-than-sixteen-bytes x\n";
+    let corpus = b"R24-M0 RAS APP FATAL ciod: error\nshort\na-token-longer-than-sixteen-bytes x\n";
     let codec = Lzah::default();
     let packed = codec.compress(corpus);
     let aligned = codec.decompress_aligned(&packed).unwrap();

@@ -31,8 +31,19 @@ fn all_profiles_all_query_classes_agree() {
             },
         );
         let singles = library.queries();
-        assert!(singles.len() >= 8, "{profile:?}: {} templates", singles.len());
-        let pairs = combine(&singles, BatchSpec { arity: 2, count: 20 }, 7);
+        assert!(
+            singles.len() >= 8,
+            "{profile:?}: {} templates",
+            singles.len()
+        );
+        let pairs = combine(
+            &singles,
+            BatchSpec {
+                arity: 2,
+                count: 20,
+            },
+            7,
+        );
         let eights = combine(&singles, BatchSpec { arity: 8, count: 4 }, 9);
 
         let table = LogTable::from_text(&text);
@@ -56,7 +67,10 @@ fn all_profiles_all_query_classes_agree() {
                 .filter(|l| q.matches_line(l))
                 .count() as u64;
             assert_eq!(mithrilog, reference, "{profile:?} system vs reference: {q}");
-            assert_eq!(splunk_like, reference, "{profile:?} indexed vs reference: {q}");
+            assert_eq!(
+                splunk_like, reference,
+                "{profile:?} indexed vs reference: {q}"
+            );
         }
     }
 }

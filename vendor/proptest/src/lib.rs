@@ -383,7 +383,9 @@ impl Strategy for &'static str {
     fn generate(&self, rng: &mut TestRng) -> String {
         let p = parse_class_pattern(self);
         let len = p.min + rng.below(p.max - p.min + 1);
-        (0..len).map(|_| p.chars[rng.below(p.chars.len())]).collect()
+        (0..len)
+            .map(|_| p.chars[rng.below(p.chars.len())])
+            .collect()
     }
 }
 
@@ -393,7 +395,9 @@ impl Strategy for String {
     fn generate(&self, rng: &mut TestRng) -> String {
         let p = parse_class_pattern(self);
         let len = p.min + rng.below(p.max - p.min + 1);
-        (0..len).map(|_| p.chars[rng.below(p.chars.len())]).collect()
+        (0..len)
+            .map(|_| p.chars[rng.below(p.chars.len())])
+            .collect()
     }
 }
 
@@ -572,13 +576,15 @@ mod tests {
                 T::Pair(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let strat = (0u8..10).prop_map(T::Leaf).prop_recursive(3, 8, 2, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| T::Pair(Box::new(a), Box::new(b))),
-                inner,
-            ]
-        });
+        let strat = (0u8..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                prop_oneof![
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| T::Pair(Box::new(a), Box::new(b))),
+                    inner,
+                ]
+            });
         let mut rng = TestRng::from_name("rec");
         let mut saw_pair = false;
         for _ in 0..100 {
