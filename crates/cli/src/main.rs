@@ -8,6 +8,9 @@
 //! mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log
 //! mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>]
 //!                                           fault drill: inject bit rot, verify scrub
+//! mithrilog recover <storefile>             mount an on-disk store, run crash recovery
+//! mithrilog recover --self-check [--points <k>] [--seed <n>]
+//!                                           crash drill: power-loss matrix, verify recovery
 //! ```
 //!
 //! Queries use the accelerator's language: `AND`, `OR`, `NOT`, parentheses,
@@ -27,6 +30,7 @@ fn main() -> ExitCode {
             "spikes" => commands::spikes(rest),
             "gen" => commands::gen(rest),
             "scrub" => commands::scrub(rest),
+            "recover" => commands::recover(rest),
             "help" | "--help" | "-h" => {
                 print_usage();
                 Ok(())
@@ -59,6 +63,9 @@ fn print_usage() {
          \x20 mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log\n\
          \x20 mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>]\n\
          \x20                                           fault drill: inject bit rot, verify scrub\n\
+         \x20 mithrilog recover <storefile>             mount an on-disk store, run crash recovery\n\
+         \x20 mithrilog recover --self-check [--points <k>] [--seed <n>]\n\
+         \x20                                           crash drill: power-loss matrix, verify recovery\n\
          \n\
          query language: AND, OR, NOT, parentheses, quoted tokens.\n\
          profiles: bgl2 | liberty2 | spirit2 | thunderbird"

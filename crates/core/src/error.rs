@@ -16,6 +16,8 @@ pub enum MithriLogError {
     Decompress(DecompressError),
     /// The system was constructed with inconsistent configuration.
     Config(String),
+    /// Recovery-on-mount found the store in a state it cannot reconcile.
+    Recovery(String),
 }
 
 impl fmt::Display for MithriLogError {
@@ -25,6 +27,7 @@ impl fmt::Display for MithriLogError {
             MithriLogError::Parse(e) => write!(f, "query parse error: {e}"),
             MithriLogError::Decompress(e) => write!(f, "page decompression error: {e}"),
             MithriLogError::Config(reason) => write!(f, "configuration error: {reason}"),
+            MithriLogError::Recovery(reason) => write!(f, "recovery error: {reason}"),
         }
     }
 }
@@ -35,7 +38,7 @@ impl Error for MithriLogError {
             MithriLogError::Storage(e) => Some(e),
             MithriLogError::Parse(e) => Some(e),
             MithriLogError::Decompress(e) => Some(e),
-            MithriLogError::Config(_) => None,
+            MithriLogError::Config(_) | MithriLogError::Recovery(_) => None,
         }
     }
 }

@@ -43,5 +43,5 @@ mod system;
 
 pub use config::SystemConfig;
 pub use error::MithriLogError;
-pub use outcome::{DegradedRead, IngestReport, QueryOutcome};
+pub use outcome::{DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport};
 pub use system::MithriLog;

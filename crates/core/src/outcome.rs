@@ -26,6 +26,67 @@ impl IngestReport {
     }
 }
 
+/// How recovery-on-mount obtained the in-memory index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexRecovery {
+    /// The committed checkpoint validated and was loaded directly.
+    Checkpoint,
+    /// The checkpoint was absent or invalid; the index was rebuilt by
+    /// rescanning every committed data page.
+    Rebuilt,
+}
+
+/// Report of one recovery-on-mount ([`MithriLog::open`] /
+/// [`MithriLog::open_store`]).
+///
+/// [`MithriLog::open`]: crate::MithriLog::open
+/// [`MithriLog::open_store`]: crate::MithriLog::open_store
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the superblock the mount selected.
+    pub superblock_sequence: u64,
+    /// The committed frontier: pages below this id survived; the store was
+    /// truncated to exactly this extent.
+    pub committed_pages: u64,
+    /// Pages beyond the committed frontier that were discarded — the
+    /// uncommitted tail a crash left behind (including any torn write).
+    pub uncommitted_pages_discarded: u64,
+    /// Commits reconstructed from the journal manifest chain.
+    pub commits_replayed: u64,
+    /// Data pages recovered across all replayed commits.
+    pub data_pages_recovered: u64,
+    /// Acknowledged log lines recovered (every line whose ingest call
+    /// returned success before the crash).
+    pub lines_recovered: u64,
+    /// Estimated log lines in the discarded tail — lines that were being
+    /// ingested when the crash hit and were never acknowledged.
+    pub uncommitted_lines_discarded: u64,
+    /// How the in-memory index was obtained.
+    pub index: IndexRecovery,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovered to commit {}: {} committed pages ({} data pages, \
+             {} lines) over {} commits; discarded {} uncommitted pages \
+             (~{} unacknowledged lines); index {}",
+            self.superblock_sequence,
+            self.committed_pages,
+            self.data_pages_recovered,
+            self.lines_recovered,
+            self.commits_replayed,
+            self.uncommitted_pages_discarded,
+            self.uncommitted_lines_discarded,
+            match self.index {
+                IndexRecovery::Checkpoint => "loaded from checkpoint",
+                IndexRecovery::Rebuilt => "rebuilt from data pages",
+            }
+        )
+    }
+}
+
 /// Summary of the recovery actions a query needed, populated when storage
 /// faults were encountered and survived.
 ///
@@ -160,6 +221,25 @@ mod tests {
             degraded: DegradedRead::default(),
         };
         assert!((o.effective_throughput_gbps(1_000_000_000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_report_display_covers_both_index_paths() {
+        let mut r = RecoveryReport {
+            superblock_sequence: 3,
+            committed_pages: 40,
+            uncommitted_pages_discarded: 5,
+            commits_replayed: 3,
+            data_pages_recovered: 20,
+            lines_recovered: 1000,
+            uncommitted_lines_discarded: 12,
+            index: IndexRecovery::Checkpoint,
+        };
+        let s = r.to_string();
+        assert!(s.contains("commit 3"), "{s}");
+        assert!(s.contains("checkpoint"), "{s}");
+        r.index = IndexRecovery::Rebuilt;
+        assert!(r.to_string().contains("rebuilt"), "{r}");
     }
 
     #[test]

@@ -6,14 +6,37 @@ use mithrilog_filter::FilterPipeline;
 use mithrilog_index::{InvertedIndex, QueryPlan};
 use mithrilog_query::{parse, Query};
 use mithrilog_sim::{AcceleratorConfig, DatasetInputs, Throughput, ThroughputModel};
-use mithrilog_storage::{Link, MemStore, PageId, PageStore, SimSsd};
+use mithrilog_storage::{
+    append_commit, crc32, format_device, read_active_superblock, replay_journal,
+    write_superblock_commit, CheckpointRef, CommitRecord, FileStore, Link, MemStore, PageId,
+    PageStore, SimSsd, Superblock,
+};
 use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer};
 
 use mithrilog_storage::StorageError;
 
 use crate::config::SystemConfig;
 use crate::error::MithriLogError;
-use crate::outcome::{DegradedRead, IngestReport, QueryOutcome};
+use crate::outcome::{DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport};
+
+const CHECKPOINT_MAGIC: &[u8; 4] = b"MLCK";
+const CHECKPOINT_VERSION: u32 = 1;
+
+fn take_u32(bytes: &[u8]) -> Option<(u32, &[u8])> {
+    let (head, rest) = bytes.split_first_chunk::<4>()?;
+    Some((u32::from_le_bytes(*head), rest))
+}
+
+fn take_u64(bytes: &[u8]) -> Option<(u64, &[u8])> {
+    let (head, rest) = bytes.split_first_chunk::<8>()?;
+    Some((u64::from_le_bytes(*head), rest))
+}
+
+fn take_section(bytes: &[u8]) -> Option<(&[u8], &[u8])> {
+    let (len, rest) = take_u64(bytes)?;
+    let len = usize::try_from(len).ok()?;
+    (rest.len() >= len).then(|| rest.split_at(len))
+}
 
 /// Whether a storage error is survivable by skipping the affected page:
 /// corruption and exhausted transient retries lose one page of data;
@@ -49,13 +72,57 @@ pub struct MithriLog<S = MemStore> {
     /// Logical clock for automatic snapshots (advances with ingested
     /// lines; callers with real timestamps use [`MithriLog::snapshot_at`]).
     logical_clock: u64,
+    /// The durably committed superblock; everything the store holds beyond
+    /// `superblock.committed_pages` is an uncommitted tail.
+    superblock: Superblock,
+    /// Work accumulated since the last commit, acknowledged only once the
+    /// superblock flip lands.
+    pending: PendingCommit,
+}
+
+/// Uncommitted ingest work: the delta the next journal record will describe.
+#[derive(Debug, Default)]
+struct PendingCommit {
+    data_pages: Vec<u64>,
+    lines: u64,
+    raw_bytes: u64,
+    compressed_bytes: u64,
 }
 
 impl MithriLog<MemStore> {
     /// Creates an empty system on an in-memory device.
     pub fn new(config: SystemConfig) -> Self {
         let store = MemStore::new(config.device.page_bytes);
-        Self::with_store(store, config).expect("a fresh MemStore matches the device page size")
+        Self::with_store(store, config)
+            .expect("formatting a fresh MemStore with matching page size cannot fail")
+    }
+}
+
+impl MithriLog<FileStore> {
+    /// Creates an empty file-backed system at `path`, formatting the store.
+    ///
+    /// # Errors
+    ///
+    /// Refuses to overwrite an existing formatted store (mount those with
+    /// [`MithriLog::open`]); propagates file and formatting errors.
+    pub fn create(path: &std::path::Path, config: SystemConfig) -> Result<Self, MithriLogError> {
+        let store = FileStore::create(path, config.device.page_bytes)?;
+        Self::with_store(store, config)
+    }
+
+    /// Mounts an existing file-backed store at `path`, running crash
+    /// recovery (see [`MithriLog::open_store`]). The store's page size is
+    /// discovered from its superblock and must match `config`.
+    ///
+    /// # Errors
+    ///
+    /// See [`FileStore::open`] and [`MithriLog::open_store`].
+    pub fn open(
+        path: &std::path::Path,
+        config: SystemConfig,
+    ) -> Result<(Self, RecoveryReport), MithriLogError> {
+        let store = FileStore::open(path)?;
+        Self::open_store(store, config)
     }
 }
 
@@ -63,12 +130,17 @@ impl<S: PageStore> MithriLog<S> {
     /// Creates an empty system on an explicit page store (e.g. a
     /// [`FileStore`](mithrilog_storage::FileStore) for corpora larger than
     /// RAM, or a [`FaultyStore`](mithrilog_storage::FaultyStore) for fault
-    /// drills).
+    /// drills), formatting it: the dual-slot superblock is written and
+    /// synced before the system is usable.
+    ///
+    /// The store must be empty — an existing formatted store is mounted
+    /// with [`MithriLog::open_store`] instead, never silently reformatted.
     ///
     /// # Errors
     ///
     /// [`MithriLogError::Config`] if the store's page size differs from the
-    /// configured device page size.
+    /// configured device page size or the store is not empty; storage
+    /// errors from formatting.
     pub fn with_store(store: S, config: SystemConfig) -> Result<Self, MithriLogError> {
         if store.page_bytes() != config.device.page_bytes {
             return Err(MithriLogError::Config(format!(
@@ -77,9 +149,18 @@ impl<S: PageStore> MithriLog<S> {
                 config.device.page_bytes
             )));
         }
+        if store.page_count() != 0 {
+            return Err(MithriLogError::Config(format!(
+                "store already holds {} pages; mount it with open_store \
+                 instead of reformatting",
+                store.page_count()
+            )));
+        }
         let page_bytes = config.device.page_bytes;
+        let mut ssd = SimSsd::new(store, config.device);
+        let superblock = format_device(&mut ssd)?;
         Ok(MithriLog {
-            ssd: SimSsd::new(store, config.device),
+            ssd,
             index: InvertedIndex::with_page_bytes(config.index, page_bytes),
             tokenizer: Tokenizer::new(config.tokenizer.clone()),
             data_pages: Vec::new(),
@@ -89,8 +170,132 @@ impl<S: PageStore> MithriLog<S> {
             stats: DatapathStats::new(),
             scatter: ScatterGather::new(config.tokenizer.lanes),
             logical_clock: 0,
+            superblock,
+            pending: PendingCommit::default(),
             config,
         })
+    }
+
+    /// Mounts an existing formatted store, running crash recovery: the
+    /// active superblock is validated, the uncommitted tail beyond the
+    /// committed frontier is truncated away (including any torn write a
+    /// power loss left), the journal manifest chain is replayed to
+    /// reconstruct the committed data pages and totals, and the index is
+    /// loaded from its committed checkpoint — or rebuilt from the data
+    /// pages when the checkpoint is missing or fails validation.
+    ///
+    /// Recovery itself commits nothing: the rebuilt in-memory state becomes
+    /// durable at the next commit, and crashing again before then simply
+    /// repeats the same recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`MithriLogError::Storage`] when no superblock slot validates or the
+    /// committed region is corrupt; [`MithriLogError::Config`] when the
+    /// store's page size disagrees with `config`.
+    pub fn open_store(
+        store: S,
+        config: SystemConfig,
+    ) -> Result<(Self, RecoveryReport), MithriLogError> {
+        if store.page_bytes() != config.device.page_bytes {
+            return Err(MithriLogError::Config(format!(
+                "store page size ({} bytes) must match the device model ({} bytes)",
+                store.page_bytes(),
+                config.device.page_bytes
+            )));
+        }
+        let mut ssd = SimSsd::new(store, config.device);
+        let superblock = read_active_superblock(&mut ssd)?;
+        if superblock.page_bytes as usize != config.device.page_bytes {
+            return Err(MithriLogError::Config(format!(
+                "store was formatted with {}-byte pages but the device model \
+                 uses {}-byte pages",
+                superblock.page_bytes, config.device.page_bytes
+            )));
+        }
+
+        // Estimate the acknowledged-never lines in the tail we are about to
+        // discard: any tail page that decompresses was an in-flight data
+        // page. (Index/journal pages in the tail do not decompress.)
+        let codec = Lzah::new(config.lzah);
+        let physical = ssd.page_count();
+        let mut uncommitted_lines = 0u64;
+        for page in superblock.committed_pages..physical {
+            if let Ok(raw) = ssd.read(PageId(page)) {
+                if let Ok(text) = codec.decompress(&raw) {
+                    uncommitted_lines += text
+                        .split(|b| *b == b'\n')
+                        .filter(|l| !l.is_empty())
+                        .count() as u64;
+                }
+            }
+        }
+        ssd.truncate(superblock.committed_pages)?;
+
+        // Replay the journal: the committed data pages and totals, in order.
+        let commits = replay_journal(&mut ssd, superblock.journal_head)?;
+        let mut data_pages: Vec<PageId> = Vec::new();
+        let mut total_lines = 0u64;
+        let mut total_raw_bytes = 0u64;
+        let mut total_compressed_bytes = 0u64;
+        for commit in &commits {
+            data_pages.extend(commit.data_pages.iter().map(|&p| PageId(p)));
+            total_lines += commit.lines;
+            total_raw_bytes += commit.raw_bytes;
+            total_compressed_bytes += commit.compressed_bytes;
+        }
+
+        let restored = superblock
+            .checkpoint
+            .and_then(|ckpt| Self::load_checkpoint(&mut ssd, &config, &ckpt))
+            .filter(|(_, _, _, totals)| {
+                *totals == [total_raw_bytes, total_lines, total_compressed_bytes]
+            });
+        let index_recovery = if restored.is_some() {
+            IndexRecovery::Checkpoint
+        } else {
+            IndexRecovery::Rebuilt
+        };
+        let (index, stats, scatter, logical_clock) = match restored {
+            Some((index, stats, scatter, _)) => (index, stats, scatter, total_lines),
+            None => (
+                InvertedIndex::with_page_bytes(config.index, config.device.page_bytes),
+                DatapathStats::new(),
+                ScatterGather::new(config.tokenizer.lanes),
+                total_lines,
+            ),
+        };
+
+        let report = RecoveryReport {
+            superblock_sequence: superblock.sequence,
+            committed_pages: superblock.committed_pages,
+            uncommitted_pages_discarded: physical - superblock.committed_pages,
+            commits_replayed: commits.len() as u64,
+            data_pages_recovered: data_pages.len() as u64,
+            lines_recovered: total_lines,
+            uncommitted_lines_discarded: uncommitted_lines,
+            index: index_recovery,
+        };
+
+        let mut system = MithriLog {
+            ssd,
+            index,
+            tokenizer: Tokenizer::new(config.tokenizer.clone()),
+            data_pages,
+            total_raw_bytes,
+            total_lines,
+            total_compressed_bytes,
+            stats,
+            scatter,
+            logical_clock,
+            superblock,
+            pending: PendingCommit::default(),
+            config,
+        };
+        if report.index == IndexRecovery::Rebuilt {
+            system.reindex_from_pages()?;
+        }
+        Ok((system, report))
     }
 
     /// The configuration in use.
@@ -194,6 +399,7 @@ impl<S: PageStore> MithriLog<S> {
         for frame in paged.pages() {
             let page = self.ssd.append(frame.data())?;
             self.data_pages.push(page);
+            self.pending.data_pages.push(page.0);
             let slice = &text[offset..offset + frame.raw_len()];
             offset += frame.raw_len();
 
@@ -229,7 +435,129 @@ impl<S: PageStore> MithriLog<S> {
         self.total_raw_bytes += report.raw_bytes;
         self.total_lines += report.lines;
         self.total_compressed_bytes += report.compressed_bytes;
+        self.pending.lines += report.lines;
+        self.pending.raw_bytes += report.raw_bytes;
+        self.pending.compressed_bytes += report.compressed_bytes;
+        self.commit()?;
         Ok(report)
+    }
+
+    /// Runs the journaled commit protocol, making everything ingested since
+    /// the last commit durable:
+    ///
+    /// 1. seal the index pools (no later allocation may rewrite a page at
+    ///    or below the new committed frontier);
+    /// 2. append the index checkpoint pages;
+    /// 3. append the journal manifest record for this commit;
+    /// 4. **sync barrier 1** — payload durable before the superblock moves;
+    /// 5. write the superblock into the inactive slot and **sync barrier
+    ///    2** — the atomic flip that acknowledges the commit.
+    ///
+    /// A crash anywhere before barrier 2 completes leaves the previous
+    /// superblock active and the whole commit in the discardable tail.
+    fn commit(&mut self) -> Result<(), MithriLogError> {
+        self.index.seal_storage();
+        let blob = self.checkpoint_blob();
+        let page_bytes = self.config.device.page_bytes;
+        let ckpt = CheckpointRef {
+            first_page: self.ssd.page_count(),
+            page_count: blob.len().div_ceil(page_bytes) as u64,
+            byte_len: blob.len() as u64,
+            crc: crc32(&blob),
+        };
+        for chunk in blob.chunks(page_bytes) {
+            self.ssd.append(chunk)?;
+        }
+        let record = CommitRecord {
+            sequence: self.superblock.sequence + 1,
+            data_pages: std::mem::take(&mut self.pending.data_pages),
+            lines: self.pending.lines,
+            raw_bytes: self.pending.raw_bytes,
+            compressed_bytes: self.pending.compressed_bytes,
+        };
+        let head = append_commit(&mut self.ssd, self.superblock.journal_head, &record)?;
+        self.ssd.sync()?; // barrier 1: payload before the flip
+        let sb = Superblock {
+            format_version: Superblock::FORMAT_VERSION,
+            page_bytes: page_bytes as u32,
+            sequence: record.sequence,
+            committed_pages: self.ssd.page_count(),
+            journal_head: Some(head),
+            checkpoint: Some(ckpt),
+        };
+        write_superblock_commit(&mut self.ssd, &sb)?; // barrier 2
+        self.superblock = sb;
+        self.pending = PendingCommit::default();
+        Ok(())
+    }
+
+    /// Serializes the host-side state a mount cannot reconstruct from the
+    /// journal alone: the index, the datapath statistics, the scatter
+    /// schedule, and the running totals for cross-checking.
+    fn checkpoint_blob(&self) -> Vec<u8> {
+        let mut blob = Vec::new();
+        blob.extend_from_slice(CHECKPOINT_MAGIC);
+        blob.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        blob.extend_from_slice(&self.total_raw_bytes.to_le_bytes());
+        blob.extend_from_slice(&self.total_lines.to_le_bytes());
+        blob.extend_from_slice(&self.total_compressed_bytes.to_le_bytes());
+        for section in [
+            self.index.checkpoint_bytes(),
+            self.stats.to_bytes(),
+            self.scatter.to_bytes(),
+        ] {
+            blob.extend_from_slice(&(section.len() as u64).to_le_bytes());
+            blob.extend_from_slice(&section);
+        }
+        blob
+    }
+
+    /// Reads and validates the checkpoint blob `ckpt` points at. Any
+    /// failure — unreadable pages, CRC mismatch, malformed sections,
+    /// parameter drift — returns `None` and recovery falls back to a full
+    /// reindex; the checkpoint is an optimization, never a correctness
+    /// dependency.
+    fn load_checkpoint(
+        ssd: &mut SimSsd<S>,
+        config: &SystemConfig,
+        ckpt: &CheckpointRef,
+    ) -> Option<(InvertedIndex, DatapathStats, ScatterGather, [u64; 3])> {
+        let mut blob = Vec::with_capacity(ckpt.byte_len as usize);
+        for page in ckpt.first_page..ckpt.first_page + ckpt.page_count {
+            blob.extend_from_slice(&ssd.read(PageId(page)).ok()?);
+        }
+        if (ckpt.byte_len as usize) > blob.len() {
+            return None;
+        }
+        blob.truncate(ckpt.byte_len as usize);
+        if crc32(&blob) != ckpt.crc {
+            return None;
+        }
+        let rest = blob.strip_prefix(CHECKPOINT_MAGIC)?;
+        let (version, mut rest) = take_u32(rest)?;
+        if version != CHECKPOINT_VERSION {
+            return None;
+        }
+        let mut totals = [0u64; 3];
+        for t in &mut totals {
+            let (v, r) = take_u64(rest)?;
+            *t = v;
+            rest = r;
+        }
+        let (index_bytes, rest) = take_section(rest)?;
+        let (stats_bytes, rest) = take_section(rest)?;
+        let (scatter_bytes, rest) = take_section(rest)?;
+        if !rest.is_empty() {
+            return None;
+        }
+        let index =
+            InvertedIndex::restore_checkpoint(config.index, config.device.page_bytes, index_bytes)?;
+        let stats = DatapathStats::from_bytes(stats_bytes)?;
+        let scatter = ScatterGather::from_bytes(scatter_bytes)?;
+        if scatter.lanes() != config.tokenizer.lanes {
+            return None;
+        }
+        Some((index, stats, scatter, totals))
     }
 
     /// Rebuilds the in-memory index (and the rest of the host-side state)
@@ -246,6 +574,14 @@ impl<S: PageStore> MithriLog<S> {
     ///
     /// Propagates storage and decompression errors from the rescan.
     pub fn rebuild_index(&mut self) -> Result<(), MithriLogError> {
+        self.reindex_from_pages()?;
+        self.commit()
+    }
+
+    /// The reindex body shared by [`MithriLog::rebuild_index`] and the
+    /// recovery fallback: rescans every data page, reconstructing the
+    /// index, statistics, and totals. Does not commit.
+    fn reindex_from_pages(&mut self) -> Result<(), MithriLogError> {
         let codec = Lzah::new(self.config.lzah);
         self.index =
             InvertedIndex::with_page_bytes(self.config.index, self.config.device.page_bytes);
@@ -285,7 +621,7 @@ impl<S: PageStore> MithriLog<S> {
     pub fn snapshot_at(&mut self, timestamp: u64) -> Result<(), MithriLogError> {
         let watermark = PageId(self.ssd.page_count());
         self.index.snapshot(&mut self.ssd, timestamp, watermark)?;
-        Ok(())
+        self.commit()
     }
 
     /// Parses and executes a query.

@@ -2,6 +2,7 @@ use mithrilog_storage::{PageId, PageStore, SimSsd, StorageError};
 
 use crate::node::{NodeAddr, NodePool};
 use crate::params::IndexParams;
+use crate::wire::{get_u64, get_usize, put_u64};
 
 /// One in-memory hash table entry (paper Figure 11): a small buffer of
 /// data-page addresses plus the head of the in-storage linked list of trees.
@@ -43,6 +44,16 @@ pub struct InvertedIndex {
 }
 
 const PAGE_BYTES_DEFAULT: usize = 4096;
+
+/// True when an entry is indistinguishable from its default state and can
+/// be omitted from a checkpoint.
+fn entry_is_empty(e: &MemEntry) -> bool {
+    e.buffer.is_empty()
+        && e.pending_leaves.is_empty()
+        && e.head.is_none()
+        && e.total_pages == 0
+        && e.last_page.is_none()
+}
 
 fn hash_token(token: &[u8], basis: u64) -> u64 {
     let mut h = basis;
@@ -337,6 +348,157 @@ impl InvertedIndex {
         Ok(())
     }
 
+    /// Seals both node pools so no future allocation rewrites a page below
+    /// the current device frontier. Called at the start of a durability
+    /// commit, before serializing the checkpoint.
+    pub fn seal_storage(&mut self) {
+        self.leaf_pool.seal();
+        self.root_pool.seal();
+    }
+
+    /// Serializes the complete in-memory index state (hash-table entries,
+    /// node pools, snapshots, counters) into a checkpoint blob.
+    ///
+    /// Call [`InvertedIndex::seal_storage`] first: the blob captures pool
+    /// cursors, and a restored unsealed pool would rewrite committed pages
+    /// in place. Restore with [`InvertedIndex::restore_checkpoint`].
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::from(self.params.hash_bits));
+        put_u64(&mut buf, self.params.buffer_entries as u64);
+        put_u64(&mut buf, self.params.node_entries as u64);
+        put_u64(&mut buf, self.params.snapshot_leaf_pages);
+        put_u64(&mut buf, self.params.probe_budget as u64);
+        put_u64(&mut buf, self.tokens_indexed);
+        put_u64(&mut buf, self.leaf_pages_at_last_snapshot);
+        put_u64(&mut buf, self.snapshots.len() as u64);
+        for s in &self.snapshots {
+            put_u64(&mut buf, s.timestamp);
+            put_u64(&mut buf, s.watermark);
+        }
+        self.leaf_pool.encode_into(&mut buf);
+        self.root_pool.encode_into(&mut buf);
+        // Only non-default entries are stored; at realistic scales the vast
+        // majority of the hash table is untouched.
+        let live: Vec<(usize, &MemEntry)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !entry_is_empty(e))
+            .collect();
+        put_u64(&mut buf, live.len() as u64);
+        for (idx, e) in live {
+            put_u64(&mut buf, idx as u64);
+            put_u64(&mut buf, NodeAddr::raw_or_none(e.head));
+            put_u64(&mut buf, e.total_pages);
+            put_u64(&mut buf, e.last_page.unwrap_or(u64::MAX));
+            put_u64(&mut buf, e.buffer.len() as u64);
+            for &p in &e.buffer {
+                put_u64(&mut buf, p);
+            }
+            put_u64(&mut buf, e.pending_leaves.len() as u64);
+            for &l in &e.pending_leaves {
+                put_u64(&mut buf, l.to_raw());
+            }
+        }
+        buf
+    }
+
+    /// Rebuilds an index from a checkpoint blob written by
+    /// [`InvertedIndex::checkpoint_bytes`].
+    ///
+    /// Returns `None` when the blob is malformed or was written under
+    /// different parameters or page size — the caller falls back to a full
+    /// reindex from the data pages.
+    pub fn restore_checkpoint(
+        params: IndexParams,
+        page_bytes: usize,
+        bytes: &[u8],
+    ) -> Option<Self> {
+        let cur = &mut &bytes[..];
+        let echo = [
+            get_u64(cur)?,
+            get_u64(cur)?,
+            get_u64(cur)?,
+            get_u64(cur)?,
+            get_u64(cur)?,
+        ];
+        let want = [
+            u64::from(params.hash_bits),
+            params.buffer_entries as u64,
+            params.node_entries as u64,
+            params.snapshot_leaf_pages,
+            params.probe_budget as u64,
+        ];
+        if echo != want {
+            return None;
+        }
+        let tokens_indexed = get_u64(cur)?;
+        let leaf_pages_at_last_snapshot = get_u64(cur)?;
+        let snapshot_count = get_usize(cur)?;
+        let mut snapshots = Vec::new();
+        for _ in 0..snapshot_count {
+            snapshots.push(Snapshot {
+                timestamp: get_u64(cur)?,
+                watermark: get_u64(cur)?,
+            });
+        }
+        let leaf_pool = NodePool::decode_from(cur)?;
+        let root_pool = NodePool::decode_from(cur)?;
+        if leaf_pool.node_bytes() != params.node_entries * 8
+            || root_pool.node_bytes() != 16 + params.node_entries * 8
+            || leaf_pool.page_bytes() != page_bytes
+            || root_pool.page_bytes() != page_bytes
+        {
+            return None;
+        }
+        let mut entries = vec![MemEntry::default(); params.entries()];
+        let live = get_usize(cur)?;
+        let mut prev_idx = None;
+        for _ in 0..live {
+            let idx = get_usize(cur)?;
+            if idx >= entries.len() || prev_idx.is_some_and(|p| idx <= p) {
+                return None;
+            }
+            prev_idx = Some(idx);
+            let entry = &mut entries[idx];
+            entry.head = NodeAddr::from_raw(get_u64(cur)?);
+            entry.total_pages = get_u64(cur)?;
+            entry.last_page = match get_u64(cur)? {
+                u64::MAX => None,
+                p => Some(p),
+            };
+            let buffer_len = get_usize(cur)?;
+            if buffer_len > params.buffer_entries {
+                return None;
+            }
+            for _ in 0..buffer_len {
+                entry.buffer.push(get_u64(cur)?);
+            }
+            let pending_len = get_usize(cur)?;
+            if pending_len > params.node_entries {
+                return None;
+            }
+            for _ in 0..pending_len {
+                entry
+                    .pending_leaves
+                    .push(NodeAddr::from_raw(get_u64(cur)?)?);
+            }
+        }
+        if !cur.is_empty() {
+            return None;
+        }
+        Some(InvertedIndex {
+            params,
+            entries,
+            leaf_pool,
+            root_pool,
+            snapshots,
+            leaf_pages_at_last_snapshot,
+            tokens_indexed,
+        })
+    }
+
     /// Returns the page-id window `[lo, hi)` that may contain data from the
     /// time interval `[t1, t2]`, based on snapshot watermarks. `None` bounds
     /// mean "unbounded on that side".
@@ -531,6 +693,100 @@ mod tests {
         let paper = IndexParams::paper_scale();
         let approx = paper.entries() * (paper.buffer_entries * 8 + paper.node_entries * 8 + 24);
         assert!(approx > 200_000_000 && approx < 400_000_000, "{approx}");
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_preserves_lookups() {
+        let mut ssd = ssd();
+        let mut idx = small_index();
+        for p in 0..120u64 {
+            let tok = format!("tok-{}", p % 13);
+            idx.insert_page_tokens(&mut ssd, PageId(p), [tok.as_bytes(), b"hot".as_slice()])
+                .unwrap();
+        }
+        idx.snapshot(&mut ssd, 500, PageId(60)).unwrap();
+        for p in 120..150u64 {
+            idx.insert_page_tokens(&mut ssd, PageId(p), [b"hot".as_slice()])
+                .unwrap();
+        }
+        idx.seal_storage();
+        let blob = idx.checkpoint_bytes();
+        let restored =
+            InvertedIndex::restore_checkpoint(*idx.params(), 4096, &blob).expect("valid blob");
+        assert_eq!(restored.tokens_indexed(), idx.tokens_indexed());
+        assert_eq!(restored.snapshots(), idx.snapshots());
+        for t in 0..13u64 {
+            let token = format!("tok-{t}");
+            assert_eq!(
+                restored.lookup(&mut ssd, token.as_bytes()).unwrap(),
+                idx.lookup(&mut ssd, token.as_bytes()).unwrap(),
+                "lookup diverged for {token}"
+            );
+        }
+        assert_eq!(
+            restored.lookup(&mut ssd, b"hot").unwrap(),
+            idx.lookup(&mut ssd, b"hot").unwrap()
+        );
+    }
+
+    #[test]
+    fn restored_index_keeps_ingesting_without_touching_old_pages() {
+        let mut ssd = ssd();
+        let mut idx = small_index();
+        for p in 0..40u64 {
+            idx.insert_page_tokens(&mut ssd, PageId(p), [b"t".as_slice()])
+                .unwrap();
+        }
+        idx.seal_storage();
+        let blob = idx.checkpoint_bytes();
+        let frontier = ssd.page_count();
+        let before: Vec<Vec<u8>> = (0..frontier)
+            .map(|p| ssd.read(PageId(p)).unwrap().to_vec())
+            .collect();
+        let mut restored =
+            InvertedIndex::restore_checkpoint(*idx.params(), 4096, &blob).expect("valid blob");
+        for p in 40..120u64 {
+            restored
+                .insert_page_tokens(&mut ssd, PageId(p), [b"t".as_slice()])
+                .unwrap();
+        }
+        assert_eq!(restored.lookup(&mut ssd, b"t").unwrap().len(), 120);
+        for (p, old) in before.iter().enumerate() {
+            assert_eq!(
+                &ssd.read(PageId(p as u64)).unwrap(),
+                old,
+                "sealed page {p} was rewritten after restore"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_params_or_garbage() {
+        let mut ssd = ssd();
+        let mut idx = small_index();
+        for p in 0..20u64 {
+            idx.insert_page_tokens(&mut ssd, PageId(p), [b"t".as_slice()])
+                .unwrap();
+        }
+        idx.seal_storage();
+        let blob = idx.checkpoint_bytes();
+        assert!(InvertedIndex::restore_checkpoint(*idx.params(), 4096, &blob).is_some());
+        // Different parameters must force the reindex fallback.
+        let other = IndexParams {
+            probe_budget: idx.params().probe_budget + 1,
+            ..*idx.params()
+        };
+        assert!(InvertedIndex::restore_checkpoint(other, 4096, &blob).is_none());
+        // Different page size: pool cursors would be meaningless.
+        assert!(InvertedIndex::restore_checkpoint(*idx.params(), 8192, &blob).is_none());
+        // Truncation and trailing garbage are both rejected.
+        assert!(
+            InvertedIndex::restore_checkpoint(*idx.params(), 4096, &blob[..blob.len() - 3])
+                .is_none()
+        );
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(InvertedIndex::restore_checkpoint(*idx.params(), 4096, &long).is_none());
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod index;
 mod node;
 mod params;
 mod plan;
+mod wire;
 
 pub use index::{InvertedIndex, Snapshot};
 pub use node::{NodeAddr, NodePool};

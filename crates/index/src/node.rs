@@ -3,6 +3,8 @@
 
 use mithrilog_storage::{PageId, PageStore, SimSsd, StorageError};
 
+use crate::wire::{get_bytes, get_u64, get_usize, put_bytes, put_u64};
+
 /// Address of one node inside a pool: `(page << 16) | slot`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeAddr(u64);
@@ -169,6 +171,59 @@ impl NodePool {
         let off = slot * self.node_bytes;
         page[off..off + self.node_bytes].to_vec()
     }
+
+    /// Seals the pool: the partially-filled current page is finalized and
+    /// the next allocation claims a fresh page.
+    ///
+    /// Called before a durability commit so the pool never rewrites a page
+    /// below the committed frontier — in-place rewrites of committed pages
+    /// would be torn by a crash.
+    pub fn seal(&mut self) {
+        self.current_page = None;
+        self.used_slots = 0;
+    }
+
+    /// Page size this pool was built for.
+    pub(crate) fn page_bytes(&self) -> usize {
+        self.shadow.len()
+    }
+
+    /// Serializes the pool state for an index checkpoint.
+    pub(crate) fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.node_bytes as u64);
+        put_u64(buf, self.current_page.map_or(u64::MAX, |p| p.0));
+        put_u64(buf, self.used_slots as u64);
+        put_u64(buf, self.nodes_allocated);
+        put_u64(buf, self.pages_allocated);
+        put_bytes(buf, &self.shadow);
+    }
+
+    /// Deserializes pool state written by [`NodePool::encode_into`].
+    /// Returns `None` on any structural inconsistency.
+    pub(crate) fn decode_from(cursor: &mut &[u8]) -> Option<Self> {
+        let node_bytes = get_usize(cursor)?;
+        let current_raw = get_u64(cursor)?;
+        let used_slots = get_usize(cursor)?;
+        let nodes_allocated = get_u64(cursor)?;
+        let pages_allocated = get_u64(cursor)?;
+        let shadow = get_bytes(cursor)?;
+        if node_bytes == 0 || shadow.len() < node_bytes {
+            return None;
+        }
+        let slots_per_page = shadow.len() / node_bytes;
+        if used_slots > slots_per_page {
+            return None;
+        }
+        Some(NodePool {
+            node_bytes,
+            slots_per_page,
+            current_page: (current_raw != u64::MAX).then_some(PageId(current_raw)),
+            used_slots,
+            shadow,
+            nodes_allocated,
+            pages_allocated,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -243,5 +298,61 @@ mod tests {
     #[should_panic(expected = "node larger than a page")]
     fn oversized_node_panics() {
         NodePool::new(8192, 4096);
+    }
+
+    #[test]
+    fn sealed_pool_never_rewrites_its_old_page() {
+        let mut ssd = ssd();
+        let mut pool = NodePool::new(64, 4096);
+        let a = pool.alloc(&mut ssd, &[1u8; 64]).unwrap();
+        pool.seal();
+        let b = pool.alloc(&mut ssd, &[2u8; 64]).unwrap();
+        assert_ne!(a.page(), b.page(), "post-seal alloc claims a fresh page");
+        assert_eq!(pool.read(&mut ssd, a).unwrap(), vec![1u8; 64]);
+        assert_eq!(pool.read(&mut ssd, b).unwrap(), vec![2u8; 64]);
+    }
+
+    #[test]
+    fn pool_state_round_trips() {
+        let mut ssd = ssd();
+        let mut pool = NodePool::new(64, 4096);
+        let mut addrs = Vec::new();
+        for i in 0..5u8 {
+            addrs.push(pool.alloc(&mut ssd, &[i; 64]).unwrap());
+        }
+        let mut buf = Vec::new();
+        pool.encode_into(&mut buf);
+        let mut cur = buf.as_slice();
+        let mut restored = NodePool::decode_from(&mut cur).unwrap();
+        assert!(cur.is_empty());
+        assert_eq!(restored.nodes_allocated(), 5);
+        assert_eq!(restored.pages_allocated(), 1);
+        assert_eq!(restored.slots_per_page(), pool.slots_per_page());
+        // The restored pool continues allocating exactly where the original
+        // would have.
+        let next = restored.alloc(&mut ssd, &[9u8; 64]).unwrap();
+        assert_eq!(next.page(), addrs[0].page());
+        assert_eq!(next.slot(), 5);
+        for (i, a) in addrs.iter().enumerate() {
+            assert_eq!(restored.read(&mut ssd, *a).unwrap(), vec![i as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn pool_decode_rejects_inconsistent_state() {
+        let mut pool = NodePool::new(64, 4096);
+        pool.seal();
+        let mut buf = Vec::new();
+        pool.encode_into(&mut buf);
+        // Truncated input.
+        assert!(NodePool::decode_from(&mut &buf[..buf.len() - 1]).is_none());
+        // used_slots beyond the page's capacity.
+        let mut bad = buf.clone();
+        bad[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(NodePool::decode_from(&mut bad.as_slice()).is_none());
+        // Zero node size.
+        let mut bad = buf;
+        bad[0..8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(NodePool::decode_from(&mut bad.as_slice()).is_none());
     }
 }

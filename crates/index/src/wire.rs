@@ -1,0 +1,55 @@
+//! Tiny little-endian cursor helpers for checkpoint serialization.
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u64(buf, v.len() as u64);
+    buf.extend_from_slice(v);
+}
+
+pub(crate) fn get_u64(cursor: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = cursor.split_first_chunk::<8>()?;
+    *cursor = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+pub(crate) fn get_usize(cursor: &mut &[u8]) -> Option<usize> {
+    usize::try_from(get_u64(cursor)?).ok()
+}
+
+pub(crate) fn get_bytes(cursor: &mut &[u8]) -> Option<Vec<u8>> {
+    let len = get_usize(cursor)?;
+    if cursor.len() < len {
+        return None;
+    }
+    let (head, rest) = cursor.split_at(len);
+    *cursor = rest;
+    Some(head.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 42);
+        put_bytes(&mut buf, b"hello");
+        let mut cur = buf.as_slice();
+        assert_eq!(get_u64(&mut cur), Some(42));
+        assert_eq!(get_bytes(&mut cur), Some(b"hello".to_vec()));
+        assert!(cur.is_empty());
+        assert_eq!(get_u64(&mut cur), None, "exhausted cursor");
+    }
+
+    #[test]
+    fn truncated_input_is_none_not_panic() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"payload");
+        let mut cur = &buf[..buf.len() - 2];
+        assert_eq!(get_bytes(&mut cur), None);
+    }
+}

@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 use crate::crc::{crc32, crc32_padded};
 use crate::error::StorageError;
 use crate::perf::{CostLedger, DevicePerfModel};
+use crate::superblock::Superblock;
 
 /// Identifier of one fixed-size page on the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,10 +62,31 @@ pub trait PageStore: Send + Sync {
     /// Same conditions as [`PageStore::read_page`] and
     /// [`PageStore::append_page`].
     fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Durability barrier: every write issued before this call is persisted
+    /// before any write issued after it. [`FileStore`] maps this to
+    /// `File::sync_all`; [`MemStore`] is a no-op (RAM is its durable
+    /// medium); crash-injection wrappers use it as the flush point of their
+    /// simulated volatile write cache.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors for file-backed stores; [`StorageError::Crashed`] from
+    /// crash-injection wrappers.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// Discards every page with id ≥ `pages`, shrinking the extent. A
+    /// `pages` at or beyond the current extent is a no-op. Used by recovery
+    /// to drop the uncommitted tail after a crash.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors for file-backed stores.
+    fn truncate(&mut self, pages: u64) -> Result<(), StorageError>;
 }
 
 /// In-memory page store: the default functional backend.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MemStore {
     pages: Vec<Bytes>,
     page_bytes: usize,
@@ -133,6 +155,17 @@ impl PageStore for MemStore {
         self.pages[id.0 as usize] = page;
         Ok(())
     }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, pages: u64) -> Result<(), StorageError> {
+        if (pages as usize) < self.pages.len() {
+            self.pages.truncate(pages as usize);
+        }
+        Ok(())
+    }
 }
 
 /// File-backed page store for corpora larger than RAM.
@@ -146,15 +179,32 @@ pub struct FileStore {
 impl FileStore {
     /// Creates (truncating) a file-backed store at `path`.
     ///
+    /// Refuses to truncate a file that already carries a valid MithriLog
+    /// superblock — an existing store must be opened with
+    /// [`FileStore::open`] or deleted explicitly first.
+    ///
     /// # Errors
     ///
-    /// Propagates file creation errors.
+    /// [`StorageError::InvalidSuperblock`] if `path` holds a formatted
+    /// store; otherwise propagates file creation errors.
     ///
     /// # Panics
     ///
     /// Panics if `page_bytes` is zero.
     pub fn create(path: &Path, page_bytes: usize) -> Result<Self, StorageError> {
         assert!(page_bytes > 0, "page size must be positive");
+        if let Ok(mut existing) = File::open(path) {
+            if let Some((sb, _)) = Self::probe_superblock(&mut existing) {
+                return Err(StorageError::InvalidSuperblock(format!(
+                    "refusing to truncate {}: it holds a formatted store \
+                     (sequence {}, {} committed pages); open it with \
+                     FileStore::open or delete it first",
+                    path.display(),
+                    sb.sequence,
+                    sb.committed_pages
+                )));
+            }
+        }
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -166,6 +216,60 @@ impl FileStore {
             page_bytes,
             page_count: 0,
         })
+    }
+
+    /// Opens an existing formatted store at `path`, discovering the page
+    /// size from the superblock instead of trusting the caller.
+    ///
+    /// Either superblock slot may be torn (a crash during a superblock flip
+    /// is survivable by design), so slot 0 at offset 0 is tried first and
+    /// then slot 1 is probed at every supported power-of-two page size. A
+    /// trailing partial page (torn tail append) is excluded from the extent.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::InvalidSuperblock`] if no slot validates; I/O errors
+    /// from opening the file.
+    pub fn open(path: &Path) -> Result<Self, StorageError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = file;
+        let (_, page_bytes) = Self::probe_superblock(&mut file).ok_or_else(|| {
+            StorageError::InvalidSuperblock(format!(
+                "{}: no valid superblock in either slot",
+                path.display()
+            ))
+        })?;
+        let len = file.metadata()?.len();
+        let page_count = len / page_bytes as u64;
+        Ok(FileStore {
+            file: Mutex::new(file),
+            page_bytes,
+            page_count,
+        })
+    }
+
+    /// Tries to find a valid superblock in `file`: slot 0 at offset 0, then
+    /// slot 1 at offset `p` for each supported page size `p`. Returns the
+    /// decoded superblock and the store's page size.
+    fn probe_superblock(file: &mut File) -> Option<(Superblock, usize)> {
+        let mut read_at = |offset: u64| -> Option<Superblock> {
+            let mut buf = [0u8; Superblock::HEADER_BYTES];
+            file.seek(SeekFrom::Start(offset)).ok()?;
+            file.read_exact(&mut buf).ok()?;
+            Superblock::decode(&buf).ok()
+        };
+        if let Some(sb) = read_at(0) {
+            let pb = sb.page_bytes as usize;
+            return Some((sb, pb));
+        }
+        for &pb in Superblock::CANDIDATE_PAGE_SIZES {
+            if let Some(sb) = read_at(pb as u64) {
+                if sb.page_bytes as usize == pb {
+                    return Some((sb, pb));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -227,6 +331,19 @@ impl PageStore for FileStore {
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id.0 * self.page_bytes as u64))?;
         file.write_all(&buf)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.file.lock().sync_all()?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, pages: u64) -> Result<(), StorageError> {
+        if pages < self.page_count {
+            self.file.lock().set_len(pages * self.page_bytes as u64)?;
+            self.page_count = pages;
+        }
         Ok(())
     }
 }
@@ -433,6 +550,33 @@ impl<S: PageStore> SimSsd<S> {
     /// See [`SimSsd::read`].
     pub fn read_dependent(&mut self, id: PageId) -> Result<Bytes, StorageError> {
         self.read_with(id, true)
+    }
+
+    /// Issues a durability barrier to the underlying store and charges it
+    /// to the ledger.
+    ///
+    /// # Errors
+    ///
+    /// See [`PageStore::sync`].
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.store.sync()?;
+        self.ledger.syncs += 1;
+        Ok(())
+    }
+
+    /// Discards every page with id ≥ `pages` (and its checksum sidecar
+    /// entry). Used by recovery to drop an uncommitted tail.
+    ///
+    /// # Errors
+    ///
+    /// See [`PageStore::truncate`].
+    pub fn truncate(&mut self, pages: u64) -> Result<(), StorageError> {
+        self.store.truncate(pages)?;
+        let keep = usize::try_from(pages).unwrap_or(usize::MAX);
+        if keep < self.crc.len() {
+            self.crc.truncate(keep);
+        }
+        Ok(())
     }
 
     fn read_with(&mut self, id: PageId, dependent: bool) -> Result<Bytes, StorageError> {

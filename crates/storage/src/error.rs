@@ -36,6 +36,15 @@ pub enum StorageError {
         /// The page whose read failed.
         page: u64,
     },
+    /// The device crashed (simulated power loss): this and every subsequent
+    /// operation fails until the store is reopened and recovered.
+    Crashed {
+        /// The numbered operation at which the crash was injected.
+        op: u64,
+    },
+    /// A superblock failed validation: bad magic, unsupported format
+    /// version, page-size mismatch, or checksum failure.
+    InvalidSuperblock(String),
     /// An underlying I/O error from a file-backed store.
     Io(Arc<io::Error>),
 }
@@ -69,6 +78,12 @@ impl fmt::Display for StorageError {
                     f,
                     "transient read failure on page {page} (retry may succeed)"
                 )
+            }
+            StorageError::Crashed { op } => {
+                write!(f, "device crashed at operation {op}; reopen and recover")
+            }
+            StorageError::InvalidSuperblock(reason) => {
+                write!(f, "invalid superblock: {reason}")
             }
             StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
         }
@@ -122,6 +137,15 @@ mod tests {
         assert!(s.contains("0xdeadbeef") && s.contains("0x0badf00d"), "{s}");
         assert!(!e.is_transient());
         assert!(StorageError::TransientRead { page: 1 }.is_transient());
+    }
+
+    #[test]
+    fn crash_and_superblock_display() {
+        let e = StorageError::Crashed { op: 17 };
+        assert!(e.to_string().contains("17"), "{e}");
+        assert!(!e.is_transient(), "a crash is not retryable in-process");
+        let e = StorageError::InvalidSuperblock("bad magic".into());
+        assert!(e.to_string().contains("bad magic"), "{e}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use bytes::Bytes;
 
 use crate::device::{PageId, PageStore};
 use crate::error::StorageError;
+use crate::rng::SplitMix64;
 
 /// One kind of injected storage fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,38 +133,6 @@ impl FaultPlan {
     pub fn with_scheduled(mut self, page: u64, kind: FaultKind) -> Self {
         self.scheduled.push((page, kind));
         self
-    }
-}
-
-/// SplitMix64: small, fast, deterministic — the same generator the
-/// workspace's offline `rand` stand-in uses.
-#[derive(Debug)]
-struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    fn new(seed: u64) -> Self {
-        SplitMix64 {
-            state: seed ^ 0x1234_5678_9ABC_DEF0,
-        }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        debug_assert!(n > 0);
-        self.next_u64() % n
     }
 }
 
@@ -342,6 +311,23 @@ impl<S: PageStore> PageStore for FaultyStore<S> {
     fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<(), StorageError> {
         let valid = self.draw_write_faults(id.0, data.len());
         self.inner.write_page(id, &data[..valid])
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.inner.sync()
+    }
+
+    fn truncate(&mut self, pages: u64) -> Result<(), StorageError> {
+        self.inner.truncate(pages)?;
+        // Fault state attached to dropped pages dies with them.
+        let st = self
+            .state
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.rot.retain(|&p, _| p < pages);
+        st.transient.retain(|&p, _| p < pages);
+        st.torn_pending.retain(|&p, _| p < pages);
+        Ok(())
     }
 }
 

@@ -18,7 +18,13 @@
 //!   retries of transient read failures per [`RetryPolicy`], and a
 //!   full-device [`SimSsd::scrub`] scan producing a [`ScrubReport`];
 //! * deterministic fault injection ([`FaultyStore`] driven by a seeded
-//!   [`FaultPlan`]) for reproducible corruption and recovery drills.
+//!   [`FaultPlan`]) for reproducible corruption and recovery drills;
+//! * crash consistency: a dual-slot, CRC-protected [`Superblock`] flipped
+//!   write-new-then-swap at each commit, a backward-chained journal of
+//!   [`CommitRecord`] manifests, explicit [`PageStore::sync`] barriers,
+//!   and deterministic power-loss injection ([`CrashStore`] driven by a
+//!   [`CrashPlan`]) that freezes the store at exactly the bytes a real
+//!   crash would leave — including torn tail writes.
 //!
 //! # Example
 //!
@@ -36,16 +42,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crash;
 mod crc;
 mod device;
 mod error;
 mod faults;
+mod journal;
 mod perf;
+mod rng;
+mod superblock;
 
+pub use crash::{CrashHandle, CrashPlan, CrashStore};
 pub use crc::{crc32, crc32_padded, Crc32};
 pub use device::{
     CorruptPage, FileStore, MemStore, PageId, PageStore, RetryPolicy, ScrubReport, SimSsd,
 };
 pub use error::StorageError;
 pub use faults::{FaultKind, FaultPlan, FaultyStore, InjectedFault};
+pub use journal::{append_commit, replay as replay_journal, CommitRecord};
 pub use perf::{CostLedger, DevicePerfModel, Link};
+pub use superblock::{
+    format_device, read_active as read_active_superblock, write_commit as write_superblock_commit,
+    CheckpointRef, Superblock,
+};

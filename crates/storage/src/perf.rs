@@ -128,6 +128,8 @@ pub struct CostLedger {
     /// Extra read attempts spent recovering from transient read failures;
     /// each costs a full flash access latency in the model.
     pub retries: u64,
+    /// Durability barriers issued (commit-protocol sync points).
+    pub syncs: u64,
 }
 
 impl CostLedger {
@@ -146,6 +148,7 @@ impl CostLedger {
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             retries: self.retries - earlier.retries,
+            syncs: self.syncs - earlier.syncs,
         }
     }
 
@@ -216,6 +219,7 @@ mod tests {
             bytes_read: 40960,
             bytes_written: 4096,
             retries: 1,
+            syncs: 2,
         };
         let b = CostLedger {
             pages_read: 25,
@@ -224,12 +228,14 @@ mod tests {
             bytes_read: 102400,
             bytes_written: 4096,
             retries: 4,
+            syncs: 6,
         };
         let d = b.since(&a);
         assert_eq!(d.pages_read, 15);
         assert_eq!(d.dependent_visits, 3);
         assert_eq!(d.pages_written, 0);
         assert_eq!(d.retries, 3);
+        assert_eq!(d.syncs, 4);
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod config;
 mod scatter;
 mod stats;
 mod tokenizer;
+mod wire;
 mod word;
 
 pub use config::TokenizerConfig;

@@ -1,4 +1,5 @@
 use crate::tokenizer::Tokenizer;
+use crate::wire::{get_u64, get_usize, put_u64};
 
 /// Timing model of the round-robin line scatter across tokenizer lanes.
 ///
@@ -85,6 +86,51 @@ impl ScatterGather {
                 self.schedule_line(tokenizer, line.len());
             }
         }
+    }
+
+    /// Serializes the scheduler state for a durability checkpoint.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.lane_free_at.len() as u64);
+        for &free_at in &self.lane_free_at {
+            put_u64(&mut buf, free_at);
+        }
+        put_u64(&mut buf, self.next_lane as u64);
+        put_u64(&mut buf, self.gather_cycle);
+        put_u64(&mut buf, self.busy_cycles);
+        put_u64(&mut buf, self.lines);
+        buf
+    }
+
+    /// Restores a scheduler written by [`ScatterGather::to_bytes`].
+    /// Returns `None` for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let cur = &mut &bytes[..];
+        let lanes = get_usize(cur)?;
+        if lanes == 0 {
+            return None;
+        }
+        let mut lane_free_at = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            lane_free_at.push(get_u64(cur)?);
+        }
+        let next_lane = get_usize(cur)?;
+        if next_lane >= lanes {
+            return None;
+        }
+        let gather_cycle = get_u64(cur)?;
+        let busy_cycles = get_u64(cur)?;
+        let lines = get_u64(cur)?;
+        if !cur.is_empty() {
+            return None;
+        }
+        Some(ScatterGather {
+            lane_free_at,
+            next_lane,
+            gather_cycle,
+            busy_cycles,
+            lines,
+        })
     }
 
     /// Returns the occupancy summary so far.
@@ -176,6 +222,34 @@ mod tests {
         let mut sg = ScatterGather::new(8);
         sg.schedule_text(&t, b"one\ntwo\n\nthree\n");
         assert_eq!(sg.occupancy().lines, 3);
+    }
+
+    #[test]
+    fn scheduler_round_trips_through_bytes() {
+        let t = tok();
+        let mut sg = ScatterGather::new(4);
+        for i in 0..37 {
+            sg.schedule_line(&t, 10 + (i % 7) * 30);
+        }
+        let restored = ScatterGather::from_bytes(&sg.to_bytes()).expect("valid blob");
+        assert_eq!(restored.occupancy(), sg.occupancy());
+        // Restored state continues the schedule identically.
+        let mut a = sg.clone();
+        let mut b = restored;
+        assert_eq!(a.schedule_line(&t, 123), b.schedule_line(&t, 123));
+    }
+
+    #[test]
+    fn scheduler_from_bytes_rejects_malformed_input() {
+        let sg = ScatterGather::new(4);
+        let blob = sg.to_bytes();
+        assert!(ScatterGather::from_bytes(&blob[..blob.len() - 1]).is_none());
+        // next_lane out of range.
+        let mut bad = blob.clone();
+        bad[40..48].copy_from_slice(&9u64.to_le_bytes());
+        assert!(ScatterGather::from_bytes(&bad).is_none());
+        // Zero lanes.
+        assert!(ScatterGather::from_bytes(&0u64.to_le_bytes()).is_none());
     }
 
     #[test]

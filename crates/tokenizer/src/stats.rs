@@ -1,5 +1,6 @@
 use crate::config::TokenizerConfig;
 use crate::tokenizer::Tokenizer;
+use crate::wire::{get_u64, get_usize, put_u64};
 
 /// Statistics of the tokenized datapath over a corpus (paper §7.4.1).
 ///
@@ -175,6 +176,65 @@ impl DatapathStats {
         upto as f64 / self.tokens as f64
     }
 
+    /// Serializes the accumulator for a durability checkpoint.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.raw_bytes);
+        put_u64(&mut buf, self.useful_bytes);
+        put_u64(&mut buf, self.datapath_bytes);
+        put_u64(&mut buf, self.words);
+        put_u64(&mut buf, self.tokens);
+        put_u64(&mut buf, self.lines);
+        put_u64(&mut buf, self.line_len_sum);
+        put_u64(&mut buf, self.line_len_sq_sum as u64);
+        put_u64(&mut buf, (self.line_len_sq_sum >> 64) as u64);
+        put_u64(&mut buf, self.max_line_len as u64);
+        put_u64(&mut buf, self.token_len_hist.len() as u64);
+        for &bucket in &self.token_len_hist {
+            put_u64(&mut buf, bucket);
+        }
+        buf
+    }
+
+    /// Restores an accumulator written by [`DatapathStats::to_bytes`].
+    /// Returns `None` for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let cur = &mut &bytes[..];
+        let raw_bytes = get_u64(cur)?;
+        let useful_bytes = get_u64(cur)?;
+        let datapath_bytes = get_u64(cur)?;
+        let words = get_u64(cur)?;
+        let tokens = get_u64(cur)?;
+        let lines = get_u64(cur)?;
+        let line_len_sum = get_u64(cur)?;
+        let sq_lo = get_u64(cur)?;
+        let sq_hi = get_u64(cur)?;
+        let max_line_len = get_usize(cur)?;
+        let hist_len = get_usize(cur)?;
+        if hist_len != HIST_BUCKETS {
+            return None;
+        }
+        let mut token_len_hist = Vec::with_capacity(hist_len);
+        for _ in 0..hist_len {
+            token_len_hist.push(get_u64(cur)?);
+        }
+        if !cur.is_empty() {
+            return None;
+        }
+        Some(DatapathStats {
+            raw_bytes,
+            useful_bytes,
+            datapath_bytes,
+            words,
+            tokens,
+            lines,
+            token_len_hist,
+            line_len_sum,
+            line_len_sq_sum: u128::from(sq_lo) | (u128::from(sq_hi) << 64),
+            max_line_len,
+        })
+    }
+
     /// Merges another accumulator into this one (for parallel collection).
     pub fn merge(&mut self, other: &DatapathStats) {
         self.raw_bytes += other.raw_bytes;
@@ -285,6 +345,28 @@ mod tests {
         a.merge(&b);
         let whole = DatapathStats::of_text(&cfg, b"alpha beta\ngamma delta epsilon\n");
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn stats_round_trip_through_bytes() {
+        let s = stats_of("Jun 12 04:01:22 tbird-admin1 kernel: e1000 device eth0\nshort\n");
+        let restored = DatapathStats::from_bytes(&s.to_bytes()).expect("valid blob");
+        assert_eq!(restored, s);
+        // Continued accumulation after restore matches the original path.
+        assert_eq!(restored.lines(), 2);
+    }
+
+    #[test]
+    fn stats_from_bytes_rejects_malformed_input() {
+        let blob = stats_of("a bb ccc\n").to_bytes();
+        assert!(DatapathStats::from_bytes(&blob[..blob.len() - 4]).is_none());
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(DatapathStats::from_bytes(&long).is_none());
+        // Wrong histogram size.
+        let mut bad = blob;
+        bad[80..88].copy_from_slice(&7u64.to_le_bytes());
+        assert!(DatapathStats::from_bytes(&bad).is_none());
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Tiny little-endian cursor helpers for checkpoint serialization.
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u64(cursor: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = cursor.split_first_chunk::<8>()?;
+    *cursor = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+pub(crate) fn get_usize(cursor: &mut &[u8]) -> Option<usize> {
+    usize::try_from(get_u64(cursor)?).ok()
+}

@@ -1,5 +1,7 @@
 //! Larger-than-RAM operation: the same MithriLog system backed by a
-//! file-based page store instead of the in-memory device.
+//! file-based page store instead of the in-memory device — including the
+//! durability round trip: unmount, then recover-on-mount via
+//! [`MithriLog::open`].
 //!
 //! ```sh
 //! cargo run --release --example file_backed
@@ -7,30 +9,36 @@
 
 use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
-use mithrilog_storage::FileStore;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("mithrilog-file-backed-example");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("device.pages");
-
-    let config = SystemConfig::default();
-    let store = FileStore::create(&path, config.device.page_bytes)?;
-    let mut system = MithriLog::with_store(store, config)?;
+    // `create` refuses to clobber a formatted store, so clear any leftover
+    // from a previous run before formatting a fresh one.
+    let _ = std::fs::remove_file(&path);
 
     let dataset = generate(&DatasetSpec {
         profile: DatasetProfile::Bgl2,
         target_bytes: 1_000_000,
         seed: 55,
     });
-    let report = system.ingest(dataset.text())?;
-    println!(
-        "ingested {} lines into {} on-disk pages at {} ({:.2}x compression)",
-        report.lines,
-        report.data_pages,
-        path.display(),
-        report.compression_ratio()
-    );
+    {
+        let mut system = MithriLog::create(&path, SystemConfig::default())?;
+        let report = system.ingest(dataset.text())?;
+        println!(
+            "ingested {} lines into {} on-disk pages at {} ({:.2}x compression)",
+            report.lines,
+            report.data_pages,
+            path.display(),
+            report.compression_ratio()
+        );
+    } // store dropped: the "process" ends here
+
+    // Remount: the superblock is validated, the journal replayed, and the
+    // index restored from its committed checkpoint — no reindexing pass.
+    let (mut system, recovery) = MithriLog::open(&path, SystemConfig::default())?;
+    println!("remounted: {recovery}");
 
     let outcome = system.query_str("FATAL AND ciod:")?;
     println!(

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
@@ -12,5 +15,8 @@ cargo test --workspace -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> mithrilog recover --self-check (bounded crash-matrix smoke)"
+cargo run --release -p mithrilog-cli --quiet -- recover --self-check --points 12
 
 echo "==> ci.sh: all green"

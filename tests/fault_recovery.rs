@@ -11,11 +11,17 @@
 //!    cost ledger as a full flash-access latency;
 //! 4. a corrupt index page downgrades the plan to a filtered full scan —
 //!    results stay complete, only the pruning is lost.
+//!
+//! Power-loss cases ride on the same determinism contract through
+//! [`CrashPlan`]: a crash mid-commit recovers to the acknowledged prefix,
+//! and a torn superblock slot falls back to the previous commit. The
+//! exhaustive every-operation sweep lives in `tests/crash_matrix.rs`.
 
-use mithrilog::{MithriLog, SystemConfig};
+use mithrilog::{MithriLog, MithriLogError, SystemConfig};
 use mithrilog_loggen::{generate, Dataset, DatasetProfile, DatasetSpec};
 use mithrilog_storage::{
-    FaultKind, FaultPlan, FaultyStore, Link, MemStore, PageStore, RetryPolicy,
+    read_active_superblock, CrashPlan, CrashStore, FaultKind, FaultPlan, FaultyStore, Link,
+    MemStore, PageId, PageStore, RetryPolicy, SimSsd, StorageError, Superblock,
 };
 
 fn corpus() -> Dataset {
@@ -147,6 +153,92 @@ fn exhausted_retries_skip_the_page_instead_of_failing_the_query() {
     );
     assert!(outcome.ledger.retries > 0);
     assert!(outcome.match_count() > 0);
+}
+
+/// Splits the corpus near the middle on a line boundary.
+fn split_point(text: &[u8]) -> usize {
+    let mut split = text.len() / 2;
+    while text[split] != b'\n' {
+        split += 1;
+    }
+    split + 1
+}
+
+#[test]
+fn crash_during_commit_recovers_to_the_acknowledged_prefix() {
+    let config = SystemConfig::for_tests();
+    let data = corpus();
+    let text = data.text();
+    let split = split_point(text);
+
+    // Size the first batch's op footprint with the power held up, then
+    // replay with the plug pulled a few operations into the second batch.
+    let ops_after_first = {
+        let store = CrashStore::new(MemStore::new(config.device.page_bytes), CrashPlan::never());
+        let mut s = MithriLog::with_store(store, config.clone()).unwrap();
+        s.ingest(&text[..split]).unwrap();
+        s.device().store().ops()
+    };
+    let plan = CrashPlan::crash_at(ops_after_first + 5).with_seed(1234);
+    let (store, handle) = CrashStore::with_handle(MemStore::new(config.device.page_bytes), plan);
+    let mut s = MithriLog::with_store(store, config.clone()).unwrap();
+    let first = s.ingest(&text[..split]).unwrap();
+    let err = s.ingest(&text[split..]).unwrap_err();
+    assert!(
+        matches!(err, MithriLogError::Storage(StorageError::Crashed { .. })),
+        "{err}"
+    );
+    drop(s);
+
+    let (mut recovered, report) = MithriLog::open_store(handle.snapshot(), config).unwrap();
+    assert_eq!(report.superblock_sequence, 1, "{report}");
+    assert_eq!(recovered.lines(), first.lines, "acked lines must survive");
+    let dump = recovered.query_str("NOT zz-absent-token-zz").unwrap();
+    assert_eq!(dump.match_count(), first.lines, "no partial batch visible");
+}
+
+#[test]
+fn torn_superblock_falls_back_to_the_previous_commit() {
+    let config = SystemConfig::for_tests();
+    let data = corpus();
+    let text = data.text();
+    let split = split_point(text);
+
+    let (store, handle) =
+        CrashStore::with_handle(MemStore::new(config.device.page_bytes), CrashPlan::never());
+    let mut system = MithriLog::with_store(store, config.clone()).unwrap();
+    let first = system.ingest(&text[..split]).unwrap();
+    system.ingest(&text[split..]).unwrap();
+    drop(system);
+    let mut durable = handle.snapshot();
+
+    let active = {
+        let mut probe = SimSsd::new(durable.clone(), config.device);
+        read_active_superblock(&mut probe).unwrap()
+    };
+    assert_eq!(active.sequence, 2, "one commit per ingest call");
+
+    // Tear the active slot mid-record, as a power loss during the flip
+    // would: its CRC no longer validates, so the mount must fall back to
+    // the older slot — the previous commit.
+    let slot_page = PageId(active.sequence % Superblock::SLOTS);
+    let torn = durable.read_page(slot_page).unwrap()[..20].to_vec();
+    durable.write_page(slot_page, &torn).unwrap();
+
+    let (mut recovered, report) = MithriLog::open_store(durable.clone(), config.clone()).unwrap();
+    assert_eq!(report.superblock_sequence, active.sequence - 1, "{report}");
+    assert_eq!(recovered.lines(), first.lines);
+    assert!(
+        report.uncommitted_pages_discarded > 0,
+        "the second commit's pages become the discarded tail"
+    );
+    let dump = recovered.query_str("NOT zz-absent-token-zz").unwrap();
+    assert_eq!(dump.match_count(), first.lines);
+
+    // With both slots gone there is nothing left to mount.
+    durable.write_page(PageId(0), b"xx").unwrap();
+    durable.write_page(PageId(1), b"xx").unwrap();
+    assert!(MithriLog::open_store(durable, config).is_err());
 }
 
 #[test]

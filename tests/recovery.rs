@@ -1,8 +1,8 @@
 //! Recovery and correlation integration tests: index rebuild after a
-//! simulated host restart, and the §8 join workflow over two filtered
-//! event classes.
+//! simulated host restart, a real on-disk unmount/remount round trip, and
+//! the §8 join workflow over two filtered event classes.
 
-use mithrilog::{MithriLog, SystemConfig};
+use mithrilog::{IndexRecovery, MithriLog, SystemConfig};
 use mithrilog_analytics::{correlate_counts, extract_node, join_on};
 use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
 
@@ -45,6 +45,32 @@ fn rebuild_restores_identical_query_results() {
         .map(|q| system.query_str(q).unwrap().match_count())
         .collect();
     assert_eq!(before, after, "results must survive an index rebuild");
+
+    // Now the real thing: the same corpus through an on-disk store, the
+    // process "restarting" (store dropped), and a recovery-on-mount reopen.
+    let dir = std::env::temp_dir().join("mithrilog-recovery-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("reopen-{}.mlog", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut disk = MithriLog::create(&path, SystemConfig::for_tests()).unwrap();
+        disk.ingest(&text).unwrap();
+    }
+    // A formatted store must never be silently reformatted.
+    assert!(MithriLog::create(&path, SystemConfig::for_tests()).is_err());
+
+    let (mut reopened, report) = MithriLog::open(&path, SystemConfig::for_tests()).unwrap();
+    assert_eq!(report.index, IndexRecovery::Checkpoint, "{report}");
+    assert_eq!(report.uncommitted_pages_discarded, 0, "clean shutdown");
+    assert_eq!(reopened.lines(), lines_before);
+    assert_eq!(reopened.raw_bytes(), raw_before);
+    let on_disk: Vec<u64> = queries
+        .iter()
+        .map(|q| reopened.query_str(q).unwrap().match_count())
+        .collect();
+    assert_eq!(before, on_disk, "results must survive unmount + remount");
+    drop(reopened);
+    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
