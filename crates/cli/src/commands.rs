@@ -19,7 +19,15 @@ fn read_log(path: &str) -> Result<Vec<u8>, Box<dyn Error>> {
 }
 
 fn ingest(text: &[u8]) -> Result<MithriLog, Box<dyn Error>> {
-    let mut system = MithriLog::new(SystemConfig::default());
+    ingest_with_threads(text, None)
+}
+
+fn ingest_with_threads(text: &[u8], threads: Option<usize>) -> Result<MithriLog, Box<dyn Error>> {
+    let config = SystemConfig {
+        query_threads: threads.unwrap_or(0),
+        ..SystemConfig::default()
+    };
+    let mut system = MithriLog::new(config);
     let t0 = Instant::now();
     let report = system.ingest(text)?;
     eprintln!(
@@ -33,23 +41,29 @@ fn ingest(text: &[u8]) -> Result<MithriLog, Box<dyn Error>> {
     Ok(system)
 }
 
-/// `mithrilog query <logfile> <query...>`
+/// `mithrilog query <logfile> [--threads <n>] <query...>`
+///
+/// `--threads` sets the parallel datapath's worker count (0 or omitted =
+/// one worker per modeled flash channel). Results are byte-identical for
+/// every value; only wall-clock time changes.
 pub fn query(args: &[String]) -> CliResult {
-    let (path, query_text) = split_path_query(args, "query")?;
+    let (threads, args) = take_usize_flag(args, "--threads")?;
+    let (path, query_text) = split_path_query(&args, "query")?;
     let text = read_log(path)?;
-    let mut system = ingest(&text)?;
+    let mut system = ingest_with_threads(&text, threads)?;
     let outcome = system.query_str(&query_text)?;
     for line in &outcome.lines {
         println!("{line}");
     }
     eprintln!(
         "\n{} matching lines | offloaded: {} | index used: {} | pages scanned: {}/{} | \
-         modeled device time: {:?} | wall: {:?}",
+         threads: {} | modeled device time: {:?} | wall: {:?}",
         outcome.match_count(),
         outcome.offloaded,
         outcome.used_index,
         outcome.pages_scanned,
         system.data_page_count(),
+        system.config().resolved_query_threads(),
         outcome.modeled_time,
         outcome.wall_time,
     );
@@ -323,11 +337,12 @@ pub fn stats(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// `mithrilog spikes <logfile> <query...>`
+/// `mithrilog spikes <logfile> [--threads <n>] <query...>`
 pub fn spikes(args: &[String]) -> CliResult {
-    let (path, query_text) = split_path_query(args, "spikes")?;
+    let (threads, args) = take_usize_flag(args, "--threads")?;
+    let (path, query_text) = split_path_query(&args, "spikes")?;
     let text = read_log(path)?;
-    let mut system = ingest(&text)?;
+    let mut system = ingest_with_threads(&text, threads)?;
     let outcome = system.query_str(&query_text)?;
     eprintln!("{} events match {:?}", outcome.match_count(), query_text);
     let mut histogram = TimeHistogram::new(60);
@@ -394,6 +409,25 @@ fn split_path_query<'a>(
         return Err(format!("usage: mithrilog {cmd} <logfile> <query...>").into());
     }
     Ok((path, rest.join(" ")))
+}
+
+/// Removes `flag <value>` from `args`, returning the parsed value and the
+/// remaining arguments — for flags that may appear anywhere among
+/// positional arguments that are later joined (query text).
+fn take_usize_flag(
+    args: &[String],
+    flag: &str,
+) -> Result<(Option<usize>, Vec<String>), Box<dyn Error>> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok((None, args.to_vec()));
+    };
+    let v = args
+        .get(pos + 1)
+        .ok_or_else(|| format!("{flag} needs a value"))?;
+    let v: usize = v.parse().map_err(|_| format!("{flag} needs an integer"))?;
+    let mut rest = args.to_vec();
+    rest.drain(pos..=pos + 1);
+    Ok((Some(v), rest))
 }
 
 fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, Box<dyn Error>> {
@@ -474,6 +508,36 @@ mod tests {
         let path = temp_log();
         let args = strs(&[path.to_str().unwrap(), "session", "AND", "opened"]);
         query(&args).expect("query command");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn take_usize_flag_extracts_and_removes() {
+        let args = strs(&["x.log", "--threads", "4", "failed", "AND", "ok"]);
+        let (threads, rest) = take_usize_flag(&args, "--threads").unwrap();
+        assert_eq!(threads, Some(4));
+        assert_eq!(rest, strs(&["x.log", "failed", "AND", "ok"]));
+        let (none, same) = take_usize_flag(&rest, "--threads").unwrap();
+        assert_eq!(none, None);
+        assert_eq!(same, rest);
+        assert!(take_usize_flag(&strs(&["--threads"]), "--threads").is_err());
+        assert!(take_usize_flag(&strs(&["--threads", "x"]), "--threads").is_err());
+    }
+
+    #[test]
+    fn query_command_accepts_threads_flag() {
+        let path = temp_log();
+        for threads in ["1", "4"] {
+            let args = strs(&[
+                path.to_str().unwrap(),
+                "--threads",
+                threads,
+                "session",
+                "AND",
+                "opened",
+            ]);
+            query(&args).expect("query with --threads");
+        }
         std::fs::remove_file(&path).ok();
     }
 

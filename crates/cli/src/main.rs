@@ -1,10 +1,12 @@
 //! `mithrilog` — command-line interface to the MithriLog system.
 //!
 //! ```text
-//! mithrilog query  <logfile> <query...>     run a token query end to end
+//! mithrilog query  <logfile> [--threads <n>] <query...>
+//!                                           run a token query end to end
 //! mithrilog tag    <logfile> [-n <k>]       extract templates and tag traffic
 //! mithrilog stats  <logfile>                dataset/compression/datapath stats
-//! mithrilog spikes <logfile> <query...>     filter, histogram, flag rate spikes
+//! mithrilog spikes <logfile> [--threads <n>] <query...>
+//!                                           filter, histogram, flag rate spikes
 //! mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log
 //! mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>]
 //!                                           fault drill: inject bit rot, verify scrub
@@ -56,10 +58,12 @@ fn print_usage() {
         "mithrilog — near-storage accelerated log analytics (MICRO '21 reproduction)\n\
          \n\
          usage:\n\
-         \x20 mithrilog query  <logfile> <query...>     run a token query end to end\n\
+         \x20 mithrilog query  <logfile> [--threads <n>] <query...>\n\
+         \x20                                           run a token query end to end\n\
          \x20 mithrilog tag    <logfile> [-n <k>]       extract templates and tag traffic\n\
          \x20 mithrilog stats  <logfile>                dataset/compression/datapath stats\n\
-         \x20 mithrilog spikes <logfile> <query...>     filter, histogram, flag rate spikes\n\
+         \x20 mithrilog spikes <logfile> [--threads <n>] <query...>\n\
+         \x20                                           filter, histogram, flag rate spikes\n\
          \x20 mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log\n\
          \x20 mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>]\n\
          \x20                                           fault drill: inject bit rot, verify scrub\n\

@@ -460,6 +460,16 @@ mod tests {
     }
 
     #[test]
+    fn codec_is_shareable_across_scan_workers() {
+        // Each parallel-scan worker builds a thread-local codec from the
+        // `Copy` config; the codec itself holds no interior state, so it is
+        // freely sendable and shareable.
+        fn assert_worker_safe<T: Send + Sync + Clone>() {}
+        assert_worker_safe::<Lzah>();
+        assert_worker_safe::<LzahConfig>();
+    }
+
+    #[test]
     fn short_inputs_round_trip() {
         roundtrip(b"a");
         roundtrip(b"\n");

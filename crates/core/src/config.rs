@@ -24,6 +24,12 @@ pub struct SystemConfig {
     /// Whether queries use the inverted index (disable to force the
     /// full-scan comparison of §7.4.2).
     pub use_index: bool,
+    /// Worker threads for the parallel query/ingest datapath, modeling the
+    /// paper's N filter pipelines fed by parallel flash channels (§5,
+    /// Figure 7). `0` (the default) resolves to the device model's channel
+    /// count; see [`SystemConfig::resolved_query_threads`]. Results are
+    /// byte-identical for every thread count — only wall-clock time changes.
+    pub query_threads: usize,
 }
 
 impl Default for SystemConfig {
@@ -35,6 +41,7 @@ impl Default for SystemConfig {
             index: IndexParams::default(),
             device: DevicePerfModel::bluedbm_prototype(),
             use_index: true,
+            query_threads: 0,
         }
     }
 }
@@ -46,6 +53,17 @@ impl SystemConfig {
         SystemConfig {
             use_index: false,
             ..SystemConfig::default()
+        }
+    }
+
+    /// The worker count the parallel datapath actually uses: the explicit
+    /// `query_threads` when non-zero, otherwise one worker per modeled flash
+    /// channel (the paper pairs each filter pipeline with a channel).
+    pub fn resolved_query_threads(&self) -> usize {
+        if self.query_threads == 0 {
+            self.device.channels.max(1)
+        } else {
+            self.query_threads
         }
     }
 
@@ -76,5 +94,17 @@ mod tests {
     #[test]
     fn full_scan_only_disables_index() {
         assert!(!SystemConfig::full_scan_only().use_index);
+    }
+
+    #[test]
+    fn query_threads_default_to_channel_count() {
+        let c = SystemConfig::default();
+        assert_eq!(c.query_threads, 0);
+        assert_eq!(c.resolved_query_threads(), c.device.channels);
+        let explicit = SystemConfig {
+            query_threads: 6,
+            ..SystemConfig::default()
+        };
+        assert_eq!(explicit.resolved_query_threads(), 6);
     }
 }

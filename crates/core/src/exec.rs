@@ -1,0 +1,467 @@
+//! Parallel multi-pipeline execution engine (paper §5, Figure 7).
+//!
+//! The prototype instantiates N token-filter pipelines, each fed by its own
+//! flash channel, and saturates the device's internal bandwidth by keeping
+//! all N busy. This module is the software realization of that dataflow: a
+//! fixed-size pool of scoped worker threads, one per modeled channel
+//! (`SystemConfig::query_threads`), over which the query page plan is
+//! striped round-robin — page *i* of the plan rides channel `i mod N`,
+//! exactly how pages interleave across flash channels on the device.
+//!
+//! Each worker owns a complete pipeline replica: a private
+//! [`SsdReader`] (shared-access reads with a thread-local cost ledger), a
+//! thread-local LZAH codec, and the compiled filter (shared immutably —
+//! filtering is `&self`). Workers never exchange state mid-scan.
+//!
+//! **Determinism invariant:** the merged result is byte-identical to a
+//! sequential scan for every worker count. Three properties guarantee it:
+//!
+//! 1. page outcomes (matched line ranges, skip decisions, retry counts) are
+//!    pure per-page functions — no cross-page state exists in the scan;
+//! 2. results merge in plan order (by slot), so matched lines and
+//!    `skipped_pages` keep exactly the sequential order;
+//! 3. ledger counters are additive, so per-worker ledgers merged in any
+//!    order sum to the sequential totals.
+//!
+//! Matched lines are carried as byte ranges into each page's decompressed
+//! text and materialized into `String`s once, after the merge — a single
+//! exact-capacity allocation pass instead of a per-line allocation inside
+//! the scan loop.
+
+use std::ops::Range;
+use std::thread;
+
+use mithrilog_compress::{compress_paged, Codec, Lzah, LzahConfig, PagedLog};
+use mithrilog_filter::FilterPipeline;
+use mithrilog_query::Query;
+use mithrilog_storage::{CostLedger, PageId, PageStore, SimSsd, SsdReader, StorageError};
+
+/// Whether a storage error is survivable by skipping the affected page:
+/// corruption and exhausted transient retries lose one page of data;
+/// anything else (out-of-range access, host I/O failure) is a real bug or
+/// environment failure and must propagate.
+pub(crate) fn page_is_skippable(e: &StorageError) -> bool {
+    matches!(
+        e,
+        StorageError::Corrupt { .. } | StorageError::TransientRead { .. }
+    )
+}
+
+/// The filtering engine a scan runs with: the compiled hardware pipeline
+/// when the query fit the filter's resources, or the software evaluator
+/// otherwise. Shared immutably across workers; each evaluation builds its
+/// own per-line filter state, so `&self` access is enough.
+pub(crate) enum Engine<'q> {
+    /// Offloaded path: the cuckoo-hash filter model.
+    Hardware(&'q FilterPipeline),
+    /// Fallback path: reference software evaluation of the query AST.
+    Software(&'q Query),
+}
+
+/// Outcome of scanning one page.
+enum Scanned {
+    /// The page decompressed and was filtered.
+    Page(PageScan),
+    /// The page was skipped (corrupt, unreadable, or undecompressible).
+    Skipped(u64),
+}
+
+/// One filtered page: its decompressed text plus the matched line ranges.
+struct PageScan {
+    text: Vec<u8>,
+    /// Byte ranges of matching lines within `text`, in line order.
+    matches: Vec<Range<usize>>,
+    lines_scanned: u64,
+}
+
+/// Merged result of a (possibly parallel) page scan.
+pub(crate) struct ScanResult {
+    /// Matching lines in plan order, materialized once after the merge.
+    pub lines: Vec<String>,
+    /// Skipped page ids, in plan order.
+    pub skipped_pages: Vec<u64>,
+    /// Lines examined across all scanned pages.
+    pub lines_scanned: u64,
+    /// Decompressed bytes pushed through the filter.
+    pub bytes_filtered: u64,
+    /// Pages that decompressed and were filtered (excludes skips).
+    pub pages_filtered: u64,
+    /// Summed per-worker device costs; fold into the device with
+    /// [`SimSsd::merge_ledger`].
+    pub ledger: CostLedger,
+    /// First non-survivable storage error, by plan position. The ledger
+    /// above still accounts every read issued before workers stopped.
+    pub error: Option<StorageError>,
+}
+
+/// Scans `pages` through `engine`, striped across `threads` workers.
+///
+/// `threads == 1` runs the identical per-page code inline (no threads
+/// spawned); any `threads >= 1` produces byte-identical results — see the
+/// module docs for the determinism argument.
+pub(crate) fn scan_pages<S: PageStore>(
+    ssd: &SimSsd<S>,
+    lzah: LzahConfig,
+    engine: &Engine<'_>,
+    pages: &[PageId],
+    threads: usize,
+) -> ScanResult {
+    let workers = threads.max(1).min(pages.len().max(1));
+    let mut slots: Vec<Option<Scanned>> = Vec::with_capacity(pages.len());
+    slots.resize_with(pages.len(), || None);
+    let mut ledger = CostLedger::default();
+    // (plan position, error) pairs; the earliest plan position wins so the
+    // propagated error does not depend on worker interleaving.
+    let mut errors: Vec<(usize, StorageError)> = Vec::new();
+
+    if workers <= 1 {
+        let mut reader = ssd.reader();
+        let codec = Lzah::new(lzah);
+        for (slot, page) in pages.iter().enumerate() {
+            match scan_one(&mut reader, &codec, engine, *page) {
+                Ok(scanned) => slots[slot] = Some(scanned),
+                Err(e) => {
+                    errors.push((slot, e));
+                    break;
+                }
+            }
+        }
+        ledger.merge(&reader.into_ledger());
+    } else {
+        let outputs: Vec<WorkerOutput> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = WorkerOutput::default();
+                        let mut reader = ssd.reader();
+                        let codec = Lzah::new(lzah);
+                        for slot in (w..pages.len()).step_by(workers) {
+                            match scan_one(&mut reader, &codec, engine, pages[slot]) {
+                                Ok(scanned) => out.scans.push((slot, scanned)),
+                                Err(e) => {
+                                    out.error = Some((slot, e));
+                                    break;
+                                }
+                            }
+                        }
+                        out.ledger = reader.into_ledger();
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
+        for out in outputs {
+            ledger.merge(&out.ledger);
+            for (slot, scanned) in out.scans {
+                slots[slot] = Some(scanned);
+            }
+            if let Some(err) = out.error {
+                errors.push(err);
+            }
+        }
+    }
+    errors.sort_by_key(|(slot, _)| *slot);
+    let error = errors.into_iter().next().map(|(_, e)| e);
+
+    // Order-preserving merge, then one exact-capacity materialization pass.
+    let mut result = ScanResult {
+        lines: Vec::new(),
+        skipped_pages: Vec::new(),
+        lines_scanned: 0,
+        bytes_filtered: 0,
+        pages_filtered: 0,
+        ledger,
+        error,
+    };
+    let total_matches: usize = slots
+        .iter()
+        .flatten()
+        .map(|s| match s {
+            Scanned::Page(p) => p.matches.len(),
+            Scanned::Skipped(_) => 0,
+        })
+        .sum();
+    result.lines.reserve_exact(total_matches);
+    for scanned in slots.into_iter().flatten() {
+        match scanned {
+            Scanned::Page(p) => {
+                result.lines_scanned += p.lines_scanned;
+                result.bytes_filtered += p.text.len() as u64;
+                result.pages_filtered += 1;
+                for range in &p.matches {
+                    result
+                        .lines
+                        .push(String::from_utf8_lossy(&p.text[range.clone()]).into_owned());
+                }
+            }
+            Scanned::Skipped(page) => result.skipped_pages.push(page),
+        }
+    }
+    result
+}
+
+#[derive(Default)]
+struct WorkerOutput {
+    scans: Vec<(usize, Scanned)>,
+    ledger: CostLedger,
+    error: Option<(usize, StorageError)>,
+}
+
+/// One worker step: read → decompress → filter a single page. Pure in the
+/// page id given the device contents, so striping cannot change results.
+fn scan_one<S: PageStore>(
+    reader: &mut SsdReader<'_, S>,
+    codec: &Lzah,
+    engine: &Engine<'_>,
+    page: PageId,
+) -> Result<Scanned, StorageError> {
+    let raw = match reader.read(page) {
+        Ok(raw) => raw,
+        Err(e) if page_is_skippable(&e) => return Ok(Scanned::Skipped(page.0)),
+        Err(e) => return Err(e),
+    };
+    // Corruption the checksum missed (or pages written before the sidecar
+    // existed) still gets caught by the decoder's internal consistency
+    // checks; one bad page is not worth the query.
+    let text = match codec.decompress(&raw) {
+        Ok(text) => text,
+        Err(_) => return Ok(Scanned::Skipped(page.0)),
+    };
+    let base = text.as_ptr() as usize;
+    let mut matches = Vec::new();
+    let mut lines_scanned = 0u64;
+    match engine {
+        Engine::Hardware(pipeline) => {
+            let (kept, stats) = pipeline.filter_text_with_stats(&text);
+            lines_scanned = stats.lines_in;
+            matches.reserve_exact(kept.len());
+            for line in kept {
+                let start = line.as_ptr() as usize - base;
+                matches.push(start..start + line.len());
+            }
+        }
+        Engine::Software(query) => {
+            for line in text.split(|b| *b == b'\n') {
+                if line.is_empty() {
+                    continue;
+                }
+                lines_scanned += 1;
+                let s = String::from_utf8_lossy(line);
+                if query.matches_line(&s) {
+                    let start = line.as_ptr() as usize - base;
+                    matches.push(start..start + line.len());
+                }
+            }
+        }
+    }
+    Ok(Scanned::Page(PageScan {
+        text,
+        matches,
+        lines_scanned,
+    }))
+}
+
+/// Byte target for one ingest compression shard. Shard boundaries are a
+/// deterministic function of the input alone — never of the worker count —
+/// so the device page layout is identical no matter how many threads
+/// compress it (seeded fault plans and the determinism tests rely on that).
+/// One shard spans hundreds of 4 KB pages, amortizing the per-shard codec
+/// reset to noise; inputs below the target compress exactly as before the
+/// pool existed.
+const COMPRESS_SHARD_BYTES: usize = 1 << 20;
+
+/// Compresses `text` into page-sized LZAH frames using up to `threads`
+/// workers: the input splits at line boundaries into fixed-size shards,
+/// each shard compresses independently (pages already reset the codec's
+/// hash table, so sharding costs no compression ratio), and the shards
+/// return in input order. Concatenating every shard's pages yields frames
+/// whose `raw_len`s tile `text` exactly, like a single `compress_paged`.
+pub(crate) fn compress_paged_striped(
+    text: &[u8],
+    config: LzahConfig,
+    page_bytes: usize,
+    threads: usize,
+) -> Vec<PagedLog> {
+    let shards = shard_at_lines(text, COMPRESS_SHARD_BYTES);
+    let workers = threads.max(1).min(shards.len().max(1));
+    if workers <= 1 {
+        return shards
+            .into_iter()
+            .map(|s| compress_paged(s, config, page_bytes))
+            .collect();
+    }
+    let mut slots: Vec<Option<PagedLog>> = Vec::with_capacity(shards.len());
+    slots.resize_with(shards.len(), || None);
+    let compressed: Vec<(usize, PagedLog)> = thread::scope(|scope| {
+        let shards = &shards;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..shards.len())
+                        .step_by(workers)
+                        .map(|i| (i, compress_paged(shards[i], config, page_bytes)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("compression worker panicked"))
+            .collect()
+    });
+    for (slot, paged) in compressed {
+        slots[slot] = Some(paged);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every shard compressed"))
+        .collect()
+}
+
+/// Splits `text` into chunks of roughly `target` bytes, never inside a
+/// line. A single line longer than `target` stays whole in its shard.
+fn shard_at_lines(text: &[u8], target: usize) -> Vec<&[u8]> {
+    let mut shards = Vec::new();
+    let mut start = 0usize;
+    while start < text.len() {
+        let mut end = (start + target).min(text.len());
+        while end < text.len() && text[end - 1] != b'\n' {
+            end += 1;
+        }
+        shards.push(&text[start..end]);
+        start = end;
+    }
+    if shards.is_empty() {
+        shards.push(text);
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithrilog_storage::{DevicePerfModel, MemStore};
+
+    fn ssd_with_pages(texts: &[&str]) -> (SimSsd<MemStore>, Vec<PageId>) {
+        let config = LzahConfig::default();
+        let mut ssd = SimSsd::new(MemStore::new(4096), DevicePerfModel::bluedbm_prototype());
+        let mut pages = Vec::new();
+        for t in texts {
+            let paged = compress_paged(t.as_bytes(), config, 4096);
+            for frame in paged.pages() {
+                pages.push(ssd.append(frame.data()).unwrap());
+            }
+        }
+        (ssd, pages)
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_exactly() {
+        let texts: Vec<String> = (0..12)
+            .map(|i| format!("alpha event {i}\nbeta event {i}\ngamma noise {i}\n"))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (ssd, pages) = ssd_with_pages(&refs);
+        let query = mithrilog_query::parse("event AND NOT beta").unwrap();
+        let pipeline = FilterPipeline::compile(&query).unwrap();
+        let engine = Engine::Hardware(&pipeline);
+        let seq = scan_pages(&ssd, LzahConfig::default(), &engine, &pages, 1);
+        for threads in [2, 3, 4, 8] {
+            let par = scan_pages(&ssd, LzahConfig::default(), &engine, &pages, threads);
+            assert_eq!(par.lines, seq.lines, "{threads} threads");
+            assert_eq!(par.lines_scanned, seq.lines_scanned);
+            assert_eq!(par.bytes_filtered, seq.bytes_filtered);
+            assert_eq!(par.ledger, seq.ledger);
+            assert_eq!(par.skipped_pages, seq.skipped_pages);
+        }
+        assert_eq!(seq.lines.len(), 12);
+        assert!(seq.lines[0].contains("alpha event 0"));
+    }
+
+    #[test]
+    fn software_engine_agrees_with_hardware_engine() {
+        let texts: Vec<String> = (0..6)
+            .map(|i| format!("RAS KERNEL INFO ok {i}\nRAS KERNEL FATAL bad {i}\n"))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (ssd, pages) = ssd_with_pages(&refs);
+        let query = mithrilog_query::parse("FATAL").unwrap();
+        let pipeline = FilterPipeline::compile(&query).unwrap();
+        let hw = scan_pages(
+            &ssd,
+            LzahConfig::default(),
+            &Engine::Hardware(&pipeline),
+            &pages,
+            3,
+        );
+        let sw = scan_pages(
+            &ssd,
+            LzahConfig::default(),
+            &Engine::Software(&query),
+            &pages,
+            3,
+        );
+        assert_eq!(hw.lines, sw.lines);
+        assert_eq!(hw.lines_scanned, sw.lines_scanned);
+    }
+
+    #[test]
+    fn sharded_compression_tiles_the_input_exactly() {
+        let mut text = Vec::new();
+        for i in 0..40_000 {
+            text.extend_from_slice(
+                format!("log line number {i} with some routine text\n").as_bytes(),
+            );
+        }
+        assert!(text.len() > COMPRESS_SHARD_BYTES, "must span shards");
+        for threads in [1, 2, 4] {
+            let shards = compress_paged_striped(&text, LzahConfig::default(), 4096, threads);
+            let mut rebuilt = Vec::new();
+            for frame in shards.iter().flat_map(|p| p.pages()) {
+                rebuilt.extend_from_slice(&Lzah::default().decompress(frame.data()).unwrap());
+            }
+            assert_eq!(rebuilt, text, "{threads} threads");
+        }
+        // Layout is a function of the input, not of the worker count.
+        let one = compress_paged_striped(&text, LzahConfig::default(), 4096, 1);
+        let four = compress_paged_striped(&text, LzahConfig::default(), 4096, 4);
+        let frames = |logs: &[PagedLog]| {
+            logs.iter()
+                .flat_map(|p| p.pages())
+                .map(|f| f.data().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(frames(&one), frames(&four));
+    }
+
+    #[test]
+    fn small_inputs_compress_identically_to_the_unsharded_path() {
+        let text = b"alpha\nbeta\ngamma\n".repeat(50);
+        let sharded = compress_paged_striped(&text, LzahConfig::default(), 4096, 4);
+        let direct = compress_paged(&text, LzahConfig::default(), 4096);
+        assert_eq!(sharded.len(), 1);
+        let a: Vec<Vec<u8>> = sharded[0]
+            .pages()
+            .iter()
+            .map(|f| f.data().to_vec())
+            .collect();
+        let b: Vec<Vec<u8>> = direct.pages().iter().map(|f| f.data().to_vec()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_boundaries_respect_lines() {
+        let text = b"0123456789\nabcdefghij\nklmnopqrst\n".repeat(10);
+        let shards = shard_at_lines(&text, 40);
+        assert!(shards.len() > 1);
+        let rebuilt: Vec<u8> = shards.concat();
+        assert_eq!(rebuilt, text);
+        for shard in &shards {
+            assert_eq!(*shard.last().unwrap(), b'\n');
+        }
+    }
+}

@@ -38,6 +38,7 @@
 
 mod config;
 mod error;
+mod exec;
 mod outcome;
 mod system;
 

@@ -102,7 +102,9 @@ pub struct DegradedRead {
     /// were *not* skipped, just slower).
     pub retries: u64,
     /// Estimate of matching-candidate lines lost with the skipped pages,
-    /// extrapolated from the corpus's average lines per page.
+    /// extrapolated from the line density this query actually observed on
+    /// the pages it did scan (falling back to the corpus-wide average only
+    /// when every planned page was skipped).
     pub estimated_missed_lines: u64,
     /// The index plan could not be read (corrupt index page) and the query
     /// fell back to a filtered full scan. Results are complete — only the

@@ -1,7 +1,7 @@
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
-use mithrilog_compress::{compress_paged, Codec, Lzah};
+use mithrilog_compress::{Codec, Lzah};
 use mithrilog_filter::FilterPipeline;
 use mithrilog_index::{InvertedIndex, QueryPlan};
 use mithrilog_query::{parse, Query};
@@ -13,10 +13,9 @@ use mithrilog_storage::{
 };
 use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer};
 
-use mithrilog_storage::StorageError;
-
 use crate::config::SystemConfig;
 use crate::error::MithriLogError;
+use crate::exec::{self, page_is_skippable, Engine};
 use crate::outcome::{DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport};
 
 const CHECKPOINT_MAGIC: &[u8; 4] = b"MLCK";
@@ -36,17 +35,6 @@ fn take_section(bytes: &[u8]) -> Option<(&[u8], &[u8])> {
     let (len, rest) = take_u64(bytes)?;
     let len = usize::try_from(len).ok()?;
     (rest.len() >= len).then(|| rest.split_at(len))
-}
-
-/// Whether a storage error is survivable by skipping the affected page:
-/// corruption and exhausted transient retries lose one page of data;
-/// anything else (out-of-range access, host I/O failure) is a real bug or
-/// environment failure and must propagate.
-fn page_is_skippable(e: &StorageError) -> bool {
-    matches!(
-        e,
-        StorageError::Corrupt { .. } | StorageError::TransientRead { .. }
-    )
 }
 
 /// A complete MithriLog system: simulated accelerated SSD + index + host
@@ -303,6 +291,14 @@ impl<S: PageStore> MithriLog<S> {
         &self.config
     }
 
+    /// Overrides the worker count for subsequent queries and ingests
+    /// (`0` = one worker per modeled flash channel). Changing it never
+    /// changes results — the datapath is byte-identical for every thread
+    /// count — only wall-clock time.
+    pub fn set_query_threads(&mut self, threads: usize) {
+        self.config.query_threads = threads;
+    }
+
     /// Total raw bytes ingested.
     pub fn raw_bytes(&self) -> u64 {
         self.total_raw_bytes
@@ -384,11 +380,22 @@ impl<S: PageStore> MithriLog<S> {
 
     /// Ingests a batch of log text: compress → store → index.
     ///
+    /// Compression runs on the same worker pool as the query datapath (the
+    /// paper compresses on ingest with the same per-pipeline hardware): the
+    /// input splits at line boundaries into fixed-size shards whose
+    /// boundaries depend only on the input, so the resulting page layout is
+    /// byte-identical for every thread count.
+    ///
     /// # Errors
     ///
     /// Propagates storage errors.
     pub fn ingest(&mut self, text: &[u8]) -> Result<IngestReport, MithriLogError> {
-        let paged = compress_paged(text, self.config.lzah, self.config.device.page_bytes);
+        let shards = exec::compress_paged_striped(
+            text,
+            self.config.lzah,
+            self.config.device.page_bytes,
+            self.config.resolved_query_threads(),
+        );
         let mut offset = 0usize;
         let mut report = IngestReport {
             raw_bytes: 0,
@@ -396,7 +403,7 @@ impl<S: PageStore> MithriLog<S> {
             data_pages: 0,
             compressed_bytes: 0,
         };
-        for frame in paged.pages() {
+        for frame in shards.iter().flat_map(|paged| paged.pages()) {
             let page = self.ssd.append(frame.data())?;
             self.data_pages.push(page);
             self.pending.data_pages.push(page.0);
@@ -713,60 +720,45 @@ impl<S: PageStore> MithriLog<S> {
         let pipeline =
             FilterPipeline::compile_with(query, self.config.filter, self.config.tokenizer.clone());
         let offloaded = pipeline.is_ok();
+        let engine = match &pipeline {
+            Ok(p) => Engine::Hardware(p),
+            Err(_) => Engine::Software(query),
+        };
 
-        let codec = Lzah::new(self.config.lzah);
-        let mut lines: Vec<String> = Vec::new();
-        let mut bytes_filtered = 0u64;
-        let mut lines_scanned = 0u64;
+        // The parallel datapath: pages striped across the worker pool, each
+        // worker running its own read → decompress → filter pipeline with a
+        // private cost ledger, merged back order-preserving (see `exec`).
         let data_pages_scanned = pages.len() as u64;
-        for page in pages {
-            let raw = match self.ssd.read(page) {
-                Ok(raw) => raw,
-                Err(e) if page_is_skippable(&e) => {
-                    degraded.skipped_pages.push(page.0);
-                    continue;
-                }
-                Err(e) => return Err(e.into()),
-            };
-            // Corruption the checksum missed (or pages written before the
-            // sidecar existed) still gets caught by the decoder's internal
-            // consistency checks; one bad page is not worth the query.
-            let text = match codec.decompress(&raw) {
-                Ok(text) => text,
-                Err(_) => {
-                    degraded.skipped_pages.push(page.0);
-                    continue;
-                }
-            };
-            bytes_filtered += text.len() as u64;
-            match &pipeline {
-                Ok(p) => {
-                    let (kept, stats) = p.filter_text_with_stats(&text);
-                    lines_scanned += stats.lines_in;
-                    lines.extend(
-                        kept.into_iter()
-                            .map(|l| String::from_utf8_lossy(l).into_owned()),
-                    );
-                }
-                Err(_) => {
-                    for line in text.split(|b| *b == b'\n') {
-                        if line.is_empty() {
-                            continue;
-                        }
-                        lines_scanned += 1;
-                        let s = String::from_utf8_lossy(line);
-                        if query.matches_line(&s) {
-                            lines.push(s.into_owned());
-                        }
-                    }
-                }
-            }
+        let scan = exec::scan_pages(
+            &self.ssd,
+            self.config.lzah,
+            &engine,
+            &pages,
+            self.config.resolved_query_threads(),
+        );
+        self.ssd.merge_ledger(&scan.ledger);
+        if let Some(e) = scan.error {
+            return Err(e.into());
         }
+        let lines = scan.lines;
+        let bytes_filtered = scan.bytes_filtered;
+        let lines_scanned = scan.lines_scanned;
+        degraded.skipped_pages = scan.skipped_pages;
 
         let ledger = self.ssd.ledger().since(&ledger_before);
         degraded.retries = ledger.retries;
-        degraded.estimated_missed_lines =
-            self.avg_lines_per_page() * degraded.skipped_pages.len() as u64;
+        // Estimate what the skipped pages cost from *this query's* observed
+        // line density when at least one page was scanned; the global
+        // average (which counts pages from other epochs) is only a fallback
+        // for the every-planned-page-skipped case.
+        let skipped = degraded.skipped_pages.len() as u64;
+        degraded.estimated_missed_lines = if skipped == 0 {
+            0
+        } else if scan.pages_filtered > 0 {
+            lines_scanned.div_ceil(scan.pages_filtered) * skipped
+        } else {
+            self.avg_lines_per_page() * skipped
+        };
         let modeled_time = self.model_query_time(&ledger, bytes_filtered, &lines);
         Ok(QueryOutcome {
             lines,

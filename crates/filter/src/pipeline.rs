@@ -190,6 +190,16 @@ pbs_mom: job 1234 started on node-17\n\
 RAS KERNEL INFO generating core.2275\n";
 
     #[test]
+    fn pipeline_is_shareable_across_scan_workers() {
+        // The parallel query datapath hands one compiled pipeline to N
+        // scoped worker threads by `&` and clones it for owned replicas;
+        // this pins down the auto-traits that design depends on.
+        fn assert_worker_safe<T: Send + Sync + Clone>() {}
+        assert_worker_safe::<FilterPipeline>();
+        assert_worker_safe::<FilterStats>();
+    }
+
+    #[test]
     fn filter_text_keeps_matching_lines_in_order() {
         let q = parse("RAS AND KERNEL AND INFO").unwrap();
         let p = FilterPipeline::compile(&q).unwrap();

@@ -38,4 +38,6 @@ pub use resources::{
     codec_resource_table, hare_comparison, pipeline_resource_table, CodecResource, ModuleResource,
     VC707_LUTS, VC707_RAMB18, VC707_RAMB36,
 };
-pub use throughput::{AcceleratorConfig, DatasetInputs, Throughput, ThroughputModel};
+pub use throughput::{
+    AcceleratorConfig, DatasetInputs, PipelineScaling, Throughput, ThroughputModel,
+};

@@ -97,6 +97,23 @@ pub struct Throughput {
     pub bound_by: &'static str,
 }
 
+/// One point of a pipeline-scaling sweep (see
+/// [`ThroughputModel::pipeline_scaling`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineScaling {
+    /// Filter pipelines instantiated at this point.
+    pub pipelines: usize,
+    /// Modeled effective throughput at this count, GB/s.
+    pub modeled_gbps: f64,
+    /// Throughput relative to a single pipeline on the same device.
+    pub modeled_speedup: f64,
+    /// `modeled_speedup / pipelines` — 1.0 while pipelines scale
+    /// perfectly, falling once a shared ceiling (storage supply) binds.
+    pub efficiency: f64,
+    /// The binding stage at this pipeline count.
+    pub bound_by: &'static str,
+}
+
 /// The throughput model.
 #[derive(Debug, Clone, Copy)]
 pub struct ThroughputModel {
@@ -143,6 +160,41 @@ impl ThroughputModel {
             tokenizer_gbps: tokenizer,
             bound_by,
         }
+    }
+
+    /// Sweeps the pipeline count over `counts`, holding the storage device
+    /// and per-pipeline resources fixed — the §7.4.1 scaling argument
+    /// ("adding more pipelines to the same storage device will improve
+    /// performance, but for BGL2 we have reached the limit"). Speedups are
+    /// relative to a single pipeline on the same device, so a sweep shows
+    /// near-linear scaling until the dataset's storage-supply ceiling
+    /// binds, then a flat line.
+    pub fn pipeline_scaling(
+        &self,
+        inputs: &DatasetInputs,
+        counts: &[usize],
+    ) -> Vec<PipelineScaling> {
+        let at = |pipelines: usize| {
+            ThroughputModel::new(AcceleratorConfig {
+                pipelines,
+                ..self.config
+            })
+            .effective_throughput(inputs)
+        };
+        let base = at(1).total_gbps.max(f64::MIN_POSITIVE);
+        counts
+            .iter()
+            .map(|&n| {
+                let t = at(n.max(1));
+                PipelineScaling {
+                    pipelines: n.max(1),
+                    modeled_gbps: t.total_gbps,
+                    modeled_speedup: t.total_gbps / base,
+                    efficiency: t.total_gbps / base / n.max(1) as f64,
+                    bound_by: t.bound_by,
+                }
+            })
+            .collect()
     }
 }
 
@@ -247,6 +299,39 @@ mod tests {
                 < 1e-9,
             "BGL2 is storage-bound either way"
         );
+    }
+
+    #[test]
+    fn pipeline_scaling_is_linear_until_storage_binds() {
+        // High-ratio dataset: storage supplies 48 GB/s of decompressed
+        // bytes, so 1→4 pipelines scale linearly (compute-bound).
+        let liberty = DatasetInputs {
+            compression_ratio: 10.0,
+            tokenized_amplification: 2.0,
+            lane_utilization: 1.0,
+        };
+        let sweep = model().pipeline_scaling(&liberty, &[1, 2, 4, 8]);
+        assert!((sweep[0].modeled_speedup - 1.0).abs() < 1e-9);
+        assert!((sweep[1].modeled_speedup - 2.0).abs() < 1e-9);
+        assert!((sweep[2].modeled_speedup - 4.0).abs() < 1e-9);
+        assert!((sweep[2].efficiency - 1.0).abs() < 1e-9);
+
+        // Low-ratio dataset: storage binds early and extra pipelines only
+        // flatten the curve — efficiency decays.
+        let bgl = DatasetInputs {
+            compression_ratio: 2.63,
+            tokenized_amplification: 2.0,
+            lane_utilization: 1.0,
+        };
+        let sweep = model().pipeline_scaling(&bgl, &[1, 4, 8]);
+        let last = sweep.last().unwrap();
+        assert_eq!(last.bound_by, "storage");
+        assert!(last.modeled_speedup < 8.0 * 0.9);
+        assert!(last.efficiency < sweep[0].efficiency);
+        // Speedup never decreases as pipelines are added.
+        for pair in sweep.windows(2) {
+            assert!(pair[1].modeled_speedup >= pair[0].modeled_speedup - 1e-12);
+        }
     }
 
     #[test]

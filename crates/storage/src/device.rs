@@ -580,39 +580,33 @@ impl<S: PageStore> SimSsd<S> {
     }
 
     fn read_with(&mut self, id: PageId, dependent: bool) -> Result<Bytes, StorageError> {
-        let mut attempt = 0;
-        loop {
-            attempt += 1;
-            match self.store.read_page(id) {
-                Ok(page) => {
-                    self.ledger.pages_read += 1;
-                    if dependent {
-                        self.ledger.dependent_visits += 1;
-                    }
-                    self.ledger.bytes_read += page.len() as u64;
-                    return self.verify(id, page);
-                }
-                Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
-                    // Each re-read pays a full flash access in the model.
-                    self.ledger.retries += 1;
-                }
-                Err(e) => return Err(e),
-            }
+        checked_read(
+            &self.store,
+            &self.crc,
+            self.retry,
+            &mut self.ledger,
+            id,
+            dependent,
+        )
+    }
+
+    /// A shared-access read handle: N readers taken from the same device can
+    /// scan concurrently (the paper's parallel flash channels feeding N
+    /// filter pipelines), each charging a private [`CostLedger`]. Merge the
+    /// per-reader ledgers back with [`SimSsd::merge_ledger`] once the scan
+    /// joins; the merged totals equal a sequential scan's exactly.
+    pub fn reader(&self) -> SsdReader<'_, S> {
+        SsdReader {
+            store: &self.store,
+            crc: &self.crc,
+            retry: self.retry,
+            ledger: CostLedger::default(),
         }
     }
 
-    fn verify(&self, id: PageId, page: Bytes) -> Result<Bytes, StorageError> {
-        if let Some(&Some(expected)) = self.crc.get(id.0 as usize) {
-            let got = crc32(&page);
-            if got != expected {
-                return Err(StorageError::Corrupt {
-                    page: id.0,
-                    expected,
-                    got,
-                });
-            }
-        }
-        Ok(page)
+    /// Folds a reader's (or any worker's) ledger into the device ledger.
+    pub fn merge_ledger(&mut self, delta: &CostLedger) {
+        self.ledger.merge(delta);
     }
 
     fn record_crc(&mut self, id: PageId, checksum: u32) {
@@ -654,6 +648,107 @@ impl<S: PageStore> SimSsd<S> {
             report.retries += self.ledger.retries - retries_before;
         }
         report
+    }
+}
+
+/// Shared read path: the transient-retry loop plus checksum verification,
+/// charging `ledger`. Used both by the device's own `&mut self` reads and by
+/// [`SsdReader`] handles for concurrent `&self` access, so the two paths
+/// cannot drift apart.
+fn checked_read<S: PageStore>(
+    store: &S,
+    crc: &[Option<u32>],
+    retry: RetryPolicy,
+    ledger: &mut CostLedger,
+    id: PageId,
+    dependent: bool,
+) -> Result<Bytes, StorageError> {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match store.read_page(id) {
+            Ok(page) => {
+                ledger.pages_read += 1;
+                if dependent {
+                    ledger.dependent_visits += 1;
+                }
+                ledger.bytes_read += page.len() as u64;
+                if let Some(&Some(expected)) = crc.get(id.0 as usize) {
+                    let got = crc32(&page);
+                    if got != expected {
+                        return Err(StorageError::Corrupt {
+                            page: id.0,
+                            expected,
+                            got,
+                        });
+                    }
+                }
+                return Ok(page);
+            }
+            Err(e) if e.is_transient() && attempt < retry.max_attempts => {
+                // Each re-read pays a full flash access in the model.
+                ledger.retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A shared-access read handle onto a [`SimSsd`], created with
+/// [`SimSsd::reader`].
+///
+/// The handle borrows the store, the checksum sidecar, and the retry policy
+/// immutably — [`PageStore`] reads are `&self` — and accumulates access
+/// costs into a private [`CostLedger`]. That lets N workers (the paper's N
+/// filter pipelines, each fed by its own flash channel) read disjoint page
+/// batches concurrently without contending on the device ledger; each
+/// worker's ledger is folded back with [`SimSsd::merge_ledger`] after the
+/// scan joins. Reads through a handle carry the same semantics as
+/// [`SimSsd::read`]: checksum verification and bounded transient retries.
+#[derive(Debug)]
+pub struct SsdReader<'a, S> {
+    store: &'a S,
+    crc: &'a [Option<u32>],
+    retry: RetryPolicy,
+    ledger: CostLedger,
+}
+
+impl<S: PageStore> SsdReader<'_, S> {
+    /// Reads a page as part of a bandwidth-bound batch; see [`SimSsd::read`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SimSsd::read`].
+    pub fn read(&mut self, id: PageId) -> Result<Bytes, StorageError> {
+        checked_read(
+            self.store,
+            self.crc,
+            self.retry,
+            &mut self.ledger,
+            id,
+            false,
+        )
+    }
+
+    /// Reads a page as one step of a dependent chain; see
+    /// [`SimSsd::read_dependent`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SimSsd::read`].
+    pub fn read_dependent(&mut self, id: PageId) -> Result<Bytes, StorageError> {
+        checked_read(self.store, self.crc, self.retry, &mut self.ledger, id, true)
+    }
+
+    /// Costs charged through this handle so far.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Consumes the handle, returning its accumulated costs for merging via
+    /// [`SimSsd::merge_ledger`].
+    pub fn into_ledger(self) -> CostLedger {
+        self.ledger
     }
 }
 
@@ -762,6 +857,77 @@ mod tests {
         ssd.append(b"x").unwrap();
         ssd.clear_ledger();
         assert_eq!(*ssd.ledger(), CostLedger::default());
+    }
+
+    #[test]
+    fn reader_matches_device_reads_and_merges_ledger() {
+        let mut ssd = SimSsd::new(MemStore::new(4096), DevicePerfModel::bluedbm_prototype());
+        let ids: Vec<PageId> = (0..8)
+            .map(|i| ssd.append(format!("page {i}").as_bytes()).unwrap())
+            .collect();
+        ssd.clear_ledger();
+        let mut reader = ssd.reader();
+        for (i, id) in ids.iter().enumerate() {
+            let page = reader.read(*id).unwrap();
+            assert_eq!(&page[..6], format!("page {i}").as_bytes());
+        }
+        reader.read_dependent(ids[0]).unwrap();
+        let delta = reader.into_ledger();
+        assert_eq!(delta.pages_read, 9);
+        assert_eq!(delta.dependent_visits, 1);
+        assert_eq!(ssd.ledger().pages_read, 0, "reader charges privately");
+        ssd.merge_ledger(&delta);
+        assert_eq!(ssd.ledger().pages_read, 9);
+        assert_eq!(ssd.ledger().dependent_visits, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_sum_to_sequential_ledger() {
+        let mut ssd = SimSsd::new(MemStore::new(512), DevicePerfModel::default());
+        for i in 0..32 {
+            ssd.append(format!("page {i}").as_bytes()).unwrap();
+        }
+        ssd.clear_ledger();
+        let deltas: Vec<CostLedger> = std::thread::scope(|scope| {
+            let ssd = &ssd;
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut reader = ssd.reader();
+                        for page in (w..32).step_by(4) {
+                            reader.read(PageId(page)).unwrap();
+                        }
+                        reader.into_ledger()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for delta in &deltas {
+            ssd.merge_ledger(delta);
+        }
+        assert_eq!(ssd.ledger().pages_read, 32);
+        assert_eq!(ssd.ledger().bytes_read, 32 * 512);
+    }
+
+    #[test]
+    fn reader_sees_corruption_and_retries_like_the_device() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyStore};
+        let plan = FaultPlan::seeded(5)
+            .with_scheduled(0, FaultKind::BitRot { bit: 17 })
+            .with_scheduled(1, FaultKind::TransientRead { failures: 2 });
+        let store = FaultyStore::new(MemStore::new(64), plan);
+        let mut ssd = SimSsd::new(store, DevicePerfModel::default());
+        let rotten = ssd.append(b"rotten").unwrap();
+        let flaky = ssd.append(b"flaky").unwrap();
+        let mut reader = ssd.reader();
+        assert!(matches!(
+            reader.read(rotten),
+            Err(StorageError::Corrupt { page: 0, .. })
+        ));
+        assert_eq!(&reader.read(flaky).unwrap()[..5], b"flaky");
+        assert_eq!(reader.ledger().retries, 2);
+        assert_eq!(reader.ledger().pages_read, 2);
     }
 
     #[test]

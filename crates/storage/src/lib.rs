@@ -17,6 +17,10 @@
 //!   (surfacing silent corruption as [`StorageError::Corrupt`]), bounded
 //!   retries of transient read failures per [`RetryPolicy`], and a
 //!   full-device [`SimSsd::scrub`] scan producing a [`ScrubReport`];
+//! * concurrency: shared-access read handles ([`SsdReader`]) let N workers
+//!   (the paper's N filter pipelines on parallel flash channels) scan
+//!   disjoint page batches at once, each charging a private [`CostLedger`]
+//!   merged back afterwards ([`SimSsd::merge_ledger`]);
 //! * deterministic fault injection ([`FaultyStore`] driven by a seeded
 //!   [`FaultPlan`]) for reproducible corruption and recovery drills;
 //! * crash consistency: a dual-slot, CRC-protected [`Superblock`] flipped
@@ -56,6 +60,7 @@ pub use crash::{CrashHandle, CrashPlan, CrashStore};
 pub use crc::{crc32, crc32_padded, Crc32};
 pub use device::{
     CorruptPage, FileStore, MemStore, PageId, PageStore, RetryPolicy, ScrubReport, SimSsd,
+    SsdReader,
 };
 pub use error::StorageError;
 pub use faults::{FaultKind, FaultPlan, FaultyStore, InjectedFault};

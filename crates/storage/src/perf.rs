@@ -138,6 +138,19 @@ impl CostLedger {
         *self = CostLedger::default();
     }
 
+    /// Accumulates another ledger into this one. Every field is an additive
+    /// counter, so merging per-worker ledgers from a parallel scan in any
+    /// order yields exactly the totals a sequential scan would have charged.
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.pages_read += other.pages_read;
+        self.dependent_visits += other.dependent_visits;
+        self.pages_written += other.pages_written;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.retries += other.retries;
+        self.syncs += other.syncs;
+    }
+
     /// Difference since an earlier snapshot (for per-query accounting).
     #[must_use]
     pub fn since(&self, earlier: &CostLedger) -> CostLedger {
@@ -236,6 +249,32 @@ mod tests {
         assert_eq!(d.pages_written, 0);
         assert_eq!(d.retries, 3);
         assert_eq!(d.syncs, 4);
+    }
+
+    #[test]
+    fn ledger_merge_is_additive_and_order_independent() {
+        let a = CostLedger {
+            pages_read: 10,
+            dependent_visits: 2,
+            pages_written: 1,
+            bytes_read: 40960,
+            bytes_written: 4096,
+            retries: 1,
+            syncs: 2,
+        };
+        let b = CostLedger {
+            pages_read: 5,
+            retries: 3,
+            ..CostLedger::default()
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.pages_read, 15);
+        assert_eq!(ab.retries, 4);
+        assert_eq!(ab.syncs, 2);
     }
 
     #[test]

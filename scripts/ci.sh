@@ -19,4 +19,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> mithrilog recover --self-check (bounded crash-matrix smoke)"
 cargo run --release -p mithrilog-cli --quiet -- recover --self-check --points 12
 
+echo "==> parallel determinism (2-thread scan vs sequential reference, faults injected)"
+cargo test --test parallel_determinism -q two_thread_scan_matches_sequential_reference
+
+echo "==> parallel_scaling --smoke (bench harness smoke, artifact to target/)"
+mkdir -p target/ci
+cargo run --release -p mithrilog-bench --quiet --bin parallel_scaling -- \
+  --smoke --out target/ci/BENCH_parallel_smoke.json
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,189 @@
+//! Determinism of the parallel query datapath under fault injection.
+//!
+//! The invariant (DESIGN.md, "Parallel multi-pipeline datapath"): for any
+//! worker count, a query returns a **byte-identical** outcome — the same
+//! matched lines in the same order, the same degraded-read report (skipped
+//! pages in plan order, retry counts), the same cost-ledger totals, the
+//! same modeled time. Only `wall_time` may differ.
+//!
+//! These tests exercise the invariant the hard way: a seeded [`FaultPlan`]
+//! plants bit rot, recoverable and unrecoverable transient-read episodes,
+//! and a torn write on known *data* pages, so every scan path — clean
+//! read, retry-then-succeed, retry-then-skip, checksum-mismatch skip — is
+//! hit concurrently by striped workers. Ingest is deterministic, so a
+//! fresh system per thread count sees the identical device layout.
+
+use mithrilog::{MithriLog, QueryOutcome, SystemConfig};
+use mithrilog_loggen::{generate, Dataset, DatasetProfile, DatasetSpec};
+use mithrilog_storage::{FaultKind, FaultPlan, FaultyStore, MemStore};
+
+fn corpus(target_bytes: usize) -> Dataset {
+    generate(&DatasetSpec {
+        profile: DatasetProfile::Bgl2,
+        target_bytes,
+        seed: 7,
+    })
+}
+
+/// Builds a faulted system with `threads` workers over `text`. The fault
+/// schedule targets real data pages, discovered by probing a clean system
+/// with the same (deterministic) ingest.
+fn faulted_system(
+    text: &[u8],
+    threads: usize,
+    schedule: &[(u64, FaultKind)],
+) -> MithriLog<FaultyStore<MemStore>> {
+    let config = SystemConfig {
+        query_threads: threads,
+        ..SystemConfig::default()
+    };
+    let mut plan = FaultPlan::seeded(99);
+    for &(page, kind) in schedule {
+        plan = plan.with_scheduled(page, kind);
+    }
+    let store = FaultyStore::new(MemStore::new(config.device.page_bytes), plan);
+    let mut system = MithriLog::with_store(store, config).unwrap();
+    system.ingest(text).unwrap();
+    system
+}
+
+/// The fault schedule: one of each failure mode, on distinct data pages.
+/// `data_pages` comes from a clean probe of the same corpus.
+fn schedule(data_pages: &[u64]) -> Vec<(u64, FaultKind)> {
+    assert!(
+        data_pages.len() >= 9,
+        "corpus must span enough pages for the drill, got {}",
+        data_pages.len()
+    );
+    vec![
+        // Silent corruption: caught by the page checksum, page skipped.
+        (data_pages[1], FaultKind::BitRot { bit: 5 }),
+        // Recoverable transient episode: 2 failures < 3 attempts, so the
+        // page is read successfully after charging 2 retries.
+        (data_pages[3], FaultKind::TransientRead { failures: 2 }),
+        // Unrecoverable episode: outlasts the retry budget, page skipped.
+        (data_pages[5], FaultKind::TransientRead { failures: 50 }),
+        // Torn write: tail zeroed, checksum mismatch, page skipped.
+        (data_pages[8], FaultKind::TornWrite { valid_bytes: 100 }),
+    ]
+}
+
+/// Everything except wall-clock must be identical.
+fn assert_outcomes_identical(a: &QueryOutcome, b: &QueryOutcome, context: &str) {
+    assert_eq!(a.lines, b.lines, "{context}: matched lines");
+    assert_eq!(a.offloaded, b.offloaded, "{context}: offload path");
+    assert_eq!(a.used_index, b.used_index, "{context}: plan kind");
+    assert_eq!(a.pages_scanned, b.pages_scanned, "{context}: plan size");
+    assert_eq!(a.bytes_filtered, b.bytes_filtered, "{context}: bytes");
+    assert_eq!(a.lines_scanned, b.lines_scanned, "{context}: lines scanned");
+    assert_eq!(a.ledger, b.ledger, "{context}: cost ledger");
+    assert_eq!(a.modeled_time, b.modeled_time, "{context}: modeled time");
+    assert_eq!(a.degraded, b.degraded, "{context}: degraded report");
+}
+
+const QUERIES: [&str; 5] = [
+    // Selective token through the index.
+    "FATAL",
+    // Conjunction with negation on the offloaded path.
+    "KERNEL AND NOT FATAL",
+    // Broad union the cost-based planner sends to a full scan.
+    "RAS OR KERNEL OR INFO OR FATAL",
+    // Negative-only query: forced full scan.
+    "NOT KERNEL",
+    // Too many OR-terms for the 8 flag pairs: software fallback path.
+    "t0 OR t1 OR t2 OR t3 OR t4 OR t5 OR t6 OR t7 OR t8 OR FATAL",
+];
+
+/// Runs the full query battery on one system, in a fixed order (the
+/// transient-fault countdowns advance with each read attempt, so order is
+/// part of the contract — identical per thread count is what matters).
+fn run_battery(system: &mut MithriLog<FaultyStore<MemStore>>) -> Vec<QueryOutcome> {
+    QUERIES
+        .iter()
+        .map(|q| system.query_str(q).unwrap())
+        .collect()
+}
+
+#[test]
+fn outcomes_are_identical_across_thread_counts_under_faults() {
+    let ds = corpus(400_000);
+
+    // Probe run: learn the data-page ids from a clean, identical ingest.
+    let mut probe = MithriLog::new(SystemConfig::default());
+    probe.ingest(ds.text()).unwrap();
+    let data_pages: Vec<u64> = probe.data_pages().iter().map(|p| p.0).collect();
+    let schedule = schedule(&data_pages);
+
+    let mut reference: Option<Vec<QueryOutcome>> = None;
+    for threads in 1..=8 {
+        let mut system = faulted_system(ds.text(), threads, &schedule);
+        assert_eq!(
+            system.data_pages().iter().map(|p| p.0).collect::<Vec<_>>(),
+            data_pages,
+            "faulted ingest must lay out the same pages as the clean probe"
+        );
+        let outcomes = run_battery(&mut system);
+        match &reference {
+            None => {
+                // Sanity on the k=1 reference: the drill actually bit.
+                let full_scan = &outcomes[3];
+                assert_eq!(
+                    full_scan.degraded.skipped_pages,
+                    vec![data_pages[1], data_pages[5], data_pages[8]],
+                    "all three unrecoverable faults skip their page"
+                );
+                assert!(full_scan.degraded.retries > 0, "transient retries charged");
+                assert!(full_scan.degraded.estimated_missed_lines > 0);
+                assert!(outcomes.iter().any(|o| o.match_count() > 0));
+                assert!(!outcomes[4].offloaded, "battery covers software fallback");
+                reference = Some(outcomes);
+            }
+            Some(reference) => {
+                for (i, (a, b)) in reference.iter().zip(&outcomes).enumerate() {
+                    assert_outcomes_identical(
+                        a,
+                        b,
+                        &format!("query {:?} at {threads} threads", QUERIES[i]),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn skipped_pages_stay_in_plan_order_when_scanned_in_parallel() {
+    let ds = corpus(400_000);
+    let mut probe = MithriLog::new(SystemConfig::default());
+    probe.ingest(ds.text()).unwrap();
+    let data_pages: Vec<u64> = probe.data_pages().iter().map(|p| p.0).collect();
+    let schedule = schedule(&data_pages);
+
+    let mut system = faulted_system(ds.text(), 8, &schedule);
+    let outcome = system.query_str("NOT KERNEL").unwrap();
+    let skipped = &outcome.degraded.skipped_pages;
+    assert!(
+        skipped.windows(2).all(|w| w[0] < w[1]),
+        "skipped pages must come back sorted in plan order: {skipped:?}"
+    );
+    assert_eq!(skipped.len(), 3);
+}
+
+/// The fast variant CI runs on every push: two workers against the
+/// sequential reference, one corpus, the full query battery.
+#[test]
+fn two_thread_scan_matches_sequential_reference() {
+    let ds = corpus(150_000);
+    let mut probe = MithriLog::new(SystemConfig::default());
+    probe.ingest(ds.text()).unwrap();
+    let data_pages: Vec<u64> = probe.data_pages().iter().map(|p| p.0).collect();
+    let schedule = schedule(&data_pages);
+
+    let mut sequential = faulted_system(ds.text(), 1, &schedule);
+    let mut parallel = faulted_system(ds.text(), 2, &schedule);
+    let reference = run_battery(&mut sequential);
+    let outcomes = run_battery(&mut parallel);
+    for (i, (a, b)) in reference.iter().zip(&outcomes).enumerate() {
+        assert_outcomes_identical(a, b, &format!("query {:?} at 2 threads", QUERIES[i]));
+    }
+}
