@@ -1,0 +1,193 @@
+//! Concurrent-load bench: 8 overlapping queries through the concurrent
+//! query service versus the same 8 run solo, one at a time.
+//!
+//! The paper's accelerator amortizes one flash stream across many pattern
+//! matchers; the service realizes that as cross-query page sharing — a
+//! wave of concurrently admitted queries reads each distinct page once and
+//! fans the decompressed text out to every waiting filter. This bench
+//! measures the effect: `demanded_page_reads` (what 8 solo runs would have
+//! issued) versus `unique_pages_read` (what the shared scan actually
+//! issued), while asserting every query's matched lines are byte-identical
+//! to its solo run.
+//!
+//! Emits `BENCH_service.json`.
+//!
+//! Usage: `service_load [--smoke] [--mb <f64>] [--out <path>]`
+
+use std::fmt::Write as _;
+
+use mithrilog::{MithriLog, SystemConfig};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog_service::{JobOutput, Priority, Service, ServiceConfig};
+
+/// Eight queries with heavily overlapping page plans: most are broad
+/// enough to full-scan, so their plans cover the same pages.
+const QUERIES: [&str; 8] = [
+    "error OR failed OR FATAL",
+    "error",
+    "failed",
+    "NOT error",
+    "FATAL AND NOT failed",
+    "error AND NOT FATAL",
+    "failed OR FATAL",
+    "NOT FATAL",
+];
+
+struct Args {
+    smoke: bool,
+    mb: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        mb: 4.0,
+        out: "BENCH_service.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--mb" => {
+                i += 1;
+                args.mb = argv[i].parse().expect("--mb needs a number");
+            }
+            "--out" => {
+                i += 1;
+                args.out = argv[i].clone();
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    if args.smoke {
+        args.mb = args.mb.min(0.4);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let ds = generate(&DatasetSpec {
+        profile: DatasetProfile::Liberty2,
+        target_bytes: (args.mb * 1_000_000.0) as usize,
+        seed: 42,
+    });
+    let mut system = MithriLog::new(SystemConfig::default());
+    system.ingest(ds.text()).expect("ingest");
+    eprintln!(
+        "corpus: {} bytes / {} lines into {} pages",
+        ds.text().len(),
+        ds.lines(),
+        system.data_page_count()
+    );
+
+    // Solo baseline: each query alone, its own ledger delta.
+    let mut solo_lines = Vec::new();
+    let mut solo_page_reads = 0u64;
+    let mut solo_wall = 0.0f64;
+    for q in QUERIES {
+        let outcome = system.query_str(q).expect("solo query");
+        solo_page_reads += outcome.ledger.pages_read;
+        solo_wall += outcome.wall_time.as_secs_f64();
+        solo_lines.push(outcome.lines);
+    }
+    eprintln!(
+        "solo: {solo_page_reads} device page reads summed over {} runs",
+        QUERIES.len()
+    );
+
+    // Concurrent: the service owns the system; the 8 queries are submitted
+    // back to back, so the scheduler admits them into shared-scan waves
+    // (typically one wave — submissions outpace the scheduler wakeup).
+    let service = Service::spawn(
+        system,
+        ServiceConfig {
+            max_queue: 64,
+            max_batch: QUERIES.len(),
+            default_page_budget: None,
+        },
+    );
+    let handle = service.handle();
+    let wall_start = std::time::Instant::now();
+    let ids: Vec<_> = QUERIES
+        .iter()
+        .map(|q| handle.submit_str(q, Priority::Normal).expect("submit"))
+        .collect();
+    let mut shared_lines = Vec::new();
+    for id in ids {
+        match handle.wait(id).expect("query completes") {
+            JobOutput::Query { outcome, .. } => shared_lines.push(outcome.lines),
+            other => panic!("expected a query output, got {other:?}"),
+        }
+    }
+    let concurrent_wall = wall_start.elapsed().as_secs_f64();
+    let stats = handle.stats();
+    service.shutdown();
+
+    // Byte-identical outputs are non-negotiable: the snapshot is fixed, so
+    // every query must return exactly its solo result however the waves
+    // formed.
+    for ((q, solo), shared) in QUERIES.iter().zip(&solo_lines).zip(&shared_lines) {
+        assert_eq!(shared, solo, "query {q:?} diverged from its solo run");
+    }
+    eprintln!(
+        "service: {} waves, demanded {} page reads, issued {} unique ({} avoided)",
+        stats.waves, stats.demanded_page_reads, stats.unique_pages_read, stats.shared_reads_avoided
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"service_load\",");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{ \"profile\": \"liberty2\", \"bytes\": {}, \"lines\": {} }},",
+        ds.text().len(),
+        ds.lines()
+    );
+    let _ = writeln!(json, "  \"concurrent_queries\": {},", QUERIES.len());
+    let _ = writeln!(json, "  \"solo_page_reads_summed\": {solo_page_reads},");
+    let _ = writeln!(json, "  \"solo_wall_seconds_summed\": {solo_wall:.6},");
+    let _ = writeln!(json, "  \"concurrent_wall_seconds\": {concurrent_wall:.6},");
+    let _ = writeln!(json, "  \"waves\": {},", stats.waves);
+    let _ = writeln!(
+        json,
+        "  \"demanded_page_reads\": {},",
+        stats.demanded_page_reads
+    );
+    let _ = writeln!(
+        json,
+        "  \"unique_pages_read\": {},",
+        stats.unique_pages_read
+    );
+    let _ = writeln!(
+        json,
+        "  \"shared_reads_avoided\": {},",
+        stats.shared_reads_avoided
+    );
+    let _ = writeln!(
+        json,
+        "  \"read_amplification_vs_solo\": {:.4},",
+        stats.unique_pages_read as f64 / solo_page_reads.max(1) as f64
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"demanded = page reads the wave's queries would have issued solo; \
+         unique = physical reads the shared scan issued; outputs asserted byte-identical \
+         to solo runs (tests/service_concurrency.rs enforces this under faults too)\","
+    );
+    json.push_str("  \"queries\": [\n");
+    for (i, (q, lines)) in QUERIES.iter().zip(&shared_lines).enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"query\": {q:?}, \"matches\": {} }}",
+            lines.len()
+        );
+        json.push_str(if i + 1 < QUERIES.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &json).expect("write output");
+    eprintln!("wrote {}", args.out);
+}

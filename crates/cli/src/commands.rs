@@ -10,6 +10,7 @@ use mithrilog_compress::{Codec, Lzah};
 use mithrilog_filter::FilterPipeline;
 use mithrilog_ftree::{FtreeConfig, TemplateLibrary};
 use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog_service::{Service, ServiceConfig};
 use mithrilog_storage::{CrashPlan, CrashStore, FaultPlan, FaultyStore, MemStore, StorageError};
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -24,7 +25,7 @@ fn ingest(text: &[u8]) -> Result<MithriLog, Box<dyn Error>> {
 
 fn ingest_with_threads(text: &[u8], threads: Option<usize>) -> Result<MithriLog, Box<dyn Error>> {
     let config = SystemConfig {
-        query_threads: threads.unwrap_or(0),
+        query_threads: SystemConfig::checked_query_threads(threads.unwrap_or(0))?,
         ..SystemConfig::default()
     };
     let mut system = MithriLog::new(config);
@@ -44,8 +45,9 @@ fn ingest_with_threads(text: &[u8], threads: Option<usize>) -> Result<MithriLog,
 /// `mithrilog query <logfile> [--threads <n>] <query...>`
 ///
 /// `--threads` sets the parallel datapath's worker count (0 or omitted =
-/// one worker per modeled flash channel). Results are byte-identical for
-/// every value; only wall-clock time changes.
+/// one worker per modeled flash channel; values above
+/// [`SystemConfig::MAX_QUERY_THREADS`] are rejected). Results are
+/// byte-identical for every value; only wall-clock time changes.
 pub fn query(args: &[String]) -> CliResult {
     let (threads, args) = take_usize_flag(args, "--threads")?;
     let (path, query_text) = split_path_query(&args, "query")?;
@@ -73,6 +75,17 @@ pub fn query(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// What a scrub drill concluded about the device, mapped by `main` onto
+/// the documented exit codes: clean → 0, corruption found → 2 (operational
+/// errors exit 1 like every other command).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubOutcome {
+    /// Every page checksum verified.
+    Clean,
+    /// At least one corrupt page was found (and matched the fault plan).
+    CorruptionFound,
+}
+
 /// `mithrilog scrub <logfile> [--flip-rate <p>] [--seed <n>]`
 ///
 /// A fault drill: the log is ingested onto a device whose backing store
@@ -80,7 +93,11 @@ pub fn query(args: &[String]) -> CliResult {
 /// deterministic per seed). A full scrub then verifies every page checksum;
 /// its findings are compared against the faults actually injected, and a
 /// sample degraded query shows recovery in action.
-pub fn scrub(args: &[String]) -> CliResult {
+///
+/// Exits 0 when the scrub finds the device clean, 2 when corruption was
+/// found (so scripts and CI can gate on device health), and 1 on
+/// operational errors — see [`ScrubOutcome`].
+pub fn scrub(args: &[String]) -> Result<ScrubOutcome, Box<dyn Error>> {
     let path = args
         .first()
         .ok_or("usage: mithrilog scrub <logfile> [--flip-rate <p>] [--seed <n>]")?;
@@ -130,7 +147,11 @@ pub fn scrub(args: &[String]) -> CliResult {
         outcome.pages_scanned,
         outcome.degraded
     );
-    Ok(())
+    Ok(if found.is_empty() {
+        ScrubOutcome::Clean
+    } else {
+        ScrubOutcome::CorruptionFound
+    })
 }
 
 /// `mithrilog recover <storefile>` — mount an existing on-disk store,
@@ -398,6 +419,61 @@ pub fn gen(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `mithrilog serve <logfile> [--port <p>] [--threads <n>]
+/// [--max-queue <n>] [--max-batch <n>] [--budget <n>]`
+///
+/// Ingests the log, then serves the concurrent query service's line
+/// protocol on a loopback TCP port (`--port 0` or omitted = an ephemeral
+/// port). The bound port is announced on stdout as `LISTENING <port>`
+/// before the first connection is accepted, so scripts can wait for it.
+/// Runs until a client sends `SHUTDOWN`.
+///
+/// `--max-queue` bounds the admission queue (overload is rejected, not
+/// queued), `--max-batch` caps the queries per shared-scan wave, and
+/// `--budget` applies a default page (deadline) budget to queries that
+/// carry none.
+pub fn serve(args: &[String]) -> CliResult {
+    let (threads, args) = take_usize_flag(args, "--threads")?;
+    let (port, args) = take_usize_flag(&args, "--port")?;
+    let (max_queue, args) = take_usize_flag(&args, "--max-queue")?;
+    let (max_batch, args) = take_usize_flag(&args, "--max-batch")?;
+    let (budget, args) = take_usize_flag(&args, "--budget")?;
+    let path = args.first().ok_or(
+        "usage: mithrilog serve <logfile> [--port <p>] [--threads <n>] \
+         [--max-queue <n>] [--max-batch <n>] [--budget <n>]",
+    )?;
+    let port = u16::try_from(port.unwrap_or(0)).map_err(|_| "--port must fit in 16 bits")?;
+    let text = read_log(path)?;
+    let system = ingest_with_threads(&text, threads)?;
+    let config = ServiceConfig {
+        max_queue: max_queue.unwrap_or(ServiceConfig::default().max_queue),
+        max_batch: max_batch.unwrap_or(ServiceConfig::default().max_batch),
+        default_page_budget: budget.map(|b| b as u64),
+    };
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
+    serve_listener(listener, system, config)
+}
+
+/// The serve loop behind [`serve`], split out so tests (and embedders) can
+/// bring their own listener: announces the bound port, runs the service
+/// and the TCP front-end until `SHUTDOWN`, then shuts the service down.
+fn serve_listener(
+    listener: std::net::TcpListener,
+    system: MithriLog,
+    config: ServiceConfig,
+) -> CliResult {
+    use std::io::Write;
+    let port = listener.local_addr()?.port();
+    let service = Service::spawn(system, config);
+    println!("LISTENING {port}");
+    std::io::stdout().flush()?;
+    let result = mithrilog_service::server::serve(listener, &service.handle());
+    service.shutdown();
+    result?;
+    eprintln!("serve: shut down cleanly");
+    Ok(())
+}
+
 fn split_path_query<'a>(
     args: &'a [String],
     cmd: &str,
@@ -577,8 +653,9 @@ mod tests {
     #[test]
     fn scrub_command_end_to_end() {
         let path = temp_log();
-        // Aggressive rot so the drill definitely corrupts some pages.
-        scrub(&strs(&[
+        // Aggressive rot so the drill definitely corrupts some pages — and
+        // reports it, so `main` can exit 2.
+        let outcome = scrub(&strs(&[
             path.to_str().unwrap(),
             "--flip-rate",
             "0.2",
@@ -586,8 +663,11 @@ mod tests {
             "7",
         ]))
         .expect("scrub command");
-        // Clean device: scrub still succeeds, finding nothing.
-        scrub(&strs(&[path.to_str().unwrap(), "--flip-rate", "0"])).expect("clean scrub");
+        assert_eq!(outcome, ScrubOutcome::CorruptionFound);
+        // Clean device: scrub succeeds, finding nothing (exit 0).
+        let outcome =
+            scrub(&strs(&[path.to_str().unwrap(), "--flip-rate", "0"])).expect("clean scrub");
+        assert_eq!(outcome, ScrubOutcome::Clean);
         std::fs::remove_file(&path).ok();
     }
 
@@ -611,6 +691,65 @@ mod tests {
     #[test]
     fn recover_self_check_passes_a_bounded_matrix() {
         recover(&strs(&["--self-check", "--points", "3"])).expect("self-check");
+    }
+
+    #[test]
+    fn query_rejects_absurd_thread_counts() {
+        let path = temp_log();
+        let args = strs(&[path.to_str().unwrap(), "--threads", "100000", "session"]);
+        let e = query(&args).unwrap_err();
+        assert!(e.to_string().contains("1024"), "{e}");
+        // The bound itself is accepted... by the validator; actually
+        // spawning 1024 workers is pointlessly slow, so only validate.
+        assert!(SystemConfig::checked_query_threads(1024).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_command_speaks_the_line_protocol() {
+        use std::io::{BufRead, BufReader, Write};
+        let path = temp_log();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut response = |request: &str| -> Vec<String> {
+                writer.write_all(request.as_bytes()).unwrap();
+                let mut lines = Vec::new();
+                loop {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let line = line.trim_end_matches('\n').to_string();
+                    if line == "." {
+                        return lines;
+                    }
+                    lines.push(line);
+                }
+            };
+            assert_eq!(response("SUBMIT q=session AND opened\n"), vec!["OK id=0"]);
+            let done = response("WAIT 0\n");
+            assert!(done[0].starts_with("OK done kind=query"), "{done:?}");
+            let stats = response("STATS\n");
+            assert!(stats.contains(&"completed=1".to_string()), "{stats:?}");
+            assert_eq!(response("SHUTDOWN\n"), vec!["OK bye"]);
+        });
+        let text = read_log(path.to_str().unwrap()).unwrap();
+        let system = ingest(&text).unwrap();
+        serve_listener(listener, system, ServiceConfig::default()).expect("serve loop");
+        client.join().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(serve(&[]).is_err());
+        assert!(serve(&strs(&["--port", "99999999", "x.log"])).is_err());
+        let path = temp_log();
+        let e = serve(&strs(&[path.to_str().unwrap(), "--threads", "4096"])).unwrap_err();
+        assert!(e.to_string().contains("1024"), "{e}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

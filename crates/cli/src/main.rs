@@ -10,6 +10,10 @@
 //! mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log
 //! mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>]
 //!                                           fault drill: inject bit rot, verify scrub
+//!                                           (exit 0 clean, 2 corruption found, 1 error)
+//! mithrilog serve  <logfile> [--port <p>] [--threads <n>] [--max-queue <n>]
+//!                  [--max-batch <n>] [--budget <n>]
+//!                                           concurrent query service over TCP
 //! mithrilog recover <storefile>             mount an on-disk store, run crash recovery
 //! mithrilog recover --self-check [--points <k>] [--seed <n>]
 //!                                           crash drill: power-loss matrix, verify recovery
@@ -31,7 +35,15 @@ fn main() -> ExitCode {
             "stats" => commands::stats(rest),
             "spikes" => commands::spikes(rest),
             "gen" => commands::gen(rest),
-            "scrub" => commands::scrub(rest),
+            // Scrub has a three-way exit contract: 0 = clean device,
+            // 2 = corruption found, 1 = operational error (like every
+            // other command) — so scripts can gate on device health.
+            "scrub" => match commands::scrub(rest) {
+                Ok(commands::ScrubOutcome::Clean) => Ok(()),
+                Ok(commands::ScrubOutcome::CorruptionFound) => return ExitCode::from(2),
+                Err(e) => Err(e),
+            },
+            "serve" => commands::serve(rest),
             "recover" => commands::recover(rest),
             "help" | "--help" | "-h" => {
                 print_usage();
@@ -67,11 +79,18 @@ fn print_usage() {
          \x20 mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log\n\
          \x20 mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>]\n\
          \x20                                           fault drill: inject bit rot, verify scrub\n\
+         \x20                                           (exit 0 clean, 2 corruption found, 1 error)\n\
+         \x20 mithrilog serve  <logfile> [--port <p>] [--threads <n>] [--max-queue <n>]\n\
+         \x20                  [--max-batch <n>] [--budget <n>]\n\
+         \x20                                           concurrent query service over TCP\n\
          \x20 mithrilog recover <storefile>             mount an on-disk store, run crash recovery\n\
          \x20 mithrilog recover --self-check [--points <k>] [--seed <n>]\n\
          \x20                                           crash drill: power-loss matrix, verify recovery\n\
          \n\
          query language: AND, OR, NOT, parentheses, quoted tokens.\n\
-         profiles: bgl2 | liberty2 | spirit2 | thunderbird"
+         profiles: bgl2 | liberty2 | spirit2 | thunderbird\n\
+         --threads: 0 (default) = one worker per modeled flash channel; values\n\
+         \x20          above 1024 are rejected. Results are byte-identical for\n\
+         \x20          every thread count."
     );
 }

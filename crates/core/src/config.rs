@@ -47,6 +47,45 @@ impl Default for SystemConfig {
 }
 
 impl SystemConfig {
+    /// Upper bound on [`SystemConfig::query_threads`]: a worker count above
+    /// this is never a legitimate channel model, only a typo or hostile
+    /// input, and spawning it would exhaust the host before producing the
+    /// same (byte-identical) results a sane count produces.
+    pub const MAX_QUERY_THREADS: usize = 1024;
+
+    /// Validates an untrusted worker-count input against the same bound
+    /// [`SystemConfig::validate`] enforces. `0` is valid — it means "one
+    /// worker per modeled flash channel" (see
+    /// [`SystemConfig::resolved_query_threads`]).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when `threads` exceeds
+    /// [`SystemConfig::MAX_QUERY_THREADS`].
+    pub fn checked_query_threads(threads: usize) -> Result<usize, String> {
+        if threads > Self::MAX_QUERY_THREADS {
+            Err(format!(
+                "--threads {} exceeds the {} maximum (0 = one worker per \
+                 modeled flash channel)",
+                threads,
+                Self::MAX_QUERY_THREADS
+            ))
+        } else {
+            Ok(threads)
+        }
+    }
+
+    /// Checks the configuration for values that would be accepted silently
+    /// but cannot mean anything sensible. Called by every system
+    /// constructor.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        Self::checked_query_threads(self.query_threads).map(|_| ())
+    }
+
     /// The §7.4.2 configuration: "MithriLog was also configured to not use
     /// the inverted index, and scan the whole dataset for each query."
     pub fn full_scan_only() -> Self {
@@ -106,5 +145,23 @@ mod tests {
             ..SystemConfig::default()
         };
         assert_eq!(explicit.resolved_query_threads(), 6);
+    }
+
+    #[test]
+    fn query_thread_bound_is_enforced() {
+        assert_eq!(SystemConfig::checked_query_threads(0), Ok(0));
+        assert_eq!(
+            SystemConfig::checked_query_threads(SystemConfig::MAX_QUERY_THREADS),
+            Ok(SystemConfig::MAX_QUERY_THREADS)
+        );
+        let err =
+            SystemConfig::checked_query_threads(SystemConfig::MAX_QUERY_THREADS + 1).unwrap_err();
+        assert!(err.contains("1024"), "{err}");
+        assert!(SystemConfig::default().validate().is_ok());
+        let bad = SystemConfig {
+            query_threads: usize::MAX,
+            ..SystemConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 }

@@ -219,24 +219,51 @@ fn scan_one<S: PageStore>(
     engine: &Engine<'_>,
     page: PageId,
 ) -> Result<Scanned, StorageError> {
+    let text = match load_page(reader, codec, page)? {
+        Some(text) => text,
+        None => return Ok(Scanned::Skipped(page.0)),
+    };
+    let (matches, lines_scanned) = filter_page(engine, &text);
+    Ok(Scanned::Page(PageScan {
+        text,
+        matches,
+        lines_scanned,
+    }))
+}
+
+/// The load half of a page scan: read (with retries) and decompress.
+/// `Ok(None)` means the page is survivably lost (corrupt, unreadable after
+/// retries, or undecompressible) and should be skipped.
+fn load_page<S: PageStore>(
+    reader: &mut SsdReader<'_, S>,
+    codec: &Lzah,
+    page: PageId,
+) -> Result<Option<Vec<u8>>, StorageError> {
     let raw = match reader.read(page) {
         Ok(raw) => raw,
-        Err(e) if page_is_skippable(&e) => return Ok(Scanned::Skipped(page.0)),
+        Err(e) if page_is_skippable(&e) => return Ok(None),
         Err(e) => return Err(e),
     };
     // Corruption the checksum missed (or pages written before the sidecar
     // existed) still gets caught by the decoder's internal consistency
     // checks; one bad page is not worth the query.
-    let text = match codec.decompress(&raw) {
-        Ok(text) => text,
-        Err(_) => return Ok(Scanned::Skipped(page.0)),
-    };
+    match codec.decompress(&raw) {
+        Ok(text) => Ok(Some(text)),
+        Err(_) => Ok(None),
+    }
+}
+
+/// The filter half of a page scan: run `engine` over decompressed `text`,
+/// returning the matched line ranges and the number of lines examined. Pure
+/// in `text`, so the same page fanned out to N queries produces exactly what
+/// N solo scans would have.
+fn filter_page(engine: &Engine<'_>, text: &[u8]) -> (Vec<Range<usize>>, u64) {
     let base = text.as_ptr() as usize;
     let mut matches = Vec::new();
     let mut lines_scanned = 0u64;
     match engine {
         Engine::Hardware(pipeline) => {
-            let (kept, stats) = pipeline.filter_text_with_stats(&text);
+            let (kept, stats) = pipeline.filter_text_with_stats(text);
             lines_scanned = stats.lines_in;
             matches.reserve_exact(kept.len());
             for line in kept {
@@ -258,11 +285,252 @@ fn scan_one<S: PageStore>(
             }
         }
     }
-    Ok(Scanned::Page(PageScan {
-        text,
-        matches,
-        lines_scanned,
-    }))
+    (matches, lines_scanned)
+}
+
+/// Per-query result of a cross-query shared scan ([`scan_pages_fanout`]).
+pub(crate) struct FanoutQueryScan {
+    /// Matching lines in this query's plan order, materialized once.
+    pub lines: Vec<String>,
+    /// Skipped page ids, in this query's plan order.
+    pub skipped_pages: Vec<u64>,
+    /// Lines examined across this query's scanned pages.
+    pub lines_scanned: u64,
+    /// Decompressed bytes this query's filter consumed.
+    pub bytes_filtered: u64,
+    /// Pages that decompressed and were filtered for this query.
+    pub pages_filtered: u64,
+    /// As-if-solo charges: every page this query planned is charged in
+    /// full, exactly as a solo scan would have, even when the physical read
+    /// was shared. Shared-read savings live on the device ledger instead.
+    pub ledger: CostLedger,
+}
+
+/// Merged result of a cross-query shared scan.
+pub(crate) struct FanoutResult {
+    /// One scan result per input query, in input order.
+    pub queries: Vec<FanoutQueryScan>,
+    /// Physical device charges: each union page read once, plus
+    /// `shared_reads` counting every duplicate read the fan-out avoided.
+    /// Fold into the device with [`SimSsd::merge_ledger`].
+    pub device_ledger: CostLedger,
+    /// First non-survivable storage error, by union plan position.
+    pub error: Option<StorageError>,
+}
+
+/// Outcome of loading one union page in a fan-out scan.
+enum FanBody {
+    /// The page decompressed; `per_query` holds, for each interested query
+    /// index, the matched ranges into `text` and the lines examined.
+    Scanned {
+        text: Vec<u8>,
+        per_query: Vec<(usize, Vec<Range<usize>>, u64)>,
+    },
+    /// The page is survivably lost for every query that planned it.
+    Skipped,
+}
+
+/// One processed union slot: the page body plus the exact device cost of
+/// loading it (read, retries, bytes) — the charge a solo scan of this page
+/// would have paid.
+struct FanSlot {
+    cost: CostLedger,
+    body: FanBody,
+}
+
+/// Scans the union of the queries' page plans, reading and decompressing
+/// each distinct page once and fanning its text out to every query that
+/// planned it (the paper's single flash stream feeding multiple pattern
+/// matchers). Union pages are striped across the worker pool exactly like
+/// [`scan_pages`].
+///
+/// **Determinism:** each query's output is byte-identical to scanning its
+/// plan alone — page loading and filtering are the same pure per-page
+/// functions solo scans use ([`load_page`], [`filter_page`]), and per-query
+/// results merge in that query's plan order. Only the physical read count
+/// (the device ledger) changes with sharing.
+pub(crate) fn scan_pages_fanout<S: PageStore>(
+    ssd: &SimSsd<S>,
+    lzah: LzahConfig,
+    queries: &[(Engine<'_>, Vec<PageId>)],
+    threads: usize,
+) -> FanoutResult {
+    // Union of all plans, ascending by page id, with the interested query
+    // indexes per page (ascending, since we insert in query order).
+    let mut union: std::collections::BTreeMap<PageId, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (q, (_, pages)) in queries.iter().enumerate() {
+        for page in pages {
+            union.entry(*page).or_default().push(q);
+        }
+    }
+    let union: Vec<(PageId, Vec<usize>)> = union.into_iter().collect();
+    let slot_of: std::collections::HashMap<PageId, usize> = union
+        .iter()
+        .enumerate()
+        .map(|(i, (page, _))| (*page, i))
+        .collect();
+
+    let union_len = union.len();
+    let workers = threads.max(1).min(union_len.max(1));
+    let mut slots: Vec<Option<FanSlot>> = Vec::with_capacity(union_len);
+    slots.resize_with(union_len, || None);
+    let mut device_ledger = CostLedger::default();
+    let mut errors: Vec<(usize, StorageError)> = Vec::new();
+
+    let scan_slot = |reader: &mut SsdReader<'_, S>,
+                     codec: &Lzah,
+                     slot: usize|
+     -> Result<FanSlot, StorageError> {
+        let (page, interested) = &union[slot];
+        let before = *reader.ledger();
+        let body = match load_page(reader, codec, *page)? {
+            Some(text) => {
+                let per_query = interested
+                    .iter()
+                    .map(|&q| {
+                        let (matches, lines) = filter_page(&queries[q].0, &text);
+                        (q, matches, lines)
+                    })
+                    .collect();
+                FanBody::Scanned { text, per_query }
+            }
+            None => FanBody::Skipped,
+        };
+        Ok(FanSlot {
+            cost: reader.ledger().since(&before),
+            body,
+        })
+    };
+
+    if workers <= 1 {
+        let mut reader = ssd.reader();
+        let codec = Lzah::new(lzah);
+        for (slot, out) in slots.iter_mut().enumerate() {
+            match scan_slot(&mut reader, &codec, slot) {
+                Ok(done) => *out = Some(done),
+                Err(e) => {
+                    errors.push((slot, e));
+                    break;
+                }
+            }
+        }
+        device_ledger.merge(&reader.into_ledger());
+    } else {
+        struct FanWorker {
+            scans: Vec<(usize, FanSlot)>,
+            ledger: CostLedger,
+            error: Option<(usize, StorageError)>,
+        }
+        let outputs: Vec<FanWorker> = thread::scope(|scope| {
+            let scan_slot = &scan_slot;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = FanWorker {
+                            scans: Vec::new(),
+                            ledger: CostLedger::default(),
+                            error: None,
+                        };
+                        let mut reader = ssd.reader();
+                        let codec = Lzah::new(lzah);
+                        for slot in (w..union_len).step_by(workers) {
+                            match scan_slot(&mut reader, &codec, slot) {
+                                Ok(done) => out.scans.push((slot, done)),
+                                Err(e) => {
+                                    out.error = Some((slot, e));
+                                    break;
+                                }
+                            }
+                        }
+                        out.ledger = reader.into_ledger();
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fan-out scan worker panicked"))
+                .collect()
+        });
+        for out in outputs {
+            device_ledger.merge(&out.ledger);
+            for (slot, done) in out.scans {
+                slots[slot] = Some(done);
+            }
+            if let Some(err) = out.error {
+                errors.push(err);
+            }
+        }
+    }
+    errors.sort_by_key(|(slot, _)| *slot);
+    let error = errors.into_iter().next().map(|(_, e)| e);
+
+    // Every processed page shared by k queries saved k-1 physical reads.
+    for (slot, (_, interested)) in union.iter().enumerate() {
+        if slots[slot].is_some() {
+            device_ledger.shared_reads += interested.len() as u64 - 1;
+        }
+    }
+
+    // Per-query assembly, each in its own plan order.
+    let results = queries
+        .iter()
+        .enumerate()
+        .map(|(q, (_, pages))| {
+            let mut scan = FanoutQueryScan {
+                lines: Vec::new(),
+                skipped_pages: Vec::new(),
+                lines_scanned: 0,
+                bytes_filtered: 0,
+                pages_filtered: 0,
+                ledger: CostLedger::default(),
+            };
+            let total_matches: usize = pages
+                .iter()
+                .filter_map(|page| slots[slot_of[page]].as_ref())
+                .map(|done| match &done.body {
+                    FanBody::Scanned { per_query, .. } => per_query
+                        .iter()
+                        .find(|(qi, _, _)| *qi == q)
+                        .map_or(0, |(_, m, _)| m.len()),
+                    FanBody::Skipped => 0,
+                })
+                .sum();
+            scan.lines.reserve_exact(total_matches);
+            for page in pages {
+                // A slot left empty means a worker stopped on a hard error;
+                // the whole batch fails via `error`, so nothing to merge.
+                let Some(done) = slots[slot_of[page]].as_ref() else {
+                    continue;
+                };
+                scan.ledger.merge(&done.cost);
+                match &done.body {
+                    FanBody::Scanned { text, per_query } => {
+                        let (_, matches, lines) = per_query
+                            .iter()
+                            .find(|(qi, _, _)| *qi == q)
+                            .expect("every interested query has a filter result");
+                        scan.lines_scanned += lines;
+                        scan.bytes_filtered += text.len() as u64;
+                        scan.pages_filtered += 1;
+                        for range in matches {
+                            scan.lines
+                                .push(String::from_utf8_lossy(&text[range.clone()]).into_owned());
+                        }
+                    }
+                    FanBody::Skipped => scan.skipped_pages.push(page.0),
+                }
+            }
+            scan
+        })
+        .collect();
+
+    FanoutResult {
+        queries: results,
+        device_ledger,
+        error,
+    }
 }
 
 /// Byte target for one ingest compression shard. Shard boundaries are a
@@ -380,6 +648,54 @@ mod tests {
         }
         assert_eq!(seq.lines.len(), 12);
         assert!(seq.lines[0].contains("alpha event 0"));
+    }
+
+    #[test]
+    fn fanout_matches_solo_scans_and_dedupes_device_reads() {
+        let texts: Vec<String> = (0..10)
+            .map(|i| format!("alpha event {i}\nbeta event {i}\ngamma noise {i}\n"))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (ssd, pages) = ssd_with_pages(&refs);
+        let qa = mithrilog_query::parse("alpha").unwrap();
+        let qb = mithrilog_query::parse("event AND NOT beta").unwrap();
+        let pa = FilterPipeline::compile(&qa).unwrap();
+        let pb = FilterPipeline::compile(&qb).unwrap();
+        // Overlapping plans: query A wants pages [0..8), B wants [4..10).
+        let plan_a = pages[..8].to_vec();
+        let plan_b = pages[4..].to_vec();
+        let lzah = LzahConfig::default();
+
+        let solo_a = scan_pages(&ssd, lzah, &Engine::Hardware(&pa), &plan_a, 3);
+        let solo_b = scan_pages(&ssd, lzah, &Engine::Hardware(&pb), &plan_b, 3);
+        for threads in [1, 3, 8] {
+            let fan = scan_pages_fanout(
+                &ssd,
+                lzah,
+                &[
+                    (Engine::Hardware(&pa), plan_a.clone()),
+                    (Engine::Hardware(&pb), plan_b.clone()),
+                ],
+                threads,
+            );
+            assert!(fan.error.is_none());
+            for (got, want) in fan.queries.iter().zip([&solo_a, &solo_b]) {
+                assert_eq!(got.lines, want.lines, "{threads} threads");
+                assert_eq!(got.lines_scanned, want.lines_scanned);
+                assert_eq!(got.bytes_filtered, want.bytes_filtered);
+                assert_eq!(got.skipped_pages, want.skipped_pages);
+                // As-if-solo charges match the solo ledger exactly.
+                assert_eq!(got.ledger, want.ledger);
+            }
+            // Physically: 10 distinct pages read once; the 4 overlapping
+            // pages each saved one duplicate read.
+            assert_eq!(fan.device_ledger.pages_read, 10);
+            assert_eq!(fan.device_ledger.shared_reads, 4);
+            assert_eq!(fan.device_ledger.demanded_reads(), 14);
+            assert!(
+                fan.device_ledger.pages_read < solo_a.ledger.pages_read + solo_b.ledger.pages_read
+            );
+        }
     }
 
     #[test]

@@ -44,5 +44,8 @@ mod system;
 
 pub use config::SystemConfig;
 pub use error::MithriLogError;
-pub use outcome::{DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport};
-pub use system::MithriLog;
+pub use outcome::{
+    DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport, ScanAttribution,
+    SharedBatchOutcome, SharedScanReport,
+};
+pub use system::{MithriLog, QueryRequest};

@@ -110,17 +110,26 @@ pub struct DegradedRead {
     /// fell back to a filtered full scan. Results are complete — only the
     /// pruning was lost.
     pub index_fallback: bool,
+    /// Planned pages dropped from the tail of the scan because the query's
+    /// page (deadline) budget ran out. The query completed with partial
+    /// results instead of overrunning; the dropped pages contribute to
+    /// [`DegradedRead::estimated_missed_lines`].
+    pub budget_clipped: u64,
 }
 
 impl DegradedRead {
     /// Whether anything at all was lost or recovered around.
     pub fn is_degraded(&self) -> bool {
-        !self.skipped_pages.is_empty() || self.index_fallback || self.retries > 0
+        !self.skipped_pages.is_empty()
+            || self.index_fallback
+            || self.retries > 0
+            || self.budget_clipped > 0
     }
 
-    /// Whether the result set may be incomplete (pages were skipped).
+    /// Whether the result set may be incomplete (pages were skipped or
+    /// clipped by a deadline budget).
     pub fn is_lossy(&self) -> bool {
-        !self.skipped_pages.is_empty()
+        !self.skipped_pages.is_empty() || self.budget_clipped > 0
     }
 }
 
@@ -128,10 +137,15 @@ impl std::fmt::Display for DegradedRead {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} pages skipped (~{} lines lost), {} retries{}",
+            "{} pages skipped (~{} lines lost), {} retries{}{}",
             self.skipped_pages.len(),
             self.estimated_missed_lines,
             self.retries,
+            if self.budget_clipped > 0 {
+                format!(", {} pages clipped by deadline budget", self.budget_clipped)
+            } else {
+                String::new()
+            },
             if self.index_fallback {
                 ", index unreadable -> full scan"
             } else {
@@ -168,6 +182,72 @@ pub struct QueryOutcome {
     /// Recovery summary: what was skipped or retried. Check
     /// [`DegradedRead::is_lossy`] before treating the result as complete.
     pub degraded: DegradedRead,
+}
+
+/// Per-query cost attribution within one shared (cross-query) scan.
+///
+/// Shared pages are read and decompressed once and fanned out to every
+/// query that planned them; the physical cost of such a page is split
+/// evenly across its sharers, so the attributions of a batch always sum to
+/// the physical reads actually issued.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScanAttribution {
+    /// Data pages this query planned (after any window/budget clipping).
+    pub planned_pages: u64,
+    /// Planned pages no other query in the batch wanted (charged in full).
+    pub exclusive_pages: u64,
+    /// Planned pages at least one other query also wanted.
+    pub shared_pages: u64,
+    /// Attributed physical page reads: one per exclusive page plus
+    /// `1/share_count` per shared page. Fractional by construction.
+    pub attributed_page_cost: f64,
+}
+
+/// Accounting for one shared scan over a batch of concurrently admitted
+/// queries ([`MithriLog::query_shared`]).
+///
+/// [`MithriLog::query_shared`]: crate::MithriLog::query_shared
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SharedScanReport {
+    /// Total per-query page demand: the reads the batch would have issued
+    /// run one query at a time.
+    pub demanded_page_reads: u64,
+    /// Distinct data pages the shared scan actually read.
+    pub unique_pages_read: u64,
+    /// Duplicate reads the fan-out avoided
+    /// (`demanded_page_reads - unique_pages_read` when the scan completes).
+    pub shared_reads_avoided: u64,
+    /// Per-query attribution, in batch submission order.
+    pub attribution: Vec<ScanAttribution>,
+}
+
+impl std::fmt::Display for SharedScanReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries demanded {} page reads, served by {} unique reads \
+             ({} duplicates avoided)",
+            self.attribution.len(),
+            self.demanded_page_reads,
+            self.unique_pages_read,
+            self.shared_reads_avoided
+        )
+    }
+}
+
+/// Result of executing a batch of queries as one shared scan
+/// ([`MithriLog::query_shared`]).
+///
+/// [`MithriLog::query_shared`]: crate::MithriLog::query_shared
+#[derive(Debug, Clone)]
+pub struct SharedBatchOutcome {
+    /// One outcome per request, in submission order — each byte-identical
+    /// to running that request alone (see `query_shared` for the exact
+    /// contract).
+    pub outcomes: Vec<QueryOutcome>,
+    /// Shared-read accounting for the batch, reported separately from the
+    /// per-query outcomes precisely because it is what concurrency changes.
+    pub shared: SharedScanReport,
 }
 
 impl QueryOutcome {

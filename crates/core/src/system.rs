@@ -16,10 +16,70 @@ use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer};
 use crate::config::SystemConfig;
 use crate::error::MithriLogError;
 use crate::exec::{self, page_is_skippable, Engine};
-use crate::outcome::{DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport};
+use crate::outcome::{
+    DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport, ScanAttribution,
+    SharedBatchOutcome, SharedScanReport,
+};
 
 const CHECKPOINT_MAGIC: &[u8; 4] = b"MLCK";
 const CHECKPOINT_VERSION: u32 = 1;
+
+/// One query in a shared batch ([`MithriLog::query_shared`]): the parsed
+/// query plus the per-query execution constraints a multi-tenant service
+/// attaches — an optional time window and an optional page (deadline)
+/// budget.
+///
+/// A request is a complete, self-contained description of one execution:
+/// running it alone and running it inside a batch produce byte-identical
+/// outcomes (see [`MithriLog::query_shared`] for the exact contract).
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The query to execute.
+    pub query: Query,
+    /// Restrict the scan to the snapshot-clock interval `[t1, t2]`
+    /// (see [`MithriLog::query_time_range`]).
+    pub time_range: Option<(u64, u64)>,
+    /// Deadline budget: at most this many planned data pages are scanned.
+    /// Overruns are clipped from the tail of the plan and reported in
+    /// [`DegradedRead::budget_clipped`] — a partial result instead of an
+    /// unbounded scan.
+    pub page_budget: Option<u64>,
+}
+
+impl QueryRequest {
+    /// A request with no window and no budget — exactly what
+    /// [`MithriLog::query`] executes.
+    pub fn new(query: Query) -> Self {
+        QueryRequest {
+            query,
+            time_range: None,
+            page_budget: None,
+        }
+    }
+
+    /// Parses `text` into an unconstrained request.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors.
+    pub fn parse(text: &str) -> Result<Self, MithriLogError> {
+        Ok(Self::new(parse(text)?))
+    }
+
+    /// Sets the time window.
+    #[must_use]
+    pub fn with_time_range(mut self, t1: u64, t2: u64) -> Self {
+        self.time_range = Some((t1, t2));
+        self
+    }
+
+    /// Sets the page (deadline) budget.
+    #[must_use]
+    pub fn with_page_budget(mut self, pages: u64) -> Self {
+        self.page_budget = Some(pages);
+        self
+    }
+}
 
 fn take_u32(bytes: &[u8]) -> Option<(u32, &[u8])> {
     let (head, rest) = bytes.split_first_chunk::<4>()?;
@@ -130,6 +190,7 @@ impl<S: PageStore> MithriLog<S> {
     /// configured device page size or the store is not empty; storage
     /// errors from formatting.
     pub fn with_store(store: S, config: SystemConfig) -> Result<Self, MithriLogError> {
+        config.validate().map_err(MithriLogError::Config)?;
         if store.page_bytes() != config.device.page_bytes {
             return Err(MithriLogError::Config(format!(
                 "store page size ({} bytes) must match the device model ({} bytes)",
@@ -185,6 +246,7 @@ impl<S: PageStore> MithriLog<S> {
         store: S,
         config: SystemConfig,
     ) -> Result<(Self, RecoveryReport), MithriLogError> {
+        config.validate().map_err(MithriLogError::Config)?;
         if store.page_bytes() != config.device.page_bytes {
             return Err(MithriLogError::Config(format!(
                 "store page size ({} bytes) must match the device model ({} bytes)",
@@ -295,7 +357,19 @@ impl<S: PageStore> MithriLog<S> {
     /// (`0` = one worker per modeled flash channel). Changing it never
     /// changes results — the datapath is byte-identical for every thread
     /// count — only wall-clock time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` exceeds [`SystemConfig::MAX_QUERY_THREADS`];
+    /// callers taking untrusted input should validate with
+    /// [`SystemConfig::checked_query_threads`] first.
     pub fn set_query_threads(&mut self, threads: usize) {
+        assert!(
+            threads <= SystemConfig::MAX_QUERY_THREADS,
+            "query_threads {} exceeds the {} maximum",
+            threads,
+            SystemConfig::MAX_QUERY_THREADS
+        );
         self.config.query_threads = threads;
     }
 
@@ -686,6 +760,192 @@ impl<S: PageStore> MithriLog<S> {
         self.query_inner(query, None)
     }
 
+    /// Executes a batch of concurrently admitted queries as **one shared
+    /// scan**: the union of the batch's page plans is read and
+    /// LZAH-decompressed once per distinct page, and each page's text is
+    /// fanned out to every query that planned it — the paper's single flash
+    /// stream amortized across multiple pattern matchers.
+    ///
+    /// # Determinism contract
+    ///
+    /// For each request, the returned [`QueryOutcome`] is byte-identical to
+    /// executing the same request alone on the same snapshot: matched
+    /// lines, `offloaded`, `used_index`, `pages_scanned`, `bytes_filtered`,
+    /// `lines_scanned`, the degraded-read report, and the per-query cost
+    /// ledger (charged *as if solo* — every planned page in full) never
+    /// depend on what else is in the batch. What concurrency changes is
+    /// reported separately: the device ledger records only the physical
+    /// reads (each union page once, with the avoided duplicates in
+    /// [`CostLedger::shared_reads`]), and the [`SharedScanReport`] splits
+    /// each shared page's cost evenly across its sharers. The one
+    /// as-if-solo approximation: a transient-read episode on a shared page
+    /// drains once, so retry counts mirror a solo run against a fresh
+    /// fault plan, not against a device whose episodes other queries in the
+    /// batch already drained.
+    ///
+    /// [`CostLedger::shared_reads`]: mithrilog_storage::CostLedger
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-survivable storage errors (out-of-range access, host
+    /// I/O failure) batch-wide; survivable faults degrade the affected
+    /// queries exactly as in [`MithriLog::query`].
+    pub fn query_shared(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<SharedBatchOutcome, MithriLogError> {
+        let wall_start = Instant::now();
+        struct Prepared {
+            pages: Vec<PageId>,
+            plan_ledger: mithrilog_storage::CostLedger,
+            used_index: bool,
+            index_fallback: bool,
+            budget_clipped: u64,
+        }
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(requests.len());
+        let mut pipelines: Vec<Option<FilterPipeline>> = Vec::with_capacity(requests.len());
+        for req in requests {
+            let ledger_before = *self.ssd.ledger();
+            let window = req.time_range.map(|(t1, t2)| self.index.time_slice(t1, t2));
+            let mut index_fallback = false;
+            let plan = if self.config.use_index && self.index_probe_is_worthwhile(&req.query) {
+                match self.index.plan(&mut self.ssd, &req.query) {
+                    Ok(plan) => plan,
+                    Err(e) if page_is_skippable(&e) => {
+                        index_fallback = true;
+                        QueryPlan::FullScan
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                QueryPlan::FullScan
+            };
+            let (mut pages, used_index): (Vec<PageId>, bool) = match &plan {
+                QueryPlan::Pages(p) => (p.clone(), true),
+                QueryPlan::FullScan => (self.data_pages.clone(), false),
+            };
+            if let Some((lo, hi)) = window {
+                pages.retain(|p| lo.is_none_or(|l| *p >= l) && hi.is_none_or(|h| *p < h));
+            }
+            let mut budget_clipped = 0u64;
+            if let Some(budget) = req.page_budget {
+                let keep = usize::try_from(budget)
+                    .unwrap_or(usize::MAX)
+                    .min(pages.len());
+                budget_clipped = (pages.len() - keep) as u64;
+                pages.truncate(keep);
+            }
+            let plan_ledger = self.ssd.ledger().since(&ledger_before);
+            pipelines.push(
+                FilterPipeline::compile_with(
+                    &req.query,
+                    self.config.filter,
+                    self.config.tokenizer.clone(),
+                )
+                .ok(),
+            );
+            prepared.push(Prepared {
+                pages,
+                plan_ledger,
+                used_index,
+                index_fallback,
+                budget_clipped,
+            });
+        }
+
+        // Share counts over the post-clip plans drive the attribution split.
+        let mut share: std::collections::HashMap<PageId, u64> = std::collections::HashMap::new();
+        for prep in &prepared {
+            for page in &prep.pages {
+                *share.entry(*page).or_default() += 1;
+            }
+        }
+
+        let engines: Vec<(Engine<'_>, Vec<PageId>)> = requests
+            .iter()
+            .zip(&pipelines)
+            .zip(&prepared)
+            .map(|((req, pipeline), prep)| {
+                let engine = match pipeline {
+                    Some(p) => Engine::Hardware(p),
+                    None => Engine::Software(&req.query),
+                };
+                (engine, prep.pages.clone())
+            })
+            .collect();
+        let fan = exec::scan_pages_fanout(
+            &self.ssd,
+            self.config.lzah,
+            &engines,
+            self.config.resolved_query_threads(),
+        );
+        self.ssd.merge_ledger(&fan.device_ledger);
+        if let Some(e) = fan.error {
+            return Err(e.into());
+        }
+
+        let wall_time = wall_start.elapsed();
+        let mut report = SharedScanReport {
+            demanded_page_reads: prepared.iter().map(|p| p.pages.len() as u64).sum(),
+            unique_pages_read: share.len() as u64,
+            shared_reads_avoided: fan.device_ledger.shared_reads,
+            attribution: Vec::with_capacity(requests.len()),
+        };
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for ((prep, scan), pipeline) in prepared.iter().zip(fan.queries).zip(&pipelines) {
+            let mut attr = ScanAttribution {
+                planned_pages: prep.pages.len() as u64,
+                ..ScanAttribution::default()
+            };
+            for page in &prep.pages {
+                let sharers = share[page];
+                if sharers <= 1 {
+                    attr.exclusive_pages += 1;
+                    attr.attributed_page_cost += 1.0;
+                } else {
+                    attr.shared_pages += 1;
+                    attr.attributed_page_cost += 1.0 / sharers as f64;
+                }
+            }
+            report.attribution.push(attr);
+
+            let mut ledger = prep.plan_ledger;
+            ledger.merge(&scan.ledger);
+            let mut degraded = DegradedRead {
+                skipped_pages: scan.skipped_pages,
+                retries: ledger.retries,
+                estimated_missed_lines: 0,
+                index_fallback: prep.index_fallback,
+                budget_clipped: prep.budget_clipped,
+            };
+            let lost = degraded.skipped_pages.len() as u64 + prep.budget_clipped;
+            degraded.estimated_missed_lines = if lost == 0 {
+                0
+            } else if scan.pages_filtered > 0 {
+                scan.lines_scanned.div_ceil(scan.pages_filtered) * lost
+            } else {
+                self.avg_lines_per_page() * lost
+            };
+            let modeled_time = self.model_query_time(&ledger, scan.bytes_filtered, &scan.lines);
+            outcomes.push(QueryOutcome {
+                lines: scan.lines,
+                offloaded: pipeline.is_some(),
+                used_index: prep.used_index,
+                pages_scanned: prep.pages.len() as u64,
+                bytes_filtered: scan.bytes_filtered,
+                lines_scanned: scan.lines_scanned,
+                ledger,
+                modeled_time,
+                wall_time,
+                degraded,
+            });
+        }
+        Ok(SharedBatchOutcome {
+            outcomes,
+            shared: report,
+        })
+    }
+
     fn query_inner(
         &mut self,
         query: &Query,
@@ -1061,6 +1321,64 @@ RAS KERNEL INFO generating core.2275\n";
         let needle = s.query_str("nonexistent-needle-xyz").unwrap();
         assert!(needle.used_index);
         assert_eq!(needle.pages_scanned, 0);
+    }
+
+    #[test]
+    fn shared_batch_is_byte_identical_to_solo_runs() {
+        let mut s = system_with(&LOG.repeat(300));
+        let requests = vec![
+            QueryRequest::parse("FATAL").unwrap(),
+            QueryRequest::parse("KERNEL AND INFO").unwrap(),
+            QueryRequest::parse("pbs_mom: OR ciod:").unwrap(),
+        ];
+        let solo: Vec<QueryOutcome> = requests
+            .iter()
+            .map(|r| s.query(&r.query).unwrap())
+            .collect();
+        let batch = s.query_shared(&requests).unwrap();
+        assert_eq!(batch.outcomes.len(), 3);
+        for (got, want) in batch.outcomes.iter().zip(&solo) {
+            assert_eq!(got.lines, want.lines);
+            assert_eq!(got.offloaded, want.offloaded);
+            assert_eq!(got.used_index, want.used_index);
+            assert_eq!(got.pages_scanned, want.pages_scanned);
+            assert_eq!(got.bytes_filtered, want.bytes_filtered);
+            assert_eq!(got.lines_scanned, want.lines_scanned);
+            assert_eq!(got.ledger, want.ledger);
+            assert_eq!(got.degraded, want.degraded);
+        }
+        // Full-scan-heavy batch: the shared scan reads each page once.
+        assert!(batch.shared.demanded_page_reads > batch.shared.unique_pages_read);
+        assert_eq!(
+            batch.shared.shared_reads_avoided,
+            batch.shared.demanded_page_reads - batch.shared.unique_pages_read
+        );
+        // Attribution sums back to the physical reads.
+        let attributed: f64 = batch
+            .shared
+            .attribution
+            .iter()
+            .map(|a| a.attributed_page_cost)
+            .sum();
+        assert!((attributed - batch.shared.unique_pages_read as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn page_budget_clips_deterministically() {
+        let mut s = system_with(&LOG.repeat(300));
+        let pages = s.data_page_count();
+        assert!(pages > 3, "need several pages");
+        let req = QueryRequest::parse("RAS").unwrap().with_page_budget(2);
+        let clipped = s.query_shared(std::slice::from_ref(&req)).unwrap();
+        let o = &clipped.outcomes[0];
+        assert_eq!(o.pages_scanned, 2);
+        assert_eq!(o.degraded.budget_clipped, pages - 2);
+        assert!(o.degraded.is_lossy());
+        assert!(o.degraded.estimated_missed_lines > 0);
+        // Deterministic: the same budgeted request repeats byte-identically.
+        let again = s.query_shared(std::slice::from_ref(&req)).unwrap();
+        assert_eq!(again.outcomes[0].lines, o.lines);
+        assert_eq!(again.outcomes[0].degraded, o.degraded);
     }
 
     #[test]

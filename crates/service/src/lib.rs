@@ -1,0 +1,61 @@
+//! Embedded concurrent query/ingest service for MithriLog.
+//!
+//! The core crate exposes a single-caller facade: one query at a time owns
+//! the whole datapath. Production log stores multiplex many concurrent
+//! searches over shared storage, and the paper's accelerator sustains
+//! wire-speed filtering precisely so that one device can serve many
+//! analysts. This crate turns the parallel datapath into that shared,
+//! multi-tenant resource:
+//!
+//! * **admission control** — a bounded submission queue with explicit
+//!   [`SubmitError::Rejected`] errors, so overload degrades predictably
+//!   instead of piling up unbounded work;
+//! * **fair scheduling** — FIFO within priority classes
+//!   ([`Priority::High`] before [`Priority::Normal`] before
+//!   [`Priority::Low`]), with per-query page (deadline) budgets that
+//!   convert overruns into the existing degraded-read partial-result path
+//!   rather than hangs;
+//! * **cross-query page sharing** — concurrently admitted queries run as
+//!   one shared scan ([`MithriLog::query_shared`]): overlapping page plans
+//!   are read and LZAH-decompressed once and fanned out to every waiting
+//!   query's compiled filter, with cost attribution split by share count;
+//! * **front-ends** — the in-process [`ServiceHandle`] API, and a TCP line
+//!   protocol ([`protocol`], [`server`]) the CLI exposes as
+//!   `mithrilog serve`.
+//!
+//! Determinism is preserved end to end: for a fixed snapshot, every
+//! query's outcome is byte-identical to running it alone — batching changes
+//! only the physical read count, reported separately per wave.
+//!
+//! [`MithriLog::query_shared`]: mithrilog::MithriLog::query_shared
+//!
+//! # Example
+//!
+//! ```
+//! use mithrilog::{MithriLog, SystemConfig};
+//! use mithrilog_service::{JobOutput, Priority, Service, ServiceConfig};
+//!
+//! let mut system = MithriLog::new(SystemConfig::for_tests());
+//! system.ingest(b"RAS KERNEL FATAL data storage interrupt\n")?;
+//! let service = Service::spawn(system, ServiceConfig::default());
+//! let handle = service.handle();
+//! let id = handle.submit_str("FATAL", Priority::Normal).unwrap();
+//! match handle.wait(id).unwrap() {
+//!     JobOutput::Query { outcome, .. } => assert_eq!(outcome.lines.len(), 1),
+//!     other => panic!("expected a query result, got {other:?}"),
+//! }
+//! service.shutdown();
+//! # Ok::<(), mithrilog::MithriLogError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+mod service;
+
+pub use service::{
+    JobId, JobOutput, JobStatus, Priority, Service, ServiceConfig, ServiceHandle, ServiceStats,
+    SubmitError,
+};

@@ -1,0 +1,378 @@
+//! The `mithrilog serve` line protocol.
+//!
+//! One request per line; every response is one or more lines terminated by
+//! a lone `.` line, so clients read until the terminator regardless of the
+//! payload size. The first response line starts with `OK`, `REJECTED`
+//! (admission control turned the request away) or `ERR`; matched log lines
+//! in a result are prefixed with `L ` so a log line consisting of a single
+//! dot can never forge the terminator.
+//!
+//! Requests:
+//!
+//! ```text
+//! SUBMIT [pri=high|normal|low] [budget=N] [range=T1:T2] q=<query text>
+//! POLL <id>
+//! WAIT <id>
+//! CANCEL <id>
+//! STATS
+//! SHUTDOWN
+//! QUIT
+//! ```
+//!
+//! `q=` must come last: everything after it, spaces included, is the query.
+
+use mithrilog::QueryRequest;
+
+use crate::service::{JobId, JobOutput, JobStatus, Priority, ServiceStats, SubmitError};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a query for execution.
+    Submit {
+        /// The query text (everything after `q=`).
+        query: String,
+        /// Scheduling class (default [`Priority::Normal`]).
+        priority: Priority,
+        /// Page (deadline) budget, if any.
+        budget: Option<u64>,
+        /// Snapshot-clock time window, if any.
+        range: Option<(u64, u64)>,
+    },
+    /// Report a job's status without blocking.
+    Poll(JobId),
+    /// Block until a job finishes, then return its result.
+    Wait(JobId),
+    /// Cancel a queued job.
+    Cancel(JobId),
+    /// Report service counters.
+    Stats,
+    /// Stop the server (and the service behind it).
+    Shutdown,
+    /// Close this connection.
+    Quit,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message describing what is malformed; the server
+/// returns it as an `ERR` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(' ') {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "SUBMIT" => parse_submit(rest),
+        "POLL" => Ok(Request::Poll(parse_id(rest)?)),
+        "WAIT" => Ok(Request::Wait(parse_id(rest)?)),
+        "CANCEL" => Ok(Request::Cancel(parse_id(rest)?)),
+        "STATS" => Ok(Request::Stats),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "QUIT" => Ok(Request::Quit),
+        "" => Err("empty request".into()),
+        other => Err(format!("unknown verb {other:?}")),
+    }
+}
+
+fn parse_id(text: &str) -> Result<JobId, String> {
+    text.parse::<JobId>()
+        .map_err(|_| format!("expected a job id, got {text:?}"))
+}
+
+fn parse_submit(rest: &str) -> Result<Request, String> {
+    let mut priority = Priority::Normal;
+    let mut budget = None;
+    let mut range = None;
+    let mut remaining = rest;
+    let query = loop {
+        let remaining_trimmed = remaining.trim_start();
+        if let Some(q) = remaining_trimmed.strip_prefix("q=") {
+            break q.to_string();
+        }
+        let (field, rest) = match remaining_trimmed.split_once(' ') {
+            Some(pair) => pair,
+            None => (remaining_trimmed, ""),
+        };
+        let Some((key, value)) = field.split_once('=') else {
+            return Err(format!(
+                "expected key=value fields then q=<query>, got {field:?}"
+            ));
+        };
+        match key {
+            "pri" => {
+                priority =
+                    Priority::parse(value).ok_or_else(|| format!("unknown priority {value:?}"))?;
+            }
+            "budget" => {
+                budget = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad budget {value:?}"))?,
+                );
+            }
+            "range" => {
+                let (t1, t2) = value
+                    .split_once(':')
+                    .ok_or_else(|| format!("range wants T1:T2, got {value:?}"))?;
+                let t1 = t1
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad range start {t1:?}"))?;
+                let t2 = t2
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad range end {t2:?}"))?;
+                range = Some((t1, t2));
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+        remaining = rest;
+    };
+    if query.trim().is_empty() {
+        return Err("empty query".into());
+    }
+    Ok(Request::Submit {
+        query,
+        priority,
+        budget,
+        range,
+    })
+}
+
+/// Builds the [`QueryRequest`] a `SUBMIT` describes.
+///
+/// # Errors
+///
+/// Parse errors from the query text.
+pub fn submit_to_request(
+    query: &str,
+    budget: Option<u64>,
+    range: Option<(u64, u64)>,
+) -> Result<QueryRequest, String> {
+    let mut request = QueryRequest::parse(query).map_err(|e| e.to_string())?;
+    request.page_budget = budget;
+    request.time_range = range;
+    Ok(request)
+}
+
+/// The response terminator line.
+pub const TERMINATOR: &str = ".";
+
+fn terminated(mut body: String) -> String {
+    body.push_str(TERMINATOR);
+    body.push('\n');
+    body
+}
+
+/// Renders the response to a `SUBMIT`.
+pub fn render_submit(result: &Result<JobId, SubmitError>) -> String {
+    terminated(match result {
+        Ok(id) => format!("OK id={id}\n"),
+        Err(SubmitError::Rejected {
+            queue_len,
+            capacity,
+            ..
+        }) => format!("REJECTED queue_full queued={queue_len} capacity={capacity}\n"),
+        Err(SubmitError::Parse(reason)) => format!("ERR parse: {reason}\n"),
+        Err(SubmitError::Closed) => "ERR service is shut down\n".to_string(),
+    })
+}
+
+/// Renders a job status (the response to `POLL`, and to `WAIT` once the
+/// job settles). `None` means the id was never issued.
+pub fn render_status(status: Option<&JobStatus>) -> String {
+    terminated(match status {
+        None => "ERR unknown job\n".to_string(),
+        Some(JobStatus::Pending) => "OK pending\n".to_string(),
+        Some(JobStatus::Running) => "OK running\n".to_string(),
+        Some(JobStatus::Cancelled) => "OK cancelled\n".to_string(),
+        Some(JobStatus::Failed(reason)) => format!("ERR failed: {reason}\n"),
+        Some(JobStatus::Done(output)) => render_output(output),
+    })
+}
+
+fn render_output(output: &JobOutput) -> String {
+    match output {
+        JobOutput::Query {
+            outcome,
+            attribution,
+        } => {
+            let mut body = format!(
+                "OK done kind=query lines={} pages={} offloaded={} used_index={} \
+                 degraded={} shared_pages={} attributed_cost={:.3}\n",
+                outcome.lines.len(),
+                outcome.pages_scanned,
+                outcome.offloaded,
+                outcome.used_index,
+                outcome.degraded.is_degraded(),
+                attribution.shared_pages,
+                attribution.attributed_page_cost,
+            );
+            for line in &outcome.lines {
+                body.push_str("L ");
+                body.push_str(line);
+                body.push('\n');
+            }
+            body
+        }
+        JobOutput::Ingest(report) => format!(
+            "OK done kind=ingest lines={} pages={} raw_bytes={}\n",
+            report.lines, report.data_pages, report.raw_bytes
+        ),
+    }
+}
+
+/// Renders the response to `CANCEL`.
+pub fn render_cancel(cancelled: bool) -> String {
+    terminated(if cancelled {
+        "OK cancelled\n".to_string()
+    } else {
+        "OK too-late\n".to_string()
+    })
+}
+
+/// Renders the response to `STATS`.
+pub fn render_stats(stats: &ServiceStats) -> String {
+    terminated(format!(
+        "OK stats\nsubmitted={}\nrejected={}\ncompleted={}\nfailed={}\ncancelled={}\n\
+         queued={}\nwaves={}\ndemanded_page_reads={}\nunique_pages_read={}\n\
+         shared_reads_avoided={}\n",
+        stats.submitted,
+        stats.rejected,
+        stats.completed,
+        stats.failed,
+        stats.cancelled,
+        stats.queued,
+        stats.waves,
+        stats.demanded_page_reads,
+        stats.unique_pages_read,
+        stats.shared_reads_avoided,
+    ))
+}
+
+/// Renders an `ERR` for a request that failed to parse.
+pub fn render_error(reason: &str) -> String {
+    terminated(format!("ERR {reason}\n"))
+}
+
+/// Renders the acknowledgement for `SHUTDOWN` / `QUIT`.
+pub fn render_bye() -> String {
+    terminated("OK bye\n".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_parses_fields_and_query_tail() {
+        let r =
+            parse_request("SUBMIT pri=high budget=4 range=10:99 q=FATAL AND NOT ciod:").unwrap();
+        assert_eq!(
+            r,
+            Request::Submit {
+                query: "FATAL AND NOT ciod:".into(),
+                priority: Priority::High,
+                budget: Some(4),
+                range: Some((10, 99)),
+            }
+        );
+        // Everything after q= belongs to the query, even key=value lookalikes.
+        let r = parse_request("SUBMIT q=pri=high").unwrap();
+        assert_eq!(
+            r,
+            Request::Submit {
+                query: "pri=high".into(),
+                priority: Priority::Normal,
+                budget: None,
+                range: None,
+            }
+        );
+    }
+
+    #[test]
+    fn submit_rejects_malformed_fields() {
+        assert!(parse_request("SUBMIT").is_err());
+        assert!(parse_request("SUBMIT q=").is_err());
+        assert!(parse_request("SUBMIT pri=urgent q=x").is_err());
+        assert!(parse_request("SUBMIT budget=lots q=x").is_err());
+        assert!(parse_request("SUBMIT range=5 q=x").is_err());
+        assert!(parse_request("SUBMIT FATAL").is_err(), "query needs q=");
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        assert_eq!(parse_request("POLL 7").unwrap(), Request::Poll(7));
+        assert_eq!(parse_request("WAIT 0").unwrap(), Request::Wait(0));
+        assert_eq!(parse_request("CANCEL 3").unwrap(), Request::Cancel(3));
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("shutdown").unwrap(), Request::Shutdown);
+        assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
+        assert!(parse_request("POLL x").is_err());
+        assert!(parse_request("BOGUS").is_err());
+        assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn responses_are_dot_terminated() {
+        for response in [
+            render_submit(&Ok(5)),
+            render_submit(&Err(SubmitError::Rejected {
+                queue_full: true,
+                queue_len: 8,
+                capacity: 8,
+            })),
+            render_status(None),
+            render_status(Some(&JobStatus::Pending)),
+            render_cancel(true),
+            render_stats(&ServiceStats::default()),
+            render_error("nope"),
+            render_bye(),
+        ] {
+            assert!(
+                response.ends_with("\n.\n") || response == ".\n",
+                "{response:?}"
+            );
+        }
+        assert!(render_submit(&Ok(5)).starts_with("OK id=5\n"));
+        assert!(render_submit(&Err(SubmitError::Rejected {
+            queue_full: true,
+            queue_len: 8,
+            capacity: 8,
+        }))
+        .starts_with("REJECTED queue_full"));
+    }
+
+    #[test]
+    fn done_query_lines_are_prefixed() {
+        use mithrilog_storage::CostLedger;
+        use std::time::Duration;
+        let outcome = mithrilog::QueryOutcome {
+            lines: vec!["a FATAL line".into(), ".".into()],
+            offloaded: true,
+            used_index: false,
+            pages_scanned: 2,
+            bytes_filtered: 100,
+            lines_scanned: 4,
+            ledger: CostLedger::default(),
+            modeled_time: Duration::ZERO,
+            wall_time: Duration::ZERO,
+            degraded: mithrilog::DegradedRead::default(),
+        };
+        let status = JobStatus::Done(JobOutput::Query {
+            outcome: Box::new(outcome),
+            attribution: mithrilog::ScanAttribution::default(),
+        });
+        let rendered = render_status(Some(&status));
+        assert!(
+            rendered.starts_with("OK done kind=query lines=2"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("\nL a FATAL line\n"));
+        // A log line that is a lone dot cannot forge the terminator.
+        assert!(rendered.contains("\nL .\n"));
+        assert!(rendered.ends_with("\n.\n"));
+    }
+}

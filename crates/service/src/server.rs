@@ -1,0 +1,184 @@
+//! TCP front-end: serves the [`protocol`](crate::protocol) line protocol
+//! over a listener, one thread per connection, all of them funneling into
+//! one [`ServiceHandle`].
+//!
+//! The server borrows the service — it never owns it. `SHUTDOWN` stops the
+//! accept loop (and acknowledges the client); the caller then shuts the
+//! service itself down, so embedded users can also run the server as one of
+//! several front-ends.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::protocol::{self, Request};
+use crate::service::{JobStatus, ServiceHandle};
+
+/// Serves the line protocol on `listener` until a client sends `SHUTDOWN`.
+/// Blocks the calling thread; connection handlers run on their own threads.
+///
+/// # Errors
+///
+/// Propagates accept-loop I/O errors. Per-connection I/O errors only end
+/// that connection.
+pub fn serve(listener: TcpListener, handle: &ServiceHandle) -> std::io::Result<()> {
+    let stopping = Arc::new(AtomicBool::new(false));
+    let local = listener.local_addr()?;
+    for conn in listener.incoming() {
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let handle = handle.clone();
+        let stopping = Arc::clone(&stopping);
+        std::thread::Builder::new()
+            .name("mithrilog-conn".into())
+            .spawn(move || {
+                if handle_connection(stream, &handle, &stopping) {
+                    // SHUTDOWN: wake the accept loop with a no-op connection
+                    // so it observes the flag and exits.
+                    let _ = TcpStream::connect(local);
+                }
+            })
+            .expect("failed to spawn a connection thread");
+    }
+    Ok(())
+}
+
+/// Handles one connection; returns `true` when the client asked the whole
+/// server to shut down.
+fn handle_connection(stream: TcpStream, handle: &ServiceHandle, stopping: &AtomicBool) -> bool {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return false, // EOF or broken pipe
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::parse_request(&line) {
+            Err(reason) => protocol::render_error(&reason),
+            Ok(Request::Submit {
+                query,
+                priority,
+                budget,
+                range,
+            }) => match protocol::submit_to_request(&query, budget, range) {
+                Err(reason) => protocol::render_error(&reason),
+                Ok(request) => protocol::render_submit(&handle.submit(request, priority)),
+            },
+            Ok(Request::Poll(id)) => protocol::render_status(handle.poll(id).as_ref()),
+            Ok(Request::Wait(id)) => {
+                // Block until the job settles, then render whatever state it
+                // settled into (or `unknown job` for an id never issued).
+                let _ = handle.wait(id);
+                let settled = handle.poll(id);
+                debug_assert!(!matches!(
+                    settled,
+                    Some(JobStatus::Pending | JobStatus::Running)
+                ));
+                protocol::render_status(settled.as_ref())
+            }
+            Ok(Request::Cancel(id)) => protocol::render_cancel(handle.cancel(id)),
+            Ok(Request::Stats) => protocol::render_stats(&handle.stats()),
+            Ok(Request::Quit) => {
+                let _ = writer.write_all(protocol::render_bye().as_bytes());
+                return false;
+            }
+            Ok(Request::Shutdown) => {
+                stopping.store(true, Ordering::SeqCst);
+                let _ = writer.write_all(protocol::render_bye().as_bytes());
+                return true;
+            }
+        };
+        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Priority, Service, ServiceConfig};
+    use mithrilog::{MithriLog, SystemConfig};
+
+    /// Reads one dot-terminated response.
+    fn read_response(reader: &mut BufReader<TcpStream>) -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end_matches('\n').to_string();
+            if line == protocol::TERMINATOR {
+                return lines;
+            }
+            lines.push(line);
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip_submit_wait_stats_shutdown() {
+        let mut system = MithriLog::new(SystemConfig::for_tests());
+        system
+            .ingest(b"RAS KERNEL FATAL data storage interrupt\nRAS KERNEL INFO ok\n")
+            .unwrap();
+        let service = Service::spawn(system, ServiceConfig::default());
+        let handle = service.handle();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(listener, &handle).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        writer.write_all(b"SUBMIT pri=high q=FATAL\n").unwrap();
+        let response = read_response(&mut reader);
+        assert_eq!(response, vec!["OK id=0"]);
+
+        writer.write_all(b"WAIT 0\n").unwrap();
+        let response = read_response(&mut reader);
+        assert!(
+            response[0].starts_with("OK done kind=query lines=1"),
+            "{response:?}"
+        );
+        assert_eq!(response[1], "L RAS KERNEL FATAL data storage interrupt");
+
+        writer.write_all(b"POLL 99\n").unwrap();
+        assert_eq!(read_response(&mut reader), vec!["ERR unknown job"]);
+
+        writer.write_all(b"CANCEL 0\n").unwrap();
+        assert_eq!(read_response(&mut reader), vec!["OK too-late"]);
+
+        writer.write_all(b"STATS\n").unwrap();
+        let stats = read_response(&mut reader);
+        assert_eq!(stats[0], "OK stats");
+        assert!(stats.contains(&"completed=1".to_string()), "{stats:?}");
+
+        writer.write_all(b"NOT-A-VERB\n").unwrap();
+        assert!(read_response(&mut reader)[0].starts_with("ERR "));
+
+        writer.write_all(b"SHUTDOWN\n").unwrap();
+        assert_eq!(read_response(&mut reader), vec!["OK bye"]);
+        server.join().unwrap();
+        service.shutdown();
+
+        // Further submissions are refused by the closed service.
+        let service_handle_closed = Service::spawn(
+            MithriLog::new(SystemConfig::for_tests()),
+            ServiceConfig::default(),
+        );
+        let h = service_handle_closed.handle();
+        service_handle_closed.shutdown();
+        assert!(h.submit_str("x", Priority::Normal).is_err());
+    }
+}

@@ -1,0 +1,739 @@
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mithrilog::{
+    IngestReport, MithriLog, QueryOutcome, QueryRequest, ScanAttribution, SharedScanReport,
+};
+use mithrilog_storage::PageStore;
+
+/// Identifier of a submitted job, unique for the lifetime of the service.
+pub type JobId = u64;
+
+/// Scheduling class of a submitted query. Within a class, jobs run in
+/// strict submission (FIFO) order; across classes, every queued
+/// higher-priority job runs before any lower-priority one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Interactive queries: dashboards, incident triage.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Batch/background queries that should never starve the others.
+    Low,
+}
+
+impl Priority {
+    /// All classes, highest first — the scheduler's drain order.
+    pub const CLASSES: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Queue index of this class.
+    fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Parses the protocol spelling (`high` / `normal` / `low`).
+    pub fn parse(text: &str) -> Option<Priority> {
+        match text {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+
+    /// The protocol spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded submission queue is full. Overload is surfaced here, at
+    /// admission, instead of as unbounded queueing delay.
+    Rejected {
+        /// `true` when the rejection was due to the queue being at
+        /// capacity (currently the only cause, kept explicit so callers
+        /// can distinguish future admission policies).
+        queue_full: bool,
+        /// Jobs queued at the time of rejection.
+        queue_len: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The query text did not parse.
+    Parse(String),
+    /// The service has been shut down.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected {
+                queue_len,
+                capacity,
+                ..
+            } => write!(f, "queue full ({queue_len}/{capacity} jobs queued)"),
+            SubmitError::Parse(reason) => write!(f, "parse error: {reason}"),
+            SubmitError::Closed => write!(f, "service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Result payload of a finished job.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// A query completed.
+    Query {
+        /// The outcome, byte-identical to a solo run of the same request.
+        outcome: Box<QueryOutcome>,
+        /// This query's share-count cost attribution within its wave.
+        attribution: ScanAttribution,
+    },
+    /// An ingest batch completed.
+    Ingest(IngestReport),
+}
+
+/// Observable state of a submitted job.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// Admitted, waiting in its priority queue.
+    Pending,
+    /// Currently executing in a wave.
+    Running,
+    /// Finished successfully.
+    Done(JobOutput),
+    /// Failed with a non-survivable error.
+    Failed(String),
+    /// Cancelled before it started running.
+    Cancelled,
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bound on jobs queued awaiting execution (admission control).
+    /// Submissions beyond this are rejected with
+    /// [`SubmitError::Rejected`].
+    pub max_queue: usize,
+    /// Concurrency limit: at most this many queries execute together in
+    /// one shared-scan wave.
+    pub max_batch: usize,
+    /// Page (deadline) budget applied to queries that do not carry their
+    /// own: at most this many planned pages are scanned before the query
+    /// returns partial results via the degraded-read path. `None` = no
+    /// default budget.
+    pub default_page_budget: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_queue: 64,
+            max_batch: 16,
+            default_page_budget: None,
+        }
+    }
+}
+
+/// Service counters, cumulative since spawn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs that failed with a hard error.
+    pub failed: u64,
+    /// Jobs cancelled before running.
+    pub cancelled: u64,
+    /// Jobs currently queued.
+    pub queued: u64,
+    /// Shared-scan waves executed.
+    pub waves: u64,
+    /// Page reads the waves' queries demanded (sum of per-query plans).
+    pub demanded_page_reads: u64,
+    /// Distinct page reads the waves actually issued.
+    pub unique_pages_read: u64,
+    /// Duplicate reads avoided by cross-query page sharing.
+    pub shared_reads_avoided: u64,
+}
+
+enum JobKind {
+    Query(Box<QueryRequest>, Priority),
+    Ingest(Vec<u8>),
+}
+
+struct Job {
+    kind: Option<JobKind>,
+    status: JobStatus,
+}
+
+#[derive(Default)]
+struct State {
+    /// One FIFO lane per priority class, holding job ids.
+    lanes: [VecDeque<JobId>; 3],
+    jobs: HashMap<JobId, Job>,
+    next_id: JobId,
+    queued: usize,
+    closed: bool,
+    stats: ServiceStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled on every submission, completion, cancellation and close.
+    changed: Condvar,
+    config: ServiceConfig,
+}
+
+/// Cloneable handle for submitting and tracking jobs. All methods are safe
+/// to call from any thread; the handle outliving the [`Service`] is fine —
+/// submissions after shutdown return [`SubmitError::Closed`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+/// The running service: a scheduler thread that owns the
+/// [`MithriLog`] system and executes admitted jobs in shared-scan waves.
+pub struct Service {
+    handle: ServiceHandle,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// Submits a query request. Returns the job id on admission.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Rejected`] when the bounded queue is full,
+    /// [`SubmitError::Closed`] after shutdown.
+    pub fn submit(
+        &self,
+        mut request: QueryRequest,
+        priority: Priority,
+    ) -> Result<JobId, SubmitError> {
+        if request.page_budget.is_none() {
+            request.page_budget = self.shared.config.default_page_budget;
+        }
+        self.admit(JobKind::Query(Box::new(request), priority))
+    }
+
+    /// Parses and submits a query.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Parse`] on bad query text, plus every
+    /// [`ServiceHandle::submit`] condition.
+    pub fn submit_str(&self, query: &str, priority: Priority) -> Result<JobId, SubmitError> {
+        let request = QueryRequest::parse(query).map_err(|e| SubmitError::Parse(e.to_string()))?;
+        self.submit(request, priority)
+    }
+
+    /// Submits an ingest batch (admitted through the same bounded queue;
+    /// runs at [`Priority::Normal`], alone — never inside a query wave).
+    ///
+    /// # Errors
+    ///
+    /// Same admission conditions as [`ServiceHandle::submit`].
+    pub fn ingest(&self, text: Vec<u8>) -> Result<JobId, SubmitError> {
+        self.admit(JobKind::Ingest(text))
+    }
+
+    fn admit(&self, kind: JobKind) -> Result<JobId, SubmitError> {
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.queued >= self.shared.config.max_queue {
+            state.stats.rejected += 1;
+            return Err(SubmitError::Rejected {
+                queue_full: true,
+                queue_len: state.queued,
+                capacity: self.shared.config.max_queue,
+            });
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let lane = match &kind {
+            JobKind::Query(_, priority) => priority.lane(),
+            JobKind::Ingest(_) => Priority::Normal.lane(),
+        };
+        state.jobs.insert(
+            id,
+            Job {
+                kind: Some(kind),
+                status: JobStatus::Pending,
+            },
+        );
+        state.lanes[lane].push_back(id);
+        state.queued += 1;
+        state.stats.submitted += 1;
+        state.stats.queued = state.queued as u64;
+        self.shared.changed.notify_all();
+        Ok(id)
+    }
+
+    /// Current status of a job, or `None` for an unknown id.
+    pub fn poll(&self, id: JobId) -> Option<JobStatus> {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        state.jobs.get(&id).map(|j| j.status.clone())
+    }
+
+    /// Blocks until the job leaves the queue/run states, returning its
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// The failure message for failed jobs, `"cancelled"` for cancelled
+    /// jobs, `"unknown job"` for an id never issued.
+    pub fn wait(&self, id: JobId) -> Result<JobOutput, String> {
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        loop {
+            match state.jobs.get(&id) {
+                None => return Err("unknown job".into()),
+                Some(job) => match &job.status {
+                    JobStatus::Done(out) => return Ok(out.clone()),
+                    JobStatus::Failed(reason) => return Err(reason.clone()),
+                    JobStatus::Cancelled => return Err("cancelled".into()),
+                    JobStatus::Pending | JobStatus::Running => {}
+                },
+            }
+            state = self
+                .shared
+                .changed
+                .wait(state)
+                .expect("service state poisoned");
+        }
+    }
+
+    /// Cancels a pending job. Returns `true` when the job was still queued
+    /// and is now cancelled; `false` when it already ran (or is running —
+    /// waves are never interrupted mid-scan, so cancellation can never
+    /// wedge the worker pool).
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        let Some(job) = state.jobs.get_mut(&id) else {
+            return false;
+        };
+        if !matches!(job.status, JobStatus::Pending) {
+            return false;
+        }
+        job.status = JobStatus::Cancelled;
+        job.kind = None;
+        state.queued -= 1;
+        state.stats.cancelled += 1;
+        state.stats.queued = state.queued as u64;
+        self.shared.changed.notify_all();
+        true
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        state.stats
+    }
+
+    /// Whether the service has been shut down.
+    pub fn is_closed(&self) -> bool {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        state.closed
+    }
+}
+
+impl Service {
+    /// Starts the service: spawns the scheduler thread, which takes
+    /// ownership of `system` and executes admitted jobs in shared-scan
+    /// waves until [`Service::shutdown`].
+    pub fn spawn<S>(system: MithriLog<S>, config: ServiceConfig) -> Service
+    where
+        S: PageStore + Send + 'static,
+    {
+        assert!(config.max_queue > 0, "max_queue must be at least 1");
+        assert!(config.max_batch > 0, "max_batch must be at least 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            changed: Condvar::new(),
+            config,
+        });
+        let scheduler_shared = Arc::clone(&shared);
+        let scheduler = std::thread::Builder::new()
+            .name("mithrilog-scheduler".into())
+            .spawn(move || scheduler_loop(system, &scheduler_shared))
+            .expect("failed to spawn the scheduler thread");
+        Service {
+            handle: ServiceHandle { shared },
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// A cloneable handle for submitting and tracking jobs.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Stops accepting submissions, drains nothing further (queued jobs
+    /// are failed with `"service is shut down"`), and joins the scheduler
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut state = self.handle.shared.state.lock().expect("state poisoned");
+            state.closed = true;
+            self.handle.shared.changed.notify_all();
+        }
+        if let Some(thread) = self.scheduler.take() {
+            thread.join().expect("scheduler thread panicked");
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// One unit of work claimed from the queues while holding the lock.
+enum Wave {
+    Queries(Vec<(JobId, QueryRequest)>),
+    Ingest(JobId, Vec<u8>),
+    /// Nothing runnable; the caller should wait for a change.
+    Idle,
+    Shutdown,
+}
+
+/// Claims the next wave in (priority, FIFO) order: the head of the highest
+/// non-empty lane decides. Queries accumulate up to `max_batch` across
+/// lanes (a half-filled wave never waits for stragglers — determinism
+/// requires batching only what is already admitted); an ingest at the
+/// front runs alone, and one already-claimed query stops the wave before
+/// it.
+fn claim_wave(state: &mut State, max_batch: usize) -> Wave {
+    if state.closed {
+        return Wave::Shutdown;
+    }
+    let mut wave: Vec<(JobId, QueryRequest)> = Vec::new();
+    'lanes: for class in Priority::CLASSES {
+        let lane = class.lane();
+        while let Some(&id) = state.lanes[lane].front() {
+            // Cancelled jobs were emptied in place; drop them from the lane.
+            let Some(kind) = state.jobs.get(&id).and_then(|j| j.kind.as_ref()) else {
+                state.lanes[lane].pop_front();
+                continue;
+            };
+            match kind {
+                JobKind::Query(..) => {
+                    if wave.len() == max_batch {
+                        break 'lanes;
+                    }
+                    state.lanes[lane].pop_front();
+                    let job = state.jobs.get_mut(&id).expect("claimed job exists");
+                    job.status = JobStatus::Running;
+                    let Some(JobKind::Query(request, _)) = job.kind.take() else {
+                        unreachable!("kind checked above");
+                    };
+                    wave.push((id, *request));
+                }
+                JobKind::Ingest(_) => {
+                    if !wave.is_empty() {
+                        break 'lanes;
+                    }
+                    state.lanes[lane].pop_front();
+                    let job = state.jobs.get_mut(&id).expect("claimed job exists");
+                    job.status = JobStatus::Running;
+                    let Some(JobKind::Ingest(text)) = job.kind.take() else {
+                        unreachable!("kind checked above");
+                    };
+                    state.queued -= 1;
+                    state.stats.queued = state.queued as u64;
+                    return Wave::Ingest(id, text);
+                }
+            }
+        }
+    }
+    if wave.is_empty() {
+        return Wave::Idle;
+    }
+    state.queued -= wave.len();
+    state.stats.queued = state.queued as u64;
+    Wave::Queries(wave)
+}
+
+fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
+    loop {
+        let wave = {
+            let mut state = shared.state.lock().expect("service state poisoned");
+            loop {
+                match claim_wave(&mut state, shared.config.max_batch) {
+                    Wave::Idle => {
+                        state = shared.changed.wait(state).expect("service state poisoned");
+                    }
+                    other => break other,
+                }
+            }
+        };
+        // The lock is dropped while the wave executes: submissions, polls
+        // and cancellations of *queued* jobs proceed concurrently.
+        match wave {
+            Wave::Idle => unreachable!("idle handled inside the lock"),
+            Wave::Shutdown => {
+                let mut state = shared.state.lock().expect("service state poisoned");
+                for lane in &mut state.lanes {
+                    lane.clear();
+                }
+                let orphaned: Vec<JobId> = state
+                    .jobs
+                    .iter()
+                    .filter(|(_, j)| matches!(j.status, JobStatus::Pending))
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in orphaned {
+                    let job = state.jobs.get_mut(&id).expect("listed job exists");
+                    job.status = JobStatus::Failed(SubmitError::Closed.to_string());
+                    job.kind = None;
+                    state.stats.failed += 1;
+                }
+                state.queued = 0;
+                state.stats.queued = 0;
+                shared.changed.notify_all();
+                return;
+            }
+            Wave::Ingest(id, text) => {
+                let result = system.ingest(&text);
+                let mut state = shared.state.lock().expect("service state poisoned");
+                let job = state.jobs.get_mut(&id).expect("running job exists");
+                match result {
+                    Ok(report) => {
+                        job.status = JobStatus::Done(JobOutput::Ingest(report));
+                        state.stats.completed += 1;
+                    }
+                    Err(e) => {
+                        job.status = JobStatus::Failed(e.to_string());
+                        state.stats.failed += 1;
+                    }
+                }
+                shared.changed.notify_all();
+            }
+            Wave::Queries(wave) => {
+                let requests: Vec<QueryRequest> = wave.iter().map(|(_, r)| r.clone()).collect();
+                let result = system.query_shared(&requests);
+                let mut state = shared.state.lock().expect("service state poisoned");
+                match result {
+                    Ok(batch) => {
+                        state.stats.waves += 1;
+                        state.stats.demanded_page_reads += batch.shared.demanded_page_reads;
+                        state.stats.unique_pages_read += batch.shared.unique_pages_read;
+                        state.stats.shared_reads_avoided += batch.shared.shared_reads_avoided;
+                        let SharedScanReport { attribution, .. } = batch.shared;
+                        for (((id, _), outcome), attribution) in
+                            wave.iter().zip(batch.outcomes).zip(attribution)
+                        {
+                            let job = state.jobs.get_mut(id).expect("running job exists");
+                            job.status = JobStatus::Done(JobOutput::Query {
+                                outcome: Box::new(outcome),
+                                attribution,
+                            });
+                            state.stats.completed += 1;
+                        }
+                    }
+                    Err(e) => {
+                        // A non-survivable device error fails the whole
+                        // wave — the same error a solo run would surface.
+                        let reason = e.to_string();
+                        for (id, _) in &wave {
+                            let job = state.jobs.get_mut(id).expect("running job exists");
+                            job.status = JobStatus::Failed(reason.clone());
+                            state.stats.failed += 1;
+                        }
+                    }
+                }
+                shared.changed.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithrilog::SystemConfig;
+
+    const LOG: &str = "\
+RAS KERNEL INFO instruction cache parity error corrected\n\
+RAS KERNEL FATAL data storage interrupt\n\
+RAS APP FATAL ciod: Error loading /g/g24/user/program\n\
+pbs_mom: scan_for_exiting, job 4161 task 1 terminated\n\
+RAS KERNEL INFO generating core.2275\n";
+
+    fn service_with(log: &str, config: ServiceConfig) -> Service {
+        let mut system = MithriLog::new(SystemConfig::for_tests());
+        system.ingest(log.as_bytes()).unwrap();
+        Service::spawn(system, config)
+    }
+
+    fn query_lines(out: JobOutput) -> Vec<String> {
+        match out {
+            JobOutput::Query { outcome, .. } => outcome.lines,
+            other => panic!("expected a query output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let service = service_with(LOG, ServiceConfig::default());
+        let handle = service.handle();
+        let id = handle.submit_str("FATAL", Priority::Normal).unwrap();
+        let lines = query_lines(handle.wait(id).unwrap());
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.contains("FATAL")));
+        service.shutdown();
+    }
+
+    #[test]
+    fn parse_errors_are_rejected_at_submit() {
+        let service = service_with(LOG, ServiceConfig::default());
+        let handle = service.handle();
+        assert!(matches!(
+            handle.submit_str("AND AND", Priority::Normal),
+            Err(SubmitError::Parse(_))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn queue_bound_rejects_overload() {
+        // A full queue must reject, not block or grow.
+        let config = ServiceConfig {
+            max_queue: 2,
+            ..ServiceConfig::default()
+        };
+        let service = service_with(LOG, config);
+        let handle = service.handle();
+        let mut admitted = Vec::new();
+        let mut rejected = 0usize;
+        for _ in 0..50 {
+            match handle.submit_str("FATAL", Priority::Low) {
+                Ok(id) => admitted.push(id),
+                Err(SubmitError::Rejected {
+                    queue_full,
+                    capacity,
+                    ..
+                }) => {
+                    assert!(queue_full);
+                    assert_eq!(capacity, 2);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(
+            rejected > 0,
+            "50 rapid submissions must overflow capacity 2"
+        );
+        for id in admitted {
+            let _ = handle.wait(id);
+        }
+        assert_eq!(handle.stats().rejected, rejected as u64);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancel_is_only_effective_before_running() {
+        let service = service_with(LOG, ServiceConfig::default());
+        let handle = service.handle();
+        let id = handle.submit_str("FATAL", Priority::Normal).unwrap();
+        let _ = handle.wait(id);
+        assert!(!handle.cancel(id), "a finished job cannot be cancelled");
+        assert!(!handle.cancel(9999), "unknown ids cannot be cancelled");
+        // The pool is not wedged: new work still completes.
+        let id2 = handle.submit_str("INFO", Priority::High).unwrap();
+        assert_eq!(query_lines(handle.wait(id2).unwrap()).len(), 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn default_page_budget_applies_to_unbudgeted_queries() {
+        let config = ServiceConfig {
+            default_page_budget: Some(0),
+            ..ServiceConfig::default()
+        };
+        let service = service_with(&LOG.repeat(100), config);
+        let handle = service.handle();
+        let id = handle.submit_str("FATAL", Priority::Normal).unwrap();
+        match handle.wait(id).unwrap() {
+            JobOutput::Query { outcome, .. } => {
+                assert_eq!(outcome.pages_scanned, 0);
+                assert!(outcome.degraded.budget_clipped > 0);
+                assert!(outcome.degraded.is_lossy());
+            }
+            other => panic!("expected a query output, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn ingest_jobs_run_through_the_same_queue() {
+        let service = service_with(LOG, ServiceConfig::default());
+        let handle = service.handle();
+        let ingest = handle
+            .ingest(b"EXTRA KERNEL FATAL injected line\n".to_vec())
+            .unwrap();
+        match handle.wait(ingest).unwrap() {
+            JobOutput::Ingest(report) => assert_eq!(report.lines, 1),
+            other => panic!("expected an ingest output, got {other:?}"),
+        }
+        let id = handle.submit_str("injected", Priority::Normal).unwrap();
+        assert_eq!(query_lines(handle.wait(id).unwrap()).len(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_queued_jobs_and_closes_submissions() {
+        let service = service_with(LOG, ServiceConfig::default());
+        let handle = service.handle();
+        service.shutdown();
+        assert!(handle.is_closed());
+        assert!(matches!(
+            handle.submit_str("FATAL", Priority::Normal),
+            Err(SubmitError::Closed)
+        ));
+    }
+
+    #[test]
+    fn stats_count_waves_and_sharing() {
+        let service = service_with(&LOG.repeat(200), ServiceConfig::default());
+        let handle = service.handle();
+        let ids: Vec<JobId> = (0..4)
+            .map(|_| handle.submit_str("NOT FATAL", Priority::Normal).unwrap())
+            .collect();
+        for id in ids {
+            handle.wait(id).unwrap();
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.completed, 4);
+        assert!(stats.waves >= 1);
+        assert!(stats.demanded_page_reads >= stats.unique_pages_read);
+        service.shutdown();
+    }
+}

@@ -130,6 +130,13 @@ pub struct CostLedger {
     pub retries: u64,
     /// Durability barriers issued (commit-protocol sync points).
     pub syncs: u64,
+    /// Page-read demands satisfied by fanning an already-read page out to
+    /// an additional consumer instead of re-reading flash. A shared scan
+    /// over N queries whose plans overlap records the physical read once in
+    /// `pages_read` and every avoided duplicate here, so
+    /// `pages_read + shared_reads` equals what the same queries would have
+    /// charged run one at a time.
+    pub shared_reads: u64,
 }
 
 impl CostLedger {
@@ -149,6 +156,7 @@ impl CostLedger {
         self.bytes_written += other.bytes_written;
         self.retries += other.retries;
         self.syncs += other.syncs;
+        self.shared_reads += other.shared_reads;
     }
 
     /// Difference since an earlier snapshot (for per-query accounting).
@@ -162,7 +170,15 @@ impl CostLedger {
             bytes_written: self.bytes_written - earlier.bytes_written,
             retries: self.retries - earlier.retries,
             syncs: self.syncs - earlier.syncs,
+            shared_reads: self.shared_reads - earlier.shared_reads,
         }
+    }
+
+    /// Physical page reads plus the duplicates a shared scan avoided — the
+    /// read demand the same work would have issued without cross-query page
+    /// sharing.
+    pub fn demanded_reads(&self) -> u64 {
+        self.pages_read + self.shared_reads
     }
 
     /// Modeled time for this ledger under `model`, with bulk reads crossing
@@ -233,6 +249,7 @@ mod tests {
             bytes_written: 4096,
             retries: 1,
             syncs: 2,
+            ..CostLedger::default()
         };
         let b = CostLedger {
             pages_read: 25,
@@ -242,6 +259,7 @@ mod tests {
             bytes_written: 4096,
             retries: 4,
             syncs: 6,
+            ..CostLedger::default()
         };
         let d = b.since(&a);
         assert_eq!(d.pages_read, 15);
@@ -249,6 +267,26 @@ mod tests {
         assert_eq!(d.pages_written, 0);
         assert_eq!(d.retries, 3);
         assert_eq!(d.syncs, 4);
+    }
+
+    #[test]
+    fn shared_reads_merge_subtract_and_sum_into_demand() {
+        let mut a = CostLedger {
+            pages_read: 10,
+            shared_reads: 4,
+            ..CostLedger::default()
+        };
+        let b = CostLedger {
+            pages_read: 3,
+            shared_reads: 2,
+            ..CostLedger::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.shared_reads, 6);
+        assert_eq!(a.demanded_reads(), 19);
+        let d = a.since(&b);
+        assert_eq!(d.shared_reads, 4);
+        assert_eq!(d.pages_read, 10);
     }
 
     #[test]
@@ -261,6 +299,7 @@ mod tests {
             bytes_written: 4096,
             retries: 1,
             syncs: 2,
+            ..CostLedger::default()
         };
         let b = CostLedger {
             pages_read: 5,

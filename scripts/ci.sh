@@ -27,4 +27,33 @@ mkdir -p target/ci
 cargo run --release -p mithrilog-bench --quiet --bin parallel_scaling -- \
   --smoke --out target/ci/BENCH_parallel_smoke.json
 
+echo "==> service concurrency (byte-identity under faults, admission, page sharing)"
+cargo test --test service_concurrency -q
+
+echo "==> service_load --smoke (concurrent-load bench smoke, artifact to target/)"
+cargo run --release -p mithrilog-bench --quiet --bin service_load -- \
+  --smoke --out target/ci/BENCH_service_smoke.json
+
+echo "==> mithrilog serve smoke (loopback line protocol: submit, poll, shutdown)"
+SERVE_LOG=target/ci/serve_smoke.log
+SERVE_OUT=target/ci/serve_stdout.log
+cargo run --release -p mithrilog-cli --quiet -- gen bgl2 0.2 "$SERVE_LOG"
+cargo run --release -p mithrilog-cli --quiet -- serve "$SERVE_LOG" --port 0 >"$SERVE_OUT" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q '^LISTENING ' "$SERVE_OUT" 2>/dev/null && break
+  sleep 0.1
+done
+SERVE_PORT=$(grep -m1 '^LISTENING ' "$SERVE_OUT" | awk '{print $2}')
+[ -n "$SERVE_PORT" ] || { echo "serve never reported LISTENING"; exit 1; }
+exec 3<>"/dev/tcp/127.0.0.1/$SERVE_PORT"
+printf 'SUBMIT q=FATAL\r\nSTATS\r\nSHUTDOWN\r\n' >&3
+RESPONSE=$(timeout 30 cat <&3)
+exec 3<&- 3>&-
+echo "$RESPONSE" | grep -q '^OK id=' || { echo "serve smoke: bad SUBMIT response: $RESPONSE"; exit 1; }
+echo "$RESPONSE" | grep -q '^submitted=' || { echo "serve smoke: bad STATS response: $RESPONSE"; exit 1; }
+wait "$SERVE_PID" || { echo "serve smoke: server exited nonzero"; exit 1; }
+trap - EXIT
+
 echo "==> ci.sh: all green"
