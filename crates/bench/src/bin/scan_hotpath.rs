@@ -1,0 +1,288 @@
+//! Scan hot-path microbenchmark: the zero-allocation decompression kernel
+//! and the cross-wave decompressed-page cache.
+//!
+//! Emits `BENCH_scan.json` with two experiments:
+//!
+//! * **kernel** — the same LZAH page frames decompressed through the old
+//!   allocating path (`Codec::decompress`, a fresh scratch per page) and
+//!   the steady-state path (`decompress_into` reusing one
+//!   [`LzahScratch`]). A counting global allocator (a bin crate is its
+//!   own root, so the library's `forbid(unsafe_code)` does not apply)
+//!   reports allocations per page for both; the reused scratch must be
+//!   O(1) per *run*, i.e. ~0 per page.
+//! * **cache** — the same repeated full-scan query on a cache-enabled and
+//!   a cache-disabled system. Warm pages/sec must be ≥1.5× the uncached
+//!   rate (asserted in full runs; `--smoke` only records), with the hit
+//!   rate taken from the device ledger's `cache_hits` counters.
+//!
+//! Usage: `scan_hotpath [--smoke] [--mb <f64>] [--out <path>]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use mithrilog::{MithriLog, SystemConfig};
+use mithrilog_compress::{compress_paged, Codec, Lzah, LzahConfig, LzahScratch};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const QUERY: &str = "FATAL AND interrupt";
+
+struct Args {
+    smoke: bool,
+    mb: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        mb: 4.0,
+        out: "BENCH_scan.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--mb" => {
+                i += 1;
+                args.mb = argv[i].parse().expect("--mb needs a number");
+            }
+            "--out" => {
+                i += 1;
+                args.out = argv[i].clone();
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    if args.smoke {
+        args.mb = args.mb.min(0.4);
+    }
+    args
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+struct KernelRow {
+    pages_per_sec: f64,
+    allocs_per_page: f64,
+}
+
+/// Decompresses every frame `reps` times through `step`, timing the work
+/// and counting allocations. `step` must return the decompressed length
+/// (consumed so the work cannot be optimized away).
+fn measure_kernel(
+    frames: &[Vec<u8>],
+    reps: u32,
+    mut step: impl FnMut(&[u8]) -> usize,
+) -> KernelRow {
+    let mut sink = 0usize;
+    let allocs_before = allocations();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for frame in frames {
+            sink = sink.wrapping_add(step(frame));
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-12);
+    let allocs = allocations() - allocs_before;
+    let pages = frames.len() as u64 * u64::from(reps);
+    assert!(sink > 0, "decompression must produce bytes");
+    KernelRow {
+        pages_per_sec: pages as f64 / elapsed,
+        allocs_per_page: allocs as f64 / pages as f64,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let reps = if args.smoke { 2 } else { 5 };
+
+    let ds = generate(&DatasetSpec {
+        profile: DatasetProfile::Bgl2,
+        target_bytes: (args.mb * 1_000_000.0) as usize,
+        seed: 42,
+    });
+    eprintln!(
+        "corpus: {} bytes / {} lines of {}",
+        ds.text().len(),
+        ds.lines(),
+        ds.name()
+    );
+
+    // ---- Kernel: allocating vs scratch-reusing decompression ----------
+    let lzah = LzahConfig::default();
+    let frames: Vec<Vec<u8>> = compress_paged(ds.text(), lzah, 4096)
+        .pages()
+        .iter()
+        .map(|f| f.data().to_vec())
+        .collect();
+    let codec = Lzah::new(lzah);
+
+    // Correctness guard + warm-up: both paths agree byte-for-byte, and the
+    // reusable scratch reaches its steady-state capacity before timing.
+    let mut scratch = LzahScratch::new();
+    for frame in &frames {
+        let fresh = codec.decompress(frame).expect("decompress");
+        let reused = codec.decompress_into(frame, &mut scratch).expect("into");
+        assert_eq!(fresh, reused, "paths must agree");
+    }
+
+    let before = measure_kernel(&frames, reps, |frame| {
+        codec.decompress(frame).expect("decompress").len()
+    });
+    let after = measure_kernel(&frames, reps, |frame| {
+        codec
+            .decompress_into(frame, &mut scratch)
+            .expect("into")
+            .len()
+    });
+    let kernel_speedup = after.pages_per_sec / before.pages_per_sec.max(1e-12);
+    eprintln!(
+        "kernel: before {:.0} pages/s at {:.2} allocs/page | after {:.0} pages/s at \
+         {:.4} allocs/page ({kernel_speedup:.2}x)",
+        before.pages_per_sec, before.allocs_per_page, after.pages_per_sec, after.allocs_per_page
+    );
+    assert!(
+        after.allocs_per_page < 0.01,
+        "the scratch path must be allocation-free per page in steady state \
+         (measured {:.4}/page)",
+        after.allocs_per_page
+    );
+    assert!(
+        before.allocs_per_page >= 2.0,
+        "the allocating baseline should allocate per page \
+         (measured {:.2}/page)",
+        before.allocs_per_page
+    );
+
+    // ---- Cache: repeated full-scan query, cache on vs off -------------
+    let mut rows = Vec::new();
+    for cache_bytes in [0u64, 256 * 1024 * 1024] {
+        let config = SystemConfig {
+            page_cache_bytes: cache_bytes,
+            ..SystemConfig::full_scan_only()
+        };
+        let mut system = MithriLog::new(config);
+        system.ingest(ds.text()).expect("ingest");
+        let cold = system.query_str(QUERY).expect("cold query");
+        let ledger_cold = *system.device().ledger();
+        let mut walls = Vec::new();
+        let mut matches = cold.match_count();
+        for _ in 0..reps {
+            let outcome = system.query_str(QUERY).expect("warm query");
+            assert_eq!(outcome.match_count(), matches, "results must not move");
+            assert_eq!(outcome.ledger, cold.ledger, "as-if-solo ledger is fixed");
+            matches = outcome.match_count();
+            walls.push(outcome.wall_time);
+        }
+        let warm_reads = system.device().ledger().since(&ledger_cold);
+        let hit_rate = warm_reads.cache_hits as f64
+            / (warm_reads.cache_hits + warm_reads.pages_read).max(1) as f64;
+        let wall = median(walls);
+        let pages_per_sec = cold.pages_scanned as f64 / wall.as_secs_f64().max(1e-12);
+        eprintln!(
+            "cache {} bytes: warm {wall:?} = {pages_per_sec:.0} pages/s, hit rate {:.3}, \
+             {} matches",
+            cache_bytes, hit_rate, matches
+        );
+        rows.push((cache_bytes, wall, pages_per_sec, hit_rate, matches));
+    }
+    let cache_speedup = rows[1].2 / rows[0].2.max(1e-12);
+    eprintln!("cache-warm speedup: {cache_speedup:.2}x");
+    assert!(
+        rows[1].3 > 0.99,
+        "a repeated identical query must be served almost entirely from \
+         the cache (hit rate {:.3})",
+        rows[1].3
+    );
+    assert!(
+        (rows[0].3 - 0.0).abs() < f64::EPSILON,
+        "a disabled cache cannot hit"
+    );
+    if !args.smoke {
+        assert!(
+            cache_speedup >= 1.5,
+            "cache-warm scans must be at least 1.5x the uncached rate \
+             (measured {cache_speedup:.2}x)"
+        );
+    }
+
+    // ---- Emit ----------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"scan_hotpath\",");
+    let _ = writeln!(json, "  \"query\": {QUERY:?},");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{ \"profile\": \"bgl2\", \"bytes\": {}, \"lines\": {}, \
+         \"pages\": {} }},",
+        ds.text().len(),
+        ds.lines(),
+        frames.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel\": {{ \"before_pages_per_sec\": {:.1}, \"before_allocs_per_page\": {:.3}, \
+         \"after_pages_per_sec\": {:.1}, \"after_allocs_per_page\": {:.4}, \
+         \"speedup\": {:.3} }},",
+        before.pages_per_sec,
+        before.allocs_per_page,
+        after.pages_per_sec,
+        after.allocs_per_page,
+        kernel_speedup
+    );
+    json.push_str("  \"cache\": [\n");
+    for (i, (bytes, wall, pps, hit_rate, matches)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"page_cache_bytes\": {bytes}, \"warm_wall_seconds\": {:.6}, \
+             \"warm_pages_per_sec\": {pps:.1}, \"hit_rate\": {hit_rate:.4}, \
+             \"matches\": {matches} }}",
+            wall.as_secs_f64()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"cache_warm_speedup\": {cache_speedup:.3}");
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write output");
+    eprintln!("wrote {}", args.out);
+}

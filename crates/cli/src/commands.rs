@@ -24,8 +24,17 @@ fn ingest(text: &[u8]) -> Result<MithriLog, Box<dyn Error>> {
 }
 
 fn ingest_with_threads(text: &[u8], threads: Option<usize>) -> Result<MithriLog, Box<dyn Error>> {
+    ingest_with_opts(text, threads, None)
+}
+
+fn ingest_with_opts(
+    text: &[u8],
+    threads: Option<usize>,
+    page_cache: Option<usize>,
+) -> Result<MithriLog, Box<dyn Error>> {
     let config = SystemConfig {
         query_threads: SystemConfig::checked_query_threads(threads.unwrap_or(0))?,
+        page_cache_bytes: page_cache.map_or(SystemConfig::DEFAULT_PAGE_CACHE_BYTES, |b| b as u64),
         ..SystemConfig::default()
     };
     let mut system = MithriLog::new(config);
@@ -42,17 +51,21 @@ fn ingest_with_threads(text: &[u8], threads: Option<usize>) -> Result<MithriLog,
     Ok(system)
 }
 
-/// `mithrilog query <logfile> [--threads <n>] <query...>`
+/// `mithrilog query <logfile> [--threads <n>] [--page-cache <bytes>]
+/// <query...>`
 ///
 /// `--threads` sets the parallel datapath's worker count (0 or omitted =
 /// one worker per modeled flash channel; values above
-/// [`SystemConfig::MAX_QUERY_THREADS`] are rejected). Results are
-/// byte-identical for every value; only wall-clock time changes.
+/// [`SystemConfig::MAX_QUERY_THREADS`] are rejected). `--page-cache` sets
+/// the decompressed-page cache budget in bytes (0 disables; omitted = the
+/// 32 MiB default). Results are byte-identical for every value of either
+/// flag; only physical device traffic and wall-clock time change.
 pub fn query(args: &[String]) -> CliResult {
     let (threads, args) = take_usize_flag(args, "--threads")?;
+    let (page_cache, args) = take_usize_flag(&args, "--page-cache")?;
     let (path, query_text) = split_path_query(&args, "query")?;
     let text = read_log(path)?;
-    let mut system = ingest_with_threads(&text, threads)?;
+    let mut system = ingest_with_opts(&text, threads, page_cache)?;
     let outcome = system.query_str(&query_text)?;
     for line in &outcome.lines {
         println!("{line}");
@@ -420,7 +433,8 @@ pub fn gen(args: &[String]) -> CliResult {
 }
 
 /// `mithrilog serve <logfile> [--port <p>] [--threads <n>]
-/// [--max-queue <n>] [--max-batch <n>] [--budget <n>]`
+/// [--max-queue <n>] [--max-batch <n>] [--budget <n>]
+/// [--page-cache <bytes>]`
 ///
 /// Ingests the log, then serves the concurrent query service's line
 /// protocol on a loopback TCP port (`--port 0` or omitted = an ephemeral
@@ -429,22 +443,27 @@ pub fn gen(args: &[String]) -> CliResult {
 /// Runs until a client sends `SHUTDOWN`.
 ///
 /// `--max-queue` bounds the admission queue (overload is rejected, not
-/// queued), `--max-batch` caps the queries per shared-scan wave, and
+/// queued), `--max-batch` caps the queries per shared-scan wave,
 /// `--budget` applies a default page (deadline) budget to queries that
-/// carry none.
+/// carry none, and `--page-cache` sets the cross-wave decompressed-page
+/// cache budget in bytes (0 disables; omitted = the 32 MiB default —
+/// repeated queries across waves are served from host memory instead of
+/// re-reading flash, visible as `cache_hits` in `STATS`).
 pub fn serve(args: &[String]) -> CliResult {
     let (threads, args) = take_usize_flag(args, "--threads")?;
     let (port, args) = take_usize_flag(&args, "--port")?;
     let (max_queue, args) = take_usize_flag(&args, "--max-queue")?;
     let (max_batch, args) = take_usize_flag(&args, "--max-batch")?;
     let (budget, args) = take_usize_flag(&args, "--budget")?;
+    let (page_cache, args) = take_usize_flag(&args, "--page-cache")?;
     let path = args.first().ok_or(
         "usage: mithrilog serve <logfile> [--port <p>] [--threads <n>] \
-         [--max-queue <n>] [--max-batch <n>] [--budget <n>]",
+         [--max-queue <n>] [--max-batch <n>] [--budget <n>] \
+         [--page-cache <bytes>]",
     )?;
     let port = u16::try_from(port.unwrap_or(0)).map_err(|_| "--port must fit in 16 bits")?;
     let text = read_log(path)?;
-    let system = ingest_with_threads(&text, threads)?;
+    let system = ingest_with_opts(&text, threads, page_cache)?;
     let config = ServiceConfig {
         max_queue: max_queue.unwrap_or(ServiceConfig::default().max_queue),
         max_batch: max_batch.unwrap_or(ServiceConfig::default().max_batch),
@@ -613,6 +632,25 @@ mod tests {
                 "opened",
             ]);
             query(&args).expect("query with --threads");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_command_accepts_page_cache_flag() {
+        let path = temp_log();
+        // 0 disables the cache; a small budget enables it. Results are
+        // byte-identical either way, so both must simply succeed.
+        for cache in ["0", "1048576"] {
+            let args = strs(&[
+                path.to_str().unwrap(),
+                "--page-cache",
+                cache,
+                "session",
+                "AND",
+                "opened",
+            ]);
+            query(&args).expect("query with --page-cache");
         }
         std::fs::remove_file(&path).ok();
     }

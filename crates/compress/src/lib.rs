@@ -53,7 +53,7 @@ mod snappy;
 pub use error::DecompressError;
 pub use gzf::Gzf;
 pub use lz4::Lz4;
-pub use lzah::{Lzah, LzahConfig};
+pub use lzah::{Lzah, LzahConfig, LzahScratch};
 pub use lzrw1::Lzrw1;
 pub use paged::{compress_paged, decompress_page, PagedLog};
 pub use snappy::Snappy;

@@ -73,6 +73,31 @@ pub struct Lzah {
     config: LzahConfig,
 }
 
+/// Reusable decoder workspace for [`Lzah::decompress_into`].
+///
+/// Holds the decoder hash table, the current window word, and the output
+/// buffer. After the first decode sized them, subsequent decodes of
+/// same-or-smaller frames reuse the allocations — the steady-state scan
+/// loop performs zero heap allocations per page.
+#[derive(Debug, Default, Clone)]
+pub struct LzahScratch {
+    table: Vec<u8>,
+    word: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl LzahScratch {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        LzahScratch::default()
+    }
+
+    /// Consumes the workspace, yielding the most recent decode's output.
+    pub fn into_output(self) -> Vec<u8> {
+        self.out
+    }
+}
+
 impl Lzah {
     /// Creates a codec with an explicit configuration.
     ///
@@ -105,24 +130,104 @@ impl Lzah {
         Ok(out)
     }
 
-    /// Length in bytes of the LZAH frame at the start of `input`, ignoring
-    /// any trailing padding (e.g. the zero fill of a storage page). Walks
-    /// the chunk structure without materializing output.
+    /// Decompresses into `scratch`, reusing its hash table, window word and
+    /// output buffer across calls, and returns the decoded bytes as a slice
+    /// borrowed from the workspace. After warm-up this performs no heap
+    /// allocation — the scan hot path calls it once per page.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Codec::decompress`].
-    pub fn frame_bytes(&self, input: &[u8]) -> Result<usize, DecompressError> {
-        let (_, consumed) = self.decode(input, |_, _| {})?;
-        Ok(consumed)
+    pub fn decompress_into<'s>(
+        &self,
+        input: &[u8],
+        scratch: &'s mut LzahScratch,
+    ) -> Result<&'s [u8], DecompressError> {
+        let LzahScratch { table, word, out } = scratch;
+        out.clear();
+        decode_with(input, table, word, |word, advance| {
+            out.extend_from_slice(&word[..advance]);
+        })?;
+        Ok(out.as_slice())
     }
 
-    /// Returns `(emitted_bytes, consumed_frame_bytes)`.
+    /// Length in bytes of the LZAH frame at the start of `input`, ignoring
+    /// any trailing padding (e.g. the zero fill of a storage page). Walks
+    /// the chunk structure alone — header, per-chunk header bits, payload
+    /// sizes and reference bounds — without materializing the decoder hash
+    /// table or any output.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed headers, truncated frames and out-of-range match
+    /// references like [`Codec::decompress`]. Content-level validation (the
+    /// declared `original_len` matching the decoded stream) requires
+    /// decoding the words themselves and is left to `decompress`.
+    pub fn frame_bytes(&self, input: &[u8]) -> Result<usize, DecompressError> {
+        let hdr = FrameHeader::parse(input)?;
+        let entries = 1usize << hdr.hash_bits;
+        let pairs_per_chunk = 8 * hdr.w;
+        let mut pos = HEADER_LEN;
+        let mut pairs_done = 0usize;
+
+        while pairs_done < hdr.pair_count {
+            if pos + hdr.w > input.len() {
+                return Err(DecompressError::Truncated { at: pos });
+            }
+            let header = &input[pos..pos + hdr.w];
+            pos += hdr.w;
+            let chunk_pairs = pairs_per_chunk.min(hdr.pair_count - pairs_done);
+            let payload_start = pos;
+            for i in 0..chunk_pairs {
+                let is_match = header[i / 8] & (1 << (i % 8)) != 0;
+                if is_match {
+                    if pos + 2 > input.len() {
+                        return Err(DecompressError::Truncated { at: pos });
+                    }
+                    let idx = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+                    if idx >= entries {
+                        return Err(DecompressError::BadReference { at: pos });
+                    }
+                    pos += 2;
+                } else {
+                    if pos + hdr.w > input.len() {
+                        return Err(DecompressError::Truncated { at: pos });
+                    }
+                    pos += hdr.w;
+                }
+            }
+            let payload_len = pos - payload_start;
+            let padded = payload_len.div_ceil(hdr.w) * hdr.w;
+            pos = payload_start + padded;
+            pairs_done += chunk_pairs;
+        }
+        Ok(pos)
+    }
+
+    /// Returns `(emitted_bytes, consumed_frame_bytes)` using one-shot local
+    /// buffers. Cold paths only; the hot path is [`Lzah::decompress_into`].
     fn decode(
         &self,
         input: &[u8],
-        mut emit: impl FnMut(&[u8], usize),
+        emit: impl FnMut(&[u8], usize),
     ) -> Result<(usize, usize), DecompressError> {
+        let mut table = Vec::new();
+        let mut word = Vec::new();
+        decode_with(input, &mut table, &mut word, emit)
+    }
+}
+
+/// The parsed 24-byte LZAH frame header.
+struct FrameHeader {
+    w: usize,
+    hash_bits: u8,
+    realign: bool,
+    original_len: usize,
+    pair_count: usize,
+}
+
+impl FrameHeader {
+    fn parse(input: &[u8]) -> Result<FrameHeader, DecompressError> {
         if input.len() < HEADER_LEN {
             return Err(DecompressError::BadHeader {
                 reason: "input shorter than header",
@@ -145,68 +250,91 @@ impl Lzah {
                 reason: "invalid word size or hash bits",
             });
         }
-        let realign = input[7] & FLAG_NEWLINE_REALIGN != 0;
-        let original_len = u64::from_le_bytes(input[8..16].try_into().expect("8 bytes")) as usize;
-        let pair_count = u64::from_le_bytes(input[16..24].try_into().expect("8 bytes")) as usize;
-
-        let entries = 1usize << hash_bits;
-        let mut table = vec![0u8; entries * w];
-        let pairs_per_chunk = 8 * w;
-        let mut pos = HEADER_LEN;
-        let mut emitted = 0usize;
-        let mut pairs_done = 0usize;
-        let mut word = vec![0u8; w];
-
-        while pairs_done < pair_count {
-            // One header word, then the chunk's packed payloads.
-            if pos + w > input.len() {
-                return Err(DecompressError::Truncated { at: pos });
-            }
-            let header = &input[pos..pos + w];
-            pos += w;
-            let chunk_pairs = pairs_per_chunk.min(pair_count - pairs_done);
-            let payload_start = pos;
-            for i in 0..chunk_pairs {
-                let is_match = header[i / 8] & (1 << (i % 8)) != 0;
-                if is_match {
-                    if pos + 2 > input.len() {
-                        return Err(DecompressError::Truncated { at: pos });
-                    }
-                    let idx = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
-                    pos += 2;
-                    if idx >= entries {
-                        return Err(DecompressError::BadReference { at: emitted });
-                    }
-                    word.copy_from_slice(&table[idx * w..(idx + 1) * w]);
-                } else {
-                    if pos + w > input.len() {
-                        return Err(DecompressError::Truncated { at: pos });
-                    }
-                    word.copy_from_slice(&input[pos..pos + w]);
-                    pos += w;
-                    let idx = hash_word(&word, hash_bits);
-                    table[idx * w..(idx + 1) * w].copy_from_slice(&word);
-                }
-                let remaining = original_len.saturating_sub(emitted);
-                let advance = word_advance(&word, w, remaining, realign);
-                emit(&word, advance);
-                emitted += advance;
-            }
-            // Chunks are padded to a word boundary (Figure 9).
-            let payload_len = pos - payload_start;
-            let padded = payload_len.div_ceil(w) * w;
-            pos = payload_start + padded;
-            pairs_done += chunk_pairs;
-        }
-
-        if emitted != original_len {
-            return Err(DecompressError::LengthMismatch {
-                expected: original_len,
-                got: emitted,
-            });
-        }
-        Ok((emitted, pos))
+        Ok(FrameHeader {
+            w,
+            hash_bits,
+            realign: input[7] & FLAG_NEWLINE_REALIGN != 0,
+            original_len: u64::from_le_bytes(input[8..16].try_into().expect("8 bytes")) as usize,
+            pair_count: u64::from_le_bytes(input[16..24].try_into().expect("8 bytes")) as usize,
+        })
     }
+}
+
+/// The full decoder, writing through caller-owned buffers so a reused
+/// workspace ([`LzahScratch`]) decodes without allocating. Returns
+/// `(emitted_bytes, consumed_frame_bytes)`.
+fn decode_with(
+    input: &[u8],
+    table: &mut Vec<u8>,
+    word: &mut Vec<u8>,
+    mut emit: impl FnMut(&[u8], usize),
+) -> Result<(usize, usize), DecompressError> {
+    let hdr = FrameHeader::parse(input)?;
+    let (w, hash_bits) = (hdr.w, hdr.hash_bits);
+    let (realign, original_len, pair_count) = (hdr.realign, hdr.original_len, hdr.pair_count);
+
+    let entries = 1usize << hash_bits;
+    // The decoder table must start zeroed to mirror the encoder's; clearing
+    // then re-extending zero-fills without reallocating once capacity is
+    // established.
+    table.clear();
+    table.resize(entries * w, 0);
+    word.clear();
+    word.resize(w, 0);
+    let pairs_per_chunk = 8 * w;
+    let mut pos = HEADER_LEN;
+    let mut emitted = 0usize;
+    let mut pairs_done = 0usize;
+
+    while pairs_done < pair_count {
+        // One header word, then the chunk's packed payloads.
+        if pos + w > input.len() {
+            return Err(DecompressError::Truncated { at: pos });
+        }
+        let header = &input[pos..pos + w];
+        pos += w;
+        let chunk_pairs = pairs_per_chunk.min(pair_count - pairs_done);
+        let payload_start = pos;
+        for i in 0..chunk_pairs {
+            let is_match = header[i / 8] & (1 << (i % 8)) != 0;
+            if is_match {
+                if pos + 2 > input.len() {
+                    return Err(DecompressError::Truncated { at: pos });
+                }
+                let idx = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+                pos += 2;
+                if idx >= entries {
+                    return Err(DecompressError::BadReference { at: emitted });
+                }
+                word.copy_from_slice(&table[idx * w..(idx + 1) * w]);
+            } else {
+                if pos + w > input.len() {
+                    return Err(DecompressError::Truncated { at: pos });
+                }
+                word.copy_from_slice(&input[pos..pos + w]);
+                pos += w;
+                let idx = hash_word(word, hash_bits);
+                table[idx * w..(idx + 1) * w].copy_from_slice(word);
+            }
+            let remaining = original_len.saturating_sub(emitted);
+            let advance = word_advance(word, w, remaining, realign);
+            emit(word, advance);
+            emitted += advance;
+        }
+        // Chunks are padded to a word boundary (Figure 9).
+        let payload_len = pos - payload_start;
+        let padded = payload_len.div_ceil(w) * w;
+        pos = payload_start + padded;
+        pairs_done += chunk_pairs;
+    }
+
+    if emitted != original_len {
+        return Err(DecompressError::LengthMismatch {
+            expected: original_len,
+            got: emitted,
+        });
+    }
+    Ok((emitted, pos))
 }
 
 /// Useful length of a decoded window word: cut after the first newline when
@@ -429,11 +557,9 @@ impl Codec for Lzah {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, DecompressError> {
-        let mut out = Vec::new();
-        self.decode(input, |word, advance| {
-            out.extend_from_slice(&word[..advance])
-        })?;
-        Ok(out)
+        let mut scratch = LzahScratch::new();
+        self.decompress_into(input, &mut scratch)?;
+        Ok(scratch.into_output())
     }
 }
 
@@ -642,6 +768,46 @@ mod tests {
         }
         expect.extend_from_slice(b"final line\n");
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn decompress_into_reuses_scratch_and_matches_decompress() {
+        let codec = Lzah::default();
+        let corpus = log_corpus();
+        let big = codec.compress(&corpus);
+        let small = codec.compress(b"short frame\n");
+        let mut scratch = LzahScratch::new();
+        // Alternate frame sizes through one workspace; every decode must
+        // match the one-shot path byte for byte.
+        for packed in [&big, &small, &big, &small, &big] {
+            let got = codec.decompress_into(packed, &mut scratch).unwrap();
+            assert_eq!(got, codec.decompress(packed).unwrap());
+        }
+    }
+
+    #[test]
+    fn frame_bytes_walks_structure_without_decoding() {
+        let codec = Lzah::default();
+        let corpus = log_corpus();
+        let packed = codec.compress(&corpus);
+        // The structure walk agrees with the full decode's consumed length,
+        // including when the frame sits inside a zero-padded page.
+        let mut padded = packed.clone();
+        padded.resize(packed.len() + 512, 0);
+        assert_eq!(codec.frame_bytes(&padded).unwrap(), packed.len());
+        // Structural faults are still caught.
+        for cut in [HEADER_LEN - 1, HEADER_LEN + 3, packed.len() / 2] {
+            assert!(
+                codec.frame_bytes(&packed[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        let mut bad_magic = packed;
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            codec.frame_bytes(&bad_magic),
+            Err(DecompressError::BadHeader { .. })
+        ));
     }
 
     #[test]

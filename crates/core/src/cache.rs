@@ -1,0 +1,264 @@
+//! Cross-wave decompressed-page cache.
+//!
+//! The service re-plans overlapping full scans on every scheduler wave;
+//! without a cache each wave re-reads and re-decompresses the same pages.
+//! [`PageCache`] keeps recently decompressed page text in host memory,
+//! keyed by `(generation, page)` and bounded by a byte budget
+//! ([`crate::SystemConfig::page_cache_bytes`]).
+//!
+//! **Invalidation.** The owning system bumps its generation on every ingest
+//! and every recovery-on-mount, so an entry cached before either event can
+//! never serve afterwards — lookups with the new generation simply miss,
+//! and the stale entries age out of the LRU under the byte budget.
+//!
+//! **Accounting.** A hit is a physical saving, exactly like a shared read:
+//! the consumer's as-if-solo ledger is charged the full page read it would
+//! have issued, while the device-level ledger records `cache_hits` /
+//! `cache_bytes_saved` instead of a flash access. Query outcomes and
+//! modeled times are therefore byte-identical with the cache on or off.
+//!
+//! The cache is sharded by page id so the N scan workers of the parallel
+//! datapath rarely contend on one lock; each shard runs its own strict LRU
+//! over an insertion-time byte budget.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock shards. Page ids stripe `id % SHARDS`, matching how consecutive
+/// pages stripe across scan workers, so a parallel scan's workers touch
+/// different shards most of the time.
+const SHARDS: u64 = 8;
+
+/// One cached page: the decompressed text plus the stored (raw) page length
+/// a flash read of it would have charged.
+#[derive(Debug, Clone)]
+pub struct CachedPage {
+    /// Decompressed page text, shared with the cache.
+    pub text: Arc<Vec<u8>>,
+    /// Length in bytes of the raw stored page — the `bytes_read` charge a
+    /// fresh read would have recorded, replayed onto as-if-solo ledgers on
+    /// a hit.
+    pub raw_len: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    text: Arc<Vec<u8>>,
+    raw_len: u64,
+    /// Key into the shard's LRU order map; refreshed on every hit.
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<(u64, u64), Entry>,
+    /// LRU order: tick → key. Ticks are shard-local and strictly
+    /// increasing, so the first entry is always the least recently used.
+    order: BTreeMap<u64, (u64, u64)>,
+    bytes: u64,
+    next_tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: (u64, u64)) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(entry) = self.map.get_mut(&key) {
+            self.order.remove(&entry.tick);
+            entry.tick = tick;
+            self.order.insert(tick, key);
+        }
+    }
+
+    fn remove(&mut self, key: (u64, u64)) {
+        if let Some(entry) = self.map.remove(&key) {
+            self.order.remove(&entry.tick);
+            self.bytes -= entry.text.len() as u64;
+        }
+    }
+
+    fn evict_to(&mut self, budget: u64) {
+        while self.bytes > budget {
+            let Some((_, key)) = self.order.pop_first() else {
+                break;
+            };
+            if let Some(entry) = self.map.remove(&key) {
+                self.bytes -= entry.text.len() as u64;
+            }
+        }
+    }
+}
+
+/// A sharded, byte-bounded LRU cache of decompressed pages (module docs
+/// cover keying, invalidation and ledger attribution).
+#[derive(Debug)]
+pub struct PageCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Byte budget per shard (total capacity divided evenly).
+    shard_budget: u64,
+}
+
+impl PageCache {
+    /// A cache bounded by `capacity_bytes` of decompressed text. A zero
+    /// capacity yields a cache that stores nothing (every lookup misses).
+    pub fn new(capacity_bytes: u64) -> Self {
+        PageCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: capacity_bytes / SHARDS,
+        }
+    }
+
+    fn shard(&self, page: u64) -> MutexGuard<'_, Shard> {
+        self.shards[(page % SHARDS) as usize]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks up `(generation, page)`, refreshing its LRU position on a hit.
+    pub fn get(&self, generation: u64, page: u64) -> Option<CachedPage> {
+        let key = (generation, page);
+        let mut shard = self.shard(page);
+        shard.touch(key);
+        shard.map.get(&key).map(|entry| CachedPage {
+            text: Arc::clone(&entry.text),
+            raw_len: entry.raw_len,
+        })
+    }
+
+    /// Caches decompressed `text` for `(generation, page)`, where `raw_len`
+    /// is the stored page length a read charged. Entries larger than a
+    /// shard's byte budget are not cached.
+    pub fn insert(&self, generation: u64, page: u64, text: Arc<Vec<u8>>, raw_len: u64) {
+        let cost = text.len() as u64;
+        if cost > self.shard_budget {
+            return;
+        }
+        let key = (generation, page);
+        let mut shard = self.shard(page);
+        shard.remove(key);
+        let tick = shard.next_tick;
+        shard.next_tick += 1;
+        shard.bytes += cost;
+        shard.map.insert(
+            key,
+            Entry {
+                text,
+                raw_len,
+                tick,
+            },
+        );
+        shard.order.insert(tick, key);
+        shard.evict_to(self.shard_budget);
+    }
+
+    /// Decompressed bytes currently held.
+    pub fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .bytes
+            })
+            .sum()
+    }
+
+    /// Entries currently held.
+    pub fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .len()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(bytes: &[u8]) -> Arc<Vec<u8>> {
+        Arc::new(bytes.to_vec())
+    }
+
+    #[test]
+    fn get_returns_what_insert_stored() {
+        let cache = PageCache::new(1 << 20);
+        cache.insert(1, 7, arc(b"hello page"), 4096);
+        let hit = cache.get(1, 7).expect("hit");
+        assert_eq!(&hit.text[..], b"hello page");
+        assert_eq!(hit.raw_len, 4096);
+        assert!(cache.get(1, 8).is_none());
+    }
+
+    #[test]
+    fn generation_partitions_the_key_space() {
+        let cache = PageCache::new(1 << 20);
+        cache.insert(1, 7, arc(b"old text"), 4096);
+        assert!(cache.get(2, 7).is_none(), "new generation must miss");
+        cache.insert(2, 7, arc(b"new text"), 4096);
+        assert_eq!(&cache.get(2, 7).unwrap().text[..], b"new text");
+        assert_eq!(&cache.get(1, 7).unwrap().text[..], b"old text");
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_per_shard() {
+        // Shard budget = 4096/8 = 512 bytes; pages 0, 8, 16 share shard 0.
+        let cache = PageCache::new(4096);
+        cache.insert(1, 0, arc(&[b'a'; 300]), 4096);
+        cache.insert(1, 8, arc(&[b'b'; 300]), 4096);
+        assert!(cache.get(1, 0).is_none(), "page 0 was LRU and evicted");
+        assert!(cache.get(1, 8).is_some());
+        // A hit refreshes recency: 8 survives the next insert, not 16.
+        cache.insert(1, 16, arc(&[b'c'; 300]), 4096);
+        assert!(cache.get(1, 8).is_none() || cache.get(1, 16).is_some());
+        assert!(cache.bytes() <= 512);
+    }
+
+    #[test]
+    fn hit_refreshes_lru_position() {
+        let cache = PageCache::new(4096); // 512/shard
+        cache.insert(1, 0, arc(&[b'a'; 200]), 4096);
+        cache.insert(1, 8, arc(&[b'b'; 200]), 4096);
+        cache.get(1, 0); // 0 is now most recent
+        cache.insert(1, 16, arc(&[b'c'; 200]), 4096);
+        assert!(cache.get(1, 0).is_some(), "hit page must survive eviction");
+        assert!(cache.get(1, 8).is_none(), "LRU page must be evicted");
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let cache = PageCache::new(0);
+        cache.insert(1, 0, arc(b"text"), 4096);
+        assert!(cache.get(1, 0).is_none());
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let cache = PageCache::new(4096); // 512/shard
+        cache.insert(1, 0, arc(&[0u8; 1024]), 4096);
+        assert!(cache.get(1, 0).is_none());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let cache = PageCache::new(1 << 20);
+        cache.insert(1, 0, arc(&[0u8; 100]), 4096);
+        cache.insert(1, 0, arc(&[0u8; 150]), 4096);
+        assert_eq!(cache.bytes(), 150);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_scan_workers() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<PageCache>();
+    }
+}

@@ -30,6 +30,11 @@ pub struct SystemConfig {
     /// count; see [`SystemConfig::resolved_query_threads`]. Results are
     /// byte-identical for every thread count — only wall-clock time changes.
     pub query_threads: usize,
+    /// Byte budget of the host-side decompressed-page cache shared by all
+    /// scans (see [`crate::PageCache`]). `0` disables caching. Hits leave
+    /// every query outcome byte-identical to an uncached run — only the
+    /// physical device traffic (and wall-clock time) changes.
+    pub page_cache_bytes: u64,
 }
 
 impl Default for SystemConfig {
@@ -42,6 +47,7 @@ impl Default for SystemConfig {
             device: DevicePerfModel::bluedbm_prototype(),
             use_index: true,
             query_threads: 0,
+            page_cache_bytes: Self::DEFAULT_PAGE_CACHE_BYTES,
         }
     }
 }
@@ -52,6 +58,11 @@ impl SystemConfig {
     /// input, and spawning it would exhaust the host before producing the
     /// same (byte-identical) results a sane count produces.
     pub const MAX_QUERY_THREADS: usize = 1024;
+
+    /// Default [`SystemConfig::page_cache_bytes`]: 32 MiB of decompressed
+    /// text, enough for the repeated-query service workloads the cache
+    /// targets while staying small next to the datasets themselves.
+    pub const DEFAULT_PAGE_CACHE_BYTES: u64 = 32 * 1024 * 1024;
 
     /// Validates an untrusted worker-count input against the same bound
     /// [`SystemConfig::validate`] enforces. `0` is valid — it means "one
@@ -145,6 +156,17 @@ mod tests {
             ..SystemConfig::default()
         };
         assert_eq!(explicit.resolved_query_threads(), 6);
+    }
+
+    #[test]
+    fn page_cache_defaults_on_and_can_be_disabled() {
+        let c = SystemConfig::default();
+        assert_eq!(c.page_cache_bytes, 32 * 1024 * 1024);
+        let off = SystemConfig {
+            page_cache_bytes: 0,
+            ..SystemConfig::default()
+        };
+        assert!(off.validate().is_ok());
     }
 
     #[test]

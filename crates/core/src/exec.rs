@@ -23,18 +23,32 @@
 //! 3. ledger counters are additive, so per-worker ledgers merged in any
 //!    order sum to the sequential totals.
 //!
-//! Matched lines are carried as byte ranges into each page's decompressed
-//! text and materialized into `String`s once, after the merge — a single
-//! exact-capacity allocation pass instead of a per-line allocation inside
-//! the scan loop.
+//! **Zero-allocation steady state:** each worker owns a [`ScanScratch`] —
+//! the LZAH decoder workspace, a reusable [`HashFilter`], and the matched
+//! range vector — reused across the page loop. After warm-up, a page with
+//! no matches is scanned without a single heap allocation; a page with k
+//! matches allocates exactly the k output `String`s. The per-page `Vec`s
+//! the old path allocated (decoder table, decompressed text, kept-line
+//! vectors) are gone.
+//!
+//! **Page cache:** when the system configures a [`PageCache`], both scan
+//! entry points consult it before touching the device. A hit charges the
+//! consumer's as-if-solo ledger exactly what a fresh read would have
+//! (pages_read + bytes_read of the stored page) and records the physical
+//! saving as `cache_hits`/`cache_bytes_saved` on the device-bound ledger —
+//! so outcomes and modeled times are byte-identical with and without the
+//! cache, like `shared_reads`.
 
 use std::ops::Range;
+use std::sync::Arc;
 use std::thread;
 
-use mithrilog_compress::{compress_paged, Codec, Lzah, LzahConfig, PagedLog};
-use mithrilog_filter::FilterPipeline;
+use mithrilog_compress::{compress_paged, Lzah, LzahConfig, LzahScratch, PagedLog};
+use mithrilog_filter::{FilterPipeline, HashFilter};
 use mithrilog_query::Query;
 use mithrilog_storage::{CostLedger, PageId, PageStore, SimSsd, SsdReader, StorageError};
+
+use crate::cache::PageCache;
 
 /// Whether a storage error is survivable by skipping the affected page:
 /// corruption and exhausted transient retries lose one page of data;
@@ -58,6 +72,10 @@ pub(crate) enum Engine<'q> {
     Software(&'q Query),
 }
 
+/// The page cache view a scan runs against: the cache plus the owning
+/// system's current generation. `None` means caching is disabled.
+pub(crate) type CacheView<'c> = Option<(&'c PageCache, u64)>;
+
 /// Outcome of scanning one page.
 enum Scanned {
     /// The page decompressed and was filtered.
@@ -66,17 +84,70 @@ enum Scanned {
     Skipped(u64),
 }
 
-/// One filtered page: its decompressed text plus the matched line ranges.
+/// One filtered page: its matched lines (materialized inside the scan, so
+/// page text never outlives the page loop) plus per-page stats.
 struct PageScan {
-    text: Vec<u8>,
-    /// Byte ranges of matching lines within `text`, in line order.
-    matches: Vec<Range<usize>>,
+    /// Matching lines of this page, in line order.
+    lines: Vec<String>,
+    /// Decompressed length of the page.
+    bytes: u64,
     lines_scanned: u64,
+}
+
+/// Per-worker reusable scan state: the decoder workspace, the hash-filter
+/// evaluation state (hardware engines only), and the matched-range vector.
+/// One of these per worker turns the page loop allocation-free.
+struct ScanScratch<'q> {
+    lzah: LzahScratch,
+    filter: Option<HashFilter<'q>>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl<'q> ScanScratch<'q> {
+    fn for_engine(engine: &Engine<'q>) -> Self {
+        ScanScratch {
+            lzah: LzahScratch::new(),
+            filter: match engine {
+                Engine::Hardware(pipeline) => Some(HashFilter::new(pipeline.compiled())),
+                Engine::Software(_) => None,
+            },
+            ranges: Vec::new(),
+        }
+    }
+}
+
+/// Per-worker tally of page-cache hits, folded into the as-if-solo and
+/// physical ledgers once the worker joins.
+#[derive(Debug, Clone, Copy, Default)]
+struct HitTally {
+    pages: u64,
+    bytes: u64,
+}
+
+impl HitTally {
+    /// The as-if-solo charge for the hits: exactly what fresh reads of the
+    /// same pages would have recorded.
+    fn solo_charge(&self, base: CostLedger) -> CostLedger {
+        CostLedger {
+            pages_read: base.pages_read + self.pages,
+            bytes_read: base.bytes_read + self.bytes,
+            ..base
+        }
+    }
+
+    /// The physical record of the hits: device work avoided.
+    fn physical_charge(&self, base: CostLedger) -> CostLedger {
+        CostLedger {
+            cache_hits: base.cache_hits + self.pages,
+            cache_bytes_saved: base.cache_bytes_saved + self.bytes,
+            ..base
+        }
+    }
 }
 
 /// Merged result of a (possibly parallel) page scan.
 pub(crate) struct ScanResult {
-    /// Matching lines in plan order, materialized once after the merge.
+    /// Matching lines in plan order.
     pub lines: Vec<String>,
     /// Skipped page ids, in plan order.
     pub skipped_pages: Vec<u64>,
@@ -86,9 +157,13 @@ pub(crate) struct ScanResult {
     pub bytes_filtered: u64,
     /// Pages that decompressed and were filtered (excludes skips).
     pub pages_filtered: u64,
-    /// Summed per-worker device costs; fold into the device with
-    /// [`SimSsd::merge_ledger`].
+    /// As-if-solo charges: cache hits are charged as the full page reads
+    /// they replaced, so this ledger is byte-identical to an uncached run.
     pub ledger: CostLedger,
+    /// Physical device charges plus `cache_hits`/`cache_bytes_saved`; fold
+    /// into the device with [`SimSsd::merge_ledger`]. Equal to `ledger`
+    /// when no cache is in play.
+    pub physical: CostLedger,
     /// First non-survivable storage error, by plan position. The ledger
     /// above still accounts every read issued before workers stopped.
     pub error: Option<StorageError>,
@@ -105,11 +180,13 @@ pub(crate) fn scan_pages<S: PageStore>(
     engine: &Engine<'_>,
     pages: &[PageId],
     threads: usize,
+    cache: CacheView<'_>,
 ) -> ScanResult {
     let workers = threads.max(1).min(pages.len().max(1));
     let mut slots: Vec<Option<Scanned>> = Vec::with_capacity(pages.len());
     slots.resize_with(pages.len(), || None);
     let mut ledger = CostLedger::default();
+    let mut physical = CostLedger::default();
     // (plan position, error) pairs; the earliest plan position wins so the
     // propagated error does not depend on worker interleaving.
     let mut errors: Vec<(usize, StorageError)> = Vec::new();
@@ -117,8 +194,18 @@ pub(crate) fn scan_pages<S: PageStore>(
     if workers <= 1 {
         let mut reader = ssd.reader();
         let codec = Lzah::new(lzah);
+        let mut scratch = ScanScratch::for_engine(engine);
+        let mut hits = HitTally::default();
         for (slot, page) in pages.iter().enumerate() {
-            match scan_one(&mut reader, &codec, engine, *page) {
+            match scan_one(
+                &mut reader,
+                &codec,
+                engine,
+                *page,
+                cache,
+                &mut scratch,
+                &mut hits,
+            ) {
                 Ok(scanned) => slots[slot] = Some(scanned),
                 Err(e) => {
                     errors.push((slot, e));
@@ -126,7 +213,9 @@ pub(crate) fn scan_pages<S: PageStore>(
                 }
             }
         }
-        ledger.merge(&reader.into_ledger());
+        let reads = reader.into_ledger();
+        ledger.merge(&hits.solo_charge(reads));
+        physical.merge(&hits.physical_charge(reads));
     } else {
         let outputs: Vec<WorkerOutput> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -135,8 +224,18 @@ pub(crate) fn scan_pages<S: PageStore>(
                         let mut out = WorkerOutput::default();
                         let mut reader = ssd.reader();
                         let codec = Lzah::new(lzah);
+                        let mut scratch = ScanScratch::for_engine(engine);
+                        let mut hits = HitTally::default();
                         for slot in (w..pages.len()).step_by(workers) {
-                            match scan_one(&mut reader, &codec, engine, pages[slot]) {
+                            match scan_one(
+                                &mut reader,
+                                &codec,
+                                engine,
+                                pages[slot],
+                                cache,
+                                &mut scratch,
+                                &mut hits,
+                            ) {
                                 Ok(scanned) => out.scans.push((slot, scanned)),
                                 Err(e) => {
                                     out.error = Some((slot, e));
@@ -144,7 +243,9 @@ pub(crate) fn scan_pages<S: PageStore>(
                                 }
                             }
                         }
-                        out.ledger = reader.into_ledger();
+                        let reads = reader.into_ledger();
+                        out.ledger = hits.solo_charge(reads);
+                        out.physical = hits.physical_charge(reads);
                         out
                     })
                 })
@@ -156,6 +257,7 @@ pub(crate) fn scan_pages<S: PageStore>(
         });
         for out in outputs {
             ledger.merge(&out.ledger);
+            physical.merge(&out.physical);
             for (slot, scanned) in out.scans {
                 slots[slot] = Some(scanned);
             }
@@ -167,7 +269,8 @@ pub(crate) fn scan_pages<S: PageStore>(
     errors.sort_by_key(|(slot, _)| *slot);
     let error = errors.into_iter().next().map(|(_, e)| e);
 
-    // Order-preserving merge, then one exact-capacity materialization pass.
+    // Order-preserving merge: matched lines were materialized inside the
+    // page loop, so the merge only moves them into plan order.
     let mut result = ScanResult {
         lines: Vec::new(),
         skipped_pages: Vec::new(),
@@ -175,28 +278,16 @@ pub(crate) fn scan_pages<S: PageStore>(
         bytes_filtered: 0,
         pages_filtered: 0,
         ledger,
+        physical,
         error,
     };
-    let total_matches: usize = slots
-        .iter()
-        .flatten()
-        .map(|s| match s {
-            Scanned::Page(p) => p.matches.len(),
-            Scanned::Skipped(_) => 0,
-        })
-        .sum();
-    result.lines.reserve_exact(total_matches);
     for scanned in slots.into_iter().flatten() {
         match scanned {
             Scanned::Page(p) => {
                 result.lines_scanned += p.lines_scanned;
-                result.bytes_filtered += p.text.len() as u64;
+                result.bytes_filtered += p.bytes;
                 result.pages_filtered += 1;
-                for range in &p.matches {
-                    result
-                        .lines
-                        .push(String::from_utf8_lossy(&p.text[range.clone()]).into_owned());
-                }
+                result.lines.extend(p.lines);
             }
             Scanned::Skipped(page) => result.skipped_pages.push(page),
         }
@@ -208,84 +299,129 @@ pub(crate) fn scan_pages<S: PageStore>(
 struct WorkerOutput {
     scans: Vec<(usize, Scanned)>,
     ledger: CostLedger,
+    physical: CostLedger,
     error: Option<(usize, StorageError)>,
 }
 
-/// One worker step: read → decompress → filter a single page. Pure in the
-/// page id given the device contents, so striping cannot change results.
-fn scan_one<S: PageStore>(
+/// One worker step: (cache lookup →) read → decompress → filter a single
+/// page. Pure in the page id given the device contents — the cache serves
+/// only text a fresh read of the same generation would produce — so
+/// striping cannot change results.
+#[allow(clippy::too_many_arguments)]
+fn scan_one<'q, S: PageStore>(
     reader: &mut SsdReader<'_, S>,
     codec: &Lzah,
-    engine: &Engine<'_>,
+    engine: &Engine<'q>,
     page: PageId,
+    cache: CacheView<'_>,
+    scratch: &mut ScanScratch<'q>,
+    hits: &mut HitTally,
 ) -> Result<Scanned, StorageError> {
-    let text = match load_page(reader, codec, page)? {
-        Some(text) => text,
-        None => return Ok(Scanned::Skipped(page.0)),
-    };
-    let (matches, lines_scanned) = filter_page(engine, &text);
-    Ok(Scanned::Page(PageScan {
-        text,
-        matches,
-        lines_scanned,
-    }))
-}
-
-/// The load half of a page scan: read (with retries) and decompress.
-/// `Ok(None)` means the page is survivably lost (corrupt, unreadable after
-/// retries, or undecompressible) and should be skipped.
-fn load_page<S: PageStore>(
-    reader: &mut SsdReader<'_, S>,
-    codec: &Lzah,
-    page: PageId,
-) -> Result<Option<Vec<u8>>, StorageError> {
+    let ScanScratch {
+        lzah,
+        filter,
+        ranges,
+    } = scratch;
+    if let Some((cache, generation)) = cache {
+        if let Some(cached) = cache.get(generation, page.0) {
+            hits.pages += 1;
+            hits.bytes += cached.raw_len;
+            return Ok(Scanned::Page(filter_to_scan(
+                engine,
+                &cached.text,
+                filter,
+                ranges,
+            )));
+        }
+    }
     let raw = match reader.read(page) {
         Ok(raw) => raw,
-        Err(e) if page_is_skippable(&e) => return Ok(None),
+        Err(e) if page_is_skippable(&e) => return Ok(Scanned::Skipped(page.0)),
         Err(e) => return Err(e),
     };
     // Corruption the checksum missed (or pages written before the sidecar
     // existed) still gets caught by the decoder's internal consistency
     // checks; one bad page is not worth the query.
-    match codec.decompress(&raw) {
-        Ok(text) => Ok(Some(text)),
-        Err(_) => Ok(None),
+    let text = match codec.decompress_into(&raw, lzah) {
+        Ok(text) => text,
+        Err(_) => return Ok(Scanned::Skipped(page.0)),
+    };
+    if let Some((cache, generation)) = cache {
+        cache.insert(
+            generation,
+            page.0,
+            Arc::new(text.to_vec()),
+            raw.len() as u64,
+        );
+    }
+    Ok(Scanned::Page(filter_to_scan(engine, text, filter, ranges)))
+}
+
+/// Filters one page's decompressed text and materializes the matched lines.
+/// Pure in `text`, so the same page fanned out to N queries (or served from
+/// the cache) produces exactly what N solo scans would have.
+fn filter_to_scan<'q>(
+    engine: &Engine<'q>,
+    text: &[u8],
+    filter: &mut Option<HashFilter<'q>>,
+    ranges: &mut Vec<Range<usize>>,
+) -> PageScan {
+    let lines_scanned = filter_page_into(engine, text, filter, ranges);
+    let mut lines = Vec::with_capacity(ranges.len());
+    for range in ranges.iter() {
+        lines.push(String::from_utf8_lossy(&text[range.clone()]).into_owned());
+    }
+    PageScan {
+        lines,
+        bytes: text.len() as u64,
+        lines_scanned,
     }
 }
 
 /// The filter half of a page scan: run `engine` over decompressed `text`,
-/// returning the matched line ranges and the number of lines examined. Pure
-/// in `text`, so the same page fanned out to N queries produces exactly what
-/// N solo scans would have.
-fn filter_page(engine: &Engine<'_>, text: &[u8]) -> (Vec<Range<usize>>, u64) {
-    let base = text.as_ptr() as usize;
-    let mut matches = Vec::new();
-    let mut lines_scanned = 0u64;
+/// filling `ranges` with the matched line ranges (cleared first) and
+/// returning the number of lines examined.
+fn filter_page_into<'q>(
+    engine: &Engine<'q>,
+    text: &[u8],
+    filter: &mut Option<HashFilter<'q>>,
+    ranges: &mut Vec<Range<usize>>,
+) -> u64 {
     match engine {
         Engine::Hardware(pipeline) => {
-            let (kept, stats) = pipeline.filter_text_with_stats(text);
-            lines_scanned = stats.lines_in;
-            matches.reserve_exact(kept.len());
-            for line in kept {
-                let start = line.as_ptr() as usize - base;
-                matches.push(start..start + line.len());
-            }
+            let filter = filter
+                .as_mut()
+                .expect("hardware scratch carries a hash filter");
+            pipeline
+                .filter_text_with_stats_into(text, filter, ranges)
+                .lines_in
         }
         Engine::Software(query) => {
+            ranges.clear();
+            let mut lines_scanned = 0u64;
+            let mut offset = 0usize;
             for line in text.split(|b| *b == b'\n') {
+                let start = offset;
+                offset += line.len() + 1;
                 if line.is_empty() {
                     continue;
                 }
                 lines_scanned += 1;
-                let s = String::from_utf8_lossy(line);
-                if query.matches_line(&s) {
-                    let start = line.as_ptr() as usize - base;
-                    matches.push(start..start + line.len());
+                // Log lines are overwhelmingly valid UTF-8: evaluate
+                // borrowed. The lossy copy is reserved for invalid lines,
+                // where replacement characters cannot introduce matches the
+                // byte view lacks (query tokens are valid UTF-8).
+                let matched = match std::str::from_utf8(line) {
+                    Ok(s) => query.matches_line(s),
+                    Err(_) => query.matches_line(&String::from_utf8_lossy(line)),
+                };
+                if matched {
+                    ranges.push(start..start + line.len());
                 }
             }
+            lines_scanned
         }
     }
-    (matches, lines_scanned)
 }
 
 /// Per-query result of a cross-query shared scan ([`scan_pages_fanout`]).
@@ -321,13 +457,61 @@ pub(crate) struct FanoutResult {
 /// Outcome of loading one union page in a fan-out scan.
 enum FanBody {
     /// The page decompressed; `per_query` holds, for each interested query
-    /// index, the matched ranges into `text` and the lines examined.
+    /// index, the matched lines (materialized inside the page loop, so page
+    /// text never outlives it) and the lines examined.
     Scanned {
-        text: Vec<u8>,
-        per_query: Vec<(usize, Vec<Range<usize>>, u64)>,
+        bytes: u64,
+        per_query: Vec<(usize, Vec<String>, u64)>,
     },
     /// The page is survivably lost for every query that planned it.
     Skipped,
+}
+
+/// Per-worker reusable fan-out scan state: one decoder workspace and
+/// matched-range vector (pages process serially within a worker), plus one
+/// [`HashFilter`] per hardware-engine query.
+struct FanScratch<'q> {
+    lzah: LzahScratch,
+    filters: Vec<Option<HashFilter<'q>>>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl<'q> FanScratch<'q> {
+    fn for_queries(queries: &[(Engine<'q>, Vec<PageId>)]) -> Self {
+        FanScratch {
+            lzah: LzahScratch::new(),
+            filters: queries
+                .iter()
+                .map(|(engine, _)| match engine {
+                    Engine::Hardware(pipeline) => Some(HashFilter::new(pipeline.compiled())),
+                    Engine::Software(_) => None,
+                })
+                .collect(),
+            ranges: Vec::new(),
+        }
+    }
+}
+
+/// Fans one decompressed page out to every interested query: filter, then
+/// materialize the matched lines. Pure in `text`, so each query's share is
+/// exactly what its solo scan of the page would have produced.
+fn fan_filter<'q>(
+    queries: &[(Engine<'q>, Vec<PageId>)],
+    interested: &[usize],
+    text: &[u8],
+    filters: &mut [Option<HashFilter<'q>>],
+    ranges: &mut Vec<Range<usize>>,
+) -> Vec<(usize, Vec<String>, u64)> {
+    let mut per_query = Vec::with_capacity(interested.len());
+    for &q in interested {
+        let lines_scanned = filter_page_into(&queries[q].0, text, &mut filters[q], ranges);
+        let mut lines = Vec::with_capacity(ranges.len());
+        for range in ranges.iter() {
+            lines.push(String::from_utf8_lossy(&text[range.clone()]).into_owned());
+        }
+        per_query.push((q, lines, lines_scanned));
+    }
+    per_query
 }
 
 /// One processed union slot: the page body plus the exact device cost of
@@ -346,14 +530,15 @@ struct FanSlot {
 ///
 /// **Determinism:** each query's output is byte-identical to scanning its
 /// plan alone — page loading and filtering are the same pure per-page
-/// functions solo scans use ([`load_page`], [`filter_page`]), and per-query
-/// results merge in that query's plan order. Only the physical read count
-/// (the device ledger) changes with sharing.
-pub(crate) fn scan_pages_fanout<S: PageStore>(
+/// functions solo scans use, and per-query results merge in that query's
+/// plan order. Only the physical read count (the device ledger) changes
+/// with sharing or cache hits.
+pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
     ssd: &SimSsd<S>,
     lzah: LzahConfig,
-    queries: &[(Engine<'_>, Vec<PageId>)],
+    queries: &[(Engine<'q>, Vec<PageId>)],
     threads: usize,
+    cache: CacheView<'_>,
 ) -> FanoutResult {
     // Union of all plans, ascending by page id, with the interested query
     // indexes per page (ascending, since we insert in query order).
@@ -380,34 +565,63 @@ pub(crate) fn scan_pages_fanout<S: PageStore>(
 
     let scan_slot = |reader: &mut SsdReader<'_, S>,
                      codec: &Lzah,
-                     slot: usize|
+                     slot: usize,
+                     scratch: &mut FanScratch<'q>,
+                     hits: &mut HitTally|
      -> Result<FanSlot, StorageError> {
         let (page, interested) = &union[slot];
         let before = *reader.ledger();
-        let body = match load_page(reader, codec, *page)? {
-            Some(text) => {
-                let per_query = interested
-                    .iter()
-                    .map(|&q| {
-                        let (matches, lines) = filter_page(&queries[q].0, &text);
-                        (q, matches, lines)
-                    })
-                    .collect();
-                FanBody::Scanned { text, per_query }
+        let FanScratch {
+            lzah: lz,
+            filters,
+            ranges,
+        } = scratch;
+        // An as-if-solo slot charge replayed on a cache hit: the full read
+        // a fresh load of this page would have recorded.
+        let mut hit_charge = None;
+        let body = if let Some(cached) = cache.and_then(|(c, g)| c.get(g, page.0)) {
+            hits.pages += 1;
+            hits.bytes += cached.raw_len;
+            hit_charge = Some(cached.raw_len);
+            FanBody::Scanned {
+                bytes: cached.text.len() as u64,
+                per_query: fan_filter(queries, interested, &cached.text, filters, ranges),
             }
-            None => FanBody::Skipped,
+        } else {
+            match reader.read(*page) {
+                Ok(raw) => match codec.decompress_into(&raw, lz) {
+                    Ok(text) => {
+                        if let Some((c, g)) = cache {
+                            c.insert(g, page.0, Arc::new(text.to_vec()), raw.len() as u64);
+                        }
+                        FanBody::Scanned {
+                            bytes: text.len() as u64,
+                            per_query: fan_filter(queries, interested, text, filters, ranges),
+                        }
+                    }
+                    // Corruption the checksum missed still gets caught by
+                    // the decoder; one bad page is not worth the batch.
+                    Err(_) => FanBody::Skipped,
+                },
+                Err(e) if page_is_skippable(&e) => FanBody::Skipped,
+                Err(e) => return Err(e),
+            }
         };
-        Ok(FanSlot {
-            cost: reader.ledger().since(&before),
-            body,
-        })
+        let mut cost = reader.ledger().since(&before);
+        if let Some(raw_len) = hit_charge {
+            cost.pages_read += 1;
+            cost.bytes_read += raw_len;
+        }
+        Ok(FanSlot { cost, body })
     };
 
     if workers <= 1 {
         let mut reader = ssd.reader();
         let codec = Lzah::new(lzah);
+        let mut scratch = FanScratch::for_queries(queries);
+        let mut hits = HitTally::default();
         for (slot, out) in slots.iter_mut().enumerate() {
-            match scan_slot(&mut reader, &codec, slot) {
+            match scan_slot(&mut reader, &codec, slot, &mut scratch, &mut hits) {
                 Ok(done) => *out = Some(done),
                 Err(e) => {
                     errors.push((slot, e));
@@ -415,7 +629,7 @@ pub(crate) fn scan_pages_fanout<S: PageStore>(
                 }
             }
         }
-        device_ledger.merge(&reader.into_ledger());
+        device_ledger.merge(&hits.physical_charge(reader.into_ledger()));
     } else {
         struct FanWorker {
             scans: Vec<(usize, FanSlot)>,
@@ -434,8 +648,10 @@ pub(crate) fn scan_pages_fanout<S: PageStore>(
                         };
                         let mut reader = ssd.reader();
                         let codec = Lzah::new(lzah);
+                        let mut scratch = FanScratch::for_queries(queries);
+                        let mut hits = HitTally::default();
                         for slot in (w..union_len).step_by(workers) {
-                            match scan_slot(&mut reader, &codec, slot) {
+                            match scan_slot(&mut reader, &codec, slot, &mut scratch, &mut hits) {
                                 Ok(done) => out.scans.push((slot, done)),
                                 Err(e) => {
                                     out.error = Some((slot, e));
@@ -443,7 +659,7 @@ pub(crate) fn scan_pages_fanout<S: PageStore>(
                                 }
                             }
                         }
-                        out.ledger = reader.into_ledger();
+                        out.ledger = hits.physical_charge(reader.into_ledger());
                         out
                     })
                 })
@@ -473,7 +689,8 @@ pub(crate) fn scan_pages_fanout<S: PageStore>(
         }
     }
 
-    // Per-query assembly, each in its own plan order.
+    // Per-query assembly, each in its own plan order. Lines were
+    // materialized inside the page loop, so assembly only moves them.
     let results = queries
         .iter()
         .enumerate()
@@ -486,38 +703,23 @@ pub(crate) fn scan_pages_fanout<S: PageStore>(
                 pages_filtered: 0,
                 ledger: CostLedger::default(),
             };
-            let total_matches: usize = pages
-                .iter()
-                .filter_map(|page| slots[slot_of[page]].as_ref())
-                .map(|done| match &done.body {
-                    FanBody::Scanned { per_query, .. } => per_query
-                        .iter()
-                        .find(|(qi, _, _)| *qi == q)
-                        .map_or(0, |(_, m, _)| m.len()),
-                    FanBody::Skipped => 0,
-                })
-                .sum();
-            scan.lines.reserve_exact(total_matches);
             for page in pages {
                 // A slot left empty means a worker stopped on a hard error;
                 // the whole batch fails via `error`, so nothing to merge.
-                let Some(done) = slots[slot_of[page]].as_ref() else {
+                let Some(done) = slots[slot_of[page]].as_mut() else {
                     continue;
                 };
                 scan.ledger.merge(&done.cost);
-                match &done.body {
-                    FanBody::Scanned { text, per_query } => {
-                        let (_, matches, lines) = per_query
-                            .iter()
+                match &mut done.body {
+                    FanBody::Scanned { bytes, per_query } => {
+                        let (_, matched, lines) = per_query
+                            .iter_mut()
                             .find(|(qi, _, _)| *qi == q)
                             .expect("every interested query has a filter result");
-                        scan.lines_scanned += lines;
-                        scan.bytes_filtered += text.len() as u64;
+                        scan.lines_scanned += *lines;
+                        scan.bytes_filtered += *bytes;
                         scan.pages_filtered += 1;
-                        for range in matches {
-                            scan.lines
-                                .push(String::from_utf8_lossy(&text[range.clone()]).into_owned());
-                        }
+                        scan.lines.extend(std::mem::take(matched));
                     }
                     FanBody::Skipped => scan.skipped_pages.push(page.0),
                 }
@@ -612,6 +814,7 @@ fn shard_at_lines(text: &[u8], target: usize) -> Vec<&[u8]> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mithrilog_compress::Codec;
     use mithrilog_storage::{DevicePerfModel, MemStore};
 
     fn ssd_with_pages(texts: &[&str]) -> (SimSsd<MemStore>, Vec<PageId>) {
@@ -637,9 +840,9 @@ mod tests {
         let query = mithrilog_query::parse("event AND NOT beta").unwrap();
         let pipeline = FilterPipeline::compile(&query).unwrap();
         let engine = Engine::Hardware(&pipeline);
-        let seq = scan_pages(&ssd, LzahConfig::default(), &engine, &pages, 1);
+        let seq = scan_pages(&ssd, LzahConfig::default(), &engine, &pages, 1, None);
         for threads in [2, 3, 4, 8] {
-            let par = scan_pages(&ssd, LzahConfig::default(), &engine, &pages, threads);
+            let par = scan_pages(&ssd, LzahConfig::default(), &engine, &pages, threads, None);
             assert_eq!(par.lines, seq.lines, "{threads} threads");
             assert_eq!(par.lines_scanned, seq.lines_scanned);
             assert_eq!(par.bytes_filtered, seq.bytes_filtered);
@@ -666,8 +869,8 @@ mod tests {
         let plan_b = pages[4..].to_vec();
         let lzah = LzahConfig::default();
 
-        let solo_a = scan_pages(&ssd, lzah, &Engine::Hardware(&pa), &plan_a, 3);
-        let solo_b = scan_pages(&ssd, lzah, &Engine::Hardware(&pb), &plan_b, 3);
+        let solo_a = scan_pages(&ssd, lzah, &Engine::Hardware(&pa), &plan_a, 3, None);
+        let solo_b = scan_pages(&ssd, lzah, &Engine::Hardware(&pb), &plan_b, 3, None);
         for threads in [1, 3, 8] {
             let fan = scan_pages_fanout(
                 &ssd,
@@ -677,6 +880,7 @@ mod tests {
                     (Engine::Hardware(&pb), plan_b.clone()),
                 ],
                 threads,
+                None,
             );
             assert!(fan.error.is_none());
             for (got, want) in fan.queries.iter().zip([&solo_a, &solo_b]) {
@@ -713,6 +917,7 @@ mod tests {
             &Engine::Hardware(&pipeline),
             &pages,
             3,
+            None,
         );
         let sw = scan_pages(
             &ssd,
@@ -720,9 +925,113 @@ mod tests {
             &Engine::Software(&query),
             &pages,
             3,
+            None,
         );
         assert_eq!(hw.lines, sw.lines);
         assert_eq!(hw.lines_scanned, sw.lines_scanned);
+    }
+
+    #[test]
+    fn engines_agree_on_invalid_utf8_lines() {
+        // Lines with invalid UTF-8 bytes around valid tokens: the software
+        // engine's borrowed fast path must fall back to the lossy copy and
+        // agree with the hardware engine byte-for-byte.
+        let mut text = Vec::new();
+        text.extend_from_slice(b"RAS KERNEL FATAL broken \xff\xfe sensor\n");
+        text.extend_from_slice(b"RAS KERNEL INFO fine \xf0\x28\x8c\x28 reading\n");
+        text.extend_from_slice(b"RAS KERNEL FATAL clean line\n");
+        let config = LzahConfig::default();
+        let mut ssd = SimSsd::new(MemStore::new(4096), DevicePerfModel::bluedbm_prototype());
+        let mut pages = Vec::new();
+        for frame in compress_paged(&text, config, 4096).pages() {
+            pages.push(ssd.append(frame.data()).unwrap());
+        }
+        let query = mithrilog_query::parse("FATAL").unwrap();
+        let pipeline = FilterPipeline::compile(&query).unwrap();
+        let hw = scan_pages(&ssd, config, &Engine::Hardware(&pipeline), &pages, 1, None);
+        let sw = scan_pages(&ssd, config, &Engine::Software(&query), &pages, 1, None);
+        assert_eq!(hw.lines, sw.lines);
+        assert_eq!(hw.lines_scanned, sw.lines_scanned);
+        assert_eq!(sw.lines.len(), 2);
+        assert!(sw.lines[0].contains('\u{FFFD}'), "lossy replacement kept");
+    }
+
+    #[test]
+    fn cache_hits_leave_results_and_solo_ledgers_identical() {
+        let texts: Vec<String> = (0..8)
+            .map(|i| format!("alpha event {i}\nbeta event {i}\n"))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (ssd, pages) = ssd_with_pages(&refs);
+        let query = mithrilog_query::parse("alpha").unwrap();
+        let pipeline = FilterPipeline::compile(&query).unwrap();
+        let engine = Engine::Hardware(&pipeline);
+        let lzah = LzahConfig::default();
+        let cold = scan_pages(&ssd, lzah, &engine, &pages, 3, None);
+
+        let cache = PageCache::new(1 << 20);
+        let view: CacheView<'_> = Some((&cache, 7));
+        let warm_up = scan_pages(&ssd, lzah, &engine, &pages, 3, view);
+        assert_eq!(warm_up.lines, cold.lines);
+        assert_eq!(warm_up.ledger, cold.ledger, "cold cache: identical run");
+        assert_eq!(warm_up.physical.cache_hits, 0);
+
+        let warm = scan_pages(&ssd, lzah, &engine, &pages, 3, view);
+        assert_eq!(warm.lines, cold.lines);
+        assert_eq!(warm.lines_scanned, cold.lines_scanned);
+        assert_eq!(warm.bytes_filtered, cold.bytes_filtered);
+        // As-if-solo ledger is byte-identical; the physical ledger shows
+        // every read served from the cache instead of the device.
+        assert_eq!(warm.ledger, cold.ledger);
+        assert_eq!(warm.physical.pages_read, 0);
+        assert_eq!(warm.physical.cache_hits, pages.len() as u64);
+        assert_eq!(warm.physical.cache_bytes_saved, cold.ledger.bytes_read);
+        assert_eq!(warm.physical.demanded_reads(), cold.ledger.pages_read);
+
+        // A different generation never sees the cached text.
+        let stale: CacheView<'_> = Some((&cache, 8));
+        let fresh = scan_pages(&ssd, lzah, &engine, &pages, 3, stale);
+        assert_eq!(fresh.physical.cache_hits, 0);
+        assert_eq!(fresh.physical.pages_read, cold.ledger.pages_read);
+    }
+
+    #[test]
+    fn fanout_cache_hits_preserve_solo_accounting() {
+        let texts: Vec<String> = (0..10)
+            .map(|i| format!("alpha event {i}\nbeta event {i}\n"))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (ssd, pages) = ssd_with_pages(&refs);
+        let qa = mithrilog_query::parse("alpha").unwrap();
+        let qb = mithrilog_query::parse("beta").unwrap();
+        let pa = FilterPipeline::compile(&qa).unwrap();
+        let pb = FilterPipeline::compile(&qb).unwrap();
+        let plan_a = pages[..8].to_vec();
+        let plan_b = pages[4..].to_vec();
+        let lzah = LzahConfig::default();
+        let queries = [
+            (Engine::Hardware(&pa), plan_a.clone()),
+            (Engine::Hardware(&pb), plan_b.clone()),
+        ];
+        let cold = scan_pages_fanout(&ssd, lzah, &queries, 3, None);
+
+        let cache = PageCache::new(1 << 20);
+        let view: CacheView<'_> = Some((&cache, 1));
+        let warm_up = scan_pages_fanout(&ssd, lzah, &queries, 3, view);
+        let warm = scan_pages_fanout(&ssd, lzah, &queries, 3, view);
+        for run in [&warm_up, &warm] {
+            for (got, want) in run.queries.iter().zip(&cold.queries) {
+                assert_eq!(got.lines, want.lines);
+                assert_eq!(got.ledger, want.ledger, "as-if-solo must not move");
+            }
+        }
+        // Fully warm: zero physical reads, one hit per union page, and the
+        // same demanded total (10 union + 4 overlap) as the cold run.
+        assert_eq!(warm.device_ledger.pages_read, 0);
+        assert_eq!(warm.device_ledger.cache_hits, 10);
+        assert_eq!(warm.device_ledger.shared_reads, 4);
+        assert_eq!(warm.device_ledger.demanded_reads(), 14);
+        assert_eq!(cold.device_ledger.demanded_reads(), 14);
     }
 
     #[test]

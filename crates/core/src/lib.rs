@@ -36,12 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod config;
 mod error;
 mod exec;
 mod outcome;
 mod system;
 
+pub use cache::{CachedPage, PageCache};
 pub use config::SystemConfig;
 pub use error::MithriLogError;
 pub use outcome::{

@@ -217,6 +217,12 @@ pub struct SharedScanReport {
     /// Duplicate reads the fan-out avoided
     /// (`demanded_page_reads - unique_pages_read` when the scan completes).
     pub shared_reads_avoided: u64,
+    /// Union pages served from the cross-wave decompressed-page cache
+    /// instead of flash. Like `shared_reads_avoided`, a purely physical
+    /// saving: per-query outcomes and ledgers are unaffected.
+    pub cache_hits: u64,
+    /// Raw page bytes those cache hits kept off the device.
+    pub cache_bytes_saved: u64,
     /// Per-query attribution, in batch submission order.
     pub attribution: Vec<ScanAttribution>,
 }
@@ -226,11 +232,12 @@ impl std::fmt::Display for SharedScanReport {
         write!(
             f,
             "{} queries demanded {} page reads, served by {} unique reads \
-             ({} duplicates avoided)",
+             ({} duplicates avoided, {} cache hits)",
             self.attribution.len(),
             self.demanded_page_reads,
             self.unique_pages_read,
-            self.shared_reads_avoided
+            self.shared_reads_avoided,
+            self.cache_hits
         )
     }
 }

@@ -13,9 +13,10 @@ use mithrilog_storage::{
 };
 use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer};
 
+use crate::cache::PageCache;
 use crate::config::SystemConfig;
 use crate::error::MithriLogError;
-use crate::exec::{self, page_is_skippable, Engine};
+use crate::exec::{self, page_is_skippable, CacheView, Engine};
 use crate::outcome::{
     DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport, ScanAttribution,
     SharedBatchOutcome, SharedScanReport,
@@ -126,6 +127,14 @@ pub struct MithriLog<S = MemStore> {
     /// Work accumulated since the last commit, acknowledged only once the
     /// superblock flip lands.
     pending: PendingCommit,
+    /// Cross-wave cache of decompressed data pages (`None` when
+    /// `page_cache_bytes` is 0). Entries are keyed by `generation`, so
+    /// bumping it invalidates everything cached before.
+    page_cache: Option<PageCache>,
+    /// Cache-invalidation epoch: bumped on every ingest, every
+    /// recovery-on-mount, and every mutable device access, so no query can
+    /// observe cached text from before any of those events.
+    generation: u64,
 }
 
 /// Uncommitted ingest work: the delta the next journal record will describe.
@@ -221,6 +230,8 @@ impl<S: PageStore> MithriLog<S> {
             logical_clock: 0,
             superblock,
             pending: PendingCommit::default(),
+            page_cache: Self::build_page_cache(&config),
+            generation: 0,
             config,
         })
     }
@@ -340,12 +351,26 @@ impl<S: PageStore> MithriLog<S> {
             logical_clock,
             superblock,
             pending: PendingCommit::default(),
+            page_cache: Self::build_page_cache(&config),
+            // Recovery counts as an invalidation event: a mount starts at
+            // generation 1, past anything generation 0 could have cached.
+            generation: 1,
             config,
         };
         if report.index == IndexRecovery::Rebuilt {
             system.reindex_from_pages()?;
         }
         Ok((system, report))
+    }
+
+    fn build_page_cache(config: &SystemConfig) -> Option<PageCache> {
+        (config.page_cache_bytes > 0).then(|| PageCache::new(config.page_cache_bytes))
+    }
+
+    /// The cache view scans run against: the cache (when configured) plus
+    /// the current invalidation generation.
+    fn cache_view(&self) -> CacheView<'_> {
+        self.page_cache.as_ref().map(|c| (c, self.generation))
     }
 
     /// The configuration in use.
@@ -417,8 +442,11 @@ impl<S: PageStore> MithriLog<S> {
     /// system's back (via `device_mut().store_mut()`) is detected by the
     /// page checksums: affected pages are skipped by queries and reported in
     /// [`QueryOutcome::degraded`] — exactly what a corruption drill should
-    /// observe.
+    /// observe. Handing out mutable access also bumps the page-cache
+    /// generation, so a drill's overwrites can never be masked by cached
+    /// pre-corruption text.
     pub fn device_mut(&mut self) -> &mut SimSsd<S> {
+        self.generation += 1;
         &mut self.ssd
     }
 
@@ -464,6 +492,9 @@ impl<S: PageStore> MithriLog<S> {
     ///
     /// Propagates storage errors.
     pub fn ingest(&mut self, text: &[u8]) -> Result<IngestReport, MithriLogError> {
+        // Any ingest invalidates the page cache up front — even a failed
+        // one may have appended pages before erroring.
+        self.generation += 1;
         let shards = exec::compress_paged_striped(
             text,
             self.config.lzah,
@@ -878,6 +909,7 @@ impl<S: PageStore> MithriLog<S> {
             self.config.lzah,
             &engines,
             self.config.resolved_query_threads(),
+            self.cache_view(),
         );
         self.ssd.merge_ledger(&fan.device_ledger);
         if let Some(e) = fan.error {
@@ -889,6 +921,8 @@ impl<S: PageStore> MithriLog<S> {
             demanded_page_reads: prepared.iter().map(|p| p.pages.len() as u64).sum(),
             unique_pages_read: share.len() as u64,
             shared_reads_avoided: fan.device_ledger.shared_reads,
+            cache_hits: fan.device_ledger.cache_hits,
+            cache_bytes_saved: fan.device_ledger.cache_bytes_saved,
             attribution: Vec::with_capacity(requests.len()),
         };
         let mut outcomes = Vec::with_capacity(requests.len());
@@ -985,6 +1019,11 @@ impl<S: PageStore> MithriLog<S> {
             Err(_) => Engine::Software(query),
         };
 
+        // Planning charges (index probes) accrued on the device ledger;
+        // snapshot them before the scan so the query's as-if-solo ledger
+        // can be assembled independently of cache hits.
+        let plan_ledger = self.ssd.ledger().since(&ledger_before);
+
         // The parallel datapath: pages striped across the worker pool, each
         // worker running its own read → decompress → filter pipeline with a
         // private cost ledger, merged back order-preserving (see `exec`).
@@ -995,8 +1034,11 @@ impl<S: PageStore> MithriLog<S> {
             &engine,
             &pages,
             self.config.resolved_query_threads(),
+            self.cache_view(),
         );
-        self.ssd.merge_ledger(&scan.ledger);
+        // The device records only physical work (plus the cache-hit
+        // counters); the query is charged as if solo below.
+        self.ssd.merge_ledger(&scan.physical);
         if let Some(e) = scan.error {
             return Err(e.into());
         }
@@ -1005,7 +1047,8 @@ impl<S: PageStore> MithriLog<S> {
         let lines_scanned = scan.lines_scanned;
         degraded.skipped_pages = scan.skipped_pages;
 
-        let ledger = self.ssd.ledger().since(&ledger_before);
+        let mut ledger = plan_ledger;
+        ledger.merge(&scan.ledger);
         degraded.retries = ledger.retries;
         // Estimate what the skipped pages cost from *this query's* observed
         // line density when at least one page was scanned; the global

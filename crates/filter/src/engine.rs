@@ -167,6 +167,20 @@ impl<'a> HashFilter<'a> {
         self.end_of_line()
     }
 
+    /// Clears all per-line evaluation state (bitmaps, poison flags, the
+    /// multi-word assembly buffer) without reallocating, so one filter can
+    /// be reused across pages and scans instead of constructed per call.
+    /// The cumulative [`HashFilter::tokens_processed`] and
+    /// [`HashFilter::lookups`] counters are preserved; callers that need
+    /// per-run stats take deltas around the run.
+    pub fn reset(&mut self) {
+        for bm in &mut self.bitmaps {
+            bm.clear();
+        }
+        self.violated = 0;
+        self.pending.clear();
+    }
+
     /// Total tokens processed since construction.
     pub fn tokens_processed(&self) -> u64 {
         self.tokens_processed

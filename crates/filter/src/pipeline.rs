@@ -104,10 +104,31 @@ impl FilterPipeline {
 
     /// Filters a text buffer and collects statistics in one pass.
     pub fn filter_text_with_stats<'a>(&self, text: &'a [u8]) -> (Vec<&'a [u8]>, FilterStats) {
-        let mut stats = FilterStats::default();
-        let mut kept = Vec::new();
         let mut filter = HashFilter::new(&self.compiled);
+        let mut ranges = Vec::new();
+        let stats = self.filter_text_with_stats_into(text, &mut filter, &mut ranges);
+        let kept = ranges.into_iter().map(|r| &text[r]).collect();
+        (kept, stats)
+    }
+
+    /// The allocation-free core of [`FilterPipeline::filter_text_with_stats`]:
+    /// filters `text` through a caller-owned `filter` (which must be bound to
+    /// this pipeline's compiled query) into a caller-owned vector of kept
+    /// byte ranges. Both are cleared and reused, so the steady-state page
+    /// loop performs no heap allocation here.
+    pub fn filter_text_with_stats_into(
+        &self,
+        text: &[u8],
+        filter: &mut HashFilter<'_>,
+        kept: &mut Vec<std::ops::Range<usize>>,
+    ) -> FilterStats {
+        kept.clear();
+        filter.reset();
+        let mut stats = FilterStats::default();
+        let mut offset = 0usize;
         for line in text.split(|b| *b == b'\n') {
+            let line_start = offset;
+            offset += line.len() + 1;
             if line.is_empty() {
                 continue;
             }
@@ -118,10 +139,10 @@ impl FilterPipeline {
             stats.tokens += filter.tokens_processed() - before;
             if verdict.keep {
                 stats.lines_kept += 1;
-                kept.push(line);
+                kept.push(line_start..line_start + line.len());
             }
         }
-        (kept, stats)
+        stats
     }
 }
 
@@ -265,6 +286,24 @@ RAS KERNEL INFO generating core.2275\n";
                     "divergence on query {qs:?} line {line_str:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn stats_into_reuses_filter_and_ranges_across_calls() {
+        let q = parse("RAS AND KERNEL AND NOT FATAL").unwrap();
+        let p = FilterPipeline::compile(&q).unwrap();
+        let mut filter = HashFilter::new(p.compiled());
+        let mut ranges = Vec::new();
+        for _ in 0..3 {
+            let stats = p.filter_text_with_stats_into(TEXT, &mut filter, &mut ranges);
+            let via_ranges: Vec<&[u8]> = ranges.iter().map(|r| &TEXT[r.clone()]).collect();
+            let (kept, one_shot_stats) = p.filter_text_with_stats(TEXT);
+            assert_eq!(via_ranges, kept);
+            assert_eq!(
+                stats, one_shot_stats,
+                "per-call stats must match the one-shot path"
+            );
         }
     }
 

@@ -238,7 +238,7 @@ pub fn render_stats(stats: &ServiceStats) -> String {
     terminated(format!(
         "OK stats\nsubmitted={}\nrejected={}\ncompleted={}\nfailed={}\ncancelled={}\n\
          queued={}\nwaves={}\ndemanded_page_reads={}\nunique_pages_read={}\n\
-         shared_reads_avoided={}\n",
+         shared_reads_avoided={}\ncache_hits={}\ncache_bytes_saved={}\n",
         stats.submitted,
         stats.rejected,
         stats.completed,
@@ -249,6 +249,8 @@ pub fn render_stats(stats: &ServiceStats) -> String {
         stats.demanded_page_reads,
         stats.unique_pages_read,
         stats.shared_reads_avoided,
+        stats.cache_hits,
+        stats.cache_bytes_saved,
     ))
 }
 

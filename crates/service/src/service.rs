@@ -173,6 +173,10 @@ pub struct ServiceStats {
     pub unique_pages_read: u64,
     /// Duplicate reads avoided by cross-query page sharing.
     pub shared_reads_avoided: u64,
+    /// Union pages served from the cross-wave decompressed-page cache.
+    pub cache_hits: u64,
+    /// Raw page bytes those cache hits kept off the device.
+    pub cache_bytes_saved: u64,
 }
 
 enum JobKind {
@@ -545,6 +549,8 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                         state.stats.demanded_page_reads += batch.shared.demanded_page_reads;
                         state.stats.unique_pages_read += batch.shared.unique_pages_read;
                         state.stats.shared_reads_avoided += batch.shared.shared_reads_avoided;
+                        state.stats.cache_hits += batch.shared.cache_hits;
+                        state.stats.cache_bytes_saved += batch.shared.cache_bytes_saved;
                         let SharedScanReport { attribution, .. } = batch.shared;
                         for (((id, _), outcome), attribution) in
                             wave.iter().zip(batch.outcomes).zip(attribution)

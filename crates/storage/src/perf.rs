@@ -137,6 +137,14 @@ pub struct CostLedger {
     /// `pages_read + shared_reads` equals what the same queries would have
     /// charged run one at a time.
     pub shared_reads: u64,
+    /// Page-read demands satisfied from the host-side decompressed-page
+    /// cache instead of flash. Like `shared_reads`, a physical saving: the
+    /// as-if-solo charge for the page lands on the consumer's own ledger,
+    /// and the avoided device work is recorded here.
+    pub cache_hits: u64,
+    /// Raw bytes the cache kept off the device (the stored page length of
+    /// every hit).
+    pub cache_bytes_saved: u64,
 }
 
 impl CostLedger {
@@ -157,6 +165,8 @@ impl CostLedger {
         self.retries += other.retries;
         self.syncs += other.syncs;
         self.shared_reads += other.shared_reads;
+        self.cache_hits += other.cache_hits;
+        self.cache_bytes_saved += other.cache_bytes_saved;
     }
 
     /// Difference since an earlier snapshot (for per-query accounting).
@@ -171,14 +181,16 @@ impl CostLedger {
             retries: self.retries - earlier.retries,
             syncs: self.syncs - earlier.syncs,
             shared_reads: self.shared_reads - earlier.shared_reads,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_bytes_saved: self.cache_bytes_saved - earlier.cache_bytes_saved,
         }
     }
 
-    /// Physical page reads plus the duplicates a shared scan avoided — the
-    /// read demand the same work would have issued without cross-query page
-    /// sharing.
+    /// Physical page reads plus the duplicates avoided by cross-query page
+    /// sharing and the decompressed-page cache — the read demand the same
+    /// work would have issued with neither optimization.
     pub fn demanded_reads(&self) -> u64 {
-        self.pages_read + self.shared_reads
+        self.pages_read + self.shared_reads + self.cache_hits
     }
 
     /// Modeled time for this ledger under `model`, with bulk reads crossing
@@ -287,6 +299,29 @@ mod tests {
         let d = a.since(&b);
         assert_eq!(d.shared_reads, 4);
         assert_eq!(d.pages_read, 10);
+    }
+
+    #[test]
+    fn cache_hits_merge_subtract_and_sum_into_demand() {
+        let mut a = CostLedger {
+            pages_read: 10,
+            shared_reads: 4,
+            cache_hits: 3,
+            cache_bytes_saved: 3 * 4096,
+            ..CostLedger::default()
+        };
+        let b = CostLedger {
+            cache_hits: 2,
+            cache_bytes_saved: 2 * 4096,
+            ..CostLedger::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cache_hits, 5);
+        assert_eq!(a.cache_bytes_saved, 5 * 4096);
+        assert_eq!(a.demanded_reads(), 19);
+        let d = a.since(&b);
+        assert_eq!(d.cache_hits, 3);
+        assert_eq!(d.cache_bytes_saved, 3 * 4096);
     }
 
     #[test]

@@ -27,6 +27,13 @@ mkdir -p target/ci
 cargo run --release -p mithrilog-bench --quiet --bin parallel_scaling -- \
   --smoke --out target/ci/BENCH_parallel_smoke.json
 
+echo "==> page-cache determinism (cached vs uncached byte-identity under faults)"
+cargo test --test scan_cache -q
+
+echo "==> scan_hotpath --smoke (zero-alloc kernel + page-cache bench smoke)"
+cargo run --release -p mithrilog-bench --quiet --bin scan_hotpath -- \
+  --smoke --out target/ci/BENCH_scan_smoke.json
+
 echo "==> service concurrency (byte-identity under faults, admission, page sharing)"
 cargo test --test service_concurrency -q
 
