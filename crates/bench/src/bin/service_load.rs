@@ -12,13 +12,22 @@
 //!
 //! Emits `BENCH_service.json`.
 //!
-//! Usage: `service_load [--smoke] [--mb <f64>] [--out <path>]`
+//! `--storm` runs the chaos-storm mode instead: a bounded
+//! submit/cancel/ingest storm against a service whose device injects
+//! transient read faults, with deadlines and the online scrub lane
+//! enabled — a load-shaped version of `tests/chaos_soak.rs` asserting the
+//! service neither wedges nor leaks a panic under concurrent fault
+//! pressure.
+//!
+//! Usage: `service_load [--smoke] [--mb <f64>] [--out <path>] [--storm]`
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
-use mithrilog_service::{JobOutput, Priority, Service, ServiceConfig};
+use mithrilog_service::{JobOutput, Priority, Service, ServiceConfig, WaitError};
+use mithrilog_storage::{FaultPlan, FaultyStore, MemStore};
 
 /// Eight queries with heavily overlapping page plans: most are broad
 /// enough to full-scan, so their plans cover the same pages.
@@ -37,6 +46,7 @@ struct Args {
     smoke: bool,
     mb: f64,
     out: String,
+    storm: bool,
 }
 
 fn parse_args() -> Args {
@@ -44,12 +54,14 @@ fn parse_args() -> Args {
         smoke: false,
         mb: 4.0,
         out: "BENCH_service.json".to_string(),
+        storm: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--smoke" => args.smoke = true,
+            "--storm" => args.storm = true,
             "--mb" => {
                 i += 1;
                 args.mb = argv[i].parse().expect("--mb needs a number");
@@ -68,8 +80,104 @@ fn parse_args() -> Args {
     args
 }
 
+/// The chaos-storm mode behind `--storm`: concurrent submitters (some with
+/// deadlines, some cancelled mid-flight) plus ingests against a device
+/// injecting transient read faults, with the online scrub lane running in
+/// the idle gaps. Every job must settle within a bound — a wedge or an
+/// escaped panic fails the run.
+fn service_storm(smoke: bool) {
+    let rounds = if smoke { 4 } else { 16 };
+    let clients = 4;
+    let per_client = if smoke { 8 } else { 32 };
+    let ds = generate(&DatasetSpec {
+        profile: DatasetProfile::Liberty2,
+        target_bytes: if smoke { 200_000 } else { 1_000_000 },
+        seed: 42,
+    });
+    let config = SystemConfig::default();
+    let plan = FaultPlan::seeded(99).with_transient_rate(0.05, 1);
+    let store = FaultyStore::new(MemStore::new(config.device.page_bytes), plan);
+    let mut system = MithriLog::with_store(store, config).expect("system");
+    system.ingest(ds.text()).expect("ingest");
+    let service = Service::spawn(
+        system,
+        ServiceConfig {
+            max_queue: 256,
+            max_batch: 8,
+            default_deadline: Some(Duration::from_millis(50)),
+            scrub_batch: 32,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let mut settled = 0u64;
+    let mut cancelled_early = 0u64;
+    for round in 0..rounds {
+        let ids: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let handle = handle.clone();
+                    scope.spawn(move || {
+                        let mut ids = Vec::new();
+                        for i in 0..per_client {
+                            let q = QUERIES[(c + i) % QUERIES.len()];
+                            let pri = [Priority::High, Priority::Normal, Priority::Low][i % 3];
+                            if let Ok(id) = handle.submit_str(q, pri) {
+                                // Cancel a third of them immediately —
+                                // racing the wave claim on purpose.
+                                if i % 3 == 0 {
+                                    handle.cancel(id);
+                                }
+                                ids.push(id);
+                            }
+                        }
+                        ids
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        // An ingest between rounds grows the snapshot and re-arms the
+        // online scrub pass.
+        if round % 2 == 0 {
+            let _ = handle.ingest(b"storm FATAL extra line\n".to_vec());
+        }
+        for id in ids.into_iter().flatten() {
+            match handle.wait_timeout(id, Duration::from_secs(60)) {
+                Ok(_) => settled += 1,
+                Err(WaitError::Cancelled) => {
+                    settled += 1;
+                    cancelled_early += 1;
+                }
+                Err(WaitError::Failed(reason)) => {
+                    panic!("storm job {id} failed hard: {reason}")
+                }
+                Err(e) => panic!("storm job {id} wedged: {e}"),
+            }
+        }
+    }
+    let stats = handle.stats();
+    service.shutdown();
+    assert!(stats.waves > 0, "storm never formed a wave");
+    eprintln!(
+        "storm: {settled} jobs settled ({cancelled_early} cancelled), {} waves, \
+         {} poisoned, {} scrub slices / {} pages scrubbed / {} quarantined, \
+         {} shared reads avoided",
+        stats.waves,
+        stats.waves_poisoned,
+        stats.scrub_slices,
+        stats.pages_scrubbed,
+        stats.pages_quarantined,
+        stats.shared_reads_avoided,
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if args.storm {
+        service_storm(args.smoke);
+        return;
+    }
     let ds = generate(&DatasetSpec {
         profile: DatasetProfile::Liberty2,
         target_bytes: (args.mb * 1_000_000.0) as usize,
@@ -108,6 +216,7 @@ fn main() {
             max_queue: 64,
             max_batch: QUERIES.len(),
             default_page_budget: None,
+            ..ServiceConfig::default()
         },
     );
     let handle = service.handle();

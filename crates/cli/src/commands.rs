@@ -10,7 +10,7 @@ use mithrilog_compress::{Codec, Lzah};
 use mithrilog_filter::FilterPipeline;
 use mithrilog_ftree::{FtreeConfig, TemplateLibrary};
 use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
-use mithrilog_service::{Service, ServiceConfig};
+use mithrilog_service::{JobOutput, Priority, Service, ServiceConfig};
 use mithrilog_storage::{CrashPlan, CrashStore, FaultPlan, FaultyStore, MemStore, StorageError};
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -99,7 +99,7 @@ pub enum ScrubOutcome {
     CorruptionFound,
 }
 
-/// `mithrilog scrub <logfile> [--flip-rate <p>] [--seed <n>]`
+/// `mithrilog scrub <logfile> [--flip-rate <p>] [--seed <n>] [--online]`
 ///
 /// A fault drill: the log is ingested onto a device whose backing store
 /// rots one random bit per written page with probability `p` (default 0.02,
@@ -107,13 +107,21 @@ pub enum ScrubOutcome {
 /// its findings are compared against the faults actually injected, and a
 /// sample degraded query shows recovery in action.
 ///
+/// With `--online` the scrub runs through the concurrent service's idle
+/// lane instead: the system is handed to a service whose scheduler
+/// verifies pages in bounded slices between waves, quarantining corrupt
+/// ones, and the sample query then shows quarantined pages being skipped
+/// deterministically as a degraded read.
+///
 /// Exits 0 when the scrub finds the device clean, 2 when corruption was
 /// found (so scripts and CI can gate on device health), and 1 on
 /// operational errors — see [`ScrubOutcome`].
 pub fn scrub(args: &[String]) -> Result<ScrubOutcome, Box<dyn Error>> {
+    let online = args.iter().any(|a| a == "--online");
     let path = args
         .first()
-        .ok_or("usage: mithrilog scrub <logfile> [--flip-rate <p>] [--seed <n>]")?;
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: mithrilog scrub <logfile> [--flip-rate <p>] [--seed <n>] [--online]")?;
     let flip_rate = parse_f64_flag(args, "--flip-rate")?.unwrap_or(0.02);
     if !(0.0..=1.0).contains(&flip_rate) {
         return Err("--flip-rate must be in [0, 1]".into());
@@ -130,6 +138,9 @@ pub fn scrub(args: &[String]) -> Result<ScrubOutcome, Box<dyn Error>> {
         "ingested {} lines into {} data pages (bit-rot rate {flip_rate}, seed {seed})",
         report.lines, report.data_pages
     );
+    if online {
+        return scrub_online(system);
+    }
 
     let scrub = system.scrub();
     println!("{scrub}");
@@ -161,6 +172,80 @@ pub fn scrub(args: &[String]) -> Result<ScrubOutcome, Box<dyn Error>> {
         outcome.degraded
     );
     Ok(if found.is_empty() {
+        ScrubOutcome::Clean
+    } else {
+        ScrubOutcome::CorruptionFound
+    })
+}
+
+/// The `mithrilog scrub --online` drill: hand the faulted system to the
+/// concurrent service, let its idle-time scrub lane verify every page in
+/// bounded slices, then show quarantined pages being skipped
+/// deterministically by a sample query.
+fn scrub_online(system: MithriLog<FaultyStore<MemStore>>) -> Result<ScrubOutcome, Box<dyn Error>> {
+    use std::time::Duration;
+    let planted = system.device().store().corrupted_pages();
+    let total_pages = system.device().page_count();
+    let service = Service::spawn(
+        system,
+        ServiceConfig {
+            scrub_batch: 64,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+
+    // The scheduler is idle, so the scrub lane runs immediately; wait for
+    // one full pass over the device (bounded — a wedged lane is an error,
+    // not a hang).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let stats = loop {
+        let stats = handle.stats();
+        if stats.pages_scrubbed >= total_pages {
+            break stats;
+        }
+        if Instant::now() > deadline {
+            service.shutdown();
+            return Err("online scrub did not complete a full pass in time".into());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    println!(
+        "online scrub: {} pages verified across {} idle slices; {} quarantined",
+        stats.pages_scrubbed, stats.scrub_slices, stats.pages_quarantined
+    );
+    if stats.pages_quarantined != planted.len() as u64 {
+        service.shutdown();
+        return Err(format!(
+            "detection mismatch: online scrub quarantined {} pages, fault plan \
+             corrupted {:?}",
+            stats.pages_quarantined, planted
+        )
+        .into());
+    }
+    println!(
+        "detection: online scrub quarantined exactly the {} pages the fault plan corrupted",
+        planted.len()
+    );
+
+    // Quarantined pages are skipped up front, at zero cost, deterministically.
+    let id = handle
+        .submit_str("error OR failed OR FATAL", Priority::Normal)
+        .map_err(|e| e.to_string())?;
+    match handle.wait(id).map_err(|e| e.to_string())? {
+        JobOutput::Query { outcome, .. } => println!(
+            "sample degraded query: {} matches from {} pages; {}",
+            outcome.match_count(),
+            outcome.pages_scanned,
+            outcome.degraded
+        ),
+        other => {
+            service.shutdown();
+            return Err(format!("expected a query result, got {other:?}").into());
+        }
+    }
+    service.shutdown();
+    Ok(if planted.is_empty() {
         ScrubOutcome::Clean
     } else {
         ScrubOutcome::CorruptionFound
@@ -434,7 +519,7 @@ pub fn gen(args: &[String]) -> CliResult {
 
 /// `mithrilog serve <logfile> [--port <p>] [--threads <n>]
 /// [--max-queue <n>] [--max-batch <n>] [--budget <n>]
-/// [--page-cache <bytes>]`
+/// [--page-cache <bytes>] [--deadline <micros>] [--scrub-batch <pages>]`
 ///
 /// Ingests the log, then serves the concurrent query service's line
 /// protocol on a loopback TCP port (`--port 0` or omitted = an ephemeral
@@ -449,6 +534,13 @@ pub fn gen(args: &[String]) -> CliResult {
 /// cache budget in bytes (0 disables; omitted = the 32 MiB default —
 /// repeated queries across waves are served from host memory instead of
 /// re-reading flash, visible as `cache_hits` in `STATS`).
+///
+/// `--deadline` applies a default modeled-time deadline (microseconds) to
+/// queries that carry none: each plan is clipped to what the device model
+/// can read in that time, reported honestly as a degraded read.
+/// `--scrub-batch` turns on the online scrub lane: whenever the scheduler
+/// is idle it verifies that many pages per slice, quarantining any that
+/// fail, until a full pass completes (re-armed by every ingest).
 pub fn serve(args: &[String]) -> CliResult {
     let (threads, args) = take_usize_flag(args, "--threads")?;
     let (port, args) = take_usize_flag(&args, "--port")?;
@@ -456,10 +548,12 @@ pub fn serve(args: &[String]) -> CliResult {
     let (max_batch, args) = take_usize_flag(&args, "--max-batch")?;
     let (budget, args) = take_usize_flag(&args, "--budget")?;
     let (page_cache, args) = take_usize_flag(&args, "--page-cache")?;
+    let (deadline, args) = take_usize_flag(&args, "--deadline")?;
+    let (scrub_batch, args) = take_usize_flag(&args, "--scrub-batch")?;
     let path = args.first().ok_or(
         "usage: mithrilog serve <logfile> [--port <p>] [--threads <n>] \
          [--max-queue <n>] [--max-batch <n>] [--budget <n>] \
-         [--page-cache <bytes>]",
+         [--page-cache <bytes>] [--deadline <micros>] [--scrub-batch <pages>]",
     )?;
     let port = u16::try_from(port.unwrap_or(0)).map_err(|_| "--port must fit in 16 bits")?;
     let text = read_log(path)?;
@@ -468,6 +562,8 @@ pub fn serve(args: &[String]) -> CliResult {
         max_queue: max_queue.unwrap_or(ServiceConfig::default().max_queue),
         max_batch: max_batch.unwrap_or(ServiceConfig::default().max_batch),
         default_page_budget: budget.map(|b| b as u64),
+        default_deadline: deadline.map(|us| std::time::Duration::from_micros(us as u64)),
+        scrub_batch: scrub_batch.map_or(0, |b| b as u64),
     };
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
     serve_listener(listener, system, config)
@@ -705,6 +801,32 @@ mod tests {
         // Clean device: scrub succeeds, finding nothing (exit 0).
         let outcome =
             scrub(&strs(&[path.to_str().unwrap(), "--flip-rate", "0"])).expect("clean scrub");
+        assert_eq!(outcome, ScrubOutcome::Clean);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scrub_online_end_to_end() {
+        let path = temp_log();
+        // The online lane quarantines the same pages the offline drill
+        // finds corrupt, and the sample query reports the skips honestly.
+        let outcome = scrub(&strs(&[
+            path.to_str().unwrap(),
+            "--flip-rate",
+            "0.2",
+            "--seed",
+            "7",
+            "--online",
+        ]))
+        .expect("online scrub");
+        assert_eq!(outcome, ScrubOutcome::CorruptionFound);
+        let outcome = scrub(&strs(&[
+            path.to_str().unwrap(),
+            "--flip-rate",
+            "0",
+            "--online",
+        ]))
+        .expect("clean online scrub");
         assert_eq!(outcome, ScrubOutcome::Clean);
         std::fs::remove_file(&path).ok();
     }

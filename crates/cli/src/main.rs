@@ -8,11 +8,14 @@
 //! mithrilog spikes <logfile> [--threads <n>] <query...>
 //!                                           filter, histogram, flag rate spikes
 //! mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log
-//! mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>]
+//! mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>] [--online]
 //!                                           fault drill: inject bit rot, verify scrub
+//!                                           (--online: via the service's idle scrub
+//!                                           lane with page quarantine)
 //!                                           (exit 0 clean, 2 corruption found, 1 error)
 //! mithrilog serve  <logfile> [--port <p>] [--threads <n>] [--max-queue <n>]
-//!                  [--max-batch <n>] [--budget <n>]
+//!                  [--max-batch <n>] [--budget <n>] [--deadline <micros>]
+//!                  [--scrub-batch <pages>]
 //!                                           concurrent query service over TCP
 //! mithrilog recover <storefile>             mount an on-disk store, run crash recovery
 //! mithrilog recover --self-check [--points <k>] [--seed <n>]
@@ -77,11 +80,14 @@ fn print_usage() {
          \x20 mithrilog spikes <logfile> [--threads <n>] <query...>\n\
          \x20                                           filter, histogram, flag rate spikes\n\
          \x20 mithrilog gen    <profile> <mb> <out>     generate a synthetic HPC4-profile log\n\
-         \x20 mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>]\n\
+         \x20 mithrilog scrub  <logfile> [--flip-rate <p>] [--seed <n>] [--online]\n\
          \x20                                           fault drill: inject bit rot, verify scrub\n\
+         \x20                                           (--online: via the service's idle scrub\n\
+         \x20                                           lane with page quarantine)\n\
          \x20                                           (exit 0 clean, 2 corruption found, 1 error)\n\
          \x20 mithrilog serve  <logfile> [--port <p>] [--threads <n>] [--max-queue <n>]\n\
-         \x20                  [--max-batch <n>] [--budget <n>]\n\
+         \x20                  [--max-batch <n>] [--budget <n>] [--deadline <micros>]\n\
+         \x20                  [--scrub-batch <pages>]\n\
          \x20                                           concurrent query service over TCP\n\
          \x20 mithrilog recover <storefile>             mount an on-disk store, run crash recovery\n\
          \x20 mithrilog recover --self-check [--points <k>] [--seed <n>]\n\

@@ -1,7 +1,7 @@
 use mithrilog_compress::LzahConfig;
 use mithrilog_filter::FilterParams;
 use mithrilog_index::IndexParams;
-use mithrilog_storage::DevicePerfModel;
+use mithrilog_storage::{DevicePerfModel, RetryPolicy};
 use mithrilog_tokenizer::TokenizerConfig;
 
 /// Configuration of a complete MithriLog system.
@@ -35,6 +35,10 @@ pub struct SystemConfig {
     /// every query outcome byte-identical to an uncached run — only the
     /// physical device traffic (and wall-clock time) changes.
     pub page_cache_bytes: u64,
+    /// Transient-read retry policy installed on the device (see
+    /// [`RetryPolicy`]). Validated by [`SystemConfig::validate`]:
+    /// `max_attempts` must be ≥ 1.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SystemConfig {
@@ -48,6 +52,7 @@ impl Default for SystemConfig {
             use_index: true,
             query_threads: 0,
             page_cache_bytes: Self::DEFAULT_PAGE_CACHE_BYTES,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -94,7 +99,8 @@ impl SystemConfig {
     ///
     /// A human-readable message describing the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
-        Self::checked_query_threads(self.query_threads).map(|_| ())
+        Self::checked_query_threads(self.query_threads)?;
+        self.retry.validate().map_err(|e| e.to_string())
     }
 
     /// The §7.4.2 configuration: "MithriLog was also configured to not use
@@ -185,5 +191,16 @@ mod tests {
             ..SystemConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn retry_policy_is_validated() {
+        assert!(SystemConfig::default().validate().is_ok());
+        let bad = SystemConfig {
+            retry: RetryPolicy { max_attempts: 0 },
+            ..SystemConfig::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
     }
 }

@@ -1,0 +1,61 @@
+//! Cooperative cancellation for running queries.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between a submitter
+//! (who may decide a running query is no longer wanted) and the scan
+//! datapath (which checks it at page boundaries). Cancellation is
+//! *cooperative*: a scan never aborts mid-page, so a cancelled query stops
+//! within one page boundary of the request — the granularity the paper's
+//! per-page pipeline naturally provides — and the pages it did scan are
+//! charged exactly as usual.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag checked by scans at page boundaries.
+///
+/// Cloning the token shares the flag: cancelling any clone cancels them
+/// all. The default token is un-cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // Idempotent.
+        a.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn token_is_send_sync() {
+        fn check<T: Send + Sync + Clone>() {}
+        check::<CancelToken>();
+    }
+}

@@ -49,15 +49,18 @@ use mithrilog_query::Query;
 use mithrilog_storage::{CostLedger, PageId, PageStore, SimSsd, SsdReader, StorageError};
 
 use crate::cache::PageCache;
+use crate::control::CancelToken;
 
 /// Whether a storage error is survivable by skipping the affected page:
-/// corruption and exhausted transient retries lose one page of data;
-/// anything else (out-of-range access, host I/O failure) is a real bug or
-/// environment failure and must propagate.
+/// corruption, exhausted transient retries, and quarantined pages lose one
+/// page of data; anything else (out-of-range access, host I/O failure) is a
+/// real bug or environment failure and must propagate.
 pub(crate) fn page_is_skippable(e: &StorageError) -> bool {
     matches!(
         e,
-        StorageError::Corrupt { .. } | StorageError::TransientRead { .. }
+        StorageError::Corrupt { .. }
+            | StorageError::TransientRead { .. }
+            | StorageError::Quarantined { .. }
     )
 }
 
@@ -174,6 +177,11 @@ pub(crate) struct ScanResult {
 /// `threads == 1` runs the identical per-page code inline (no threads
 /// spawned); any `threads >= 1` produces byte-identical results — see the
 /// module docs for the determinism argument.
+///
+/// `cancel` is checked at every page boundary: once the token trips, each
+/// worker stops before its next page, so the scan quiesces within one page
+/// per worker. Pages scanned before the trip are charged exactly as usual;
+/// unvisited pages charge nothing and produce nothing.
 pub(crate) fn scan_pages<S: PageStore>(
     ssd: &SimSsd<S>,
     lzah: LzahConfig,
@@ -181,6 +189,7 @@ pub(crate) fn scan_pages<S: PageStore>(
     pages: &[PageId],
     threads: usize,
     cache: CacheView<'_>,
+    cancel: Option<&CancelToken>,
 ) -> ScanResult {
     let workers = threads.max(1).min(pages.len().max(1));
     let mut slots: Vec<Option<Scanned>> = Vec::with_capacity(pages.len());
@@ -197,6 +206,9 @@ pub(crate) fn scan_pages<S: PageStore>(
         let mut scratch = ScanScratch::for_engine(engine);
         let mut hits = HitTally::default();
         for (slot, page) in pages.iter().enumerate() {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                break;
+            }
             match scan_one(
                 &mut reader,
                 &codec,
@@ -227,6 +239,9 @@ pub(crate) fn scan_pages<S: PageStore>(
                         let mut scratch = ScanScratch::for_engine(engine);
                         let mut hits = HitTally::default();
                         for slot in (w..pages.len()).step_by(workers) {
+                            if cancel.is_some_and(CancelToken::is_cancelled) {
+                                break;
+                            }
                             match scan_one(
                                 &mut reader,
                                 &codec,
@@ -322,6 +337,13 @@ fn scan_one<'q, S: PageStore>(
         filter,
         ranges,
     } = scratch;
+    // Quarantine is checked before the cache: a scrub may quarantine a page
+    // after its text was cached, and the skip decision must match what an
+    // uncached read would produce (an up-front `Quarantined` error with
+    // zero ledger charges) so cached and uncached runs stay byte-identical.
+    if reader.is_quarantined(page) {
+        return Ok(Scanned::Skipped(page.0));
+    }
     if let Some((cache, generation)) = cache {
         if let Some(cached) = cache.get(generation, page.0) {
             hits.pages += 1;
@@ -454,17 +476,41 @@ pub(crate) struct FanoutResult {
     pub error: Option<StorageError>,
 }
 
+/// One query's contribution to a fan-out scan: its filtering engine, its
+/// page plan, and an optional cancellation token. A query whose token trips
+/// mid-wave drops out of every subsequent union slot — it is neither
+/// filtered nor charged for pages it never reached, and a slot every
+/// planner has abandoned is not read at all.
+pub(crate) struct FanQuery<'q> {
+    /// The filtering engine this query scans with.
+    pub engine: Engine<'q>,
+    /// The query's page plan, in plan order.
+    pub pages: Vec<PageId>,
+    /// Cooperative cancellation, checked at each union-slot boundary.
+    pub cancel: Option<CancelToken>,
+}
+
+impl<'q> FanQuery<'q> {
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+}
+
 /// Outcome of loading one union page in a fan-out scan.
 enum FanBody {
-    /// The page decompressed; `per_query` holds, for each interested query
-    /// index, the matched lines (materialized inside the page loop, so page
-    /// text never outlives it) and the lines examined.
+    /// The page decompressed; `per_query` holds, for each query index live
+    /// at scan time, the matched lines (materialized inside the page loop,
+    /// so page text never outlives it) and the lines examined.
     Scanned {
         bytes: u64,
         per_query: Vec<(usize, Vec<String>, u64)>,
     },
-    /// The page is survivably lost for every query that planned it.
-    Skipped,
+    /// The page is survivably lost for every live query that planned it
+    /// (`interested` holds those query indexes).
+    Skipped { interested: Vec<usize> },
+    /// Every query that planned this page was cancelled before its slot
+    /// came up: no read was issued and nothing is charged to anyone.
+    Abandoned,
 }
 
 /// Per-worker reusable fan-out scan state: one decoder workspace and
@@ -477,12 +523,12 @@ struct FanScratch<'q> {
 }
 
 impl<'q> FanScratch<'q> {
-    fn for_queries(queries: &[(Engine<'q>, Vec<PageId>)]) -> Self {
+    fn for_queries(queries: &[FanQuery<'q>]) -> Self {
         FanScratch {
             lzah: LzahScratch::new(),
             filters: queries
                 .iter()
-                .map(|(engine, _)| match engine {
+                .map(|fq| match &fq.engine {
                     Engine::Hardware(pipeline) => Some(HashFilter::new(pipeline.compiled())),
                     Engine::Software(_) => None,
                 })
@@ -496,7 +542,7 @@ impl<'q> FanScratch<'q> {
 /// materialize the matched lines. Pure in `text`, so each query's share is
 /// exactly what its solo scan of the page would have produced.
 fn fan_filter<'q>(
-    queries: &[(Engine<'q>, Vec<PageId>)],
+    queries: &[FanQuery<'q>],
     interested: &[usize],
     text: &[u8],
     filters: &mut [Option<HashFilter<'q>>],
@@ -504,7 +550,7 @@ fn fan_filter<'q>(
 ) -> Vec<(usize, Vec<String>, u64)> {
     let mut per_query = Vec::with_capacity(interested.len());
     for &q in interested {
-        let lines_scanned = filter_page_into(&queries[q].0, text, &mut filters[q], ranges);
+        let lines_scanned = filter_page_into(&queries[q].engine, text, &mut filters[q], ranges);
         let mut lines = Vec::with_capacity(ranges.len());
         for range in ranges.iter() {
             lines.push(String::from_utf8_lossy(&text[range.clone()]).into_owned());
@@ -532,11 +578,14 @@ struct FanSlot {
 /// plan alone — page loading and filtering are the same pure per-page
 /// functions solo scans use, and per-query results merge in that query's
 /// plan order. Only the physical read count (the device ledger) changes
-/// with sharing or cache hits.
+/// with sharing or cache hits. A cancelled query stops within one union
+/// slot per worker and is charged only for pages it actually reached; live
+/// co-batched queries are unaffected, because a slot's cost and filter
+/// output never depend on how many queries fanned from it.
 pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
     ssd: &SimSsd<S>,
     lzah: LzahConfig,
-    queries: &[(Engine<'q>, Vec<PageId>)],
+    queries: &[FanQuery<'q>],
     threads: usize,
     cache: CacheView<'_>,
 ) -> FanoutResult {
@@ -544,8 +593,8 @@ pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
     // indexes per page (ascending, since we insert in query order).
     let mut union: std::collections::BTreeMap<PageId, Vec<usize>> =
         std::collections::BTreeMap::new();
-    for (q, (_, pages)) in queries.iter().enumerate() {
-        for page in pages {
+    for (q, fq) in queries.iter().enumerate() {
+        for page in &fq.pages {
             union.entry(*page).or_default().push(q);
         }
     }
@@ -570,12 +619,35 @@ pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
                      hits: &mut HitTally|
      -> Result<FanSlot, StorageError> {
         let (page, interested) = &union[slot];
+        // Queries cancelled by the time their slot comes up drop out of it:
+        // they are neither filtered nor charged, and a slot every planner
+        // abandoned is not read at all.
+        let live: Vec<usize> = interested
+            .iter()
+            .copied()
+            .filter(|&q| !queries[q].is_cancelled())
+            .collect();
+        if live.is_empty() {
+            return Ok(FanSlot {
+                cost: CostLedger::default(),
+                body: FanBody::Abandoned,
+            });
+        }
         let before = *reader.ledger();
         let FanScratch {
             lzah: lz,
             filters,
             ranges,
         } = scratch;
+        // Quarantine is checked before the cache so cached and uncached
+        // runs agree: an uncached read would fail up front with zero
+        // charges, so the slot skips for every live query at zero cost.
+        if reader.is_quarantined(*page) {
+            return Ok(FanSlot {
+                cost: CostLedger::default(),
+                body: FanBody::Skipped { interested: live },
+            });
+        }
         // An as-if-solo slot charge replayed on a cache hit: the full read
         // a fresh load of this page would have recorded.
         let mut hit_charge = None;
@@ -585,7 +657,7 @@ pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
             hit_charge = Some(cached.raw_len);
             FanBody::Scanned {
                 bytes: cached.text.len() as u64,
-                per_query: fan_filter(queries, interested, &cached.text, filters, ranges),
+                per_query: fan_filter(queries, &live, &cached.text, filters, ranges),
             }
         } else {
             match reader.read(*page) {
@@ -596,14 +668,14 @@ pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
                         }
                         FanBody::Scanned {
                             bytes: text.len() as u64,
-                            per_query: fan_filter(queries, interested, text, filters, ranges),
+                            per_query: fan_filter(queries, &live, text, filters, ranges),
                         }
                     }
                     // Corruption the checksum missed still gets caught by
                     // the decoder; one bad page is not worth the batch.
-                    Err(_) => FanBody::Skipped,
+                    Err(_) => FanBody::Skipped { interested: live },
                 },
-                Err(e) if page_is_skippable(&e) => FanBody::Skipped,
+                Err(e) if page_is_skippable(&e) => FanBody::Skipped { interested: live },
                 Err(e) => return Err(e),
             }
         };
@@ -682,19 +754,25 @@ pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
     errors.sort_by_key(|(slot, _)| *slot);
     let error = errors.into_iter().next().map(|(_, e)| e);
 
-    // Every processed page shared by k queries saved k-1 physical reads.
-    for (slot, (_, interested)) in union.iter().enumerate() {
-        if slots[slot].is_some() {
-            device_ledger.shared_reads += interested.len() as u64 - 1;
-        }
+    // Every processed page shared by k live queries saved k-1 physical
+    // reads; abandoned slots issued no read and saved nothing.
+    for done in slots.iter().flatten() {
+        let fanned = match &done.body {
+            FanBody::Scanned { per_query, .. } => per_query.len(),
+            FanBody::Skipped { interested } => interested.len(),
+            FanBody::Abandoned => 0,
+        };
+        device_ledger.shared_reads += (fanned as u64).saturating_sub(1);
     }
 
     // Per-query assembly, each in its own plan order. Lines were
-    // materialized inside the page loop, so assembly only moves them.
+    // materialized inside the page loop, so assembly only moves them. A
+    // query absent from a slot's live set was cancelled before the slot
+    // ran: it never scanned the page, so it is not charged for it.
     let results = queries
         .iter()
         .enumerate()
-        .map(|(q, (_, pages))| {
+        .map(|(q, fq)| {
             let mut scan = FanoutQueryScan {
                 lines: Vec::new(),
                 skipped_pages: Vec::new(),
@@ -703,25 +781,32 @@ pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
                 pages_filtered: 0,
                 ledger: CostLedger::default(),
             };
-            for page in pages {
+            for page in &fq.pages {
                 // A slot left empty means a worker stopped on a hard error;
                 // the whole batch fails via `error`, so nothing to merge.
                 let Some(done) = slots[slot_of[page]].as_mut() else {
                     continue;
                 };
-                scan.ledger.merge(&done.cost);
                 match &mut done.body {
                     FanBody::Scanned { bytes, per_query } => {
-                        let (_, matched, lines) = per_query
-                            .iter_mut()
-                            .find(|(qi, _, _)| *qi == q)
-                            .expect("every interested query has a filter result");
+                        let Some((_, matched, lines)) =
+                            per_query.iter_mut().find(|(qi, _, _)| *qi == q)
+                        else {
+                            continue;
+                        };
+                        scan.ledger.merge(&done.cost);
                         scan.lines_scanned += *lines;
                         scan.bytes_filtered += *bytes;
                         scan.pages_filtered += 1;
                         scan.lines.extend(std::mem::take(matched));
                     }
-                    FanBody::Skipped => scan.skipped_pages.push(page.0),
+                    FanBody::Skipped { interested } => {
+                        if interested.contains(&q) {
+                            scan.ledger.merge(&done.cost);
+                            scan.skipped_pages.push(page.0);
+                        }
+                    }
+                    FanBody::Abandoned => {}
                 }
             }
             scan
@@ -840,9 +925,17 @@ mod tests {
         let query = mithrilog_query::parse("event AND NOT beta").unwrap();
         let pipeline = FilterPipeline::compile(&query).unwrap();
         let engine = Engine::Hardware(&pipeline);
-        let seq = scan_pages(&ssd, LzahConfig::default(), &engine, &pages, 1, None);
+        let seq = scan_pages(&ssd, LzahConfig::default(), &engine, &pages, 1, None, None);
         for threads in [2, 3, 4, 8] {
-            let par = scan_pages(&ssd, LzahConfig::default(), &engine, &pages, threads, None);
+            let par = scan_pages(
+                &ssd,
+                LzahConfig::default(),
+                &engine,
+                &pages,
+                threads,
+                None,
+                None,
+            );
             assert_eq!(par.lines, seq.lines, "{threads} threads");
             assert_eq!(par.lines_scanned, seq.lines_scanned);
             assert_eq!(par.bytes_filtered, seq.bytes_filtered);
@@ -869,15 +962,23 @@ mod tests {
         let plan_b = pages[4..].to_vec();
         let lzah = LzahConfig::default();
 
-        let solo_a = scan_pages(&ssd, lzah, &Engine::Hardware(&pa), &plan_a, 3, None);
-        let solo_b = scan_pages(&ssd, lzah, &Engine::Hardware(&pb), &plan_b, 3, None);
+        let solo_a = scan_pages(&ssd, lzah, &Engine::Hardware(&pa), &plan_a, 3, None, None);
+        let solo_b = scan_pages(&ssd, lzah, &Engine::Hardware(&pb), &plan_b, 3, None, None);
         for threads in [1, 3, 8] {
             let fan = scan_pages_fanout(
                 &ssd,
                 lzah,
                 &[
-                    (Engine::Hardware(&pa), plan_a.clone()),
-                    (Engine::Hardware(&pb), plan_b.clone()),
+                    FanQuery {
+                        engine: Engine::Hardware(&pa),
+                        pages: plan_a.clone(),
+                        cancel: None,
+                    },
+                    FanQuery {
+                        engine: Engine::Hardware(&pb),
+                        pages: plan_b.clone(),
+                        cancel: None,
+                    },
                 ],
                 threads,
                 None,
@@ -918,6 +1019,7 @@ mod tests {
             &pages,
             3,
             None,
+            None,
         );
         let sw = scan_pages(
             &ssd,
@@ -925,6 +1027,7 @@ mod tests {
             &Engine::Software(&query),
             &pages,
             3,
+            None,
             None,
         );
         assert_eq!(hw.lines, sw.lines);
@@ -948,8 +1051,24 @@ mod tests {
         }
         let query = mithrilog_query::parse("FATAL").unwrap();
         let pipeline = FilterPipeline::compile(&query).unwrap();
-        let hw = scan_pages(&ssd, config, &Engine::Hardware(&pipeline), &pages, 1, None);
-        let sw = scan_pages(&ssd, config, &Engine::Software(&query), &pages, 1, None);
+        let hw = scan_pages(
+            &ssd,
+            config,
+            &Engine::Hardware(&pipeline),
+            &pages,
+            1,
+            None,
+            None,
+        );
+        let sw = scan_pages(
+            &ssd,
+            config,
+            &Engine::Software(&query),
+            &pages,
+            1,
+            None,
+            None,
+        );
         assert_eq!(hw.lines, sw.lines);
         assert_eq!(hw.lines_scanned, sw.lines_scanned);
         assert_eq!(sw.lines.len(), 2);
@@ -967,16 +1086,16 @@ mod tests {
         let pipeline = FilterPipeline::compile(&query).unwrap();
         let engine = Engine::Hardware(&pipeline);
         let lzah = LzahConfig::default();
-        let cold = scan_pages(&ssd, lzah, &engine, &pages, 3, None);
+        let cold = scan_pages(&ssd, lzah, &engine, &pages, 3, None, None);
 
         let cache = PageCache::new(1 << 20);
         let view: CacheView<'_> = Some((&cache, 7));
-        let warm_up = scan_pages(&ssd, lzah, &engine, &pages, 3, view);
+        let warm_up = scan_pages(&ssd, lzah, &engine, &pages, 3, view, None);
         assert_eq!(warm_up.lines, cold.lines);
         assert_eq!(warm_up.ledger, cold.ledger, "cold cache: identical run");
         assert_eq!(warm_up.physical.cache_hits, 0);
 
-        let warm = scan_pages(&ssd, lzah, &engine, &pages, 3, view);
+        let warm = scan_pages(&ssd, lzah, &engine, &pages, 3, view, None);
         assert_eq!(warm.lines, cold.lines);
         assert_eq!(warm.lines_scanned, cold.lines_scanned);
         assert_eq!(warm.bytes_filtered, cold.bytes_filtered);
@@ -990,7 +1109,7 @@ mod tests {
 
         // A different generation never sees the cached text.
         let stale: CacheView<'_> = Some((&cache, 8));
-        let fresh = scan_pages(&ssd, lzah, &engine, &pages, 3, stale);
+        let fresh = scan_pages(&ssd, lzah, &engine, &pages, 3, stale, None);
         assert_eq!(fresh.physical.cache_hits, 0);
         assert_eq!(fresh.physical.pages_read, cold.ledger.pages_read);
     }
@@ -1010,8 +1129,16 @@ mod tests {
         let plan_b = pages[4..].to_vec();
         let lzah = LzahConfig::default();
         let queries = [
-            (Engine::Hardware(&pa), plan_a.clone()),
-            (Engine::Hardware(&pb), plan_b.clone()),
+            FanQuery {
+                engine: Engine::Hardware(&pa),
+                pages: plan_a.clone(),
+                cancel: None,
+            },
+            FanQuery {
+                engine: Engine::Hardware(&pb),
+                pages: plan_b.clone(),
+                cancel: None,
+            },
         ];
         let cold = scan_pages_fanout(&ssd, lzah, &queries, 3, None);
 
@@ -1032,6 +1159,128 @@ mod tests {
         assert_eq!(warm.device_ledger.shared_reads, 4);
         assert_eq!(warm.device_ledger.demanded_reads(), 14);
         assert_eq!(cold.device_ledger.demanded_reads(), 14);
+    }
+
+    #[test]
+    fn pre_cancelled_scan_visits_no_pages() {
+        let texts: Vec<String> = (0..6).map(|i| format!("alpha event {i}\n")).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (ssd, pages) = ssd_with_pages(&refs);
+        let query = mithrilog_query::parse("alpha").unwrap();
+        let pipeline = FilterPipeline::compile(&query).unwrap();
+        let engine = Engine::Hardware(&pipeline);
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            let out = scan_pages(
+                &ssd,
+                LzahConfig::default(),
+                &engine,
+                &pages,
+                threads,
+                None,
+                Some(&token),
+            );
+            assert!(out.lines.is_empty(), "{threads} threads");
+            assert_eq!(out.pages_filtered, 0);
+            assert_eq!(out.ledger, CostLedger::default());
+            assert!(out.error.is_none());
+        }
+    }
+
+    #[test]
+    fn quarantined_pages_skip_at_zero_cost_even_with_a_warm_cache() {
+        let texts: Vec<String> = (0..4).map(|i| format!("alpha event {i}\n")).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (mut ssd, pages) = ssd_with_pages(&refs);
+        let query = mithrilog_query::parse("alpha").unwrap();
+        let pipeline = FilterPipeline::compile(&query).unwrap();
+        let lzah = LzahConfig::default();
+
+        // Warm the cache with every page, then quarantine one of them.
+        let cache = PageCache::new(1 << 20);
+        let view: CacheView<'_> = Some((&cache, 1));
+        {
+            let engine = Engine::Hardware(&pipeline);
+            scan_pages(&ssd, lzah, &engine, &pages, 1, view, None);
+        }
+        let victim = pages[1];
+        ssd.quarantine_page(victim.0);
+
+        // Cached and uncached runs agree: the quarantined page is skipped
+        // with zero charges in both, even though its text is still cached.
+        let engine = Engine::Hardware(&pipeline);
+        let cached = scan_pages(&ssd, lzah, &engine, &pages, 1, view, None);
+        let uncached = scan_pages(&ssd, lzah, &engine, &pages, 1, None, None);
+        assert_eq!(cached.skipped_pages, vec![victim.0]);
+        assert_eq!(cached.lines, uncached.lines);
+        assert_eq!(cached.skipped_pages, uncached.skipped_pages);
+        assert_eq!(cached.ledger, uncached.ledger, "as-if-solo must agree");
+        assert_eq!(uncached.ledger.pages_read, pages.len() as u64 - 1);
+
+        // Fan-out path agrees too.
+        let fan = scan_pages_fanout(
+            &ssd,
+            lzah,
+            &[FanQuery {
+                engine: Engine::Hardware(&pipeline),
+                pages: pages.clone(),
+                cancel: None,
+            }],
+            1,
+            view,
+        );
+        assert!(fan.error.is_none());
+        assert_eq!(fan.queries[0].lines, uncached.lines);
+        assert_eq!(fan.queries[0].skipped_pages, uncached.skipped_pages);
+        assert_eq!(fan.queries[0].ledger, uncached.ledger);
+    }
+
+    #[test]
+    fn cancelled_fanout_query_leaves_live_queries_byte_identical() {
+        let texts: Vec<String> = (0..10)
+            .map(|i| format!("alpha event {i}\nbeta event {i}\n"))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (ssd, pages) = ssd_with_pages(&refs);
+        let qa = mithrilog_query::parse("alpha").unwrap();
+        let qb = mithrilog_query::parse("beta").unwrap();
+        let pa = FilterPipeline::compile(&qa).unwrap();
+        let pb = FilterPipeline::compile(&qb).unwrap();
+        let lzah = LzahConfig::default();
+        let solo_a = scan_pages(&ssd, lzah, &Engine::Hardware(&pa), &pages, 3, None, None);
+
+        // Query B is cancelled before the wave starts; A shares every page.
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let fan = scan_pages_fanout(
+            &ssd,
+            lzah,
+            &[
+                FanQuery {
+                    engine: Engine::Hardware(&pa),
+                    pages: pages.clone(),
+                    cancel: None,
+                },
+                FanQuery {
+                    engine: Engine::Hardware(&pb),
+                    pages: pages.clone(),
+                    cancel: Some(cancelled),
+                },
+            ],
+            3,
+            None,
+        );
+        assert!(fan.error.is_none());
+        // The live query is byte-identical to its solo run.
+        assert_eq!(fan.queries[0].lines, solo_a.lines);
+        assert_eq!(fan.queries[0].ledger, solo_a.ledger);
+        // The cancelled query scanned nothing and was charged nothing.
+        assert!(fan.queries[1].lines.is_empty());
+        assert_eq!(fan.queries[1].ledger, CostLedger::default());
+        // No duplicate reads were saved: only one query was live per slot.
+        assert_eq!(fan.device_ledger.shared_reads, 0);
+        assert_eq!(fan.device_ledger.pages_read, pages.len() as u64);
     }
 
     #[test]

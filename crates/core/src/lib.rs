@@ -38,6 +38,7 @@
 
 mod cache;
 mod config;
+mod control;
 mod error;
 mod exec;
 mod outcome;
@@ -45,6 +46,7 @@ mod system;
 
 pub use cache::{CachedPage, PageCache};
 pub use config::SystemConfig;
+pub use control::CancelToken;
 pub use error::MithriLogError;
 pub use outcome::{
     DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport, ScanAttribution,

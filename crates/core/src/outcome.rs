@@ -115,6 +115,14 @@ pub struct DegradedRead {
     /// results instead of overrunning; the dropped pages contribute to
     /// [`DegradedRead::estimated_missed_lines`].
     pub budget_clipped: u64,
+    /// Planned pages dropped from the tail of the scan because they did not
+    /// fit inside the query's modeled-time deadline
+    /// ([`QueryRequest::deadline`]). Like [`DegradedRead::budget_clipped`],
+    /// an honest partial result: the clip is applied to the plan before
+    /// scanning, so the same request replays byte-identically.
+    ///
+    /// [`QueryRequest::deadline`]: crate::QueryRequest::deadline
+    pub deadline_clipped: u64,
 }
 
 impl DegradedRead {
@@ -124,12 +132,13 @@ impl DegradedRead {
             || self.index_fallback
             || self.retries > 0
             || self.budget_clipped > 0
+            || self.deadline_clipped > 0
     }
 
     /// Whether the result set may be incomplete (pages were skipped or
-    /// clipped by a deadline budget).
+    /// clipped by a page budget or deadline).
     pub fn is_lossy(&self) -> bool {
-        !self.skipped_pages.is_empty() || self.budget_clipped > 0
+        !self.skipped_pages.is_empty() || self.budget_clipped > 0 || self.deadline_clipped > 0
     }
 }
 
@@ -137,12 +146,17 @@ impl std::fmt::Display for DegradedRead {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} pages skipped (~{} lines lost), {} retries{}{}",
+            "{} pages skipped (~{} lines lost), {} retries{}{}{}",
             self.skipped_pages.len(),
             self.estimated_missed_lines,
             self.retries,
             if self.budget_clipped > 0 {
                 format!(", {} pages clipped by deadline budget", self.budget_clipped)
+            } else {
+                String::new()
+            },
+            if self.deadline_clipped > 0 {
+                format!(", {} pages clipped by deadline", self.deadline_clipped)
             } else {
                 String::new()
             },
@@ -353,5 +367,14 @@ mod tests {
         };
         assert!(fallback.is_degraded() && !fallback.is_lossy());
         assert!(fallback.to_string().contains("full scan"));
+        let deadline = DegradedRead {
+            deadline_clipped: 3,
+            ..DegradedRead::default()
+        };
+        assert!(deadline.is_degraded() && deadline.is_lossy());
+        assert!(
+            deadline.to_string().contains("3 pages clipped by deadline"),
+            "{deadline}"
+        );
     }
 }

@@ -45,6 +45,17 @@ pub struct QueryRequest {
     /// [`DegradedRead::budget_clipped`] — a partial result instead of an
     /// unbounded scan.
     pub page_budget: Option<u64>,
+    /// Modeled-time deadline. Converted into a page allowance using the
+    /// device performance model (deadline ÷ modeled per-page read time) and
+    /// applied to the plan *before* scanning — after `page_budget` — so the
+    /// same request replays byte-identically anywhere. Clipped pages are
+    /// reported in [`DegradedRead::deadline_clipped`]. `Duration::ZERO`
+    /// yields an immediately clipped but well-formed partial result.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation, checked at page boundaries by the scan
+    /// datapath. Cancelling mid-wave stops the scan within one page per
+    /// worker; the pages already scanned are charged exactly as usual.
+    pub cancel: Option<crate::CancelToken>,
 }
 
 impl QueryRequest {
@@ -55,6 +66,8 @@ impl QueryRequest {
             query,
             time_range: None,
             page_budget: None,
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -78,6 +91,20 @@ impl QueryRequest {
     #[must_use]
     pub fn with_page_budget(mut self, pages: u64) -> Self {
         self.page_budget = Some(pages);
+        self
+    }
+
+    /// Sets the modeled-time deadline (see [`QueryRequest::deadline`]).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token (see [`QueryRequest::cancel`]).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: crate::CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -216,6 +243,8 @@ impl<S: PageStore> MithriLog<S> {
         }
         let page_bytes = config.device.page_bytes;
         let mut ssd = SimSsd::new(store, config.device);
+        ssd.set_retry_policy(config.retry)
+            .map_err(|e| MithriLogError::Config(e.to_string()))?;
         let superblock = format_device(&mut ssd)?;
         Ok(MithriLog {
             ssd,
@@ -266,6 +295,8 @@ impl<S: PageStore> MithriLog<S> {
             )));
         }
         let mut ssd = SimSsd::new(store, config.device);
+        ssd.set_retry_policy(config.retry)
+            .map_err(|e| MithriLogError::Config(e.to_string()))?;
         let superblock = read_active_superblock(&mut ssd)?;
         if superblock.page_bytes as usize != config.device.page_bytes {
             return Err(MithriLogError::Config(format!(
@@ -451,9 +482,18 @@ impl<S: PageStore> MithriLog<S> {
     }
 
     /// Scans the whole device, verifying every page checksum, and returns a
-    /// corruption report (see [`SimSsd::scrub`]).
+    /// corruption report (see [`SimSsd::scrub`]). Pages that fail
+    /// verification are quarantined: subsequent reads fail up front with
+    /// zero charges until the page is rewritten.
     pub fn scrub(&mut self) -> mithrilog_storage::ScrubReport {
         self.ssd.scrub()
+    }
+
+    /// Verifies one bounded slice of the device, for incremental (online)
+    /// scrubbing between foreground work (see [`SimSsd::scrub_slice`]).
+    /// Like [`MithriLog::scrub`], failing pages are quarantined.
+    pub fn scrub_slice(&mut self, start: u64, max_pages: u64) -> mithrilog_storage::ScrubSlice {
+        self.ssd.scrub_slice(start, max_pages)
     }
 
     /// The ids of the data pages, in ingest order.
@@ -832,6 +872,7 @@ impl<S: PageStore> MithriLog<S> {
             used_index: bool,
             index_fallback: bool,
             budget_clipped: u64,
+            deadline_clipped: u64,
         }
         let mut prepared: Vec<Prepared> = Vec::with_capacity(requests.len());
         let mut pipelines: Vec<Option<FilterPipeline>> = Vec::with_capacity(requests.len());
@@ -866,6 +907,18 @@ impl<S: PageStore> MithriLog<S> {
                 budget_clipped = (pages.len() - keep) as u64;
                 pages.truncate(keep);
             }
+            // The deadline clip runs after the budget clip: the deadline is
+            // converted into a page allowance with the device performance
+            // model, so the clip depends only on the request and the model —
+            // the same request replays byte-identically anywhere.
+            let mut deadline_clipped = 0u64;
+            if let Some(deadline) = req.deadline {
+                let keep = usize::try_from(self.deadline_page_allowance(deadline))
+                    .unwrap_or(usize::MAX)
+                    .min(pages.len());
+                deadline_clipped = (pages.len() - keep) as u64;
+                pages.truncate(keep);
+            }
             let plan_ledger = self.ssd.ledger().since(&ledger_before);
             pipelines.push(
                 FilterPipeline::compile_with(
@@ -881,6 +934,7 @@ impl<S: PageStore> MithriLog<S> {
                 used_index,
                 index_fallback,
                 budget_clipped,
+                deadline_clipped,
             });
         }
 
@@ -892,7 +946,7 @@ impl<S: PageStore> MithriLog<S> {
             }
         }
 
-        let engines: Vec<(Engine<'_>, Vec<PageId>)> = requests
+        let engines: Vec<exec::FanQuery<'_>> = requests
             .iter()
             .zip(&pipelines)
             .zip(&prepared)
@@ -901,7 +955,11 @@ impl<S: PageStore> MithriLog<S> {
                     Some(p) => Engine::Hardware(p),
                     None => Engine::Software(&req.query),
                 };
-                (engine, prep.pages.clone())
+                exec::FanQuery {
+                    engine,
+                    pages: prep.pages.clone(),
+                    cancel: req.cancel.clone(),
+                }
             })
             .collect();
         let fan = exec::scan_pages_fanout(
@@ -951,8 +1009,10 @@ impl<S: PageStore> MithriLog<S> {
                 estimated_missed_lines: 0,
                 index_fallback: prep.index_fallback,
                 budget_clipped: prep.budget_clipped,
+                deadline_clipped: prep.deadline_clipped,
             };
-            let lost = degraded.skipped_pages.len() as u64 + prep.budget_clipped;
+            let lost =
+                degraded.skipped_pages.len() as u64 + prep.budget_clipped + prep.deadline_clipped;
             degraded.estimated_missed_lines = if lost == 0 {
                 0
             } else if scan.pages_filtered > 0 {
@@ -1035,6 +1095,7 @@ impl<S: PageStore> MithriLog<S> {
             &pages,
             self.config.resolved_query_threads(),
             self.cache_view(),
+            None,
         );
         // The device records only physical work (plus the cache-hit
         // counters); the query is charged as if solo below.
@@ -1075,6 +1136,20 @@ impl<S: PageStore> MithriLog<S> {
             wall_time: wall_start.elapsed(),
             degraded,
         })
+    }
+
+    /// How many data pages a modeled-time deadline affords: the deadline
+    /// divided by the modeled per-page internal read time. A pure function
+    /// of the deadline and the device model — never of wall-clock time or
+    /// load — so deadline-clipped plans replay byte-identically anywhere. A
+    /// zero per-page time (a degenerate model) means the deadline never
+    /// binds.
+    fn deadline_page_allowance(&self, deadline: Duration) -> u64 {
+        let per_page = self.config.device.parallel_read_time(1, Link::Internal);
+        if per_page.is_zero() {
+            return u64::MAX;
+        }
+        u64::try_from(deadline.as_nanos() / per_page.as_nanos()).unwrap_or(u64::MAX)
     }
 
     /// Average ingested lines per data page, rounded up — the extrapolation
@@ -1422,6 +1497,83 @@ RAS KERNEL INFO generating core.2275\n";
         let again = s.query_shared(std::slice::from_ref(&req)).unwrap();
         assert_eq!(again.outcomes[0].lines, o.lines);
         assert_eq!(again.outcomes[0].degraded, o.degraded);
+    }
+
+    #[test]
+    fn deadline_clips_deterministically_and_reports_honestly() {
+        let mut s = system_with(&LOG.repeat(300));
+        let pages = s.data_page_count();
+        assert!(pages > 3, "need several pages");
+        // A deadline worth exactly two modeled page reads.
+        let per_page = s.config().device.parallel_read_time(1, Link::Internal);
+        assert!(!per_page.is_zero());
+        let req = QueryRequest::parse("RAS")
+            .unwrap()
+            .with_deadline(per_page * 2);
+        let clipped = s.query_shared(std::slice::from_ref(&req)).unwrap();
+        let o = &clipped.outcomes[0];
+        assert_eq!(o.pages_scanned, 2);
+        assert_eq!(o.degraded.deadline_clipped, pages - 2);
+        assert_eq!(o.degraded.budget_clipped, 0);
+        assert!(o.degraded.is_lossy());
+        assert!(o.degraded.estimated_missed_lines > 0);
+        // Deterministic: the same deadline replays byte-identically — the
+        // clip depends on the model, never on wall-clock time or load.
+        let again = s.query_shared(std::slice::from_ref(&req)).unwrap();
+        assert_eq!(again.outcomes[0].lines, o.lines);
+        assert_eq!(again.outcomes[0].degraded, o.degraded);
+        assert_eq!(again.outcomes[0].ledger, o.ledger);
+    }
+
+    #[test]
+    fn zero_deadline_yields_a_well_formed_empty_result() {
+        let mut s = system_with(&LOG.repeat(50));
+        let pages = s.data_page_count();
+        let req = QueryRequest::parse("RAS")
+            .unwrap()
+            .with_deadline(Duration::ZERO);
+        let out = s.query_shared(std::slice::from_ref(&req)).unwrap();
+        let o = &out.outcomes[0];
+        assert!(o.lines.is_empty());
+        assert_eq!(o.pages_scanned, 0);
+        assert_eq!(o.degraded.deadline_clipped, pages);
+        assert!(o.degraded.is_lossy());
+        assert_eq!(o.ledger.pages_read, 0, "nothing was scanned");
+    }
+
+    #[test]
+    fn deadline_stacks_after_the_page_budget() {
+        let mut s = system_with(&LOG.repeat(900));
+        let pages = s.data_page_count();
+        assert!(pages > 4);
+        let per_page = s.config().device.parallel_read_time(1, Link::Internal);
+        // Budget keeps 4 pages, then the deadline affords only 2 of those.
+        let req = QueryRequest::parse("RAS")
+            .unwrap()
+            .with_page_budget(4)
+            .with_deadline(per_page * 2);
+        let out = s.query_shared(std::slice::from_ref(&req)).unwrap();
+        let o = &out.outcomes[0];
+        assert_eq!(o.pages_scanned, 2);
+        assert_eq!(o.degraded.budget_clipped, pages - 4);
+        assert_eq!(o.degraded.deadline_clipped, 2);
+    }
+
+    #[test]
+    fn cancelled_request_in_a_batch_leaves_live_requests_exact() {
+        let mut s = system_with(&LOG.repeat(200));
+        let live = QueryRequest::parse("FATAL").unwrap();
+        let solo = s.query_shared(std::slice::from_ref(&live)).unwrap();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let doomed = QueryRequest::parse("RAS").unwrap().with_cancel(token);
+        let batch = s.query_shared(&[live, doomed]).unwrap();
+        // The live query is byte-identical to running alone.
+        assert_eq!(batch.outcomes[0].lines, solo.outcomes[0].lines);
+        assert_eq!(batch.outcomes[0].ledger, solo.outcomes[0].ledger);
+        // The cancelled query scanned and was charged nothing.
+        assert!(batch.outcomes[1].lines.is_empty());
+        assert_eq!(batch.outcomes[1].ledger.pages_read, 0);
     }
 
     #[test]

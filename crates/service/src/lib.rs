@@ -21,7 +21,13 @@
 //!   query's compiled filter, with cost attribution split by share count;
 //! * **front-ends** — the in-process [`ServiceHandle`] API, and a TCP line
 //!   protocol ([`protocol`], [`server`]) the CLI exposes as
-//!   `mithrilog serve`.
+//!   `mithrilog serve`;
+//! * **fault domains** — per-query modeled-time deadlines that clip plans
+//!   into honest partial results, mid-scan cancellation at page
+//!   granularity, panic isolation (a poisoned wave fails only its own
+//!   jobs), an online scrub lane that verifies pages during idle gaps and
+//!   quarantines bad ones, and per-connection timeouts/line bounds on the
+//!   TCP front-end.
 //!
 //! Determinism is preserved end to end: for a fixed snapshot, every
 //! query's outcome is byte-identical to running it alone — batching changes
@@ -57,5 +63,5 @@ mod service;
 
 pub use service::{
     JobId, JobOutput, JobStatus, Priority, Service, ServiceConfig, ServiceHandle, ServiceStats,
-    SubmitError,
+    SubmitError, WaitError,
 };

@@ -10,16 +10,24 @@
 //! Requests:
 //!
 //! ```text
-//! SUBMIT [pri=high|normal|low] [budget=N] [range=T1:T2] q=<query text>
+//! SUBMIT [pri=high|normal|low] [budget=N] [range=T1:T2] [deadline=MICROS] q=<query text>
 //! POLL <id>
 //! WAIT <id>
 //! CANCEL <id>
+//! SCRUB
 //! STATS
 //! SHUTDOWN
 //! QUIT
 //! ```
 //!
 //! `q=` must come last: everything after it, spaces included, is the query.
+//! `deadline=` is a modeled-time bound in microseconds: the planned page set
+//! is clipped to what the device model can read in that time, and anything
+//! clipped is reported honestly in the degraded-read accounting. `CANCEL`
+//! stops a queued job outright and tells a running job to stop at its next
+//! page boundary. `SCRUB` queues a full verification pass over every page.
+
+use std::time::Duration;
 
 use mithrilog::QueryRequest;
 
@@ -38,13 +46,17 @@ pub enum Request {
         budget: Option<u64>,
         /// Snapshot-clock time window, if any.
         range: Option<(u64, u64)>,
+        /// Modeled-time deadline in microseconds, if any.
+        deadline: Option<u64>,
     },
     /// Report a job's status without blocking.
     Poll(JobId),
     /// Block until a job finishes, then return its result.
     Wait(JobId),
-    /// Cancel a queued job.
+    /// Cancel a queued job, or stop a running one at its next page boundary.
     Cancel(JobId),
+    /// Queue a full scrub pass over every page on the device.
+    Scrub,
     /// Report service counters.
     Stats,
     /// Stop the server (and the service behind it).
@@ -70,6 +82,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "POLL" => Ok(Request::Poll(parse_id(rest)?)),
         "WAIT" => Ok(Request::Wait(parse_id(rest)?)),
         "CANCEL" => Ok(Request::Cancel(parse_id(rest)?)),
+        "SCRUB" => Ok(Request::Scrub),
         "STATS" => Ok(Request::Stats),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "QUIT" => Ok(Request::Quit),
@@ -87,6 +100,7 @@ fn parse_submit(rest: &str) -> Result<Request, String> {
     let mut priority = Priority::Normal;
     let mut budget = None;
     let mut range = None;
+    let mut deadline = None;
     let mut remaining = rest;
     let query = loop {
         let remaining_trimmed = remaining.trim_start();
@@ -126,6 +140,13 @@ fn parse_submit(rest: &str) -> Result<Request, String> {
                     .map_err(|_| format!("bad range end {t2:?}"))?;
                 range = Some((t1, t2));
             }
+            "deadline" => {
+                deadline = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad deadline {value:?} (want microseconds)"))?,
+                );
+            }
             other => return Err(format!("unknown field {other:?}")),
         }
         remaining = rest;
@@ -138,6 +159,7 @@ fn parse_submit(rest: &str) -> Result<Request, String> {
         priority,
         budget,
         range,
+        deadline,
     })
 }
 
@@ -150,10 +172,12 @@ pub fn submit_to_request(
     query: &str,
     budget: Option<u64>,
     range: Option<(u64, u64)>,
+    deadline: Option<u64>,
 ) -> Result<QueryRequest, String> {
     let mut request = QueryRequest::parse(query).map_err(|e| e.to_string())?;
     request.page_budget = budget;
     request.time_range = range;
+    request.deadline = deadline.map(Duration::from_micros);
     Ok(request)
 }
 
@@ -221,6 +245,17 @@ fn render_output(output: &JobOutput) -> String {
             "OK done kind=ingest lines={} pages={} raw_bytes={}\n",
             report.lines, report.data_pages, report.raw_bytes
         ),
+        JobOutput::Scrub(report) => format!(
+            "OK done kind=scrub checked={} corrupt={} unreadable={} unverified={} \
+             retries={} quarantined={} already_quarantined={}\n",
+            report.pages_checked,
+            report.corrupt.len(),
+            report.unreadable.len(),
+            report.unverified.len(),
+            report.retries,
+            report.quarantined.len(),
+            report.already_quarantined,
+        ),
     }
 }
 
@@ -238,7 +273,8 @@ pub fn render_stats(stats: &ServiceStats) -> String {
     terminated(format!(
         "OK stats\nsubmitted={}\nrejected={}\ncompleted={}\nfailed={}\ncancelled={}\n\
          queued={}\nwaves={}\ndemanded_page_reads={}\nunique_pages_read={}\n\
-         shared_reads_avoided={}\ncache_hits={}\ncache_bytes_saved={}\n",
+         shared_reads_avoided={}\ncache_hits={}\ncache_bytes_saved={}\n\
+         waves_poisoned={}\nscrub_slices={}\npages_scrubbed={}\npages_quarantined={}\n",
         stats.submitted,
         stats.rejected,
         stats.completed,
@@ -251,6 +287,10 @@ pub fn render_stats(stats: &ServiceStats) -> String {
         stats.shared_reads_avoided,
         stats.cache_hits,
         stats.cache_bytes_saved,
+        stats.waves_poisoned,
+        stats.scrub_slices,
+        stats.pages_scrubbed,
+        stats.pages_quarantined,
     ))
 }
 
@@ -270,8 +310,10 @@ mod tests {
 
     #[test]
     fn submit_parses_fields_and_query_tail() {
-        let r =
-            parse_request("SUBMIT pri=high budget=4 range=10:99 q=FATAL AND NOT ciod:").unwrap();
+        let r = parse_request(
+            "SUBMIT pri=high budget=4 range=10:99 deadline=2500 q=FATAL AND NOT ciod:",
+        )
+        .unwrap();
         assert_eq!(
             r,
             Request::Submit {
@@ -279,6 +321,7 @@ mod tests {
                 priority: Priority::High,
                 budget: Some(4),
                 range: Some((10, 99)),
+                deadline: Some(2500),
             }
         );
         // Everything after q= belongs to the query, even key=value lookalikes.
@@ -290,8 +333,18 @@ mod tests {
                 priority: Priority::Normal,
                 budget: None,
                 range: None,
+                deadline: None,
             }
         );
+    }
+
+    #[test]
+    fn submit_deadline_converts_to_micros() {
+        let req = submit_to_request("FATAL", None, None, Some(1500)).unwrap();
+        assert_eq!(req.deadline, Some(Duration::from_micros(1500)));
+        // deadline=0 is well-formed: the plan is fully clipped, not an error.
+        let req = submit_to_request("FATAL", None, None, Some(0)).unwrap();
+        assert_eq!(req.deadline, Some(Duration::ZERO));
     }
 
     #[test]
@@ -301,6 +354,7 @@ mod tests {
         assert!(parse_request("SUBMIT pri=urgent q=x").is_err());
         assert!(parse_request("SUBMIT budget=lots q=x").is_err());
         assert!(parse_request("SUBMIT range=5 q=x").is_err());
+        assert!(parse_request("SUBMIT deadline=soon q=x").is_err());
         assert!(parse_request("SUBMIT FATAL").is_err(), "query needs q=");
     }
 
@@ -309,6 +363,7 @@ mod tests {
         assert_eq!(parse_request("POLL 7").unwrap(), Request::Poll(7));
         assert_eq!(parse_request("WAIT 0").unwrap(), Request::Wait(0));
         assert_eq!(parse_request("CANCEL 3").unwrap(), Request::Cancel(3));
+        assert_eq!(parse_request("SCRUB").unwrap(), Request::Scrub);
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("shutdown").unwrap(), Request::Shutdown);
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
@@ -339,6 +394,20 @@ mod tests {
             );
         }
         assert!(render_submit(&Ok(5)).starts_with("OK id=5\n"));
+        let stats = render_stats(&ServiceStats::default());
+        for key in [
+            "waves_poisoned=",
+            "scrub_slices=",
+            "pages_scrubbed=",
+            "pages_quarantined=",
+        ] {
+            assert!(stats.contains(key), "{stats}");
+        }
+        let scrub = render_status(Some(&JobStatus::Done(JobOutput::Scrub(
+            mithrilog_storage::ScrubReport::default(),
+        ))));
+        assert!(scrub.starts_with("OK done kind=scrub checked=0"), "{scrub}");
+        assert!(scrub.ends_with("\n.\n"));
         assert!(render_submit(&Err(SubmitError::Rejected {
             queue_full: true,
             queue_len: 8,

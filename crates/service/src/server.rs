@@ -6,14 +6,40 @@
 //! accept loop (and acknowledges the client); the caller then shuts the
 //! service itself down, so embedded users can also run the server as one of
 //! several front-ends.
+//!
+//! Each connection is its own fault domain: a client that stalls
+//! ([`CLIENT_READ_TIMEOUT`] / [`CLIENT_WRITE_TIMEOUT`]), sends an overlong
+//! line ([`MAX_LINE_BYTES`]), or breaks its socket loses only that
+//! connection — the service and every other client keep running.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::protocol::{self, Request};
-use crate::service::{JobStatus, ServiceHandle};
+use crate::service::{ServiceHandle, WaitError};
+
+/// How long a connection thread waits for the next request line before
+/// dropping the connection. Generous — clients are interactive — but finite,
+/// so an abandoned socket cannot pin a thread forever.
+pub const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How long a blocked response write may stall before the connection is
+/// dropped. A client that stops draining its socket only loses its own
+/// connection.
+pub const CLIENT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Upper bound on one request line. Anything longer is a protocol abuse (or
+/// a runaway client); the server answers `ERR` and drops the connection
+/// rather than buffering without bound.
+pub const MAX_LINE_BYTES: u64 = 64 * 1024;
+
+/// `WAIT` gives up after this long. Far beyond any legitimate wave, so a
+/// wedged job cannot pin connection threads forever; the client gets an
+/// `ERR` and can retry.
+const WAIT_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// Serves the line protocol on `listener` until a client sends `SHUTDOWN`.
 /// Blocks the calling thread; connection handlers run on their own threads.
@@ -49,6 +75,14 @@ pub fn serve(listener: TcpListener, handle: &ServiceHandle) -> std::io::Result<(
 /// Handles one connection; returns `true` when the client asked the whole
 /// server to shut down.
 fn handle_connection(stream: TcpStream, handle: &ServiceHandle, stopping: &AtomicBool) -> bool {
+    // A stalled or hostile client loses its own connection, nothing more.
+    if stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT)).is_err()
+        || stream
+            .set_write_timeout(Some(CLIENT_WRITE_TIMEOUT))
+            .is_err()
+    {
+        return false;
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return false,
@@ -57,9 +91,18 @@ fn handle_connection(stream: TcpStream, handle: &ServiceHandle, stopping: &Atomi
     let mut line = String::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return false, // EOF or broken pipe
-            Ok(_) => {}
+        // Bound the line buffer: a client streaming an endless "line" gets
+        // an ERR and a dropped connection instead of unbounded memory.
+        let read = match reader.by_ref().take(MAX_LINE_BYTES).read_line(&mut line) {
+            Ok(0) | Err(_) => return false, // EOF, timeout, or broken pipe
+            Ok(n) => n,
+        };
+        if read as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
+            let _ = writer.write_all(
+                protocol::render_error(&format!("request line exceeds {MAX_LINE_BYTES} bytes"))
+                    .as_bytes(),
+            );
+            return false;
         }
         if line.trim().is_empty() {
             continue;
@@ -71,23 +114,25 @@ fn handle_connection(stream: TcpStream, handle: &ServiceHandle, stopping: &Atomi
                 priority,
                 budget,
                 range,
-            }) => match protocol::submit_to_request(&query, budget, range) {
+                deadline,
+            }) => match protocol::submit_to_request(&query, budget, range, deadline) {
                 Err(reason) => protocol::render_error(&reason),
                 Ok(request) => protocol::render_submit(&handle.submit(request, priority)),
             },
             Ok(Request::Poll(id)) => protocol::render_status(handle.poll(id).as_ref()),
             Ok(Request::Wait(id)) => {
-                // Block until the job settles, then render whatever state it
+                // Block until the job settles (bounded so a wedged job cannot
+                // pin this thread forever), then render whatever state it
                 // settled into (or `unknown job` for an id never issued).
-                let _ = handle.wait(id);
-                let settled = handle.poll(id);
-                debug_assert!(!matches!(
-                    settled,
-                    Some(JobStatus::Pending | JobStatus::Running)
-                ));
-                protocol::render_status(settled.as_ref())
+                match handle.wait_timeout(id, WAIT_TIMEOUT) {
+                    Err(WaitError::TimedOut) => {
+                        protocol::render_error("wait timed out; job still queued or running")
+                    }
+                    _ => protocol::render_status(handle.poll(id).as_ref()),
+                }
             }
             Ok(Request::Cancel(id)) => protocol::render_cancel(handle.cancel(id)),
+            Ok(Request::Scrub) => protocol::render_submit(&handle.submit_scrub()),
             Ok(Request::Stats) => protocol::render_stats(&handle.stats()),
             Ok(Request::Quit) => {
                 let _ = writer.write_all(protocol::render_bye().as_bytes());
@@ -180,5 +225,67 @@ mod tests {
         let h = service_handle_closed.handle();
         service_handle_closed.shutdown();
         assert!(h.submit_str("x", Priority::Normal).is_err());
+    }
+
+    #[test]
+    fn hostile_connections_lose_only_themselves() {
+        let mut system = MithriLog::new(SystemConfig::for_tests());
+        system
+            .ingest(b"RAS KERNEL FATAL data storage interrupt\nRAS KERNEL INFO ok\n")
+            .unwrap();
+        let service = Service::spawn(system, ServiceConfig::default());
+        let handle = service.handle();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(listener, &handle).unwrap());
+
+        // A client streaming an endless line gets an ERR and is dropped —
+        // the server does not buffer without bound.
+        {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let payload = vec![b'x'; MAX_LINE_BYTES as usize + 1024];
+            let _ = writer.write_all(&payload); // may fail once dropped
+            let _ = writer.flush();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {} // connection reset before we could read
+                Ok(_) => assert!(line.starts_with("ERR "), "{line:?}"),
+            }
+        }
+
+        // A well-behaved connection still works afterwards: the service
+        // survived, and the new verbs round-trip.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"SUBMIT deadline=0 q=FATAL\n").unwrap();
+        let response = read_response(&mut reader);
+        assert_eq!(response, vec!["OK id=0"]);
+        writer.write_all(b"WAIT 0\n").unwrap();
+        let done = read_response(&mut reader);
+        // A zero deadline clips the whole plan: well-formed, degraded, empty.
+        assert!(done[0].contains("degraded=true"), "{done:?}");
+        assert!(done[0].contains("lines=0"), "{done:?}");
+        writer.write_all(b"SCRUB\n").unwrap();
+        let response = read_response(&mut reader);
+        assert_eq!(response, vec!["OK id=1"]);
+        writer.write_all(b"WAIT 1\n").unwrap();
+        let scrubbed = read_response(&mut reader);
+        assert!(
+            scrubbed[0].starts_with("OK done kind=scrub"),
+            "{scrubbed:?}"
+        );
+        writer.write_all(b"STATS\n").unwrap();
+        let stats = read_response(&mut reader);
+        assert!(
+            stats.iter().any(|l| l.starts_with("pages_scrubbed=")),
+            "{stats:?}"
+        );
+        writer.write_all(b"SHUTDOWN\n").unwrap();
+        assert_eq!(read_response(&mut reader), vec!["OK bye"]);
+        server.join().unwrap();
+        service.shutdown();
     }
 }

@@ -1,11 +1,14 @@
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use mithrilog::{
-    IngestReport, MithriLog, QueryOutcome, QueryRequest, ScanAttribution, SharedScanReport,
+    CancelToken, IngestReport, MithriLog, QueryOutcome, QueryRequest, ScanAttribution,
+    SharedScanReport,
 };
-use mithrilog_storage::PageStore;
+use mithrilog_storage::{PageStore, ScrubReport};
 
 /// Identifier of a submitted job, unique for the lifetime of the service.
 pub type JobId = u64;
@@ -94,6 +97,33 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Why [`ServiceHandle::wait_timeout`] returned without an output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitError {
+    /// The job had not settled when the timeout expired — it is still
+    /// queued or running; poll or wait again.
+    TimedOut,
+    /// The job failed with this reason.
+    Failed(String),
+    /// The job was cancelled.
+    Cancelled,
+    /// The id was never issued.
+    Unknown,
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::TimedOut => write!(f, "timed out waiting for the job"),
+            WaitError::Failed(reason) => write!(f, "job failed: {reason}"),
+            WaitError::Cancelled => write!(f, "job was cancelled"),
+            WaitError::Unknown => write!(f, "unknown job"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
 /// Result payload of a finished job.
 #[derive(Debug, Clone)]
 pub enum JobOutput {
@@ -106,6 +136,10 @@ pub enum JobOutput {
     },
     /// An ingest batch completed.
     Ingest(IngestReport),
+    /// A full-device scrub pass completed. Pages that failed verification
+    /// are now quarantined: queries skip them deterministically (reported
+    /// as degraded reads) without re-paying read retries.
+    Scrub(ScrubReport),
 }
 
 /// Observable state of a submitted job.
@@ -119,7 +153,8 @@ pub enum JobStatus {
     Done(JobOutput),
     /// Failed with a non-survivable error.
     Failed(String),
-    /// Cancelled before it started running.
+    /// Cancelled — either while still queued, or mid-scan via the job's
+    /// cancellation token (the scan stopped within one page per worker).
     Cancelled,
 }
 
@@ -138,6 +173,17 @@ pub struct ServiceConfig {
     /// returns partial results via the degraded-read path. `None` = no
     /// default budget.
     pub default_page_budget: Option<u64>,
+    /// Modeled-time deadline applied to queries that do not carry their
+    /// own (see [`QueryRequest::deadline`]): the plan is clipped to what
+    /// the deadline affords and the remainder is reported in
+    /// `DegradedRead::deadline_clipped`. `None` = no default deadline.
+    pub default_deadline: Option<Duration>,
+    /// Online scrub: when the scheduler is otherwise idle, verify this many
+    /// pages per slice, quarantining any that fail, until a full pass over
+    /// the device completes (re-armed by every ingest). `0` disables the
+    /// scrub lane (the default). Foreground work always preempts the next
+    /// slice.
+    pub scrub_batch: u64,
 }
 
 impl Default for ServiceConfig {
@@ -146,6 +192,8 @@ impl Default for ServiceConfig {
             max_queue: 64,
             max_batch: 16,
             default_page_budget: None,
+            default_deadline: None,
+            scrub_batch: 0,
         }
     }
 }
@@ -177,16 +225,31 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Raw page bytes those cache hits kept off the device.
     pub cache_bytes_saved: u64,
+    /// Waves that panicked mid-execution. The panic is contained to the
+    /// wave: its jobs fail with an internal error and the scheduler keeps
+    /// serving every other job.
+    pub waves_poisoned: u64,
+    /// Online scrub slices executed between waves.
+    pub scrub_slices: u64,
+    /// Pages verified by scrubs (online slices and full passes).
+    pub pages_scrubbed: u64,
+    /// Pages scrubs newly quarantined.
+    pub pages_quarantined: u64,
 }
 
 enum JobKind {
     Query(Box<QueryRequest>, Priority),
     Ingest(Vec<u8>),
+    /// A full-device scrub pass; runs alone, like an ingest.
+    Scrub,
 }
 
 struct Job {
     kind: Option<JobKind>,
     status: JobStatus,
+    /// Shared with the request handed to the datapath (query jobs), so a
+    /// running job can be cancelled mid-scan.
+    cancel: CancelToken,
 }
 
 #[derive(Default)]
@@ -237,7 +300,15 @@ impl ServiceHandle {
         if request.page_budget.is_none() {
             request.page_budget = self.shared.config.default_page_budget;
         }
-        self.admit(JobKind::Query(Box::new(request), priority))
+        if request.deadline.is_none() {
+            request.deadline = self.shared.config.default_deadline;
+        }
+        // Every query job carries a cancellation token shared with the
+        // request the datapath scans with, so [`ServiceHandle::cancel`]
+        // reaches even a job already running in a wave. A token the caller
+        // attached is kept (and shared), not replaced.
+        let cancel = request.cancel.get_or_insert_with(CancelToken::new).clone();
+        self.admit(JobKind::Query(Box::new(request), priority), cancel)
     }
 
     /// Parses and submits a query.
@@ -258,10 +329,23 @@ impl ServiceHandle {
     ///
     /// Same admission conditions as [`ServiceHandle::submit`].
     pub fn ingest(&self, text: Vec<u8>) -> Result<JobId, SubmitError> {
-        self.admit(JobKind::Ingest(text))
+        self.admit(JobKind::Ingest(text), CancelToken::new())
     }
 
-    fn admit(&self, kind: JobKind) -> Result<JobId, SubmitError> {
+    /// Submits a full-device scrub pass (admitted through the same bounded
+    /// queue; runs alone, like an ingest). Pages that fail verification are
+    /// quarantined — subsequent queries skip them deterministically as
+    /// degraded reads instead of re-paying read retries — until they are
+    /// rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Same admission conditions as [`ServiceHandle::submit`].
+    pub fn submit_scrub(&self) -> Result<JobId, SubmitError> {
+        self.admit(JobKind::Scrub, CancelToken::new())
+    }
+
+    fn admit(&self, kind: JobKind, cancel: CancelToken) -> Result<JobId, SubmitError> {
         let mut state = self.shared.state.lock().expect("service state poisoned");
         if state.closed {
             return Err(SubmitError::Closed);
@@ -278,13 +362,14 @@ impl ServiceHandle {
         state.next_id += 1;
         let lane = match &kind {
             JobKind::Query(_, priority) => priority.lane(),
-            JobKind::Ingest(_) => Priority::Normal.lane(),
+            JobKind::Ingest(_) | JobKind::Scrub => Priority::Normal.lane(),
         };
         state.jobs.insert(
             id,
             Job {
                 kind: Some(kind),
                 status: JobStatus::Pending,
+                cancel,
             },
         );
         state.lanes[lane].push_back(id);
@@ -328,25 +413,87 @@ impl ServiceHandle {
         }
     }
 
-    /// Cancels a pending job. Returns `true` when the job was still queued
-    /// and is now cancelled; `false` when it already ran (or is running —
-    /// waves are never interrupted mid-scan, so cancellation can never
-    /// wedge the worker pool).
+    /// Like [`ServiceHandle::wait`], but gives up after `timeout` with
+    /// [`WaitError::TimedOut`] (the would-block flavor of waiting) instead
+    /// of blocking a caller forever behind a long wave.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::TimedOut`] when the job has not settled within
+    /// `timeout`; otherwise the same terminal states as
+    /// [`ServiceHandle::wait`], as typed [`WaitError`] variants.
+    pub fn wait_timeout(&self, id: JobId, timeout: Duration) -> Result<JobOutput, WaitError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        loop {
+            match state.jobs.get(&id) {
+                None => return Err(WaitError::Unknown),
+                Some(job) => match &job.status {
+                    JobStatus::Done(out) => return Ok(out.clone()),
+                    JobStatus::Failed(reason) => return Err(WaitError::Failed(reason.clone())),
+                    JobStatus::Cancelled => return Err(WaitError::Cancelled),
+                    JobStatus::Pending | JobStatus::Running => {}
+                },
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|r| !r.is_zero())
+            else {
+                return Err(WaitError::TimedOut);
+            };
+            let (next, result) = self
+                .shared
+                .changed
+                .wait_timeout(state, remaining)
+                .expect("service state poisoned");
+            state = next;
+            if result.timed_out() {
+                // Re-check the job once before giving up: the change may
+                // have landed exactly at the deadline.
+                match state.jobs.get(&id) {
+                    None => return Err(WaitError::Unknown),
+                    Some(job) => match &job.status {
+                        JobStatus::Done(out) => return Ok(out.clone()),
+                        JobStatus::Failed(reason) => return Err(WaitError::Failed(reason.clone())),
+                        JobStatus::Cancelled => return Err(WaitError::Cancelled),
+                        JobStatus::Pending | JobStatus::Running => return Err(WaitError::TimedOut),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Cancels a pending or running job. A queued job is removed
+    /// immediately; a running query's cancellation token is tripped, so its
+    /// scan stops within one page per worker — the pages it already scanned
+    /// are charged as usual, and the job settles as
+    /// [`JobStatus::Cancelled`] when its wave ends. Returns `true` when
+    /// cancellation took effect, `false` for a job that already settled (or
+    /// an unknown id).
     pub fn cancel(&self, id: JobId) -> bool {
         let mut state = self.shared.state.lock().expect("service state poisoned");
         let Some(job) = state.jobs.get_mut(&id) else {
             return false;
         };
-        if !matches!(job.status, JobStatus::Pending) {
-            return false;
+        match job.status {
+            JobStatus::Pending => {
+                job.status = JobStatus::Cancelled;
+                job.kind = None;
+                state.queued -= 1;
+                state.stats.cancelled += 1;
+                state.stats.queued = state.queued as u64;
+                self.shared.changed.notify_all();
+                true
+            }
+            JobStatus::Running => {
+                // Cooperative: the wave observes the token at the next page
+                // boundary; wave completion marks the job cancelled.
+                job.cancel.cancel();
+                true
+            }
+            _ => false,
         }
-        job.status = JobStatus::Cancelled;
-        job.kind = None;
-        state.queued -= 1;
-        state.stats.cancelled += 1;
-        state.stats.queued = state.queued as u64;
-        self.shared.changed.notify_all();
-        true
     }
 
     /// A snapshot of the service counters.
@@ -407,7 +554,10 @@ impl Service {
             self.handle.shared.changed.notify_all();
         }
         if let Some(thread) = self.scheduler.take() {
-            thread.join().expect("scheduler thread panicked");
+            // Wave panics are caught inside the loop, so the scheduler only
+            // dies on a defect in the loop itself; shutdown still completes
+            // (pending jobs were already failed or will simply never run).
+            let _ = thread.join();
         }
     }
 }
@@ -422,6 +572,8 @@ impl Drop for Service {
 enum Wave {
     Queries(Vec<(JobId, QueryRequest)>),
     Ingest(JobId, Vec<u8>),
+    /// A client-requested full-device scrub pass; runs alone.
+    Scrub(JobId),
     /// Nothing runnable; the caller should wait for a change.
     Idle,
     Shutdown,
@@ -473,6 +625,18 @@ fn claim_wave(state: &mut State, max_batch: usize) -> Wave {
                     state.stats.queued = state.queued as u64;
                     return Wave::Ingest(id, text);
                 }
+                JobKind::Scrub => {
+                    if !wave.is_empty() {
+                        break 'lanes;
+                    }
+                    state.lanes[lane].pop_front();
+                    let job = state.jobs.get_mut(&id).expect("claimed job exists");
+                    job.status = JobStatus::Running;
+                    job.kind = None;
+                    state.queued -= 1;
+                    state.stats.queued = state.queued as u64;
+                    return Wave::Scrub(id);
+                }
             }
         }
     }
@@ -484,13 +648,37 @@ fn claim_wave(state: &mut State, max_batch: usize) -> Wave {
     Wave::Queries(wave)
 }
 
+/// Renders a caught panic payload for a job failure message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
+}
+
 fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
+    // Online scrub lane state: the resume cursor within the current pass,
+    // and whether a pass over the whole device has completed since the last
+    // ingest. Scheduler-local — it never needs the service lock.
+    let mut scrub_cursor: u64 = 0;
+    let mut scrub_done = false;
     loop {
+        let mut run_scrub_slice = false;
         let wave = {
             let mut state = shared.state.lock().expect("service state poisoned");
             loop {
                 match claim_wave(&mut state, shared.config.max_batch) {
                     Wave::Idle => {
+                        // Idle time funds the online scrub: verify one
+                        // bounded slice, then come back for real work.
+                        // Foreground jobs always preempt the next slice.
+                        if shared.config.scrub_batch > 0 && !scrub_done {
+                            run_scrub_slice = true;
+                            break Wave::Idle;
+                        }
                         state = shared.changed.wait(state).expect("service state poisoned");
                     }
                     other => break other,
@@ -500,7 +688,32 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
         // The lock is dropped while the wave executes: submissions, polls
         // and cancellations of *queued* jobs proceed concurrently.
         match wave {
-            Wave::Idle => unreachable!("idle handled inside the lock"),
+            Wave::Idle => {
+                debug_assert!(
+                    run_scrub_slice,
+                    "idle without scrub handled inside the lock"
+                );
+                let batch = shared.config.scrub_batch;
+                // The scrub lane is a fault domain of its own: a page whose
+                // read panics (firmware-bug drill) poisons only this slice.
+                // The pass is disarmed until the next ingest re-arms it, so
+                // the lane cannot hot-loop on the same poisonous page.
+                match catch_unwind(AssertUnwindSafe(|| system.scrub_slice(scrub_cursor, batch))) {
+                    Ok(slice) => {
+                        scrub_cursor = slice.next;
+                        scrub_done = slice.complete;
+                        let mut state = shared.state.lock().expect("service state poisoned");
+                        state.stats.scrub_slices += 1;
+                        state.stats.pages_scrubbed += slice.report.pages_checked;
+                        state.stats.pages_quarantined += slice.report.quarantined.len() as u64;
+                    }
+                    Err(_) => {
+                        scrub_done = true;
+                        let mut state = shared.state.lock().expect("service state poisoned");
+                        state.stats.waves_poisoned += 1;
+                    }
+                }
+            }
             Wave::Shutdown => {
                 let mut state = shared.state.lock().expect("service state poisoned");
                 for lane in &mut state.lanes {
@@ -524,27 +737,77 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                 return;
             }
             Wave::Ingest(id, text) => {
-                let result = system.ingest(&text);
+                // A panic while ingesting (a device fault drill, a defect
+                // in the datapath) fails only this job; the scheduler — and
+                // every other job — survives. The system state is sound
+                // after an unwind: scoped scan threads are joined before
+                // the panic propagates, the page cache recovers poisoned
+                // locks, and the cache generation was already bumped.
+                let result = catch_unwind(AssertUnwindSafe(|| system.ingest(&text)));
+                let mut state = shared.state.lock().expect("service state poisoned");
+                let job = state.jobs.get_mut(&id).expect("running job exists");
+                match result {
+                    Ok(Ok(report)) => {
+                        job.status = JobStatus::Done(JobOutput::Ingest(report));
+                        state.stats.completed += 1;
+                        // New pages to verify (and rewritten pages left
+                        // quarantine): re-arm the online scrub pass.
+                        scrub_done = false;
+                    }
+                    Ok(Err(e)) => {
+                        job.status = JobStatus::Failed(e.to_string());
+                        state.stats.failed += 1;
+                        scrub_done = false;
+                    }
+                    Err(payload) => {
+                        job.status = JobStatus::Failed(format!(
+                            "internal error: {}",
+                            panic_message(&*payload)
+                        ));
+                        state.stats.failed += 1;
+                        state.stats.waves_poisoned += 1;
+                    }
+                }
+                shared.changed.notify_all();
+            }
+            Wave::Scrub(id) => {
+                let result = catch_unwind(AssertUnwindSafe(|| system.scrub()));
                 let mut state = shared.state.lock().expect("service state poisoned");
                 let job = state.jobs.get_mut(&id).expect("running job exists");
                 match result {
                     Ok(report) => {
-                        job.status = JobStatus::Done(JobOutput::Ingest(report));
+                        job.status = JobStatus::Done(JobOutput::Scrub(report.clone()));
+                        state.stats.pages_scrubbed += report.pages_checked;
+                        state.stats.pages_quarantined += report.quarantined.len() as u64;
                         state.stats.completed += 1;
+                        // A full pass covered everything the online lane
+                        // still owed.
+                        scrub_done = true;
+                        scrub_cursor = 0;
                     }
-                    Err(e) => {
-                        job.status = JobStatus::Failed(e.to_string());
+                    Err(payload) => {
+                        job.status = JobStatus::Failed(format!(
+                            "internal error: {}",
+                            panic_message(&*payload)
+                        ));
                         state.stats.failed += 1;
+                        state.stats.waves_poisoned += 1;
                     }
                 }
                 shared.changed.notify_all();
             }
             Wave::Queries(wave) => {
                 let requests: Vec<QueryRequest> = wave.iter().map(|(_, r)| r.clone()).collect();
-                let result = system.query_shared(&requests);
+                // Panic isolation: a wave that panics (e.g. an injected
+                // firmware panic surfacing through a scan worker) fails
+                // only its own queries. AssertUnwindSafe is sound here —
+                // scoped worker threads are joined before the unwind
+                // crosses the system, and the page cache recovers poisoned
+                // locks — so the scheduler keeps serving every other job.
+                let result = catch_unwind(AssertUnwindSafe(|| system.query_shared(&requests)));
                 let mut state = shared.state.lock().expect("service state poisoned");
                 match result {
-                    Ok(batch) => {
+                    Ok(Ok(batch)) => {
                         state.stats.waves += 1;
                         state.stats.demanded_page_reads += batch.shared.demanded_page_reads;
                         state.stats.unique_pages_read += batch.shared.unique_pages_read;
@@ -556,17 +819,34 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                             wave.iter().zip(batch.outcomes).zip(attribution)
                         {
                             let job = state.jobs.get_mut(id).expect("running job exists");
-                            job.status = JobStatus::Done(JobOutput::Query {
-                                outcome: Box::new(outcome),
-                                attribution,
-                            });
-                            state.stats.completed += 1;
+                            if job.cancel.is_cancelled() {
+                                // Cancelled mid-wave: the scan stopped at a
+                                // page boundary and the partial outcome is
+                                // discarded.
+                                job.status = JobStatus::Cancelled;
+                                state.stats.cancelled += 1;
+                            } else {
+                                job.status = JobStatus::Done(JobOutput::Query {
+                                    outcome: Box::new(outcome),
+                                    attribution,
+                                });
+                                state.stats.completed += 1;
+                            }
                         }
                     }
-                    Err(e) => {
+                    Ok(Err(e)) => {
                         // A non-survivable device error fails the whole
                         // wave — the same error a solo run would surface.
                         let reason = e.to_string();
+                        for (id, _) in &wave {
+                            let job = state.jobs.get_mut(id).expect("running job exists");
+                            job.status = JobStatus::Failed(reason.clone());
+                            state.stats.failed += 1;
+                        }
+                    }
+                    Err(payload) => {
+                        let reason = format!("internal error: {}", panic_message(&*payload));
+                        state.stats.waves_poisoned += 1;
                         for (id, _) in &wave {
                             let job = state.jobs.get_mut(id).expect("running job exists");
                             job.status = JobStatus::Failed(reason.clone());

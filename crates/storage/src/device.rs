@@ -5,8 +5,10 @@ use std::path::Path;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use std::collections::BTreeSet;
+
 use crate::crc::{crc32, crc32_padded};
-use crate::error::StorageError;
+use crate::error::{ConfigError, StorageError};
 use crate::perf::{CostLedger, DevicePerfModel};
 use crate::superblock::Superblock;
 
@@ -360,6 +362,20 @@ impl RetryPolicy {
     pub fn none() -> Self {
         RetryPolicy { max_attempts: 1 }
     }
+
+    /// Checks the policy's invariants: at least one read attempt.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when `max_attempts` is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_attempts < 1 {
+            return Err(ConfigError::new(
+                "retry policy must allow at least one read attempt (max_attempts >= 1)",
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for RetryPolicy {
@@ -381,10 +397,10 @@ pub struct CorruptPage {
     pub got: u32,
 }
 
-/// Result of a full-device integrity scan ([`SimSsd::scrub`]).
+/// Result of an integrity scan ([`SimSsd::scrub`], [`SimSsd::scrub_slice`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScrubReport {
-    /// Pages examined (the device's full extent).
+    /// Pages examined (the scanned extent, including quarantine skips).
     pub pages_checked: u64,
     /// Pages whose checksum did not match.
     pub corrupt: Vec<CorruptPage>,
@@ -395,12 +411,31 @@ pub struct ScrubReport {
     pub unverified: Vec<u64>,
     /// Transient read retries spent during the scan.
     pub retries: u64,
+    /// Pages this scan newly added to the quarantine (every corrupt or
+    /// retry-exhausted page), sorted.
+    pub quarantined: Vec<u64>,
+    /// Pages skipped because they were already quarantined by an earlier
+    /// scan; no flash access was paid for them.
+    pub already_quarantined: u64,
 }
 
 impl ScrubReport {
-    /// Whether every checked page verified clean.
+    /// Whether every checked page verified clean and nothing sits in
+    /// quarantine.
     pub fn is_clean(&self) -> bool {
-        self.corrupt.is_empty() && self.unreadable.is_empty()
+        self.corrupt.is_empty() && self.unreadable.is_empty() && self.already_quarantined == 0
+    }
+
+    /// Folds another slice's findings into this report (used to aggregate
+    /// the bounded slices of an online scrub into one pass-level report).
+    pub fn merge(&mut self, other: &ScrubReport) {
+        self.pages_checked += other.pages_checked;
+        self.corrupt.extend_from_slice(&other.corrupt);
+        self.unreadable.extend_from_slice(&other.unreadable);
+        self.unverified.extend_from_slice(&other.unverified);
+        self.retries += other.retries;
+        self.quarantined.extend_from_slice(&other.quarantined);
+        self.already_quarantined += other.already_quarantined;
     }
 }
 
@@ -408,14 +443,29 @@ impl std::fmt::Display for ScrubReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "scrubbed {} pages: {} corrupt, {} unreadable, {} unverified, {} retries",
+            "scrubbed {} pages: {} corrupt, {} unreadable, {} unverified, \
+             {} retries, {} quarantined",
             self.pages_checked,
             self.corrupt.len(),
             self.unreadable.len(),
             self.unverified.len(),
-            self.retries
+            self.retries,
+            self.quarantined.len()
         )
     }
+}
+
+/// Outcome of one bounded scrub slice ([`SimSsd::scrub_slice`]): the
+/// findings plus the cursor an online scrub lane resumes from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubSlice {
+    /// Integrity findings for the pages in this slice.
+    pub report: ScrubReport,
+    /// The page id the next slice should start from.
+    pub next: u64,
+    /// Whether this slice reached the end of the device — the pass is
+    /// complete and `next` has wrapped to page 0.
+    pub complete: bool,
 }
 
 /// A simulated SSD: a [`PageStore`] plus a [`DevicePerfModel`] and a
@@ -433,6 +483,10 @@ pub struct SimSsd<S> {
     ledger: CostLedger,
     crc: Vec<Option<u32>>,
     retry: RetryPolicy,
+    /// Pages a scrub found corrupt or unreadable: reads fail up front with
+    /// [`StorageError::Quarantined`] — no flash access, no retries — until
+    /// the page is rewritten through the device.
+    quarantine: BTreeSet<u64>,
 }
 
 impl<S: PageStore> SimSsd<S> {
@@ -448,13 +502,20 @@ impl<S: PageStore> SimSsd<S> {
             ledger: CostLedger::default(),
             crc,
             retry: RetryPolicy::default(),
+            quarantine: BTreeSet::new(),
         }
     }
 
     /// Replaces the transient-read retry policy.
-    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
-        assert!(retry.max_attempts >= 1, "at least one attempt is required");
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when the policy fails [`RetryPolicy::validate`]; the
+    /// previous policy stays in effect.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) -> Result<(), ConfigError> {
+        retry.validate()?;
         self.retry = retry;
+        Ok(())
     }
 
     /// The transient-read retry policy in effect.
@@ -564,8 +625,8 @@ impl<S: PageStore> SimSsd<S> {
         Ok(())
     }
 
-    /// Discards every page with id ≥ `pages` (and its checksum sidecar
-    /// entry). Used by recovery to drop an uncommitted tail.
+    /// Discards every page with id ≥ `pages` (and its checksum sidecar and
+    /// quarantine entries). Used by recovery to drop an uncommitted tail.
     ///
     /// # Errors
     ///
@@ -576,13 +637,31 @@ impl<S: PageStore> SimSsd<S> {
         if keep < self.crc.len() {
             self.crc.truncate(keep);
         }
+        let _dropped = self.quarantine.split_off(&pages);
         Ok(())
+    }
+
+    /// The quarantined pages, sorted.
+    pub fn quarantined_pages(&self) -> Vec<u64> {
+        self.quarantine.iter().copied().collect()
+    }
+
+    /// Whether `page` is quarantined.
+    pub fn is_quarantined(&self, page: u64) -> bool {
+        self.quarantine.contains(&page)
+    }
+
+    /// Manually quarantines `page` (operational tooling and drills); a
+    /// rewrite through the device lifts the quarantine.
+    pub fn quarantine_page(&mut self, page: u64) {
+        self.quarantine.insert(page);
     }
 
     fn read_with(&mut self, id: PageId, dependent: bool) -> Result<Bytes, StorageError> {
         checked_read(
             &self.store,
             &self.crc,
+            &self.quarantine,
             self.retry,
             &mut self.ledger,
             id,
@@ -599,6 +678,7 @@ impl<S: PageStore> SimSsd<S> {
         SsdReader {
             store: &self.store,
             crc: &self.crc,
+            quarantine: &self.quarantine,
             retry: self.retry,
             ledger: CostLedger::default(),
         }
@@ -615,17 +695,59 @@ impl<S: PageStore> SimSsd<S> {
             self.crc.resize(idx + 1, None);
         }
         self.crc[idx] = Some(checksum);
+        // A rewrite through the device carries fresh, verified content:
+        // the quarantine is lifted.
+        self.quarantine.remove(&id.0);
     }
 
     /// Scans the whole device, verifying every page's checksum, and returns
     /// a corruption report. Reads (and transient retries) are charged to the
     /// ledger like any other access — a scrub is a real full-device scan.
+    /// Corrupt and retry-exhausted pages are quarantined (see
+    /// [`SimSsd::scrub_slice`]).
     pub fn scrub(&mut self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut cursor = 0;
+        loop {
+            let slice = self.scrub_slice(cursor, u64::MAX);
+            report.merge(&slice.report);
+            if slice.complete {
+                return report;
+            }
+            cursor = slice.next;
+        }
+    }
+
+    /// Scrubs a bounded slice of the device: at most `max_pages` pages
+    /// starting at page `start`, wrapping `start` into range. The building
+    /// block of an *online* scrub — a service interleaves slices with query
+    /// waves instead of stalling on a full pass.
+    ///
+    /// Every corrupt or retry-exhausted page found is added to the
+    /// quarantine, so later reads fail up front ([`StorageError::Quarantined`])
+    /// with zero flash charges instead of re-paying retries per query.
+    /// Already-quarantined pages are counted and skipped without a read;
+    /// unverified pages (no recorded checksum) cannot be judged and are
+    /// never quarantined.
+    pub fn scrub_slice(&mut self, start: u64, max_pages: u64) -> ScrubSlice {
+        let extent = self.page_count();
+        if extent == 0 {
+            return ScrubSlice {
+                complete: true,
+                ..ScrubSlice::default()
+            };
+        }
+        let start = start.min(extent);
+        let end = start.saturating_add(max_pages).min(extent);
         let mut report = ScrubReport {
-            pages_checked: self.page_count(),
+            pages_checked: end - start,
             ..ScrubReport::default()
         };
-        for page in 0..report.pages_checked {
+        for page in start..end {
+            if self.quarantine.contains(&page) {
+                report.already_quarantined += 1;
+                continue;
+            }
             let id = PageId(page);
             let retries_before = self.ledger.retries;
             match self.read(id) {
@@ -638,16 +760,29 @@ impl<S: PageStore> SimSsd<S> {
                     page,
                     expected,
                     got,
-                }) => report.corrupt.push(CorruptPage {
-                    page,
-                    expected,
-                    got,
-                }),
-                Err(_) => report.unreadable.push(page),
+                }) => {
+                    report.corrupt.push(CorruptPage {
+                        page,
+                        expected,
+                        got,
+                    });
+                    self.quarantine.insert(page);
+                    report.quarantined.push(page);
+                }
+                Err(_) => {
+                    report.unreadable.push(page);
+                    self.quarantine.insert(page);
+                    report.quarantined.push(page);
+                }
             }
             report.retries += self.ledger.retries - retries_before;
         }
-        report
+        let complete = end >= extent;
+        ScrubSlice {
+            report,
+            next: if complete { 0 } else { end },
+            complete,
+        }
     }
 }
 
@@ -658,11 +793,17 @@ impl<S: PageStore> SimSsd<S> {
 fn checked_read<S: PageStore>(
     store: &S,
     crc: &[Option<u32>],
+    quarantine: &BTreeSet<u64>,
     retry: RetryPolicy,
     ledger: &mut CostLedger,
     id: PageId,
     dependent: bool,
 ) -> Result<Bytes, StorageError> {
+    // The controller consults its quarantine table before issuing any flash
+    // command: a quarantined page costs nothing — no read, no retries.
+    if quarantine.contains(&id.0) {
+        return Err(StorageError::Quarantined { page: id.0 });
+    }
     let mut attempt = 0;
     loop {
         attempt += 1;
@@ -709,6 +850,7 @@ fn checked_read<S: PageStore>(
 pub struct SsdReader<'a, S> {
     store: &'a S,
     crc: &'a [Option<u32>],
+    quarantine: &'a BTreeSet<u64>,
     retry: RetryPolicy,
     ledger: CostLedger,
 }
@@ -723,6 +865,7 @@ impl<S: PageStore> SsdReader<'_, S> {
         checked_read(
             self.store,
             self.crc,
+            self.quarantine,
             self.retry,
             &mut self.ledger,
             id,
@@ -737,7 +880,23 @@ impl<S: PageStore> SsdReader<'_, S> {
     ///
     /// See [`SimSsd::read`].
     pub fn read_dependent(&mut self, id: PageId) -> Result<Bytes, StorageError> {
-        checked_read(self.store, self.crc, self.retry, &mut self.ledger, id, true)
+        checked_read(
+            self.store,
+            self.crc,
+            self.quarantine,
+            self.retry,
+            &mut self.ledger,
+            id,
+            true,
+        )
+    }
+
+    /// Whether `id` is quarantined: reading it would fail up front with
+    /// [`StorageError::Quarantined`] and charge nothing. Scan paths check
+    /// this *before* any cache lookup so cached and uncached runs stay
+    /// byte-identical.
+    pub fn is_quarantined(&self, id: PageId) -> bool {
+        self.quarantine.contains(&id.0)
     }
 
     /// Costs charged through this handle so far.
@@ -999,9 +1158,112 @@ mod tests {
         ));
         assert_eq!(ssd.ledger().retries, 2, "3 attempts = 2 retries");
         // A stricter policy fails faster; a later read drains the episode.
-        ssd.set_retry_policy(RetryPolicy::none());
+        ssd.set_retry_policy(RetryPolicy::none()).unwrap();
         assert!(ssd.read(id).is_err());
         assert_eq!(ssd.ledger().retries, 2, "no-retry policy charges nothing");
+    }
+
+    #[test]
+    fn zero_attempt_retry_policy_is_a_config_error() {
+        let mut ssd = SimSsd::new(MemStore::new(64), DevicePerfModel::default());
+        let err = ssd
+            .set_retry_policy(RetryPolicy { max_attempts: 0 })
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one"), "{err}");
+        assert_eq!(
+            ssd.retry_policy(),
+            RetryPolicy::default(),
+            "a rejected policy must leave the previous one in effect"
+        );
+    }
+
+    #[test]
+    fn scrub_quarantines_and_quarantined_reads_charge_nothing() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyStore};
+        let plan = FaultPlan::seeded(11)
+            .with_scheduled(1, FaultKind::BitRot { bit: 3 })
+            .with_scheduled(3, FaultKind::TransientRead { failures: 100 });
+        let store = FaultyStore::new(MemStore::new(64), plan);
+        let mut ssd = SimSsd::new(store, DevicePerfModel::default());
+        for i in 0..5 {
+            ssd.append(format!("page {i}").as_bytes()).unwrap();
+        }
+        let report = ssd.scrub();
+        assert_eq!(report.quarantined, vec![1, 3], "corrupt + retry-exhausted");
+        assert_eq!(ssd.quarantined_pages(), vec![1, 3]);
+
+        // Repeat reads of a quarantined page fail up front with no flash
+        // access: zero reads, zero retries on the ledger.
+        let before = *ssd.ledger();
+        for _ in 0..3 {
+            assert!(matches!(
+                ssd.read(PageId(3)),
+                Err(StorageError::Quarantined { page: 3 })
+            ));
+        }
+        assert_eq!(*ssd.ledger(), before, "quarantined reads are free");
+
+        // A second scrub skips the quarantine without reading.
+        let again = ssd.scrub();
+        assert_eq!(again.already_quarantined, 2);
+        assert!(again.quarantined.is_empty());
+        assert!(!again.is_clean());
+    }
+
+    #[test]
+    fn rewrite_lifts_the_quarantine() {
+        let mut ssd = SimSsd::new(MemStore::new(64), DevicePerfModel::default());
+        let id = ssd.append(b"doomed").unwrap();
+        ssd.quarantine_page(id.0);
+        assert!(matches!(
+            ssd.read(id),
+            Err(StorageError::Quarantined { .. })
+        ));
+        ssd.write(id, b"healed").unwrap();
+        assert!(!ssd.is_quarantined(id.0));
+        assert_eq!(&ssd.read(id).unwrap()[..6], b"healed");
+        assert!(ssd.scrub().is_clean());
+    }
+
+    #[test]
+    fn scrub_slices_cover_the_device_and_wrap() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyStore};
+        let plan = FaultPlan::seeded(13).with_scheduled(6, FaultKind::BitRot { bit: 0 });
+        let store = FaultyStore::new(MemStore::new(64), plan);
+        let mut ssd = SimSsd::new(store, DevicePerfModel::default());
+        for i in 0..8 {
+            ssd.append(format!("page {i}").as_bytes()).unwrap();
+        }
+        let mut cursor = 0;
+        let mut merged = ScrubReport::default();
+        let mut slices = 0;
+        loop {
+            let slice = ssd.scrub_slice(cursor, 3);
+            merged.merge(&slice.report);
+            slices += 1;
+            if slice.complete {
+                assert_eq!(slice.next, 0, "a completed pass wraps the cursor");
+                break;
+            }
+            cursor = slice.next;
+        }
+        assert_eq!(slices, 3, "8 pages in slices of 3");
+        assert_eq!(merged.pages_checked, 8);
+        let corrupt: Vec<u64> = merged.corrupt.iter().map(|c| c.page).collect();
+        assert_eq!(corrupt, vec![6]);
+        assert_eq!(merged.quarantined, vec![6]);
+    }
+
+    #[test]
+    fn truncate_prunes_the_quarantine() {
+        let mut ssd = SimSsd::new(MemStore::new(64), DevicePerfModel::default());
+        for i in 0..4 {
+            ssd.append(format!("page {i}").as_bytes()).unwrap();
+        }
+        ssd.quarantine_page(1);
+        ssd.quarantine_page(3);
+        ssd.truncate(2).unwrap();
+        assert_eq!(ssd.quarantined_pages(), vec![1]);
     }
 
     #[test]

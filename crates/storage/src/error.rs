@@ -36,6 +36,13 @@ pub enum StorageError {
         /// The page whose read failed.
         page: u64,
     },
+    /// The page is quarantined: an earlier scrub found it corrupt or
+    /// unreadable and the controller now fails reads up front — no flash
+    /// access, no retries — until the page is rewritten.
+    Quarantined {
+        /// The quarantined page.
+        page: u64,
+    },
     /// The device crashed (simulated power loss): this and every subsequent
     /// operation fails until the store is reopened and recovered.
     Crashed {
@@ -79,6 +86,13 @@ impl fmt::Display for StorageError {
                     "transient read failure on page {page} (retry may succeed)"
                 )
             }
+            StorageError::Quarantined { page } => {
+                write!(
+                    f,
+                    "page {page} is quarantined (failed scrub verification); \
+                     rewrite it to restore access"
+                )
+            }
             StorageError::Crashed { op } => {
                 write!(f, "device crashed at operation {op}; reopen and recover")
             }
@@ -104,6 +118,27 @@ impl From<io::Error> for StorageError {
         StorageError::Io(Arc::new(e))
     }
 }
+
+/// An invalid device or policy configuration, rejected before it takes
+/// effect (e.g. a [`RetryPolicy`](crate::RetryPolicy) allowing zero read
+/// attempts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// A configuration error with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        ConfigError(reason.into())
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -152,5 +187,22 @@ mod tests {
     fn error_is_send_sync_clone() {
         fn check<T: Send + Sync + Clone>() {}
         check::<StorageError>();
+        check::<ConfigError>();
+    }
+
+    #[test]
+    fn quarantine_is_not_transient() {
+        let e = StorageError::Quarantined { page: 4 };
+        assert!(e.to_string().contains("quarantined"), "{e}");
+        assert!(
+            !e.is_transient(),
+            "retrying a quarantined page cannot succeed until a rewrite"
+        );
+    }
+
+    #[test]
+    fn config_error_display_carries_the_reason() {
+        let e = ConfigError::new("zero attempts");
+        assert!(e.to_string().contains("zero attempts"), "{e}");
     }
 }

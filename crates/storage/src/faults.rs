@@ -43,6 +43,11 @@ pub enum FaultKind {
         /// Consecutive attempts that fail before the page recovers.
         failures: u32,
     },
+    /// Firmware-bug drill: every read of the page panics instead of
+    /// returning. Used to prove that a host-side scheduler contains worker
+    /// panics — the page's *content* is intact, so it is excluded from
+    /// [`FaultyStore::corrupted_pages`].
+    ReadPanic,
 }
 
 /// A record of one fault the store actually injected.
@@ -145,6 +150,8 @@ struct FaultState {
     transient: BTreeMap<u64, u32>,
     /// Scheduled torn writes not yet consumed: page → valid prefix bytes.
     torn_pending: BTreeMap<u64, usize>,
+    /// Pages whose reads panic (firmware-bug drill).
+    panicking: std::collections::BTreeSet<u64>,
     /// Everything injected so far, in injection order.
     injected: Vec<InjectedFault>,
 }
@@ -168,6 +175,7 @@ impl<S: PageStore> FaultyStore<S> {
             rot: BTreeMap::new(),
             transient: BTreeMap::new(),
             torn_pending: BTreeMap::new(),
+            panicking: std::collections::BTreeSet::new(),
             injected: Vec::new(),
         };
         for &(page, kind) in &plan.scheduled {
@@ -180,6 +188,9 @@ impl<S: PageStore> FaultyStore<S> {
                 }
                 FaultKind::TornWrite { valid_bytes } => {
                     state.torn_pending.insert(page, valid_bytes);
+                }
+                FaultKind::ReadPanic => {
+                    state.panicking.insert(page);
                 }
             }
             state.injected.push(InjectedFault { page, kind });
@@ -277,6 +288,11 @@ impl<S: PageStore> PageStore for FaultyStore<S> {
     }
 
     fn read_page(&self, id: PageId) -> Result<Bytes, StorageError> {
+        // The guard temporary drops when the condition finishes evaluating,
+        // so the panic below never poisons the fault-state mutex itself.
+        if self.lock().panicking.contains(&id.0) {
+            panic!("injected firmware panic reading page {}", id.0);
+        }
         {
             let mut st = self.lock();
             if let Some(remaining) = st.transient.get_mut(&id.0) {
@@ -327,6 +343,7 @@ impl<S: PageStore> PageStore for FaultyStore<S> {
         st.rot.retain(|&p, _| p < pages);
         st.transient.retain(|&p, _| p < pages);
         st.torn_pending.retain(|&p, _| p < pages);
+        st.panicking.retain(|&p| p < pages);
         Ok(())
     }
 }
@@ -431,6 +448,29 @@ mod tests {
             s.append_page(b"x").unwrap();
         }
         assert_eq!(s.corrupted_pages().len(), 10);
+    }
+
+    #[test]
+    fn scheduled_read_panic_fires_deterministically() {
+        let plan = FaultPlan::seeded(9).with_scheduled(1, FaultKind::ReadPanic);
+        let mut s = store_with(plan);
+        let ok = s.append_page(b"fine").unwrap();
+        let doomed = s.append_page(b"kaboom").unwrap();
+        assert_eq!(&s.read_page(ok).unwrap()[..4], b"fine");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.read_page(doomed);
+        }));
+        assert!(caught.is_err(), "the scheduled page must panic on read");
+        // The store survives its own panic: other pages keep reading, the
+        // doomed page keeps panicking, and content-corruption reports are
+        // unaffected.
+        assert_eq!(&s.read_page(ok).unwrap()[..4], b"fine");
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.read_page(doomed);
+        }))
+        .is_err());
+        assert!(s.corrupted_pages().is_empty());
+        assert_eq!(s.injected().len(), 1);
     }
 
     #[test]

@@ -59,10 +59,10 @@ mod superblock;
 pub use crash::{CrashHandle, CrashPlan, CrashStore};
 pub use crc::{crc32, crc32_padded, Crc32};
 pub use device::{
-    CorruptPage, FileStore, MemStore, PageId, PageStore, RetryPolicy, ScrubReport, SimSsd,
-    SsdReader,
+    CorruptPage, FileStore, MemStore, PageId, PageStore, RetryPolicy, ScrubReport, ScrubSlice,
+    SimSsd, SsdReader,
 };
-pub use error::StorageError;
+pub use error::{ConfigError, StorageError};
 pub use faults::{FaultKind, FaultPlan, FaultyStore, InjectedFault};
 pub use journal::{append_commit, replay as replay_journal, CommitRecord};
 pub use perf::{CostLedger, DevicePerfModel, Link};

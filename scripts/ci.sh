@@ -63,4 +63,13 @@ echo "$RESPONSE" | grep -q '^submitted=' || { echo "serve smoke: bad STATS respo
 wait "$SERVE_PID" || { echo "serve smoke: server exited nonzero"; exit 1; }
 trap - EXIT
 
+echo "==> service fault domains (cancellation, deadlines, panic isolation, quarantine)"
+cargo test --test service_faults -q
+
+echo "==> chaos soak (bounded smoke: submit/cancel/ingest storm under each fault mode)"
+cargo test --test chaos_soak -q
+
+echo "==> service_load --storm (bench-scale fault storm smoke)"
+cargo run --release -p mithrilog-bench --quiet --bin service_load -- --storm --smoke
+
 echo "==> ci.sh: all green"

@@ -144,7 +144,8 @@ fn exhausted_retries_skip_the_page_instead_of_failing_the_query() {
     let mut system = faulted_system(plan);
     system
         .device_mut()
-        .set_retry_policy(RetryPolicy { max_attempts: 2 });
+        .set_retry_policy(RetryPolicy { max_attempts: 2 })
+        .unwrap();
 
     let outcome = system.query_str("FATAL OR error").unwrap();
     assert!(

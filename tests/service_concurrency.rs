@@ -194,6 +194,7 @@ fn threaded_submissions_through_service_match_solo_runs() {
             max_queue: 64,
             max_batch: 8,
             default_page_budget: None,
+            ..ServiceConfig::default()
         },
     );
     let handle = Arc::new(service.handle());
@@ -252,6 +253,7 @@ fn overload_is_rejected_and_the_pool_recovers() {
             max_queue: 4,
             max_batch: 2,
             default_page_budget: None,
+            ..ServiceConfig::default()
         },
     );
     let handle = Arc::new(service.handle());
@@ -320,6 +322,7 @@ fn cancel_and_deadline_budgets_never_wedge_the_pool() {
             max_queue: 64,
             max_batch: 4,
             default_page_budget: None,
+            ..ServiceConfig::default()
         },
     );
     let handle = service.handle();
