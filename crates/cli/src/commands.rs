@@ -541,6 +541,10 @@ pub fn gen(args: &[String]) -> CliResult {
 /// `--scrub-batch` turns on the online scrub lane: whenever the scheduler
 /// is idle it verifies that many pages per slice, quarantining any that
 /// fail, until a full pass completes (re-armed by every ingest).
+/// `--retain` keeps at most that many sealed segments, dropping the
+/// oldest crash-consistently after each ingest. `--no-overlap` disables
+/// concurrent ingest preparation (stop-the-world ingest, the bench
+/// baseline).
 pub fn serve(args: &[String]) -> CliResult {
     let (threads, args) = take_usize_flag(args, "--threads")?;
     let (port, args) = take_usize_flag(&args, "--port")?;
@@ -550,10 +554,13 @@ pub fn serve(args: &[String]) -> CliResult {
     let (page_cache, args) = take_usize_flag(&args, "--page-cache")?;
     let (deadline, args) = take_usize_flag(&args, "--deadline")?;
     let (scrub_batch, args) = take_usize_flag(&args, "--scrub-batch")?;
+    let (retain, args) = take_usize_flag(&args, "--retain")?;
+    let (no_overlap, args) = take_bool_flag(&args, "--no-overlap");
     let path = args.first().ok_or(
         "usage: mithrilog serve <logfile> [--port <p>] [--threads <n>] \
          [--max-queue <n>] [--max-batch <n>] [--budget <n>] \
-         [--page-cache <bytes>] [--deadline <micros>] [--scrub-batch <pages>]",
+         [--page-cache <bytes>] [--deadline <micros>] [--scrub-batch <pages>] \
+         [--retain <segments>] [--no-overlap]",
     )?;
     let port = u16::try_from(port.unwrap_or(0)).map_err(|_| "--port must fit in 16 bits")?;
     let text = read_log(path)?;
@@ -564,9 +571,46 @@ pub fn serve(args: &[String]) -> CliResult {
         default_page_budget: budget.map(|b| b as u64),
         default_deadline: deadline.map(|us| std::time::Duration::from_micros(us as u64)),
         scrub_batch: scrub_batch.map_or(0, |b| b as u64),
+        overlap_ingest: !no_overlap,
+        retain_segments: retain.map(|n| n as u64),
     };
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
     serve_listener(listener, system, config)
+}
+
+/// `mithrilog retention <storefile> --keep <segments>`
+///
+/// Mounts an existing on-disk store (running crash recovery), then drops
+/// the oldest sealed segments until at most `--keep` remain. The drop is
+/// journaled and committed through the same two-barrier protocol as an
+/// ingest, so a crash mid-way either keeps or drops each segment whole —
+/// a remount never sees half a retention pass. The open (unsealed)
+/// segment is never dropped.
+pub fn retention(args: &[String]) -> CliResult {
+    let (keep, args) = take_usize_flag(args, "--keep")?;
+    let path = args
+        .first()
+        .ok_or("usage: mithrilog retention <storefile> --keep <segments>")?;
+    let keep = keep.ok_or("usage: mithrilog retention <storefile> --keep <segments>")? as u64;
+    let (mut system, recovery) =
+        MithriLog::open(std::path::Path::new(path), SystemConfig::default())?;
+    println!("{recovery}");
+    let before = system.sealed_segments();
+    println!(
+        "mounted: {} sealed segments, {} pages open, {} lines total",
+        before.len(),
+        system.open_segment_pages(),
+        system.lines()
+    );
+    let report = system.apply_retention(keep)?;
+    println!("{report}");
+    for segment in system.sealed_segments() {
+        println!(
+            "  segment {:>4}: {} pages, {} lines, crc {:#010x}",
+            segment.id, segment.pages, segment.lines, segment.crc
+        );
+    }
+    Ok(())
 }
 
 /// The serve loop behind [`serve`], split out so tests (and embedders) can
@@ -619,6 +663,17 @@ fn take_usize_flag(
     let mut rest = args.to_vec();
     rest.drain(pos..=pos + 1);
     Ok((Some(v), rest))
+}
+
+/// Removes a value-less `flag` from `args`, returning whether it was
+/// present and the remaining arguments.
+fn take_bool_flag(args: &[String], flag: &str) -> (bool, Vec<String>) {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return (false, args.to_vec());
+    };
+    let mut rest = args.to_vec();
+    rest.remove(pos);
+    (true, rest)
 }
 
 fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, Box<dyn Error>> {
@@ -846,6 +901,35 @@ mod tests {
         // A missing store is a clean error, not a fresh format.
         assert!(recover(&strs(&[store.to_str().unwrap()])).is_err());
         assert!(recover(&[]).is_err());
+    }
+
+    #[test]
+    fn retention_command_drops_segments_durably() {
+        let dir = std::env::temp_dir().join("mithrilog-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join(format!("retain-{}.mlog", std::process::id()));
+        let _ = std::fs::remove_file(&store);
+        let config = SystemConfig {
+            segment_pages: 2,
+            ..SystemConfig::default()
+        };
+        {
+            let mut system = MithriLog::create(&store, config.clone()).unwrap();
+            for round in 0..8 {
+                let text = format!("retention round {round} event line\n").repeat(200);
+                system.ingest(text.as_bytes()).unwrap();
+            }
+            assert!(system.sealed_segment_count() >= 4);
+        }
+        retention(&strs(&[store.to_str().unwrap(), "--keep", "2"])).expect("retention command");
+        // The drop is durable: a fresh mount sees at most 2 sealed segments.
+        let (system, _) = MithriLog::open(&store, config).unwrap();
+        assert!(system.sealed_segment_count() <= 2);
+        assert!(system.lines() > 0, "retained data still mounts");
+        std::fs::remove_file(&store).ok();
+        // Missing flags and files are clean errors.
+        assert!(retention(&[]).is_err());
+        assert!(retention(&strs(&[store.to_str().unwrap(), "--keep", "2"])).is_err());
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //!                                           (exit 0 clean, 2 corruption found, 1 error)
 //! mithrilog serve  <logfile> [--port <p>] [--threads <n>] [--max-queue <n>]
 //!                  [--max-batch <n>] [--budget <n>] [--deadline <micros>]
-//!                  [--scrub-batch <pages>]
+//!                  [--scrub-batch <pages>] [--retain <segments>] [--no-overlap]
 //!                                           concurrent query service over TCP
+//! mithrilog retention <storefile> --keep <segments>
+//!                                           drop the oldest sealed segments, crash-safely
 //! mithrilog recover <storefile>             mount an on-disk store, run crash recovery
 //! mithrilog recover --self-check [--points <k>] [--seed <n>]
 //!                                           crash drill: power-loss matrix, verify recovery
@@ -47,6 +49,7 @@ fn main() -> ExitCode {
                 Err(e) => Err(e),
             },
             "serve" => commands::serve(rest),
+            "retention" => commands::retention(rest),
             "recover" => commands::recover(rest),
             "help" | "--help" | "-h" => {
                 print_usage();
@@ -87,8 +90,10 @@ fn print_usage() {
          \x20                                           (exit 0 clean, 2 corruption found, 1 error)\n\
          \x20 mithrilog serve  <logfile> [--port <p>] [--threads <n>] [--max-queue <n>]\n\
          \x20                  [--max-batch <n>] [--budget <n>] [--deadline <micros>]\n\
-         \x20                  [--scrub-batch <pages>]\n\
+         \x20                  [--scrub-batch <pages>] [--retain <segments>] [--no-overlap]\n\
          \x20                                           concurrent query service over TCP\n\
+         \x20 mithrilog retention <storefile> --keep <segments>\n\
+         \x20                                           drop the oldest sealed segments, crash-safely\n\
          \x20 mithrilog recover <storefile>             mount an on-disk store, run crash recovery\n\
          \x20 mithrilog recover --self-check [--points <k>] [--seed <n>]\n\
          \x20                                           crash drill: power-loss matrix, verify recovery\n\

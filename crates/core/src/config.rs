@@ -39,6 +39,11 @@ pub struct SystemConfig {
     /// [`RetryPolicy`]). Validated by [`SystemConfig::validate`]:
     /// `max_attempts` must be ≥ 1.
     pub retry: RetryPolicy,
+    /// Data pages per sealed segment: the open segment seals once it holds
+    /// at least this many pages, making it an immutable, individually
+    /// CRC-summarized fault and retention domain. Validated by
+    /// [`SystemConfig::validate`]: must be ≥ 1.
+    pub segment_pages: u64,
 }
 
 impl Default for SystemConfig {
@@ -53,6 +58,7 @@ impl Default for SystemConfig {
             query_threads: 0,
             page_cache_bytes: Self::DEFAULT_PAGE_CACHE_BYTES,
             retry: RetryPolicy::default(),
+            segment_pages: Self::DEFAULT_SEGMENT_PAGES,
         }
     }
 }
@@ -68,6 +74,12 @@ impl SystemConfig {
     /// text, enough for the repeated-query service workloads the cache
     /// targets while staying small next to the datasets themselves.
     pub const DEFAULT_PAGE_CACHE_BYTES: u64 = 32 * 1024 * 1024;
+
+    /// Default [`SystemConfig::segment_pages`]: 256 data pages (1 MiB of
+    /// compressed text at 4 KB pages) per sealed segment — small enough
+    /// that a quarantined segment degrades little, large enough that
+    /// per-segment metadata stays negligible.
+    pub const DEFAULT_SEGMENT_PAGES: u64 = 256;
 
     /// Validates an untrusted worker-count input against the same bound
     /// [`SystemConfig::validate`] enforces. `0` is valid — it means "one
@@ -100,7 +112,11 @@ impl SystemConfig {
     /// A human-readable message describing the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         Self::checked_query_threads(self.query_threads)?;
-        self.retry.validate().map_err(|e| e.to_string())
+        self.retry.validate().map_err(|e| e.to_string())?;
+        if self.segment_pages == 0 {
+            return Err("segment_pages must be at least 1".into());
+        }
+        Ok(())
     }
 
     /// The §7.4.2 configuration: "MithriLog was also configured to not use
@@ -191,6 +207,20 @@ mod tests {
             ..SystemConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn segment_pages_is_validated() {
+        assert_eq!(
+            SystemConfig::default().segment_pages,
+            SystemConfig::DEFAULT_SEGMENT_PAGES
+        );
+        let bad = SystemConfig {
+            segment_pages: 0,
+            ..SystemConfig::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("segment_pages"), "{err}");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! so outcomes and modeled times are byte-identical with and without the
 //! cache, like `shared_reads`.
 
+use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
 use std::thread;
@@ -75,9 +76,53 @@ pub(crate) enum Engine<'q> {
     Software(&'q Query),
 }
 
-/// The page cache view a scan runs against: the cache plus the owning
-/// system's current generation. `None` means caching is disabled.
-pub(crate) type CacheView<'c> = Option<(&'c PageCache, u64)>;
+/// How pages map to cache generations for one scan.
+///
+/// The segmented store gives every segment (sealed or open) its own
+/// generation, so invalidation is per-segment: retention drops or
+/// corruption drills retire only the affected segment's cache entries
+/// while the rest of the store stays warm. A scan carries either a single
+/// uniform generation (tests, simple stores) or a borrowed per-page map
+/// (the system's live `page → generation` view).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum GenMap<'c> {
+    /// Every page shares one generation. Production scans always carry the
+    /// per-page map; the uniform form keeps the scan kernels testable
+    /// without a system.
+    #[cfg(test)]
+    Uniform(u64),
+    /// Per-page generations; pages absent from the map bypass the cache.
+    PerPage(&'c HashMap<u64, u64>),
+}
+
+impl GenMap<'_> {
+    fn of(&self, page: u64) -> Option<u64> {
+        match self {
+            #[cfg(test)]
+            GenMap::Uniform(g) => Some(*g),
+            GenMap::PerPage(m) => m.get(&page).copied(),
+        }
+    }
+}
+
+/// The page cache view a scan runs against: the cache plus the generation
+/// map resolving each page's cache key. `None` means caching is disabled.
+pub(crate) type CacheView<'c> = Option<(&'c PageCache, GenMap<'c>)>;
+
+/// Consults the cache for `page` under its current generation, if any.
+fn cache_lookup(cache: CacheView<'_>, page: u64) -> Option<crate::cache::CachedPage> {
+    let (cache, gens) = cache?;
+    cache.get(gens.of(page)?, page)
+}
+
+/// Stores one decompressed page under its current generation, if any.
+fn cache_store(cache: CacheView<'_>, page: u64, text: &[u8], raw_len: u64) {
+    if let Some((cache, gens)) = cache {
+        if let Some(generation) = gens.of(page) {
+            cache.insert(generation, page, Arc::new(text.to_vec()), raw_len);
+        }
+    }
+}
 
 /// Outcome of scanning one page.
 enum Scanned {
@@ -344,17 +389,15 @@ fn scan_one<'q, S: PageStore>(
     if reader.is_quarantined(page) {
         return Ok(Scanned::Skipped(page.0));
     }
-    if let Some((cache, generation)) = cache {
-        if let Some(cached) = cache.get(generation, page.0) {
-            hits.pages += 1;
-            hits.bytes += cached.raw_len;
-            return Ok(Scanned::Page(filter_to_scan(
-                engine,
-                &cached.text,
-                filter,
-                ranges,
-            )));
-        }
+    if let Some(cached) = cache_lookup(cache, page.0) {
+        hits.pages += 1;
+        hits.bytes += cached.raw_len;
+        return Ok(Scanned::Page(filter_to_scan(
+            engine,
+            &cached.text,
+            filter,
+            ranges,
+        )));
     }
     let raw = match reader.read(page) {
         Ok(raw) => raw,
@@ -368,14 +411,7 @@ fn scan_one<'q, S: PageStore>(
         Ok(text) => text,
         Err(_) => return Ok(Scanned::Skipped(page.0)),
     };
-    if let Some((cache, generation)) = cache {
-        cache.insert(
-            generation,
-            page.0,
-            Arc::new(text.to_vec()),
-            raw.len() as u64,
-        );
-    }
+    cache_store(cache, page.0, text, raw.len() as u64);
     Ok(Scanned::Page(filter_to_scan(engine, text, filter, ranges)))
 }
 
@@ -651,7 +687,7 @@ pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
         // An as-if-solo slot charge replayed on a cache hit: the full read
         // a fresh load of this page would have recorded.
         let mut hit_charge = None;
-        let body = if let Some(cached) = cache.and_then(|(c, g)| c.get(g, page.0)) {
+        let body = if let Some(cached) = cache_lookup(cache, page.0) {
             hits.pages += 1;
             hits.bytes += cached.raw_len;
             hit_charge = Some(cached.raw_len);
@@ -663,9 +699,7 @@ pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
             match reader.read(*page) {
                 Ok(raw) => match codec.decompress_into(&raw, lz) {
                     Ok(text) => {
-                        if let Some((c, g)) = cache {
-                            c.insert(g, page.0, Arc::new(text.to_vec()), raw.len() as u64);
-                        }
+                        cache_store(cache, page.0, text, raw.len() as u64);
                         FanBody::Scanned {
                             bytes: text.len() as u64,
                             per_query: fan_filter(queries, &live, text, filters, ranges),
@@ -1089,7 +1123,7 @@ mod tests {
         let cold = scan_pages(&ssd, lzah, &engine, &pages, 3, None, None);
 
         let cache = PageCache::new(1 << 20);
-        let view: CacheView<'_> = Some((&cache, 7));
+        let view: CacheView<'_> = Some((&cache, GenMap::Uniform(7)));
         let warm_up = scan_pages(&ssd, lzah, &engine, &pages, 3, view, None);
         assert_eq!(warm_up.lines, cold.lines);
         assert_eq!(warm_up.ledger, cold.ledger, "cold cache: identical run");
@@ -1108,7 +1142,7 @@ mod tests {
         assert_eq!(warm.physical.demanded_reads(), cold.ledger.pages_read);
 
         // A different generation never sees the cached text.
-        let stale: CacheView<'_> = Some((&cache, 8));
+        let stale: CacheView<'_> = Some((&cache, GenMap::Uniform(8)));
         let fresh = scan_pages(&ssd, lzah, &engine, &pages, 3, stale, None);
         assert_eq!(fresh.physical.cache_hits, 0);
         assert_eq!(fresh.physical.pages_read, cold.ledger.pages_read);
@@ -1143,7 +1177,7 @@ mod tests {
         let cold = scan_pages_fanout(&ssd, lzah, &queries, 3, None);
 
         let cache = PageCache::new(1 << 20);
-        let view: CacheView<'_> = Some((&cache, 1));
+        let view: CacheView<'_> = Some((&cache, GenMap::Uniform(1)));
         let warm_up = scan_pages_fanout(&ssd, lzah, &queries, 3, view);
         let warm = scan_pages_fanout(&ssd, lzah, &queries, 3, view);
         for run in [&warm_up, &warm] {
@@ -1199,7 +1233,7 @@ mod tests {
 
         // Warm the cache with every page, then quarantine one of them.
         let cache = PageCache::new(1 << 20);
-        let view: CacheView<'_> = Some((&cache, 1));
+        let view: CacheView<'_> = Some((&cache, GenMap::Uniform(1)));
         {
             let engine = Engine::Hardware(&pipeline);
             scan_pages(&ssd, lzah, &engine, &pages, 1, view, None);

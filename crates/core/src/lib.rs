@@ -49,7 +49,7 @@ pub use config::SystemConfig;
 pub use control::CancelToken;
 pub use error::MithriLogError;
 pub use outcome::{
-    DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport, ScanAttribution,
-    SharedBatchOutcome, SharedScanReport,
+    DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport, RetentionReport,
+    ScanAttribution, SegmentSummary, SharedBatchOutcome, SharedScanReport,
 };
-pub use system::{MithriLog, QueryRequest};
+pub use system::{MithriLog, PreparedIngest, QueryRequest};

@@ -61,6 +61,12 @@ pub struct RecoveryReport {
     /// Estimated log lines in the discarded tail — lines that were being
     /// ingested when the crash hit and were never acknowledged.
     pub uncommitted_lines_discarded: u64,
+    /// Sealed segments recovered live from the journal (seal records minus
+    /// retention drops).
+    pub segments_recovered: u64,
+    /// Sealed segments whose journaled retention drop was honored — their
+    /// pages and totals were excluded, never resurrected.
+    pub segments_dropped: u64,
     /// How the in-memory index was obtained.
     pub index: IndexRecovery,
 }
@@ -70,12 +76,15 @@ impl std::fmt::Display for RecoveryReport {
         write!(
             f,
             "recovered to commit {}: {} committed pages ({} data pages, \
-             {} lines) over {} commits; discarded {} uncommitted pages \
-             (~{} unacknowledged lines); index {}",
+             {} lines, {} sealed segments, {} dropped) over {} commits; \
+             discarded {} uncommitted pages (~{} unacknowledged lines); \
+             index {}",
             self.superblock_sequence,
             self.committed_pages,
             self.data_pages_recovered,
             self.lines_recovered,
+            self.segments_recovered,
+            self.segments_dropped,
             self.commits_replayed,
             self.uncommitted_pages_discarded,
             self.uncommitted_lines_discarded,
@@ -83,6 +92,63 @@ impl std::fmt::Display for RecoveryReport {
                 IndexRecovery::Checkpoint => "loaded from checkpoint",
                 IndexRecovery::Rebuilt => "rebuilt from data pages",
             }
+        )
+    }
+}
+
+/// Summary of one sealed, immutable segment: its identity, extent, totals,
+/// and CRC summary ([`MithriLog::sealed_segments`]).
+///
+/// [`MithriLog::sealed_segments`]: crate::MithriLog::sealed_segments
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSummary {
+    /// Monotonic segment id (never reused, even after a retention drop).
+    pub id: u64,
+    /// Member data pages.
+    pub pages: u64,
+    /// Lines held by this segment.
+    pub lines: u64,
+    /// Raw bytes held by this segment.
+    pub raw_bytes: u64,
+    /// Compressed bytes across this segment's pages.
+    pub compressed_bytes: u64,
+    /// CRC32 over the segment's per-page CRC32s (little-endian, in page
+    /// order) — the seal-time summary [`MithriLog::verify_segment`] checks.
+    ///
+    /// [`MithriLog::verify_segment`]: crate::MithriLog::verify_segment
+    pub crc: u32,
+}
+
+/// Report of one retention pass ([`MithriLog::apply_retention`]): whole
+/// sealed segments dropped crash-consistently, oldest first.
+///
+/// [`MithriLog::apply_retention`]: crate::MithriLog::apply_retention
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetentionReport {
+    /// Sealed segments dropped by this pass.
+    pub segments_dropped: u64,
+    /// Sealed segments still live after the pass (the open segment is never
+    /// droppable and is not counted).
+    pub segments_retained: u64,
+    /// Data pages retired with the dropped segments.
+    pub pages_dropped: u64,
+    /// Lines retired with the dropped segments.
+    pub lines_dropped: u64,
+    /// Raw bytes retired with the dropped segments.
+    pub raw_bytes_dropped: u64,
+}
+
+impl std::fmt::Display for RetentionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dropped {} sealed segments ({} pages, {} lines, {} raw bytes); \
+             {} sealed segments retained",
+            self.segments_dropped,
+            self.pages_dropped,
+            self.lines_dropped,
+            self.raw_bytes_dropped,
+            self.segments_retained
         )
     }
 }
@@ -336,13 +402,30 @@ mod tests {
             data_pages_recovered: 20,
             lines_recovered: 1000,
             uncommitted_lines_discarded: 12,
+            segments_recovered: 2,
+            segments_dropped: 1,
             index: IndexRecovery::Checkpoint,
         };
         let s = r.to_string();
         assert!(s.contains("commit 3"), "{s}");
+        assert!(s.contains("2 sealed segments, 1 dropped"), "{s}");
         assert!(s.contains("checkpoint"), "{s}");
         r.index = IndexRecovery::Rebuilt;
         assert!(r.to_string().contains("rebuilt"), "{r}");
+    }
+
+    #[test]
+    fn retention_report_display() {
+        let r = RetentionReport {
+            segments_dropped: 2,
+            segments_retained: 3,
+            pages_dropped: 16,
+            lines_dropped: 400,
+            raw_bytes_dropped: 12_000,
+        };
+        let s = r.to_string();
+        assert!(s.contains("dropped 2 sealed segments"), "{s}");
+        assert!(s.contains("3 sealed segments retained"), "{s}");
     }
 
     #[test]

@@ -1,4 +1,6 @@
-use std::collections::BTreeSet;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 use mithrilog_compress::{Codec, Lzah};
@@ -7,19 +9,19 @@ use mithrilog_index::{InvertedIndex, QueryPlan};
 use mithrilog_query::{parse, Query};
 use mithrilog_sim::{AcceleratorConfig, DatasetInputs, Throughput, ThroughputModel};
 use mithrilog_storage::{
-    append_commit, crc32, format_device, read_active_superblock, replay_journal,
-    write_superblock_commit, CheckpointRef, CommitRecord, FileStore, Link, MemStore, PageId,
-    PageStore, SimSsd, Superblock,
+    append_commit, append_record, crc32, format_device, read_active_superblock, replay_journal,
+    write_superblock_commit, CheckpointRef, CommitRecord, DropRecord, FileStore, JournalRecord,
+    Link, MemStore, PageId, PageStore, SealRecord, SimSsd, Superblock,
 };
 use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer};
 
 use crate::cache::PageCache;
 use crate::config::SystemConfig;
 use crate::error::MithriLogError;
-use crate::exec::{self, page_is_skippable, CacheView, Engine};
+use crate::exec::{self, page_is_skippable, CacheView, Engine, GenMap};
 use crate::outcome::{
-    DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport, ScanAttribution,
-    SharedBatchOutcome, SharedScanReport,
+    DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport, RetentionReport,
+    ScanAttribution, SegmentSummary, SharedBatchOutcome, SharedScanReport,
 };
 
 const CHECKPOINT_MAGIC: &[u8; 4] = b"MLCK";
@@ -155,13 +157,64 @@ pub struct MithriLog<S = MemStore> {
     /// superblock flip lands.
     pending: PendingCommit,
     /// Cross-wave cache of decompressed data pages (`None` when
-    /// `page_cache_bytes` is 0). Entries are keyed by `generation`, so
-    /// bumping it invalidates everything cached before.
+    /// `page_cache_bytes` is 0). Entries are keyed per page by the owning
+    /// segment's generation (see `page_gens`), so invalidation is
+    /// per-segment instead of store-wide.
     page_cache: Option<PageCache>,
-    /// Cache-invalidation epoch: bumped on every ingest, every
-    /// recovery-on-mount, and every mutable device access, so no query can
-    /// observe cached text from before any of those events.
+    /// Sealed, immutable segments, oldest first (ids ascend in seal order).
+    segments: Vec<Segment>,
+    /// The single open segment new pages append into.
+    open: OpenSegment,
+    /// Next segment id to allocate; ids are monotonic and never reused,
+    /// even after a retention drop.
+    next_segment_id: u64,
+    /// Next cache generation to allocate. Generations are unique across
+    /// segments and across invalidation events, so a retired generation can
+    /// never be observed again.
+    next_generation: u64,
+    /// Live page → cache generation of its owning segment. Doubles as the
+    /// set of live data pages: retention removes dropped pages, so stale
+    /// index postings to dropped pages are filtered at plan time.
+    page_gens: HashMap<u64, u64>,
+}
+
+/// One sealed segment: an immutable run of data pages with its own CRC
+/// summary, totals, and cache generation — the store's fault and retention
+/// domain.
+#[derive(Debug)]
+struct Segment {
+    id: u64,
+    /// CRC32 over the little-endian per-page CRC32s, in page order.
+    crc: u32,
+    pages: Vec<PageId>,
+    lines: u64,
+    raw_bytes: u64,
+    compressed_bytes: u64,
     generation: u64,
+}
+
+/// The open segment: pages accumulate here until `segment_pages` is
+/// reached, then the whole run seals. Totals are aggregates — recovery
+/// reconstructs them exactly as Σcommits − Σdrops − Σactive seals.
+#[derive(Debug)]
+struct OpenSegment {
+    pages: Vec<PageId>,
+    lines: u64,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+    generation: u64,
+}
+
+impl OpenSegment {
+    fn new(generation: u64) -> Self {
+        OpenSegment {
+            pages: Vec::new(),
+            lines: 0,
+            raw_bytes: 0,
+            compressed_bytes: 0,
+            generation,
+        }
+    }
 }
 
 /// Uncommitted ingest work: the delta the next journal record will describe.
@@ -171,6 +224,96 @@ struct PendingCommit {
     lines: u64,
     raw_bytes: u64,
     compressed_bytes: u64,
+    /// Segments sealed since the last commit; journaled (sequence filled
+    /// in) right after the commit record.
+    seals: Vec<SealRecord>,
+    /// Segment ids dropped by retention since the last commit.
+    drops: Vec<u64>,
+}
+
+/// The CPU-heavy half of an ingest, computed without touching the system:
+/// LZAH page frames plus each frame's sorted distinct token set.
+///
+/// Splitting ingest into [`PreparedIngest::build`] (pure, `&config` only)
+/// and [`MithriLog::apply_ingest`] (serial, `&mut self`) lets a service
+/// overlap compression and tokenization of incoming text with a running
+/// query wave, then apply the finished frames in one short exclusive
+/// section. `MithriLog::ingest(text)` is exactly
+/// `apply_ingest(&PreparedIngest::build(config, text))`, so the two paths
+/// produce byte-identical stores.
+#[derive(Debug)]
+pub struct PreparedIngest<'a> {
+    text: Cow<'a, [u8]>,
+    frames: Vec<PreparedFrame>,
+}
+
+/// One compressed page frame plus everything `apply_ingest` needs to index
+/// and account for it without re-tokenizing.
+#[derive(Debug)]
+struct PreparedFrame {
+    /// The LZAH-compressed page payload.
+    data: Vec<u8>,
+    /// The frame's raw-text range within `PreparedIngest::text`.
+    raw_range: Range<usize>,
+    lines: u64,
+    /// The frame's distinct tokens, sorted — the order the index inserts
+    /// them in, so the device page layout matches a direct ingest exactly.
+    distinct: Vec<Vec<u8>>,
+}
+
+impl<'a> PreparedIngest<'a> {
+    /// Compresses and tokenizes `text` into apply-ready page frames.
+    ///
+    /// Pure in `(config, text)`: no device or index access, so it can run
+    /// on any thread while the owning system serves queries. Compression
+    /// stripes across the configured worker pool with input-dependent shard
+    /// boundaries, so the frame layout is byte-identical for every thread
+    /// count.
+    pub fn build(config: &SystemConfig, text: Cow<'a, [u8]>) -> Self {
+        let shards = exec::compress_paged_striped(
+            &text,
+            config.lzah,
+            config.device.page_bytes,
+            config.resolved_query_threads(),
+        );
+        let tokenizer = Tokenizer::new(config.tokenizer.clone());
+        let mut frames = Vec::new();
+        let mut offset = 0usize;
+        for frame in shards.iter().flat_map(|paged| paged.pages()) {
+            let raw_range = offset..offset + frame.raw_len();
+            offset += frame.raw_len();
+            let slice = &text[raw_range.clone()];
+            // The set is ordered so the index's node-write sequence — and
+            // therefore the whole device page layout — is identical across
+            // processes; seeded fault plans rely on a reproducible write
+            // sequence.
+            let mut distinct: BTreeSet<Vec<u8>> = BTreeSet::new();
+            for line in slice.split(|b| *b == b'\n') {
+                for tok in tokenizer.tokens(line) {
+                    if !distinct.contains(tok) {
+                        distinct.insert(tok.to_vec());
+                    }
+                }
+            }
+            frames.push(PreparedFrame {
+                data: frame.data().to_vec(),
+                raw_range,
+                lines: frame.lines() as u64,
+                distinct: distinct.into_iter().collect(),
+            });
+        }
+        PreparedIngest { text, frames }
+    }
+
+    /// Raw bytes of the prepared text.
+    pub fn raw_bytes(&self) -> u64 {
+        self.text.len() as u64
+    }
+
+    /// Number of page frames the apply step will append.
+    pub fn frame_count(&self) -> u64 {
+        self.frames.len() as u64
+    }
 }
 
 impl MithriLog<MemStore> {
@@ -260,7 +403,11 @@ impl<S: PageStore> MithriLog<S> {
             superblock,
             pending: PendingCommit::default(),
             page_cache: Self::build_page_cache(&config),
-            generation: 0,
+            segments: Vec::new(),
+            open: OpenSegment::new(0),
+            next_segment_id: 0,
+            next_generation: 1,
+            page_gens: HashMap::new(),
             config,
         })
     }
@@ -324,18 +471,106 @@ impl<S: PageStore> MithriLog<S> {
         }
         ssd.truncate(superblock.committed_pages)?;
 
-        // Replay the journal: the committed data pages and totals, in order.
-        let commits = replay_journal(&mut ssd, superblock.journal_head)?;
-        let mut data_pages: Vec<PageId> = Vec::new();
+        // Replay the journal: commits rebuild the committed pages and
+        // totals in ingest order; seals and drops rebuild the segment map.
+        let records = replay_journal(&mut ssd, superblock.journal_head)?;
+        let mut commit_pages: Vec<PageId> = Vec::new();
+        let mut commits_replayed = 0u64;
         let mut total_lines = 0u64;
         let mut total_raw_bytes = 0u64;
         let mut total_compressed_bytes = 0u64;
-        for commit in &commits {
-            data_pages.extend(commit.data_pages.iter().map(|&p| PageId(p)));
-            total_lines += commit.lines;
-            total_raw_bytes += commit.raw_bytes;
-            total_compressed_bytes += commit.compressed_bytes;
+        let mut seals: BTreeMap<u64, SealRecord> = BTreeMap::new();
+        let mut drops: BTreeSet<u64> = BTreeSet::new();
+        for record in records {
+            match record {
+                JournalRecord::Commit(commit) => {
+                    commits_replayed += 1;
+                    commit_pages.extend(commit.data_pages.iter().map(|&p| PageId(p)));
+                    total_lines += commit.lines;
+                    total_raw_bytes += commit.raw_bytes;
+                    total_compressed_bytes += commit.compressed_bytes;
+                }
+                JournalRecord::Seal(seal) => {
+                    seals.insert(seal.segment_id, seal);
+                }
+                JournalRecord::Drop(drop) => {
+                    drops.extend(drop.segments);
+                }
+            }
         }
+
+        // Dropped segments leave the store entirely: their pages and totals
+        // are subtracted, so a drop that was acknowledged (the superblock
+        // flipped past its record) can never resurrect.
+        let mut dropped_pages: HashSet<u64> = HashSet::new();
+        for id in &drops {
+            let seal = seals.get(id).ok_or_else(|| {
+                MithriLogError::Recovery(format!(
+                    "journal drops segment {id} but no seal record describes it"
+                ))
+            })?;
+            dropped_pages.extend(seal.pages.iter().copied());
+            total_lines -= seal.lines;
+            total_raw_bytes -= seal.raw_bytes;
+            total_compressed_bytes -= seal.compressed_bytes;
+        }
+        let data_pages: Vec<PageId> = commit_pages
+            .into_iter()
+            .filter(|p| !dropped_pages.contains(&p.0))
+            .collect();
+
+        // Active sealed segments, oldest first; each gets a fresh cache
+        // generation (a mount is an invalidation event).
+        let mut next_generation = 1u64;
+        let mut next_segment_id = 0u64;
+        let mut page_gens: HashMap<u64, u64> = HashMap::new();
+        let mut sealed_pages: HashSet<u64> = HashSet::new();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut sealed_totals = [0u64; 3];
+        for (id, seal) in &seals {
+            next_segment_id = next_segment_id.max(id + 1);
+            if drops.contains(id) {
+                continue;
+            }
+            let generation = next_generation;
+            next_generation += 1;
+            for p in &seal.pages {
+                page_gens.insert(*p, generation);
+                sealed_pages.insert(*p);
+            }
+            sealed_totals[0] += seal.raw_bytes;
+            sealed_totals[1] += seal.lines;
+            sealed_totals[2] += seal.compressed_bytes;
+            segments.push(Segment {
+                id: *id,
+                crc: seal.crc,
+                pages: seal.pages.iter().map(|&p| PageId(p)).collect(),
+                lines: seal.lines,
+                raw_bytes: seal.raw_bytes,
+                compressed_bytes: seal.compressed_bytes,
+                generation,
+            });
+        }
+
+        // The open segment is whatever committed pages no active seal
+        // claims; its totals follow exactly by subtraction.
+        let open_pages: Vec<PageId> = data_pages
+            .iter()
+            .filter(|p| !sealed_pages.contains(&p.0))
+            .copied()
+            .collect();
+        let open_generation = next_generation;
+        next_generation += 1;
+        for p in &open_pages {
+            page_gens.insert(p.0, open_generation);
+        }
+        let open = OpenSegment {
+            pages: open_pages,
+            raw_bytes: total_raw_bytes - sealed_totals[0],
+            lines: total_lines - sealed_totals[1],
+            compressed_bytes: total_compressed_bytes - sealed_totals[2],
+            generation: open_generation,
+        };
 
         let restored = superblock
             .checkpoint
@@ -362,10 +597,12 @@ impl<S: PageStore> MithriLog<S> {
             superblock_sequence: superblock.sequence,
             committed_pages: superblock.committed_pages,
             uncommitted_pages_discarded: physical - superblock.committed_pages,
-            commits_replayed: commits.len() as u64,
+            commits_replayed,
             data_pages_recovered: data_pages.len() as u64,
             lines_recovered: total_lines,
             uncommitted_lines_discarded: uncommitted_lines,
+            segments_recovered: segments.len() as u64,
+            segments_dropped: drops.len() as u64,
             index: index_recovery,
         };
 
@@ -383,9 +620,13 @@ impl<S: PageStore> MithriLog<S> {
             superblock,
             pending: PendingCommit::default(),
             page_cache: Self::build_page_cache(&config),
-            // Recovery counts as an invalidation event: a mount starts at
-            // generation 1, past anything generation 0 could have cached.
-            generation: 1,
+            segments,
+            open,
+            next_segment_id,
+            // Recovery counts as an invalidation event: every segment got a
+            // fresh generation above, past anything cached before.
+            next_generation,
+            page_gens,
             config,
         };
         if report.index == IndexRecovery::Rebuilt {
@@ -399,9 +640,12 @@ impl<S: PageStore> MithriLog<S> {
     }
 
     /// The cache view scans run against: the cache (when configured) plus
-    /// the current invalidation generation.
+    /// the per-page generation map, so each page is keyed by its owning
+    /// segment's generation.
     fn cache_view(&self) -> CacheView<'_> {
-        self.page_cache.as_ref().map(|c| (c, self.generation))
+        self.page_cache
+            .as_ref()
+            .map(|c| (c, GenMap::PerPage(&self.page_gens)))
     }
 
     /// The configuration in use.
@@ -473,12 +717,33 @@ impl<S: PageStore> MithriLog<S> {
     /// system's back (via `device_mut().store_mut()`) is detected by the
     /// page checksums: affected pages are skipped by queries and reported in
     /// [`QueryOutcome::degraded`] — exactly what a corruption drill should
-    /// observe. Handing out mutable access also bumps the page-cache
-    /// generation, so a drill's overwrites can never be masked by cached
-    /// pre-corruption text.
+    /// observe. Handing out mutable access also retires every segment's
+    /// page-cache generation, so a drill's overwrites can never be masked
+    /// by cached pre-corruption text.
     pub fn device_mut(&mut self) -> &mut SimSsd<S> {
-        self.generation += 1;
+        self.invalidate_cache_generations();
         &mut self.ssd
+    }
+
+    /// Retires every segment's cache generation (sealed and open): each
+    /// gets a fresh, never-used generation and the page map is rebuilt, so
+    /// nothing cached before this call can be observed again.
+    fn invalidate_cache_generations(&mut self) {
+        for seg in &mut self.segments {
+            seg.generation = self.next_generation;
+            self.next_generation += 1;
+        }
+        self.open.generation = self.next_generation;
+        self.next_generation += 1;
+        self.page_gens.clear();
+        for seg in &self.segments {
+            for p in &seg.pages {
+                self.page_gens.insert(p.0, seg.generation);
+            }
+        }
+        for p in &self.open.pages {
+            self.page_gens.insert(p.0, self.open.generation);
+        }
     }
 
     /// Scans the whole device, verifying every page checksum, and returns a
@@ -494,6 +759,130 @@ impl<S: PageStore> MithriLog<S> {
     /// Like [`MithriLog::scrub`], failing pages are quarantined.
     pub fn scrub_slice(&mut self, start: u64, max_pages: u64) -> mithrilog_storage::ScrubSlice {
         self.ssd.scrub_slice(start, max_pages)
+    }
+
+    /// Summaries of the sealed segments, oldest first.
+    pub fn sealed_segments(&self) -> Vec<SegmentSummary> {
+        self.segments
+            .iter()
+            .map(|s| SegmentSummary {
+                id: s.id,
+                pages: s.pages.len() as u64,
+                lines: s.lines,
+                raw_bytes: s.raw_bytes,
+                compressed_bytes: s.compressed_bytes,
+                crc: s.crc,
+            })
+            .collect()
+    }
+
+    /// Number of sealed segments currently live.
+    pub fn sealed_segment_count(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// Data pages in the (not yet sealed) open segment.
+    pub fn open_segment_pages(&self) -> u64 {
+        self.open.pages.len() as u64
+    }
+
+    /// Verifies one sealed segment end to end: every member page is read
+    /// back and the recomputed CRC summary compared against the seal-time
+    /// one. `None` for an unknown (never sealed, or already dropped) id;
+    /// `Some(false)` when any page is unreadable or the summary mismatches.
+    pub fn verify_segment(&mut self, id: u64) -> Option<bool> {
+        let (pages, want) = {
+            let seg = self.segments.iter().find(|s| s.id == id)?;
+            (seg.pages.clone(), seg.crc)
+        };
+        let mut bytes = Vec::with_capacity(pages.len() * 4);
+        for page in &pages {
+            match self.ssd.read(*page) {
+                Ok(raw) => bytes.extend_from_slice(&crc32(&raw).to_le_bytes()),
+                Err(_) => return Some(false),
+            }
+        }
+        Some(crc32(&bytes) == want)
+    }
+
+    /// Scrubs exactly one sealed segment's pages (see
+    /// [`SimSsd::scrub_pages`]): failing pages are quarantined, shrinking
+    /// the blast radius to queries that demand this segment. `None` for an
+    /// unknown id.
+    pub fn scrub_segment(&mut self, id: u64) -> Option<mithrilog_storage::ScrubReport> {
+        let pages: Vec<u64> = self
+            .segments
+            .iter()
+            .find(|s| s.id == id)?
+            .pages
+            .iter()
+            .map(|p| p.0)
+            .collect();
+        Some(self.ssd.scrub_pages(&pages))
+    }
+
+    /// Quarantines every page of one sealed segment — the operational
+    /// response to a failed [`MithriLog::verify_segment`]. Only queries
+    /// whose plans demand this segment's pages degrade (reported per query
+    /// in [`DegradedRead::skipped_pages`]); everything else is untouched.
+    /// Returns the number of pages quarantined, or `None` for an unknown
+    /// id.
+    pub fn quarantine_segment(&mut self, id: u64) -> Option<u64> {
+        let pages: Vec<PageId> = self.segments.iter().find(|s| s.id == id)?.pages.clone();
+        for page in &pages {
+            self.ssd.quarantine_page(page.0);
+        }
+        Some(pages.len() as u64)
+    }
+
+    /// Drops the oldest sealed segments until at most `keep_segments`
+    /// remain, crash-consistently: the drop is journaled and acknowledged
+    /// by the same two-barrier commit protocol as ingest, so recovery
+    /// either sees the whole drop or none of it — a dropped segment never
+    /// resurrects, and a crash before the flip leaves every segment
+    /// intact. The open segment is never droppable.
+    ///
+    /// Dropped pages leave the live-page map immediately: plans stop
+    /// including them and their cache entries are unreachable. The
+    /// inverted index keeps its (now stale) postings until the next
+    /// rebuild — plan-time filtering makes that a pure size overhead,
+    /// never a correctness issue. Like any log-structured store, the
+    /// physical pages are not reclaimed by the simulated device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the commit.
+    pub fn apply_retention(
+        &mut self,
+        keep_segments: u64,
+    ) -> Result<RetentionReport, MithriLogError> {
+        let keep = usize::try_from(keep_segments).unwrap_or(usize::MAX);
+        let mut report = RetentionReport::default();
+        if self.segments.len() <= keep {
+            report.segments_retained = self.segments.len() as u64;
+            return Ok(report);
+        }
+        let drop_count = self.segments.len() - keep;
+        let dropped: Vec<Segment> = self.segments.drain(..drop_count).collect();
+        let mut dropped_pages: HashSet<u64> = HashSet::new();
+        for seg in &dropped {
+            report.segments_dropped += 1;
+            report.pages_dropped += seg.pages.len() as u64;
+            report.lines_dropped += seg.lines;
+            report.raw_bytes_dropped += seg.raw_bytes;
+            self.total_lines -= seg.lines;
+            self.total_raw_bytes -= seg.raw_bytes;
+            self.total_compressed_bytes -= seg.compressed_bytes;
+            for p in &seg.pages {
+                self.page_gens.remove(&p.0);
+                dropped_pages.insert(p.0);
+            }
+            self.pending.drops.push(seg.id);
+        }
+        self.data_pages.retain(|p| !dropped_pages.contains(&p.0));
+        report.segments_retained = self.segments.len() as u64;
+        self.commit()?;
+        Ok(report)
     }
 
     /// The ids of the data pages, in ingest order.
@@ -528,60 +917,72 @@ impl<S: PageStore> MithriLog<S> {
     /// boundaries depend only on the input, so the resulting page layout is
     /// byte-identical for every thread count.
     ///
+    /// Pages are append-only, so an ingest never invalidates cached text of
+    /// existing pages — the page cache stays warm across ingests. Once the
+    /// open segment reaches [`SystemConfig::segment_pages`] pages it seals:
+    /// the run becomes an immutable, CRC-summarized [`SegmentSummary`]
+    /// journaled by the same commit that makes its pages durable.
+    ///
     /// # Errors
     ///
     /// Propagates storage errors.
     pub fn ingest(&mut self, text: &[u8]) -> Result<IngestReport, MithriLogError> {
-        // Any ingest invalidates the page cache up front — even a failed
-        // one may have appended pages before erroring.
-        self.generation += 1;
-        let shards = exec::compress_paged_striped(
-            text,
-            self.config.lzah,
-            self.config.device.page_bytes,
-            self.config.resolved_query_threads(),
-        );
-        let mut offset = 0usize;
+        let prep = PreparedIngest::build(&self.config, Cow::Borrowed(text));
+        self.apply_ingest(&prep)
+    }
+
+    /// Applies frames prepared by [`PreparedIngest::build`]: append → index
+    /// → account → seal-check, then one journaled commit. The serial,
+    /// device-touching half of an ingest; byte-identical to
+    /// [`MithriLog::ingest`] of the same text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn apply_ingest(
+        &mut self,
+        prep: &PreparedIngest<'_>,
+    ) -> Result<IngestReport, MithriLogError> {
         let mut report = IngestReport {
             raw_bytes: 0,
             lines: 0,
             data_pages: 0,
             compressed_bytes: 0,
         };
-        for frame in shards.iter().flat_map(|paged| paged.pages()) {
-            let page = self.ssd.append(frame.data())?;
+        for frame in &prep.frames {
+            let page = self.ssd.append(&frame.data)?;
             self.data_pages.push(page);
             self.pending.data_pages.push(page.0);
-            let slice = &text[offset..offset + frame.raw_len()];
-            offset += frame.raw_len();
+            self.page_gens.insert(page.0, self.open.generation);
+            self.open.pages.push(page);
 
-            // Index the page's distinct tokens. The set is ordered so the
-            // index's node-write sequence — and therefore the whole device
-            // page layout — is identical across processes; seeded fault
-            // plans rely on a reproducible write sequence.
-            let mut distinct: BTreeSet<&[u8]> = BTreeSet::new();
-            for line in slice.split(|b| *b == b'\n') {
-                for tok in self.tokenizer.tokens(line) {
-                    distinct.insert(tok);
-                }
-            }
-            self.index
-                .insert_page_tokens(&mut self.ssd, page, distinct)?;
+            self.index.insert_page_tokens(
+                &mut self.ssd,
+                page,
+                frame.distinct.iter().map(|t| t.as_slice()),
+            )?;
 
             // Accumulate datapath statistics for the throughput model.
+            let slice = &prep.text[frame.raw_range.clone()];
             self.stats.record_text(&self.tokenizer, slice);
             self.scatter.schedule_text(&self.tokenizer, slice);
 
-            report.raw_bytes += frame.raw_len() as u64;
-            report.lines += frame.lines() as u64;
+            report.raw_bytes += frame.raw_range.len() as u64;
+            report.lines += frame.lines;
             report.data_pages += 1;
-            report.compressed_bytes += frame.data().len() as u64;
+            report.compressed_bytes += frame.data.len() as u64;
+            self.open.raw_bytes += frame.raw_range.len() as u64;
+            self.open.lines += frame.lines;
+            self.open.compressed_bytes += frame.data.len() as u64;
 
-            self.logical_clock += frame.lines() as u64;
+            self.logical_clock += frame.lines;
             if self.index.should_snapshot() {
                 let watermark = PageId(self.ssd.page_count());
                 self.index
                     .snapshot(&mut self.ssd, self.logical_clock, watermark)?;
+            }
+            if self.open.pages.len() as u64 >= self.config.segment_pages {
+                self.seal_open();
             }
         }
         self.total_raw_bytes += report.raw_bytes;
@@ -592,6 +993,62 @@ impl<S: PageStore> MithriLog<S> {
         self.pending.compressed_bytes += report.compressed_bytes;
         self.commit()?;
         Ok(report)
+    }
+
+    /// Seals the whole open segment: the run of open pages becomes an
+    /// immutable [`Segment`] with a CRC summary over its per-page CRC32s,
+    /// keeping its cache generation (sealing changes nothing about the
+    /// pages, so cached text stays live), and a [`SealRecord`] is queued
+    /// for the next commit. A fresh open segment takes over with a new
+    /// generation.
+    fn seal_open(&mut self) {
+        let pages = std::mem::take(&mut self.open.pages);
+        let crc = self.segment_crc(&pages);
+        let id = self.next_segment_id;
+        self.next_segment_id += 1;
+        let generation = self.open.generation;
+        let seg = Segment {
+            id,
+            crc,
+            pages,
+            lines: std::mem::take(&mut self.open.lines),
+            raw_bytes: std::mem::take(&mut self.open.raw_bytes),
+            compressed_bytes: std::mem::take(&mut self.open.compressed_bytes),
+            generation,
+        };
+        self.open = OpenSegment::new(self.next_generation);
+        self.next_generation += 1;
+        self.pending.seals.push(SealRecord {
+            // The sealing commit's sequence is not known yet; commit()
+            // stamps it when the record is journaled.
+            sequence: 0,
+            segment_id: seg.id,
+            crc: seg.crc,
+            pages: seg.pages.iter().map(|p| p.0).collect(),
+            lines: seg.lines,
+            raw_bytes: seg.raw_bytes,
+            compressed_bytes: seg.compressed_bytes,
+        });
+        self.segments.push(seg);
+    }
+
+    /// The seal-time CRC summary of a page run: CRC32 over the
+    /// little-endian per-page CRC32s in page order — computed from the
+    /// device's checksum sidecar without re-reading data. Pages whose
+    /// sidecar entry is cold (appended before the last mount) are read
+    /// once; an unreadable page contributes a zero placeholder so sealing
+    /// never fails — a later [`MithriLog::verify_segment`] correctly flags
+    /// the segment instead.
+    fn segment_crc(&mut self, pages: &[PageId]) -> u32 {
+        let mut bytes = Vec::with_capacity(pages.len() * 4);
+        for page in pages {
+            let crc = match self.ssd.page_crc(page.0) {
+                Some(c) => c,
+                None => self.ssd.read(*page).map(|raw| crc32(&raw)).unwrap_or(0),
+            };
+            bytes.extend_from_slice(&crc.to_le_bytes());
+        }
+        crc32(&bytes)
     }
 
     /// Runs the journaled commit protocol, making everything ingested since
@@ -620,14 +1077,29 @@ impl<S: PageStore> MithriLog<S> {
         for chunk in blob.chunks(page_bytes) {
             self.ssd.append(chunk)?;
         }
+        let sequence = self.superblock.sequence + 1;
         let record = CommitRecord {
-            sequence: self.superblock.sequence + 1,
+            sequence,
             data_pages: std::mem::take(&mut self.pending.data_pages),
             lines: self.pending.lines,
             raw_bytes: self.pending.raw_bytes,
             compressed_bytes: self.pending.compressed_bytes,
         };
-        let head = append_commit(&mut self.ssd, self.superblock.journal_head, &record)?;
+        let mut head = append_commit(&mut self.ssd, self.superblock.journal_head, &record)?;
+        // Segment transitions ride the same commit: seal and drop records
+        // chain behind the commit record, all under one superblock flip —
+        // a crash anywhere before barrier 2 discards them together.
+        for mut seal in std::mem::take(&mut self.pending.seals) {
+            seal.sequence = sequence;
+            head = append_record(&mut self.ssd, Some(head), &JournalRecord::Seal(seal))?;
+        }
+        if !self.pending.drops.is_empty() {
+            let drop = DropRecord {
+                sequence,
+                segments: std::mem::take(&mut self.pending.drops),
+            };
+            head = append_record(&mut self.ssd, Some(head), &JournalRecord::Drop(drop))?;
+        }
         self.ssd.sync()?; // barrier 1: payload before the flip
         let sb = Superblock {
             format_version: Superblock::FORMAT_VERSION,
@@ -896,6 +1368,11 @@ impl<S: PageStore> MithriLog<S> {
                 QueryPlan::Pages(p) => (p.clone(), true),
                 QueryPlan::FullScan => (self.data_pages.clone(), false),
             };
+            if used_index {
+                // The index may still hold postings to retention-dropped
+                // pages; plans only ever scan live pages.
+                pages.retain(|p| self.page_gens.contains_key(&p.0));
+            }
             if let Some((lo, hi)) = window {
                 pages.retain(|p| lo.is_none_or(|l| *p >= l) && hi.is_none_or(|h| *p < h));
             }
@@ -1067,6 +1544,11 @@ impl<S: PageStore> MithriLog<S> {
             QueryPlan::Pages(p) => (p.clone(), true),
             QueryPlan::FullScan => (self.data_pages.clone(), false),
         };
+        if used_index {
+            // The index may still hold postings to retention-dropped pages;
+            // plans only ever scan live pages.
+            pages.retain(|p| self.page_gens.contains_key(&p.0));
+        }
         if let Some((lo, hi)) = window {
             pages.retain(|p| lo.is_none_or(|l| *p >= l) && hi.is_none_or(|h| *p < h));
         }
@@ -1635,5 +2117,201 @@ RAS KERNEL INFO generating core.2275\n";
         assert!(!o.degraded.is_degraded());
         assert_eq!(o.degraded, crate::outcome::DegradedRead::default());
         assert!(s.scrub().is_clean());
+    }
+
+    /// A test config with tiny segments so sealing exercises in-module.
+    fn segmented_config(segment_pages: u64) -> SystemConfig {
+        SystemConfig {
+            segment_pages,
+            ..SystemConfig::for_tests()
+        }
+    }
+
+    #[test]
+    fn open_segment_seals_at_the_configured_cadence() {
+        let mut s = MithriLog::new(segmented_config(2));
+        s.ingest(LOG.repeat(300).as_bytes()).unwrap();
+        let pages = s.data_page_count();
+        assert!(pages >= 4, "need several pages, got {pages}");
+        assert_eq!(s.sealed_segment_count(), pages / 2);
+        assert_eq!(s.open_segment_pages(), pages % 2);
+        let summaries = s.sealed_segments();
+        assert_eq!(summaries.len() as u64, pages / 2);
+        for (i, seg) in summaries.iter().enumerate() {
+            assert_eq!(seg.id, i as u64, "ids ascend in seal order");
+            assert_eq!(seg.pages, 2);
+            assert!(seg.lines > 0);
+        }
+        // Segment totals plus the open remainder cover the whole store.
+        let sealed_lines: u64 = summaries.iter().map(|seg| seg.lines).sum();
+        assert!(sealed_lines <= s.lines());
+        // Sealing changed nothing about query results.
+        let o = s.query_str("FATAL").unwrap();
+        assert_eq!(o.match_count(), 600);
+    }
+
+    #[test]
+    fn prepared_ingest_is_byte_identical_to_direct_ingest() {
+        let text = LOG.repeat(120);
+        let mut direct = MithriLog::new(segmented_config(3));
+        let direct_report = direct.ingest(text.as_bytes()).unwrap();
+
+        let mut staged = MithriLog::new(segmented_config(3));
+        let prep = PreparedIngest::build(staged.config(), Cow::Owned(text.clone().into_bytes()));
+        assert_eq!(prep.raw_bytes(), text.len() as u64);
+        assert_eq!(prep.frame_count(), direct_report.data_pages);
+        let staged_report = staged.apply_ingest(&prep).unwrap();
+
+        assert_eq!(staged_report, direct_report);
+        assert_eq!(staged.data_pages(), direct.data_pages());
+        assert_eq!(staged.sealed_segments(), direct.sealed_segments());
+        assert_eq!(
+            staged.device().page_count(),
+            direct.device().page_count(),
+            "identical device page layout"
+        );
+        for q in ["FATAL", "KERNEL AND INFO", "NOT RAS"] {
+            let a = staged.query_str(q).unwrap();
+            let b = direct.query_str(q).unwrap();
+            assert_eq!(a.lines, b.lines, "query {q:?}");
+            assert_eq!(a.ledger, b.ledger, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn page_cache_stays_warm_across_ingests() {
+        let mut s = MithriLog::new(segmented_config(2));
+        s.ingest(LOG.repeat(200).as_bytes()).unwrap();
+        let _ = s.query_str("FATAL").unwrap(); // warm the cache
+        let warm = s.query_str("FATAL").unwrap();
+        assert_eq!(
+            warm.ledger.pages_read,
+            s.data_page_count(),
+            "as-if-solo ledger charges every planned page"
+        );
+        let hits_before = s.device().ledger().cache_hits;
+        assert!(hits_before > 0, "second scan should hit the cache");
+
+        // Ingest appends; it must not retire cached text of old pages.
+        s.ingest(LOG.repeat(50).as_bytes()).unwrap();
+        let after = s.query_str("FATAL").unwrap();
+        let new_hits = s.device().ledger().cache_hits - hits_before;
+        assert!(
+            new_hits > 0,
+            "cache survived the ingest: {new_hits} hits after"
+        );
+        assert_eq!(after.match_count(), 500);
+    }
+
+    /// Ingests one-page fillers until the open segment seals, so the next
+    /// era starts on a segment boundary. Bounded: each filler appends one
+    /// page, so at most `segment_pages` iterations.
+    fn seal_era_boundary(s: &mut MithriLog, filler: &str) {
+        while s.open_segment_pages() != 0 {
+            s.ingest(filler.as_bytes()).unwrap();
+        }
+    }
+
+    #[test]
+    fn retention_drops_oldest_segments_and_queries_stay_exact() {
+        let mut s = MithriLog::new(segmented_config(2));
+        // Two eras with distinct tokens, each spanning whole segments.
+        let era1: String = (0..3000)
+            .map(|i| format!("old-era event number {i}\n"))
+            .collect();
+        s.ingest(era1.as_bytes()).unwrap();
+        seal_era_boundary(&mut s, "old-era filler line\n");
+        let old_segments = s.sealed_segment_count();
+        assert!(old_segments >= 2);
+        let era2: String = (0..3000)
+            .map(|i| format!("new-era event number {i}\n"))
+            .collect();
+        s.ingest(era2.as_bytes()).unwrap();
+        let total = s.sealed_segment_count();
+        let lines_before = s.lines();
+
+        // Keep only the newest segments: every old-era page must go.
+        let keep = total - old_segments;
+        let report = s.apply_retention(keep).unwrap();
+        assert_eq!(report.segments_dropped, old_segments);
+        assert_eq!(report.segments_retained, keep);
+        assert!(report.pages_dropped > 0);
+        assert!(report.lines_dropped > 0);
+        assert_eq!(s.lines(), lines_before - report.lines_dropped);
+        assert_eq!(s.sealed_segment_count(), keep);
+
+        // Old-era content is gone even though the index still holds stale
+        // postings: plans filter to live pages.
+        let old = s.query_str("old-era").unwrap();
+        assert_eq!(old.match_count(), 0);
+        assert!(!old.degraded.is_degraded(), "retention is not degradation");
+        // New-era content is byte-identical to before the drop.
+        let new = s.query_str("new-era").unwrap();
+        assert_eq!(new.match_count(), 3000);
+
+        // A second pass with the same target is a no-op without a commit.
+        let sequence = s.superblock.sequence;
+        let again = s.apply_retention(keep).unwrap();
+        assert_eq!(again.segments_dropped, 0);
+        assert_eq!(again.segments_retained, keep);
+        assert_eq!(s.superblock.sequence, sequence, "no-op passes don't commit");
+    }
+
+    #[test]
+    fn verify_segment_catches_corruption_and_quarantine_is_scoped() {
+        // The default-size index: the tiny test index saturates on this
+        // corpus and stops pruning, and an unpruned bystander plan would
+        // demand the quarantined segment too.
+        let mut s = MithriLog::new(SystemConfig {
+            segment_pages: 2,
+            ..SystemConfig::default()
+        });
+        let era1: String = (0..1500)
+            .map(|i| format!("victim content number {i}\n"))
+            .collect();
+        s.ingest(era1.as_bytes()).unwrap();
+        seal_era_boundary(&mut s, "victim filler line\n");
+        let era2: String = (0..1500)
+            .map(|i| format!("bystander content number {i}\n"))
+            .collect();
+        s.ingest(era2.as_bytes()).unwrap();
+        let summaries = s.sealed_segments();
+        assert!(summaries.len() >= 2);
+        for seg in &summaries {
+            assert_eq!(s.verify_segment(seg.id), Some(true), "segment {}", seg.id);
+        }
+        assert_eq!(s.verify_segment(9999), None);
+
+        // Smash one page of the first segment behind the controller's back.
+        let victim_seg = summaries[0].id;
+        let victim_page = s.segments[0].pages[0];
+        s.device_mut()
+            .store_mut()
+            .write_page(victim_page, b"smashed")
+            .unwrap();
+        assert_eq!(s.verify_segment(victim_seg), Some(false));
+
+        // Segment-scoped scrub quarantines only that segment's bad page.
+        let scrub = s.scrub_segment(victim_seg).unwrap();
+        assert_eq!(scrub.corrupt.len(), 1);
+        assert_eq!(scrub.corrupt[0].page, victim_page.0);
+
+        // Operationally retire the whole segment: only queries demanding
+        // its pages degrade.
+        let quarantined = s.quarantine_segment(victim_seg).unwrap();
+        assert_eq!(quarantined, summaries[0].pages);
+        let hit = s.query_str("victim").unwrap();
+        assert!(hit.degraded.is_lossy());
+        assert_eq!(
+            hit.degraded.skipped_pages.len() as u64,
+            quarantined,
+            "every quarantined page shows up as skipped"
+        );
+        let bystander = s.query_str("bystander").unwrap();
+        assert!(
+            !bystander.degraded.is_degraded(),
+            "quarantine degrades only queries that demand the segment"
+        );
+        assert_eq!(bystander.match_count(), 1500);
     }
 }

@@ -19,6 +19,13 @@
 //!   one shared scan ([`MithriLog::query_shared`]): overlapping page plans
 //!   are read and LZAH-decompressed once and fanned out to every waiting
 //!   query's compiled filter, with cost attribution split by share count;
+//! * **concurrent ingest** — an ingest admitted behind a query wave runs
+//!   its CPU-heavy half (compression + tokenization) on a scoped thread
+//!   concurrently with the scan and applies the finished frames serially
+//!   after the wave settles ([`ServiceConfig::overlap_ingest`]), so ingest
+//!   no longer stops the world; [`ServiceConfig::retain_segments`] bounds
+//!   the store by dropping the oldest sealed segments crash-consistently
+//!   after each ingest;
 //! * **front-ends** — the in-process [`ServiceHandle`] API, and a TCP line
 //!   protocol ([`protocol`], [`server`]) the CLI exposes as
 //!   `mithrilog serve`;

@@ -82,12 +82,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "POLL" => Ok(Request::Poll(parse_id(rest)?)),
         "WAIT" => Ok(Request::Wait(parse_id(rest)?)),
         "CANCEL" => Ok(Request::Cancel(parse_id(rest)?)),
-        "SCRUB" => Ok(Request::Scrub),
-        "STATS" => Ok(Request::Stats),
-        "SHUTDOWN" => Ok(Request::Shutdown),
-        "QUIT" => Ok(Request::Quit),
+        "SCRUB" => no_args("SCRUB", rest).map(|()| Request::Scrub),
+        "STATS" => no_args("STATS", rest).map(|()| Request::Stats),
+        "SHUTDOWN" => no_args("SHUTDOWN", rest).map(|()| Request::Shutdown),
+        "QUIT" => no_args("QUIT", rest).map(|()| Request::Quit),
         "" => Err("empty request".into()),
         other => Err(format!("unknown verb {other:?}")),
+    }
+}
+
+/// Argument-less verbs reject trailing text loudly: a typo like
+/// `SCRUB now` (or a client speaking a newer dialect) must fail the
+/// request, never silently run something else than what was asked.
+fn no_args(verb: &str, rest: &str) -> Result<(), String> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{verb} takes no arguments, got {rest:?}"))
     }
 }
 
@@ -274,7 +285,8 @@ pub fn render_stats(stats: &ServiceStats) -> String {
         "OK stats\nsubmitted={}\nrejected={}\ncompleted={}\nfailed={}\ncancelled={}\n\
          queued={}\nwaves={}\ndemanded_page_reads={}\nunique_pages_read={}\n\
          shared_reads_avoided={}\ncache_hits={}\ncache_bytes_saved={}\n\
-         waves_poisoned={}\nscrub_slices={}\npages_scrubbed={}\npages_quarantined={}\n",
+         waves_poisoned={}\nscrub_slices={}\npages_scrubbed={}\npages_quarantined={}\n\
+         ingests_overlapped={}\nsegments_sealed={}\nsegments_dropped={}\n",
         stats.submitted,
         stats.rejected,
         stats.completed,
@@ -291,6 +303,9 @@ pub fn render_stats(stats: &ServiceStats) -> String {
         stats.scrub_slices,
         stats.pages_scrubbed,
         stats.pages_quarantined,
+        stats.ingests_overlapped,
+        stats.segments_sealed,
+        stats.segments_dropped,
     ))
 }
 
@@ -373,6 +388,29 @@ mod tests {
     }
 
     #[test]
+    fn argument_less_verbs_reject_trailing_text() {
+        for line in ["SCRUB now", "STATS -v", "SHUTDOWN 5", "QUIT please"] {
+            let err = parse_request(line).unwrap_err();
+            assert!(
+                err.contains("takes no arguments"),
+                "{line:?} must fail loudly, got {err:?}"
+            );
+        }
+        // Ids with trailing garbage are malformed too, never truncated.
+        assert!(parse_request("POLL 7 extra").is_err());
+        assert!(parse_request("WAIT 0x2").is_err());
+    }
+
+    #[test]
+    fn submit_rejects_misspelled_keys_loudly() {
+        // The classic fat-finger: a dropped letter must not silently run
+        // the query without its deadline.
+        let err = parse_request("SUBMIT dedline=2500 q=FATAL").unwrap_err();
+        assert!(err.contains("unknown field"), "{err:?}");
+        assert!(err.contains("dedline"), "{err:?}");
+    }
+
+    #[test]
     fn responses_are_dot_terminated() {
         for response in [
             render_submit(&Ok(5)),
@@ -400,6 +438,9 @@ mod tests {
             "scrub_slices=",
             "pages_scrubbed=",
             "pages_quarantined=",
+            "ingests_overlapped=",
+            "segments_sealed=",
+            "segments_dropped=",
         ] {
             assert!(stats.contains(key), "{stats}");
         }

@@ -228,6 +228,55 @@ mod tests {
     }
 
     #[test]
+    fn typoed_requests_fail_loudly_and_the_connection_survives() {
+        let mut system = MithriLog::new(SystemConfig::for_tests());
+        system
+            .ingest(b"RAS KERNEL FATAL data storage interrupt\nRAS KERNEL INFO ok\n")
+            .unwrap();
+        let service = Service::spawn(system, ServiceConfig::default());
+        let handle = service.handle();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(listener, &handle).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        // The fat-fingered deadline key must never silently submit the
+        // query without its deadline.
+        writer.write_all(b"SUBMIT dedline=2500 q=FATAL\n").unwrap();
+        let response = read_response(&mut reader);
+        assert!(response[0].starts_with("ERR "), "{response:?}");
+        assert!(response[0].contains("unknown field"), "{response:?}");
+        assert!(response[0].contains("dedline"), "{response:?}");
+
+        // Argument-less verbs reject trailing text instead of guessing.
+        for line in ["SCRUB now\n", "STATS -v\n", "SHUTDOWN 5\n"] {
+            writer.write_all(line.as_bytes()).unwrap();
+            let response = read_response(&mut reader);
+            assert!(response[0].starts_with("ERR "), "{line:?}: {response:?}");
+            assert!(
+                response[0].contains("takes no arguments"),
+                "{line:?}: {response:?}"
+            );
+        }
+
+        // A parse error costs nothing but the request: the same connection
+        // still serves well-formed traffic, and no job was ever admitted.
+        writer.write_all(b"SUBMIT deadline=2500 q=FATAL\n").unwrap();
+        assert_eq!(read_response(&mut reader), vec!["OK id=0"]);
+        writer.write_all(b"STATS\n").unwrap();
+        let stats = read_response(&mut reader);
+        assert!(stats.contains(&"submitted=1".to_string()), "{stats:?}");
+
+        writer.write_all(b"SHUTDOWN\n").unwrap();
+        assert_eq!(read_response(&mut reader), vec!["OK bye"]);
+        server.join().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
     fn hostile_connections_lose_only_themselves() {
         let mut system = MithriLog::new(SystemConfig::for_tests());
         system

@@ -4,9 +4,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use std::borrow::Cow;
+
 use mithrilog::{
-    CancelToken, IngestReport, MithriLog, QueryOutcome, QueryRequest, ScanAttribution,
-    SharedScanReport,
+    CancelToken, IngestReport, MithriLog, MithriLogError, PreparedIngest, QueryOutcome,
+    QueryRequest, RetentionReport, ScanAttribution, SharedScanReport,
 };
 use mithrilog_storage::{PageStore, ScrubReport};
 
@@ -184,6 +186,19 @@ pub struct ServiceConfig {
     /// scrub lane (the default). Foreground work always preempts the next
     /// slice.
     pub scrub_batch: u64,
+    /// Run the CPU-heavy half of an ingest (compression + tokenization,
+    /// [`PreparedIngest::build`]) concurrently with the query wave claimed
+    /// ahead of it, applying the finished frames serially after the wave.
+    /// Queries in the wave were admitted before the ingest, so their
+    /// outcomes stay byte-identical to solo runs against the pre-ingest
+    /// snapshot; only wall-clock time changes. `false` restores
+    /// stop-the-world ingest (the A/B lever the `ingest_concurrent` bench
+    /// measures).
+    pub overlap_ingest: bool,
+    /// Retention target: after every successful ingest, drop the oldest
+    /// sealed segments until at most this many remain (crash-consistent;
+    /// see [`MithriLog::apply_retention`]). `None` disables retention.
+    pub retain_segments: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -194,6 +209,8 @@ impl Default for ServiceConfig {
             default_page_budget: None,
             default_deadline: None,
             scrub_batch: 0,
+            overlap_ingest: true,
+            retain_segments: None,
         }
     }
 }
@@ -235,6 +252,13 @@ pub struct ServiceStats {
     pub pages_scrubbed: u64,
     /// Pages scrubs newly quarantined.
     pub pages_quarantined: u64,
+    /// Ingests whose compression/tokenization ran concurrently with a
+    /// query wave instead of stop-the-world.
+    pub ingests_overlapped: u64,
+    /// Segments sealed by ingests since spawn.
+    pub segments_sealed: u64,
+    /// Sealed segments dropped by retention since spawn.
+    pub segments_dropped: u64,
 }
 
 enum JobKind {
@@ -322,8 +346,11 @@ impl ServiceHandle {
         self.submit(request, priority)
     }
 
-    /// Submits an ingest batch (admitted through the same bounded queue;
-    /// runs at [`Priority::Normal`], alone — never inside a query wave).
+    /// Submits an ingest batch (admitted through the same bounded queue at
+    /// [`Priority::Normal`]). With [`ServiceConfig::overlap_ingest`] its
+    /// CPU-heavy half may run concurrently with the query wave admitted
+    /// before it; the device-touching half always runs alone, after that
+    /// wave settles, so queries never observe a half-applied ingest.
     ///
     /// # Errors
     ///
@@ -570,7 +597,12 @@ impl Drop for Service {
 
 /// One unit of work claimed from the queues while holding the lock.
 enum Wave {
-    Queries(Vec<(JobId, QueryRequest)>),
+    /// A batch of queries, optionally overlapped with one ingest admitted
+    /// *after* every query in the batch: its CPU-heavy prepare half runs
+    /// concurrently with the scan, its device-touching apply half runs
+    /// after the scan settles, so the queries still observe the exact
+    /// pre-ingest snapshot.
+    Queries(Vec<(JobId, QueryRequest)>, Option<(JobId, Vec<u8>)>),
     Ingest(JobId, Vec<u8>),
     /// A client-requested full-device scrub pass; runs alone.
     Scrub(JobId),
@@ -582,14 +614,17 @@ enum Wave {
 /// Claims the next wave in (priority, FIFO) order: the head of the highest
 /// non-empty lane decides. Queries accumulate up to `max_batch` across
 /// lanes (a half-filled wave never waits for stragglers — determinism
-/// requires batching only what is already admitted); an ingest at the
-/// front runs alone, and one already-claimed query stops the wave before
-/// it.
-fn claim_wave(state: &mut State, max_batch: usize) -> Wave {
+/// requires batching only what is already admitted). An ingest at the
+/// front of an empty wave runs alone; behind already-claimed queries it
+/// joins the wave as the overlapped ingest when `overlap_ingest` is set
+/// (claiming stops there — jobs admitted after the ingest must observe
+/// post-ingest state) and otherwise stops the wave before it.
+fn claim_wave(state: &mut State, max_batch: usize, overlap_ingest: bool) -> Wave {
     if state.closed {
         return Wave::Shutdown;
     }
     let mut wave: Vec<(JobId, QueryRequest)> = Vec::new();
+    let mut overlap: Option<(JobId, Vec<u8>)> = None;
     'lanes: for class in Priority::CLASSES {
         let lane = class.lane();
         while let Some(&id) = state.lanes[lane].front() {
@@ -612,7 +647,7 @@ fn claim_wave(state: &mut State, max_batch: usize) -> Wave {
                     wave.push((id, *request));
                 }
                 JobKind::Ingest(_) => {
-                    if !wave.is_empty() {
+                    if !wave.is_empty() && !overlap_ingest {
                         break 'lanes;
                     }
                     state.lanes[lane].pop_front();
@@ -623,7 +658,11 @@ fn claim_wave(state: &mut State, max_batch: usize) -> Wave {
                     };
                     state.queued -= 1;
                     state.stats.queued = state.queued as u64;
-                    return Wave::Ingest(id, text);
+                    if wave.is_empty() {
+                        return Wave::Ingest(id, text);
+                    }
+                    overlap = Some((id, text));
+                    break 'lanes;
                 }
                 JobKind::Scrub => {
                     if !wave.is_empty() {
@@ -645,7 +684,80 @@ fn claim_wave(state: &mut State, max_batch: usize) -> Wave {
     }
     state.queued -= wave.len();
     state.stats.queued = state.queued as u64;
-    Wave::Queries(wave)
+    Wave::Queries(wave, overlap)
+}
+
+/// What the device-touching half of an ingest produced: the report, the
+/// number of segments it sealed, and the retention pass that followed it
+/// (if one is configured) — or the error / caught panic that stopped it.
+type IngestOutcome = Result<
+    Result<(IngestReport, u64, Option<RetentionReport>), MithriLogError>,
+    Box<dyn std::any::Any + Send>,
+>;
+
+/// What the overlapped prepare half of an ingest produced: the finished
+/// frames, or the caught panic that stopped the builder thread.
+type PreparedOutcome = Result<PreparedIngest<'static>, Box<dyn std::any::Any + Send>>;
+
+/// Runs the device-touching half of an ingest under panic isolation, then
+/// the configured retention pass. Retention failure fails the job: the
+/// ingested data is durable, but the store could not honor its retention
+/// contract and the client must hear about it.
+fn run_ingest<S: PageStore>(
+    system: &mut MithriLog<S>,
+    retain: Option<u64>,
+    ingest: impl FnOnce(&mut MithriLog<S>) -> Result<IngestReport, MithriLogError>,
+) -> IngestOutcome {
+    catch_unwind(AssertUnwindSafe(|| {
+        let sealed_before = system.sealed_segment_count();
+        let report = ingest(system)?;
+        let sealed = system.sealed_segment_count() - sealed_before;
+        let retention = match retain {
+            Some(keep) => Some(system.apply_retention(keep)?),
+            None => None,
+        };
+        Ok((report, sealed, retention))
+    }))
+}
+
+/// Settles an ingest job from its outcome, folding segment counters into
+/// the stats and re-arming the online scrub pass when the device changed.
+fn settle_ingest(
+    shared: &Shared,
+    id: JobId,
+    outcome: IngestOutcome,
+    overlapped: bool,
+    scrub_done: &mut bool,
+) {
+    let mut state = shared.state.lock().expect("service state poisoned");
+    let job = state.jobs.get_mut(&id).expect("running job exists");
+    match outcome {
+        Ok(Ok((report, sealed, retention))) => {
+            job.status = JobStatus::Done(JobOutput::Ingest(report));
+            state.stats.completed += 1;
+            state.stats.segments_sealed += sealed;
+            if overlapped {
+                state.stats.ingests_overlapped += 1;
+            }
+            if let Some(retention) = retention {
+                state.stats.segments_dropped += retention.segments_dropped;
+            }
+            // New pages to verify (and rewritten pages left quarantine):
+            // re-arm the online scrub pass.
+            *scrub_done = false;
+        }
+        Ok(Err(e)) => {
+            job.status = JobStatus::Failed(e.to_string());
+            state.stats.failed += 1;
+            *scrub_done = false;
+        }
+        Err(payload) => {
+            job.status = JobStatus::Failed(format!("internal error: {}", panic_message(&*payload)));
+            state.stats.failed += 1;
+            state.stats.waves_poisoned += 1;
+        }
+    }
+    shared.changed.notify_all();
 }
 
 /// Renders a caught panic payload for a job failure message.
@@ -670,7 +782,11 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
         let wave = {
             let mut state = shared.state.lock().expect("service state poisoned");
             loop {
-                match claim_wave(&mut state, shared.config.max_batch) {
+                match claim_wave(
+                    &mut state,
+                    shared.config.max_batch,
+                    shared.config.overlap_ingest,
+                ) {
                     Wave::Idle => {
                         // Idle time funds the online scrub: verify one
                         // bounded slice, then come back for real work.
@@ -742,33 +858,12 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                 // every other job — survives. The system state is sound
                 // after an unwind: scoped scan threads are joined before
                 // the panic propagates, the page cache recovers poisoned
-                // locks, and the cache generation was already bumped.
-                let result = catch_unwind(AssertUnwindSafe(|| system.ingest(&text)));
-                let mut state = shared.state.lock().expect("service state poisoned");
-                let job = state.jobs.get_mut(&id).expect("running job exists");
-                match result {
-                    Ok(Ok(report)) => {
-                        job.status = JobStatus::Done(JobOutput::Ingest(report));
-                        state.stats.completed += 1;
-                        // New pages to verify (and rewritten pages left
-                        // quarantine): re-arm the online scrub pass.
-                        scrub_done = false;
-                    }
-                    Ok(Err(e)) => {
-                        job.status = JobStatus::Failed(e.to_string());
-                        state.stats.failed += 1;
-                        scrub_done = false;
-                    }
-                    Err(payload) => {
-                        job.status = JobStatus::Failed(format!(
-                            "internal error: {}",
-                            panic_message(&*payload)
-                        ));
-                        state.stats.failed += 1;
-                        state.stats.waves_poisoned += 1;
-                    }
-                }
-                shared.changed.notify_all();
+                // locks, and pages are append-only, so cached text of
+                // already-committed pages stays valid.
+                let outcome = run_ingest(&mut system, shared.config.retain_segments, |s| {
+                    s.ingest(&text)
+                });
+                settle_ingest(shared, id, outcome, false, &mut scrub_done);
             }
             Wave::Scrub(id) => {
                 let result = catch_unwind(AssertUnwindSafe(|| system.scrub()));
@@ -796,7 +891,7 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                 }
                 shared.changed.notify_all();
             }
-            Wave::Queries(wave) => {
+            Wave::Queries(wave, overlap) => {
                 let requests: Vec<QueryRequest> = wave.iter().map(|(_, r)| r.clone()).collect();
                 // Panic isolation: a wave that panics (e.g. an injected
                 // firmware panic surfacing through a scan worker) fails
@@ -804,7 +899,35 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                 // scoped worker threads are joined before the unwind
                 // crosses the system, and the page cache recovers poisoned
                 // locks — so the scheduler keeps serving every other job.
-                let result = catch_unwind(AssertUnwindSafe(|| system.query_shared(&requests)));
+                //
+                // When an ingest was admitted behind the wave, its pure
+                // prepare half (compression + tokenization) runs on a
+                // scoped thread concurrently with the scan: the queries
+                // were admitted first and keep observing the exact
+                // pre-ingest snapshot, because nothing touches the device
+                // until `apply_ingest` below, after the wave settles. A
+                // prepare panic fails only the ingest job.
+                let mut prepared: Option<(JobId, PreparedOutcome)> = None;
+                let result = if let Some((ingest_id, text)) = overlap {
+                    let sys_config = system.config().clone();
+                    let (scan, prep) = std::thread::scope(|scope| {
+                        let builder = scope.spawn(move || {
+                            catch_unwind(AssertUnwindSafe(move || {
+                                PreparedIngest::build(&sys_config, Cow::Owned(text))
+                            }))
+                        });
+                        let scan =
+                            catch_unwind(AssertUnwindSafe(|| system.query_shared(&requests)));
+                        // The builder caught its own panic; join only
+                        // relays the caught payload.
+                        let prep = builder.join().unwrap_or_else(Err);
+                        (scan, prep)
+                    });
+                    prepared = Some((ingest_id, prep));
+                    scan
+                } else {
+                    catch_unwind(AssertUnwindSafe(|| system.query_shared(&requests)))
+                };
                 let mut state = shared.state.lock().expect("service state poisoned");
                 match result {
                     Ok(Ok(batch)) => {
@@ -855,6 +978,20 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                     }
                 }
                 shared.changed.notify_all();
+                drop(state);
+                // The device-touching half of the overlapped ingest runs
+                // serially after the wave settles — even when the scan
+                // failed or panicked, the prepared frames are still sound
+                // and the client's data still lands durably.
+                if let Some((ingest_id, prep)) = prepared {
+                    let outcome = match prep {
+                        Ok(prep) => run_ingest(&mut system, shared.config.retain_segments, |s| {
+                            s.apply_ingest(&prep)
+                        }),
+                        Err(payload) => Err(payload),
+                    };
+                    settle_ingest(shared, ingest_id, outcome, true, &mut scrub_done);
+                }
             }
         }
     }
@@ -1021,5 +1158,204 @@ RAS KERNEL INFO generating core.2275\n";
         assert!(stats.waves >= 1);
         assert!(stats.demanded_page_reads >= stats.unique_pages_read);
         service.shutdown();
+    }
+
+    /// Builds a [`State`] with the given jobs already admitted, in order,
+    /// for driving [`claim_wave`] deterministically.
+    fn queued_state(kinds: Vec<JobKind>) -> State {
+        let mut state = State::default();
+        for kind in kinds {
+            let lane = match &kind {
+                JobKind::Query(_, priority) => priority.lane(),
+                JobKind::Ingest(_) | JobKind::Scrub => Priority::Normal.lane(),
+            };
+            let id = state.next_id;
+            state.next_id += 1;
+            state.jobs.insert(
+                id,
+                Job {
+                    kind: Some(kind),
+                    status: JobStatus::Pending,
+                    cancel: CancelToken::new(),
+                },
+            );
+            state.lanes[lane].push_back(id);
+            state.queued += 1;
+        }
+        state
+    }
+
+    fn query_kind(q: &str) -> JobKind {
+        JobKind::Query(Box::new(QueryRequest::parse(q).unwrap()), Priority::Normal)
+    }
+
+    #[test]
+    fn claim_wave_overlaps_an_ingest_behind_queries() {
+        // Queries ahead of an ingest, another query behind it: the wave
+        // claims the queries and the ingest together, and claiming stops
+        // at the ingest — the trailing query must observe post-ingest
+        // state, so it stays queued for the next wave.
+        let mut state = queued_state(vec![
+            query_kind("FATAL"),
+            query_kind("INFO"),
+            JobKind::Ingest(b"line\n".to_vec()),
+            query_kind("KERNEL"),
+        ]);
+        match claim_wave(&mut state, 16, true) {
+            Wave::Queries(wave, Some((ingest_id, _))) => {
+                assert_eq!(wave.len(), 2, "only queries admitted before the ingest");
+                assert_eq!(ingest_id, 2);
+            }
+            _ => panic!("expected an overlapped query wave"),
+        }
+        assert_eq!(
+            state.queued, 1,
+            "the trailing query waits for the next wave"
+        );
+        match claim_wave(&mut state, 16, true) {
+            Wave::Queries(wave, None) => assert_eq!(wave.len(), 1),
+            _ => panic!("expected the trailing query alone"),
+        }
+    }
+
+    #[test]
+    fn claim_wave_without_overlap_stops_the_wave_before_an_ingest() {
+        let mut state = queued_state(vec![
+            query_kind("FATAL"),
+            JobKind::Ingest(b"line\n".to_vec()),
+        ]);
+        match claim_wave(&mut state, 16, false) {
+            Wave::Queries(wave, None) => assert_eq!(wave.len(), 1),
+            _ => panic!("expected a plain query wave"),
+        }
+        // The ingest then runs alone, exactly as before.
+        assert!(matches!(
+            claim_wave(&mut state, 16, false),
+            Wave::Ingest(1, _)
+        ));
+        assert_eq!(state.queued, 0);
+    }
+
+    #[test]
+    fn claim_wave_runs_a_leading_ingest_solo_even_with_overlap_enabled() {
+        let mut state = queued_state(vec![
+            JobKind::Ingest(b"line\n".to_vec()),
+            query_kind("FATAL"),
+        ]);
+        assert!(matches!(
+            claim_wave(&mut state, 16, true),
+            Wave::Ingest(0, _)
+        ));
+    }
+
+    #[test]
+    fn overlapped_ingest_keeps_query_outcomes_byte_identical_to_solo_runs() {
+        // The first (large) ingest occupies the scheduler while the query
+        // and the second ingest queue up behind it; the next wave then
+        // overlaps them. Each query outcome must equal a solo run against
+        // either the pre- or post-ingest snapshot of a fresh replica —
+        // never a torn in-between.
+        let base = LOG.repeat(50);
+        let busy_text = LOG.repeat(400);
+        let extra = "EXTRA KERNEL FATAL overlapped line\n";
+        // Replicas mirror the service's exact ingest order: base (at
+        // spawn), the busy batch, then the overlapped line.
+        let mut pre = MithriLog::new(SystemConfig::for_tests());
+        pre.ingest(base.as_bytes()).unwrap();
+        pre.ingest(busy_text.as_bytes()).unwrap();
+        let solo_pre = pre.query_str("FATAL").unwrap().lines;
+        let mut post = MithriLog::new(SystemConfig::for_tests());
+        post.ingest(base.as_bytes()).unwrap();
+        post.ingest(busy_text.as_bytes()).unwrap();
+        post.ingest(extra.as_bytes()).unwrap();
+        let solo_post = post.query_str("FATAL").unwrap().lines;
+        assert_ne!(solo_pre, solo_post);
+
+        let service = service_with(&base, ServiceConfig::default());
+        let handle = service.handle();
+        let busy = handle.ingest(busy_text.into_bytes()).unwrap();
+        let query = handle.submit_str("FATAL", Priority::Normal).unwrap();
+        let ingest = handle.ingest(extra.as_bytes().to_vec()).unwrap();
+        let trailing = handle.submit_str("FATAL", Priority::Normal).unwrap();
+
+        handle.wait(busy).unwrap();
+        let observed = query_lines(handle.wait(query).unwrap());
+        assert!(
+            observed == solo_pre || observed == solo_post,
+            "a service query must match a solo replica run exactly"
+        );
+        match handle.wait(ingest).unwrap() {
+            JobOutput::Ingest(report) => assert_eq!(report.lines, 1),
+            other => panic!("expected an ingest output, got {other:?}"),
+        }
+        // A query settled after the ingest observes the ingested line.
+        let after = query_lines(handle.wait(trailing).unwrap());
+        assert_eq!(after, solo_post);
+        let stats = handle.stats();
+        assert_eq!(stats.completed, 4);
+        assert!(stats.ingests_overlapped <= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn retention_config_drops_segments_as_ingests_land() {
+        let config = ServiceConfig {
+            retain_segments: Some(2),
+            ..ServiceConfig::default()
+        };
+        let system = MithriLog::new(SystemConfig {
+            segment_pages: 2,
+            ..SystemConfig::for_tests()
+        });
+        let service = Service::spawn(system, config);
+        let handle = service.handle();
+        for round in 0..6 {
+            let text = format!("round {round} line\n").repeat(400);
+            let id = handle.ingest(text.into_bytes()).unwrap();
+            handle.wait(id).unwrap();
+        }
+        let stats = handle.stats();
+        assert!(stats.segments_sealed >= 3, "tiny segments must have sealed");
+        assert!(
+            stats.segments_dropped > 0,
+            "retention must have dropped past the keep target"
+        );
+        assert!(stats.segments_dropped < stats.segments_sealed);
+        service.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_distinguishes_every_error_path() {
+        let service = service_with(LOG, ServiceConfig::default());
+        let handle = service.handle();
+        assert!(matches!(
+            handle.wait_timeout(9999, Duration::from_millis(1)),
+            Err(WaitError::Unknown)
+        ));
+        // Occupy the scheduler so the probe jobs stay pending.
+        let busy = handle.ingest(LOG.repeat(800).into_bytes()).unwrap();
+        let timed = handle.submit_str("FATAL", Priority::Low).unwrap();
+        assert!(matches!(
+            handle.wait_timeout(timed, Duration::ZERO),
+            Err(WaitError::TimedOut)
+        ));
+        let doomed = handle.submit_str("FATAL", Priority::Low).unwrap();
+        assert!(handle.cancel(doomed));
+        assert!(matches!(
+            handle.wait_timeout(doomed, Duration::from_secs(5)),
+            Err(WaitError::Cancelled)
+        ));
+        let _ = handle.wait(busy);
+        let _ = handle.wait(timed);
+        // Shutdown fails whatever is still pending; wait_timeout reports it.
+        let orphan = handle.submit_str("FATAL", Priority::Low).unwrap();
+        service.shutdown();
+        match handle.wait_timeout(orphan, Duration::from_secs(5)) {
+            Err(WaitError::Failed(reason)) => assert!(reason.contains("shut down")),
+            // The scheduler may have raced the orphan to completion before
+            // shutdown closed the queue — that is not an error path.
+            Ok(_) => {}
+            other => panic!("expected a failure, got {other:?}"),
+        }
     }
 }

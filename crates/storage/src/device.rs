@@ -657,6 +657,13 @@ impl<S: PageStore> SimSsd<S> {
         self.quarantine.insert(page);
     }
 
+    /// The checksum sidecar entry for `page`: `Some` for pages written
+    /// through the device, `None` for pre-existing pages (written before
+    /// mount, or behind the device's back) whose integrity is unverifiable.
+    pub fn page_crc(&self, page: u64) -> Option<u32> {
+        self.crc.get(usize::try_from(page).ok()?).copied().flatten()
+    }
+
     fn read_with(&mut self, id: PageId, dependent: bool) -> Result<Bytes, StorageError> {
         checked_read(
             &self.store,
@@ -744,38 +751,7 @@ impl<S: PageStore> SimSsd<S> {
             ..ScrubReport::default()
         };
         for page in start..end {
-            if self.quarantine.contains(&page) {
-                report.already_quarantined += 1;
-                continue;
-            }
-            let id = PageId(page);
-            let retries_before = self.ledger.retries;
-            match self.read(id) {
-                Ok(_) => {
-                    if self.crc.get(page as usize).copied().flatten().is_none() {
-                        report.unverified.push(page);
-                    }
-                }
-                Err(StorageError::Corrupt {
-                    page,
-                    expected,
-                    got,
-                }) => {
-                    report.corrupt.push(CorruptPage {
-                        page,
-                        expected,
-                        got,
-                    });
-                    self.quarantine.insert(page);
-                    report.quarantined.push(page);
-                }
-                Err(_) => {
-                    report.unreadable.push(page);
-                    self.quarantine.insert(page);
-                    report.quarantined.push(page);
-                }
-            }
-            report.retries += self.ledger.retries - retries_before;
+            self.scrub_one(page, &mut report);
         }
         let complete = end >= extent;
         ScrubSlice {
@@ -783,6 +759,65 @@ impl<S: PageStore> SimSsd<S> {
             next: if complete { 0 } else { end },
             complete,
         }
+    }
+
+    /// Scrubs an explicit page set — the segment-scoped integrity scan. A
+    /// sealed segment is its own fault domain, so its pages can be verified
+    /// (and quarantined on failure) without touching the rest of the device.
+    /// Same charging and quarantine semantics as [`SimSsd::scrub_slice`];
+    /// out-of-range ids are counted as unreadable without a flash access.
+    pub fn scrub_pages(&mut self, pages: &[u64]) -> ScrubReport {
+        let extent = self.page_count();
+        let mut report = ScrubReport {
+            pages_checked: pages.len() as u64,
+            ..ScrubReport::default()
+        };
+        for &page in pages {
+            if page >= extent {
+                report.unreadable.push(page);
+                continue;
+            }
+            self.scrub_one(page, &mut report);
+        }
+        report
+    }
+
+    /// Checks one page for [`SimSsd::scrub_slice`] / [`SimSsd::scrub_pages`]:
+    /// reads it through the verifying path, records the finding, and
+    /// quarantines it on corruption or retry exhaustion.
+    fn scrub_one(&mut self, page: u64, report: &mut ScrubReport) {
+        if self.quarantine.contains(&page) {
+            report.already_quarantined += 1;
+            return;
+        }
+        let id = PageId(page);
+        let retries_before = self.ledger.retries;
+        match self.read(id) {
+            Ok(_) => {
+                if self.crc.get(page as usize).copied().flatten().is_none() {
+                    report.unverified.push(page);
+                }
+            }
+            Err(StorageError::Corrupt {
+                page,
+                expected,
+                got,
+            }) => {
+                report.corrupt.push(CorruptPage {
+                    page,
+                    expected,
+                    got,
+                });
+                self.quarantine.insert(page);
+                report.quarantined.push(page);
+            }
+            Err(_) => {
+                report.unreadable.push(page);
+                self.quarantine.insert(page);
+                report.quarantined.push(page);
+            }
+        }
+        report.retries += self.ledger.retries - retries_before;
     }
 }
 

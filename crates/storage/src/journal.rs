@@ -1,18 +1,24 @@
 //! Journaled commit manifest: a backward-chained list of manifest pages
-//! describing every committed ingest transaction.
+//! describing every committed store transition.
 //!
-//! Each commit appends one or more manifest pages listing the data pages it
-//! made durable plus its line/byte totals. Pages chain newest → oldest via
-//! a `prev` pointer, with the newest page of each commit flagged as that
-//! commit's head; the superblock's `journal_head` points at the newest
-//! head. Recovery walks the chain from the head and reconstructs the full
-//! sequence of commits without scanning the device.
+//! Three record kinds share one chain. A **commit** lists the data pages an
+//! ingest made durable plus its line/byte totals. A **seal** freezes a set
+//! of data pages into an immutable segment and records the segment's CRC
+//! summary. A **drop** retires whole sealed segments (retention). Pages
+//! chain newest → oldest via a `prev` pointer, with the newest page of each
+//! record flagged as that record's head; the superblock's `journal_head`
+//! points at the newest head. Recovery walks the chain from the head and
+//! reconstructs the full record sequence without scanning the device.
+//!
+//! The on-page layout is version 1 with the record kind stored in
+//! previously-zero flag bits, so kind 0 (commit) is byte-identical to the
+//! pre-segment format and old chains replay unchanged.
 
 use crate::crc::crc32;
 use crate::device::{PageId, PageStore, SimSsd};
 use crate::error::StorageError;
 
-/// One committed transaction, as reconstructed from the journal.
+/// One committed ingest transaction, as reconstructed from the journal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitRecord {
     /// The commit's superblock sequence number.
@@ -27,6 +33,47 @@ pub struct CommitRecord {
     pub compressed_bytes: u64,
 }
 
+/// One sealed segment: an immutable, individually-verifiable set of data
+/// pages with its own CRC summary and totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealRecord {
+    /// The sealing commit's superblock sequence number.
+    pub sequence: u64,
+    /// Monotonic segment id (never reused, even after a drop).
+    pub segment_id: u64,
+    /// CRC32 over the little-endian per-page CRC32s of `pages`, in order —
+    /// a cheap whole-segment summary computed without re-reading data.
+    pub crc: u32,
+    /// Member data pages, in ingest order.
+    pub pages: Vec<u64>,
+    /// Lines held by this segment.
+    pub lines: u64,
+    /// Raw bytes held by this segment.
+    pub raw_bytes: u64,
+    /// Compressed bytes across this segment's pages.
+    pub compressed_bytes: u64,
+}
+
+/// One retention drop: sealed segments retired crash-consistently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropRecord {
+    /// The dropping commit's superblock sequence number.
+    pub sequence: u64,
+    /// Ids of the sealed segments being dropped.
+    pub segments: Vec<u64>,
+}
+
+/// Any journaled store transition, as reconstructed by [`replay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// An ingest commit.
+    Commit(CommitRecord),
+    /// A segment seal.
+    Seal(SealRecord),
+    /// A retention drop.
+    Drop(DropRecord),
+}
+
 const MAGIC: &[u8; 4] = b"MLJR";
 const VERSION: u32 = 1;
 /// magic(4) + version(4) + sequence(8) + prev(8) + flags(4) + count(4)
@@ -34,7 +81,16 @@ const VERSION: u32 = 1;
 const HEADER_BYTES: usize = 56;
 const TRAILER_BYTES: usize = 4;
 const FLAG_COMMIT_HEAD: u32 = 1;
+/// Record kind lives in flag bits 1..=2: 0 = commit (the legacy layout),
+/// 1 = seal, 2 = drop.
+const KIND_SHIFT: u32 = 1;
+const KIND_MASK: u32 = 0b11;
+const KIND_COMMIT: u32 = 0;
+const KIND_SEAL: u32 = 1;
+const KIND_DROP: u32 = 2;
 const NONE: u64 = u64::MAX;
+/// A seal record's first two entries are metadata: `[segment_id, crc]`.
+const SEAL_META_ENTRIES: usize = 2;
 
 /// Data-page entries that fit in one manifest page.
 fn capacity(page_bytes: usize) -> usize {
@@ -50,6 +106,7 @@ struct ManifestPage {
     sequence: u64,
     prev: Option<u64>,
     commit_head: bool,
+    kind: u32,
     entries: Vec<u64>,
     lines: u64,
     raw_bytes: u64,
@@ -64,11 +121,10 @@ impl ManifestPage {
         buf[4..8].copy_from_slice(&VERSION.to_le_bytes());
         buf[8..16].copy_from_slice(&self.sequence.to_le_bytes());
         buf[16..24].copy_from_slice(&self.prev.unwrap_or(NONE).to_le_bytes());
-        let flags = if self.commit_head {
-            FLAG_COMMIT_HEAD
-        } else {
-            0
-        };
+        let mut flags = (self.kind & KIND_MASK) << KIND_SHIFT;
+        if self.commit_head {
+            flags |= FLAG_COMMIT_HEAD;
+        }
         buf[24..28].copy_from_slice(&flags.to_le_bytes());
         buf[28..32].copy_from_slice(&(self.entries.len() as u32).to_le_bytes());
         buf[32..40].copy_from_slice(&self.lines.to_le_bytes());
@@ -111,6 +167,11 @@ impl ManifestPage {
                 "checksum mismatch: {got:#010x}, recorded {expected:#010x}"
             )));
         }
+        let flags = u32_at(24);
+        let kind = (flags >> KIND_SHIFT) & KIND_MASK;
+        if kind > KIND_DROP {
+            return Err(bad(format!("unknown record kind {kind}")));
+        }
         let prev = match u64_at(16) {
             NONE => None,
             p => Some(p),
@@ -119,7 +180,8 @@ impl ManifestPage {
         Ok(ManifestPage {
             sequence: u64_at(8),
             prev,
-            commit_head: u32_at(24) & FLAG_COMMIT_HEAD != 0,
+            commit_head: flags & FLAG_COMMIT_HEAD != 0,
+            kind,
             entries,
             lines: u64_at(32),
             raw_bytes: u64_at(40),
@@ -128,9 +190,57 @@ impl ManifestPage {
     }
 }
 
-/// Appends the manifest pages for one commit, chained onto `prev_head`,
-/// and returns the new journal head (the commit's head page). Totals live
-/// on the head page only; overflow pages carry entries.
+/// Appends the manifest pages for one record, chained onto `prev_head`, and
+/// returns the new journal head (the record's head page). Totals live on
+/// the head page only; overflow pages carry entries.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn append_record<S: PageStore>(
+    ssd: &mut SimSsd<S>,
+    prev_head: Option<u64>,
+    record: &JournalRecord,
+) -> Result<u64, StorageError> {
+    match record {
+        JournalRecord::Commit(c) => append_parts(
+            ssd,
+            prev_head,
+            KIND_COMMIT,
+            c.sequence,
+            &c.data_pages,
+            [c.lines, c.raw_bytes, c.compressed_bytes],
+        ),
+        JournalRecord::Seal(s) => {
+            // Meta prefix first: chunk reassembly concatenates entries in
+            // order, so the prefix survives multi-page spills intact.
+            let mut entries = Vec::with_capacity(SEAL_META_ENTRIES + s.pages.len());
+            entries.push(s.segment_id);
+            entries.push(u64::from(s.crc));
+            entries.extend_from_slice(&s.pages);
+            append_parts(
+                ssd,
+                prev_head,
+                KIND_SEAL,
+                s.sequence,
+                &entries,
+                [s.lines, s.raw_bytes, s.compressed_bytes],
+            )
+        }
+        JournalRecord::Drop(d) => append_parts(
+            ssd,
+            prev_head,
+            KIND_DROP,
+            d.sequence,
+            &d.segments,
+            [0, 0, 0],
+        ),
+    }
+}
+
+/// Appends the manifest pages for one ingest commit. Equivalent to
+/// [`append_record`] with [`JournalRecord::Commit`]; kept for the layout's
+/// original (pre-segment) callers.
 ///
 /// # Errors
 ///
@@ -140,8 +250,26 @@ pub fn append_commit<S: PageStore>(
     prev_head: Option<u64>,
     record: &CommitRecord,
 ) -> Result<u64, StorageError> {
+    append_parts(
+        ssd,
+        prev_head,
+        KIND_COMMIT,
+        record.sequence,
+        &record.data_pages,
+        [record.lines, record.raw_bytes, record.compressed_bytes],
+    )
+}
+
+fn append_parts<S: PageStore>(
+    ssd: &mut SimSsd<S>,
+    prev_head: Option<u64>,
+    kind: u32,
+    sequence: u64,
+    entries: &[u64],
+    totals: [u64; 3],
+) -> Result<u64, StorageError> {
     let cap = capacity(ssd.page_bytes());
-    let mut chunks: Vec<&[u64]> = record.data_pages.chunks(cap).collect();
+    let mut chunks: Vec<&[u64]> = entries.chunks(cap).collect();
     if chunks.is_empty() {
         chunks.push(&[]);
     }
@@ -151,13 +279,14 @@ pub fn append_commit<S: PageStore>(
     for (i, chunk) in chunks.into_iter().enumerate() {
         let is_head = i == last;
         let page = ManifestPage {
-            sequence: record.sequence,
+            sequence,
             prev,
             commit_head: is_head,
+            kind,
             entries: chunk.to_vec(),
-            lines: if is_head { record.lines } else { 0 },
-            raw_bytes: if is_head { record.raw_bytes } else { 0 },
-            compressed_bytes: if is_head { record.compressed_bytes } else { 0 },
+            lines: if is_head { totals[0] } else { 0 },
+            raw_bytes: if is_head { totals[1] } else { 0 },
+            compressed_bytes: if is_head { totals[2] } else { 0 },
         };
         let id = ssd.append(&page.encode(ssd.page_bytes()))?;
         prev = Some(id.0);
@@ -166,7 +295,7 @@ pub fn append_commit<S: PageStore>(
     Ok(head)
 }
 
-/// Walks the manifest chain from `head` and reconstructs every commit,
+/// Walks the manifest chain from `head` and reconstructs every record,
 /// oldest first. The chain lies entirely below the committed frontier, so
 /// any decode failure here means real corruption, not a crash artifact.
 ///
@@ -177,16 +306,16 @@ pub fn append_commit<S: PageStore>(
 pub fn replay<S: PageStore>(
     ssd: &mut SimSsd<S>,
     head: Option<u64>,
-) -> Result<Vec<CommitRecord>, StorageError> {
-    let mut commits = Vec::new();
+) -> Result<Vec<JournalRecord>, StorageError> {
+    let mut records = Vec::new();
     let mut cursor = head;
-    // Chunks of the commit currently being collected, newest chunk first.
+    // Chunks of the record currently being collected, newest chunk first.
     let mut pending: Vec<ManifestPage> = Vec::new();
     while let Some(page_id) = cursor {
         let raw = ssd.read_dependent(PageId(page_id))?;
         let page = ManifestPage::decode(&raw)?;
         if page.commit_head && !pending.is_empty() {
-            commits.push(finish_commit(std::mem::take(&mut pending))?);
+            records.push(finish_record(std::mem::take(&mut pending))?);
         }
         if !page.commit_head && pending.is_empty() {
             return Err(StorageError::InvalidSuperblock(format!(
@@ -197,33 +326,65 @@ pub fn replay<S: PageStore>(
         pending.push(page);
     }
     if !pending.is_empty() {
-        commits.push(finish_commit(pending)?);
+        records.push(finish_record(pending)?);
     }
-    commits.reverse();
-    Ok(commits)
+    records.reverse();
+    Ok(records)
 }
 
-/// Assembles one commit from its chunks (newest first, head chunk leading).
-fn finish_commit(chunks: Vec<ManifestPage>) -> Result<CommitRecord, StorageError> {
+/// Assembles one record from its chunks (newest first, head chunk leading).
+fn finish_record(chunks: Vec<ManifestPage>) -> Result<JournalRecord, StorageError> {
     let head = &chunks[0];
     debug_assert!(head.commit_head);
     let sequence = head.sequence;
-    if chunks.iter().any(|c| c.sequence != sequence) {
+    if chunks
+        .iter()
+        .any(|c| c.sequence != sequence || c.kind != head.kind)
+    {
         return Err(StorageError::InvalidSuperblock(format!(
-            "manifest chain: mixed sequences within commit {sequence}"
+            "manifest chain: mixed sequences or kinds within record {sequence}"
         )));
     }
-    let mut data_pages = Vec::new();
+    let mut entries = Vec::new();
     for chunk in chunks.iter().rev() {
-        data_pages.extend_from_slice(&chunk.entries);
+        entries.extend_from_slice(&chunk.entries);
     }
-    Ok(CommitRecord {
-        sequence,
-        data_pages,
-        lines: head.lines,
-        raw_bytes: head.raw_bytes,
-        compressed_bytes: head.compressed_bytes,
-    })
+    match head.kind {
+        KIND_COMMIT => Ok(JournalRecord::Commit(CommitRecord {
+            sequence,
+            data_pages: entries,
+            lines: head.lines,
+            raw_bytes: head.raw_bytes,
+            compressed_bytes: head.compressed_bytes,
+        })),
+        KIND_SEAL => {
+            if entries.len() < SEAL_META_ENTRIES {
+                return Err(StorageError::InvalidSuperblock(format!(
+                    "manifest chain: seal record {sequence} is missing its metadata"
+                )));
+            }
+            let segment_id = entries[0];
+            let crc = u32::try_from(entries[1]).map_err(|_| {
+                StorageError::InvalidSuperblock(format!(
+                    "manifest chain: seal record {sequence} has an out-of-range crc"
+                ))
+            })?;
+            Ok(JournalRecord::Seal(SealRecord {
+                sequence,
+                segment_id,
+                crc,
+                pages: entries[SEAL_META_ENTRIES..].to_vec(),
+                lines: head.lines,
+                raw_bytes: head.raw_bytes,
+                compressed_bytes: head.compressed_bytes,
+            }))
+        }
+        KIND_DROP => Ok(JournalRecord::Drop(DropRecord {
+            sequence,
+            segments: entries,
+        })),
+        other => unreachable!("decode admitted unknown kind {other}"),
+    }
 }
 
 #[cfg(test)]
@@ -246,12 +407,27 @@ mod tests {
         }
     }
 
+    fn seal(seq: u64, segment_id: u64, pages: std::ops::Range<u64>) -> SealRecord {
+        SealRecord {
+            sequence: seq,
+            segment_id,
+            crc: 0xDEAD_BEEF,
+            pages: pages.collect(),
+            lines: seq * 10,
+            raw_bytes: seq * 1000,
+            compressed_bytes: seq * 100,
+        }
+    }
+
     #[test]
     fn single_commit_round_trips() {
         let mut ssd = ssd(512);
         let rec = record(1, 10..20);
         let head = append_commit(&mut ssd, None, &rec).unwrap();
-        assert_eq!(replay(&mut ssd, Some(head)).unwrap(), vec![rec]);
+        assert_eq!(
+            replay(&mut ssd, Some(head)).unwrap(),
+            vec![JournalRecord::Commit(rec)]
+        );
         assert_eq!(replay(&mut ssd, None).unwrap(), vec![]);
     }
 
@@ -263,7 +439,8 @@ mod tests {
         for rec in &recs {
             head = Some(append_commit(&mut ssd, head, rec).unwrap());
         }
-        assert_eq!(replay(&mut ssd, head).unwrap(), recs);
+        let expected: Vec<JournalRecord> = recs.into_iter().map(JournalRecord::Commit).collect();
+        assert_eq!(replay(&mut ssd, head).unwrap(), expected);
     }
 
     #[test]
@@ -277,7 +454,7 @@ mod tests {
         let head = append_commit(&mut ssd, Some(head), &more).unwrap();
         assert_eq!(
             replay(&mut ssd, Some(head)).unwrap(),
-            vec![rec, more],
+            vec![JournalRecord::Commit(rec), JournalRecord::Commit(more)],
             "multi-page commit must reassemble in order"
         );
     }
@@ -293,7 +470,46 @@ mod tests {
             compressed_bytes: 0,
         };
         let head = append_commit(&mut ssd, None, &rec).unwrap();
-        assert_eq!(replay(&mut ssd, Some(head)).unwrap(), vec![rec]);
+        assert_eq!(
+            replay(&mut ssd, Some(head)).unwrap(),
+            vec![JournalRecord::Commit(rec)]
+        );
+    }
+
+    #[test]
+    fn seal_and_drop_records_round_trip() {
+        let mut ssd = ssd(512);
+        let commit = record(1, 0..6);
+        let sealed = seal(1, 0, 0..6);
+        let dropped = DropRecord {
+            sequence: 2,
+            segments: vec![0],
+        };
+        let mut head = Some(append_commit(&mut ssd, None, &commit).unwrap());
+        head = Some(append_record(&mut ssd, head, &JournalRecord::Seal(sealed.clone())).unwrap());
+        head = Some(append_record(&mut ssd, head, &JournalRecord::Drop(dropped.clone())).unwrap());
+        assert_eq!(
+            replay(&mut ssd, head).unwrap(),
+            vec![
+                JournalRecord::Commit(commit),
+                JournalRecord::Seal(sealed),
+                JournalRecord::Drop(dropped),
+            ]
+        );
+    }
+
+    #[test]
+    fn large_seal_spills_and_keeps_its_meta_prefix() {
+        // 56 entries per 512-byte page; 2 meta + 120 pages → 3 manifest pages.
+        let mut ssd = ssd(512);
+        let sealed = seal(4, 17, 1000..1120);
+        let head = append_record(&mut ssd, None, &JournalRecord::Seal(sealed.clone())).unwrap();
+        assert_eq!(ssd.page_count(), 3);
+        assert_eq!(
+            replay(&mut ssd, Some(head)).unwrap(),
+            vec![JournalRecord::Seal(sealed)],
+            "seal metadata must survive chunk reassembly"
+        );
     }
 
     #[test]
@@ -307,18 +523,25 @@ mod tests {
     }
 
     #[test]
-    fn replay_charges_dependent_reads() {
+    fn truncated_seal_is_a_hard_error() {
         let mut ssd = ssd(512);
-        let mut head = None;
-        for s in 1..=3 {
-            head = Some(append_commit(&mut ssd, head, &record(s, 0..1)).unwrap());
-        }
-        ssd.clear_ledger();
-        replay(&mut ssd, head).unwrap();
-        assert_eq!(
-            ssd.ledger().dependent_visits,
-            3,
-            "chain walk is latency-exposed"
-        );
+        let sealed = SealRecord {
+            pages: vec![],
+            ..seal(1, 3, 0..0)
+        };
+        // Hand-roll a seal head page whose entries omit the meta prefix.
+        let page = ManifestPage {
+            sequence: sealed.sequence,
+            prev: None,
+            commit_head: true,
+            kind: KIND_SEAL,
+            entries: vec![sealed.segment_id], // missing the crc entry
+            lines: 0,
+            raw_bytes: 0,
+            compressed_bytes: 0,
+        };
+        let id = ssd.append(&page.encode(ssd.page_bytes())).unwrap();
+        let err = replay(&mut ssd, Some(id.0)).unwrap_err();
+        assert!(err.to_string().contains("metadata"), "{err}");
     }
 }

@@ -64,7 +64,10 @@ pub use device::{
 };
 pub use error::{ConfigError, StorageError};
 pub use faults::{FaultKind, FaultPlan, FaultyStore, InjectedFault};
-pub use journal::{append_commit, replay as replay_journal, CommitRecord};
+pub use journal::{
+    append_commit, append_record, replay as replay_journal, CommitRecord, DropRecord,
+    JournalRecord, SealRecord,
+};
 pub use perf::{CostLedger, DevicePerfModel, Link};
 pub use superblock::{
     format_device, read_active as read_active_superblock, write_commit as write_superblock_commit,

@@ -72,4 +72,11 @@ cargo test --test chaos_soak -q
 echo "==> service_load --storm (bench-scale fault storm smoke)"
 cargo run --release -p mithrilog-bench --quiet --bin service_load -- --storm --smoke
 
+echo "==> segment crash matrix (seal/retention-drop boundaries, every crash point)"
+cargo test --test segment_store -q
+
+echo "==> ingest_concurrent --smoke (overlapped vs stop-the-world ingest bench smoke)"
+cargo run --release -p mithrilog-bench --quiet --bin ingest_concurrent -- \
+  --smoke --out target/ci/BENCH_segment_smoke.json
+
 echo "==> ci.sh: all green"

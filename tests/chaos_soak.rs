@@ -19,12 +19,13 @@
 //! stays fast; the bench-side `service_load --storm` scales the same shape
 //! up under load.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_loggen::{generate, Dataset, DatasetProfile, DatasetSpec};
-use mithrilog_service::{JobOutput, Priority, Service, ServiceConfig, WaitError};
+use mithrilog_service::{JobOutput, Priority, Service, ServiceConfig, ServiceStats, WaitError};
 use mithrilog_storage::{FaultKind, FaultPlan, FaultyStore, MemStore};
 
 /// Positive-only queries: lines ingested mid-soak (which match none of
@@ -64,6 +65,39 @@ fn probe_data_pages(text: &[u8]) -> Vec<u64> {
     probe.data_pages().iter().map(|p| p.0).collect()
 }
 
+/// Asserts every cumulative `STATS` counter is non-decreasing between two
+/// samples taken mid-storm (`queued` is a gauge and legitimately falls).
+fn assert_stats_monotonic(mode: &str, prev: &ServiceStats, next: &ServiceStats) {
+    let cumulative = |s: &ServiceStats| {
+        [
+            ("submitted", s.submitted),
+            ("rejected", s.rejected),
+            ("completed", s.completed),
+            ("failed", s.failed),
+            ("cancelled", s.cancelled),
+            ("waves", s.waves),
+            ("demanded_page_reads", s.demanded_page_reads),
+            ("unique_pages_read", s.unique_pages_read),
+            ("shared_reads_avoided", s.shared_reads_avoided),
+            ("cache_hits", s.cache_hits),
+            ("cache_bytes_saved", s.cache_bytes_saved),
+            ("waves_poisoned", s.waves_poisoned),
+            ("scrub_slices", s.scrub_slices),
+            ("pages_scrubbed", s.pages_scrubbed),
+            ("pages_quarantined", s.pages_quarantined),
+            ("ingests_overlapped", s.ingests_overlapped),
+            ("segments_sealed", s.segments_sealed),
+            ("segments_dropped", s.segments_dropped),
+        ]
+    };
+    for ((name, before), (_, after)) in cumulative(prev).into_iter().zip(cumulative(next)) {
+        assert!(
+            after >= before,
+            "{mode}: counter {name} went backwards mid-storm ({before} -> {after})"
+        );
+    }
+}
+
 /// One soak round: a fault schedule, a storm, and the three invariants.
 fn soak(mode: &str, schedule: &[(u64, FaultKind)], failures_allowed: bool) {
     let ds = corpus();
@@ -92,8 +126,30 @@ fn soak(mode: &str, schedule: &[(u64, FaultKind)], failures_allowed: bool) {
     // The storm: 3 submitter threads × 24 jobs, every 4th cancelled
     // immediately, every 6th under a tight deadline, with ingest churn
     // interleaved. Ids are collected with their query index for the
-    // byte-identity check.
+    // byte-identity check. A monitor thread samples `STATS` throughout:
+    // every cumulative counter must be monotonic under concurrency — a
+    // decrease means a lost update or a torn read under the storm.
+    let storm_over = AtomicBool::new(false);
     let submitted: Vec<Vec<(u64, Option<usize>)>> = std::thread::scope(|scope| {
+        let monitor = {
+            let handle = Arc::clone(&handle);
+            let storm_over = &storm_over;
+            scope.spawn(move || {
+                let mut prev = ServiceStats::default();
+                let mut samples = 0u64;
+                loop {
+                    let done = storm_over.load(Ordering::Acquire);
+                    let stats = handle.stats();
+                    assert_stats_monotonic(mode, &prev, &stats);
+                    prev = stats;
+                    samples += 1;
+                    if done {
+                        return samples;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        };
         let workers: Vec<_> = (0..3)
             .map(|c| {
                 let handle = Arc::clone(&handle);
@@ -124,7 +180,11 @@ fn soak(mode: &str, schedule: &[(u64, FaultKind)], failures_allowed: bool) {
                 })
             })
             .collect();
-        workers.into_iter().map(|w| w.join().unwrap()).collect()
+        let submitted = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        storm_over.store(true, Ordering::Release);
+        let samples = monitor.join().unwrap();
+        assert!(samples > 1, "{mode}: the stats monitor never sampled");
+        submitted
     });
 
     // Invariant 1: every job settles within a bound. Invariant 3: settled

@@ -1,0 +1,275 @@
+//! Segment crash matrix: power loss across seal and retention-drop
+//! boundaries.
+//!
+//! The base crash matrix (`crash_matrix.rs`) proves the whole-batch
+//! commit frontier. This matrix extends the drill to the segmented
+//! store's two new durable transitions:
+//!
+//! * **seals** — a sealed segment, once its commit is acknowledged, is
+//!   never lost: recovery rebuilds it with the same id, page set, line
+//!   count, and CRC summary;
+//! * **retention drops** — a dropped segment, once the retention pass is
+//!   acknowledged, is never resurrected: recovery refuses to bring its
+//!   lines or its id back;
+//! * **atomicity** — the recovered store is always exactly the state at
+//!   one step boundary (an ingest or a retention pass), never between
+//!   two: the in-flight step may survive in full without its
+//!   acknowledgement (the crash ate the `Ok` after barrier 2), but never
+//!   partially.
+//!
+//! The workload seals aggressively (`segment_pages = 2`) and interleaves
+//! retention passes with ingest batches, so the matrix covers crash
+//! points inside seal-record chains and drop commits, not just plain
+//! data commits.
+
+use mithrilog::{MithriLog, MithriLogError, SegmentSummary, SystemConfig};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog_storage::{CrashPlan, CrashStore, MemStore, PageStore, StorageError};
+
+/// Shred seed for sync-point crashes (how the volatile cache tears).
+const SHRED_SEED: u64 = 0xBEEF;
+
+/// Retention target for the interleaved passes.
+const KEEP: u64 = 3;
+
+/// Ingest batches per run.
+const BATCHES: usize = 6;
+
+fn corpus() -> Vec<u8> {
+    generate(&DatasetSpec {
+        profile: DatasetProfile::Bgl2,
+        target_bytes: 60_000,
+        seed: 23,
+    })
+    .into_text()
+}
+
+/// Aggressive sealing so the matrix crosses many seal boundaries.
+fn config() -> SystemConfig {
+    SystemConfig {
+        segment_pages: 2,
+        ..SystemConfig::for_tests()
+    }
+}
+
+/// One step of the workload: an ingest batch or a retention pass.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Ingest(usize),
+    Retain,
+}
+
+/// The deterministic step sequence: a retention pass follows every third
+/// ingest batch, so drops land between (and their commits crash between)
+/// ordinary data commits.
+fn steps() -> Vec<Step> {
+    let mut out = Vec::new();
+    for i in 0..BATCHES {
+        out.push(Step::Ingest(i));
+        if i % 3 == 2 {
+            out.push(Step::Retain);
+        }
+    }
+    out
+}
+
+/// Splits the corpus into `BATCHES` chunks on line boundaries.
+fn batches(text: &[u8]) -> Vec<&[u8]> {
+    let target = text.len().div_ceil(BATCHES);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < text.len() {
+        let mut end = (start + target).min(text.len());
+        while end < text.len() && text[end] != b'\n' {
+            end += 1;
+        }
+        if end < text.len() {
+            end += 1;
+        }
+        out.push(&text[start..end]);
+        start = end;
+    }
+    out
+}
+
+fn is_crash(e: &MithriLogError) -> bool {
+    matches!(e, MithriLogError::Storage(StorageError::Crashed { .. }))
+}
+
+/// The durable observable state of the store at a step boundary: total
+/// retained lines plus every sealed segment's full summary (id, page
+/// count, line count, byte totals, CRC).
+#[derive(Debug, Clone, PartialEq)]
+struct StoreState {
+    lines: u64,
+    segments: Vec<SegmentSummary>,
+}
+
+fn state_of<S: PageStore>(system: &MithriLog<S>) -> StoreState {
+    StoreState {
+        lines: system.lines(),
+        segments: system.sealed_segments(),
+    }
+}
+
+/// Applies one step; `Ok(())` means the step was acknowledged.
+fn apply_step<S: PageStore>(
+    system: &mut MithriLog<S>,
+    step: Step,
+    batches: &[&[u8]],
+) -> Result<(), MithriLogError> {
+    match step {
+        Step::Ingest(i) => system.ingest(batches[i]).map(|_| ()),
+        Step::Retain => system.apply_retention(KEEP).map(|_| ()),
+    }
+}
+
+/// Baseline with the power held up: the op count to size the matrix, and
+/// the store state after every step — the only states a recovered store
+/// may legally surface.
+fn baseline(text: &[u8]) -> (u64, Vec<StoreState>) {
+    let config = config();
+    let store = CrashStore::new(MemStore::new(config.device.page_bytes), CrashPlan::never());
+    let mut system = MithriLog::with_store(store, config).unwrap();
+    let batches = batches(text);
+    let mut states = vec![state_of(&system)];
+    for step in steps() {
+        apply_step(&mut system, step, &batches).unwrap();
+        states.push(state_of(&system));
+    }
+    let peak = states
+        .iter()
+        .map(|s| s.segments.len() as u64)
+        .max()
+        .unwrap();
+    assert!(
+        peak > KEEP,
+        "workload must out-seal the retention target (peak {peak})"
+    );
+    assert!(
+        states.iter().any(|s| !s.segments.is_empty())
+            && states
+                .windows(2)
+                .any(|w| w[1].segments.len() < w[0].segments.len()),
+        "workload must cover both seals and drops"
+    );
+    (system.device().store().ops(), states)
+}
+
+/// Runs the workload against a crash-planned store until the power dies,
+/// returning how many steps were acknowledged and the surviving bytes.
+fn run_until_crash(text: &[u8], plan: CrashPlan) -> (usize, MemStore) {
+    let config = config();
+    let (store, handle) = CrashStore::with_handle(MemStore::new(config.device.page_bytes), plan);
+    let batches = batches(text);
+    let mut acked = 0usize;
+    let mut crashed = false;
+    match MithriLog::with_store(store, config) {
+        Ok(mut system) => {
+            for step in steps() {
+                match apply_step(&mut system, step, &batches) {
+                    Ok(()) => acked += 1,
+                    Err(e) if is_crash(&e) => {
+                        crashed = true;
+                        break;
+                    }
+                    Err(e) => panic!("only the planned crash may fail a step: {e}"),
+                }
+            }
+        }
+        Err(e) if is_crash(&e) => crashed = true,
+        Err(e) => panic!("only the planned crash may fail formatting: {e}"),
+    }
+    assert!(crashed, "plan {plan:?} must fire within the workload");
+    (acked, handle.snapshot())
+}
+
+#[test]
+fn segment_crash_matrix_never_loses_a_sealed_segment_nor_resurrects_a_dropped_one() {
+    let text = corpus();
+    let config = config();
+    let (total_ops, states) = baseline(&text);
+    assert!(total_ops > 40, "workload too small for a meaningful matrix");
+
+    for op in 1..=total_ops {
+        let plan = CrashPlan::crash_at(op).with_seed(SHRED_SEED);
+        let (acked, durable) = run_until_crash(&text, plan);
+        let Ok((mut system, report)) = MithriLog::open_store(durable, config.clone()) else {
+            assert_eq!(
+                acked, 0,
+                "crash at op {op}: mount failed after steps were acked"
+            );
+            continue;
+        };
+
+        // Atomicity: the recovered store sits exactly at the acked step
+        // boundary, or one whole step past it (durable but unacked).
+        let recovered = state_of(&system);
+        let at_acked = recovered == states[acked];
+        let at_next = acked + 1 < states.len() && recovered == states[acked + 1];
+        assert!(
+            at_acked || at_next,
+            "crash at op {op}: recovered state after {acked} acked steps is \
+             neither boundary:\n  recovered: {recovered:?}\n  acked: {:?}\n  \
+             next: {:?}\n  ({report})",
+            states[acked],
+            states.get(acked + 1),
+        );
+        assert_eq!(
+            report.segments_recovered,
+            recovered.segments.len() as u64,
+            "crash at op {op}: report disagrees with the mounted store"
+        );
+
+        // Sealed segments survived exactly: ids, page counts, line
+        // counts, and CRC summaries all match the pre-crash seal. Dropped
+        // segments stayed dropped: the final boundary at or before the
+        // recovered one determines which ids may exist.
+        let legal = if at_acked {
+            &states[acked]
+        } else {
+            &states[acked + 1]
+        };
+        assert_eq!(recovered.segments, legal.segments);
+
+        // The recovered store still serves exact queries over what it
+        // retained, and keeps ingesting.
+        let dump = system.query_str("NOT zz-no-such-token-zz").unwrap();
+        assert!(!dump.degraded.is_lossy(), "crash at op {op}: lossy dump");
+        assert_eq!(
+            dump.match_count(),
+            recovered.lines,
+            "crash at op {op}: dump disagrees with recovered line total"
+        );
+        system
+            .ingest(b"post-recovery probe line\n")
+            .unwrap_or_else(|e| panic!("crash at op {op}: recovered store cannot ingest: {e}"));
+    }
+}
+
+#[test]
+fn segment_recovery_is_deterministic_per_seed() {
+    let text = corpus();
+    let config = config();
+    let (total_ops, _) = baseline(&text);
+    for op in (1..=total_ops).step_by(11).chain([total_ops]) {
+        let plan = CrashPlan::crash_at(op).with_seed(SHRED_SEED);
+        let (acked_a, durable_a) = run_until_crash(&text, plan);
+        let (acked_b, durable_b) = run_until_crash(&text, plan);
+        assert_eq!(acked_a, acked_b, "op {op}: acks diverged");
+        let a = MithriLog::open_store(durable_a, config.clone()).ok();
+        let b = MithriLog::open_store(durable_b, config.clone()).ok();
+        match (a, b) {
+            (Some((sys_a, rep_a)), Some((sys_b, rep_b))) => {
+                assert_eq!(rep_a, rep_b, "op {op}: recovery report diverged");
+                assert_eq!(
+                    state_of(&sys_a),
+                    state_of(&sys_b),
+                    "op {op}: recovered state diverged"
+                );
+            }
+            (None, None) => {}
+            _ => panic!("op {op}: one replay mounted, the other refused"),
+        }
+    }
+}
