@@ -1,0 +1,363 @@
+//! Wave-planner savings bench: per-segment token bitmaps versus the seed
+//! full-scan planner, and batched index probes versus summed solo probes.
+//!
+//! Two mechanisms are measured on bgl2 and liberty2 corpora:
+//!
+//! 1. **Bitmap pruning.** Each profile carries tokens that saturate every
+//!    page (`RAS` on every BGL line, the constant `Jun` date token on
+//!    liberty2), so negative-only queries like `NOT RAS` — full scans on
+//!    the seed planner — prune every sealed page via the saturating-token
+//!    sidecar. A baseline replica with `bitmap_buckets: 0` replays the
+//!    seed behaviour; the bench asserts the bitmap replica returns
+//!    byte-identical lines while scanning strictly fewer pages, and
+//!    reports the modeled-time speedup.
+//! 2. **Batched probes.** The same query set is replayed through
+//!    `query_shared`: distinct probe tokens are collected across the wave
+//!    and the index hash chain is walked once per token instead of once
+//!    per (query, token). The bench asserts the physical node visits are
+//!    below the summed as-if-solo demand, with byte-identical outputs.
+//!
+//! Segments are sealed every 32 pages (instead of the default 256) so the
+//! corpus produces many sealed segments with frozen bitmap sidecars.
+//!
+//! Emits `BENCH_plan.json`.
+//!
+//! Usage: `plan_savings [--smoke] [--mb <f64>] [--out <path>]`
+
+use std::fmt::Write as _;
+
+use mithrilog::{MithriLog, QueryRequest, SystemConfig};
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+
+/// One bench query. `saturating_negation` marks queries whose negated term
+/// saturates every sealed page of the profile — these must scan strictly
+/// fewer pages on the bitmap replica than on the seed full-scan replica.
+struct BenchQuery {
+    text: &'static str,
+    saturating_negation: bool,
+}
+
+const BGL2_QUERIES: &[BenchQuery] = &[
+    // `RAS` is on every BGL line: the seed planner full-scans, the
+    // bitmaps prune every sealed page.
+    BenchQuery {
+        text: "NOT RAS",
+        saturating_negation: true,
+    },
+    BenchQuery {
+        text: "FATAL AND NOT RAS",
+        saturating_negation: true,
+    },
+    // `FATAL` does not saturate pages — an honesty row showing the
+    // planner only prunes what the sidecar proves.
+    BenchQuery {
+        text: "NOT FATAL",
+        saturating_negation: false,
+    },
+    // Positive-term rows: these probe the index (batched in the shared
+    // run) and overlap on `FATAL` / `ciod:`.
+    BenchQuery {
+        text: "FATAL",
+        saturating_negation: false,
+    },
+    BenchQuery {
+        text: "ciod: AND FATAL",
+        saturating_negation: false,
+    },
+    BenchQuery {
+        text: "ciod: AND NOT RAS",
+        saturating_negation: true,
+    },
+];
+
+const LIBERTY2_QUERIES: &[BenchQuery] = &[
+    // The liberty2 generator's clock stays inside one day, so the `Jun`
+    // month token is on every line and saturates every page.
+    BenchQuery {
+        text: "NOT Jun",
+        saturating_negation: true,
+    },
+    BenchQuery {
+        text: "Failed AND NOT Jun",
+        saturating_negation: true,
+    },
+    BenchQuery {
+        text: "NOT root",
+        saturating_negation: false,
+    },
+    BenchQuery {
+        text: "Failed",
+        saturating_negation: false,
+    },
+    BenchQuery {
+        text: "Failed OR Accepted",
+        saturating_negation: false,
+    },
+];
+
+struct Args {
+    smoke: bool,
+    mb: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        mb: 4.0,
+        out: "BENCH_plan.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--mb" => {
+                i += 1;
+                args.mb = argv[i].parse().expect("--mb needs a number");
+            }
+            "--out" => {
+                i += 1;
+                args.out = argv[i].clone();
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    if args.smoke {
+        args.mb = args.mb.min(0.4);
+    }
+    args
+}
+
+/// Per-query measurement: the seed full-scan replica versus the bitmap
+/// replica, solo.
+struct QueryRow {
+    text: &'static str,
+    saturating_negation: bool,
+    matches: usize,
+    seed_pages: u64,
+    bitmap_pages: u64,
+    seed_modeled_us: u128,
+    bitmap_modeled_us: u128,
+    lines: Vec<String>,
+}
+
+fn run_profile(
+    profile: DatasetProfile,
+    profile_name: &str,
+    queries: &[BenchQuery],
+    target_bytes: usize,
+    json: &mut String,
+    last: bool,
+) {
+    let ds = generate(&DatasetSpec {
+        profile,
+        target_bytes,
+        seed: 42,
+    });
+
+    // Small segments so the corpus seals many segments and freezes their
+    // bitmap sidecars; the open (unsealed) tail is never bitmap-pruned.
+    let bitmap_config = SystemConfig {
+        segment_pages: 32,
+        ..SystemConfig::default()
+    };
+    // The seed planner: identical in every way except the sidecars are
+    // never built, so negative-only queries full-scan.
+    let seed_config = SystemConfig {
+        bitmap_buckets: 0,
+        ..bitmap_config.clone()
+    };
+
+    let mut seed = MithriLog::new(seed_config);
+    seed.ingest(ds.text()).expect("seed ingest");
+    let mut bitmapped = MithriLog::new(bitmap_config);
+    bitmapped.ingest(ds.text()).expect("bitmap ingest");
+    eprintln!(
+        "{profile_name}: {} bytes / {} lines into {} pages",
+        ds.text().len(),
+        ds.lines(),
+        bitmapped.data_page_count()
+    );
+
+    // Solo runs on both replicas: byte-identical lines mandatory, and
+    // saturating negations must scan strictly fewer pages with bitmaps.
+    let mut rows = Vec::new();
+    for q in queries {
+        let seed_out = seed.query_str(q.text).expect("seed query");
+        let bm_out = bitmapped.query_str(q.text).expect("bitmap query");
+        assert_eq!(
+            bm_out.lines, seed_out.lines,
+            "{profile_name} query {:?}: bitmap replica diverged from seed full scan",
+            q.text
+        );
+        if q.saturating_negation {
+            assert!(
+                bm_out.pages_scanned < seed_out.pages_scanned,
+                "{profile_name} query {:?}: expected strict page pruning, \
+                 bitmap scanned {} vs seed {}",
+                q.text,
+                bm_out.pages_scanned,
+                seed_out.pages_scanned
+            );
+        }
+        eprintln!(
+            "  {:<24} matches={:<6} pages seed={} bitmap={}",
+            q.text,
+            seed_out.lines.len(),
+            seed_out.pages_scanned,
+            bm_out.pages_scanned
+        );
+        rows.push(QueryRow {
+            text: q.text,
+            saturating_negation: q.saturating_negation,
+            matches: bm_out.lines.len(),
+            seed_pages: seed_out.pages_scanned,
+            bitmap_pages: bm_out.pages_scanned,
+            seed_modeled_us: seed_out.modeled_time.as_micros(),
+            bitmap_modeled_us: bm_out.modeled_time.as_micros(),
+            lines: bm_out.lines,
+        });
+    }
+
+    // Batched wave on the bitmap replica: one shared plan pass, distinct
+    // probe tokens walked once. Outputs must match the solo runs byte for
+    // byte; physical probe visits must not exceed the summed solo demand.
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| QueryRequest::parse(q.text).expect("parse"))
+        .collect();
+    let batch = bitmapped.query_shared(&requests).expect("shared batch");
+    for (row, out) in rows.iter().zip(&batch.outcomes) {
+        assert_eq!(
+            out.lines, row.lines,
+            "{profile_name} query {:?}: batched run diverged from solo",
+            row.text
+        );
+    }
+    let shared = &batch.shared;
+    assert!(
+        shared.probe_node_visits_physical <= shared.probe_node_visits_demanded,
+        "batched probe issued more node visits than solo demand"
+    );
+    assert!(
+        shared.probe_node_visits_saved() > 0,
+        "{profile_name}: batched probe saved no node visits \
+         (demanded {}, physical {})",
+        shared.probe_node_visits_demanded,
+        shared.probe_node_visits_physical
+    );
+    eprintln!(
+        "  batch: probe visits demanded={} physical={} (saved {}); \
+         pruned index={} bitmap={} both={}",
+        shared.probe_node_visits_demanded,
+        shared.probe_node_visits_physical,
+        shared.probe_node_visits_saved(),
+        shared.pages_pruned_by_index,
+        shared.pages_pruned_by_bitmap,
+        shared.pages_pruned_by_both
+    );
+
+    // Profile-level negation savings: seed versus bitmap planner over the
+    // saturating-negation rows only.
+    let (neg_seed_pages, neg_bm_pages, neg_seed_us, neg_bm_us) = rows
+        .iter()
+        .filter(|r| r.saturating_negation)
+        .fold((0u64, 0u64, 0u128, 0u128), |acc, r| {
+            (
+                acc.0 + r.seed_pages,
+                acc.1 + r.bitmap_pages,
+                acc.2 + r.seed_modeled_us,
+                acc.3 + r.bitmap_modeled_us,
+            )
+        });
+
+    let _ = writeln!(json, "    {{");
+    let _ = writeln!(json, "      \"profile\": \"{profile_name}\",");
+    let _ = writeln!(
+        json,
+        "      \"corpus\": {{ \"bytes\": {}, \"lines\": {}, \"pages\": {} }},",
+        ds.text().len(),
+        ds.lines(),
+        bitmapped.data_page_count()
+    );
+    let _ = writeln!(json, "      \"queries\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "        {{ \"query\": {:?}, \"saturating_negation\": {}, \
+             \"matches\": {}, \"seed_pages_scanned\": {}, \
+             \"bitmap_pages_scanned\": {}, \"seed_modeled_us\": {}, \
+             \"bitmap_modeled_us\": {} }}",
+            r.text,
+            r.saturating_negation,
+            r.matches,
+            r.seed_pages,
+            r.bitmap_pages,
+            r.seed_modeled_us,
+            r.bitmap_modeled_us
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(json, "      ],");
+    let _ = writeln!(
+        json,
+        "      \"negated_seed_pages\": {neg_seed_pages},\n      \
+         \"negated_bitmap_pages\": {neg_bm_pages},\n      \
+         \"negated_seed_modeled_us\": {neg_seed_us},\n      \
+         \"negated_bitmap_modeled_us\": {neg_bm_us},\n      \
+         \"negated_modeled_speedup\": {:.4},",
+        neg_seed_us as f64 / (neg_bm_us.max(1)) as f64
+    );
+    let _ = writeln!(
+        json,
+        "      \"batch\": {{ \"probe_node_visits_demanded\": {}, \
+         \"probe_node_visits_physical\": {}, \"probe_node_visits_saved\": {}, \
+         \"pages_pruned_by_index\": {}, \"pages_pruned_by_bitmap\": {}, \
+         \"pages_pruned_by_both\": {} }}",
+        shared.probe_node_visits_demanded,
+        shared.probe_node_visits_physical,
+        shared.probe_node_visits_saved(),
+        shared.pages_pruned_by_index,
+        shared.pages_pruned_by_bitmap,
+        shared.pages_pruned_by_both
+    );
+    json.push_str(if last { "    }\n" } else { "    },\n" });
+}
+
+fn main() {
+    let args = parse_args();
+    let target_bytes = (args.mb * 1_000_000.0) as usize;
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"plan_savings\",");
+    let _ = writeln!(json, "  \"segment_pages\": 32,");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"seed = identical config with bitmap_buckets=0 \
+         (sidecars never built, negative-only queries full-scan); all \
+         outputs asserted byte-identical between seed, bitmap, and batched \
+         runs; modeled_us is the device+accelerator performance model\","
+    );
+    json.push_str("  \"profiles\": [\n");
+    run_profile(
+        DatasetProfile::Bgl2,
+        "bgl2",
+        BGL2_QUERIES,
+        target_bytes,
+        &mut json,
+        false,
+    );
+    run_profile(
+        DatasetProfile::Liberty2,
+        "liberty2",
+        LIBERTY2_QUERIES,
+        target_bytes,
+        &mut json,
+        true,
+    );
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &json).expect("write output");
+    eprintln!("wrote {}", args.out);
+}

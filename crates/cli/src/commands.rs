@@ -52,7 +52,7 @@ fn ingest_with_opts(
 }
 
 /// `mithrilog query <logfile> [--threads <n>] [--page-cache <bytes>]
-/// <query...>`
+/// [--explain] <query...>`
 ///
 /// `--threads` sets the parallel datapath's worker count (0 or omitted =
 /// one worker per modeled flash channel; values above
@@ -60,12 +60,21 @@ fn ingest_with_opts(
 /// the decompressed-page cache budget in bytes (0 disables; omitted = the
 /// 32 MiB default). Results are byte-identical for every value of either
 /// flag; only physical device traffic and wall-clock time change.
+/// `--explain` prints how the query would be planned — index decision,
+/// per-segment bitmap pruning, clips — without scanning any data page.
 pub fn query(args: &[String]) -> CliResult {
     let (threads, args) = take_usize_flag(args, "--threads")?;
     let (page_cache, args) = take_usize_flag(&args, "--page-cache")?;
+    let (explain, args) = take_bool_flag(&args, "--explain");
     let (path, query_text) = split_path_query(&args, "query")?;
     let text = read_log(path)?;
     let mut system = ingest_with_opts(&text, threads, page_cache)?;
+    if explain {
+        let request = mithrilog::QueryRequest::parse(&query_text)?;
+        let plan = system.explain(&request)?;
+        println!("{plan}");
+        return Ok(());
+    }
     let outcome = system.query_str(&query_text)?;
     for line in &outcome.lines {
         println!("{line}");
@@ -754,6 +763,20 @@ mod tests {
         let path = temp_log();
         let args = strs(&[path.to_str().unwrap(), "session", "AND", "opened"]);
         query(&args).expect("query command");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_command_explain_flag_plans_without_scanning() {
+        let path = temp_log();
+        let args = strs(&[
+            path.to_str().unwrap(),
+            "--explain",
+            "session",
+            "AND",
+            "opened",
+        ]);
+        query(&args).expect("query --explain command");
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,8 +1,10 @@
 //! `mithrilog` — command-line interface to the MithriLog system.
 //!
 //! ```text
-//! mithrilog query  <logfile> [--threads <n>] <query...>
+//! mithrilog query  <logfile> [--threads <n>] [--explain] <query...>
 //!                                           run a token query end to end
+//!                                           (--explain: print the plan — index
+//!                                           decision, bitmap pruning — no scan)
 //! mithrilog tag    <logfile> [-n <k>]       extract templates and tag traffic
 //! mithrilog stats  <logfile>                dataset/compression/datapath stats
 //! mithrilog spikes <logfile> [--threads <n>] <query...>
@@ -76,8 +78,9 @@ fn print_usage() {
         "mithrilog — near-storage accelerated log analytics (MICRO '21 reproduction)\n\
          \n\
          usage:\n\
-         \x20 mithrilog query  <logfile> [--threads <n>] <query...>\n\
+         \x20 mithrilog query  <logfile> [--threads <n>] [--explain] <query...>\n\
          \x20                                           run a token query end to end\n\
+         \x20                                           (--explain: plan only, no scan)\n\
          \x20 mithrilog tag    <logfile> [-n <k>]       extract templates and tag traffic\n\
          \x20 mithrilog stats  <logfile>                dataset/compression/datapath stats\n\
          \x20 mithrilog spikes <logfile> [--threads <n>] <query...>\n\

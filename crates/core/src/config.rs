@@ -44,6 +44,14 @@ pub struct SystemConfig {
     /// CRC-summarized fault and retention domain. Validated by
     /// [`SystemConfig::validate`]: must be ≥ 1.
     pub segment_pages: u64,
+    /// Token-hash buckets of the per-segment pruning bitmaps frozen at
+    /// seal time (one presence bit per bucket per page, plus the exact
+    /// saturating-token list that lets negated terms prune). `0` disables
+    /// bitmap construction and pruning entirely; pruning also requires
+    /// [`SystemConfig::use_index`] so the §7.4.2 full-scan comparison stays
+    /// a true full scan. Validated by [`SystemConfig::validate`]: at most
+    /// [`SystemConfig::MAX_BITMAP_BUCKETS`].
+    pub bitmap_buckets: usize,
 }
 
 impl Default for SystemConfig {
@@ -59,6 +67,7 @@ impl Default for SystemConfig {
             page_cache_bytes: Self::DEFAULT_PAGE_CACHE_BYTES,
             retry: RetryPolicy::default(),
             segment_pages: Self::DEFAULT_SEGMENT_PAGES,
+            bitmap_buckets: Self::DEFAULT_BITMAP_BUCKETS,
         }
     }
 }
@@ -80,6 +89,16 @@ impl SystemConfig {
     /// that a quarantined segment degrades little, large enough that
     /// per-segment metadata stays negligible.
     pub const DEFAULT_SEGMENT_PAGES: u64 = 256;
+
+    /// Default [`SystemConfig::bitmap_buckets`]: 1024 buckets keep the
+    /// per-segment sidecar at 32 KiB of presence bits for a 256-page
+    /// segment while holding the collision rate low enough that positive
+    /// terms still prune.
+    pub const DEFAULT_BITMAP_BUCKETS: usize = 1024;
+
+    /// Upper bound on [`SystemConfig::bitmap_buckets`]: beyond this the
+    /// sidecar dwarfs the segment it describes.
+    pub const MAX_BITMAP_BUCKETS: usize = 1 << 20;
 
     /// Validates an untrusted worker-count input against the same bound
     /// [`SystemConfig::validate`] enforces. `0` is valid — it means "one
@@ -115,6 +134,14 @@ impl SystemConfig {
         self.retry.validate().map_err(|e| e.to_string())?;
         if self.segment_pages == 0 {
             return Err("segment_pages must be at least 1".into());
+        }
+        if self.bitmap_buckets > Self::MAX_BITMAP_BUCKETS {
+            return Err(format!(
+                "bitmap_buckets {} exceeds the {} maximum (0 disables \
+                 segment bitmaps)",
+                self.bitmap_buckets,
+                Self::MAX_BITMAP_BUCKETS
+            ));
         }
         Ok(())
     }
@@ -221,6 +248,23 @@ mod tests {
         };
         let err = bad.validate().unwrap_err();
         assert!(err.contains("segment_pages"), "{err}");
+    }
+
+    #[test]
+    fn bitmap_buckets_default_on_and_are_bounded() {
+        let c = SystemConfig::default();
+        assert_eq!(c.bitmap_buckets, SystemConfig::DEFAULT_BITMAP_BUCKETS);
+        let off = SystemConfig {
+            bitmap_buckets: 0,
+            ..SystemConfig::default()
+        };
+        assert!(off.validate().is_ok());
+        let bad = SystemConfig {
+            bitmap_buckets: SystemConfig::MAX_BITMAP_BUCKETS + 1,
+            ..SystemConfig::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("bitmap_buckets"), "{err}");
     }
 
     #[test]

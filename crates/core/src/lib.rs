@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitmaps;
 mod cache;
 mod config;
 mod control;
@@ -49,7 +50,8 @@ pub use config::SystemConfig;
 pub use control::CancelToken;
 pub use error::MithriLogError;
 pub use outcome::{
-    DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport, RetentionReport,
-    ScanAttribution, SegmentSummary, SharedBatchOutcome, SharedScanReport,
+    DegradedRead, IndexRecovery, IngestReport, PlanExplain, QueryOutcome, RecoveryReport,
+    RetentionReport, ScanAttribution, SegmentExplain, SegmentSummary, SharedBatchOutcome,
+    SharedScanReport,
 };
 pub use system::{MithriLog, PreparedIngest, QueryRequest};

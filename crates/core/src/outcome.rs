@@ -69,6 +69,10 @@ pub struct RecoveryReport {
     pub segments_dropped: u64,
     /// How the in-memory index was obtained.
     pub index: IndexRecovery,
+    /// Segment bitmap sidecars that failed their CRC or decode at mount
+    /// and were dropped: those segments plan conservatively (full page
+    /// set) until their bitmaps are rebuilt — degraded, never lying.
+    pub segment_bitmaps_dropped: u64,
 }
 
 impl std::fmt::Display for RecoveryReport {
@@ -92,7 +96,15 @@ impl std::fmt::Display for RecoveryReport {
                 IndexRecovery::Checkpoint => "loaded from checkpoint",
                 IndexRecovery::Rebuilt => "rebuilt from data pages",
             }
-        )
+        )?;
+        if self.segment_bitmaps_dropped > 0 {
+            write!(
+                f,
+                "; {} segment bitmap sidecar(s) dropped (corrupt)",
+                self.segment_bitmaps_dropped
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -281,6 +293,14 @@ pub struct ScanAttribution {
     /// Attributed physical page reads: one per exclusive page plus
     /// `1/share_count` per shared page. Fractional by construction.
     pub attributed_page_cost: f64,
+    /// Live pages the index probe alone removed from this query's plan
+    /// (pages the segment bitmaps would still have scanned).
+    pub pruned_by_index: u64,
+    /// Live pages the segment bitmaps alone removed (pages the index plan
+    /// still demanded).
+    pub pruned_by_bitmap: u64,
+    /// Live pages both mechanisms independently removed.
+    pub pruned_by_both: u64,
 }
 
 /// Accounting for one shared scan over a batch of concurrently admitted
@@ -303,8 +323,30 @@ pub struct SharedScanReport {
     pub cache_hits: u64,
     /// Raw page bytes those cache hits kept off the device.
     pub cache_bytes_saved: u64,
+    /// Live pages removed from plans by the index probe alone, summed over
+    /// the batch (see [`ScanAttribution::pruned_by_index`]).
+    pub pages_pruned_by_index: u64,
+    /// Live pages removed by the segment bitmaps alone, summed over the
+    /// batch. This is the mechanism that turns negative-only full scans
+    /// into partial scans.
+    pub pages_pruned_by_bitmap: u64,
+    /// Live pages both mechanisms independently removed, summed.
+    pub pages_pruned_by_both: u64,
+    /// Index node reads the batch's queries would have paid probing solo
+    /// (per-query as-if-solo probe charges, summed).
+    pub probe_node_visits_demanded: u64,
+    /// Index node reads the deduplicated batch probe actually issued.
+    pub probe_node_visits_physical: u64,
     /// Per-query attribution, in batch submission order.
     pub attribution: Vec<ScanAttribution>,
+}
+
+impl SharedScanReport {
+    /// Index node reads the batched probe avoided versus solo probes.
+    pub fn probe_node_visits_saved(&self) -> u64 {
+        self.probe_node_visits_demanded
+            .saturating_sub(self.probe_node_visits_physical)
+    }
 }
 
 impl std::fmt::Display for SharedScanReport {
@@ -312,12 +354,18 @@ impl std::fmt::Display for SharedScanReport {
         write!(
             f,
             "{} queries demanded {} page reads, served by {} unique reads \
-             ({} duplicates avoided, {} cache hits)",
+             ({} duplicates avoided, {} cache hits); planner pruned \
+             {} pages by index, {} by bitmap, {} by both; batched probe \
+             saved {} index node visits",
             self.attribution.len(),
             self.demanded_page_reads,
             self.unique_pages_read,
             self.shared_reads_avoided,
-            self.cache_hits
+            self.cache_hits,
+            self.pages_pruned_by_index,
+            self.pages_pruned_by_bitmap,
+            self.pages_pruned_by_both,
+            self.probe_node_visits_saved()
         )
     }
 }
@@ -335,6 +383,115 @@ pub struct SharedBatchOutcome {
     /// Shared-read accounting for the batch, reported separately from the
     /// per-query outcomes precisely because it is what concurrency changes.
     pub shared: SharedScanReport,
+}
+
+/// One segment's row in a [`PlanExplain`]: how the planner treated the
+/// segment's live pages for this query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentExplain {
+    /// Segment id, or `None` for the open (unsealed) segment, which never
+    /// has bitmaps and is never bitmap-pruned.
+    pub segment_id: Option<u64>,
+    /// Live pages the segment contributes to the scan universe.
+    pub live_pages: u64,
+    /// Pages of this segment the final plan will scan.
+    pub planned_pages: u64,
+    /// Pages removed by the index probe alone.
+    pub pruned_by_index: u64,
+    /// Pages removed by the segment bitmaps alone.
+    pub pruned_by_bitmap: u64,
+    /// Pages both mechanisms independently removed.
+    pub pruned_by_both: u64,
+    /// Whether the segment currently has usable bitmaps (false for the
+    /// open segment, segments sealed with bitmaps disabled, and segments
+    /// whose sidecar was dropped as corrupt).
+    pub has_bitmaps: bool,
+}
+
+/// The planner's verdict for one query, produced without running the scan
+/// ([`MithriLog::explain`]): which pages would be read and which mechanism
+/// pruned the rest. Probing the index charges the device exactly as a real
+/// plan would; no data page is touched.
+///
+/// [`MithriLog::explain`]: crate::MithriLog::explain
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanExplain {
+    /// Whether the index probe produced a page-list plan.
+    pub used_index: bool,
+    /// Whether an index probe failed and the planner fell back to a full
+    /// scan of the live pages.
+    pub index_fallback: bool,
+    /// Live data pages in the scan universe (all sealed segments plus the
+    /// open segment, retired generations excluded).
+    pub live_pages: u64,
+    /// Pages the plan will scan after index and bitmap pruning and the
+    /// time-window clip (before any budget/deadline clip).
+    pub planned_pages: u64,
+    /// Pages the plan would drop to honor the page budget.
+    pub budget_clipped: u64,
+    /// Further pages the plan would drop to honor the deadline.
+    pub deadline_clipped: u64,
+    /// Per-segment breakdown, oldest segment first, open segment last.
+    pub segments: Vec<SegmentExplain>,
+}
+
+impl PlanExplain {
+    /// Total pages removed by the index probe alone.
+    pub fn pruned_by_index(&self) -> u64 {
+        self.segments.iter().map(|s| s.pruned_by_index).sum()
+    }
+
+    /// Total pages removed by the segment bitmaps alone.
+    pub fn pruned_by_bitmap(&self) -> u64 {
+        self.segments.iter().map(|s| s.pruned_by_bitmap).sum()
+    }
+
+    /// Total pages both mechanisms independently removed.
+    pub fn pruned_by_both(&self) -> u64 {
+        self.segments.iter().map(|s| s.pruned_by_both).sum()
+    }
+}
+
+impl std::fmt::Display for PlanExplain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "plan: {} of {} live pages ({}index), pruned {} by index / {} \
+             by bitmap / {} by both, clipped {} by budget + {} by deadline",
+            self.planned_pages,
+            self.live_pages,
+            if self.used_index {
+                if self.index_fallback {
+                    "fallback from "
+                } else {
+                    ""
+                }
+            } else {
+                "no "
+            },
+            self.pruned_by_index(),
+            self.pruned_by_bitmap(),
+            self.pruned_by_both(),
+            self.budget_clipped,
+            self.deadline_clipped,
+        )?;
+        for seg in &self.segments {
+            writeln!(
+                f,
+                "  segment {}: {}/{} pages planned, pruned {} index / {} \
+                 bitmap / {} both{}",
+                seg.segment_id
+                    .map_or_else(|| "open".to_string(), |id| id.to_string()),
+                seg.planned_pages,
+                seg.live_pages,
+                seg.pruned_by_index,
+                seg.pruned_by_bitmap,
+                seg.pruned_by_both,
+                if seg.has_bitmaps { "" } else { " (no bitmaps)" },
+            )?;
+        }
+        Ok(())
+    }
 }
 
 impl QueryOutcome {
@@ -404,14 +561,18 @@ mod tests {
             uncommitted_lines_discarded: 12,
             segments_recovered: 2,
             segments_dropped: 1,
+            segment_bitmaps_dropped: 0,
             index: IndexRecovery::Checkpoint,
         };
         let s = r.to_string();
         assert!(s.contains("commit 3"), "{s}");
         assert!(s.contains("2 sealed segments, 1 dropped"), "{s}");
         assert!(s.contains("checkpoint"), "{s}");
+        assert!(!s.contains("bitmap sidecar"), "{s}");
         r.index = IndexRecovery::Rebuilt;
         assert!(r.to_string().contains("rebuilt"), "{r}");
+        r.segment_bitmaps_dropped = 2;
+        assert!(r.to_string().contains("2 segment bitmap sidecar"), "{r}");
     }
 
     #[test]

@@ -15,17 +15,19 @@ use mithrilog_storage::{
 };
 use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer};
 
+use crate::bitmaps::{page_marks, PageMarks, SegmentBitmaps};
 use crate::cache::PageCache;
 use crate::config::SystemConfig;
 use crate::error::MithriLogError;
 use crate::exec::{self, page_is_skippable, CacheView, Engine, GenMap};
 use crate::outcome::{
-    DegradedRead, IndexRecovery, IngestReport, QueryOutcome, RecoveryReport, RetentionReport,
-    ScanAttribution, SegmentSummary, SharedBatchOutcome, SharedScanReport,
+    DegradedRead, IndexRecovery, IngestReport, PlanExplain, QueryOutcome, RecoveryReport,
+    RetentionReport, ScanAttribution, SegmentExplain, SegmentSummary, SharedBatchOutcome,
+    SharedScanReport,
 };
 
 const CHECKPOINT_MAGIC: &[u8; 4] = b"MLCK";
-const CHECKPOINT_VERSION: u32 = 1;
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// One query in a shared batch ([`MithriLog::query_shared`]): the parsed
 /// query plus the per-query execution constraints a multi-tenant service
@@ -176,6 +178,55 @@ pub struct MithriLog<S = MemStore> {
     /// set of live data pages: retention removes dropped pages, so stale
     /// index postings to dropped pages are filtered at plan time.
     page_gens: HashMap<u64, u64>,
+    /// Durable locations of segment bitmap sidecars, keyed by segment id.
+    /// Persisted in the checkpoint; a segment with in-memory bitmaps but
+    /// no ref gets its sidecar appended at the next commit.
+    bitmap_refs: BTreeMap<u64, BitmapRef>,
+}
+
+/// Durable location of one segment's bitmap sidecar blob: raw device pages
+/// appended before the owning commit's checkpoint, validated by byte length
+/// and CRC at load time. Corruption here only costs pruning power — the
+/// segment plans conservatively until its bitmaps are rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BitmapRef {
+    segment_id: u64,
+    first_page: u64,
+    page_count: u64,
+    byte_len: u64,
+    crc: u32,
+}
+
+/// One query's share of a wave plan (see `MithriLog::plan_wave`): the final
+/// page set (before the caller's window/budget/deadline clips), the
+/// as-if-solo probe ledger, and the per-segment pruning classification.
+struct PlannedQuery {
+    pages: Vec<PageId>,
+    plan_ledger: mithrilog_storage::CostLedger,
+    used_index: bool,
+    index_fallback: bool,
+    segments: Vec<SegmentExplain>,
+}
+
+impl PlannedQuery {
+    fn pruned_by_index(&self) -> u64 {
+        self.segments.iter().map(|s| s.pruned_by_index).sum()
+    }
+
+    fn pruned_by_bitmap(&self) -> u64 {
+        self.segments.iter().map(|s| s.pruned_by_bitmap).sum()
+    }
+
+    fn pruned_by_both(&self) -> u64 {
+        self.segments.iter().map(|s| s.pruned_by_both).sum()
+    }
+}
+
+/// A planned wave: one `PlannedQuery` per input query plus the batched
+/// probe's demanded-vs-physical accounting.
+struct WavePlan {
+    queries: Vec<PlannedQuery>,
+    probe_report: mithrilog_index::BatchProbeReport,
 }
 
 /// One sealed segment: an immutable run of data pages with its own CRC
@@ -191,6 +242,10 @@ struct Segment {
     raw_bytes: u64,
     compressed_bytes: u64,
     generation: u64,
+    /// The pruning bitmaps frozen at seal time (`None` when bitmaps are
+    /// disabled or the persisted sidecar failed validation — the planner
+    /// then treats every page of the segment as alive).
+    bitmaps: Option<SegmentBitmaps>,
 }
 
 /// The open segment: pages accumulate here until `segment_pages` is
@@ -203,6 +258,10 @@ struct OpenSegment {
     raw_bytes: u64,
     compressed_bytes: u64,
     generation: u64,
+    /// Per-page pruning marks, parallel to `pages` (empty when bitmaps are
+    /// disabled). Frozen into [`SegmentBitmaps`] at seal time; the open
+    /// segment itself is never pruned.
+    page_marks: Vec<PageMarks>,
 }
 
 impl OpenSegment {
@@ -213,6 +272,7 @@ impl OpenSegment {
             raw_bytes: 0,
             compressed_bytes: 0,
             generation,
+            page_marks: Vec::new(),
         }
     }
 }
@@ -259,6 +319,10 @@ struct PreparedFrame {
     /// The frame's distinct tokens, sorted — the order the index inserts
     /// them in, so the device page layout matches a direct ingest exactly.
     distinct: Vec<Vec<u8>>,
+    /// The page's pruning marks (`None` when bitmaps are disabled).
+    /// Computed here, in the pure half, so overlapped ingest stays
+    /// byte-identical to direct ingest.
+    marks: Option<PageMarks>,
 }
 
 impl<'a> PreparedIngest<'a> {
@@ -295,11 +359,17 @@ impl<'a> PreparedIngest<'a> {
                     }
                 }
             }
+            let marks = if config.bitmap_buckets > 0 {
+                Some(page_marks(&tokenizer, config.bitmap_buckets, slice))
+            } else {
+                None
+            };
             frames.push(PreparedFrame {
                 data: frame.data().to_vec(),
                 raw_range,
                 lines: frame.lines() as u64,
                 distinct: distinct.into_iter().collect(),
+                marks,
             });
         }
         PreparedIngest { text, frames }
@@ -408,6 +478,7 @@ impl<S: PageStore> MithriLog<S> {
             next_segment_id: 0,
             next_generation: 1,
             page_gens: HashMap::new(),
+            bitmap_refs: BTreeMap::new(),
             config,
         })
     }
@@ -549,6 +620,7 @@ impl<S: PageStore> MithriLog<S> {
                 raw_bytes: seal.raw_bytes,
                 compressed_bytes: seal.compressed_bytes,
                 generation,
+                bitmaps: None,
             });
         }
 
@@ -570,12 +642,13 @@ impl<S: PageStore> MithriLog<S> {
             lines: total_lines - sealed_totals[1],
             compressed_bytes: total_compressed_bytes - sealed_totals[2],
             generation: open_generation,
+            page_marks: Vec::new(),
         };
 
         let restored = superblock
             .checkpoint
             .and_then(|ckpt| Self::load_checkpoint(&mut ssd, &config, &ckpt))
-            .filter(|(_, _, _, totals)| {
+            .filter(|(_, _, _, _, totals)| {
                 *totals == [total_raw_bytes, total_lines, total_compressed_bytes]
             });
         let index_recovery = if restored.is_some() {
@@ -583,15 +656,39 @@ impl<S: PageStore> MithriLog<S> {
         } else {
             IndexRecovery::Rebuilt
         };
-        let (index, stats, scatter, logical_clock) = match restored {
-            Some((index, stats, scatter, _)) => (index, stats, scatter, total_lines),
+        let (index, stats, scatter, mut bitmap_refs, logical_clock) = match restored {
+            Some((index, stats, scatter, refs, _)) => (index, stats, scatter, refs, total_lines),
             None => (
                 InvertedIndex::with_page_bytes(config.index, config.device.page_bytes),
                 DatapathStats::new(),
                 ScatterGather::new(config.tokenizer.lanes),
+                BTreeMap::new(),
                 total_lines,
             ),
         };
+
+        // Attach persisted segment bitmaps, validating each sidecar blob:
+        // a failed CRC/decode drops that segment's bitmaps (conservative
+        // planning) and is reported — degraded, never lying. A mount with
+        // bitmaps disabled discards the directory outright.
+        let active_ids: HashSet<u64> = segments.iter().map(|s| s.id).collect();
+        bitmap_refs.retain(|id, _| active_ids.contains(id));
+        let mut segment_bitmaps_dropped = 0u64;
+        if config.bitmap_buckets == 0 {
+            bitmap_refs.clear();
+        } else {
+            for seg in &mut segments {
+                if let Some(bref) = bitmap_refs.get(&seg.id).copied() {
+                    match Self::load_segment_bitmaps(&mut ssd, &config, &bref, seg.pages.len()) {
+                        Some(bitmaps) => seg.bitmaps = Some(bitmaps),
+                        None => {
+                            segment_bitmaps_dropped += 1;
+                            bitmap_refs.remove(&seg.id);
+                        }
+                    }
+                }
+            }
+        }
 
         let report = RecoveryReport {
             superblock_sequence: superblock.sequence,
@@ -604,6 +701,7 @@ impl<S: PageStore> MithriLog<S> {
             segments_recovered: segments.len() as u64,
             segments_dropped: drops.len() as u64,
             index: index_recovery,
+            segment_bitmaps_dropped,
         };
 
         let mut system = MithriLog {
@@ -627,10 +725,16 @@ impl<S: PageStore> MithriLog<S> {
             // fresh generation above, past anything cached before.
             next_generation,
             page_gens,
+            bitmap_refs,
             config,
         };
         if report.index == IndexRecovery::Rebuilt {
             system.reindex_from_pages()?;
+        } else if system.config.bitmap_buckets > 0 {
+            // The open segment's marks are never persisted (it has no
+            // sidecar until it seals); rebuild them from its pages so a
+            // seal after this mount still freezes complete bitmaps.
+            system.rebuild_open_marks()?;
         }
         Ok((system, report))
     }
@@ -751,7 +855,44 @@ impl<S: PageStore> MithriLog<S> {
     /// verification are quarantined: subsequent reads fail up front with
     /// zero charges until the page is rewritten.
     pub fn scrub(&mut self) -> mithrilog_storage::ScrubReport {
-        self.ssd.scrub()
+        let mut report = self.ssd.scrub();
+        report.bitmaps_dropped += self.verify_sidecars();
+        report
+    }
+
+    /// Re-validates every persisted pruning-bitmap sidecar against its
+    /// checkpoint directory entry (CRC, decode, geometry). A sidecar that
+    /// fails is dropped — the segment's in-memory bitmaps are cleared and
+    /// its directory entry removed, so planning falls back to the
+    /// conservative page set (degrade, don't lie) and the next commit
+    /// persists a fresh sidecar if the bitmaps are ever rebuilt. Returns
+    /// the number of sidecars dropped.
+    fn verify_sidecars(&mut self) -> u64 {
+        let mut dropped = 0u64;
+        let refs: Vec<BitmapRef> = self.bitmap_refs.values().copied().collect();
+        for bref in refs {
+            let seg_pages = self
+                .segments
+                .iter()
+                .find(|s| s.id == bref.segment_id)
+                .map(|s| s.pages.len());
+            let Some(seg_pages) = seg_pages else {
+                // Directory entry for a segment that no longer exists;
+                // defensive cleanup, not a verification failure.
+                self.bitmap_refs.remove(&bref.segment_id);
+                continue;
+            };
+            let ok =
+                Self::load_segment_bitmaps(&mut self.ssd, &self.config, &bref, seg_pages).is_some();
+            if !ok {
+                dropped += 1;
+                self.bitmap_refs.remove(&bref.segment_id);
+                if let Some(seg) = self.segments.iter_mut().find(|s| s.id == bref.segment_id) {
+                    seg.bitmaps = None;
+                }
+            }
+        }
+        dropped
     }
 
     /// Verifies one bounded slice of the device, for incremental (online)
@@ -878,6 +1019,7 @@ impl<S: PageStore> MithriLog<S> {
                 dropped_pages.insert(p.0);
             }
             self.pending.drops.push(seg.id);
+            self.bitmap_refs.remove(&seg.id);
         }
         self.data_pages.retain(|p| !dropped_pages.contains(&p.0));
         report.segments_retained = self.segments.len() as u64;
@@ -888,6 +1030,17 @@ impl<S: PageStore> MithriLog<S> {
     /// The ids of the data pages, in ingest order.
     pub fn data_pages(&self) -> &[PageId] {
         &self.data_pages
+    }
+
+    /// Durable locations of the persisted segment bitmap sidecars:
+    /// `(segment_id, first_page, page_count)` per sealed segment whose
+    /// sidecar blob is on the device. Exposed so fault-injection tests and
+    /// diagnostics can target the sidecar pages precisely.
+    pub fn bitmap_sidecar_locations(&self) -> Vec<(u64, u64, u64)> {
+        self.bitmap_refs
+            .values()
+            .map(|r| (r.segment_id, r.first_page, r.page_count))
+            .collect()
     }
 
     /// The modeled accelerator throughput for the ingested corpus
@@ -955,6 +1108,9 @@ impl<S: PageStore> MithriLog<S> {
             self.pending.data_pages.push(page.0);
             self.page_gens.insert(page.0, self.open.generation);
             self.open.pages.push(page);
+            if let Some(marks) = &frame.marks {
+                self.open.page_marks.push(marks.clone());
+            }
 
             self.index.insert_page_tokens(
                 &mut self.ssd,
@@ -1007,6 +1163,12 @@ impl<S: PageStore> MithriLog<S> {
         let id = self.next_segment_id;
         self.next_segment_id += 1;
         let generation = self.open.generation;
+        let marks = std::mem::take(&mut self.open.page_marks);
+        // Freeze the pruning bitmaps only when every page carries marks —
+        // a partially-marked run (bitmaps enabled mid-life) stays
+        // conservative rather than lying about the unmarked pages.
+        let bitmaps = (self.config.bitmap_buckets > 0 && marks.len() == pages.len())
+            .then(|| SegmentBitmaps::build(self.config.bitmap_buckets, &marks));
         let seg = Segment {
             id,
             crc,
@@ -1015,6 +1177,7 @@ impl<S: PageStore> MithriLog<S> {
             raw_bytes: std::mem::take(&mut self.open.raw_bytes),
             compressed_bytes: std::mem::take(&mut self.open.compressed_bytes),
             generation,
+            bitmaps,
         };
         self.open = OpenSegment::new(self.next_generation);
         self.next_generation += 1;
@@ -1066,6 +1229,7 @@ impl<S: PageStore> MithriLog<S> {
     /// superblock active and the whole commit in the discardable tail.
     fn commit(&mut self) -> Result<(), MithriLogError> {
         self.index.seal_storage();
+        self.persist_segment_bitmaps()?;
         let blob = self.checkpoint_blob();
         let page_bytes = self.config.device.page_bytes;
         let ckpt = CheckpointRef {
@@ -1115,9 +1279,40 @@ impl<S: PageStore> MithriLog<S> {
         Ok(())
     }
 
+    /// Appends the sidecar blob of every sealed segment whose bitmaps are
+    /// not yet durable (fresh seals, or rebuilds after a dropped sidecar),
+    /// recording each blob's location and CRC for the checkpoint. Runs
+    /// before the checkpoint blob is built so the refs it serializes are
+    /// complete; the pages ride the same commit as the seal record.
+    fn persist_segment_bitmaps(&mut self) -> Result<(), MithriLogError> {
+        let page_bytes = self.config.device.page_bytes;
+        for seg in &self.segments {
+            let Some(bitmaps) = &seg.bitmaps else {
+                continue;
+            };
+            if self.bitmap_refs.contains_key(&seg.id) {
+                continue;
+            }
+            let blob = bitmaps.to_bytes();
+            let bref = BitmapRef {
+                segment_id: seg.id,
+                first_page: self.ssd.page_count(),
+                page_count: blob.len().div_ceil(page_bytes) as u64,
+                byte_len: blob.len() as u64,
+                crc: crc32(&blob),
+            };
+            for chunk in blob.chunks(page_bytes) {
+                self.ssd.append(chunk)?;
+            }
+            self.bitmap_refs.insert(seg.id, bref);
+        }
+        Ok(())
+    }
+
     /// Serializes the host-side state a mount cannot reconstruct from the
     /// journal alone: the index, the datapath statistics, the scatter
-    /// schedule, and the running totals for cross-checking.
+    /// schedule, the segment bitmap sidecar directory, and the running
+    /// totals for cross-checking.
     fn checkpoint_blob(&self) -> Vec<u8> {
         let mut blob = Vec::new();
         blob.extend_from_slice(CHECKPOINT_MAGIC);
@@ -1129,6 +1324,7 @@ impl<S: PageStore> MithriLog<S> {
             self.index.checkpoint_bytes(),
             self.stats.to_bytes(),
             self.scatter.to_bytes(),
+            self.bitmap_refs_bytes(),
         ] {
             blob.extend_from_slice(&(section.len() as u64).to_le_bytes());
             blob.extend_from_slice(&section);
@@ -1136,16 +1332,75 @@ impl<S: PageStore> MithriLog<S> {
         blob
     }
 
+    /// Serializes the sidecar directory: one fixed-width entry per durable
+    /// segment bitmap blob, ascending by segment id.
+    fn bitmap_refs_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.bitmap_refs.len() * 36);
+        out.extend_from_slice(&(self.bitmap_refs.len() as u64).to_le_bytes());
+        for bref in self.bitmap_refs.values() {
+            out.extend_from_slice(&bref.segment_id.to_le_bytes());
+            out.extend_from_slice(&bref.first_page.to_le_bytes());
+            out.extend_from_slice(&bref.page_count.to_le_bytes());
+            out.extend_from_slice(&bref.byte_len.to_le_bytes());
+            out.extend_from_slice(&bref.crc.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the sidecar directory section of a checkpoint. Entries must
+    /// ascend strictly by segment id and consume the section exactly.
+    fn parse_bitmap_refs(bytes: &[u8]) -> Option<BTreeMap<u64, BitmapRef>> {
+        let (count, mut rest) = take_u64(bytes)?;
+        let mut refs = BTreeMap::new();
+        let mut last: Option<u64> = None;
+        for _ in 0..count {
+            if rest.len() < 36 {
+                return None;
+            }
+            let segment_id = u64::from_le_bytes(rest[..8].try_into().ok()?);
+            let first_page = u64::from_le_bytes(rest[8..16].try_into().ok()?);
+            let page_count = u64::from_le_bytes(rest[16..24].try_into().ok()?);
+            let byte_len = u64::from_le_bytes(rest[24..32].try_into().ok()?);
+            let crc = u32::from_le_bytes(rest[32..36].try_into().ok()?);
+            rest = &rest[36..];
+            if last.is_some_and(|l| l >= segment_id) {
+                return None;
+            }
+            last = Some(segment_id);
+            refs.insert(
+                segment_id,
+                BitmapRef {
+                    segment_id,
+                    first_page,
+                    page_count,
+                    byte_len,
+                    crc,
+                },
+            );
+        }
+        if !rest.is_empty() {
+            return None;
+        }
+        Some(refs)
+    }
+
     /// Reads and validates the checkpoint blob `ckpt` points at. Any
     /// failure — unreadable pages, CRC mismatch, malformed sections,
     /// parameter drift — returns `None` and recovery falls back to a full
     /// reindex; the checkpoint is an optimization, never a correctness
     /// dependency.
+    #[allow(clippy::type_complexity)]
     fn load_checkpoint(
         ssd: &mut SimSsd<S>,
         config: &SystemConfig,
         ckpt: &CheckpointRef,
-    ) -> Option<(InvertedIndex, DatapathStats, ScatterGather, [u64; 3])> {
+    ) -> Option<(
+        InvertedIndex,
+        DatapathStats,
+        ScatterGather,
+        BTreeMap<u64, BitmapRef>,
+        [u64; 3],
+    )> {
         let mut blob = Vec::with_capacity(ckpt.byte_len as usize);
         for page in ckpt.first_page..ckpt.first_page + ckpt.page_count {
             blob.extend_from_slice(&ssd.read(PageId(page)).ok()?);
@@ -1171,6 +1426,7 @@ impl<S: PageStore> MithriLog<S> {
         let (index_bytes, rest) = take_section(rest)?;
         let (stats_bytes, rest) = take_section(rest)?;
         let (scatter_bytes, rest) = take_section(rest)?;
+        let (refs_bytes, rest) = take_section(rest)?;
         if !rest.is_empty() {
             return None;
         }
@@ -1181,7 +1437,35 @@ impl<S: PageStore> MithriLog<S> {
         if scatter.lanes() != config.tokenizer.lanes {
             return None;
         }
-        Some((index, stats, scatter, totals))
+        let refs = Self::parse_bitmap_refs(refs_bytes)?;
+        Some((index, stats, scatter, refs, totals))
+    }
+
+    /// Loads one segment's bitmap sidecar from its durable ref, validating
+    /// byte length, CRC, decode, and geometry against the live segment.
+    /// Any failure returns `None`: the segment plans conservatively.
+    fn load_segment_bitmaps(
+        ssd: &mut SimSsd<S>,
+        config: &SystemConfig,
+        bref: &BitmapRef,
+        segment_pages: usize,
+    ) -> Option<SegmentBitmaps> {
+        let mut blob = Vec::with_capacity(bref.byte_len as usize);
+        for page in bref.first_page..bref.first_page + bref.page_count {
+            blob.extend_from_slice(&ssd.read(PageId(page)).ok()?);
+        }
+        if (bref.byte_len as usize) > blob.len() {
+            return None;
+        }
+        blob.truncate(bref.byte_len as usize);
+        if crc32(&blob) != bref.crc {
+            return None;
+        }
+        let bitmaps = SegmentBitmaps::from_bytes(&blob)?;
+        if bitmaps.buckets() != config.bitmap_buckets || bitmaps.pages() != segment_pages {
+            return None;
+        }
+        Some(bitmaps)
     }
 
     /// Rebuilds the in-memory index (and the rest of the host-side state)
@@ -1214,6 +1498,8 @@ impl<S: PageStore> MithriLog<S> {
         self.total_raw_bytes = 0;
         self.total_lines = 0;
         self.total_compressed_bytes = 0;
+        let buckets = self.config.bitmap_buckets;
+        let mut marks_by_page: HashMap<u64, PageMarks> = HashMap::new();
         let pages = self.data_pages.clone();
         for page in pages {
             let raw = self.ssd.read(page)?;
@@ -1227,6 +1513,9 @@ impl<S: PageStore> MithriLog<S> {
                     distinct.insert(tok);
                 }
             }
+            if buckets > 0 {
+                marks_by_page.insert(page.0, page_marks(&self.tokenizer, buckets, &text));
+            }
             self.index
                 .insert_page_tokens(&mut self.ssd, page, distinct)?;
             self.stats.record_text(&self.tokenizer, &text);
@@ -1234,6 +1523,43 @@ impl<S: PageStore> MithriLog<S> {
             self.total_raw_bytes += text.len() as u64;
             self.total_compressed_bytes += codec.frame_bytes(&raw)? as u64;
         }
+        // Rebuild the pruning bitmaps from the same rescan: sealed
+        // segments re-freeze deterministically (byte-identical to their
+        // seal-time sidecars), the open segment gets its marks back. The
+        // fresh sidecars become durable at the next commit.
+        if buckets > 0 {
+            for seg in &mut self.segments {
+                let marks: Option<Vec<PageMarks>> = seg
+                    .pages
+                    .iter()
+                    .map(|p| marks_by_page.get(&p.0).cloned())
+                    .collect();
+                seg.bitmaps = marks.map(|m| SegmentBitmaps::build(buckets, &m));
+            }
+            self.open.page_marks = self
+                .open
+                .pages
+                .iter()
+                .filter_map(|p| marks_by_page.get(&p.0).cloned())
+                .collect();
+        }
+        Ok(())
+    }
+
+    /// Recomputes the open segment's per-page marks from its pages — the
+    /// mount path's counterpart to the marks [`PreparedIngest::build`]
+    /// accumulates during normal ingest.
+    fn rebuild_open_marks(&mut self) -> Result<(), MithriLogError> {
+        let codec = Lzah::new(self.config.lzah);
+        let buckets = self.config.bitmap_buckets;
+        let mut marks = Vec::with_capacity(self.open.pages.len());
+        let pages = self.open.pages.clone();
+        for page in pages {
+            let raw = self.ssd.read(page)?;
+            let text = codec.decompress(&raw)?;
+            marks.push(page_marks(&self.tokenizer, buckets, &text));
+        }
+        self.open.page_marks = marks;
         Ok(())
     }
 
@@ -1345,58 +1671,25 @@ impl<S: PageStore> MithriLog<S> {
             index_fallback: bool,
             budget_clipped: u64,
             deadline_clipped: u64,
+            pruned_by_index: u64,
+            pruned_by_bitmap: u64,
+            pruned_by_both: u64,
         }
+        let queries: Vec<&Query> = requests.iter().map(|r| &r.query).collect();
+        let wave = self.plan_wave(&queries)?;
         let mut prepared: Vec<Prepared> = Vec::with_capacity(requests.len());
         let mut pipelines: Vec<Option<FilterPipeline>> = Vec::with_capacity(requests.len());
-        for req in requests {
-            let ledger_before = *self.ssd.ledger();
+        for (req, planned) in requests.iter().zip(wave.queries) {
             let window = req.time_range.map(|(t1, t2)| self.index.time_slice(t1, t2));
-            let mut index_fallback = false;
-            let plan = if self.config.use_index && self.index_probe_is_worthwhile(&req.query) {
-                match self.index.plan(&mut self.ssd, &req.query) {
-                    Ok(plan) => plan,
-                    Err(e) if page_is_skippable(&e) => {
-                        index_fallback = true;
-                        QueryPlan::FullScan
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            } else {
-                QueryPlan::FullScan
-            };
-            let (mut pages, used_index): (Vec<PageId>, bool) = match &plan {
-                QueryPlan::Pages(p) => (p.clone(), true),
-                QueryPlan::FullScan => (self.data_pages.clone(), false),
-            };
-            if used_index {
-                // The index may still hold postings to retention-dropped
-                // pages; plans only ever scan live pages.
-                pages.retain(|p| self.page_gens.contains_key(&p.0));
-            }
+            let pruned_by_index = planned.pruned_by_index();
+            let pruned_by_bitmap = planned.pruned_by_bitmap();
+            let pruned_by_both = planned.pruned_by_both();
+            let mut pages = planned.pages;
             if let Some((lo, hi)) = window {
                 pages.retain(|p| lo.is_none_or(|l| *p >= l) && hi.is_none_or(|h| *p < h));
             }
-            let mut budget_clipped = 0u64;
-            if let Some(budget) = req.page_budget {
-                let keep = usize::try_from(budget)
-                    .unwrap_or(usize::MAX)
-                    .min(pages.len());
-                budget_clipped = (pages.len() - keep) as u64;
-                pages.truncate(keep);
-            }
-            // The deadline clip runs after the budget clip: the deadline is
-            // converted into a page allowance with the device performance
-            // model, so the clip depends only on the request and the model —
-            // the same request replays byte-identically anywhere.
-            let mut deadline_clipped = 0u64;
-            if let Some(deadline) = req.deadline {
-                let keep = usize::try_from(self.deadline_page_allowance(deadline))
-                    .unwrap_or(usize::MAX)
-                    .min(pages.len());
-                deadline_clipped = (pages.len() - keep) as u64;
-                pages.truncate(keep);
-            }
-            let plan_ledger = self.ssd.ledger().since(&ledger_before);
+            let (budget_clipped, deadline_clipped) =
+                self.clip_plan(&mut pages, req.page_budget, req.deadline);
             pipelines.push(
                 FilterPipeline::compile_with(
                     &req.query,
@@ -1407,11 +1700,14 @@ impl<S: PageStore> MithriLog<S> {
             );
             prepared.push(Prepared {
                 pages,
-                plan_ledger,
-                used_index,
-                index_fallback,
+                plan_ledger: planned.plan_ledger,
+                used_index: planned.used_index,
+                index_fallback: planned.index_fallback,
                 budget_clipped,
                 deadline_clipped,
+                pruned_by_index,
+                pruned_by_bitmap,
+                pruned_by_both,
             });
         }
 
@@ -1458,12 +1754,20 @@ impl<S: PageStore> MithriLog<S> {
             shared_reads_avoided: fan.device_ledger.shared_reads,
             cache_hits: fan.device_ledger.cache_hits,
             cache_bytes_saved: fan.device_ledger.cache_bytes_saved,
+            pages_pruned_by_index: prepared.iter().map(|p| p.pruned_by_index).sum(),
+            pages_pruned_by_bitmap: prepared.iter().map(|p| p.pruned_by_bitmap).sum(),
+            pages_pruned_by_both: prepared.iter().map(|p| p.pruned_by_both).sum(),
+            probe_node_visits_demanded: wave.probe_report.node_visits_demanded,
+            probe_node_visits_physical: wave.probe_report.node_visits_physical,
             attribution: Vec::with_capacity(requests.len()),
         };
         let mut outcomes = Vec::with_capacity(requests.len());
         for ((prep, scan), pipeline) in prepared.iter().zip(fan.queries).zip(&pipelines) {
             let mut attr = ScanAttribution {
                 planned_pages: prep.pages.len() as u64,
+                pruned_by_index: prep.pruned_by_index,
+                pruned_by_bitmap: prep.pruned_by_bitmap,
+                pruned_by_both: prep.pruned_by_both,
                 ..ScanAttribution::default()
             };
             for page in &prep.pages {
@@ -1523,32 +1827,21 @@ impl<S: PageStore> MithriLog<S> {
         window: Option<(Option<PageId>, Option<PageId>)>,
     ) -> Result<QueryOutcome, MithriLogError> {
         let wall_start = Instant::now();
-        let ledger_before = *self.ssd.ledger();
         let mut degraded = DegradedRead::default();
 
-        let plan = if self.config.use_index && self.index_probe_is_worthwhile(query) {
-            match self.index.plan(&mut self.ssd, query) {
-                Ok(plan) => plan,
-                // A corrupt/unreadable index page costs only the pruning:
-                // fall back to scanning everything through the filter.
-                Err(e) if page_is_skippable(&e) => {
-                    degraded.index_fallback = true;
-                    QueryPlan::FullScan
-                }
-                Err(e) => return Err(e.into()),
-            }
-        } else {
-            QueryPlan::FullScan
-        };
-        let (mut pages, used_index): (Vec<PageId>, bool) = match &plan {
-            QueryPlan::Pages(p) => (p.clone(), true),
-            QueryPlan::FullScan => (self.data_pages.clone(), false),
-        };
-        if used_index {
-            // The index may still hold postings to retention-dropped pages;
-            // plans only ever scan live pages.
-            pages.retain(|p| self.page_gens.contains_key(&p.0));
-        }
+        // The solo path is a batch of one through the shared wave planner:
+        // one code path decides index use, replays the as-if-solo probe
+        // ledger, and applies the segment-bitmap pruning, so a query run
+        // alone and the same query run inside a wave plan identically.
+        let wave = self.plan_wave(std::slice::from_ref(&query))?;
+        let planned = wave
+            .queries
+            .into_iter()
+            .next()
+            .expect("plan_wave returns one plan per query");
+        degraded.index_fallback = planned.index_fallback;
+        let used_index = planned.used_index;
+        let mut pages = planned.pages;
         if let Some((lo, hi)) = window {
             pages.retain(|p| lo.is_none_or(|l| *p >= l) && hi.is_none_or(|h| *p < h));
         }
@@ -1561,10 +1854,10 @@ impl<S: PageStore> MithriLog<S> {
             Err(_) => Engine::Software(query),
         };
 
-        // Planning charges (index probes) accrued on the device ledger;
-        // snapshot them before the scan so the query's as-if-solo ledger
-        // can be assembled independently of cache hits.
-        let plan_ledger = self.ssd.ledger().since(&ledger_before);
+        // Planning charges: the as-if-solo probe replay ledger from the
+        // wave planner (physical walk charges already sit on the device
+        // ledger).
+        let plan_ledger = planned.plan_ledger;
 
         // The parallel datapath: pages striped across the worker pool, each
         // worker running its own read → decompress → filter pipeline with a
@@ -1617,6 +1910,234 @@ impl<S: PageStore> MithriLog<S> {
             modeled_time,
             wall_time: wall_start.elapsed(),
             degraded,
+        })
+    }
+
+    /// Plans a wave of queries through one batched index probe plus the
+    /// per-segment pruning bitmaps.
+    ///
+    /// * Every query that wants the index (per
+    ///   [`MithriLog::index_probe_is_worthwhile`]) joins a single
+    ///   level-wise traversal ([`InvertedIndex::probe_batch`]): shared hash
+    ///   entries are walked once physically while each query's ledger is
+    ///   replayed as if it probed alone, so per-query ledgers are
+    ///   byte-identical to solo runs and the saved walks are credited to
+    ///   the device ledger as shared reads — the same demanded-vs-physical
+    ///   split the scan fan-out uses.
+    /// * With [`SystemConfig::bitmap_buckets`] > 0 (and `use_index` on),
+    ///   every sealed segment's frozen bitmaps classify each live page:
+    ///   kept, pruned by the index plan, pruned by the bitmaps (a positive
+    ///   term absent from the page, or a negated term saturating it), or
+    ///   both. Bitmap pruning never skips a page that could hold a matching
+    ///   line (see `crate::bitmaps`), so outcomes stay byte-identical; the
+    ///   open segment and segments without bitmaps are never pruned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-survivable probe errors; survivable (skippable) ones
+    /// degrade the affected query to a full scan exactly like the solo
+    /// path.
+    fn plan_wave(&mut self, queries: &[&Query]) -> Result<WavePlan, MithriLogError> {
+        let wants_probe: Vec<bool> = queries
+            .iter()
+            .map(|q| self.config.use_index && self.index_probe_is_worthwhile(q))
+            .collect();
+        let probing: Vec<&Query> = queries
+            .iter()
+            .zip(&wants_probe)
+            .filter(|(_, w)| **w)
+            .map(|(q, _)| *q)
+            .collect();
+        let (probed, probe_report) = if probing.is_empty() {
+            (Vec::new(), mithrilog_index::BatchProbeReport::default())
+        } else {
+            self.index.probe_batch(&mut self.ssd, &probing)
+        };
+        // Entry walks demanded by several queries were paid once; credit
+        // the difference on the device ledger as shared reads so the
+        // demanded-vs-physical story stays consistent batch-wide.
+        let saved = probe_report.node_visits_saved();
+        if saved > 0 {
+            let credit = mithrilog_storage::CostLedger {
+                shared_reads: saved,
+                ..Default::default()
+            };
+            self.ssd.merge_ledger(&credit);
+        }
+        let bitmaps_on = self.config.use_index && self.config.bitmap_buckets > 0;
+        let mut probed_iter = probed.into_iter();
+        let mut planned = Vec::with_capacity(queries.len());
+        for (query, wants) in queries.iter().zip(&wants_probe) {
+            let mut plan_ledger = mithrilog_storage::CostLedger::default();
+            let mut index_fallback = false;
+            let plan = if *wants {
+                let p = probed_iter
+                    .next()
+                    .expect("one probed plan per probing query");
+                plan_ledger = p.ledger;
+                match p.plan {
+                    Ok(plan) => plan,
+                    // A corrupt/unreadable index page costs only the
+                    // pruning: fall back to scanning everything through
+                    // the filter.
+                    Err(e) if page_is_skippable(&e) => {
+                        index_fallback = true;
+                        QueryPlan::FullScan
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                QueryPlan::FullScan
+            };
+            let (mut pages, used_index): (Vec<PageId>, bool) = match &plan {
+                QueryPlan::Pages(p) => (p.clone(), true),
+                QueryPlan::FullScan => (self.data_pages.clone(), false),
+            };
+            if used_index {
+                // The index may still hold postings to retention-dropped
+                // pages; plans only ever scan live pages.
+                pages.retain(|p| self.page_gens.contains_key(&p.0));
+            }
+            // Classify every live page against the index plan and the
+            // segment bitmaps; the sealed + open segments partition the
+            // live pages exactly.
+            let index_set: Option<HashSet<u64>> =
+                used_index.then(|| pages.iter().map(|p| p.0).collect());
+            let mut dead: HashSet<u64> = HashSet::new();
+            let mut segments: Vec<SegmentExplain> = Vec::with_capacity(self.segments.len() + 1);
+            for seg in &self.segments {
+                let alive = if bitmaps_on {
+                    seg.bitmaps.as_ref().map(|bm| bm.alive_pages(query))
+                } else {
+                    None
+                };
+                let mut row = SegmentExplain {
+                    segment_id: Some(seg.id),
+                    live_pages: seg.pages.len() as u64,
+                    planned_pages: 0,
+                    pruned_by_index: 0,
+                    pruned_by_bitmap: 0,
+                    pruned_by_both: 0,
+                    has_bitmaps: seg.bitmaps.is_some(),
+                };
+                for (i, p) in seg.pages.iter().enumerate() {
+                    let in_index = index_set.as_ref().is_none_or(|s| s.contains(&p.0));
+                    let bitmap_alive = alive.as_ref().is_none_or(|a| a.get(i));
+                    if !bitmap_alive {
+                        dead.insert(p.0);
+                    }
+                    match (in_index, bitmap_alive) {
+                        (true, true) => row.planned_pages += 1,
+                        (true, false) => row.pruned_by_bitmap += 1,
+                        (false, true) => row.pruned_by_index += 1,
+                        (false, false) => row.pruned_by_both += 1,
+                    }
+                }
+                segments.push(row);
+            }
+            let mut open_row = SegmentExplain {
+                segment_id: None,
+                live_pages: self.open.pages.len() as u64,
+                planned_pages: 0,
+                pruned_by_index: 0,
+                pruned_by_bitmap: 0,
+                pruned_by_both: 0,
+                has_bitmaps: false,
+            };
+            for p in &self.open.pages {
+                if index_set.as_ref().is_none_or(|s| s.contains(&p.0)) {
+                    open_row.planned_pages += 1;
+                } else {
+                    open_row.pruned_by_index += 1;
+                }
+            }
+            segments.push(open_row);
+            if !dead.is_empty() {
+                pages.retain(|p| !dead.contains(&p.0));
+            }
+            planned.push(PlannedQuery {
+                pages,
+                plan_ledger,
+                used_index,
+                index_fallback,
+                segments,
+            });
+        }
+        Ok(WavePlan {
+            queries: planned,
+            probe_report,
+        })
+    }
+
+    /// Applies the deadline clips to a planned page list — the page budget
+    /// first, then the modeled-time deadline — returning
+    /// `(budget_clipped, deadline_clipped)`. The deadline clip runs after
+    /// the budget clip: the deadline is converted into a page allowance
+    /// with the device performance model, so the clip depends only on the
+    /// request and the model — the same request replays byte-identically
+    /// anywhere.
+    fn clip_plan(
+        &self,
+        pages: &mut Vec<PageId>,
+        page_budget: Option<u64>,
+        deadline: Option<Duration>,
+    ) -> (u64, u64) {
+        let mut budget_clipped = 0u64;
+        if let Some(budget) = page_budget {
+            let keep = usize::try_from(budget)
+                .unwrap_or(usize::MAX)
+                .min(pages.len());
+            budget_clipped = (pages.len() - keep) as u64;
+            pages.truncate(keep);
+        }
+        let mut deadline_clipped = 0u64;
+        if let Some(deadline) = deadline {
+            let keep = usize::try_from(self.deadline_page_allowance(deadline))
+                .unwrap_or(usize::MAX)
+                .min(pages.len());
+            deadline_clipped = (pages.len() - keep) as u64;
+            pages.truncate(keep);
+        }
+        (budget_clipped, deadline_clipped)
+    }
+
+    /// Explains how one request would be planned — index decision, batched
+    /// probe, bitmap pruning, window and deadline clips — without scanning
+    /// a single data page.
+    ///
+    /// The probe itself runs for real (and is charged to the device ledger
+    /// honestly), because the plan *is* its result; the data-page scan is
+    /// what's skipped. Per-segment rows classify every live page; the
+    /// pruning counts are taken before the window/budget/deadline clips,
+    /// which only shorten the final plan
+    /// ([`PlanExplain::planned_pages`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-survivable storage errors from the probe, exactly
+    /// like [`MithriLog::query`].
+    pub fn explain(&mut self, req: &QueryRequest) -> Result<PlanExplain, MithriLogError> {
+        let wave = self.plan_wave(std::slice::from_ref(&&req.query))?;
+        let planned = wave
+            .queries
+            .into_iter()
+            .next()
+            .expect("plan_wave returns one plan per query");
+        let window = req.time_range.map(|(t1, t2)| self.index.time_slice(t1, t2));
+        let mut pages = planned.pages;
+        if let Some((lo, hi)) = window {
+            pages.retain(|p| lo.is_none_or(|l| *p >= l) && hi.is_none_or(|h| *p < h));
+        }
+        let (budget_clipped, deadline_clipped) =
+            self.clip_plan(&mut pages, req.page_budget, req.deadline);
+        Ok(PlanExplain {
+            used_index: planned.used_index,
+            index_fallback: planned.index_fallback,
+            live_pages: self.data_pages.len() as u64,
+            planned_pages: pages.len() as u64,
+            budget_clipped,
+            deadline_clipped,
+            segments: planned.segments,
         })
     }
 

@@ -63,6 +63,68 @@ impl Bitmap {
     pub fn count_ones(&self) -> usize {
         self.limbs.iter().map(|l| l.count_ones() as usize).sum()
     }
+
+    /// Creates an all-ones bitmap of `bits` width (trailing bits of the
+    /// last limb stay zero, so [`Bitmap::count_ones`] equals `bits`).
+    pub fn filled(bits: usize) -> Self {
+        let mut limbs = vec![u64::MAX; bits.div_ceil(64)];
+        let tail = bits % 64;
+        if tail != 0 {
+            if let Some(last) = limbs.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        Bitmap { limbs, bits }
+    }
+
+    /// In-place intersection: `self &= other`, word-wise over the limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ — combining bitmaps over different page
+    /// or bucket universes is always a logic error, never a degradation.
+    pub fn and_with(&mut self, other: &Bitmap) {
+        assert_eq!(
+            self.bits, other.bits,
+            "bitmap width mismatch: {} vs {}",
+            self.bits, other.bits
+        );
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union: `self |= other`, word-wise over the limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn or_with(&mut self, other: &Bitmap) {
+        assert_eq!(
+            self.bits, other.bits,
+            "bitmap width mismatch: {} vs {}",
+            self.bits, other.bits
+        );
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`, word-wise over the limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn and_not(&mut self, other: &Bitmap) {
+        assert_eq!(
+            self.bits, other.bits,
+            "bitmap width mismatch: {} vs {}",
+            self.bits, other.bits
+        );
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a &= !b;
+        }
+    }
 }
 
 impl fmt::Debug for Bitmap {
@@ -139,6 +201,88 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_set_panics() {
         Bitmap::new(100).set(100);
+    }
+
+    #[test]
+    fn filled_sets_exactly_bits_ones() {
+        for width in [0, 1, 63, 64, 65, 100, 128, 256] {
+            let b = Bitmap::filled(width);
+            assert_eq!(b.count_ones(), width, "width {width}");
+            for i in 0..width {
+                assert!(b.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn and_with_intersects_word_wise() {
+        let mut a = Bitmap::new(130);
+        let mut b = Bitmap::new(130);
+        for i in [0, 5, 64, 129] {
+            a.set(i);
+        }
+        for i in [5, 63, 64, 128] {
+            b.set(i);
+        }
+        a.and_with(&b);
+        assert!(a.get(5) && a.get(64));
+        assert!(!a.get(0) && !a.get(63) && !a.get(128) && !a.get(129));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn or_with_unions_word_wise() {
+        let mut a = Bitmap::new(130);
+        let mut b = Bitmap::new(130);
+        a.set(1);
+        a.set(129);
+        b.set(1);
+        b.set(64);
+        a.or_with(&b);
+        assert_eq!(a.count_ones(), 3);
+        assert!(a.get(1) && a.get(64) && a.get(129));
+    }
+
+    #[test]
+    fn and_not_subtracts_word_wise() {
+        let mut a = Bitmap::filled(130);
+        let mut b = Bitmap::new(130);
+        b.set(0);
+        b.set(65);
+        a.and_not(&b);
+        assert_eq!(a.count_ones(), 128);
+        assert!(!a.get(0) && !a.get(65));
+        assert!(a.get(1) && a.get(64) && a.get(129));
+    }
+
+    #[test]
+    fn combinators_preserve_trailing_zero_bits() {
+        // Width 100 leaves 28 unused bits in the last limb; a filled
+        // operand must never leak set bits past `len()`.
+        let mut a = Bitmap::filled(100);
+        let b = Bitmap::filled(100);
+        a.or_with(&b);
+        assert_eq!(a.count_ones(), 100);
+        a.and_with(&b);
+        assert_eq!(a.count_ones(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn and_with_rejects_width_mismatch() {
+        Bitmap::new(64).and_with(&Bitmap::new(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn or_with_rejects_width_mismatch() {
+        Bitmap::new(64).or_with(&Bitmap::new(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn and_not_rejects_width_mismatch() {
+        Bitmap::new(10).and_not(&Bitmap::new(11));
     }
 
     #[test]

@@ -297,6 +297,21 @@ impl InvertedIndex {
         Ok(pages)
     }
 
+    /// The two candidate entry indices for `token` (batch planner hook).
+    pub(crate) fn candidate_entries_for(&self, token: &[u8]) -> (usize, usize) {
+        self.candidate_entries(token)
+    }
+
+    /// Walks one entry physically (batch planner hook): buffer, pending
+    /// leaves, then the root chain — identical to the solo lookup path.
+    pub(crate) fn collect_entry_walk<S: PageStore>(
+        &self,
+        ssd: &mut SimSsd<S>,
+        idx: usize,
+    ) -> Result<Vec<u64>, StorageError> {
+        self.collect_entry(ssd, idx)
+    }
+
     fn read_leaf<S: PageStore>(
         &self,
         ssd: &mut SimSsd<S>,

@@ -51,4 +51,4 @@ mod wire;
 pub use index::{InvertedIndex, Snapshot};
 pub use node::{NodeAddr, NodePool};
 pub use params::IndexParams;
-pub use plan::QueryPlan;
+pub use plan::{BatchProbeReport, ProbedPlan, QueryPlan};

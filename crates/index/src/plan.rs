@@ -1,8 +1,10 @@
 //! Query planning over the inverted index: which data pages must the
 //! accelerator scan for a given union-of-intersections query?
 
+use std::collections::{HashMap, HashSet};
+
 use mithrilog_query::Query;
-use mithrilog_storage::{PageId, PageStore, SimSsd, StorageError};
+use mithrilog_storage::{CostLedger, PageId, PageStore, SimSsd, StorageError};
 
 use crate::index::InvertedIndex;
 
@@ -85,6 +87,175 @@ impl InvertedIndex {
         union.sort_unstable();
         union.dedup();
         Ok(QueryPlan::Pages(union))
+    }
+}
+
+/// One query's result from [`InvertedIndex::probe_batch`]: the plan (or the
+/// device error an as-if-solo probe would have hit) plus the index-read
+/// charges a solo probe of this query would have paid on a fresh replica.
+#[derive(Debug, Clone)]
+pub struct ProbedPlan {
+    /// The plan, exactly what [`InvertedIndex::plan`] would have produced
+    /// (same per-token page lists, same intersect/union order), or the
+    /// first device error the solo walk would have propagated.
+    pub plan: Result<QueryPlan, StorageError>,
+    /// As-if-solo index-probe charges for this query: every entry walk the
+    /// solo path would perform is replayed here in solo order, with retries
+    /// charged only on the query's first walk of an entry (a solo re-walk
+    /// of the same entry finds the transient episode already drained).
+    pub ledger: CostLedger,
+}
+
+/// Aggregate accounting of one [`InvertedIndex::probe_batch`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchProbeReport {
+    /// Queries planned in this batch.
+    pub queries: u64,
+    /// Token lookups demanded across all queries (duplicates included).
+    pub tokens_probed: u64,
+    /// Distinct hash-table entries physically walked once for the batch.
+    pub entries_walked: u64,
+    /// Index node reads (roots + leaves) the queries would have paid
+    /// probing solo: the sum of the per-query as-if-solo probe ledgers.
+    pub node_visits_demanded: u64,
+    /// Index node reads the deduplicated batch walk actually issued.
+    pub node_visits_physical: u64,
+}
+
+impl BatchProbeReport {
+    /// Node reads the batch avoided versus per-query solo probes.
+    pub fn node_visits_saved(&self) -> u64 {
+        self.node_visits_demanded
+            .saturating_sub(self.node_visits_physical)
+    }
+
+    /// Folds another report into this one (wave-over-wave accumulation).
+    pub fn merge(&mut self, other: &BatchProbeReport) {
+        self.queries += other.queries;
+        self.tokens_probed += other.tokens_probed;
+        self.entries_walked += other.entries_walked;
+        self.node_visits_demanded += other.node_visits_demanded;
+        self.node_visits_physical += other.node_visits_physical;
+    }
+}
+
+impl InvertedIndex {
+    /// Plans a whole wave of queries through one deduplicated probe pass.
+    ///
+    /// All distinct hash-table entries demanded by any query are walked
+    /// once (buffer, pending leaves, then the root chain level-wise — the
+    /// batched B+-tree search discipline); each query then replays its solo
+    /// walk order against the memoized results. Plans are byte-identical to
+    /// per-query [`InvertedIndex::plan`] calls, and each query's ledger is
+    /// exactly what a solo probe on a fresh replica would have paid, while
+    /// the device pays each entry walk only once.
+    pub fn probe_batch<S: PageStore>(
+        &self,
+        ssd: &mut SimSsd<S>,
+        queries: &[&Query],
+    ) -> (Vec<ProbedPlan>, BatchProbeReport) {
+        // Physical pass state: entry index -> (measured walk charges,
+        // walk result). Populated lazily the first time any query demands
+        // an entry; every later demand is served from memory.
+        let mut walked: HashMap<usize, (CostLedger, Result<Vec<u64>, StorageError>)> =
+            HashMap::new();
+        let mut report = BatchProbeReport {
+            queries: queries.len() as u64,
+            ..BatchProbeReport::default()
+        };
+        let mut out = Vec::with_capacity(queries.len());
+        for query in queries {
+            let mut ledger = CostLedger::default();
+            let mut touched: HashSet<usize> = HashSet::new();
+            let plan = self.replay_solo_probe(
+                ssd,
+                query,
+                &mut walked,
+                &mut touched,
+                &mut ledger,
+                &mut report.tokens_probed,
+            );
+            report.node_visits_demanded += ledger.pages_read;
+            out.push(ProbedPlan { plan, ledger });
+        }
+        report.entries_walked = walked.len() as u64;
+        report.node_visits_physical = walked.values().map(|(l, _)| l.pages_read).sum();
+        (out, report)
+    }
+
+    /// Replays one query's solo probe (set by set, token by token, entry
+    /// `a` then `b`) against the memoized entry walks, charging `ledger`
+    /// exactly what the solo walk would have paid and stopping at the first
+    /// error the solo walk would have propagated.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_solo_probe<S: PageStore>(
+        &self,
+        ssd: &mut SimSsd<S>,
+        query: &Query,
+        walked: &mut HashMap<usize, (CostLedger, Result<Vec<u64>, StorageError>)>,
+        touched: &mut HashSet<usize>,
+        ledger: &mut CostLedger,
+        tokens_probed: &mut u64,
+    ) -> Result<QueryPlan, StorageError> {
+        let mut union: Vec<PageId> = Vec::new();
+        for set in query.sets() {
+            let probes = self.probe_selection(set);
+            if probes.is_empty() {
+                return Ok(QueryPlan::FullScan);
+            }
+            let mut lists: Vec<Vec<PageId>> = Vec::with_capacity(probes.len());
+            for tok in probes {
+                *tokens_probed += 1;
+                let (a, b) = self.candidate_entries_for(tok.as_bytes());
+                let mut pages = self.replay_entry(ssd, a, walked, touched, ledger)?;
+                if b != a {
+                    pages.extend(self.replay_entry(ssd, b, walked, touched, ledger)?);
+                }
+                pages.sort_unstable();
+                pages.dedup();
+                lists.push(pages.into_iter().map(PageId).collect());
+            }
+            lists.sort_by_key(Vec::len);
+            let mut acc = lists[0].clone();
+            for other in &lists[1..] {
+                acc = intersect_sorted(&acc, other);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            union.extend(acc);
+        }
+        union.sort_unstable();
+        union.dedup();
+        Ok(QueryPlan::Pages(union))
+    }
+
+    /// Serves one entry demand: walks the entry physically on first demand
+    /// in the batch (measuring the charges), then replays the memoized
+    /// charges onto `ledger` — with retries zeroed when this query already
+    /// walked the entry, because a solo re-walk finds the transient-read
+    /// episode drained by its own first walk.
+    fn replay_entry<S: PageStore>(
+        &self,
+        ssd: &mut SimSsd<S>,
+        idx: usize,
+        walked: &mut HashMap<usize, (CostLedger, Result<Vec<u64>, StorageError>)>,
+        touched: &mut HashSet<usize>,
+        ledger: &mut CostLedger,
+    ) -> Result<Vec<u64>, StorageError> {
+        if let std::collections::hash_map::Entry::Vacant(slot) = walked.entry(idx) {
+            let before = *ssd.ledger();
+            let res = self.collect_entry_walk(ssd, idx);
+            let delta = ssd.ledger().since(&before);
+            slot.insert((delta, res));
+        }
+        let (delta, res) = &walked[&idx];
+        let mut charge = *delta;
+        if !touched.insert(idx) {
+            charge.retries = 0;
+        }
+        ledger.merge(&charge);
+        res.clone()
     }
 }
 
@@ -216,6 +387,121 @@ mod tests {
             }
             QueryPlan::FullScan => panic!("unexpected full scan"),
         }
+    }
+
+    /// A larger modular index that actually spills to leaves and roots, so
+    /// probes pay measurable device reads.
+    fn spilled_index(ssd: &mut SimSsd<MemStore>, pages: u64) -> InvertedIndex {
+        let mut idx = InvertedIndex::new(IndexParams::small());
+        for p in 0..pages {
+            let tokens: Vec<String> = (2..=5u64)
+                .filter(|k| p % k == 0)
+                .map(|k| format!("mod{k}"))
+                .collect();
+            idx.insert_page_tokens(ssd, PageId(p), tokens.iter().map(|t| t.as_bytes()))
+                .unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn probe_batch_plans_match_solo_plans() {
+        let queries = [
+            "mod3",
+            "mod3 AND mod5",
+            "mod4 OR mod5",
+            "NOT mod2",
+            "mod3 OR NOT mod2",
+            "mod2 AND NOT mod3",
+        ];
+        let parsed: Vec<_> = queries.iter().map(|q| parse(q).unwrap()).collect();
+        let refs: Vec<&_> = parsed.iter().collect();
+
+        let mut batch_ssd = ssd();
+        let idx = spilled_index(&mut batch_ssd, 300);
+        let (plans, report) = idx.probe_batch(&mut batch_ssd, &refs);
+        assert_eq!(plans.len(), queries.len());
+        assert_eq!(report.queries, queries.len() as u64);
+
+        for (i, q) in parsed.iter().enumerate() {
+            let mut solo_ssd = ssd();
+            let solo_idx = spilled_index(&mut solo_ssd, 300);
+            let solo = solo_idx.plan(&mut solo_ssd, q).unwrap();
+            assert_eq!(
+                plans[i].plan.as_ref().unwrap(),
+                &solo,
+                "plan mismatch for {:?}",
+                queries[i]
+            );
+        }
+    }
+
+    #[test]
+    fn probe_batch_ledgers_match_fresh_replica_solo_probes() {
+        let queries = ["mod3 AND mod5", "mod3", "mod4 OR mod3", "mod5"];
+        let parsed: Vec<_> = queries.iter().map(|q| parse(q).unwrap()).collect();
+        let refs: Vec<&_> = parsed.iter().collect();
+
+        let mut batch_ssd = ssd();
+        let idx = spilled_index(&mut batch_ssd, 300);
+        let (plans, _) = idx.probe_batch(&mut batch_ssd, &refs);
+
+        for (i, q) in parsed.iter().enumerate() {
+            let mut solo_ssd = ssd();
+            let solo_idx = spilled_index(&mut solo_ssd, 300);
+            let before = *solo_ssd.ledger();
+            solo_idx.plan(&mut solo_ssd, q).unwrap();
+            let solo_ledger = solo_ssd.ledger().since(&before);
+            assert_eq!(
+                plans[i].ledger, solo_ledger,
+                "as-if-solo probe ledger mismatch for {:?}",
+                queries[i]
+            );
+        }
+    }
+
+    #[test]
+    fn probe_batch_walks_each_entry_once() {
+        // Overlapping queries demand the same tokens; the batch must visit
+        // strictly fewer index nodes than the sum of solo probes while
+        // every query is still charged its full solo walk.
+        let queries = ["mod3", "mod3 AND mod5", "mod3 OR mod5", "mod5"];
+        let parsed: Vec<_> = queries.iter().map(|q| parse(q).unwrap()).collect();
+        let refs: Vec<&_> = parsed.iter().collect();
+
+        let mut batch_ssd = ssd();
+        let idx = spilled_index(&mut batch_ssd, 400);
+        let before = *batch_ssd.ledger();
+        let (plans, report) = idx.probe_batch(&mut batch_ssd, &refs);
+        let physical = batch_ssd.ledger().since(&before);
+
+        assert_eq!(report.node_visits_physical, physical.pages_read);
+        let demanded: u64 = plans.iter().map(|p| p.ledger.pages_read).sum();
+        assert_eq!(report.node_visits_demanded, demanded);
+        assert!(
+            report.node_visits_physical < report.node_visits_demanded,
+            "batch must dedup shared entry walks: physical {} vs demanded {}",
+            report.node_visits_physical,
+            report.node_visits_demanded
+        );
+        assert_eq!(report.node_visits_saved(), demanded - physical.pages_read);
+        assert!(report.entries_walked > 0);
+        assert!(report.tokens_probed >= queries.len() as u64);
+    }
+
+    #[test]
+    fn probe_batch_report_merges() {
+        let mut a = BatchProbeReport {
+            queries: 1,
+            tokens_probed: 2,
+            entries_walked: 3,
+            node_visits_demanded: 10,
+            node_visits_physical: 6,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.node_visits_saved(), 8);
     }
 
     #[test]

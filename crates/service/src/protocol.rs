@@ -10,7 +10,7 @@
 //! Requests:
 //!
 //! ```text
-//! SUBMIT [pri=high|normal|low] [budget=N] [range=T1:T2] [deadline=MICROS] q=<query text>
+//! SUBMIT [pri=high|normal|low] [budget=N] [range=T1:T2] [deadline=MICROS] [explain=0|1] q=<query text>
 //! POLL <id>
 //! WAIT <id>
 //! CANCEL <id>
@@ -23,9 +23,12 @@
 //! `q=` must come last: everything after it, spaces included, is the query.
 //! `deadline=` is a modeled-time bound in microseconds: the planned page set
 //! is clipped to what the device model can read in that time, and anything
-//! clipped is reported honestly in the degraded-read accounting. `CANCEL`
-//! stops a queued job outright and tells a running job to stop at its next
-//! page boundary. `SCRUB` queues a full verification pass over every page.
+//! clipped is reported honestly in the degraded-read accounting.
+//! `explain=1` plans the request — index decision, bitmap pruning, clips —
+//! without scanning a single data page; the result lists one `L` line per
+//! segment. `CANCEL` stops a queued job outright and tells a running job to
+//! stop at its next page boundary. `SCRUB` queues a full verification pass
+//! over every page.
 
 use std::time::Duration;
 
@@ -48,6 +51,9 @@ pub enum Request {
         range: Option<(u64, u64)>,
         /// Modeled-time deadline in microseconds, if any.
         deadline: Option<u64>,
+        /// Plan-only: explain how the request would execute without
+        /// scanning any data page.
+        explain: bool,
     },
     /// Report a job's status without blocking.
     Poll(JobId),
@@ -112,6 +118,7 @@ fn parse_submit(rest: &str) -> Result<Request, String> {
     let mut budget = None;
     let mut range = None;
     let mut deadline = None;
+    let mut explain = false;
     let mut remaining = rest;
     let query = loop {
         let remaining_trimmed = remaining.trim_start();
@@ -158,6 +165,13 @@ fn parse_submit(rest: &str) -> Result<Request, String> {
                         .map_err(|_| format!("bad deadline {value:?} (want microseconds)"))?,
                 );
             }
+            "explain" => {
+                explain = match value {
+                    "1" => true,
+                    "0" => false,
+                    other => return Err(format!("explain wants 0 or 1, got {other:?}")),
+                };
+            }
             other => return Err(format!("unknown field {other:?}")),
         }
         remaining = rest;
@@ -171,6 +185,7 @@ fn parse_submit(rest: &str) -> Result<Request, String> {
         budget,
         range,
         deadline,
+        explain,
     })
 }
 
@@ -252,13 +267,46 @@ fn render_output(output: &JobOutput) -> String {
             }
             body
         }
+        JobOutput::Explain(explain) => {
+            let mut body = format!(
+                "OK done kind=explain used_index={} index_fallback={} live_pages={} \
+                 planned_pages={} pruned_by_index={} pruned_by_bitmap={} pruned_by_both={} \
+                 budget_clipped={} deadline_clipped={}\n",
+                explain.used_index,
+                explain.index_fallback,
+                explain.live_pages,
+                explain.planned_pages,
+                explain.pruned_by_index(),
+                explain.pruned_by_bitmap(),
+                explain.pruned_by_both(),
+                explain.budget_clipped,
+                explain.deadline_clipped,
+            );
+            for seg in &explain.segments {
+                let id = match seg.segment_id {
+                    Some(id) => format!("{id}"),
+                    None => "open".to_string(),
+                };
+                body.push_str(&format!(
+                    "L segment={id} live={} planned={} pruned_by_index={} \
+                     pruned_by_bitmap={} pruned_by_both={} bitmaps={}\n",
+                    seg.live_pages,
+                    seg.planned_pages,
+                    seg.pruned_by_index,
+                    seg.pruned_by_bitmap,
+                    seg.pruned_by_both,
+                    seg.has_bitmaps,
+                ));
+            }
+            body
+        }
         JobOutput::Ingest(report) => format!(
             "OK done kind=ingest lines={} pages={} raw_bytes={}\n",
             report.lines, report.data_pages, report.raw_bytes
         ),
         JobOutput::Scrub(report) => format!(
             "OK done kind=scrub checked={} corrupt={} unreadable={} unverified={} \
-             retries={} quarantined={} already_quarantined={}\n",
+             retries={} quarantined={} already_quarantined={} bitmaps_dropped={}\n",
             report.pages_checked,
             report.corrupt.len(),
             report.unreadable.len(),
@@ -266,6 +314,7 @@ fn render_output(output: &JobOutput) -> String {
             report.retries,
             report.quarantined.len(),
             report.already_quarantined,
+            report.bitmaps_dropped,
         ),
     }
 }
@@ -285,6 +334,8 @@ pub fn render_stats(stats: &ServiceStats) -> String {
         "OK stats\nsubmitted={}\nrejected={}\ncompleted={}\nfailed={}\ncancelled={}\n\
          queued={}\nwaves={}\ndemanded_page_reads={}\nunique_pages_read={}\n\
          shared_reads_avoided={}\ncache_hits={}\ncache_bytes_saved={}\n\
+         pages_pruned_by_index={}\npages_pruned_by_bitmap={}\npages_pruned_by_both={}\n\
+         probe_node_visits_saved={}\nbitmaps_dropped={}\n\
          waves_poisoned={}\nscrub_slices={}\npages_scrubbed={}\npages_quarantined={}\n\
          ingests_overlapped={}\nsegments_sealed={}\nsegments_dropped={}\n",
         stats.submitted,
@@ -299,6 +350,11 @@ pub fn render_stats(stats: &ServiceStats) -> String {
         stats.shared_reads_avoided,
         stats.cache_hits,
         stats.cache_bytes_saved,
+        stats.pages_pruned_by_index,
+        stats.pages_pruned_by_bitmap,
+        stats.pages_pruned_by_both,
+        stats.probe_node_visits_saved,
+        stats.bitmaps_dropped,
         stats.waves_poisoned,
         stats.scrub_slices,
         stats.pages_scrubbed,
@@ -326,7 +382,7 @@ mod tests {
     #[test]
     fn submit_parses_fields_and_query_tail() {
         let r = parse_request(
-            "SUBMIT pri=high budget=4 range=10:99 deadline=2500 q=FATAL AND NOT ciod:",
+            "SUBMIT pri=high budget=4 range=10:99 deadline=2500 explain=1 q=FATAL AND NOT ciod:",
         )
         .unwrap();
         assert_eq!(
@@ -337,6 +393,7 @@ mod tests {
                 budget: Some(4),
                 range: Some((10, 99)),
                 deadline: Some(2500),
+                explain: true,
             }
         );
         // Everything after q= belongs to the query, even key=value lookalikes.
@@ -349,8 +406,15 @@ mod tests {
                 budget: None,
                 range: None,
                 deadline: None,
+                explain: false,
             }
         );
+        // explain=0 is explicit, anything else is rejected loudly.
+        assert!(matches!(
+            parse_request("SUBMIT explain=0 q=x").unwrap(),
+            Request::Submit { explain: false, .. }
+        ));
+        assert!(parse_request("SUBMIT explain=yes q=x").is_err());
     }
 
     #[test]

@@ -115,8 +115,12 @@ fn handle_connection(stream: TcpStream, handle: &ServiceHandle, stopping: &Atomi
                 budget,
                 range,
                 deadline,
+                explain,
             }) => match protocol::submit_to_request(&query, budget, range, deadline) {
                 Err(reason) => protocol::render_error(&reason),
+                Ok(request) if explain => {
+                    protocol::render_submit(&handle.submit_explain(request, priority))
+                }
                 Ok(request) => protocol::render_submit(&handle.submit(request, priority)),
             },
             Ok(Request::Poll(id)) => protocol::render_status(handle.poll(id).as_ref()),

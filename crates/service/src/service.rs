@@ -7,8 +7,8 @@ use std::time::{Duration, Instant};
 use std::borrow::Cow;
 
 use mithrilog::{
-    CancelToken, IngestReport, MithriLog, MithriLogError, PreparedIngest, QueryOutcome,
-    QueryRequest, RetentionReport, ScanAttribution, SharedScanReport,
+    CancelToken, IngestReport, MithriLog, MithriLogError, PlanExplain, PreparedIngest,
+    QueryOutcome, QueryRequest, RetentionReport, ScanAttribution, SharedScanReport,
 };
 use mithrilog_storage::{PageStore, ScrubReport};
 
@@ -136,6 +136,10 @@ pub enum JobOutput {
         /// This query's share-count cost attribution within its wave.
         attribution: ScanAttribution,
     },
+    /// A plan-only explain completed: how the request *would* execute —
+    /// index decision, per-segment pruning, deadline clips — without a
+    /// single data page scanned.
+    Explain(Box<PlanExplain>),
     /// An ingest batch completed.
     Ingest(IngestReport),
     /// A full-device scrub pass completed. Pages that failed verification
@@ -252,6 +256,19 @@ pub struct ServiceStats {
     pub pages_scrubbed: u64,
     /// Pages scrubs newly quarantined.
     pub pages_quarantined: u64,
+    /// Pages the wave planner pruned via the index plan alone (see
+    /// [`SharedScanReport::pages_pruned_by_index`]).
+    pub pages_pruned_by_index: u64,
+    /// Pages pruned via the per-segment token bitmaps alone.
+    pub pages_pruned_by_bitmap: u64,
+    /// Pages both the index and the bitmaps would have pruned.
+    pub pages_pruned_by_both: u64,
+    /// Index node visits the batched probe saved versus each query probing
+    /// alone (demanded minus physical walks).
+    pub probe_node_visits_saved: u64,
+    /// Segment bitmap sidecars dropped by scrubs because they failed
+    /// verification; planning fell back to conservative page sets.
+    pub bitmaps_dropped: u64,
     /// Ingests whose compression/tokenization ran concurrently with a
     /// query wave instead of stop-the-world.
     pub ingests_overlapped: u64,
@@ -263,6 +280,9 @@ pub struct ServiceStats {
 
 enum JobKind {
     Query(Box<QueryRequest>, Priority),
+    /// Plan-only: the request is planned (index probe, bitmap pruning,
+    /// clips) but no data page is scanned.
+    Explain(Box<QueryRequest>, Priority),
     Ingest(Vec<u8>),
     /// A full-device scrub pass; runs alone, like an ingest.
     Scrub,
@@ -346,6 +366,46 @@ impl ServiceHandle {
         self.submit(request, priority)
     }
 
+    /// Submits a plan-only explain of a query request: the request is
+    /// planned exactly as a real run would be — index decision, batched
+    /// probe, bitmap pruning, window and deadline clips — but no data page
+    /// is scanned. Settles as [`JobOutput::Explain`].
+    ///
+    /// # Errors
+    ///
+    /// Same admission conditions as [`ServiceHandle::submit`].
+    pub fn submit_explain(
+        &self,
+        mut request: QueryRequest,
+        priority: Priority,
+    ) -> Result<JobId, SubmitError> {
+        if request.page_budget.is_none() {
+            request.page_budget = self.shared.config.default_page_budget;
+        }
+        if request.deadline.is_none() {
+            request.deadline = self.shared.config.default_deadline;
+        }
+        self.admit(
+            JobKind::Explain(Box::new(request), priority),
+            CancelToken::new(),
+        )
+    }
+
+    /// Parses and submits a plan-only explain.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Parse`] on bad query text, plus every
+    /// [`ServiceHandle::submit_explain`] condition.
+    pub fn submit_explain_str(
+        &self,
+        query: &str,
+        priority: Priority,
+    ) -> Result<JobId, SubmitError> {
+        let request = QueryRequest::parse(query).map_err(|e| SubmitError::Parse(e.to_string()))?;
+        self.submit_explain(request, priority)
+    }
+
     /// Submits an ingest batch (admitted through the same bounded queue at
     /// [`Priority::Normal`]). With [`ServiceConfig::overlap_ingest`] its
     /// CPU-heavy half may run concurrently with the query wave admitted
@@ -388,7 +448,7 @@ impl ServiceHandle {
         let id = state.next_id;
         state.next_id += 1;
         let lane = match &kind {
-            JobKind::Query(_, priority) => priority.lane(),
+            JobKind::Query(_, priority) | JobKind::Explain(_, priority) => priority.lane(),
             JobKind::Ingest(_) | JobKind::Scrub => Priority::Normal.lane(),
         };
         state.jobs.insert(
@@ -604,6 +664,9 @@ enum Wave {
     /// pre-ingest snapshot.
     Queries(Vec<(JobId, QueryRequest)>, Option<(JobId, Vec<u8>)>),
     Ingest(JobId, Vec<u8>),
+    /// A plan-only explain; runs alone, so its (real, charged) index probe
+    /// lands between waves deterministically.
+    Explain(JobId, Box<QueryRequest>),
     /// A client-requested full-device scrub pass; runs alone.
     Scrub(JobId),
     /// Nothing runnable; the caller should wait for a change.
@@ -663,6 +726,20 @@ fn claim_wave(state: &mut State, max_batch: usize, overlap_ingest: bool) -> Wave
                     }
                     overlap = Some((id, text));
                     break 'lanes;
+                }
+                JobKind::Explain(..) => {
+                    if !wave.is_empty() {
+                        break 'lanes;
+                    }
+                    state.lanes[lane].pop_front();
+                    let job = state.jobs.get_mut(&id).expect("claimed job exists");
+                    job.status = JobStatus::Running;
+                    let Some(JobKind::Explain(request, _)) = job.kind.take() else {
+                        unreachable!("kind checked above");
+                    };
+                    state.queued -= 1;
+                    state.stats.queued = state.queued as u64;
+                    return Wave::Explain(id, request);
                 }
                 JobKind::Scrub => {
                     if !wave.is_empty() {
@@ -865,6 +942,33 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                 });
                 settle_ingest(shared, id, outcome, false, &mut scrub_done);
             }
+            Wave::Explain(id, request) => {
+                // Plan-only: the probe runs (and is charged) for real, the
+                // data-page scan never happens. Same panic isolation as any
+                // other lone job.
+                let result = catch_unwind(AssertUnwindSafe(|| system.explain(&request)));
+                let mut state = shared.state.lock().expect("service state poisoned");
+                let job = state.jobs.get_mut(&id).expect("running job exists");
+                match result {
+                    Ok(Ok(explain)) => {
+                        job.status = JobStatus::Done(JobOutput::Explain(Box::new(explain)));
+                        state.stats.completed += 1;
+                    }
+                    Ok(Err(e)) => {
+                        job.status = JobStatus::Failed(e.to_string());
+                        state.stats.failed += 1;
+                    }
+                    Err(payload) => {
+                        job.status = JobStatus::Failed(format!(
+                            "internal error: {}",
+                            panic_message(&*payload)
+                        ));
+                        state.stats.failed += 1;
+                        state.stats.waves_poisoned += 1;
+                    }
+                }
+                shared.changed.notify_all();
+            }
             Wave::Scrub(id) => {
                 let result = catch_unwind(AssertUnwindSafe(|| system.scrub()));
                 let mut state = shared.state.lock().expect("service state poisoned");
@@ -874,6 +978,7 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                         job.status = JobStatus::Done(JobOutput::Scrub(report.clone()));
                         state.stats.pages_scrubbed += report.pages_checked;
                         state.stats.pages_quarantined += report.quarantined.len() as u64;
+                        state.stats.bitmaps_dropped += report.bitmaps_dropped;
                         state.stats.completed += 1;
                         // A full pass covered everything the online lane
                         // still owed.
@@ -937,6 +1042,11 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                         state.stats.shared_reads_avoided += batch.shared.shared_reads_avoided;
                         state.stats.cache_hits += batch.shared.cache_hits;
                         state.stats.cache_bytes_saved += batch.shared.cache_bytes_saved;
+                        state.stats.pages_pruned_by_index += batch.shared.pages_pruned_by_index;
+                        state.stats.pages_pruned_by_bitmap += batch.shared.pages_pruned_by_bitmap;
+                        state.stats.pages_pruned_by_both += batch.shared.pages_pruned_by_both;
+                        state.stats.probe_node_visits_saved +=
+                            batch.shared.probe_node_visits_saved();
                         let SharedScanReport { attribution, .. } = batch.shared;
                         for (((id, _), outcome), attribution) in
                             wave.iter().zip(batch.outcomes).zip(attribution)
@@ -1132,6 +1242,31 @@ RAS KERNEL INFO generating core.2275\n";
     }
 
     #[test]
+    fn explain_jobs_plan_without_scanning() {
+        let service = service_with(&LOG.repeat(200), ServiceConfig::default());
+        let handle = service.handle();
+        let id = handle
+            .submit_explain_str("FATAL AND NOT ciod:", Priority::Normal)
+            .unwrap();
+        match handle.wait(id).unwrap() {
+            JobOutput::Explain(explain) => {
+                assert!(explain.live_pages > 0);
+                assert!(explain.planned_pages <= explain.live_pages);
+                let last = explain.segments.last().expect("open segment row");
+                assert_eq!(last.segment_id, None, "open segment renders last");
+            }
+            other => panic!("expected an explain output, got {other:?}"),
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.waves, 0, "an explain never runs a scan wave");
+        // The scheduler is not wedged: a real query still completes.
+        let q = handle.submit_str("FATAL", Priority::Normal).unwrap();
+        assert!(!query_lines(handle.wait(q).unwrap()).is_empty());
+        service.shutdown();
+    }
+
+    #[test]
     fn shutdown_fails_queued_jobs_and_closes_submissions() {
         let service = service_with(LOG, ServiceConfig::default());
         let handle = service.handle();
@@ -1166,7 +1301,7 @@ RAS KERNEL INFO generating core.2275\n";
         let mut state = State::default();
         for kind in kinds {
             let lane = match &kind {
-                JobKind::Query(_, priority) => priority.lane(),
+                JobKind::Query(_, priority) | JobKind::Explain(_, priority) => priority.lane(),
                 JobKind::Ingest(_) | JobKind::Scrub => Priority::Normal.lane(),
             };
             let id = state.next_id;

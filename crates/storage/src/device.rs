@@ -417,6 +417,12 @@ pub struct ScrubReport {
     /// Pages skipped because they were already quarantined by an earlier
     /// scan; no flash access was paid for them.
     pub already_quarantined: u64,
+    /// Pruning-bitmap sidecars dropped because they failed verification
+    /// (bad CRC, undecodable, or wrong geometry). The device itself never
+    /// sets this; higher layers that scrub their sidecars fold it in. A
+    /// dropped sidecar costs performance (plans fall back to conservative
+    /// page sets), never correctness.
+    pub bitmaps_dropped: u64,
 }
 
 impl ScrubReport {
@@ -436,6 +442,7 @@ impl ScrubReport {
         self.retries += other.retries;
         self.quarantined.extend_from_slice(&other.quarantined);
         self.already_quarantined += other.already_quarantined;
+        self.bitmaps_dropped += other.bitmaps_dropped;
     }
 }
 

@@ -79,4 +79,11 @@ echo "==> ingest_concurrent --smoke (overlapped vs stop-the-world ingest bench s
 cargo run --release -p mithrilog-bench --quiet --bin ingest_concurrent -- \
   --smoke --out target/ci/BENCH_segment_smoke.json
 
+echo "==> negation bitmaps (pruning byte-identity under faults, sidecar corruption, property)"
+cargo test --test negation_bitmaps -q
+
+echo "==> plan_savings --smoke (wave-planner bench smoke: bitmap pruning + batched probes)"
+cargo run --release -p mithrilog-bench --quiet --bin plan_savings -- \
+  --smoke --out target/ci/BENCH_plan_smoke.json
+
 echo "==> ci.sh: all green"
