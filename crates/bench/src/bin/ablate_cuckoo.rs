@@ -7,7 +7,7 @@
 //! the comparison against a plain single-hash table (which fails at the
 //! first collision).
 
-use mithrilog_bench::print_table;
+use mithrilog_bench::{HarnessArgs, TableReport};
 use mithrilog_filter::{CuckooTable, TokenHasher};
 
 /// Single-hash table baseline: fails on the first row collision.
@@ -32,6 +32,8 @@ fn cuckoo_succeeds(tokens: &[String], rows: usize) -> bool {
 }
 
 fn main() {
+    let args = HarnessArgs::parse();
+    let mut report = TableReport::new("ablate_cuckoo", &args);
     println!("Ablation — cuckoo vs single-hash placement success (256 rows, 200 trials/point)");
     const ROWS: usize = 256;
     const TRIALS: usize = 200;
@@ -52,7 +54,7 @@ fn main() {
             format!("{:.1}%", single_ok as f64 / TRIALS as f64 * 100.0),
         ]);
     }
-    print_table(
+    report.table(
         "Placement success probability",
         &["Load", "Tokens", "Cuckoo", "Single-hash"],
         &rows_out,
@@ -62,4 +64,5 @@ fn main() {
          succeeds while a single-hash table almost always fails — the compactness argument\n\
          of §4.2.1."
     );
+    report.write();
 }

@@ -7,11 +7,12 @@
 //! with width, but padding amplification grows too, demanding more hash
 //! filters per pipeline for the same wire speed.
 
-use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_bench::{datasets, f2, HarnessArgs, TableReport};
 use mithrilog_tokenizer::{DatapathStats, TokenizerConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("ablate_datapath", &args);
     println!("Ablation — datapath width sweep (paper picked 16 bytes)");
 
     let mut rows = Vec::new();
@@ -34,7 +35,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    report.table(
         "Datapath width ablation",
         &[
             "Dataset",
@@ -51,4 +52,5 @@ fn main() {
          over two thirds of the datapath on padding and need more filter replicas — 16 B is\n\
          the balance the paper chose."
     );
+    report.write();
 }

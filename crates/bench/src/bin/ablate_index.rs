@@ -5,12 +5,13 @@
 //! nodes vs the height-2 trees, and (b) the measured effect of two-choice
 //! insertion on lookup superset sizes under a hot-token workload.
 
-use mithrilog_bench::{f2, print_table, HarnessArgs};
+use mithrilog_bench::{f2, HarnessArgs, TableReport};
 use mithrilog_index::{IndexParams, InvertedIndex};
 use mithrilog_storage::{DevicePerfModel, Link, MemStore, PageId, SimSsd};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("ablate_index", &args);
     println!("Ablation — index structure (seed {})", args.seed);
 
     // (a) Device-time arithmetic: pages deliverable per second.
@@ -37,7 +38,7 @@ fn main() {
             },
         ]);
     }
-    print_table(
+    report.table(
         "Index node sizing: can one latency-bound visit stream saturate the device?",
         &[
             "Design",
@@ -81,4 +82,5 @@ fn main() {
          saturated, which is exactly why the paper rejects both the naive list (too slow)\n\
          and giant list nodes (gigabytes of ingest write buffering)."
     );
+    report.write();
 }

@@ -3,11 +3,12 @@
 //! compression efficiency. LZAH reclaims some of this performance by
 //! specially treating the newline character").
 
-use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_bench::{datasets, f2, HarnessArgs, TableReport};
 use mithrilog_compress::{Codec, Lzah, LzahConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("ablate_lzah_newline", &args);
     println!(
         "Ablation — LZAH newline realignment on/off (scale {} MB)",
         args.scale_mb
@@ -29,7 +30,7 @@ fn main() {
             format!("+{:.0}%", (r_with / r_without - 1.0) * 100.0),
         ]);
     }
-    print_table(
+    report.table(
         "LZAH compression ratio with/without newline realignment",
         &["Dataset", "Realign on", "Realign off", "Reclaimed"],
         &rows,
@@ -39,4 +40,5 @@ fn main() {
          starts and window repetition collapses; the newline rule restores it — the §5\n\
          insight that 'patterns in logs appear at similar positions in each line'."
     );
+    report.write();
 }

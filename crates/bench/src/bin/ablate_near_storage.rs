@@ -8,13 +8,14 @@
 //! buys the internal/external bandwidth differential (4.8 vs 3.1 GB/s), and
 //! compression multiplies whichever link feeds the decompressors.
 
-use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_bench::{datasets, f2, HarnessArgs, TableReport};
 use mithrilog_compress::{Codec, Lzah};
 use mithrilog_sim::{AcceleratorConfig, DatasetInputs, ThroughputModel, MITHRILOG_PLATFORM};
 use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer, TokenizerConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("ablate_near_storage", &args);
     println!(
         "Ablation — near-storage placement x compression (scale {} MB, seed {})",
         args.scale_mb, args.seed
@@ -62,7 +63,7 @@ fn main() {
             format!("{}x", f2(near_lzah / host_raw)),
         ]);
     }
-    print_table(
+    report.table(
         "Effective filtering throughput (GB/s) under each configuration",
         &[
             "Dataset",
@@ -79,4 +80,5 @@ fn main() {
          but only the combination saturates the 11-12.8 GB/s filter engines — the paper's\n\
          'balanced performance between system components' (§1)."
     );
+    report.write();
 }

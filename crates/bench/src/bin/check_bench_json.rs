@@ -1,0 +1,75 @@
+//! Validates emitted bench reports: every `BENCH_*.json` under the given
+//! paths must parse as JSON and carry a top-level string `schema` field.
+//! CI runs this over the smoke-run output directory so a binary that
+//! regresses its report format fails the gate, not a downstream consumer.
+//!
+//! Usage: `check_bench_json <file-or-dir>...` — directories are scanned
+//! (non-recursively) for `BENCH_*.json`; exits non-zero listing every
+//! failure, and fails if no report was found at all.
+
+use mithrilog_bench::json::{self, JsonValue};
+
+fn report_paths(args: &[String]) -> Vec<std::path::PathBuf> {
+    let mut paths = Vec::new();
+    for arg in args {
+        let path = std::path::PathBuf::from(arg);
+        if path.is_dir() {
+            let mut entries: Vec<_> = std::fs::read_dir(&path)
+                .unwrap_or_else(|e| panic!("cannot read {arg:?}: {e}"))
+                .filter_map(Result::ok)
+                .map(|entry| entry.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect();
+            entries.sort();
+            paths.extend(entries);
+        } else {
+            paths.push(path);
+        }
+    }
+    paths
+}
+
+fn check(path: &std::path::Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing top-level string \"schema\" field")?;
+    Ok(schema.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: check_bench_json <file-or-dir>...");
+        std::process::exit(1);
+    }
+    let paths = report_paths(&args);
+    if paths.is_empty() {
+        eprintln!("check_bench_json: no BENCH_*.json found under {args:?}");
+        std::process::exit(1);
+    }
+    let mut failures = 0usize;
+    for path in &paths {
+        match check(path) {
+            Ok(schema) => println!("ok   {} (schema {schema})", path.display()),
+            Err(reason) => {
+                failures += 1;
+                println!("FAIL {}: {reason}", path.display());
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "check_bench_json: {failures}/{} reports failed",
+            paths.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!("check_bench_json: {} reports ok", paths.len());
+}

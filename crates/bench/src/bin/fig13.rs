@@ -2,11 +2,12 @@
 //! the tokenized datapath for each dataset — the statistic that sized the
 //! 16-byte datapath and the two hash filters per pipeline (§7.4.1).
 
-use mithrilog_bench::{datasets, print_table, HarnessArgs};
+use mithrilog_bench::{datasets, HarnessArgs, TableReport};
 use mithrilog_tokenizer::{DatapathStats, TokenizerConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("fig13", &args);
     println!(
         "Figure 13 — useful bits in the tokenized datapath (scale {} MB, seed {})",
         args.scale_mb, args.seed
@@ -27,7 +28,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    report.table(
         "Figure 13: tokenized datapath utilization",
         &[
             "Dataset",
@@ -42,4 +43,5 @@ fn main() {
         "\nShape check: ~half the datapath carries useful bytes, which is why each pipeline\n\
          provisions two hash filters for its 2x-amplified tokenized stream."
     );
+    report.write();
 }

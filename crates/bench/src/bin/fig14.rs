@@ -3,13 +3,14 @@
 //! driven by each dataset's *measured* compression ratio, datapath
 //! amplification and lane balance (§7.4.1).
 
-use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_bench::{datasets, f2, HarnessArgs, TableReport};
 use mithrilog_compress::{Codec, Lzah};
 use mithrilog_sim::{AcceleratorConfig, DatasetInputs, ThroughputModel};
 use mithrilog_tokenizer::{DatapathStats, ScatterGather, Tokenizer, TokenizerConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("fig14", &args);
     println!(
         "Figure 14 — filter engine effective throughput (scale {} MB, seed {})",
         args.scale_mb, args.seed
@@ -38,7 +39,7 @@ fn main() {
             f2(t.filter_gbps),
         ]);
     }
-    print_table(
+    report.table(
         "Figure 14: modeled filter-engine throughput (GB/s)",
         &[
             "Dataset",
@@ -56,4 +57,5 @@ fn main() {
         "\nShape check: every dataset lands between ~11 and 12.8 GB/s — about 4x the PCIe\n\
          link — and the lowest-ratio dataset is the one bound by storage supply."
     );
+    report.write();
 }

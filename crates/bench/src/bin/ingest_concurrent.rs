@@ -210,6 +210,10 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"schema\": \"mithrilog.bench.ingest_concurrent.v1\","
+    );
     let _ = writeln!(json, "  \"bench\": \"ingest_concurrent\",");
     let _ = writeln!(
         json,

@@ -140,6 +140,10 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"schema\": \"mithrilog.bench.parallel_scaling.v1\","
+    );
     let _ = writeln!(json, "  \"bench\": \"parallel_scaling\",");
     let _ = writeln!(json, "  \"query\": {QUERY:?},");
     let _ = writeln!(

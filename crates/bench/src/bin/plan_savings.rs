@@ -331,6 +331,7 @@ fn main() {
     let target_bytes = (args.mb * 1_000_000.0) as usize;
     let mut json = String::new();
     json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"mithrilog.bench.plan_savings.v1\",");
     let _ = writeln!(json, "  \"bench\": \"plan_savings\",");
     let _ = writeln!(json, "  \"segment_pages\": 32,");
     let _ = writeln!(

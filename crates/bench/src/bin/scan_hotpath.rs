@@ -248,6 +248,7 @@ fn main() {
     // ---- Emit ----------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"mithrilog.bench.scan_hotpath.v1\",");
     let _ = writeln!(json, "  \"bench\": \"scan_hotpath\",");
     let _ = writeln!(json, "  \"query\": {QUERY:?},");
     let _ = writeln!(

@@ -249,6 +249,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"mithrilog.bench.service_load.v1\",");
     let _ = writeln!(json, "  \"bench\": \"service_load\",");
     let _ = writeln!(
         json,

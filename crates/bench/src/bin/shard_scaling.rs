@@ -1,0 +1,337 @@
+//! Multi-device shard scaling: the same full-scan query over the same
+//! corpus, served by 1, 2, and 4 fully independent modeled devices
+//! (paper §8 — near-storage accelerators scale by adding devices, since
+//! each brings its own internal-bandwidth domain).
+//!
+//! Emits `BENCH_shard.json`. Three honesty rules keep the numbers honest:
+//!
+//! * `aggregate_modeled_gbps` divides the corpus's raw bytes by the
+//!   *merged* modeled time, which is the max over shards — devices run in
+//!   parallel, so the slowest (largest) shard sets the wall. A skewed
+//!   route would show up here as sub-linear scaling, not be averaged away.
+//! * every topology's query result is asserted byte-identical to the
+//!   1-shard run (the shard layer's core invariant, enforced exhaustively
+//!   by `tests/shard_determinism.rs`);
+//! * each shard also reports its **as-if-solo** row (lines, pages, device
+//!   ledger, standalone modeled GB/s) so the aggregate can be audited
+//!   against what each device actually held and read.
+//!
+//! The tenant drill runs the service scheduler over a 2-shard topology
+//! with a per-tenant admission cap: a flooding tenant saturates its own
+//! quota (rejections) while a steady tenant's queries are all admitted
+//! and completed — one tenant cannot starve another.
+//!
+//! Usage: `shard_scaling [--smoke] [--mb <f64>] [--out <path>]`
+
+use std::fmt::Write as _;
+
+use mithrilog::SystemConfig;
+use mithrilog_bench::json_escape;
+use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
+use mithrilog_service::{JobOutput, Priority, Service, ServiceConfig, SubmitError};
+use mithrilog_shard::{RouteMode, ShardOptions, ShardRow, ShardedLog};
+
+const SHARD_COUNTS: [u32; 3] = [1, 2, 4];
+const QUERY: &str = "error OR failed OR FATAL";
+
+struct Args {
+    smoke: bool,
+    mb: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        mb: 6.0,
+        out: "BENCH_shard.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--mb" => {
+                i += 1;
+                args.mb = argv[i].parse().expect("--mb needs a number");
+            }
+            "--out" => {
+                i += 1;
+                args.out = argv[i].clone();
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    if args.smoke {
+        args.mb = args.mb.min(0.4);
+    }
+    args
+}
+
+struct ScalingRow {
+    shards: u32,
+    modeled_seconds: f64,
+    aggregate_gbps: f64,
+    speedup: f64,
+    matches: u64,
+    pages_scanned: u64,
+    rows: Vec<ShardRow>,
+}
+
+struct TenantDrill {
+    flood_submitted: u64,
+    flood_rejected: u64,
+    flood_completed: u64,
+    steady_submitted: u64,
+    steady_rejected: u64,
+    steady_completed: u64,
+    tenant_cap: usize,
+}
+
+fn run_scaling(text: &[u8], raw_bytes: f64) -> Vec<ScalingRow> {
+    let mut out = Vec::new();
+    let mut baseline: Option<(f64, Vec<String>)> = None;
+    for &shards in &SHARD_COUNTS {
+        let mut sharded = ShardedLog::new(
+            SystemConfig::full_scan_only(),
+            ShardOptions {
+                shards,
+                mode: RouteMode::LineHash,
+                salt: 42,
+            },
+        );
+        sharded.ingest(text).expect("ingest");
+        let outcome = sharded.query_str(QUERY).expect("query");
+        let modeled = outcome.modeled_time.as_secs_f64().max(1e-12);
+        let gbps = raw_bytes / 1e9 / modeled;
+        match &baseline {
+            None => baseline = Some((modeled, outcome.lines.clone())),
+            Some((_, lines)) => assert_eq!(
+                lines, &outcome.lines,
+                "{shards}-shard results must be byte-identical to 1-shard"
+            ),
+        }
+        let speedup = baseline.as_ref().map_or(1.0, |(t1, _)| t1 / modeled);
+        let rows = sharded.shard_rows();
+        eprintln!(
+            "shards {shards}: modeled {modeled:.6}s | aggregate {gbps:.2} GB/s \
+             ({speedup:.2}x) | {} matches over {} pages",
+            outcome.match_count(),
+            outcome.pages_scanned
+        );
+        for row in &rows {
+            eprintln!(
+                "  shard {}: {} lines / {} pages, read {} pages / {} bytes, \
+                 as-if-solo {:.2} GB/s",
+                row.shard,
+                row.lines,
+                row.data_pages,
+                row.pages_read,
+                row.bytes_read,
+                row.modeled_gbps
+            );
+        }
+        out.push(ScalingRow {
+            shards,
+            modeled_seconds: modeled,
+            aggregate_gbps: gbps,
+            speedup,
+            matches: outcome.match_count(),
+            pages_scanned: outcome.pages_scanned,
+            rows,
+        });
+    }
+    out
+}
+
+fn run_tenant_drill(text: &[u8], smoke: bool) -> TenantDrill {
+    let tenant_cap = 4;
+    let mut sharded = ShardedLog::new(
+        SystemConfig::default(),
+        ShardOptions {
+            shards: 2,
+            mode: RouteMode::LineHash,
+            salt: 42,
+        },
+    );
+    sharded.ingest(text).expect("ingest");
+    let service = Service::spawn(
+        sharded,
+        ServiceConfig {
+            max_queue: 64,
+            max_batch: 4,
+            tenant_max_queued: Some(tenant_cap),
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let floods = if smoke { 32 } else { 128 };
+    let steadies = if smoke { 8 } else { 16 };
+    let mut drill = TenantDrill {
+        flood_submitted: 0,
+        flood_rejected: 0,
+        flood_completed: 0,
+        steady_submitted: 0,
+        steady_rejected: 0,
+        steady_completed: 0,
+        tenant_cap,
+    };
+    let mut flood_ids = Vec::new();
+    let submit_flood = |drill: &mut TenantDrill, ids: &mut Vec<_>| {
+        drill.flood_submitted += 1;
+        match handle.submit_str_tagged(QUERY, Priority::Normal, Some("flood")) {
+            Ok(id) => ids.push(id),
+            Err(SubmitError::Rejected { .. }) => drill.flood_rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e:?}"),
+        }
+    };
+    // The flood bursts far past its per-tenant cap up front, then keeps
+    // re-saturating between steady operations. The steady tenant trickles
+    // (one outstanding query at a time) — the fairness claim is that its
+    // admissions never fail while the flood is being clipped.
+    for _ in 0..floods {
+        submit_flood(&mut drill, &mut flood_ids);
+    }
+    for _ in 0..steadies {
+        drill.steady_submitted += 1;
+        match handle.submit_str_tagged(QUERY, Priority::Normal, Some("steady")) {
+            Ok(id) => match handle.wait(id).expect("wait") {
+                JobOutput::Query { .. } => drill.steady_completed += 1,
+                other => panic!("expected a query result, got {other:?}"),
+            },
+            Err(SubmitError::Rejected { .. }) => drill.steady_rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e:?}"),
+        }
+        submit_flood(&mut drill, &mut flood_ids);
+    }
+    for id in flood_ids {
+        match handle.wait(id).expect("wait") {
+            JobOutput::Query { .. } => drill.flood_completed += 1,
+            other => panic!("expected a query result, got {other:?}"),
+        }
+    }
+    service.shutdown();
+    assert!(
+        drill.flood_rejected > 0,
+        "the flood must overrun its per-tenant cap"
+    );
+    assert_eq!(
+        drill.steady_rejected, 0,
+        "the steady tenant must never be starved of admission"
+    );
+    assert_eq!(
+        drill.steady_completed, drill.steady_submitted,
+        "every steady query must complete"
+    );
+    eprintln!(
+        "tenant drill (cap {tenant_cap}): flood {}/{} admitted ({} rejected), \
+         steady {}/{} completed, 0 rejected",
+        drill.flood_completed,
+        drill.flood_submitted,
+        drill.flood_rejected,
+        drill.steady_completed,
+        drill.steady_submitted
+    );
+    drill
+}
+
+fn main() {
+    let args = parse_args();
+    let ds = generate(&DatasetSpec {
+        profile: DatasetProfile::Liberty2,
+        target_bytes: (args.mb * 1_000_000.0) as usize,
+        seed: 42,
+    });
+    eprintln!(
+        "corpus: {} bytes / {} lines of {}",
+        ds.text().len(),
+        ds.lines(),
+        ds.name()
+    );
+
+    let scaling = run_scaling(ds.text(), ds.text().len() as f64);
+    let at4 = scaling.iter().find(|r| r.shards == 4).expect("4-shard row");
+    // The scaling gate holds at full scale; a smoke corpus is small enough
+    // that the per-query fixed latency floor (not per-page scan supply)
+    // dominates the modeled time, so only byte-identity is asserted there.
+    if !args.smoke {
+        assert!(
+            at4.speedup >= 3.0,
+            "4 devices must deliver >= 3x aggregate modeled throughput, got {:.2}x",
+            at4.speedup
+        );
+    }
+    let drill = run_tenant_drill(ds.text(), args.smoke);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"mithrilog.bench.shard_scaling.v1\",");
+    let _ = writeln!(json, "  \"bench\": \"shard_scaling\",");
+    let _ = writeln!(json, "  \"query\": \"{}\",", json_escape(QUERY));
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{ \"profile\": \"liberty2\", \"bytes\": {}, \"lines\": {} }},",
+        ds.text().len(),
+        ds.lines()
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"aggregate_modeled_gbps = raw corpus bytes / merged modeled time \
+         (max over shards, devices run in parallel). Results are asserted byte-identical \
+         across topologies; per-shard rows are each device's as-if-solo view so the \
+         aggregate can be audited.\","
+    );
+    json.push_str("  \"scaling\": [\n");
+    for (i, row) in scaling.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"shards\": {}, \"modeled_seconds\": {:.6}, \
+             \"aggregate_modeled_gbps\": {:.3}, \"speedup_vs_one_shard\": {:.3}, \
+             \"matches\": {}, \"pages_scanned\": {},",
+            row.shards,
+            row.modeled_seconds,
+            row.aggregate_gbps,
+            row.speedup,
+            row.matches,
+            row.pages_scanned
+        );
+        json.push_str("      \"per_shard\": [\n");
+        for (j, s) in row.rows.iter().enumerate() {
+            let _ = write!(
+                json,
+                "        {{ \"shard\": {}, \"lines\": {}, \"data_pages\": {}, \
+                 \"raw_bytes\": {}, \"pages_read\": {}, \"bytes_read\": {}, \
+                 \"retries\": {}, \"as_if_solo_modeled_gbps\": {:.3} }}",
+                s.shard,
+                s.lines,
+                s.data_pages,
+                s.raw_bytes,
+                s.pages_read,
+                s.bytes_read,
+                s.retries,
+                s.modeled_gbps
+            );
+            json.push_str(if j + 1 < row.rows.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("      ] }");
+        json.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"tenant_drill\": {{ \"tenant_cap\": {}, \"flood_submitted\": {}, \
+         \"flood_rejected\": {}, \"flood_completed\": {}, \"steady_submitted\": {}, \
+         \"steady_rejected\": {}, \"steady_completed\": {} }}",
+        drill.tenant_cap,
+        drill.flood_submitted,
+        drill.flood_rejected,
+        drill.flood_completed,
+        drill.steady_submitted,
+        drill.steady_rejected,
+        drill.steady_completed
+    );
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write output");
+    eprintln!("wrote {}", args.out);
+}

@@ -1,11 +1,12 @@
 //! Regenerates **Table 1**: dataset statistics (lines, size, FT-tree
 //! template count) for the four HPC4-profile corpora.
 
-use mithrilog_bench::{datasets, f2, ftree_config, print_table, HarnessArgs};
+use mithrilog_bench::{datasets, f2, ftree_config, HarnessArgs, TableReport};
 use mithrilog_ftree::TemplateLibrary;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("table1", &args);
     println!(
         "Table 1 — datasets (scale {} MB each, seed {})",
         args.scale_mb, args.seed
@@ -24,9 +25,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    report.table(
         "Table 1: dataset statistics",
         &["Dataset", "Lines (M)", "Size (GB)", "Templates"],
         &rows,
     );
+    report.write();
 }

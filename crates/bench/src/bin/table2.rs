@@ -2,10 +2,12 @@
 //! pipeline on a Xilinx VC707 (published synthesis results, encoded in
 //! `mithrilog-sim`).
 
-use mithrilog_bench::print_table;
+use mithrilog_bench::{HarnessArgs, TableReport};
 use mithrilog_sim::pipeline_resource_table;
 
 fn main() {
+    let args = HarnessArgs::parse();
+    let mut report = TableReport::new("table2", &args);
     println!("Table 2 — chip resource utilization on VC707 (published prototype synthesis)");
     let rows: Vec<Vec<String>> = pipeline_resource_table()
         .iter()
@@ -18,9 +20,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    report.table(
         "Table 2: chip resources",
         &["Module", "LUTs", "RAMB36", "RAMB18"],
         &rows,
     );
+    report.write();
 }

@@ -2,10 +2,12 @@
 //! platforms, plus the internal/external bandwidth differential the
 //! near-storage placement exploits.
 
-use mithrilog_bench::{f2, print_table};
+use mithrilog_bench::{f2, HarnessArgs, TableReport};
 use mithrilog_sim::{COMPARISON_PLATFORM, MITHRILOG_PLATFORM};
 
 fn main() {
+    let args = HarnessArgs::parse();
+    let mut report = TableReport::new("table3", &args);
     println!("Table 3 — evaluation platforms");
     let rows = vec![
         vec![
@@ -29,9 +31,10 @@ fn main() {
             "1.00".to_string(),
         ],
     ];
-    print_table(
+    report.table(
         "Table 3: compared platforms",
         &["", "MithriLog", "Comparison"],
         &rows,
     );
+    report.write();
 }

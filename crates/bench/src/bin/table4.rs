@@ -4,12 +4,13 @@
 
 use std::time::Instant;
 
-use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_bench::{datasets, f2, HarnessArgs, TableReport};
 use mithrilog_compress::{Codec, Gzf, Lz4, Lzah, Lzrw1, Snappy};
 use mithrilog_sim::{codec_resource_table, hare_comparison};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("table4", &args);
     println!("Table 4 — codec resource efficiency (published FPGA figures + this repo's software throughput)");
 
     let rows: Vec<Vec<String>> = codec_resource_table()
@@ -24,7 +25,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    report.table(
         "Table 4: FPGA codec efficiency",
         &["Algorithm", "GB/s", "KLUT", "GB/s/KLUT", "Source"],
         &rows,
@@ -63,9 +64,10 @@ fn main() {
             f2(corpus.len() as f64 / packed.len() as f64),
         ]);
     }
-    print_table(
+    report.table(
         "Software codec throughput on Spirit2 profile (this machine)",
         &["Codec", "Compress MB/s", "Decompress MB/s", "Ratio"],
         &rows,
     );
+    report.write();
 }

@@ -1,11 +1,12 @@
 //! Regenerates **Table 5**: compression ratios of LZAH vs LZRW1, LZ4 and
 //! a Gzip-class codec on all four dataset profiles.
 
-use mithrilog_bench::{datasets, f2, print_table, HarnessArgs};
+use mithrilog_bench::{datasets, f2, HarnessArgs, TableReport};
 use mithrilog_compress::{Codec, Gzf, Lz4, Lzah, Lzrw1, Snappy};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("table5", &args);
     println!(
         "Table 5 — compression ratios (scale {} MB/dataset, seed {})",
         args.scale_mb, args.seed
@@ -28,7 +29,7 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table(
+    report.table(
         "Table 5: compression effectiveness",
         &["Algorithm", "BGL2", "Liberty2", "Spirit2", "Thunderbird"],
         &rows,
@@ -37,4 +38,5 @@ fn main() {
         "\nShape check: the general-purpose codecs out-compress LZAH; LZAH trades ratio for a\n\
          deterministic one-word-per-cycle hardware decoder (3.2 GB/s/pipeline at 4 KLUTs)."
     );
+    report.write();
 }

@@ -11,7 +11,7 @@
 
 use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_baseline::{effective_throughput_gbps, time_query, LogTable, ScanEngine};
-use mithrilog_bench::{datasets, f2, print_table, query_bank, HarnessArgs};
+use mithrilog_bench::{datasets, f2, query_bank, HarnessArgs, TableReport};
 use mithrilog_query::Query;
 
 fn mean(xs: &[f64]) -> f64 {
@@ -35,6 +35,7 @@ fn scan_batch(engine: &ScanEngine, table: &LogTable, queries: &[Query], bytes: u
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("table6", &args);
     println!(
         "Table 6 — average effective throughput of batched queries, GB/s (scale {} MB, seed {})",
         args.scale_mb, args.seed
@@ -85,7 +86,7 @@ fn main() {
     }
     rows.push(avg_row);
 
-    print_table(
+    report.table(
         "Table 6: average effective throughput of batched queries (GB/s)",
         &["System", names[0], names[1], names[2], names[3]],
         &rows,
@@ -94,4 +95,5 @@ fn main() {
         "\nShape check: scan throughput decreases with batch size (CPU-bound text matching);\n\
          MithriLog is constant per dataset and an order of magnitude faster."
     );
+    report.write();
 }

@@ -19,10 +19,11 @@ use std::time::Duration;
 
 use mithrilog::{MithriLog, SystemConfig};
 use mithrilog_baseline::{IndexedEngine, LogTable, SplunkCostModel};
-use mithrilog_bench::{datasets, f2, print_table, query_bank, HarnessArgs};
+use mithrilog_bench::{datasets, f2, query_bank, HarnessArgs, TableReport};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = TableReport::new("table7", &args);
     println!(
         "Table 7 — average improvement over the indexed (Splunk-style) engine (scale {} MB, seed {})",
         args.scale_mb, args.seed
@@ -81,7 +82,7 @@ fn main() {
             class_ratios.join(", "),
         ]);
     }
-    print_table(
+    report.table(
         "Table 7: total end-to-end time over the full query bank",
         &[
             "Dataset",
@@ -99,4 +100,5 @@ fn main() {
          at wire speed) and grows with dataset scale — the paper's 30 GB corpora produce\n\
          the 10-350x column, laptop-scale corpora proportionally less."
     );
+    report.write();
 }

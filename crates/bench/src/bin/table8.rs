@@ -1,10 +1,12 @@
 //! Regenerates **Table 8**: estimated power breakdown of the two
 //! platforms, plus the resulting performance-per-watt arithmetic (§7.6).
 
-use mithrilog_bench::{f2, print_table};
+use mithrilog_bench::{f2, HarnessArgs, TableReport};
 use mithrilog_sim::PowerModel;
 
 fn main() {
+    let args = HarnessArgs::parse();
+    let mut report = TableReport::new("table8", &args);
     println!("Table 8 — estimated power consumption breakdown");
     let m = PowerModel::paper();
     let rows = vec![
@@ -29,7 +31,7 @@ fn main() {
             f2(m.software().total_w()),
         ],
     ];
-    print_table(
+    report.table(
         "Table 8: power breakdown",
         &["Component", "MithriLog", "Software"],
         &rows,
@@ -40,4 +42,5 @@ fn main() {
             f2(m.efficiency_improvement(speedup))
         );
     }
+    report.write();
 }

@@ -8,22 +8,28 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
+
 use mithrilog_ftree::{FtreeConfig, TemplateLibrary};
 use mithrilog_loggen::{generate, Dataset, DatasetProfile, DatasetSpec};
 use mithrilog_query::batch::{combine, BatchSpec};
 use mithrilog_query::Query;
 
 /// Command-line arguments shared by all harness binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Dataset size per profile in megabytes.
     pub scale_mb: f64,
     /// RNG seed for dataset generation and query batching.
     pub seed: u64,
+    /// JSON report path override (`--out`); every binary defaults to its
+    /// own `BENCH_<name>.json` in the working directory.
+    pub out: Option<String>,
 }
 
 impl HarnessArgs {
-    /// Parses `--scale <mb>` and `--seed <n>` from `std::env::args`.
+    /// Parses `--scale <mb>`, `--seed <n>`, and `--out <path>` from
+    /// `std::env::args`.
     ///
     /// # Panics
     ///
@@ -32,6 +38,7 @@ impl HarnessArgs {
         let mut args = HarnessArgs {
             scale_mb: 4.0,
             seed: 42,
+            out: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -48,8 +55,11 @@ impl HarnessArgs {
                         .and_then(|v| v.parse().ok())
                         .expect("--seed needs an integer");
                 }
+                "--out" => {
+                    args.out = Some(it.next().expect("--out needs a path"));
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale <mb-per-dataset>] [--seed <n>]");
+                    eprintln!("usage: [--scale <mb-per-dataset>] [--seed <n>] [--out <path>]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument {other:?}"),
@@ -186,6 +196,109 @@ pub fn f2(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Records every table a harness binary prints and writes them as one
+/// machine-readable JSON report, so CI (and EXPERIMENTS.md tooling) can
+/// parse the same rows humans read. The report carries the shared
+/// `schema` field every `BENCH_*.json` must have.
+pub struct TableReport {
+    bench: String,
+    out: Option<String>,
+    tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+}
+
+impl TableReport {
+    /// Starts a report for the binary named `bench` (the default output
+    /// path is `BENCH_<bench>.json`), honoring the harness `--out` flag.
+    pub fn new(bench: &str, args: &HarnessArgs) -> Self {
+        TableReport {
+            bench: bench.to_string(),
+            out: args.out.clone(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Prints a fixed-width table (exactly like [`print_table`]) and
+    /// records it for the JSON report.
+    pub fn table(&mut self, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        print_table(title, headers, rows);
+        self.tables.push((
+            title.to_string(),
+            headers.iter().map(|h| h.to_string()).collect(),
+            rows.to_vec(),
+        ));
+    }
+
+    /// Records rows for the JSON report without printing them (for
+    /// binaries whose stdout format is CSV or prose, not a table).
+    pub fn record(&mut self, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        self.tables.push((
+            title.to_string(),
+            headers.iter().map(|h| h.to_string()).collect(),
+            rows.to_vec(),
+        ));
+    }
+
+    /// Writes the JSON report to `--out` (or `BENCH_<bench>.json`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output file cannot be written.
+    pub fn write(self) {
+        let path = self
+            .out
+            .unwrap_or_else(|| format!("BENCH_{}.json", self.bench));
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema\": \"mithrilog.bench.table.v1\",\n");
+        json.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&self.bench)));
+        json.push_str("  \"tables\": [\n");
+        for (t, (title, headers, rows)) in self.tables.iter().enumerate() {
+            json.push_str("    {\n");
+            json.push_str(&format!("      \"title\": \"{}\",\n", json_escape(title)));
+            let headers: Vec<String> = headers.iter().map(|h| json_escape(h)).collect();
+            json.push_str(&format!(
+                "      \"headers\": [\"{}\"],\n",
+                headers.join("\", \"")
+            ));
+            json.push_str("      \"rows\": [\n");
+            for (r, row) in rows.iter().enumerate() {
+                let cells: Vec<String> = row.iter().map(|c| json_escape(c)).collect();
+                json.push_str(&format!("        [\"{}\"]", cells.join("\", \"")));
+                json.push_str(if r + 1 < rows.len() { ",\n" } else { "\n" });
+            }
+            json.push_str("      ]\n");
+            json.push_str("    }");
+            json.push_str(if t + 1 < self.tables.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, &json).expect("write JSON report");
+        eprintln!("wrote {path}");
+    }
+}
+
 /// Renders an ASCII histogram over logarithmic-ish throughput buckets,
 /// mimicking Figure 15's non-linear x axis.
 pub fn ascii_histogram(label: &str, values_gbps: &[f64]) {
@@ -257,6 +370,7 @@ mod tests {
         let args = HarnessArgs {
             scale_mb: 0.2,
             seed: 3,
+            out: None,
         };
         let ds = datasets(&args);
         assert_eq!(ds.len(), 4);

@@ -10,7 +10,8 @@ use mithrilog_compress::{Codec, Lzah};
 use mithrilog_filter::FilterPipeline;
 use mithrilog_ftree::{FtreeConfig, TemplateLibrary};
 use mithrilog_loggen::{generate, DatasetProfile, DatasetSpec};
-use mithrilog_service::{JobOutput, Priority, Service, ServiceConfig};
+use mithrilog_service::{JobOutput, Priority, Service, ServiceBackend, ServiceConfig};
+use mithrilog_shard::{RouteMode, ShardOptions, ShardedLog};
 use mithrilog_storage::{CrashPlan, CrashStore, FaultPlan, FaultyStore, MemStore, StorageError};
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -554,6 +555,17 @@ pub fn gen(args: &[String]) -> CliResult {
 /// oldest crash-consistently after each ingest. `--no-overlap` disables
 /// concurrent ingest preparation (stop-the-world ingest, the bench
 /// baseline).
+///
+/// `--shards <n>` serves the log from `n` fully independent modeled
+/// devices behind the same port: ingest frames are routed
+/// deterministically (`--route-mode line-hash|tenant`, `--route-salt
+/// <n>`), queries scatter to every shard and gather into
+/// single-device-identical results, and `STATS` gains per-shard
+/// `shard.<k>.*` rows. `--tenant-queue <n>` caps how many queued jobs a
+/// single tenant tag may hold (excess is rejected with the tenant's own
+/// queue depth, so one tenant cannot monopolize admission), and
+/// `--tenant-budget <n>` applies a page budget to tenant-tagged queries
+/// before the `--budget` default.
 pub fn serve(args: &[String]) -> CliResult {
     let (threads, args) = take_usize_flag(args, "--threads")?;
     let (port, args) = take_usize_flag(&args, "--port")?;
@@ -564,16 +576,31 @@ pub fn serve(args: &[String]) -> CliResult {
     let (deadline, args) = take_usize_flag(&args, "--deadline")?;
     let (scrub_batch, args) = take_usize_flag(&args, "--scrub-batch")?;
     let (retain, args) = take_usize_flag(&args, "--retain")?;
+    let (shards, args) = take_usize_flag(&args, "--shards")?;
+    let (route_mode, args) = take_str_flag(&args, "--route-mode")?;
+    let (route_salt, args) = take_usize_flag(&args, "--route-salt")?;
+    let (tenant_queue, args) = take_usize_flag(&args, "--tenant-queue")?;
+    let (tenant_budget, args) = take_usize_flag(&args, "--tenant-budget")?;
     let (no_overlap, args) = take_bool_flag(&args, "--no-overlap");
     let path = args.first().ok_or(
         "usage: mithrilog serve <logfile> [--port <p>] [--threads <n>] \
          [--max-queue <n>] [--max-batch <n>] [--budget <n>] \
          [--page-cache <bytes>] [--deadline <micros>] [--scrub-batch <pages>] \
-         [--retain <segments>] [--no-overlap]",
+         [--retain <segments>] [--shards <n>] [--route-mode <line-hash|tenant>] \
+         [--route-salt <n>] [--tenant-queue <n>] [--tenant-budget <pages>] \
+         [--no-overlap]",
     )?;
     let port = u16::try_from(port.unwrap_or(0)).map_err(|_| "--port must fit in 16 bits")?;
+    let shards = shards.unwrap_or(1);
+    if shards == 0 {
+        return Err("--shards wants at least 1 device".into());
+    }
+    let mode = match route_mode.as_deref() {
+        None => RouteMode::LineHash,
+        Some(text) => RouteMode::parse(text)
+            .ok_or_else(|| format!("--route-mode {text:?} is not line-hash or tenant"))?,
+    };
     let text = read_log(path)?;
-    let system = ingest_with_opts(&text, threads, page_cache)?;
     let config = ServiceConfig {
         max_queue: max_queue.unwrap_or(ServiceConfig::default().max_queue),
         max_batch: max_batch.unwrap_or(ServiceConfig::default().max_batch),
@@ -582,9 +609,73 @@ pub fn serve(args: &[String]) -> CliResult {
         scrub_batch: scrub_batch.map_or(0, |b| b as u64),
         overlap_ingest: !no_overlap,
         retain_segments: retain.map(|n| n as u64),
+        tenant_max_queued: tenant_queue,
+        tenant_page_budget: tenant_budget.map(|b| b as u64),
     };
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
-    serve_listener(listener, system, config)
+    if shards == 1 {
+        let system = ingest_with_opts(&text, threads, page_cache)?;
+        serve_listener(listener, system, config)
+    } else {
+        let system_config = SystemConfig {
+            query_threads: SystemConfig::checked_query_threads(threads.unwrap_or(0))?,
+            page_cache_bytes: page_cache
+                .map_or(SystemConfig::DEFAULT_PAGE_CACHE_BYTES, |b| b as u64),
+            ..SystemConfig::default()
+        };
+        let opts = ShardOptions {
+            shards: u32::try_from(shards).map_err(|_| "--shards must fit in 32 bits")?,
+            mode,
+            salt: route_salt.unwrap_or(0) as u64,
+        };
+        let mut sharded = ShardedLog::new(system_config, opts);
+        let t0 = Instant::now();
+        let report = sharded.ingest(&text)?;
+        eprintln!(
+            "ingested {} lines / {} bytes into {} pages across {} shards ({:.2}x LZAH) in {:.2?}",
+            report.lines,
+            report.raw_bytes,
+            report.data_pages,
+            shards,
+            report.compression_ratio(),
+            t0.elapsed()
+        );
+        serve_listener(listener, sharded, config)
+    }
+}
+
+/// `mithrilog segments <storefile>`
+///
+/// Mounts an existing on-disk store (running crash recovery) and lists
+/// every sealed segment: id, member data-page range, line count, the
+/// seal-time CRC summary, and whether the segment still carries
+/// token-bitmap sidecars the wave planner can prune with.
+pub fn segments(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .ok_or("usage: mithrilog segments <storefile>")?;
+    let (system, recovery) = MithriLog::open(std::path::Path::new(path), SystemConfig::default())?;
+    println!("{recovery}");
+    let sealed = system.sealed_segments();
+    println!(
+        "{} sealed segments, {} pages open, {} lines total",
+        sealed.len(),
+        system.open_segment_pages(),
+        system.lines()
+    );
+    for segment in sealed {
+        println!(
+            "  segment {:>4}: pages {}..{} ({:>4}), {:>7} lines, crc {:#010x}, bitmaps {}",
+            segment.id,
+            segment.first_page,
+            segment.last_page,
+            segment.pages,
+            segment.lines,
+            segment.crc,
+            if segment.has_bitmaps { "yes" } else { "no" }
+        );
+    }
+    Ok(())
 }
 
 /// `mithrilog retention <storefile> --keep <segments>`
@@ -625,9 +716,9 @@ pub fn retention(args: &[String]) -> CliResult {
 /// The serve loop behind [`serve`], split out so tests (and embedders) can
 /// bring their own listener: announces the bound port, runs the service
 /// and the TCP front-end until `SHUTDOWN`, then shuts the service down.
-fn serve_listener(
+fn serve_listener<B: ServiceBackend>(
     listener: std::net::TcpListener,
-    system: MithriLog,
+    system: B,
     config: ServiceConfig,
 ) -> CliResult {
     use std::io::Write;
@@ -669,6 +760,24 @@ fn take_usize_flag(
         .get(pos + 1)
         .ok_or_else(|| format!("{flag} needs a value"))?;
     let v: usize = v.parse().map_err(|_| format!("{flag} needs an integer"))?;
+    let mut rest = args.to_vec();
+    rest.drain(pos..=pos + 1);
+    Ok((Some(v), rest))
+}
+
+/// Removes `flag <value>` from `args`, returning the raw string value and
+/// the remaining arguments.
+fn take_str_flag(
+    args: &[String],
+    flag: &str,
+) -> Result<(Option<String>, Vec<String>), Box<dyn Error>> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok((None, args.to_vec()));
+    };
+    let v = args
+        .get(pos + 1)
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .clone();
     let mut rest = args.to_vec();
     rest.drain(pos..=pos + 1);
     Ok((Some(v), rest))
@@ -1016,7 +1125,92 @@ mod tests {
         let path = temp_log();
         let e = serve(&strs(&[path.to_str().unwrap(), "--threads", "4096"])).unwrap_err();
         assert!(e.to_string().contains("1024"), "{e}");
+        let e = serve(&strs(&[path.to_str().unwrap(), "--shards", "0"])).unwrap_err();
+        assert!(e.to_string().contains("--shards"), "{e}");
+        let e = serve(&strs(&[path.to_str().unwrap(), "--route-mode", "nope"])).unwrap_err();
+        assert!(e.to_string().contains("--route-mode"), "{e}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_listener_serves_a_sharded_topology() {
+        use std::io::{BufRead, BufReader, Write};
+        let path = temp_log();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut response = |request: &str| -> Vec<String> {
+                writer.write_all(request.as_bytes()).unwrap();
+                let mut lines = Vec::new();
+                loop {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let line = line.trim_end_matches('\n').to_string();
+                    if line == "." {
+                        return lines;
+                    }
+                    lines.push(line);
+                }
+            };
+            assert_eq!(
+                response("SUBMIT tenant=acme q=session AND opened\n"),
+                vec!["OK id=0"]
+            );
+            let done = response("WAIT 0\n");
+            assert!(done[0].starts_with("OK done kind=query"), "{done:?}");
+            let stats = response("STATS\n");
+            assert!(stats.contains(&"shards=2".to_string()), "{stats:?}");
+            assert!(
+                stats.iter().any(|l| l.starts_with("shard.1.lines=")),
+                "{stats:?}"
+            );
+            assert!(
+                stats.contains(&"tenant.acme.completed=1".to_string()),
+                "{stats:?}"
+            );
+            assert_eq!(response("SHUTDOWN\n"), vec!["OK bye"]);
+        });
+        let text = read_log(path.to_str().unwrap()).unwrap();
+        let mut sharded = ShardedLog::new(
+            SystemConfig::default(),
+            ShardOptions {
+                shards: 2,
+                mode: RouteMode::LineHash,
+                salt: 7,
+            },
+        );
+        sharded.ingest(&text).unwrap();
+        serve_listener(listener, sharded, ServiceConfig::default()).expect("serve loop");
+        client.join().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn segments_command_lists_sealed_segments() {
+        let dir = std::env::temp_dir().join("mithrilog-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join(format!("segments-{}.mlog", std::process::id()));
+        let _ = std::fs::remove_file(&store);
+        let config = SystemConfig {
+            segment_pages: 2,
+            ..SystemConfig::default()
+        };
+        {
+            let mut system = MithriLog::create(&store, config).unwrap();
+            for round in 0..4 {
+                let text = format!("segments round {round} event line\n").repeat(200);
+                system.ingest(text.as_bytes()).unwrap();
+            }
+            assert!(system.sealed_segment_count() >= 2);
+        }
+        segments(&strs(&[store.to_str().unwrap()])).expect("segments command");
+        std::fs::remove_file(&store).ok();
+        // A missing store and missing args are clean errors.
+        assert!(segments(&strs(&[store.to_str().unwrap()])).is_err());
+        assert!(segments(&[]).is_err());
     }
 
     #[test]

@@ -17,10 +17,16 @@
 //!                                           (exit 0 clean, 2 corruption found, 1 error)
 //! mithrilog serve  <logfile> [--port <p>] [--threads <n>] [--max-queue <n>]
 //!                  [--max-batch <n>] [--budget <n>] [--deadline <micros>]
-//!                  [--scrub-batch <pages>] [--retain <segments>] [--no-overlap]
+//!                  [--scrub-batch <pages>] [--retain <segments>]
+//!                  [--shards <n>] [--route-mode <line-hash|tenant>]
+//!                  [--route-salt <n>] [--tenant-queue <n>]
+//!                  [--tenant-budget <pages>] [--no-overlap]
 //!                                           concurrent query service over TCP
+//!                                           (--shards: scatter-gather over N devices)
 //! mithrilog retention <storefile> --keep <segments>
 //!                                           drop the oldest sealed segments, crash-safely
+//! mithrilog segments <storefile>            list sealed segments: pages, lines, crc,
+//!                                           bitmap sidecars
 //! mithrilog recover <storefile>             mount an on-disk store, run crash recovery
 //! mithrilog recover --self-check [--points <k>] [--seed <n>]
 //!                                           crash drill: power-loss matrix, verify recovery
@@ -52,6 +58,7 @@ fn main() -> ExitCode {
             },
             "serve" => commands::serve(rest),
             "retention" => commands::retention(rest),
+            "segments" => commands::segments(rest),
             "recover" => commands::recover(rest),
             "help" | "--help" | "-h" => {
                 print_usage();
@@ -93,10 +100,16 @@ fn print_usage() {
          \x20                                           (exit 0 clean, 2 corruption found, 1 error)\n\
          \x20 mithrilog serve  <logfile> [--port <p>] [--threads <n>] [--max-queue <n>]\n\
          \x20                  [--max-batch <n>] [--budget <n>] [--deadline <micros>]\n\
-         \x20                  [--scrub-batch <pages>] [--retain <segments>] [--no-overlap]\n\
+         \x20                  [--scrub-batch <pages>] [--retain <segments>]\n\
+         \x20                  [--shards <n>] [--route-mode <line-hash|tenant>]\n\
+         \x20                  [--route-salt <n>] [--tenant-queue <n>]\n\
+         \x20                  [--tenant-budget <pages>] [--no-overlap]\n\
          \x20                                           concurrent query service over TCP\n\
+         \x20                                           (--shards: scatter-gather over N devices)\n\
          \x20 mithrilog retention <storefile> --keep <segments>\n\
          \x20                                           drop the oldest sealed segments, crash-safely\n\
+         \x20 mithrilog segments <storefile>            list sealed segments: pages, lines, crc,\n\
+         \x20                                           bitmap sidecars\n\
          \x20 mithrilog recover <storefile>             mount an on-disk store, run crash recovery\n\
          \x20 mithrilog recover --self-check [--points <k>] [--seed <n>]\n\
          \x20                                           crash drill: power-loss matrix, verify recovery\n\

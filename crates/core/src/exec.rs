@@ -197,6 +197,10 @@ impl HitTally {
 pub(crate) struct ScanResult {
     /// Matching lines in plan order.
     pub lines: Vec<String>,
+    /// Source page id of each matching line, parallel to `lines`. The
+    /// attribution lets a multi-device merge reconstruct global storage
+    /// order without re-scanning.
+    pub line_pages: Vec<u64>,
     /// Skipped page ids, in plan order.
     pub skipped_pages: Vec<u64>,
     /// Lines examined across all scanned pages.
@@ -333,6 +337,7 @@ pub(crate) fn scan_pages<S: PageStore>(
     // page loop, so the merge only moves them into plan order.
     let mut result = ScanResult {
         lines: Vec::new(),
+        line_pages: Vec::new(),
         skipped_pages: Vec::new(),
         lines_scanned: 0,
         bytes_filtered: 0,
@@ -341,12 +346,15 @@ pub(crate) fn scan_pages<S: PageStore>(
         physical,
         error,
     };
-    for scanned in slots.into_iter().flatten() {
+    for (slot, scanned) in slots.into_iter().enumerate() {
+        let Some(scanned) = scanned else { continue };
         match scanned {
             Scanned::Page(p) => {
                 result.lines_scanned += p.lines_scanned;
                 result.bytes_filtered += p.bytes;
                 result.pages_filtered += 1;
+                let total = result.line_pages.len() + p.lines.len();
+                result.line_pages.resize(total, pages[slot].0);
                 result.lines.extend(p.lines);
             }
             Scanned::Skipped(page) => result.skipped_pages.push(page),
@@ -486,6 +494,9 @@ fn filter_page_into<'q>(
 pub(crate) struct FanoutQueryScan {
     /// Matching lines in this query's plan order, materialized once.
     pub lines: Vec<String>,
+    /// Source page id of each matching line, parallel to `lines` (see
+    /// [`ScanResult::line_pages`]).
+    pub line_pages: Vec<u64>,
     /// Skipped page ids, in this query's plan order.
     pub skipped_pages: Vec<u64>,
     /// Lines examined across this query's scanned pages.
@@ -809,6 +820,7 @@ pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
         .map(|(q, fq)| {
             let mut scan = FanoutQueryScan {
                 lines: Vec::new(),
+                line_pages: Vec::new(),
                 skipped_pages: Vec::new(),
                 lines_scanned: 0,
                 bytes_filtered: 0,
@@ -832,6 +844,8 @@ pub(crate) fn scan_pages_fanout<'q, S: PageStore>(
                         scan.lines_scanned += *lines;
                         scan.bytes_filtered += *bytes;
                         scan.pages_filtered += 1;
+                        let total = scan.line_pages.len() + matched.len();
+                        scan.line_pages.resize(total, page.0);
                         scan.lines.extend(std::mem::take(matched));
                     }
                     FanBody::Skipped { interested } => {

@@ -118,6 +118,13 @@ pub struct SegmentSummary {
     pub id: u64,
     /// Member data pages.
     pub pages: u64,
+    /// First member data-page id (0 when the segment is empty).
+    pub first_page: u64,
+    /// Last member data-page id (0 when the segment is empty).
+    pub last_page: u64,
+    /// Whether this segment carries token-bitmap sidecars the wave planner
+    /// can prune with (dropped when a scrub finds them corrupt).
+    pub has_bitmaps: bool,
     /// Lines held by this segment.
     pub lines: u64,
     /// Raw bytes held by this segment.
@@ -252,6 +259,12 @@ impl std::fmt::Display for DegradedRead {
 pub struct QueryOutcome {
     /// Matching log lines, in storage order.
     pub lines: Vec<String>,
+    /// Source data-page id of each matching line, parallel to `lines`.
+    /// Within one device this is non-decreasing (lines come out in storage
+    /// order); a multi-device shard layer uses it to map each line back to
+    /// its global ingest position and merge shard outcomes into the exact
+    /// order a single-device run would produce.
+    pub line_pages: Vec<u64>,
     /// Whether the query was offloaded to the hardware filter model
     /// (`false` = software fallback after a failed compile).
     pub offloaded: bool,
@@ -536,6 +549,7 @@ mod tests {
     fn throughput_uses_modeled_time() {
         let o = QueryOutcome {
             lines: vec![],
+            line_pages: vec![],
             offloaded: true,
             used_index: true,
             pages_scanned: 0,

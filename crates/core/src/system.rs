@@ -384,6 +384,67 @@ impl<'a> PreparedIngest<'a> {
     pub fn frame_count(&self) -> u64 {
         self.frames.len() as u64
     }
+
+    /// The routing key of frame `index`: its first raw line. A multi-device
+    /// shard layer hashes this to place the frame; because frames (and
+    /// their keys) are a pure function of `(config, text)`, every replica
+    /// derives the same placement.
+    ///
+    /// # Panics
+    ///
+    /// When `index >= frame_count()`.
+    pub fn frame_key(&self, index: usize) -> &[u8] {
+        let slice = &self.text[self.frames[index].raw_range.clone()];
+        slice.split(|b| *b == b'\n').next().unwrap_or(slice)
+    }
+
+    /// Lines held by frame `index`.
+    ///
+    /// # Panics
+    ///
+    /// When `index >= frame_count()`.
+    pub fn frame_lines(&self, index: usize) -> u64 {
+        self.frames[index].lines
+    }
+
+    /// Splits the prepared frames into `shards` independent prepared
+    /// ingests, sending frame `i` to `routes[i]`, preserving relative frame
+    /// order within each shard. The frame payloads are reused byte-for-byte
+    /// (never recompressed), so the k-th frame routed to a shard lands
+    /// there exactly as it would have landed on a single device — the
+    /// invariant the shard layer's order-preserving merge rests on.
+    ///
+    /// # Panics
+    ///
+    /// When `routes.len() != frame_count()` or any route is `>= shards`.
+    pub fn partition(&self, routes: &[usize], shards: usize) -> Vec<PreparedIngest<'static>> {
+        assert_eq!(
+            routes.len(),
+            self.frames.len(),
+            "one route per prepared frame"
+        );
+        let mut parts: Vec<(Vec<u8>, Vec<PreparedFrame>)> =
+            (0..shards).map(|_| (Vec::new(), Vec::new())).collect();
+        for (frame, &shard) in self.frames.iter().zip(routes) {
+            let (text, frames) = &mut parts[shard];
+            let start = text.len();
+            text.extend_from_slice(&self.text[frame.raw_range.clone()]);
+            frames.push(PreparedFrame {
+                data: frame.data.clone(),
+                raw_range: start..text.len(),
+                lines: frame.lines,
+                distinct: frame.distinct.clone(),
+                marks: frame.marks.clone(),
+            });
+        }
+        parts
+            .into_iter()
+            .map(|(text, frames)| PreparedIngest {
+                text: Cow::Owned(text),
+                frames,
+            })
+            .collect()
+    }
 }
 
 impl MithriLog<MemStore> {
@@ -909,6 +970,9 @@ impl<S: PageStore> MithriLog<S> {
             .map(|s| SegmentSummary {
                 id: s.id,
                 pages: s.pages.len() as u64,
+                first_page: s.pages.first().map_or(0, |p| p.0),
+                last_page: s.pages.last().map_or(0, |p| p.0),
+                has_bitmaps: s.bitmaps.is_some(),
                 lines: s.lines,
                 raw_bytes: s.raw_bytes,
                 compressed_bytes: s.compressed_bytes,
@@ -1804,6 +1868,7 @@ impl<S: PageStore> MithriLog<S> {
             let modeled_time = self.model_query_time(&ledger, scan.bytes_filtered, &scan.lines);
             outcomes.push(QueryOutcome {
                 lines: scan.lines,
+                line_pages: scan.line_pages,
                 offloaded: pipeline.is_some(),
                 used_index: prep.used_index,
                 pages_scanned: prep.pages.len() as u64,
@@ -1879,6 +1944,7 @@ impl<S: PageStore> MithriLog<S> {
             return Err(e.into());
         }
         let lines = scan.lines;
+        let line_pages = scan.line_pages;
         let bytes_filtered = scan.bytes_filtered;
         let lines_scanned = scan.lines_scanned;
         degraded.skipped_pages = scan.skipped_pages;
@@ -1901,6 +1967,7 @@ impl<S: PageStore> MithriLog<S> {
         let modeled_time = self.model_query_time(&ledger, bytes_filtered, &lines);
         Ok(QueryOutcome {
             lines,
+            line_pages,
             offloaded,
             used_index,
             pages_scanned: data_pages_scanned,

@@ -26,6 +26,17 @@
 //!   no longer stops the world; [`ServiceConfig::retain_segments`] bounds
 //!   the store by dropping the oldest sealed segments crash-consistently
 //!   after each ingest;
+//! * **multi-device backends** — the scheduler drives any
+//!   [`ServiceBackend`]: a single [`mithrilog::MithriLog`] device, or a
+//!   [`mithrilog_shard::ShardedLog`] topology whose scatter-gather results
+//!   stay byte-identical to a single-device run (`mithrilog serve
+//!   --shards N`);
+//! * **per-tenant fairness** — jobs may carry a tenant tag: tagged queries
+//!   interleave round-robin across tenants within each priority lane,
+//!   [`ServiceConfig::tenant_max_queued`] caps how much of the shared
+//!   queue one tenant can occupy, [`ServiceConfig::tenant_page_budget`]
+//!   bounds each tagged query's scan, and `STATS` reports per-tenant and
+//!   per-shard counters;
 //! * **front-ends** — the in-process [`ServiceHandle`] API, and a TCP line
 //!   protocol ([`protocol`], [`server`]) the CLI exposes as
 //!   `mithrilog serve`;
@@ -64,11 +75,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 pub mod protocol;
 pub mod server;
 mod service;
 
+pub use backend::ServiceBackend;
+pub use mithrilog_shard::ShardRow;
 pub use service::{
     JobId, JobOutput, JobStatus, Priority, Service, ServiceConfig, ServiceHandle, ServiceStats,
-    SubmitError, WaitError,
+    SubmitError, TenantStats, WaitError,
 };

@@ -10,7 +10,7 @@
 //! Requests:
 //!
 //! ```text
-//! SUBMIT [pri=high|normal|low] [budget=N] [range=T1:T2] [deadline=MICROS] [explain=0|1] q=<query text>
+//! SUBMIT [pri=high|normal|low] [budget=N] [range=T1:T2] [deadline=MICROS] [tenant=NAME] [explain=0|1] q=<query text>
 //! POLL <id>
 //! WAIT <id>
 //! CANCEL <id>
@@ -24,17 +24,26 @@
 //! `deadline=` is a modeled-time bound in microseconds: the planned page set
 //! is clipped to what the device model can read in that time, and anything
 //! clipped is reported honestly in the degraded-read accounting.
+//! `tenant=` tags the job for per-tenant scheduling: tagged queries
+//! interleave fairly across tenants, inherit the per-tenant page budget,
+//! and count against the tenant's admission cap; `STATS` reports
+//! `tenant.<name>.*` counters for every tenant seen, plus `shard.<k>.*`
+//! rows for every device behind the service.
 //! `explain=1` plans the request — index decision, bitmap pruning, clips —
 //! without scanning a single data page; the result lists one `L` line per
 //! segment. `CANCEL` stops a queued job outright and tells a running job to
 //! stop at its next page boundary. `SCRUB` queues a full verification pass
 //! over every page.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use mithrilog::QueryRequest;
+use mithrilog_shard::ShardRow;
 
-use crate::service::{JobId, JobOutput, JobStatus, Priority, ServiceStats, SubmitError};
+use crate::service::{
+    JobId, JobOutput, JobStatus, Priority, ServiceStats, SubmitError, TenantStats,
+};
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +60,8 @@ pub enum Request {
         range: Option<(u64, u64)>,
         /// Modeled-time deadline in microseconds, if any.
         deadline: Option<u64>,
+        /// Tenant tag for per-tenant scheduling, if any.
+        tenant: Option<String>,
         /// Plan-only: explain how the request would execute without
         /// scanning any data page.
         explain: bool,
@@ -118,6 +129,7 @@ fn parse_submit(rest: &str) -> Result<Request, String> {
     let mut budget = None;
     let mut range = None;
     let mut deadline = None;
+    let mut tenant = None;
     let mut explain = false;
     let mut remaining = rest;
     let query = loop {
@@ -165,6 +177,12 @@ fn parse_submit(rest: &str) -> Result<Request, String> {
                         .map_err(|_| format!("bad deadline {value:?} (want microseconds)"))?,
                 );
             }
+            "tenant" => {
+                if value.is_empty() {
+                    return Err("tenant wants a non-empty name".into());
+                }
+                tenant = Some(value.to_string());
+            }
             "explain" => {
                 explain = match value {
                     "1" => true,
@@ -185,6 +203,7 @@ fn parse_submit(rest: &str) -> Result<Request, String> {
         budget,
         range,
         deadline,
+        tenant,
         explain,
     })
 }
@@ -328,16 +347,22 @@ pub fn render_cancel(cancelled: bool) -> String {
     })
 }
 
-/// Renders the response to `STATS`.
-pub fn render_stats(stats: &ServiceStats) -> String {
-    terminated(format!(
+/// Renders the response to `STATS`: the service-wide counters, then one
+/// `shard.<k>.*` block per device behind the service, then one
+/// `tenant.<name>.*` block per tenant seen since spawn.
+pub fn render_stats(
+    stats: &ServiceStats,
+    tenants: &BTreeMap<String, TenantStats>,
+    shards: &[ShardRow],
+) -> String {
+    let mut body = format!(
         "OK stats\nsubmitted={}\nrejected={}\ncompleted={}\nfailed={}\ncancelled={}\n\
          queued={}\nwaves={}\ndemanded_page_reads={}\nunique_pages_read={}\n\
          shared_reads_avoided={}\ncache_hits={}\ncache_bytes_saved={}\n\
          pages_pruned_by_index={}\npages_pruned_by_bitmap={}\npages_pruned_by_both={}\n\
          probe_node_visits_saved={}\nbitmaps_dropped={}\n\
          waves_poisoned={}\nscrub_slices={}\npages_scrubbed={}\npages_quarantined={}\n\
-         ingests_overlapped={}\nsegments_sealed={}\nsegments_dropped={}\n",
+         ingests_overlapped={}\nsegments_sealed={}\nsegments_dropped={}\nshards={}\n",
         stats.submitted,
         stats.rejected,
         stats.completed,
@@ -362,7 +387,41 @@ pub fn render_stats(stats: &ServiceStats) -> String {
         stats.ingests_overlapped,
         stats.segments_sealed,
         stats.segments_dropped,
-    ))
+        shards.len(),
+    );
+    for row in shards {
+        let k = row.shard;
+        body.push_str(&format!(
+            "shard.{k}.lines={}\nshard.{k}.data_pages={}\nshard.{k}.raw_bytes={}\n\
+             shard.{k}.sealed_segments={}\nshard.{k}.pages_read={}\nshard.{k}.bytes_read={}\n\
+             shard.{k}.retries={}\nshard.{k}.modeled_gbps={:.3}\n",
+            row.lines,
+            row.data_pages,
+            row.raw_bytes,
+            row.sealed_segments,
+            row.pages_read,
+            row.bytes_read,
+            row.retries,
+            row.modeled_gbps,
+        ));
+    }
+    for (name, t) in tenants {
+        body.push_str(&format!(
+            "tenant.{name}.submitted={}\ntenant.{name}.rejected={}\n\
+             tenant.{name}.completed={}\ntenant.{name}.failed={}\n\
+             tenant.{name}.cancelled={}\ntenant.{name}.queued={}\n\
+             tenant.{name}.pages_scanned={}\ntenant.{name}.lines_returned={}\n",
+            t.submitted,
+            t.rejected,
+            t.completed,
+            t.failed,
+            t.cancelled,
+            t.queued,
+            t.pages_scanned,
+            t.lines_returned,
+        ));
+    }
+    terminated(body)
 }
 
 /// Renders an `ERR` for a request that failed to parse.
@@ -382,7 +441,8 @@ mod tests {
     #[test]
     fn submit_parses_fields_and_query_tail() {
         let r = parse_request(
-            "SUBMIT pri=high budget=4 range=10:99 deadline=2500 explain=1 q=FATAL AND NOT ciod:",
+            "SUBMIT pri=high budget=4 range=10:99 deadline=2500 tenant=acme explain=1 \
+             q=FATAL AND NOT ciod:",
         )
         .unwrap();
         assert_eq!(
@@ -393,6 +453,7 @@ mod tests {
                 budget: Some(4),
                 range: Some((10, 99)),
                 deadline: Some(2500),
+                tenant: Some("acme".into()),
                 explain: true,
             }
         );
@@ -406,9 +467,13 @@ mod tests {
                 budget: None,
                 range: None,
                 deadline: None,
+                tenant: None,
                 explain: false,
             }
         );
+        // An empty tenant name is rejected loudly, never treated as "no
+        // tenant".
+        assert!(parse_request("SUBMIT tenant= q=x").is_err());
         // explain=0 is explicit, anything else is rejected loudly.
         assert!(matches!(
             parse_request("SUBMIT explain=0 q=x").unwrap(),
@@ -486,7 +551,7 @@ mod tests {
             render_status(None),
             render_status(Some(&JobStatus::Pending)),
             render_cancel(true),
-            render_stats(&ServiceStats::default()),
+            render_stats(&ServiceStats::default(), &BTreeMap::new(), &[]),
             render_error("nope"),
             render_bye(),
         ] {
@@ -496,7 +561,27 @@ mod tests {
             );
         }
         assert!(render_submit(&Ok(5)).starts_with("OK id=5\n"));
-        let stats = render_stats(&ServiceStats::default());
+        let mut tenants = BTreeMap::new();
+        tenants.insert(
+            "acme".to_string(),
+            TenantStats {
+                submitted: 3,
+                completed: 2,
+                ..TenantStats::default()
+            },
+        );
+        let rows = [ShardRow {
+            shard: 0,
+            lines: 10,
+            data_pages: 2,
+            raw_bytes: 640,
+            sealed_segments: 1,
+            pages_read: 4,
+            bytes_read: 2048,
+            retries: 0,
+            modeled_gbps: 3.25,
+        }];
+        let stats = render_stats(&ServiceStats::default(), &tenants, &rows);
         for key in [
             "waves_poisoned=",
             "scrub_slices=",
@@ -505,6 +590,12 @@ mod tests {
             "ingests_overlapped=",
             "segments_sealed=",
             "segments_dropped=",
+            "shards=1",
+            "shard.0.lines=10",
+            "shard.0.modeled_gbps=3.250",
+            "tenant.acme.submitted=3",
+            "tenant.acme.completed=2",
+            "tenant.acme.queued=0",
         ] {
             assert!(stats.contains(key), "{stats}");
         }
@@ -527,6 +618,7 @@ mod tests {
         use std::time::Duration;
         let outcome = mithrilog::QueryOutcome {
             lines: vec!["a FATAL line".into(), ".".into()],
+            line_pages: vec![0, 1],
             offloaded: true,
             used_index: false,
             pages_scanned: 2,

@@ -115,13 +115,18 @@ fn handle_connection(stream: TcpStream, handle: &ServiceHandle, stopping: &Atomi
                 budget,
                 range,
                 deadline,
+                tenant,
                 explain,
             }) => match protocol::submit_to_request(&query, budget, range, deadline) {
                 Err(reason) => protocol::render_error(&reason),
                 Ok(request) if explain => {
                     protocol::render_submit(&handle.submit_explain(request, priority))
                 }
-                Ok(request) => protocol::render_submit(&handle.submit(request, priority)),
+                Ok(request) => protocol::render_submit(&handle.submit_tagged(
+                    request,
+                    priority,
+                    tenant.as_deref(),
+                )),
             },
             Ok(Request::Poll(id)) => protocol::render_status(handle.poll(id).as_ref()),
             Ok(Request::Wait(id)) => {
@@ -137,7 +142,11 @@ fn handle_connection(stream: TcpStream, handle: &ServiceHandle, stopping: &Atomi
             }
             Ok(Request::Cancel(id)) => protocol::render_cancel(handle.cancel(id)),
             Ok(Request::Scrub) => protocol::render_submit(&handle.submit_scrub()),
-            Ok(Request::Stats) => protocol::render_stats(&handle.stats()),
+            Ok(Request::Stats) => protocol::render_stats(
+                &handle.stats(),
+                &handle.tenant_stats(),
+                &handle.shard_stats(),
+            ),
             Ok(Request::Quit) => {
                 let _ = writer.write_all(protocol::render_bye().as_bytes());
                 return false;
@@ -229,6 +238,66 @@ mod tests {
         let h = service_handle_closed.handle();
         service_handle_closed.shutdown();
         assert!(h.submit_str("x", Priority::Normal).is_err());
+    }
+
+    #[test]
+    fn sharded_backend_serves_tenants_over_tcp() {
+        use mithrilog_shard::{RouteMode, ShardOptions, ShardedLog};
+        let mut sharded = ShardedLog::new(
+            SystemConfig::for_tests(),
+            ShardOptions {
+                shards: 2,
+                mode: RouteMode::LineHash,
+                salt: 0x5eed,
+            },
+        );
+        let corpus: String = (0..32)
+            .map(|i| format!("node-{i:04} RAS KERNEL FATAL data storage interrupt\n"))
+            .collect();
+        sharded.ingest(corpus.as_bytes()).unwrap();
+        let service = Service::spawn(sharded, ServiceConfig::default());
+        let handle = service.handle();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(listener, &handle).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        writer.write_all(b"SUBMIT tenant=acme q=FATAL\n").unwrap();
+        assert_eq!(read_response(&mut reader), vec!["OK id=0"]);
+        writer.write_all(b"WAIT 0\n").unwrap();
+        let done = read_response(&mut reader);
+        assert!(
+            done[0].starts_with("OK done kind=query lines=32"),
+            "{done:?}"
+        );
+
+        writer.write_all(b"STATS\n").unwrap();
+        let stats = read_response(&mut reader);
+        assert!(stats.contains(&"shards=2".to_string()), "{stats:?}");
+        assert!(
+            stats.iter().any(|l| l.starts_with("shard.0.lines=")),
+            "{stats:?}"
+        );
+        assert!(
+            stats.iter().any(|l| l.starts_with("shard.1.lines=")),
+            "{stats:?}"
+        );
+        assert!(
+            stats.contains(&"tenant.acme.completed=1".to_string()),
+            "{stats:?}"
+        );
+        assert!(
+            stats.contains(&"tenant.acme.lines_returned=32".to_string()),
+            "{stats:?}"
+        );
+
+        writer.write_all(b"SHUTDOWN\n").unwrap();
+        assert_eq!(read_response(&mut reader), vec!["OK bye"]);
+        server.join().unwrap();
+        service.shutdown();
     }
 
     #[test]

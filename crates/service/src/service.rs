@@ -1,4 +1,4 @@
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -7,10 +7,13 @@ use std::time::{Duration, Instant};
 use std::borrow::Cow;
 
 use mithrilog::{
-    CancelToken, IngestReport, MithriLog, MithriLogError, PlanExplain, PreparedIngest,
-    QueryOutcome, QueryRequest, RetentionReport, ScanAttribution, SharedScanReport,
+    CancelToken, IngestReport, PlanExplain, PreparedIngest, QueryOutcome, QueryRequest,
+    RetentionReport, ScanAttribution, SharedScanReport,
 };
-use mithrilog_storage::{PageStore, ScrubReport};
+use mithrilog_shard::ShardRow;
+use mithrilog_storage::ScrubReport;
+
+use crate::backend::ServiceBackend;
 
 /// Identifier of a submitted job, unique for the lifetime of the service.
 pub type JobId = u64;
@@ -201,8 +204,21 @@ pub struct ServiceConfig {
     pub overlap_ingest: bool,
     /// Retention target: after every successful ingest, drop the oldest
     /// sealed segments until at most this many remain (crash-consistent;
-    /// see [`MithriLog::apply_retention`]). `None` disables retention.
+    /// see [`mithrilog::MithriLog::apply_retention`]). `None` disables
+    /// retention.
     pub retain_segments: Option<u64>,
+    /// Per-tenant admission cap: at most this many jobs from one tenant
+    /// may be queued at once. Submissions beyond it are rejected with
+    /// [`SubmitError::Rejected`] (`queue_full: false`), so one tenant
+    /// saturating its own allowance cannot consume the whole shared queue
+    /// and starve everyone else's admission. Untagged jobs are exempt.
+    /// `None` disables the cap.
+    pub tenant_max_queued: Option<usize>,
+    /// Page budget applied to tenant-tagged queries that do not carry
+    /// their own, *before* [`ServiceConfig::default_page_budget`]: a
+    /// per-tenant scan allowance whose overruns surface as honest
+    /// degraded reads. `None` falls through to the default budget.
+    pub tenant_page_budget: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -215,6 +231,8 @@ impl Default for ServiceConfig {
             scrub_batch: 0,
             overlap_ingest: true,
             retain_segments: None,
+            tenant_max_queued: None,
+            tenant_page_budget: None,
         }
     }
 }
@@ -278,12 +296,35 @@ pub struct ServiceStats {
     pub segments_dropped: u64,
 }
 
+/// Per-tenant counters, cumulative since spawn. Only jobs submitted with a
+/// tenant tag are counted; untagged jobs appear solely in [`ServiceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Jobs admitted for this tenant.
+    pub submitted: u64,
+    /// Submissions rejected — by the shared queue bound or by the
+    /// per-tenant cap ([`ServiceConfig::tenant_max_queued`]).
+    pub rejected: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs that failed with a hard error.
+    pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs currently queued.
+    pub queued: u64,
+    /// Data pages this tenant's completed queries scanned (as-if-solo).
+    pub pages_scanned: u64,
+    /// Matched lines returned to this tenant.
+    pub lines_returned: u64,
+}
+
 enum JobKind {
-    Query(Box<QueryRequest>, Priority),
+    Query(Box<QueryRequest>, Priority, Option<String>),
     /// Plan-only: the request is planned (index probe, bitmap pruning,
     /// clips) but no data page is scanned.
     Explain(Box<QueryRequest>, Priority),
-    Ingest(Vec<u8>),
+    Ingest(Vec<u8>, Option<String>),
     /// A full-device scrub pass; runs alone, like an ingest.
     Scrub,
 }
@@ -294,6 +335,9 @@ struct Job {
     /// Shared with the request handed to the datapath (query jobs), so a
     /// running job can be cancelled mid-scan.
     cancel: CancelToken,
+    /// The tenant tag the job was submitted under, kept past the claim so
+    /// settling can account it.
+    tenant: Option<String>,
 }
 
 #[derive(Default)]
@@ -305,6 +349,17 @@ struct State {
     queued: usize,
     closed: bool,
     stats: ServiceStats,
+    /// Per-tenant counters for tagged jobs, keyed by tenant name.
+    tenants: BTreeMap<String, TenantStats>,
+    /// Last published per-device observability rows (one row for a solo
+    /// backend), refreshed by the scheduler after every wave.
+    shard_rows: Vec<ShardRow>,
+}
+
+impl State {
+    fn tenant_mut(&mut self, tenant: &str) -> &mut TenantStats {
+        self.tenants.entry(tenant.to_string()).or_default()
+    }
 }
 
 struct Shared {
@@ -322,8 +377,9 @@ pub struct ServiceHandle {
     shared: Arc<Shared>,
 }
 
-/// The running service: a scheduler thread that owns the
-/// [`MithriLog`] system and executes admitted jobs in shared-scan waves.
+/// The running service: a scheduler thread that owns the backend — a
+/// [`mithrilog::MithriLog`] device or a [`mithrilog_shard::ShardedLog`]
+/// topology — and executes admitted jobs in shared-scan waves.
 pub struct Service {
     handle: ServiceHandle,
     scheduler: Option<JoinHandle<()>>,
@@ -336,13 +392,31 @@ impl ServiceHandle {
     ///
     /// [`SubmitError::Rejected`] when the bounded queue is full,
     /// [`SubmitError::Closed`] after shutdown.
-    pub fn submit(
+    pub fn submit(&self, request: QueryRequest, priority: Priority) -> Result<JobId, SubmitError> {
+        self.submit_tagged(request, priority, None)
+    }
+
+    /// Submits a query under a tenant tag. Tagged queries inherit the
+    /// per-tenant page budget ([`ServiceConfig::tenant_page_budget`])
+    /// before the default, count against the tenant's admission cap
+    /// ([`ServiceConfig::tenant_max_queued`]), and are scheduled fairly
+    /// against other tenants in the same priority lane.
+    ///
+    /// # Errors
+    ///
+    /// Every [`ServiceHandle::submit`] condition, plus
+    /// [`SubmitError::Rejected`] with `queue_full: false` when the
+    /// tenant's own allowance is exhausted.
+    pub fn submit_tagged(
         &self,
         mut request: QueryRequest,
         priority: Priority,
+        tenant: Option<&str>,
     ) -> Result<JobId, SubmitError> {
         if request.page_budget.is_none() {
-            request.page_budget = self.shared.config.default_page_budget;
+            request.page_budget = tenant
+                .and(self.shared.config.tenant_page_budget)
+                .or(self.shared.config.default_page_budget);
         }
         if request.deadline.is_none() {
             request.deadline = self.shared.config.default_deadline;
@@ -352,7 +426,10 @@ impl ServiceHandle {
         // reaches even a job already running in a wave. A token the caller
         // attached is kept (and shared), not replaced.
         let cancel = request.cancel.get_or_insert_with(CancelToken::new).clone();
-        self.admit(JobKind::Query(Box::new(request), priority), cancel)
+        self.admit(
+            JobKind::Query(Box::new(request), priority, tenant.map(str::to_string)),
+            cancel,
+        )
     }
 
     /// Parses and submits a query.
@@ -362,8 +439,24 @@ impl ServiceHandle {
     /// [`SubmitError::Parse`] on bad query text, plus every
     /// [`ServiceHandle::submit`] condition.
     pub fn submit_str(&self, query: &str, priority: Priority) -> Result<JobId, SubmitError> {
+        self.submit_str_tagged(query, priority, None)
+    }
+
+    /// Parses and submits a query under a tenant tag (see
+    /// [`ServiceHandle::submit_tagged`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Parse`] on bad query text, plus every
+    /// [`ServiceHandle::submit_tagged`] condition.
+    pub fn submit_str_tagged(
+        &self,
+        query: &str,
+        priority: Priority,
+        tenant: Option<&str>,
+    ) -> Result<JobId, SubmitError> {
         let request = QueryRequest::parse(query).map_err(|e| SubmitError::Parse(e.to_string()))?;
-        self.submit(request, priority)
+        self.submit_tagged(request, priority, tenant)
     }
 
     /// Submits a plan-only explain of a query request: the request is
@@ -416,7 +509,22 @@ impl ServiceHandle {
     ///
     /// Same admission conditions as [`ServiceHandle::submit`].
     pub fn ingest(&self, text: Vec<u8>) -> Result<JobId, SubmitError> {
-        self.admit(JobKind::Ingest(text), CancelToken::new())
+        self.ingest_tagged(text, None)
+    }
+
+    /// Submits an ingest batch under a tenant tag. On a sharded backend
+    /// running in tenant routing mode the tag pins the whole batch to the
+    /// tenant's home shard; the tag also counts against the tenant's
+    /// admission cap.
+    ///
+    /// # Errors
+    ///
+    /// Same admission conditions as [`ServiceHandle::submit_tagged`].
+    pub fn ingest_tagged(&self, text: Vec<u8>, tenant: Option<&str>) -> Result<JobId, SubmitError> {
+        self.admit(
+            JobKind::Ingest(text, tenant.map(str::to_string)),
+            CancelToken::new(),
+        )
     }
 
     /// Submits a full-device scrub pass (admitted through the same bounded
@@ -433,23 +541,45 @@ impl ServiceHandle {
     }
 
     fn admit(&self, kind: JobKind, cancel: CancelToken) -> Result<JobId, SubmitError> {
+        let tenant = match &kind {
+            JobKind::Query(_, _, tenant) | JobKind::Ingest(_, tenant) => tenant.clone(),
+            JobKind::Explain(..) | JobKind::Scrub => None,
+        };
         let mut state = self.shared.state.lock().expect("service state poisoned");
         if state.closed {
             return Err(SubmitError::Closed);
         }
         if state.queued >= self.shared.config.max_queue {
             state.stats.rejected += 1;
+            if let Some(tenant) = &tenant {
+                state.tenant_mut(tenant).rejected += 1;
+            }
             return Err(SubmitError::Rejected {
                 queue_full: true,
                 queue_len: state.queued,
                 capacity: self.shared.config.max_queue,
             });
         }
+        // The per-tenant cap bounds how much of the shared queue one tenant
+        // can occupy: a saturating tenant exhausts its own allowance and is
+        // turned away while everyone else still gets admitted.
+        if let (Some(tenant), Some(cap)) = (&tenant, self.shared.config.tenant_max_queued) {
+            let queued = state.tenant_mut(tenant).queued as usize;
+            if queued >= cap {
+                state.stats.rejected += 1;
+                state.tenant_mut(tenant).rejected += 1;
+                return Err(SubmitError::Rejected {
+                    queue_full: false,
+                    queue_len: queued,
+                    capacity: cap,
+                });
+            }
+        }
         let id = state.next_id;
         state.next_id += 1;
         let lane = match &kind {
-            JobKind::Query(_, priority) | JobKind::Explain(_, priority) => priority.lane(),
-            JobKind::Ingest(_) | JobKind::Scrub => Priority::Normal.lane(),
+            JobKind::Query(_, priority, _) | JobKind::Explain(_, priority) => priority.lane(),
+            JobKind::Ingest(..) | JobKind::Scrub => Priority::Normal.lane(),
         };
         state.jobs.insert(
             id,
@@ -457,12 +587,18 @@ impl ServiceHandle {
                 kind: Some(kind),
                 status: JobStatus::Pending,
                 cancel,
+                tenant: tenant.clone(),
             },
         );
         state.lanes[lane].push_back(id);
         state.queued += 1;
         state.stats.submitted += 1;
         state.stats.queued = state.queued as u64;
+        if let Some(tenant) = &tenant {
+            let stats = state.tenant_mut(tenant);
+            stats.submitted += 1;
+            stats.queued += 1;
+        }
         self.shared.changed.notify_all();
         Ok(id)
     }
@@ -567,9 +703,15 @@ impl ServiceHandle {
             JobStatus::Pending => {
                 job.status = JobStatus::Cancelled;
                 job.kind = None;
+                let tenant = job.tenant.clone();
                 state.queued -= 1;
                 state.stats.cancelled += 1;
                 state.stats.queued = state.queued as u64;
+                if let Some(tenant) = &tenant {
+                    let stats = state.tenant_mut(tenant);
+                    stats.cancelled += 1;
+                    stats.queued = stats.queued.saturating_sub(1);
+                }
                 self.shared.changed.notify_all();
                 true
             }
@@ -589,6 +731,21 @@ impl ServiceHandle {
         state.stats
     }
 
+    /// A snapshot of the per-tenant counters, keyed by tenant name. Only
+    /// tenant-tagged jobs are counted.
+    pub fn tenant_stats(&self) -> BTreeMap<String, TenantStats> {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        state.tenants.clone()
+    }
+
+    /// A snapshot of the per-device observability rows the scheduler last
+    /// published: what each shard holds and what it has been charged. A
+    /// solo backend reports one row.
+    pub fn shard_stats(&self) -> Vec<ShardRow> {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        state.shard_rows.clone()
+    }
+
     /// Whether the service has been shut down.
     pub fn is_closed(&self) -> bool {
         let state = self.shared.state.lock().expect("service state poisoned");
@@ -598,23 +755,27 @@ impl ServiceHandle {
 
 impl Service {
     /// Starts the service: spawns the scheduler thread, which takes
-    /// ownership of `system` and executes admitted jobs in shared-scan
-    /// waves until [`Service::shutdown`].
-    pub fn spawn<S>(system: MithriLog<S>, config: ServiceConfig) -> Service
+    /// ownership of `backend` — a [`mithrilog::MithriLog`] device or a
+    /// [`mithrilog_shard::ShardedLog`] topology — and executes admitted
+    /// jobs in shared-scan waves until [`Service::shutdown`].
+    pub fn spawn<B>(backend: B, config: ServiceConfig) -> Service
     where
-        S: PageStore + Send + 'static,
+        B: ServiceBackend,
     {
         assert!(config.max_queue > 0, "max_queue must be at least 1");
         assert!(config.max_batch > 0, "max_batch must be at least 1");
         let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
+            state: Mutex::new(State {
+                shard_rows: backend.shard_rows(),
+                ..State::default()
+            }),
             changed: Condvar::new(),
             config,
         });
         let scheduler_shared = Arc::clone(&shared);
         let scheduler = std::thread::Builder::new()
             .name("mithrilog-scheduler".into())
-            .spawn(move || scheduler_loop(system, &scheduler_shared))
+            .spawn(move || scheduler_loop(backend, &scheduler_shared))
             .expect("failed to spawn the scheduler thread");
         Service {
             handle: ServiceHandle { shared },
@@ -662,8 +823,8 @@ enum Wave {
     /// concurrently with the scan, its device-touching apply half runs
     /// after the scan settles, so the queries still observe the exact
     /// pre-ingest snapshot.
-    Queries(Vec<(JobId, QueryRequest)>, Option<(JobId, Vec<u8>)>),
-    Ingest(JobId, Vec<u8>),
+    Queries(Vec<(JobId, QueryRequest)>, Option<OverlapIngest>),
+    Ingest(JobId, Vec<u8>, Option<String>),
     /// A plan-only explain; runs alone, so its (real, charged) index probe
     /// lands between waves deterministically.
     Explain(JobId, Box<QueryRequest>),
@@ -674,12 +835,77 @@ enum Wave {
     Shutdown,
 }
 
+/// An ingest claimed behind a query wave: its id, its raw text, and the
+/// tenant tag that routes it on a sharded backend.
+struct OverlapIngest {
+    id: JobId,
+    text: Vec<u8>,
+    tenant: Option<String>,
+}
+
+/// Selects up to `budget` query jobs from the contiguous run of queries at
+/// the front of `lane`, round-robin over tenants: each sweep takes at most
+/// one job per tenant (untagged jobs pass through in submission order), so
+/// a tenant that filled the lane first cannot starve another tenant's
+/// already-admitted queries — they interleave into the same wave. With no
+/// tenant tags every sweep takes everything, which is exactly the old
+/// strict-FIFO claim. Selected ids are removed from the lane; the jobs
+/// left behind keep their relative order.
+fn claim_fair_queries(state: &mut State, lane: usize, budget: usize) -> Vec<JobId> {
+    let mut window: Vec<(JobId, Option<String>)> = Vec::new();
+    for &id in &state.lanes[lane] {
+        match state.jobs.get(&id).and_then(|j| j.kind.as_ref()) {
+            // Cancelled in place: invisible here, dropped from the lane
+            // when it reaches the front.
+            None => continue,
+            Some(JobKind::Query(_, _, tenant)) => window.push((id, tenant.clone())),
+            // The window ends at the first barrier job (ingest, explain,
+            // scrub): whatever sits behind it must observe its effects.
+            Some(_) => break,
+        }
+    }
+    let mut chosen: Vec<JobId> = Vec::with_capacity(window.len().min(budget));
+    let mut taken = vec![false; window.len()];
+    while chosen.len() < budget {
+        let before = chosen.len();
+        let mut served: Vec<&str> = Vec::new();
+        for (slot, (id, tenant)) in window.iter().enumerate() {
+            if taken[slot] {
+                continue;
+            }
+            if let Some(tenant) = tenant.as_deref() {
+                if served.contains(&tenant) {
+                    continue;
+                }
+                served.push(tenant);
+            }
+            taken[slot] = true;
+            chosen.push(*id);
+            if chosen.len() == budget {
+                break;
+            }
+        }
+        if chosen.len() == before {
+            break;
+        }
+    }
+    for id in &chosen {
+        let pos = state.lanes[lane]
+            .iter()
+            .position(|queued| queued == id)
+            .expect("chosen id came from this lane");
+        state.lanes[lane].remove(pos);
+    }
+    chosen
+}
+
 /// Claims the next wave in (priority, FIFO) order: the head of the highest
 /// non-empty lane decides. Queries accumulate up to `max_batch` across
 /// lanes (a half-filled wave never waits for stragglers — determinism
-/// requires batching only what is already admitted). An ingest at the
-/// front of an empty wave runs alone; behind already-claimed queries it
-/// joins the wave as the overlapped ingest when `overlap_ingest` is set
+/// requires batching only what is already admitted), interleaved fairly
+/// across tenants within each lane ([`claim_fair_queries`]). An ingest at
+/// the front of an empty wave runs alone; behind already-claimed queries
+/// it joins the wave as the overlapped ingest when `overlap_ingest` is set
 /// (claiming stops there — jobs admitted after the ingest must observe
 /// post-ingest state) and otherwise stops the wave before it.
 fn claim_wave(state: &mut State, max_batch: usize, overlap_ingest: bool) -> Wave {
@@ -687,44 +913,67 @@ fn claim_wave(state: &mut State, max_batch: usize, overlap_ingest: bool) -> Wave
         return Wave::Shutdown;
     }
     let mut wave: Vec<(JobId, QueryRequest)> = Vec::new();
-    let mut overlap: Option<(JobId, Vec<u8>)> = None;
+    let mut overlap: Option<OverlapIngest> = None;
     'lanes: for class in Priority::CLASSES {
         let lane = class.lane();
-        while let Some(&id) = state.lanes[lane].front() {
+        loop {
             // Cancelled jobs were emptied in place; drop them from the lane.
-            let Some(kind) = state.jobs.get(&id).and_then(|j| j.kind.as_ref()) else {
+            while let Some(&id) = state.lanes[lane].front() {
+                if state.jobs.get(&id).and_then(|j| j.kind.as_ref()).is_some() {
+                    break;
+                }
                 state.lanes[lane].pop_front();
-                continue;
+            }
+            let Some(&id) = state.lanes[lane].front() else {
+                break;
             };
+            let kind = state
+                .jobs
+                .get(&id)
+                .and_then(|j| j.kind.as_ref())
+                .expect("front job is live");
             match kind {
                 JobKind::Query(..) => {
                     if wave.len() == max_batch {
                         break 'lanes;
                     }
-                    state.lanes[lane].pop_front();
-                    let job = state.jobs.get_mut(&id).expect("claimed job exists");
-                    job.status = JobStatus::Running;
-                    let Some(JobKind::Query(request, _)) = job.kind.take() else {
-                        unreachable!("kind checked above");
-                    };
-                    wave.push((id, *request));
+                    for id in claim_fair_queries(state, lane, max_batch - wave.len()) {
+                        let job = state.jobs.get_mut(&id).expect("claimed job exists");
+                        job.status = JobStatus::Running;
+                        let Some(JobKind::Query(request, _, tenant)) = job.kind.take() else {
+                            unreachable!("the fair claim only picks queries");
+                        };
+                        state.queued -= 1;
+                        if let Some(tenant) = &tenant {
+                            let stats = state.tenant_mut(tenant);
+                            stats.queued = stats.queued.saturating_sub(1);
+                        }
+                        wave.push((id, *request));
+                    }
+                    // Loop: the lane front is now the barrier that ended
+                    // the window (or leftover queries once the wave is
+                    // full, caught by the max_batch check above).
                 }
-                JobKind::Ingest(_) => {
+                JobKind::Ingest(..) => {
                     if !wave.is_empty() && !overlap_ingest {
                         break 'lanes;
                     }
                     state.lanes[lane].pop_front();
                     let job = state.jobs.get_mut(&id).expect("claimed job exists");
                     job.status = JobStatus::Running;
-                    let Some(JobKind::Ingest(text)) = job.kind.take() else {
+                    let Some(JobKind::Ingest(text, tenant)) = job.kind.take() else {
                         unreachable!("kind checked above");
                     };
                     state.queued -= 1;
                     state.stats.queued = state.queued as u64;
-                    if wave.is_empty() {
-                        return Wave::Ingest(id, text);
+                    if let Some(tenant) = &tenant {
+                        let stats = state.tenant_mut(tenant);
+                        stats.queued = stats.queued.saturating_sub(1);
                     }
-                    overlap = Some((id, text));
+                    if wave.is_empty() {
+                        return Wave::Ingest(id, text, tenant);
+                    }
+                    overlap = Some(OverlapIngest { id, text, tenant });
                     break 'lanes;
                 }
                 JobKind::Explain(..) => {
@@ -759,7 +1008,6 @@ fn claim_wave(state: &mut State, max_batch: usize, overlap_ingest: bool) -> Wave
     if wave.is_empty() {
         return Wave::Idle;
     }
-    state.queued -= wave.len();
     state.stats.queued = state.queued as u64;
     Wave::Queries(wave, overlap)
 }
@@ -768,7 +1016,7 @@ fn claim_wave(state: &mut State, max_batch: usize, overlap_ingest: bool) -> Wave
 /// number of segments it sealed, and the retention pass that followed it
 /// (if one is configured) — or the error / caught panic that stopped it.
 type IngestOutcome = Result<
-    Result<(IngestReport, u64, Option<RetentionReport>), MithriLogError>,
+    Result<(IngestReport, u64, Option<RetentionReport>), String>,
     Box<dyn std::any::Any + Send>,
 >;
 
@@ -780,17 +1028,17 @@ type PreparedOutcome = Result<PreparedIngest<'static>, Box<dyn std::any::Any + S
 /// the configured retention pass. Retention failure fails the job: the
 /// ingested data is durable, but the store could not honor its retention
 /// contract and the client must hear about it.
-fn run_ingest<S: PageStore>(
-    system: &mut MithriLog<S>,
+fn run_ingest<B: ServiceBackend>(
+    backend: &mut B,
     retain: Option<u64>,
-    ingest: impl FnOnce(&mut MithriLog<S>) -> Result<IngestReport, MithriLogError>,
+    ingest: impl FnOnce(&mut B) -> Result<IngestReport, String>,
 ) -> IngestOutcome {
     catch_unwind(AssertUnwindSafe(|| {
-        let sealed_before = system.sealed_segment_count();
-        let report = ingest(system)?;
-        let sealed = system.sealed_segment_count() - sealed_before;
+        let sealed_before = backend.sealed_segment_count();
+        let report = ingest(backend)?;
+        let sealed = backend.sealed_segment_count() - sealed_before;
         let retention = match retain {
-            Some(keep) => Some(system.apply_retention(keep)?),
+            Some(keep) => Some(backend.apply_retention(keep)?),
             None => None,
         };
         Ok((report, sealed, retention))
@@ -808,7 +1056,8 @@ fn settle_ingest(
 ) {
     let mut state = shared.state.lock().expect("service state poisoned");
     let job = state.jobs.get_mut(&id).expect("running job exists");
-    match outcome {
+    let tenant = job.tenant.clone();
+    let succeeded = match outcome {
         Ok(Ok((report, sealed, retention))) => {
             job.status = JobStatus::Done(JobOutput::Ingest(report));
             state.stats.completed += 1;
@@ -822,16 +1071,27 @@ fn settle_ingest(
             // New pages to verify (and rewritten pages left quarantine):
             // re-arm the online scrub pass.
             *scrub_done = false;
+            true
         }
         Ok(Err(e)) => {
-            job.status = JobStatus::Failed(e.to_string());
+            job.status = JobStatus::Failed(e);
             state.stats.failed += 1;
             *scrub_done = false;
+            false
         }
         Err(payload) => {
             job.status = JobStatus::Failed(format!("internal error: {}", panic_message(&*payload)));
             state.stats.failed += 1;
             state.stats.waves_poisoned += 1;
+            false
+        }
+    };
+    if let Some(tenant) = &tenant {
+        let stats = state.tenant_mut(tenant);
+        if succeeded {
+            stats.completed += 1;
+        } else {
+            stats.failed += 1;
         }
     }
     shared.changed.notify_all();
@@ -848,7 +1108,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
+/// Publishes the backend's current per-device rows for
+/// [`ServiceHandle::shard_stats`] and the `STATS` verb.
+fn publish_shard_rows<B: ServiceBackend>(backend: &B, shared: &Shared) {
+    let rows = backend.shard_rows();
+    let mut state = shared.state.lock().expect("service state poisoned");
+    state.shard_rows = rows;
+}
+
+fn scheduler_loop<B: ServiceBackend>(mut backend: B, shared: &Shared) {
     // Online scrub lane state: the resume cursor within the current pass,
     // and whether a pass over the whole device has completed since the last
     // ingest. Scheduler-local — it never needs the service lock.
@@ -891,7 +1159,9 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                 // read panics (firmware-bug drill) poisons only this slice.
                 // The pass is disarmed until the next ingest re-arms it, so
                 // the lane cannot hot-loop on the same poisonous page.
-                match catch_unwind(AssertUnwindSafe(|| system.scrub_slice(scrub_cursor, batch))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    backend.scrub_slice(scrub_cursor, batch)
+                })) {
                     Ok(slice) => {
                         scrub_cursor = slice.next;
                         scrub_done = slice.complete;
@@ -922,14 +1192,21 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                     let job = state.jobs.get_mut(&id).expect("listed job exists");
                     job.status = JobStatus::Failed(SubmitError::Closed.to_string());
                     job.kind = None;
+                    let tenant = job.tenant.clone();
                     state.stats.failed += 1;
+                    if let Some(tenant) = &tenant {
+                        state.tenant_mut(tenant).failed += 1;
+                    }
                 }
                 state.queued = 0;
                 state.stats.queued = 0;
+                for tenant in state.tenants.values_mut() {
+                    tenant.queued = 0;
+                }
                 shared.changed.notify_all();
                 return;
             }
-            Wave::Ingest(id, text) => {
+            Wave::Ingest(id, text, tenant) => {
                 // A panic while ingesting (a device fault drill, a defect
                 // in the datapath) fails only this job; the scheduler — and
                 // every other job — survives. The system state is sound
@@ -937,16 +1214,19 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                 // the panic propagates, the page cache recovers poisoned
                 // locks, and pages are append-only, so cached text of
                 // already-committed pages stays valid.
-                let outcome = run_ingest(&mut system, shared.config.retain_segments, |s| {
-                    s.ingest(&text)
+                let outcome = run_ingest(&mut backend, shared.config.retain_segments, |b| {
+                    let config = b.config().clone();
+                    let prep = PreparedIngest::build(&config, Cow::Borrowed(&text));
+                    b.apply_prepared(tenant.as_deref(), &prep)
                 });
                 settle_ingest(shared, id, outcome, false, &mut scrub_done);
+                publish_shard_rows(&backend, shared);
             }
             Wave::Explain(id, request) => {
                 // Plan-only: the probe runs (and is charged) for real, the
                 // data-page scan never happens. Same panic isolation as any
                 // other lone job.
-                let result = catch_unwind(AssertUnwindSafe(|| system.explain(&request)));
+                let result = catch_unwind(AssertUnwindSafe(|| backend.explain(&request)));
                 let mut state = shared.state.lock().expect("service state poisoned");
                 let job = state.jobs.get_mut(&id).expect("running job exists");
                 match result {
@@ -955,7 +1235,7 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                         state.stats.completed += 1;
                     }
                     Ok(Err(e)) => {
-                        job.status = JobStatus::Failed(e.to_string());
+                        job.status = JobStatus::Failed(e);
                         state.stats.failed += 1;
                     }
                     Err(payload) => {
@@ -970,7 +1250,7 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                 shared.changed.notify_all();
             }
             Wave::Scrub(id) => {
-                let result = catch_unwind(AssertUnwindSafe(|| system.scrub()));
+                let result = catch_unwind(AssertUnwindSafe(|| backend.scrub()));
                 let mut state = shared.state.lock().expect("service state poisoned");
                 let job = state.jobs.get_mut(&id).expect("running job exists");
                 match result {
@@ -1012,9 +1292,9 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                 // pre-ingest snapshot, because nothing touches the device
                 // until `apply_ingest` below, after the wave settles. A
                 // prepare panic fails only the ingest job.
-                let mut prepared: Option<(JobId, PreparedOutcome)> = None;
-                let result = if let Some((ingest_id, text)) = overlap {
-                    let sys_config = system.config().clone();
+                let mut prepared: Option<(JobId, Option<String>, PreparedOutcome)> = None;
+                let result = if let Some(OverlapIngest { id, text, tenant }) = overlap {
+                    let sys_config = backend.config().clone();
                     let (scan, prep) = std::thread::scope(|scope| {
                         let builder = scope.spawn(move || {
                             catch_unwind(AssertUnwindSafe(move || {
@@ -1022,16 +1302,16 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                             }))
                         });
                         let scan =
-                            catch_unwind(AssertUnwindSafe(|| system.query_shared(&requests)));
+                            catch_unwind(AssertUnwindSafe(|| backend.query_shared(&requests)));
                         // The builder caught its own panic; join only
                         // relays the caught payload.
                         let prep = builder.join().unwrap_or_else(Err);
                         (scan, prep)
                     });
-                    prepared = Some((ingest_id, prep));
+                    prepared = Some((id, tenant, prep));
                     scan
                 } else {
-                    catch_unwind(AssertUnwindSafe(|| system.query_shared(&requests)))
+                    catch_unwind(AssertUnwindSafe(|| backend.query_shared(&requests)))
                 };
                 let mut state = shared.state.lock().expect("service state poisoned");
                 match result {
@@ -1052,29 +1332,44 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                             wave.iter().zip(batch.outcomes).zip(attribution)
                         {
                             let job = state.jobs.get_mut(id).expect("running job exists");
+                            let tenant = job.tenant.clone();
                             if job.cancel.is_cancelled() {
                                 // Cancelled mid-wave: the scan stopped at a
                                 // page boundary and the partial outcome is
                                 // discarded.
                                 job.status = JobStatus::Cancelled;
                                 state.stats.cancelled += 1;
+                                if let Some(tenant) = &tenant {
+                                    state.tenant_mut(tenant).cancelled += 1;
+                                }
                             } else {
+                                let pages_scanned = outcome.pages_scanned;
+                                let lines_returned = outcome.lines.len() as u64;
                                 job.status = JobStatus::Done(JobOutput::Query {
                                     outcome: Box::new(outcome),
                                     attribution,
                                 });
                                 state.stats.completed += 1;
+                                if let Some(tenant) = &tenant {
+                                    let stats = state.tenant_mut(tenant);
+                                    stats.completed += 1;
+                                    stats.pages_scanned += pages_scanned;
+                                    stats.lines_returned += lines_returned;
+                                }
                             }
                         }
                     }
-                    Ok(Err(e)) => {
+                    Ok(Err(reason)) => {
                         // A non-survivable device error fails the whole
                         // wave — the same error a solo run would surface.
-                        let reason = e.to_string();
                         for (id, _) in &wave {
                             let job = state.jobs.get_mut(id).expect("running job exists");
                             job.status = JobStatus::Failed(reason.clone());
+                            let tenant = job.tenant.clone();
                             state.stats.failed += 1;
+                            if let Some(tenant) = &tenant {
+                                state.tenant_mut(tenant).failed += 1;
+                            }
                         }
                     }
                     Err(payload) => {
@@ -1083,7 +1378,11 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                         for (id, _) in &wave {
                             let job = state.jobs.get_mut(id).expect("running job exists");
                             job.status = JobStatus::Failed(reason.clone());
+                            let tenant = job.tenant.clone();
                             state.stats.failed += 1;
+                            if let Some(tenant) = &tenant {
+                                state.tenant_mut(tenant).failed += 1;
+                            }
                         }
                     }
                 }
@@ -1093,15 +1392,16 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
                 // serially after the wave settles — even when the scan
                 // failed or panicked, the prepared frames are still sound
                 // and the client's data still lands durably.
-                if let Some((ingest_id, prep)) = prepared {
+                if let Some((ingest_id, tenant, prep)) = prepared {
                     let outcome = match prep {
-                        Ok(prep) => run_ingest(&mut system, shared.config.retain_segments, |s| {
-                            s.apply_ingest(&prep)
+                        Ok(prep) => run_ingest(&mut backend, shared.config.retain_segments, |b| {
+                            b.apply_prepared(tenant.as_deref(), &prep)
                         }),
                         Err(payload) => Err(payload),
                     };
                     settle_ingest(shared, ingest_id, outcome, true, &mut scrub_done);
                 }
+                publish_shard_rows(&backend, shared);
             }
         }
     }
@@ -1110,7 +1410,7 @@ fn scheduler_loop<S: PageStore>(mut system: MithriLog<S>, shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mithrilog::SystemConfig;
+    use mithrilog::{MithriLog, SystemConfig};
 
     const LOG: &str = "\
 RAS KERNEL INFO instruction cache parity error corrected\n\
@@ -1301,17 +1601,25 @@ RAS KERNEL INFO generating core.2275\n";
         let mut state = State::default();
         for kind in kinds {
             let lane = match &kind {
-                JobKind::Query(_, priority) | JobKind::Explain(_, priority) => priority.lane(),
-                JobKind::Ingest(_) | JobKind::Scrub => Priority::Normal.lane(),
+                JobKind::Query(_, priority, _) | JobKind::Explain(_, priority) => priority.lane(),
+                JobKind::Ingest(..) | JobKind::Scrub => Priority::Normal.lane(),
+            };
+            let tenant = match &kind {
+                JobKind::Query(_, _, tenant) | JobKind::Ingest(_, tenant) => tenant.clone(),
+                _ => None,
             };
             let id = state.next_id;
             state.next_id += 1;
+            if let Some(tenant) = &tenant {
+                state.tenant_mut(tenant).queued += 1;
+            }
             state.jobs.insert(
                 id,
                 Job {
                     kind: Some(kind),
                     status: JobStatus::Pending,
                     cancel: CancelToken::new(),
+                    tenant,
                 },
             );
             state.lanes[lane].push_back(id);
@@ -1321,7 +1629,19 @@ RAS KERNEL INFO generating core.2275\n";
     }
 
     fn query_kind(q: &str) -> JobKind {
-        JobKind::Query(Box::new(QueryRequest::parse(q).unwrap()), Priority::Normal)
+        JobKind::Query(
+            Box::new(QueryRequest::parse(q).unwrap()),
+            Priority::Normal,
+            None,
+        )
+    }
+
+    fn tenant_query_kind(q: &str, tenant: &str) -> JobKind {
+        JobKind::Query(
+            Box::new(QueryRequest::parse(q).unwrap()),
+            Priority::Normal,
+            Some(tenant.to_string()),
+        )
     }
 
     #[test]
@@ -1333,13 +1653,13 @@ RAS KERNEL INFO generating core.2275\n";
         let mut state = queued_state(vec![
             query_kind("FATAL"),
             query_kind("INFO"),
-            JobKind::Ingest(b"line\n".to_vec()),
+            JobKind::Ingest(b"line\n".to_vec(), None),
             query_kind("KERNEL"),
         ]);
         match claim_wave(&mut state, 16, true) {
-            Wave::Queries(wave, Some((ingest_id, _))) => {
+            Wave::Queries(wave, Some(OverlapIngest { id, .. })) => {
                 assert_eq!(wave.len(), 2, "only queries admitted before the ingest");
-                assert_eq!(ingest_id, 2);
+                assert_eq!(id, 2);
             }
             _ => panic!("expected an overlapped query wave"),
         }
@@ -1357,7 +1677,7 @@ RAS KERNEL INFO generating core.2275\n";
     fn claim_wave_without_overlap_stops_the_wave_before_an_ingest() {
         let mut state = queued_state(vec![
             query_kind("FATAL"),
-            JobKind::Ingest(b"line\n".to_vec()),
+            JobKind::Ingest(b"line\n".to_vec(), None),
         ]);
         match claim_wave(&mut state, 16, false) {
             Wave::Queries(wave, None) => assert_eq!(wave.len(), 1),
@@ -1366,7 +1686,7 @@ RAS KERNEL INFO generating core.2275\n";
         // The ingest then runs alone, exactly as before.
         assert!(matches!(
             claim_wave(&mut state, 16, false),
-            Wave::Ingest(1, _)
+            Wave::Ingest(1, _, _)
         ));
         assert_eq!(state.queued, 0);
     }
@@ -1374,13 +1694,148 @@ RAS KERNEL INFO generating core.2275\n";
     #[test]
     fn claim_wave_runs_a_leading_ingest_solo_even_with_overlap_enabled() {
         let mut state = queued_state(vec![
-            JobKind::Ingest(b"line\n".to_vec()),
+            JobKind::Ingest(b"line\n".to_vec(), None),
             query_kind("FATAL"),
         ]);
         assert!(matches!(
             claim_wave(&mut state, 16, true),
-            Wave::Ingest(0, _)
+            Wave::Ingest(0, _, _)
         ));
+    }
+
+    #[test]
+    fn claim_wave_interleaves_tenants_round_robin() {
+        // Tenant A filled the lane first; tenant B's single query must not
+        // wait behind all of A's. Round-robin: one per tenant per sweep.
+        let mut state = queued_state(vec![
+            tenant_query_kind("FATAL", "acme"),
+            tenant_query_kind("INFO", "acme"),
+            tenant_query_kind("KERNEL", "acme"),
+            tenant_query_kind("ciod:", "beta"),
+        ]);
+        match claim_wave(&mut state, 2, true) {
+            Wave::Queries(wave, None) => {
+                let ids: Vec<JobId> = wave.iter().map(|(id, _)| *id).collect();
+                assert_eq!(
+                    ids,
+                    vec![0, 3],
+                    "the first sweep serves one query per tenant"
+                );
+            }
+            _ => panic!("expected a query wave"),
+        }
+        // The rest of tenant A drains in FIFO order afterwards.
+        match claim_wave(&mut state, 16, true) {
+            Wave::Queries(wave, None) => {
+                let ids: Vec<JobId> = wave.iter().map(|(id, _)| *id).collect();
+                assert_eq!(ids, vec![1, 2]);
+            }
+            _ => panic!("expected the remaining queries"),
+        }
+        assert_eq!(state.queued, 0);
+    }
+
+    #[test]
+    fn claim_wave_without_tenants_stays_strict_fifo() {
+        let mut state = queued_state(vec![
+            query_kind("FATAL"),
+            query_kind("INFO"),
+            query_kind("KERNEL"),
+        ]);
+        match claim_wave(&mut state, 2, true) {
+            Wave::Queries(wave, None) => {
+                let ids: Vec<JobId> = wave.iter().map(|(id, _)| *id).collect();
+                assert_eq!(ids, vec![0, 1], "untagged claims are submission-ordered");
+            }
+            _ => panic!("expected a query wave"),
+        }
+    }
+
+    #[test]
+    fn tenant_cap_rejects_saturation_but_admits_other_tenants() {
+        let config = ServiceConfig {
+            tenant_max_queued: Some(2),
+            max_queue: 64,
+            ..ServiceConfig::default()
+        };
+        let service = service_with(&LOG.repeat(50), config);
+        let handle = service.handle();
+        // Tenant A floods: only the cap's worth is admitted at once.
+        let mut flood_admitted = Vec::new();
+        let mut flood_rejected = 0usize;
+        for _ in 0..20 {
+            match handle.submit_str_tagged("FATAL", Priority::Low, Some("flood")) {
+                Ok(id) => flood_admitted.push(id),
+                Err(SubmitError::Rejected {
+                    queue_full,
+                    capacity,
+                    ..
+                }) => {
+                    assert!(!queue_full, "the tenant cap is not the shared queue bound");
+                    assert_eq!(capacity, 2);
+                    flood_rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(flood_rejected > 0, "a flooding tenant must hit its cap");
+        // Another tenant (and untagged work) is still admitted and runs.
+        let other = handle
+            .submit_str_tagged("FATAL", Priority::Low, Some("steady"))
+            .unwrap();
+        let untagged = handle.submit_str("FATAL", Priority::Low).unwrap();
+        assert!(!query_lines(handle.wait(other).unwrap()).is_empty());
+        assert!(!query_lines(handle.wait(untagged).unwrap()).is_empty());
+        for id in flood_admitted {
+            let _ = handle.wait(id);
+        }
+        let tenants = handle.tenant_stats();
+        assert_eq!(tenants["flood"].rejected, flood_rejected as u64);
+        assert_eq!(tenants["steady"].completed, 1);
+        assert!(tenants["steady"].lines_returned > 0);
+        assert_eq!(tenants["flood"].queued, 0, "all settled");
+        service.shutdown();
+    }
+
+    #[test]
+    fn tenant_page_budget_applies_before_the_default() {
+        let config = ServiceConfig {
+            tenant_page_budget: Some(0),
+            default_page_budget: None,
+            ..ServiceConfig::default()
+        };
+        let service = service_with(&LOG.repeat(100), config);
+        let handle = service.handle();
+        let tagged = handle
+            .submit_str_tagged("FATAL", Priority::Normal, Some("capped"))
+            .unwrap();
+        match handle.wait(tagged).unwrap() {
+            JobOutput::Query { outcome, .. } => {
+                assert_eq!(outcome.pages_scanned, 0);
+                assert!(outcome.degraded.budget_clipped > 0);
+            }
+            other => panic!("expected a query output, got {other:?}"),
+        }
+        // An untagged query is not constrained by the tenant budget.
+        let free = handle.submit_str("FATAL", Priority::Normal).unwrap();
+        match handle.wait(free).unwrap() {
+            JobOutput::Query { outcome, .. } => assert!(outcome.pages_scanned > 0),
+            other => panic!("expected a query output, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn shard_rows_are_published_for_a_solo_backend() {
+        let service = service_with(LOG, ServiceConfig::default());
+        let handle = service.handle();
+        let id = handle.submit_str("FATAL", Priority::Normal).unwrap();
+        let _ = handle.wait(id).unwrap();
+        let rows = handle.shard_stats();
+        assert_eq!(rows.len(), 1, "a solo device reports one row");
+        assert_eq!(rows[0].shard, 0);
+        assert_eq!(rows[0].lines, 5);
+        service.shutdown();
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Multi-device shard layer for MithriLog.
+//!
+//! The paper's scaling story — log analytics throughput grows by adding
+//! near-storage devices — needs more than one simulated SSD. This crate
+//! provides [`ShardedLog`]: N fully independent [`mithrilog::MithriLog`]
+//! devices (each with its own superblock, journal, segments, bitmaps, page
+//! cache, and cost ledgers) behind a deterministic frame router and an
+//! order-preserving scatter-gather query path.
+//!
+//! The load-bearing invariant: for a fixed dataset and configuration, an
+//! N-shard deployment returns byte-identical query results — lines, order,
+//! as-if-solo cost ledgers, degraded-read accounting — to a 1-shard run
+//! over the same lines. Only `modeled_time` improves with shard count,
+//! because independent devices scan their partitions in parallel. See
+//! `sharded`'s module docs for the full argument, and
+//! `tests/shard_determinism.rs` for the gate.
+//!
+//! # Example
+//!
+//! ```
+//! use mithrilog::SystemConfig;
+//! use mithrilog_shard::{RouteMode, ShardOptions, ShardedLog};
+//!
+//! let mut sharded = ShardedLog::new(
+//!     SystemConfig::default(),
+//!     ShardOptions {
+//!         shards: 2,
+//!         mode: RouteMode::LineHash,
+//!         salt: 7,
+//!     },
+//! );
+//! let log = "\
+//! RAS KERNEL INFO cache parity error corrected\n\
+//! RAS KERNEL FATAL data storage interrupt\n\
+//! RAS APP FATAL ciod: Error loading program\n";
+//! sharded.ingest(log.as_bytes())?;
+//! let outcome = sharded.query_str("FATAL AND NOT ciod:")?;
+//! assert_eq!(outcome.lines.len(), 1);
+//! # Ok::<(), mithrilog_shard::ShardError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod router;
+mod sharded;
+
+pub use router::{ManifestError, RouteMode, RoutingEpoch, RoutingManifest};
+pub use sharded::{ShardError, ShardOptions, ShardRecovery, ShardRow, ShardedLog};

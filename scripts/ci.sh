@@ -86,4 +86,14 @@ echo "==> plan_savings --smoke (wave-planner bench smoke: bitmap pruning + batch
 cargo run --release -p mithrilog-bench --quiet --bin plan_savings -- \
   --smoke --out target/ci/BENCH_plan_smoke.json
 
+echo "==> shard determinism (N-shard results byte-identical to 1-shard under every fault mode)"
+cargo test --test shard_determinism -q
+
+echo "==> shard_scaling --smoke (multi-device scatter-gather + tenant fairness bench smoke)"
+cargo run --release -p mithrilog-bench --quiet --bin shard_scaling -- \
+  --smoke --out target/ci/BENCH_shard_smoke.json
+
+echo "==> bench report schema check (every emitted BENCH_*.json parses and carries schema)"
+cargo run --release -p mithrilog-bench --quiet --bin check_bench_json -- target/ci
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,350 @@
+//! Byte-identity of the multi-device shard layer.
+//!
+//! The invariant (DESIGN.md, "Shard layer"): for a fixed corpus and
+//! routing epoch, an N-shard topology answers every query with the same
+//! matched lines in the same order, the same global-ordinal line/page
+//! attribution, the same cost-ledger totals, and the same degraded-read
+//! report as a 1-shard run — under every fault mode the storage layer can
+//! inject. Only `modeled_time` (devices run in parallel, so the slowest
+//! shard bounds it) and `wall_time` may differ.
+//!
+//! Faults are planted by *global frame ordinal*, not physical page id: a
+//! clean probe topology discovers which shard and store page holds frame
+//! `g` under the persisted routing manifest, then a fresh topology
+//! schedules the identical fault there — so all topologies corrupt the
+//! same logical data.
+
+use std::time::Duration;
+
+use mithrilog::{MithriLog, QueryOutcome, QueryRequest, SystemConfig};
+use mithrilog_loggen::{generate, Dataset, DatasetProfile, DatasetSpec};
+use mithrilog_shard::{RouteMode, RoutingManifest, ShardedLog};
+use mithrilog_storage::{FaultKind, FaultPlan, FaultyStore, MemStore};
+
+const SALT: u64 = 0x5eed;
+const TOPOLOGIES: [u32; 3] = [1, 2, 4];
+
+/// The same battery as `tests/parallel_determinism.rs`: index hit,
+/// offloaded negation, broad union, forced full scan, software fallback.
+const QUERIES: [&str; 5] = [
+    "FATAL",
+    "KERNEL AND NOT FATAL",
+    "RAS OR KERNEL OR INFO OR FATAL",
+    "NOT KERNEL",
+    "t0 OR t1 OR t2 OR t3 OR t4 OR t5 OR t6 OR t7 OR t8 OR FATAL",
+];
+
+/// A broad query whose plan is large enough to clip meaningfully.
+const BROAD: &str = "RAS OR KERNEL OR INFO OR FATAL";
+
+fn corpus() -> Dataset {
+    generate(&DatasetSpec {
+        profile: DatasetProfile::Bgl2,
+        target_bytes: 500_000,
+        seed: 7,
+    })
+}
+
+type Topology = ShardedLog<FaultyStore<MemStore>>;
+
+/// Builds and ingests a topology with one fault plan per shard.
+fn build_topology(text: &[u8], config: &SystemConfig, plans: Vec<FaultPlan>) -> Topology {
+    let stores = plans
+        .into_iter()
+        .map(|plan| FaultyStore::new(MemStore::new(config.device.page_bytes), plan))
+        .collect();
+    let mut topology =
+        ShardedLog::with_stores(stores, config.clone(), RouteMode::LineHash, SALT).unwrap();
+    topology.ingest(text).unwrap();
+    topology
+}
+
+fn clean_topology(text: &[u8], shards: u32, config: &SystemConfig) -> Topology {
+    build_topology(text, config, vec![FaultPlan::seeded(99); shards as usize])
+}
+
+/// Global frame ordinal → (shard, store page id), derived from the
+/// persisted routing manifest exactly as recovery would derive it.
+fn frame_homes(topology: &Topology) -> Vec<(usize, u64)> {
+    let manifest = RoutingManifest::decode(&topology.manifest_bytes()).unwrap();
+    let mut next = vec![0usize; topology.shard_count()];
+    let mut homes = Vec::new();
+    for &(shard, count) in &manifest.runs {
+        for _ in 0..count {
+            let shard = shard as usize;
+            homes.push((shard, topology.shard(shard).data_pages()[next[shard]].0));
+            next[shard] += 1;
+        }
+    }
+    homes
+}
+
+/// Builds a topology with `faults` planted by global frame ordinal: a
+/// clean probe (identical deterministic ingest) learns where each frame
+/// lands, then a fresh topology schedules the fault on that shard's page.
+fn faulted_topology(
+    text: &[u8],
+    shards: u32,
+    config: &SystemConfig,
+    faults: &[(usize, FaultKind)],
+) -> Topology {
+    let probe = clean_topology(text, shards, config);
+    let homes = frame_homes(&probe);
+    let mut plans = vec![FaultPlan::seeded(99); shards as usize];
+    for &(frame, kind) in faults {
+        let (shard, page) = homes[frame];
+        plans[shard] = plans[shard].clone().with_scheduled(page, kind);
+    }
+    build_topology(text, config, plans)
+}
+
+/// Everything topology-invariant must be identical; only modeled/wall
+/// time legitimately change with shard count.
+fn assert_identical(a: &QueryOutcome, b: &QueryOutcome, context: &str) {
+    assert_eq!(a.lines, b.lines, "{context}: matched lines");
+    assert_eq!(a.line_pages, b.line_pages, "{context}: line attribution");
+    assert_eq!(a.offloaded, b.offloaded, "{context}: offload path");
+    assert_eq!(a.used_index, b.used_index, "{context}: plan kind");
+    assert_eq!(a.pages_scanned, b.pages_scanned, "{context}: plan size");
+    assert_eq!(a.bytes_filtered, b.bytes_filtered, "{context}: bytes");
+    assert_eq!(a.lines_scanned, b.lines_scanned, "{context}: lines scanned");
+    assert_eq!(a.ledger, b.ledger, "{context}: cost ledger");
+    assert_eq!(a.degraded, b.degraded, "{context}: degraded report");
+}
+
+fn run_battery(topology: &mut Topology) -> Vec<QueryOutcome> {
+    QUERIES
+        .iter()
+        .map(|q| topology.query_str(q).unwrap())
+        .collect()
+}
+
+/// The headline gate: 1-, 2-, and 4-shard topologies produce identical
+/// results, ledgers, and degraded reports for the whole query battery,
+/// under clean reads and all four fault modes. Full-scan configuration so
+/// the ledger is pure data-path cost (index page layout is per-device and
+/// the one cost that honestly differs across topologies).
+#[test]
+fn outcomes_are_identical_across_topologies_under_every_fault_mode() {
+    let ds = corpus();
+    let config = SystemConfig::full_scan_only();
+    let frames = frame_homes(&clean_topology(ds.text(), 1, &config)).len();
+    assert!(frames >= 9, "corpus must span enough frames, got {frames}");
+
+    let modes: [(&str, Vec<(usize, FaultKind)>); 5] = [
+        ("clean", vec![]),
+        ("bit-rot", vec![(1, FaultKind::BitRot { bit: 5 })]),
+        (
+            "torn-write",
+            vec![(4, FaultKind::TornWrite { valid_bytes: 100 })],
+        ),
+        (
+            "transient-recoverable",
+            vec![(3, FaultKind::TransientRead { failures: 2 })],
+        ),
+        (
+            "transient-unrecoverable",
+            vec![(5, FaultKind::TransientRead { failures: 50 })],
+        ),
+    ];
+    for (mode, faults) in &modes {
+        let mut reference: Option<Vec<QueryOutcome>> = None;
+        for shards in TOPOLOGIES {
+            let mut topology = faulted_topology(ds.text(), shards, &config, faults);
+            let outcomes = run_battery(&mut topology);
+            match &reference {
+                None => {
+                    // Sanity on the 1-shard reference: the drill bit where
+                    // it was supposed to.
+                    let full_scan = &outcomes[3];
+                    match *mode {
+                        "clean" => assert_eq!(full_scan.degraded.skipped_pages.len(), 0),
+                        "transient-recoverable" => {
+                            // The episode counts down per read, so the first
+                            // query in the battery absorbs the retries.
+                            assert!(
+                                outcomes[0].degraded.retries > 0,
+                                "{mode}: retries charged on the first read"
+                            );
+                            assert_eq!(full_scan.degraded.skipped_pages.len(), 0);
+                        }
+                        _ => assert!(
+                            !full_scan.degraded.skipped_pages.is_empty(),
+                            "{mode}: a page must have been skipped"
+                        ),
+                    }
+                    reference = Some(outcomes);
+                }
+                Some(reference) => {
+                    for (i, (a, b)) in reference.iter().zip(&outcomes).enumerate() {
+                        assert_identical(
+                            a,
+                            b,
+                            &format!("{mode}, {shards} shards, query {:?}", QUERIES[i]),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The same identity holds with the token index and bitmap sidecars
+/// enabled — results and degraded accounting are topology-invariant; only
+/// the ledger is excluded (each device carries its own index layout, so
+/// physical index-read costs differ honestly).
+#[test]
+fn indexed_results_are_identical_across_topologies() {
+    let ds = corpus();
+    let config = SystemConfig::default();
+    let faults = vec![(2, FaultKind::BitRot { bit: 3 })];
+    let mut reference: Option<Vec<QueryOutcome>> = None;
+    for shards in TOPOLOGIES {
+        let mut topology = faulted_topology(ds.text(), shards, &config, &faults);
+        let outcomes = run_battery(&mut topology);
+        match &reference {
+            None => reference = Some(outcomes),
+            Some(reference) => {
+                for (i, (a, b)) in reference.iter().zip(&outcomes).enumerate() {
+                    let context = format!("indexed, {shards} shards, query {:?}", QUERIES[i]);
+                    assert_eq!(a.lines, b.lines, "{context}: matched lines");
+                    assert_eq!(a.line_pages, b.line_pages, "{context}: attribution");
+                    assert_eq!(a.degraded, b.degraded, "{context}: degraded report");
+                }
+            }
+        }
+    }
+}
+
+/// Worker-thread count never changes a sharded outcome (the per-device
+/// guarantee of `tests/parallel_determinism.rs` survives the merge).
+#[test]
+fn thread_count_does_not_change_sharded_outcomes() {
+    let ds = corpus();
+    let faults = vec![
+        (1, FaultKind::BitRot { bit: 5 }),
+        (3, FaultKind::TransientRead { failures: 2 }),
+    ];
+    let mut reference: Option<Vec<QueryOutcome>> = None;
+    for threads in [1usize, 2, 3] {
+        let config = SystemConfig {
+            query_threads: threads,
+            ..SystemConfig::full_scan_only()
+        };
+        let mut topology = faulted_topology(ds.text(), 2, &config, &faults);
+        let outcomes = run_battery(&mut topology);
+        match &reference {
+            None => reference = Some(outcomes),
+            Some(reference) => {
+                for (i, (a, b)) in reference.iter().zip(&outcomes).enumerate() {
+                    assert_identical(a, b, &format!("{threads} threads, query {:?}", QUERIES[i]));
+                }
+            }
+        }
+    }
+}
+
+/// A shard hitting its page-budget or deadline clip produces exactly the
+/// degraded accounting of the equivalent solo device: a 1-shard topology
+/// and a plain `MithriLog` answer a clipped request identically (the
+/// topology reports pages as global frame ordinals; the solo run as store
+/// page ids — translated through the frame order, they are the same
+/// pages).
+#[test]
+fn budget_and_deadline_clips_match_the_equivalent_solo_run() {
+    let ds = corpus();
+    let config = SystemConfig::full_scan_only();
+    let store = FaultyStore::new(
+        MemStore::new(config.device.page_bytes),
+        FaultPlan::seeded(99),
+    );
+    let mut solo = MithriLog::with_store(store, config.clone()).unwrap();
+    solo.ingest(ds.text()).unwrap();
+    let solo_frames: Vec<u64> = solo.data_pages().iter().map(|p| p.0).collect();
+    let ordinal_of = |page: u64| -> u64 {
+        solo_frames
+            .iter()
+            .position(|&p| p == page)
+            .map(|i| i as u64)
+            .expect("skipped page must be a data page")
+    };
+    let mut topology = clean_topology(ds.text(), 1, &config);
+
+    let cases: [(&str, Option<u64>, Option<Duration>); 3] = [
+        ("page budget 3", Some(3), None),
+        ("zero budget", Some(0), None),
+        ("30us deadline", None, Some(Duration::from_micros(30))),
+    ];
+    for (context, budget, deadline) in cases {
+        let mut request = QueryRequest::parse(BROAD).unwrap();
+        request.page_budget = budget;
+        request.deadline = deadline;
+        let solo_out = solo
+            .query_shared(std::slice::from_ref(&request))
+            .unwrap()
+            .outcomes
+            .remove(0);
+        let topo_out = topology.query_request(request).unwrap();
+        assert_eq!(solo_out.lines, topo_out.lines, "{context}: matched lines");
+        assert_eq!(
+            solo_out.degraded.budget_clipped, topo_out.degraded.budget_clipped,
+            "{context}: budget clips"
+        );
+        assert_eq!(
+            solo_out.degraded.deadline_clipped, topo_out.degraded.deadline_clipped,
+            "{context}: deadline clips"
+        );
+        assert_eq!(
+            solo_out.degraded.retries, topo_out.degraded.retries,
+            "{context}: retries"
+        );
+        assert_eq!(
+            solo_out.degraded.estimated_missed_lines, topo_out.degraded.estimated_missed_lines,
+            "{context}: missed-line estimate"
+        );
+        let solo_skipped: Vec<u64> = solo_out
+            .degraded
+            .skipped_pages
+            .iter()
+            .map(|&p| ordinal_of(p))
+            .collect();
+        assert_eq!(
+            solo_skipped, topo_out.degraded.skipped_pages,
+            "{context}: skipped pages (as global ordinals)"
+        );
+        assert_eq!(solo_out.ledger, topo_out.ledger, "{context}: cost ledger");
+        let clipped = solo_out.degraded.budget_clipped + solo_out.degraded.deadline_clipped;
+        assert!(clipped > 0, "{context}: the clip must actually bite");
+    }
+}
+
+/// Quarantined pages (scrub fallout) produce identical degraded
+/// accounting on every topology: quarantining global frame `g` skips the
+/// same logical data and reports the same global ordinal everywhere.
+#[test]
+fn quarantined_pages_degrade_identically_across_topologies() {
+    let ds = corpus();
+    let config = SystemConfig::full_scan_only();
+    let quarantined: [usize; 2] = [2, 6];
+    let mut reference: Option<QueryOutcome> = None;
+    for shards in TOPOLOGIES {
+        let mut topology = clean_topology(ds.text(), shards, &config);
+        let homes = frame_homes(&topology);
+        for &frame in &quarantined {
+            let (shard, page) = homes[frame];
+            topology.shard_mut(shard).device_mut().quarantine_page(page);
+        }
+        let outcome = topology.query_str(BROAD).unwrap();
+        assert_eq!(
+            outcome.degraded.skipped_pages,
+            quarantined.map(|f| f as u64).to_vec(),
+            "{shards} shards: quarantined frames reported as global ordinals"
+        );
+        match &reference {
+            None => reference = Some(outcome),
+            Some(reference) => {
+                assert_identical(reference, &outcome, &format!("{shards} shards, quarantine"));
+            }
+        }
+    }
+}
